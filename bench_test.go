@@ -1,0 +1,211 @@
+// Package hlsrepro_test holds the top-level benchmarks: one per table and
+// figure of the paper's evaluation, plus the micro/ablation benches. Each
+// wraps the corresponding internal/bench runner at the quick profile so
+// `go test -bench=. -benchmem` regenerates every experiment in minutes;
+// `hlsbench -full` runs the paper-shaped sweeps.
+package hlsrepro_test
+
+import (
+	"io"
+	"testing"
+
+	"hls/internal/bench"
+	"hls/internal/hls"
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+// BenchmarkTableI regenerates Table I (mesh-update parallel efficiency).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.RunTableI(bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.PrintTableI(io.Discard, cells)
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3 (DGEMM GFLOPS vs matrix size).
+func BenchmarkFigure3(b *testing.B) {
+	for _, update := range []struct {
+		name string
+		on   bool
+	}{{"NoUpdate", false}, {"Update", true}} {
+		b.Run(update.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts, err := bench.RunFigure3(bench.Quick, update.on)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bench.PrintFigure3(io.Discard, pts, update.on)
+			}
+		})
+	}
+}
+
+// BenchmarkTableII regenerates Table II (EulerMHD memory/time).
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTableII(bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.PrintMemRows(io.Discard, "Table II", rows, "")
+	}
+}
+
+// BenchmarkTableIII regenerates Table III (Gadget-2 memory/time).
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTableIII(bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.PrintMemRows(io.Discard, "Table III", rows, "")
+	}
+}
+
+// BenchmarkTableIV regenerates Table IV (Tachyon memory/time + elisions).
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunTableIV(bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.PrintMemRows(io.Discard, "Table IV", res.Rows, "")
+	}
+}
+
+// BenchmarkMicro runs the §IV micro-benchmarks and the design-choice
+// ablations (flat vs hierarchical barrier, listing 1 vs 2, page merging).
+func BenchmarkMicro(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := bench.RunMicro(bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench.PrintMicro(io.Discard, results)
+	}
+}
+
+// BenchmarkMicroGetAddr isolates the hls_get_addr fast path (cached
+// resolution of a task's copy), the overhead every HLS variable access
+// pays (§IV-A).
+func BenchmarkMicroGetAddr(b *testing.B) {
+	machine := topology.NehalemEX4()
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: 1, Machine: machine, Pin: topology.PinCorePerTask})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := hls.New(w)
+	v := hls.Declare[float64](reg, "bench_addr", topology.Node, 8)
+	err = w.Run(func(task *mpi.Task) error {
+		var sink float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink += v.Slice(task)[0]
+		}
+		_ = sink
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMicroBarrier compares the §IV-B barrier algorithms on the full
+// 32-task node.
+func BenchmarkMicroBarrier(b *testing.B) {
+	for _, flat := range []struct {
+		name string
+		opts []hls.Option
+	}{
+		{"Hierarchical", nil},
+		{"Flat", []hls.Option{hls.WithFlatBarriers()}},
+	} {
+		b.Run(flat.name, func(b *testing.B) {
+			machine := topology.NehalemEX4()
+			w, err := mpi.NewWorld(mpi.Config{
+				NumTasks: machine.TotalCores(), Machine: machine, Pin: topology.PinCorePerTask,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reg := hls.New(w, flat.opts...)
+			v := hls.Declare[int](reg, "bench_bar", topology.Node, 1)
+			b.ResetTimer()
+			err = w.Run(func(task *mpi.Task) error {
+				for i := 0; i < b.N; i++ {
+					reg.Barrier(task, v)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkMicroAllreduce compares the two allreduce algorithms
+// (reduce+broadcast vs recursive doubling) on 32 tasks — a runtime
+// design-choice ablation.
+func BenchmarkMicroAllreduce(b *testing.B) {
+	for _, alg := range []struct {
+		name string
+		fn   func(t *mpi.Task, send, recv []float64)
+	}{
+		{"ReduceBcast", func(t *mpi.Task, send, recv []float64) {
+			mpi.Allreduce(t, nil, send, recv, mpi.OpSum)
+		}},
+		{"RecursiveDoubling", func(t *mpi.Task, send, recv []float64) {
+			mpi.AllreduceRD(t, nil, send, recv, mpi.OpSum)
+		}},
+	} {
+		b.Run(alg.name, func(b *testing.B) {
+			w, err := mpi.NewWorld(mpi.Config{NumTasks: 32})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			err = w.Run(func(task *mpi.Task) error {
+				send := []float64{float64(task.Rank())}
+				recv := make([]float64, 1)
+				for i := 0; i < b.N; i++ {
+					alg.fn(task, send, recv)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkMicroRuntimeP2P measures the runtime's point-to-point path
+// (eager protocol, ping-pong between two tasks).
+func BenchmarkMicroRuntimeP2P(b *testing.B) {
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	err = w.Run(func(task *mpi.Task) error {
+		buf := make([]float64, 8)
+		for i := 0; i < b.N; i++ {
+			if task.Rank() == 0 {
+				mpi.Send(task, nil, buf, 1, 0)
+				mpi.Recv(task, nil, buf, 1, 1)
+			} else {
+				mpi.Recv(task, nil, buf, 0, 0)
+				mpi.Send(task, nil, buf, 0, 1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

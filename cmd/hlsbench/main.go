@@ -1,0 +1,132 @@
+// Command hlsbench regenerates the paper's evaluation (§V): Table I,
+// Figure 3, Tables II-IV and the micro/ablation measurements.
+//
+// Usage:
+//
+//	hlsbench -exp all            # quick profile, every experiment
+//	hlsbench -exp table1 -full   # paper-shaped sweep for one experiment
+//
+// Shapes — who wins, by what factor, where the crossovers fall — are the
+// reproduction target; absolute numbers come from the scaled simulators
+// (see DESIGN.md §6 and EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hls/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|all")
+	full := flag.Bool("full", false, "run the paper-shaped sweep instead of the quick profile")
+	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	flag.Parse()
+
+	writeCSV := func(name string, fn func(w io.Writer) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			exitOn(err)
+		}
+		path := filepath.Join(*csvDir, name)
+		f, err := os.Create(path)
+		exitOn(err)
+		defer f.Close()
+		exitOn(fn(f))
+		fmt.Println("wrote", path)
+	}
+
+	profile := bench.Quick
+	if *full {
+		profile = bench.Full
+	}
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		fmt.Printf("== Table I (%s profile) ==\n", profile)
+		cells, err := bench.RunTableI(profile)
+		exitOn(err)
+		bench.PrintTableI(os.Stdout, cells)
+		writeCSV("table1.csv", func(w io.Writer) error { return bench.WriteTableICSV(w, cells) })
+		fmt.Println()
+	}
+	if want("fig3") {
+		ran = true
+		fmt.Printf("== Figure 3 (%s profile) ==\n", profile)
+		for _, update := range []bool{false, true} {
+			pts, err := bench.RunFigure3(profile, update)
+			exitOn(err)
+			bench.PrintFigure3(os.Stdout, pts, update)
+			name := "fig3_noupdate.csv"
+			if update {
+				name = "fig3_update.csv"
+			}
+			upd := update
+			writeCSV(name, func(w io.Writer) error { return bench.WriteFigure3CSV(w, pts, upd) })
+			fmt.Println()
+		}
+	}
+	if want("table2") {
+		ran = true
+		fmt.Printf("== Table II (%s profile) ==\n", profile)
+		rows, err := bench.RunTableII(profile)
+		exitOn(err)
+		bench.PrintMemRows(os.Stdout, "Table II: EulerMHD execution time and memory consumption", rows,
+			"256 cores: HLS 651 / MPC 1570 / Open MPI 1715 MB avg; times equal")
+		writeCSV("table2.csv", func(w io.Writer) error { return bench.WriteMemRowsCSV(w, rows) })
+		fmt.Println()
+	}
+	if want("table3") {
+		ran = true
+		fmt.Printf("== Table III (%s profile) ==\n", profile)
+		rows, err := bench.RunTableIII(profile)
+		exitOn(err)
+		bench.PrintMemRows(os.Stdout, "Table III: Gadget-2 execution time and memory consumption", rows,
+			"256 cores: HLS 703 / MPC 938 / Open MPI 1731 MB avg; times equal")
+		writeCSV("table3.csv", func(w io.Writer) error { return bench.WriteMemRowsCSV(w, rows) })
+		fmt.Println()
+	}
+	if want("table4") {
+		ran = true
+		fmt.Printf("== Table IV (%s profile) ==\n", profile)
+		res, err := bench.RunTableIV(profile)
+		exitOn(err)
+		bench.PrintMemRows(os.Stdout, "Table IV: Tachyon execution time and memory consumption", res.Rows,
+			"736 cores: HLS 748 / MPC 4786 / Open MPI 4885 MB avg; HLS faster (83 vs 88 s)")
+		writeCSV("table4.csv", func(w io.Writer) error { return bench.WriteMemRowsCSV(w, res.Rows) })
+		fmt.Printf("intra-node copies elided by the shared image: %d\n\n", res.ElidedCopies)
+	}
+	if want("micro") {
+		ran = true
+		fmt.Printf("== Micro-benchmarks / ablations (%s profile) ==\n", profile)
+		results, err := bench.RunMicro(profile)
+		exitOn(err)
+		bench.PrintMicro(os.Stdout, results)
+		fmt.Println()
+		hres, err := bench.RunHybridAblation(profile)
+		exitOn(err)
+		bench.PrintHybrid(os.Stdout, hres)
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, strings.TrimSpace(err.Error()))
+		os.Exit(1)
+	}
+}

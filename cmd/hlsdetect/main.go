@@ -1,0 +1,128 @@
+// Command hlsdetect demonstrates the paper's §III analysis and its
+// conclusion's future-work idea: record every access to instrumented
+// global variables during one execution — together with the
+// happens-before edges induced by the MPI calls — and decide which
+// variables can use HLS.
+//
+// It ships four MPI demo programs, each instrumenting a different sharing
+// pattern:
+//
+//	constants   a read-only physics table            -> eligible, no sync
+//	phased      SPMD writes without synchronization  -> eligible with single
+//	rank        a variable holding the MPI rank      -> ineligible
+//	pipeline    write, send, receive, read           -> eligible, no sync
+//
+// Usage: hlsdetect [-demo constants|phased|rank|pipeline|all] [-tasks N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hls/internal/detect"
+	"hls/internal/hb"
+	"hls/internal/mpi"
+)
+
+type demo struct {
+	name string
+	doc  string
+	body func(task *mpi.Task, rec *detect.Recorder)
+}
+
+var demos = []demo{
+	{
+		name: "constants",
+		doc:  "every task repeatedly reads a constant table",
+		body: func(task *mpi.Task, rec *detect.Recorder) {
+			for i := 0; i < 4; i++ {
+				rec.Read(task.Rank(), "phys_table", detect.HashFloat64(6.674e-11))
+			}
+		},
+	},
+	{
+		name: "phased",
+		doc:  "every task writes the same phase values without synchronization",
+		body: func(task *mpi.Task, rec *detect.Recorder) {
+			rec.Write(task.Rank(), "phase_param", detect.HashUint64(10))
+			rec.Read(task.Rank(), "phase_param", detect.HashUint64(10))
+			rec.Write(task.Rank(), "phase_param", detect.HashUint64(20))
+			rec.Read(task.Rank(), "phase_param", detect.HashUint64(20))
+		},
+	},
+	{
+		name: "rank",
+		doc:  "each task stores its own MPI rank",
+		body: func(task *mpi.Task, rec *detect.Recorder) {
+			rec.Write(task.Rank(), "my_rank", detect.HashUint64(uint64(task.Rank())))
+			rec.Read(task.Rank(), "my_rank", detect.HashUint64(uint64(task.Rank())))
+		},
+	},
+	{
+		name: "pipeline",
+		doc:  "rank 0 writes a config, message-orders it to readers",
+		body: func(task *mpi.Task, rec *detect.Recorder) {
+			if task.Rank() == 0 {
+				rec.Write(0, "config", detect.HashUint64(5))
+				for dst := 1; dst < task.Size(); dst++ {
+					mpi.Send(task, nil, []int{1}, dst, 0)
+				}
+			} else {
+				buf := make([]int, 1)
+				mpi.Recv(task, nil, buf, 0, 0)
+				rec.Read(task.Rank(), "config", detect.HashUint64(5))
+			}
+		},
+	},
+}
+
+func main() {
+	which := flag.String("demo", "all", "demo to run: constants|phased|rank|pipeline|all")
+	tasks := flag.Int("tasks", 4, "number of MPI tasks")
+	suggest := flag.Bool("suggest", false, "also print //hls: directive suggestions")
+	flag.Parse()
+
+	ran := false
+	for _, d := range demos {
+		if *which != "all" && *which != d.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("== demo %q: %s ==\n", d.name, d.doc)
+		tr := hb.NewTracker(*tasks)
+		rec := detect.NewRecorder(tr)
+		_, err := mpi.Run(mpi.Config{NumTasks: *tasks, Hooks: tr, Timeout: 30 * time.Second},
+			func(task *mpi.Task) error {
+				d.body(task, rec)
+				return nil
+			})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hlsdetect:", err)
+			os.Exit(1)
+		}
+		findings := rec.Analyze()
+		for _, f := range findings {
+			fmt.Printf("  %-14s %-40s reads=%d writes=%d incoherent=%d\n",
+				f.Var, f.Verdict, f.Reads, f.Writes, f.IncoherentReads)
+			if f.Reason != "" {
+				fmt.Printf("  %14s %s\n", "", f.Reason)
+			}
+		}
+		if *suggest {
+			fmt.Println("  suggested directives:")
+			for _, line := range strings.Split(strings.TrimRight(
+				detect.FormatSuggestions(detect.Suggest(findings)), "\n"), "\n") {
+				fmt.Println("   ", line)
+			}
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown demo %q\n", *which)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,43 @@
+// Command hlsgen is the directive processor — the Go counterpart of the
+// paper's modified GCC front-end (-fhls). It scans the Go files of a
+// package for //hls: comments on global variable declarations, enforces
+// the directive's static rules (global, valid scope, never accessed
+// directly), and emits the registration/accessor boilerplate into
+// hls_gen.go.
+//
+// Usage:
+//
+//	hlsgen -dir path/to/pkg          # writes path/to/pkg/hls_gen.go
+//	hlsgen -dir path/to/pkg -stdout  # prints instead of writing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hls/internal/gen"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "package directory to scan")
+	stdout := flag.Bool("stdout", false, "print the generated file instead of writing hls_gen.go")
+	flag.Parse()
+
+	out, err := gen.ProcessDir(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hlsgen:", err)
+		os.Exit(1)
+	}
+	if *stdout {
+		fmt.Print(out)
+		return
+	}
+	target := filepath.Join(*dir, "hls_gen.go")
+	if err := os.WriteFile(target, []byte(out), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "hlsgen:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", target)
+}

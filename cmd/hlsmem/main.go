@@ -1,0 +1,114 @@
+// Command hlsmem reenacts the paper's memory measurement (§V-B): run one
+// of the three applications under a chosen runtime variant, sample
+// per-node memory at every step like the paper's 0.1 s monitor, and write
+// the timeline as CSV plus the avg/max summary the tables print.
+//
+// Usage:
+//
+//	hlsmem -app eulermhd|gadget|tachyon -variant hls|mpc|openmpi \
+//	       -cores 16 [-csv mem.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hls/internal/apps/eulermhd"
+	"hls/internal/apps/gadget"
+	"hls/internal/apps/tachyon"
+	"hls/internal/hls"
+	"hls/internal/memsim"
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+func main() {
+	app := flag.String("app", "eulermhd", "application: eulermhd|gadget|tachyon")
+	variant := flag.String("variant", "hls", "runtime variant: hls|mpc|openmpi")
+	cores := flag.Int("cores", 16, "total MPI tasks (multiple of 8, 8 per node)")
+	csvPath := flag.String("csv", "", "write the per-node memory timeline CSV here")
+	flag.Parse()
+
+	if *cores < 8 || *cores%8 != 0 {
+		fail(fmt.Errorf("cores = %d, want a positive multiple of 8", *cores))
+	}
+	useHLS := false
+	model := memsim.ModelMPC
+	switch *variant {
+	case "hls":
+		useHLS = true
+	case "mpc":
+	case "openmpi":
+		model = memsim.ModelOpenMPI
+	default:
+		fail(fmt.Errorf("unknown variant %q", *variant))
+	}
+
+	machine := topology.HarpertownCluster(*cores / 8)
+	world, err := mpi.NewWorld(mpi.Config{
+		NumTasks: *cores,
+		Machine:  machine,
+		Pin:      topology.PinCorePerTask,
+		Timeout:  10 * time.Minute,
+	})
+	fail(err)
+	tracker := memsim.NewTracker(machine, world.Pinning())
+	for node := 0; node < machine.Nodes(); node++ {
+		tracker.AllocNode(node, memsim.RuntimeBytesPerNode(model, 8, *cores), memsim.KindRuntime)
+	}
+	reg := hls.New(world, hls.WithTracker(tracker))
+
+	var body func(task *mpi.Task) error
+	switch *app {
+	case "eulermhd":
+		a, err := eulermhd.New(reg, eulermhd.Config{
+			Machine: machine, Tasks: *cores, NX: 32, RowsPerTask: 2, Steps: 6,
+			TableN: 32, UseHLS: useHLS, Tracker: tracker,
+		})
+		fail(err)
+		body = func(task *mpi.Task) error { _, err := a.Run(task); return err }
+	case "gadget":
+		a, err := gadget.New(reg, gadget.Config{
+			Machine: machine, Tasks: *cores, ParticlesPerTask: 8, Steps: 4,
+			EwaldN: 6, UseHLS: useHLS, Tracker: tracker, Seed: 17,
+		})
+		fail(err)
+		body = func(task *mpi.Task) error { _, err := a.Run(task); return err }
+	case "tachyon":
+		a, err := tachyon.New(reg, tachyon.Config{
+			Machine: machine, Tasks: *cores, W: 24, H: *cores, Frames: 3,
+			Spheres: 24, Triangles: 8, UseHLS: useHLS, Tracker: tracker, Seed: 4,
+		})
+		fail(err)
+		body = func(task *mpi.Task) error { _, err := a.Run(task); return err }
+	default:
+		fail(fmt.Errorf("unknown app %q", *app))
+	}
+
+	start := time.Now()
+	fail(world.Run(body))
+	elapsed := time.Since(start)
+
+	rep := tracker.Report()
+	fmt.Printf("%s / %s on %d cores (%d nodes): %.3fs\n",
+		*app, *variant, *cores, machine.Nodes(), elapsed.Seconds())
+	fmt.Printf("avg. mem %.0f MB (per-node time-average, mean over nodes)\n", memsim.MB(rep.AvgBytes))
+	fmt.Printf("max. mem %.0f MB\n", memsim.MB(rep.MaxBytes))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		fail(err)
+		defer f.Close()
+		fail(tracker.WriteCSV(f))
+		fmt.Println("wrote", *csvPath)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hlsmem:", err)
+		os.Exit(1)
+	}
+}

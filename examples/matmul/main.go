@@ -1,0 +1,109 @@
+// Matrix multiplication with a common matrix — the paper's listing 4 /
+// §II-D2.
+//
+// Every MPI task repeatedly computes C ← A·B + C where B is common to all
+// tasks. B is declared HLS with node scope; its initialization and
+// deallocation happen inside a single, as in the listing. The example
+// verifies the HLS result matches the private-copy run and prints the
+// real wall-clock rate of each mode.
+//
+// Run with: go run ./examples/matmul
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"hls/internal/apps/matmul"
+	"hls/internal/hls"
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+const (
+	n     = 96 // matrix dimension
+	steps = 4
+	tasks = 8
+)
+
+func run(useHLS bool) (checksum float64, elapsed time.Duration) {
+	machine := topology.HarpertownCluster(1)
+	world, err := mpi.NewWorld(mpi.Config{NumTasks: tasks, Machine: machine, Pin: topology.PinCorePerTask})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := hls.New(world)
+
+	// double *B;  #pragma hls node(B)
+	var bVar *hls.Var[float64]
+	if useHLS {
+		bVar = hls.Declare[float64](reg, "B", topology.Node, n*n)
+	}
+
+	sums := make([]float64, tasks)
+	start := time.Now()
+	err = world.Run(func(task *mpi.Task) error {
+		rank := task.Rank()
+		rng := rand.New(rand.NewSource(int64(rank) + 1))
+		a := make([]float64, n*n)
+		c := make([]float64, n*n)
+		for i := range a {
+			a[i] = rng.Float64()
+		}
+
+		var b []float64
+		if bVar != nil {
+			// #pragma hls single(B) { init_matrix(&B, K*M); }
+			bVar.Single(task, func(data []float64) { fillB(data) })
+			b = bVar.Slice(task)
+		} else {
+			b = make([]float64, n*n)
+			fillB(b)
+		}
+
+		for t := 0; t < steps; t++ {
+			matmul.Dgemm(c, a, b, n, n, n)
+			mpi.Barrier(task, nil)
+		}
+		for _, v := range c {
+			sums[rank] += v
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0.0
+	for _, s := range sums {
+		total += s
+	}
+	return total, time.Since(start)
+}
+
+// fillB writes the deterministic common matrix.
+func fillB(b []float64) {
+	rng := rand.New(rand.NewSource(42))
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+}
+
+func main() {
+	fmt.Printf("C <- A*B + C, %d tasks, N=%d, %d steps\n\n", tasks, n, steps)
+	privSum, privT := run(false)
+	hlsSum, hlsT := run(true)
+	flops := 2.0 * n * n * n * steps * tasks
+	fmt.Printf("  private B : checksum=%.6g  %8v  (%.2f GFLOPS aggregate)\n",
+		privSum, privT.Round(time.Millisecond), flops/privT.Seconds()/1e9)
+	fmt.Printf("  HLS B     : checksum=%.6g  %8v  (%.2f GFLOPS aggregate)\n",
+		hlsSum, hlsT.Round(time.Millisecond), flops/hlsT.Seconds()/1e9)
+	if privSum == hlsSum {
+		fmt.Println("\nresults identical ✓ — sharing B changed memory, not semantics")
+	} else {
+		fmt.Println("\nRESULTS DIFFER — this is a bug")
+	}
+	fmt.Printf("memory for B: private %d x %.1f MB, HLS 1 x %.1f MB per node\n",
+		tasks, float64(n*n*8)/(1<<20), float64(n*n*8)/(1<<20))
+}

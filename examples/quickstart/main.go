@@ -1,0 +1,63 @@
+// Quickstart: the smallest complete HLS program.
+//
+// It mirrors the paper's listing 3 skeleton: a "physics constants" table
+// is declared with node scope (one copy per node instead of one per MPI
+// task), initialized by exactly one task inside a single directive, and
+// then read by every task.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hls/internal/hls"
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+func main() {
+	// A node with 2 sockets x 4 cores; one MPI task per core.
+	machine := topology.HarpertownCluster(1)
+	world, err := mpi.NewWorld(mpi.Config{
+		NumTasks: machine.TotalCores(),
+		Machine:  machine,
+		Pin:      topology.PinCorePerTask,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The HLS registry owns scoped storage and synchronization.
+	reg := hls.New(world)
+
+	// #pragma hls node(table)
+	table := hls.Declare[float64](reg, "table", topology.Node, 1024)
+
+	err = world.Run(func(task *mpi.Task) error {
+		// #pragma hls single(table) { load_table(); }
+		// The last task to arrive executes the block; the implicit
+		// barrier guarantees everyone sees the loaded table afterwards.
+		table.Single(task, func(data []float64) {
+			fmt.Printf("rank %d loads the table (once per node)\n", task.Rank())
+			for i := range data {
+				data[i] = float64(i) * 0.5
+			}
+		})
+
+		// Every task reads the same copy.
+		sum := 0.0
+		for _, v := range table.Slice(task) {
+			sum += v
+		}
+		fmt.Printf("rank %d (node %d): sum = %.1f\n", task.Rank(), task.Place().Node, sum)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ntable instances materialized: %d (machine could hold %d; a private copy per task would be %d)\n",
+		table.Instances(), table.MaxInstances(), world.Size())
+}

@@ -1,0 +1,75 @@
+// Tracing: record a run's messages and HLS directives and export a
+// Chrome-trace file (chrome://tracing or https://ui.perfetto.dev).
+//
+// The recorder wraps the happens-before tracker, so the same run that
+// produces the timeline also feeds the §III eligibility analysis — one
+// instrumented execution, two artifacts.
+//
+// Run with: go run ./examples/tracing   (writes trace.json)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hls/internal/hb"
+	"hls/internal/hls"
+	"hls/internal/mpi"
+	"hls/internal/topology"
+	"hls/internal/trace"
+)
+
+func main() {
+	const tasks = 8
+	machine := topology.HarpertownCluster(1)
+
+	rec := trace.NewRecorder()
+	clocks := hb.NewTracker(tasks)
+	world, err := mpi.NewWorld(mpi.Config{
+		NumTasks: tasks,
+		Machine:  machine,
+		Pin:      topology.PinCorePerTask,
+		Hooks:    &trace.MPIAdapter{R: rec, Inner: clocks},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := hls.New(world, hls.WithObserver(&trace.SyncAdapter{R: rec, Inner: clocks}))
+	table := hls.Declare[float64](reg, "table", topology.Node, 512)
+
+	err = world.Run(func(task *mpi.Task) error {
+		defer rec.Span(task.Rank(), "task", "run")()
+
+		table.Single(task, func(data []float64) {
+			for i := range data {
+				data[i] = float64(i)
+			}
+		})
+		for step := 0; step < 3; step++ {
+			end := rec.Span(task.Rank(), fmt.Sprintf("step %d", step), "compute")
+			sum := 0.0
+			for _, v := range table.Slice(task) {
+				sum += v
+			}
+			end()
+			out := []float64{sum}
+			in := make([]float64, 1)
+			mpi.Allreduce(task, nil, out, in, mpi.OpSum)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create("trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := rec.WriteJSON(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote trace.json with %d events (open in chrome://tracing)\n", rec.Len())
+}

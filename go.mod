@@ -1,0 +1,3 @@
+module hls
+
+go 1.22

@@ -1,0 +1,210 @@
+package eulermhd
+
+import (
+	"fmt"
+	"time"
+
+	"hls/internal/hls"
+	"hls/internal/memsim"
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+// Config parametrizes a distributed EulerMHD run.
+type Config struct {
+	Machine *topology.Machine
+	Tasks   int
+	// NX is the global mesh width; RowsPerTask the rows each task owns
+	// (global height = Tasks * RowsPerTask).
+	NX          int
+	RowsPerTask int
+	Steps       int
+	// TableN is the (scaled) EOS table dimension (TableN² float64).
+	TableN int
+	// UseHLS shares the EOS table per node; otherwise each task holds a
+	// private copy (the regular MPI program).
+	UseHLS bool
+	// CFL is the time-step safety factor (default 0.4).
+	CFL float64
+	// Order selects the spatial order: 1 (Rusanov, default) or 2 (MUSCL
+	// with minmod slopes, two ghost layers).
+	Order int
+
+	// Tracker, when set, accounts memory in paper-scale bytes.
+	Tracker *memsim.Tracker
+	// PaperMeshCells is the full-scale global cell count used for
+	// accounting (the paper ran 4096²).
+	PaperMeshCells int64
+	// PaperCellBytes is the full-scale per-cell storage. The default of
+	// 896 B (14 copies of the 8-variable state: old/new state, split
+	// fluxes and workspace of the high-order Lagrange-remap scheme) is
+	// fitted to Table II's non-table footprint.
+	PaperCellBytes int64
+	// PaperTableBytes is the full-scale EOS table size (≈128 MB).
+	PaperTableBytes int64
+}
+
+func (c *Config) validate() error {
+	if c.Machine == nil || c.Tasks < 1 || c.NX < 4 || c.RowsPerTask < 1 || c.Steps < 1 || c.TableN < 2 {
+		return fmt.Errorf("eulermhd: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Diagnostics summarizes a run for verification and the Table II row.
+type Diagnostics struct {
+	Mass    float64 // conserved up to round-off (periodic domain)
+	Energy  float64
+	Elapsed time.Duration
+}
+
+// App wires the solver to the MPI runtime and HLS registry.
+type App struct {
+	cfg Config
+	eos *hls.Var[float64] // nil when UseHLS is false
+}
+
+// New declares the HLS EOS table (node scope) when cfg.UseHLS is set.
+// Call once before the world runs.
+func New(reg *hls.Registry, cfg Config) (*App, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CFL == 0 {
+		cfg.CFL = 0.4
+	}
+	if cfg.Order == 0 {
+		cfg.Order = 1
+	}
+	if cfg.Order != 1 && cfg.Order != 2 {
+		return nil, fmt.Errorf("eulermhd: unsupported order %d", cfg.Order)
+	}
+	if cfg.RowsPerTask < cfg.Order {
+		return nil, fmt.Errorf("eulermhd: %d rows per task cannot feed a %d-layer halo", cfg.RowsPerTask, cfg.Order)
+	}
+	if cfg.PaperTableBytes == 0 {
+		cfg.PaperTableBytes = 128 << 20
+	}
+	if cfg.PaperMeshCells == 0 {
+		cfg.PaperMeshCells = 4096 * 4096
+	}
+	if cfg.PaperCellBytes == 0 {
+		cfg.PaperCellBytes = 896
+	}
+	a := &App{cfg: cfg}
+	if cfg.UseHLS {
+		a.eos = hls.Declare[float64](reg, "eos_table", topology.Node, cfg.TableN*cfg.TableN,
+			hls.WithAccountBytes[float64](cfg.PaperTableBytes))
+	}
+	return a, nil
+}
+
+// Run executes the solver as one MPI task.
+func (a *App) Run(task *mpi.Task) (Diagnostics, error) {
+	cfg := a.cfg
+	start := time.Now()
+	rank, size := task.Rank(), task.Size()
+	globalNY := cfg.RowsPerTask * size
+
+	// Mesh allocation (always task-private), accounted at paper scale.
+	var meshAlloc *memsim.Alloc
+	if cfg.Tracker != nil {
+		meshBytes := cfg.PaperMeshCells / int64(size) * cfg.PaperCellBytes
+		meshAlloc = cfg.Tracker.AllocRank(rank, meshBytes, memsim.KindApp)
+		defer cfg.Tracker.Free(meshAlloc)
+	}
+	g := NewGridGhosts(cfg.NX, cfg.RowsPerTask, cfg.Order)
+	g.InitOrszagTang(rank*cfg.RowsPerTask, globalNY)
+
+	// EOS table: HLS-shared, initialized once per node inside a single
+	// (the paper's one-pragma change), or private per task.
+	table := &EOSTable{N: cfg.TableN, RhoMin: 0.01, RhoMax: 20, EMin: 0.01, EMax: 40}
+	if a.eos != nil {
+		a.eos.Single(task, func(data []float64) {
+			FillEOS(data, cfg.TableN, table.RhoMin, table.RhoMax, table.EMin, table.EMax)
+		})
+		table.P = a.eos.Slice(task)
+	} else {
+		var privAlloc *memsim.Alloc
+		if cfg.Tracker != nil {
+			privAlloc = cfg.Tracker.AllocRank(rank, cfg.PaperTableBytes, memsim.KindApp)
+			defer cfg.Tracker.Free(privAlloc)
+		}
+		table.P = make([]float64, cfg.TableN*cfg.TableN)
+		table.Fill()
+	}
+
+	dxy := 1.0 / float64(maxI(cfg.NX, globalNY))
+	sig := make([]float64, 1)
+	smax := make([]float64, 1)
+	for step := 0; step < cfg.Steps; step++ {
+		// Global CFL reduction.
+		sig[0] = g.MaxSignal(table)
+		mpi.Allreduce(task, nil, sig, smax, mpi.OpMax)
+		dt := cfg.CFL * dxy / smax[0]
+
+		g.FillGhostX()
+		a.exchangeGhostRows(task, g)
+		if cfg.Order == 2 {
+			g.SweepX2(dt, table)
+		} else {
+			g.SweepX(dt, table)
+		}
+
+		g.FillGhostX()
+		a.exchangeGhostRows(task, g)
+		if cfg.Order == 2 {
+			g.SweepY2(dt, globalNY, table)
+		} else {
+			g.SweepY(dt, globalNY, table)
+		}
+
+		if cfg.Tracker != nil && rank == 0 {
+			cfg.Tracker.Sample()
+		}
+	}
+	if err := g.CheckFinite(); err != nil {
+		return Diagnostics{}, err
+	}
+
+	// Conservation diagnostics.
+	local := []float64{g.Mass(globalNY), g.Energy(globalNY)}
+	global := make([]float64, 2)
+	mpi.Allreduce(task, nil, local, global, mpi.OpSum)
+	return Diagnostics{
+		Mass:    global[0],
+		Energy:  global[1],
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// exchangeGhostRows fills every y ghost layer from the periodic
+// neighbours: rank r+1 owns the rows above, r-1 below. A grid with G
+// ghost layers exchanges G rows in each direction — the wider halo a
+// higher-order scheme needs.
+func (a *App) exchangeGhostRows(task *mpi.Task, g *Grid) {
+	size := task.Size()
+	if size == 1 {
+		for l := 1; l <= g.Ghosts; l++ {
+			copy(g.Row(-l), g.Row(g.NY-l))
+			copy(g.Row(g.NY+l-1), g.Row(l-1))
+		}
+		return
+	}
+	rank := task.Rank()
+	up := (rank + 1) % size
+	down := (rank - 1 + size) % size
+	for l := 1; l <= g.Ghosts; l++ {
+		// Interior row NY-l -> up's ghost -l; receive our ghost -l.
+		mpi.Sendrecv(task, nil, g.Row(g.NY-l), up, 100+2*l, g.Row(-l), down, 100+2*l)
+		// Interior row l-1 -> down's ghost NY+l-1; receive ours.
+		mpi.Sendrecv(task, nil, g.Row(l-1), down, 101+2*l, g.Row(g.NY+l-1), up, 101+2*l)
+	}
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,257 @@
+package eulermhd
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hls/internal/hls"
+	"hls/internal/memsim"
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+func TestEOSTableExactness(t *testing.T) {
+	// p = (γ-1)ρe is bilinear, so the table must reproduce it exactly at
+	// arbitrary in-range points.
+	tab := NewEOSTable(32)
+	for _, c := range []struct{ rho, e float64 }{
+		{1, 1}, {2.7, 0.9}, {0.5, 3.3}, {19.9, 39.9}, {0.011, 0.011},
+	} {
+		want := (Gamma - 1) * c.rho * c.e
+		got := tab.Pressure(c.rho, c.e)
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("P(%v,%v) = %v, want %v", c.rho, c.e, got, want)
+		}
+	}
+}
+
+func TestEOSTableClamps(t *testing.T) {
+	tab := NewEOSTable(16)
+	if p := tab.Pressure(-5, 1); p < 0 || math.IsNaN(p) {
+		t.Errorf("out-of-range pressure = %v", p)
+	}
+	if p := tab.Pressure(1e9, 1e9); math.IsInf(p, 0) || math.IsNaN(p) {
+		t.Errorf("clamped pressure = %v", p)
+	}
+}
+
+func TestUniformStateIsSteady(t *testing.T) {
+	// A uniform state with no velocity and no field must be an exact
+	// steady state of the scheme.
+	g := NewGrid(16, 16)
+	for j := 0; j < 16; j++ {
+		for i := 0; i < 16; i++ {
+			c := g.At(i, j)
+			c[iRho] = 1
+			c[iE] = 1.5 // p = (γ-1)ρe -> e=1.5, p=1 for γ=5/3
+		}
+	}
+	eos := NewEOSTable(32)
+	g.FillGhostX()
+	copy(g.Row(-1), g.Row(15))
+	copy(g.Row(16), g.Row(0))
+	g.SweepX(0.01, eos)
+	g.FillGhostX()
+	copy(g.Row(-1), g.Row(15))
+	copy(g.Row(16), g.Row(0))
+	g.SweepY(0.01, 16, eos)
+	for j := 0; j < 16; j++ {
+		for i := 0; i < 16; i++ {
+			c := g.At(i, j)
+			if math.Abs(c[iRho]-1) > 1e-12 || math.Abs(c[iE]-1.5) > 1e-12 ||
+				math.Abs(c[iMx]) > 1e-12 || math.Abs(c[iMy]) > 1e-12 {
+				t.Fatalf("uniform state drifted at (%d,%d): %v", i, j, c)
+			}
+		}
+	}
+}
+
+func run(t *testing.T, cfg Config) Diagnostics {
+	t.Helper()
+	w, err := mpi.NewWorld(mpi.Config{
+		NumTasks: cfg.Tasks, Machine: cfg.Machine, Pin: topology.PinCorePerTask,
+		Timeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := hls.New(w)
+	app, err := New(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diag Diagnostics
+	if err := w.Run(func(task *mpi.Task) error {
+		d, err := app.Run(task)
+		if err != nil {
+			return err
+		}
+		if task.Rank() == 0 {
+			diag = d
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return diag
+}
+
+func TestMassConservation(t *testing.T) {
+	cfg := Config{
+		Machine: topology.NehalemEX4(), Tasks: 4,
+		NX: 32, RowsPerTask: 8, Steps: 10, TableN: 32, UseHLS: true,
+	}
+	d := run(t, cfg)
+	want := Gamma * Gamma // uniform initial density over unit area
+	if math.Abs(d.Mass-want) > 1e-9*want {
+		t.Errorf("mass = %v, want %v (conservation broken)", d.Mass, want)
+	}
+	if d.Energy <= 0 || math.IsNaN(d.Energy) {
+		t.Errorf("energy = %v", d.Energy)
+	}
+}
+
+func TestHLSMatchesPrivate(t *testing.T) {
+	// The solver must produce bit-identical diagnostics whether the EOS
+	// table is HLS-shared or duplicated.
+	base := Config{
+		Machine: topology.NehalemEX4(), Tasks: 8,
+		NX: 24, RowsPerTask: 4, Steps: 8, TableN: 24,
+	}
+	priv := base
+	priv.UseHLS = false
+	shared := base
+	shared.UseHLS = true
+	dp := run(t, priv)
+	ds := run(t, shared)
+	if dp.Mass != ds.Mass || dp.Energy != ds.Energy {
+		t.Errorf("HLS changed results: mass %v vs %v, energy %v vs %v",
+			dp.Mass, ds.Mass, dp.Energy, ds.Energy)
+	}
+}
+
+func TestDecompositionInvariance(t *testing.T) {
+	// The same global mesh split over 2 vs 4 tasks must give the same
+	// mass and energy (up to round-off of the reduction order).
+	d2 := run(t, Config{Machine: topology.NehalemEX4(), Tasks: 2,
+		NX: 16, RowsPerTask: 8, Steps: 6, TableN: 24, UseHLS: true})
+	d4 := run(t, Config{Machine: topology.NehalemEX4(), Tasks: 4,
+		NX: 16, RowsPerTask: 4, Steps: 6, TableN: 24, UseHLS: true})
+	if math.Abs(d2.Mass-d4.Mass) > 1e-9 {
+		t.Errorf("mass differs across decompositions: %v vs %v", d2.Mass, d4.Mass)
+	}
+	if math.Abs(d2.Energy-d4.Energy) > 1e-9*math.Abs(d2.Energy) {
+		t.Errorf("energy differs across decompositions: %v vs %v", d2.Energy, d4.Energy)
+	}
+}
+
+func TestVortexEvolves(t *testing.T) {
+	// The Orszag-Tang vortex must actually transport density (the solver
+	// is not a no-op): total energy is conserved, but the density field
+	// departs from its uniform initial state.
+	const n = 16
+	g := NewGrid(n, n)
+	g.InitOrszagTang(0, n)
+	eos := NewEOSTable(32)
+	ghost := func() {
+		g.FillGhostX()
+		copy(g.Row(-1), g.Row(n-1))
+		copy(g.Row(n), g.Row(0))
+	}
+	for step := 0; step < 12; step++ {
+		dt := 0.4 / float64(n) / g.MaxSignal(eos)
+		ghost()
+		g.SweepX(dt, eos)
+		ghost()
+		g.SweepY(dt, n, eos)
+	}
+	if err := g.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+	drift := 0.0
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			d := g.At(i, j)[iRho] - Gamma*Gamma
+			drift += d * d
+		}
+	}
+	if drift < 1e-6 {
+		t.Errorf("density drift = %g, want > 0; solver inert", drift)
+	}
+}
+
+func TestMemoryAccountingTable2Shape(t *testing.T) {
+	// One 8-core node, 8 tasks: HLS must save 7 x table bytes.
+	machine := topology.HarpertownCluster(1)
+	runWith := func(useHLS bool) float64 {
+		pin := topology.MustPin(machine, 8, topology.PinCorePerTask)
+		tracker := memsim.NewTracker(machine, pin)
+		w, err := mpi.NewWorld(mpi.Config{NumTasks: 8, Machine: machine,
+			Pin: topology.PinCorePerTask, Timeout: 60 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := hls.New(w, hls.WithTracker(tracker))
+		app, err := New(reg, Config{
+			Machine: machine, Tasks: 8, NX: 16, RowsPerTask: 2, Steps: 3,
+			TableN: 16, UseHLS: useHLS, Tracker: tracker,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(func(task *mpi.Task) error {
+			_, err := app.Run(task)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return tracker.Report().AvgBytes
+	}
+	priv := runWith(false)
+	shared := runWith(true)
+	saving := priv - shared
+	want := 7 * float64(128<<20)
+	if math.Abs(saving-want) > 0.02*want {
+		t.Errorf("HLS saving = %.0f MB, want ≈ %.0f MB",
+			memsim.MB(saving), memsim.MB(want))
+	}
+}
+
+func TestNodeScopeIsolationAcrossNodes(t *testing.T) {
+	// On a 2-node cluster the node-scope EOS table must materialize one
+	// instance per node — HLS shares within a node, never across nodes
+	// (the paper's contrast with DSM systems).
+	machine := topology.HarpertownCluster(2)
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: 16, Machine: machine,
+		Pin: topology.PinCorePerTask, Timeout: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := hls.New(w)
+	app, err := New(reg, Config{
+		Machine: machine, Tasks: 16, NX: 16, RowsPerTask: 2, Steps: 3,
+		TableN: 16, UseHLS: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(task *mpi.Task) error {
+		_, err := app.Run(task)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, info := range reg.Report() {
+		if info.Name == "eos_table" {
+			found = true
+			if info.Instances != 2 {
+				t.Errorf("eos_table instances = %d, want 2 (one per node)", info.Instances)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("eos_table not in registry report")
+	}
+}

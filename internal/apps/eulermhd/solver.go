@@ -1,0 +1,377 @@
+// Package eulermhd is the Table II application: a 2-D ideal
+// magnetohydrodynamics (MHD) solver on a Cartesian mesh, patterned after
+// the paper's EulerMHD code (dimensionally split finite volumes). The gas
+// equation of state is evaluated through a precomputed 2-D table (pressure
+// as a function of density and internal energy) — the structure that is
+// "constant over all MPI tasks and can thus use HLS". At the paper's scale
+// the table is ~128 MB; the reproduction runs a scaled table and accounts
+// paper-scale bytes through the memory tracker.
+//
+// The solver integrates the 8-variable conservative MHD state
+// (ρ, ρu, ρv, ρw, Bx, By, Bz, E) with first-order Rusanov fluxes and
+// dimensional splitting, on a 1-D row decomposition with periodic
+// boundaries: ghost rows travel between neighbouring ranks, so the run
+// exercises real halo exchange on the MPI runtime.
+package eulermhd
+
+import (
+	"fmt"
+	"math"
+)
+
+// NVar is the number of conserved variables per cell.
+const NVar = 8
+
+// Conserved-variable indices.
+const (
+	iRho = iota // density
+	iMx         // x momentum
+	iMy         // y momentum
+	iMz         // z momentum
+	iBx         // magnetic field x
+	iBy         // magnetic field y
+	iBz         // magnetic field z
+	iE          // total energy
+)
+
+// Gamma is the adiabatic index of the gas.
+const Gamma = 5.0 / 3.0
+
+// EOSTable tabulates pressure over a (density, internal energy) grid.
+// p = (γ-1)·ρ·e is bilinear in (ρ, e), so bilinear interpolation
+// reproduces the ideal-gas law exactly — the tabulated solver matches the
+// analytic one to round-off, which is what makes the HLS-vs-private
+// comparison exact.
+type EOSTable struct {
+	N      int // grid points per axis
+	RhoMin float64
+	RhoMax float64
+	EMin   float64
+	EMax   float64
+	P      []float64 // N*N pressures, row-major in (rho, e)
+}
+
+// FillEOS populates an N×N pressure table for the ideal-gas law. It is
+// the initializer run inside the paper's "#pragma hls single" at startup.
+func FillEOS(p []float64, n int, rhoMin, rhoMax, eMin, eMax float64) {
+	for i := 0; i < n; i++ {
+		rho := rhoMin + (rhoMax-rhoMin)*float64(i)/float64(n-1)
+		for j := 0; j < n; j++ {
+			e := eMin + (eMax-eMin)*float64(j)/float64(n-1)
+			p[i*n+j] = (Gamma - 1) * rho * e
+		}
+	}
+}
+
+// NewEOSTable allocates and fills a table.
+func NewEOSTable(n int) *EOSTable {
+	t := &EOSTable{N: n, RhoMin: 0.01, RhoMax: 20, EMin: 0.01, EMax: 40}
+	t.P = make([]float64, n*n)
+	t.Fill()
+	return t
+}
+
+// Fill (re)fills the table's pressure grid.
+func (t *EOSTable) Fill() {
+	FillEOS(t.P, t.N, t.RhoMin, t.RhoMax, t.EMin, t.EMax)
+}
+
+// Pressure interpolates p(ρ, e) bilinearly, clamping to the table range.
+func (t *EOSTable) Pressure(rho, e float64) float64 {
+	fr := (rho - t.RhoMin) / (t.RhoMax - t.RhoMin) * float64(t.N-1)
+	fe := (e - t.EMin) / (t.EMax - t.EMin) * float64(t.N-1)
+	fr = clamp(fr, 0, float64(t.N-1))
+	fe = clamp(fe, 0, float64(t.N-1))
+	i, j := int(fr), int(fe)
+	if i >= t.N-1 {
+		i = t.N - 2
+	}
+	if j >= t.N-1 {
+		j = t.N - 2
+	}
+	x, y := fr-float64(i), fe-float64(j)
+	p00 := t.P[i*t.N+j]
+	p01 := t.P[i*t.N+j+1]
+	p10 := t.P[(i+1)*t.N+j]
+	p11 := t.P[(i+1)*t.N+j+1]
+	return p00*(1-x)*(1-y) + p01*(1-x)*y + p10*x*(1-y) + p11*x*y
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Grid is one task's sub-domain: ny rows of nx cells plus Ghosts ghost
+// layers on each side, flattened row-major with NVar values per cell. The
+// first-order sweeps need one layer, the MUSCL sweeps two.
+type Grid struct {
+	NX, NY int
+	Ghosts int
+	U      []float64 // (NY+2*Ghosts) * (NX+2*Ghosts) * NVar
+}
+
+// NewGrid allocates a zeroed grid with one ghost layer.
+func NewGrid(nx, ny int) *Grid { return NewGridGhosts(nx, ny, 1) }
+
+// NewGridGhosts allocates a zeroed grid with `ghosts` ghost layers.
+func NewGridGhosts(nx, ny, ghosts int) *Grid {
+	if ghosts < 1 {
+		panic("eulermhd: grids need at least one ghost layer")
+	}
+	return &Grid{NX: nx, NY: ny, Ghosts: ghosts,
+		U: make([]float64, (nx+2*ghosts)*(ny+2*ghosts)*NVar)}
+}
+
+func (g *Grid) stride() int { return g.NX + 2*g.Ghosts }
+
+func (g *Grid) requireGhosts(n int, op string) {
+	if g.Ghosts < n {
+		panic(fmt.Sprintf("eulermhd: %s needs %d ghost layers, grid has %d", op, n, g.Ghosts))
+	}
+}
+
+// At returns the cell slice (length NVar) at interior coordinates (i, j)
+// in [0, NX) × [0, NY); ghosts live at negative indices and NX/NY and
+// beyond, up to the grid's ghost depth.
+func (g *Grid) At(i, j int) []float64 {
+	idx := ((j+g.Ghosts)*g.stride() + (i + g.Ghosts)) * NVar
+	return g.U[idx : idx+NVar]
+}
+
+// Row returns the full padded row j (including ghost columns), j in
+// [-Ghosts, NY+Ghosts).
+func (g *Grid) Row(j int) []float64 {
+	idx := (j + g.Ghosts) * g.stride() * NVar
+	return g.U[idx : idx+g.stride()*NVar]
+}
+
+// InitOrszagTang sets the classic Orszag–Tang vortex on the global domain
+// [0,1]², where this task owns rows [rowOff, rowOff+NY) of a global
+// globalNY-row mesh.
+func (g *Grid) InitOrszagTang(rowOff, globalNY int) {
+	b0 := 1.0 / math.Sqrt(4*math.Pi)
+	rho := Gamma * Gamma
+	p := Gamma
+	for j := 0; j < g.NY; j++ {
+		y := (float64(rowOff+j) + 0.5) / float64(globalNY)
+		for i := 0; i < g.NX; i++ {
+			x := (float64(i) + 0.5) / float64(g.NX)
+			u := -math.Sin(2 * math.Pi * y)
+			v := math.Sin(2 * math.Pi * x)
+			bx := -b0 * math.Sin(2*math.Pi*y)
+			by := b0 * math.Sin(4*math.Pi*x)
+			c := g.At(i, j)
+			c[iRho] = rho
+			c[iMx] = rho * u
+			c[iMy] = rho * v
+			c[iMz] = 0
+			c[iBx] = bx
+			c[iBy] = by
+			c[iBz] = 0
+			kin := 0.5 * rho * (u*u + v*v)
+			mag := 0.5 * (bx*bx + by*by)
+			c[iE] = p/(Gamma-1) + kin + mag
+		}
+	}
+}
+
+// primitive recovers (rho, u, v, w, p) using the EOS table.
+func primitive(c []float64, eos *EOSTable) (rho, u, v, w, p float64) {
+	rho = c[iRho]
+	if rho < 1e-12 {
+		rho = 1e-12
+	}
+	u = c[iMx] / rho
+	v = c[iMy] / rho
+	w = c[iMz] / rho
+	kin := 0.5 * rho * (u*u + v*v + w*w)
+	mag := 0.5 * (c[iBx]*c[iBx] + c[iBy]*c[iBy] + c[iBz]*c[iBz])
+	eint := (c[iE] - kin - mag) / rho
+	if eint < 1e-12 {
+		eint = 1e-12
+	}
+	p = eos.Pressure(rho, eint)
+	return
+}
+
+// fastSpeed returns the fast magnetosonic speed along x.
+func fastSpeed(rho, p, bx, by, bz float64) float64 {
+	a2 := Gamma * p / rho
+	b2 := (bx*bx + by*by + bz*bz) / rho
+	sum := a2 + b2
+	disc := sum*sum - 4*a2*bx*bx/rho
+	if disc < 0 {
+		disc = 0
+	}
+	cf2 := 0.5 * (sum + math.Sqrt(disc))
+	return math.Sqrt(cf2)
+}
+
+// fluxX computes the ideal-MHD flux along x of one cell's state.
+func fluxX(c []float64, eos *EOSTable, f []float64) {
+	rho, u, v, w, p := primitive(c, eos)
+	bx, by, bz := c[iBx], c[iBy], c[iBz]
+	pt := p + 0.5*(bx*bx+by*by+bz*bz)
+	udotb := u*bx + v*by + w*bz
+	f[iRho] = rho * u
+	f[iMx] = rho*u*u + pt - bx*bx
+	f[iMy] = rho*u*v - bx*by
+	f[iMz] = rho*u*w - bx*bz
+	f[iBx] = 0
+	f[iBy] = u*by - v*bx
+	f[iBz] = u*bz - w*bx
+	f[iE] = (c[iE]+pt)*u - bx*udotb
+}
+
+// maxSignal returns |u|+c_f for the CFL condition (x direction).
+func maxSignal(c []float64, eos *EOSTable) float64 {
+	rho, u, v, _, p := primitive(c, eos)
+	cf := fastSpeed(rho, p, c[iBx], c[iBy], c[iBz])
+	s := math.Abs(u) + cf
+	if s2 := math.Abs(v) + cf; s2 > s {
+		s = s2
+	}
+	return s
+}
+
+// rusanov computes the interface flux between states l and r.
+func rusanov(l, r []float64, eos *EOSTable, out []float64) {
+	var fl, fr [NVar]float64
+	fluxX(l, eos, fl[:])
+	fluxX(r, eos, fr[:])
+	sl := maxSignal(l, eos)
+	sr := maxSignal(r, eos)
+	s := math.Max(sl, sr)
+	for k := 0; k < NVar; k++ {
+		out[k] = 0.5*(fl[k]+fr[k]) - 0.5*s*(r[k]-l[k])
+	}
+}
+
+// rotateXY swaps the x and y components of a state (velocity and field),
+// so the y-sweep can reuse the x-flux kernel.
+func rotateXY(c, out []float64) {
+	out[iRho] = c[iRho]
+	out[iMx] = c[iMy]
+	out[iMy] = c[iMx]
+	out[iMz] = c[iMz]
+	out[iBx] = c[iBy]
+	out[iBy] = c[iBx]
+	out[iBz] = c[iBz]
+	out[iE] = c[iE]
+}
+
+// SweepX advances the grid by dt with x-direction fluxes. Ghost columns
+// must be current (FillGhostX).
+func (g *Grid) SweepX(dt float64, eos *EOSTable) {
+	dx := 1.0 / float64(g.NX)
+	flux := make([]float64, (g.NX+1)*NVar)
+	var f [NVar]float64
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i <= g.NX; i++ {
+			l := g.At(i-1, j)
+			r := g.At(i, j)
+			rusanov(l, r, eos, f[:])
+			copy(flux[i*NVar:(i+1)*NVar], f[:])
+		}
+		for i := 0; i < g.NX; i++ {
+			c := g.At(i, j)
+			for k := 0; k < NVar; k++ {
+				c[k] -= dt / dx * (flux[(i+1)*NVar+k] - flux[i*NVar+k])
+			}
+		}
+	}
+}
+
+// SweepY advances the grid by dt with y-direction fluxes (rotated
+// states). Ghost rows must be current (halo exchange).
+func (g *Grid) SweepY(dt float64, globalNY int, eos *EOSTable) {
+	dy := 1.0 / float64(globalNY)
+	var lrot, rrot, f, frot [NVar]float64
+	flux := make([]float64, (g.NY+1)*NVar)
+	for i := 0; i < g.NX; i++ {
+		for j := 0; j <= g.NY; j++ {
+			rotateXY(g.At(i, j-1), lrot[:])
+			rotateXY(g.At(i, j), rrot[:])
+			rusanov(lrot[:], rrot[:], eos, frot[:])
+			rotateXY(frot[:], f[:]) // rotate the flux back
+			copy(flux[j*NVar:(j+1)*NVar], f[:])
+		}
+		for j := 0; j < g.NY; j++ {
+			c := g.At(i, j)
+			for k := 0; k < NVar; k++ {
+				c[k] -= dt / dy * (flux[(j+1)*NVar+k] - flux[j*NVar+k])
+			}
+		}
+	}
+}
+
+// FillGhostX applies periodic boundaries in x for every ghost layer
+// (local: the domain is not decomposed along x).
+func (g *Grid) FillGhostX() {
+	for j := 0; j < g.NY; j++ {
+		for l := 1; l <= g.Ghosts; l++ {
+			copy(g.At(-l, j), g.At(g.NX-l, j))
+			copy(g.At(g.NX+l-1, j), g.At(l-1, j))
+		}
+	}
+}
+
+// MaxSignal returns the largest |u|+c_f over the interior, for the global
+// CFL reduction.
+func (g *Grid) MaxSignal(eos *EOSTable) float64 {
+	s := 0.0
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			if v := maxSignal(g.At(i, j), eos); v > s {
+				s = v
+			}
+		}
+	}
+	return s
+}
+
+// Mass integrates density over the task's interior.
+func (g *Grid) Mass(globalNY int) float64 {
+	dx := 1.0 / float64(g.NX)
+	dy := 1.0 / float64(globalNY)
+	sum := 0.0
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			sum += g.At(i, j)[iRho]
+		}
+	}
+	return sum * dx * dy
+}
+
+// Energy integrates total energy over the task's interior.
+func (g *Grid) Energy(globalNY int) float64 {
+	dx := 1.0 / float64(g.NX)
+	dy := 1.0 / float64(globalNY)
+	sum := 0.0
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			sum += g.At(i, j)[iE]
+		}
+	}
+	return sum * dx * dy
+}
+
+// CheckFinite returns an error if any interior value is NaN or Inf.
+func (g *Grid) CheckFinite() error {
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			for k, v := range g.At(i, j) {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("eulermhd: non-finite U[%d] at (%d,%d)", k, i, j)
+				}
+			}
+		}
+	}
+	return nil
+}

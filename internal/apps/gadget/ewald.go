@@ -1,0 +1,170 @@
+// Package gadget is the Table III application: a cosmological N-body code
+// patterned after Gadget-2 — Barnes–Hut octree gravity in a periodic unit
+// box, with the periodic force correction obtained by Ewald summation and
+// stored in a precomputed 3-D table interpolated trilinearly. That Ewald
+// table (~33 MB at the paper's scale) is "constant over all MPI tasks and
+// can thus use HLS": sharing it per node is the paper's one-pragma change.
+package gadget
+
+import (
+	"math"
+)
+
+// Vec3 is a 3-vector.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns v + o.
+func (v Vec3) Add(o Vec3) Vec3 { return Vec3{v.X + o.X, v.Y + o.Y, v.Z + o.Z} }
+
+// Sub returns v - o.
+func (v Vec3) Sub(o Vec3) Vec3 { return Vec3{v.X - o.X, v.Y - o.Y, v.Z - o.Z} }
+
+// Scale returns v * s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Norm returns |v|.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.X*v.X + v.Y*v.Y + v.Z*v.Z) }
+
+// EwaldTable stores the periodic force correction on an (N+1)³ grid over
+// the octant [0, 0.5]³ of displacement space; the full domain follows from
+// the correction's antisymmetry in each coordinate. Forces are obtained by
+// trilinear interpolation — exactly Gadget-2's scheme.
+type EwaldTable struct {
+	N          int
+	Fx, Fy, Fz []float64
+}
+
+// ewaldAlpha is the Ewald splitting parameter for the unit box.
+const ewaldAlpha = 2.0
+
+// EwaldCorrectionDirect evaluates the correction by direct summation:
+// F_periodic − F_nearest, i.e. what must be *added* to the tree walk's
+// single nearest-image attraction d/|d|³ to obtain the force of the full
+// periodic lattice of images (real-space images screened by erfc plus the
+// reciprocal-space sum). This is the expensive function the table caches.
+func EwaldCorrectionDirect(x Vec3) Vec3 {
+	r := x.Norm()
+	var f Vec3
+	if r > 0 {
+		// Remove the nearest-image contribution the tree walk already
+		// counted; the lattice sums below add the full periodic force.
+		f = x.Scale(-1 / (r * r * r))
+	}
+	// Real-space lattice sum (attraction toward every screened image).
+	const nmax = 4
+	for nx := -nmax; nx <= nmax; nx++ {
+		for ny := -nmax; ny <= nmax; ny++ {
+			for nz := -nmax; nz <= nmax; nz++ {
+				d := Vec3{x.X - float64(nx), x.Y - float64(ny), x.Z - float64(nz)}
+				rn := d.Norm()
+				if rn == 0 {
+					continue
+				}
+				val := math.Erfc(ewaldAlpha*rn) +
+					2*ewaldAlpha*rn/math.Sqrt(math.Pi)*math.Exp(-ewaldAlpha*ewaldAlpha*rn*rn)
+				f = f.Add(d.Scale(val / (rn * rn * rn)))
+			}
+		}
+	}
+	// Reciprocal-space sum.
+	const h2max = 10
+	for hx := -4; hx <= 4; hx++ {
+		for hy := -4; hy <= 4; hy++ {
+			for hz := -4; hz <= 4; hz++ {
+				h2 := hx*hx + hy*hy + hz*hz
+				if h2 == 0 || h2 > h2max {
+					continue
+				}
+				hdotx := 2 * math.Pi * (float64(hx)*x.X + float64(hy)*x.Y + float64(hz)*x.Z)
+				val := 2.0 / float64(h2) *
+					math.Exp(-math.Pi*math.Pi*float64(h2)/(ewaldAlpha*ewaldAlpha)) *
+					math.Sin(hdotx)
+				f = f.Add(Vec3{float64(hx), float64(hy), float64(hz)}.Scale(val))
+			}
+		}
+	}
+	return f
+}
+
+// FillEwald computes the table values into the three component arrays,
+// each of length (n+1)³. It is the initializer the paper wraps in a
+// single directive.
+func FillEwald(fx, fy, fz []float64, n int) {
+	stride := n + 1
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			for k := 0; k <= n; k++ {
+				x := Vec3{
+					0.5 * float64(i) / float64(n),
+					0.5 * float64(j) / float64(n),
+					0.5 * float64(k) / float64(n),
+				}
+				f := EwaldCorrectionDirect(x)
+				idx := (i*stride+j)*stride + k
+				fx[idx] = f.X
+				fy[idx] = f.Y
+				fz[idx] = f.Z
+			}
+		}
+	}
+}
+
+// NewEwaldTable builds an n-resolution table (n+1 points per axis).
+func NewEwaldTable(n int) *EwaldTable {
+	size := (n + 1) * (n + 1) * (n + 1)
+	t := &EwaldTable{N: n, Fx: make([]float64, size), Fy: make([]float64, size), Fz: make([]float64, size)}
+	FillEwald(t.Fx, t.Fy, t.Fz, n)
+	return t
+}
+
+// TableFromSlices wraps externally-owned storage (an HLS variable) as a
+// table. The slice layout matches FillEwald's: three concatenated
+// component grids.
+func TableFromSlices(n int, fx, fy, fz []float64) *EwaldTable {
+	return &EwaldTable{N: n, Fx: fx, Fy: fy, Fz: fz}
+}
+
+// SliceLen returns the per-component length of an n-resolution table.
+func SliceLen(n int) int { return (n + 1) * (n + 1) * (n + 1) }
+
+// Correction interpolates the periodic correction for displacement d,
+// whose components must lie in [-0.5, 0.5] (nearest image).
+func (t *EwaldTable) Correction(d Vec3) Vec3 {
+	sx, ax := signAbs(d.X)
+	sy, ay := signAbs(d.Y)
+	sz, az := signAbs(d.Z)
+	n := t.N
+	fx := ax * 2 * float64(n)
+	fy := ay * 2 * float64(n)
+	fz := az * 2 * float64(n)
+	i, j, k := int(fx), int(fy), int(fz)
+	if i >= n {
+		i = n - 1
+	}
+	if j >= n {
+		j = n - 1
+	}
+	if k >= n {
+		k = n - 1
+	}
+	u, v, w := fx-float64(i), fy-float64(j), fz-float64(k)
+	stride := n + 1
+	idx := func(a, b, c int) int { return (a*stride+b)*stride + c }
+	tri := func(g []float64) float64 {
+		c00 := g[idx(i, j, k)]*(1-u) + g[idx(i+1, j, k)]*u
+		c01 := g[idx(i, j, k+1)]*(1-u) + g[idx(i+1, j, k+1)]*u
+		c10 := g[idx(i, j+1, k)]*(1-u) + g[idx(i+1, j+1, k)]*u
+		c11 := g[idx(i, j+1, k+1)]*(1-u) + g[idx(i+1, j+1, k+1)]*u
+		c0 := c00*(1-w) + c01*w
+		c1 := c10*(1-w) + c11*w
+		return c0*(1-v) + c1*v
+	}
+	return Vec3{sx * tri(t.Fx), sy * tri(t.Fy), sz * tri(t.Fz)}
+}
+
+func signAbs(v float64) (sign, abs float64) {
+	if v < 0 {
+		return -1, -v
+	}
+	return 1, v
+}

@@ -1,0 +1,226 @@
+package gadget
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hls/internal/hls"
+	"hls/internal/memsim"
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+func TestEwaldCorrectionVanishesAtOrigin(t *testing.T) {
+	f := EwaldCorrectionDirect(Vec3{})
+	if f.Norm() > 1e-10 {
+		t.Errorf("correction at origin = %v, want 0", f)
+	}
+}
+
+func TestEwaldCorrectionAntisymmetry(t *testing.T) {
+	for _, x := range []Vec3{{0.1, 0.2, 0.3}, {0.4, 0.05, 0.25}, {0.33, 0.33, 0.33}} {
+		f := EwaldCorrectionDirect(x)
+		g := EwaldCorrectionDirect(x.Scale(-1))
+		if f.Add(g).Norm() > 1e-9 {
+			t.Errorf("correction not antisymmetric at %v: %v vs %v", x, f, g)
+		}
+	}
+}
+
+func TestEwaldCorrectionMirrorSymmetry(t *testing.T) {
+	// Mirroring one coordinate flips that force component only.
+	x := Vec3{0.15, 0.25, 0.35}
+	f := EwaldCorrectionDirect(x)
+	g := EwaldCorrectionDirect(Vec3{-x.X, x.Y, x.Z})
+	if math.Abs(f.X+g.X) > 1e-9 || math.Abs(f.Y-g.Y) > 1e-9 || math.Abs(f.Z-g.Z) > 1e-9 {
+		t.Errorf("mirror symmetry broken: %v vs %v", f, g)
+	}
+}
+
+func TestEwaldTableMatchesDirect(t *testing.T) {
+	tab := NewEwaldTable(16)
+	for _, x := range []Vec3{{0.11, 0.21, 0.31}, {-0.2, 0.4, -0.05}, {0.5, -0.5, 0.25}} {
+		want := EwaldCorrectionDirect(x)
+		got := tab.Correction(x)
+		if got.Sub(want).Norm() > 0.05*math.Max(want.Norm(), 0.1) {
+			t.Errorf("table(%v) = %v, direct = %v", x, got, want)
+		}
+	}
+}
+
+func TestTreeMassAggregation(t *testing.T) {
+	pos := []Vec3{{0.1, 0.1, 0.1}, {0.9, 0.9, 0.9}, {0.5, 0.5, 0.5}, {0.1, 0.1, 0.2}}
+	masses := []float64{1, 2, 3, 4}
+	tr := BuildTree(pos, masses, 0.01)
+	if math.Abs(tr.TotalMass()-10) > 1e-12 {
+		t.Errorf("total mass = %v, want 10", tr.TotalMass())
+	}
+	if tr.NumNodes() < 4 {
+		t.Errorf("suspiciously few nodes: %d", tr.NumNodes())
+	}
+}
+
+func TestTreeForceMatchesDirectSum(t *testing.T) {
+	// With theta -> 0 the tree must reproduce the direct nearest-image
+	// pairwise sum.
+	pos := []Vec3{{0.2, 0.3, 0.4}, {0.7, 0.1, 0.9}, {0.5, 0.55, 0.52}, {0.05, 0.95, 0.5}, {0.31, 0.77, 0.11}}
+	masses := []float64{1, 1.5, 0.5, 2, 1}
+	eps := 0.05
+	tr := BuildTree(pos, masses, eps)
+	for i := range pos {
+		var want Vec3
+		for j := range pos {
+			if i == j {
+				continue
+			}
+			d := Vec3{
+				minImage(pos[j].X - pos[i].X),
+				minImage(pos[j].Y - pos[i].Y),
+				minImage(pos[j].Z - pos[i].Z),
+			}
+			r2 := d.X*d.X + d.Y*d.Y + d.Z*d.Z + eps*eps
+			want = want.Add(d.Scale(masses[j] / (r2 * math.Sqrt(r2))))
+		}
+		got := tr.Force(pos[i], int32(i), 1e-9, nil)
+		if got.Sub(want).Norm() > 1e-9*math.Max(1, want.Norm()) {
+			t.Errorf("particle %d: tree force %v, direct %v", i, got, want)
+		}
+	}
+}
+
+func TestTreeHandlesCoincidentParticles(t *testing.T) {
+	pos := []Vec3{{0.5, 0.5, 0.5}, {0.5, 0.5, 0.5}, {0.5, 0.5, 0.5}}
+	masses := []float64{1, 1, 1}
+	tr := BuildTree(pos, masses, 0.05)
+	if math.Abs(tr.TotalMass()-3) > 1e-12 {
+		t.Errorf("mass = %v", tr.TotalMass())
+	}
+	f := tr.Force(Vec3{0.2, 0.2, 0.2}, -1, 0.5, nil)
+	if math.IsNaN(f.Norm()) {
+		t.Error("NaN force from coincident particles")
+	}
+}
+
+func TestSymmetricPairForcesCancel(t *testing.T) {
+	// Two equal particles: forces are opposite (nearest-image symmetric).
+	pos := []Vec3{{0.3, 0.5, 0.5}, {0.7, 0.5, 0.5}}
+	masses := []float64{1, 1}
+	tr := BuildTree(pos, masses, 0.02)
+	f0 := tr.Force(pos[0], 0, 1e-9, nil)
+	f1 := tr.Force(pos[1], 1, 1e-9, nil)
+	if f0.Add(f1).Norm() > 1e-12 {
+		t.Errorf("pair forces do not cancel: %v + %v", f0, f1)
+	}
+}
+
+func runApp(t *testing.T, cfg Config) Diagnostics {
+	t.Helper()
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: cfg.Tasks, Machine: cfg.Machine,
+		Pin: topology.PinCorePerTask, Timeout: 120 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := hls.New(w)
+	app, err := New(reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diag Diagnostics
+	if err := w.Run(func(task *mpi.Task) error {
+		d, err := app.Run(task)
+		if err != nil {
+			return err
+		}
+		if task.Rank() == 0 {
+			diag = d
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return diag
+}
+
+func TestHLSMatchesPrivate(t *testing.T) {
+	base := Config{
+		Machine: topology.NehalemEX4(), Tasks: 4,
+		ParticlesPerTask: 16, Steps: 3, EwaldN: 4, Seed: 11,
+	}
+	priv := base
+	priv.UseHLS = false
+	shared := base
+	shared.UseHLS = true
+	dp := runApp(t, priv)
+	ds := runApp(t, shared)
+	if dp.PosChecksum != ds.PosChecksum || dp.Kinetic != ds.Kinetic {
+		t.Errorf("HLS changed the trajectory: checksum %v vs %v, kinetic %v vs %v",
+			dp.PosChecksum, ds.PosChecksum, dp.Kinetic, ds.Kinetic)
+	}
+}
+
+func TestMomentumStaysSmall(t *testing.T) {
+	d := runApp(t, Config{
+		Machine: topology.NehalemEX4(), Tasks: 4,
+		ParticlesPerTask: 16, Steps: 5, EwaldN: 4, Seed: 3, UseHLS: true,
+	})
+	// Initial conditions are momentum-free; BH + Ewald approximations
+	// inject only small asymmetries.
+	if d.Momentum > 0.05 {
+		t.Errorf("total momentum = %v, want near 0", d.Momentum)
+	}
+	if d.Kinetic <= 0 {
+		t.Errorf("kinetic = %v", d.Kinetic)
+	}
+}
+
+func TestMemoryAccountingTable3Shape(t *testing.T) {
+	machine := topology.HarpertownCluster(1)
+	runWith := func(useHLS bool) float64 {
+		pin := topology.MustPin(machine, 8, topology.PinCorePerTask)
+		tracker := memsim.NewTracker(machine, pin)
+		w, err := mpi.NewWorld(mpi.Config{NumTasks: 8, Machine: machine,
+			Pin: topology.PinCorePerTask, Timeout: 120 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := hls.New(w, hls.WithTracker(tracker))
+		app, err := New(reg, Config{
+			Machine: machine, Tasks: 8, ParticlesPerTask: 8, Steps: 2,
+			EwaldN: 4, UseHLS: useHLS, Tracker: tracker, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(func(task *mpi.Task) error {
+			_, err := app.Run(task)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return tracker.Report().AvgBytes
+	}
+	saving := runWith(false) - runWith(true)
+	want := 7 * float64(33<<20) // 7 x 33 MB ≈ 230 MB, Table III's arithmetic
+	if math.Abs(saving-want) > 0.02*want {
+		t.Errorf("saving = %.0f MB, want ≈ %.0f MB", memsim.MB(saving), memsim.MB(want))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestDistributedSPHDensity(t *testing.T) {
+	d := runApp(t, Config{
+		Machine: topology.NehalemEX4(), Tasks: 4,
+		ParticlesPerTask: 64, Steps: 2, EwaldN: 4, Seed: 12, UseHLS: true,
+	})
+	// 256 unit-total-mass particles near-uniform in the unit box: the
+	// mean SPH density should be near 1 (generous band: small-N noise).
+	if d.MeanDensity < 0.5 || d.MeanDensity > 1.6 {
+		t.Errorf("mean SPH density = %v, want ≈ 1", d.MeanDensity)
+	}
+}

@@ -1,0 +1,109 @@
+package gadget
+
+import "math"
+
+// Smoothed-particle-hydrodynamics support: Gadget-2 is an "N-body /
+// smoothed particle hydrodynamic" code, so alongside gravity the
+// reproduction provides the SPH density machinery — the cubic-spline
+// kernel in Gadget's convention and neighbour search as a periodic range
+// query on the Barnes–Hut tree.
+
+// KernelW is the cubic-spline smoothing kernel in Gadget-2's convention:
+// support radius h (W vanishes for r >= h), normalized so that the
+// integral over the 3-D ball is 1.
+//
+//	W(q) = 8/(πh³) · { 1 − 6q² + 6q³        0 ≤ q ≤ 1/2
+//	                   2(1−q)³              1/2 < q ≤ 1
+//	                   0                    q > 1 }   with q = r/h.
+func KernelW(r, h float64) float64 {
+	if h <= 0 {
+		panic("gadget: kernel with non-positive smoothing length")
+	}
+	q := r / h
+	norm := 8 / (math.Pi * h * h * h)
+	switch {
+	case q < 0:
+		panic("gadget: negative radius")
+	case q <= 0.5:
+		return norm * (1 - 6*q*q + 6*q*q*q)
+	case q <= 1:
+		d := 1 - q
+		return norm * 2 * d * d * d
+	default:
+		return 0
+	}
+}
+
+// Neighbors calls fn for every particle within distance h of p (periodic
+// minimum-image metric), pruning tree nodes whose box cannot contain any
+// such particle. Coincident-particle overflow beyond the tree's maximum
+// depth is aggregated in node masses and not enumerable here.
+func (t *Tree) Neighbors(pos []Vec3, p Vec3, h float64, fn func(j int32, d Vec3, r float64)) {
+	t.neighborWalk(0, pos, p, h, fn)
+}
+
+func (t *Tree) neighborWalk(idx int, pos []Vec3, p Vec3, h float64, fn func(j int32, d Vec3, r float64)) {
+	nd := &t.nodes[idx]
+	if nd.n == 0 {
+		return
+	}
+	// Periodic distance from p to the node's box: per axis, the nearest
+	// image of the box centre, clipped by the half-width.
+	dist2 := 0.0
+	for axis := 0; axis < 3; axis++ {
+		var c, q float64
+		switch axis {
+		case 0:
+			c, q = nd.cx, p.X
+		case 1:
+			c, q = nd.cy, p.Y
+		default:
+			c, q = nd.cz, p.Z
+		}
+		d := math.Abs(minImage(c - q))
+		if d > nd.half {
+			d -= nd.half
+			dist2 += d * d
+		}
+	}
+	if dist2 > h*h {
+		return
+	}
+	if nd.leafP >= 0 {
+		j := nd.leafP
+		d := Vec3{
+			minImage(pos[j].X - p.X),
+			minImage(pos[j].Y - p.Y),
+			minImage(pos[j].Z - p.Z),
+		}
+		r := d.Norm()
+		if r <= h {
+			fn(j, d, r)
+		}
+		return
+	}
+	for _, c := range nd.children {
+		if c != noChild {
+			t.neighborWalk(int(c), pos, p, h, fn)
+		}
+	}
+}
+
+// Density returns the SPH density estimate at particle i's position:
+// ρ_i = Σ_j m_j W(r_ij, h), including the self contribution.
+func (t *Tree) Density(pos []Vec3, masses []float64, i int32, h float64) float64 {
+	rho := 0.0
+	t.Neighbors(pos, pos[i], h, func(j int32, _ Vec3, r float64) {
+		rho += masses[j] * KernelW(r, h)
+	})
+	return rho
+}
+
+// Densities computes the SPH density of every particle.
+func (t *Tree) Densities(pos []Vec3, masses []float64, h float64) []float64 {
+	out := make([]float64, len(pos))
+	for i := range pos {
+		out[i] = t.Density(pos, masses, int32(i), h)
+	}
+	return out
+}

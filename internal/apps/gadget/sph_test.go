@@ -1,0 +1,175 @@
+package gadget
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKernelNormalization(t *testing.T) {
+	// 4π ∫₀ʰ r² W(r,h) dr must equal 1. Composite Simpson over [0,h].
+	for _, h := range []float64{0.5, 1.0, 0.13} {
+		const n = 2000
+		sum := 0.0
+		dr := h / n
+		f := func(r float64) float64 { return 4 * math.Pi * r * r * KernelW(r, h) }
+		for i := 0; i < n; i++ {
+			a := float64(i) * dr
+			sum += dr / 6 * (f(a) + 4*f(a+dr/2) + f(a+dr))
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("h=%v: kernel integral = %v, want 1", h, sum)
+		}
+	}
+}
+
+func TestKernelSupportAndMonotonicity(t *testing.T) {
+	h := 0.4
+	if KernelW(h, h) != 0 || KernelW(2*h, h) != 0 {
+		t.Error("kernel not compactly supported")
+	}
+	prev := math.Inf(1)
+	for i := 0; i <= 100; i++ {
+		w := KernelW(float64(i)/100*h, h)
+		if w > prev+1e-12 {
+			t.Fatalf("kernel not monotone at q=%v", float64(i)/100)
+		}
+		prev = w
+	}
+	if KernelW(0, h) <= 0 {
+		t.Error("kernel not positive at origin")
+	}
+}
+
+func TestKernelPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero h":   func() { KernelW(0.1, 0) },
+		"negative": func() { KernelW(-0.1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNeighborsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n = 300
+	pos := make([]Vec3, n)
+	masses := make([]float64, n)
+	for i := range pos {
+		pos[i] = Vec3{rng.Float64(), rng.Float64(), rng.Float64()}
+		masses[i] = 1
+	}
+	tree := BuildTree(pos, masses, 0.01)
+	h := 0.15
+	for trial := 0; trial < 20; trial++ {
+		p := Vec3{rng.Float64(), rng.Float64(), rng.Float64()}
+		want := map[int32]bool{}
+		for j := range pos {
+			d := Vec3{
+				minImage(pos[j].X - p.X),
+				minImage(pos[j].Y - p.Y),
+				minImage(pos[j].Z - p.Z),
+			}
+			if d.Norm() <= h {
+				want[int32(j)] = true
+			}
+		}
+		got := map[int32]bool{}
+		tree.Neighbors(pos, p, h, func(j int32, _ Vec3, r float64) {
+			if r > h {
+				t.Fatalf("neighbor beyond h: r=%v", r)
+			}
+			if got[j] {
+				t.Fatalf("particle %d reported twice", j)
+			}
+			got[j] = true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d neighbors, want %d", trial, len(got), len(want))
+		}
+		for j := range want {
+			if !got[j] {
+				t.Fatalf("trial %d: missing neighbor %d", trial, j)
+			}
+		}
+	}
+}
+
+func TestNeighborsPeriodicWrap(t *testing.T) {
+	// Particles near opposite faces are neighbours through the boundary.
+	pos := []Vec3{{0.02, 0.5, 0.5}, {0.98, 0.5, 0.5}, {0.5, 0.5, 0.5}}
+	masses := []float64{1, 1, 1}
+	tree := BuildTree(pos, masses, 0.01)
+	found := map[int32]bool{}
+	tree.Neighbors(pos, pos[0], 0.1, func(j int32, _ Vec3, _ float64) { found[j] = true })
+	if !found[0] || !found[1] {
+		t.Errorf("periodic neighbour missed: %v", found)
+	}
+	if found[2] {
+		t.Error("distant particle reported as neighbour")
+	}
+}
+
+func TestDensityUniformField(t *testing.T) {
+	// A dense uniform random field: SPH density ≈ total mass / volume.
+	rng := rand.New(rand.NewSource(4))
+	const n = 4000
+	pos := make([]Vec3, n)
+	masses := make([]float64, n)
+	for i := range pos {
+		pos[i] = Vec3{rng.Float64(), rng.Float64(), rng.Float64()}
+		masses[i] = 1.0 / n
+	}
+	tree := BuildTree(pos, masses, 0.01)
+	h := 0.12 // ~29 neighbours in expectation per (4/3)πh³·n
+	sum, count := 0.0, 0
+	for i := 0; i < n; i += 100 {
+		sum += tree.Density(pos, masses, int32(i), h)
+		count++
+	}
+	mean := sum / float64(count)
+	if math.Abs(mean-1) > 0.25 {
+		t.Errorf("mean SPH density = %v, want ≈ 1 (uniform unit-mass box)", mean)
+	}
+}
+
+func TestDensityMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 200
+	pos := make([]Vec3, n)
+	masses := make([]float64, n)
+	for i := range pos {
+		pos[i] = Vec3{rng.Float64(), rng.Float64(), rng.Float64()}
+		masses[i] = 0.5 + rng.Float64()
+	}
+	tree := BuildTree(pos, masses, 0.01)
+	h := 0.2
+	for i := 0; i < n; i += 17 {
+		brute := 0.0
+		for j := range pos {
+			d := Vec3{
+				minImage(pos[j].X - pos[i].X),
+				minImage(pos[j].Y - pos[i].Y),
+				minImage(pos[j].Z - pos[i].Z),
+			}
+			if r := d.Norm(); r <= h {
+				brute += masses[j] * KernelW(r, h)
+			}
+		}
+		got := tree.Density(pos, masses, int32(i), h)
+		if math.Abs(got-brute) > 1e-9*math.Max(1, brute) {
+			t.Fatalf("particle %d: tree density %v, brute %v", i, got, brute)
+		}
+	}
+	ds := tree.Densities(pos, masses, h)
+	if len(ds) != n {
+		t.Fatalf("Densities returned %d values", len(ds))
+	}
+}

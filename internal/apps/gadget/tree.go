@@ -1,0 +1,180 @@
+package gadget
+
+import "math"
+
+// Tree is a Barnes–Hut octree over the unit box. Forces use the nearest
+// image of each node's centre of mass; the Ewald table supplies the
+// periodic-lattice remainder.
+type Tree struct {
+	nodes []treeNode
+	// Eps is the Plummer softening length.
+	Eps float64
+}
+
+type treeNode struct {
+	cx, cy, cz float64 // cell centre
+	half       float64 // half edge length
+	mass       float64
+	comX, comY float64
+	comZ       float64
+	// children[8] indexes into nodes; -1 = absent. leafP >= 0 marks a
+	// leaf holding exactly one particle index.
+	children [8]int32
+	leafP    int32
+	n        int32 // particles under this node
+}
+
+const noChild = int32(-1)
+
+// BuildTree constructs the octree of the given positions (components must
+// lie in [0,1)).
+func BuildTree(pos []Vec3, masses []float64, eps float64) *Tree {
+	t := &Tree{Eps: eps}
+	t.nodes = make([]treeNode, 1, 2*len(pos)+1)
+	t.nodes[0] = newNode(0.5, 0.5, 0.5, 0.5)
+	for i := range pos {
+		t.insert(0, int32(i), pos, masses, 0)
+	}
+	return t
+}
+
+func newNode(cx, cy, cz, half float64) treeNode {
+	n := treeNode{cx: cx, cy: cy, cz: cz, half: half, leafP: -1}
+	for i := range n.children {
+		n.children[i] = noChild
+	}
+	return n
+}
+
+// insert adds particle p under node idx.
+func (t *Tree) insert(idx int, p int32, pos []Vec3, masses []float64, depth int) {
+	nd := &t.nodes[idx]
+	nd.n++
+	m := masses[p]
+	// Update mass and centre of mass incrementally.
+	tot := nd.mass + m
+	nd.comX = (nd.comX*nd.mass + pos[p].X*m) / tot
+	nd.comY = (nd.comY*nd.mass + pos[p].Y*m) / tot
+	nd.comZ = (nd.comZ*nd.mass + pos[p].Z*m) / tot
+	nd.mass = tot
+
+	if nd.n == 1 {
+		nd.leafP = p
+		return
+	}
+	// An occupied leaf pushes its resident down first.
+	if nd.leafP >= 0 {
+		old := nd.leafP
+		nd.leafP = -1
+		t.insertChild(idx, old, pos, masses, depth)
+		nd = &t.nodes[idx] // insertChild may have grown t.nodes
+	}
+	t.insertChild(idx, p, pos, masses, depth)
+}
+
+func (t *Tree) insertChild(idx int, p int32, pos []Vec3, masses []float64, depth int) {
+	const maxDepth = 40 // coincident particles stop splitting
+	nd := &t.nodes[idx]
+	if depth >= maxDepth {
+		// Degenerate: keep the particle here as an extra leaf resident by
+		// folding it into the node's aggregate only (mass already added).
+		return
+	}
+	oct := 0
+	dx, dy, dz := -nd.half/2, -nd.half/2, -nd.half/2
+	if pos[p].X >= nd.cx {
+		oct |= 1
+		dx = nd.half / 2
+	}
+	if pos[p].Y >= nd.cy {
+		oct |= 2
+		dy = nd.half / 2
+	}
+	if pos[p].Z >= nd.cz {
+		oct |= 4
+		dz = nd.half / 2
+	}
+	child := nd.children[oct]
+	if child == noChild {
+		t.nodes = append(t.nodes, newNode(nd.cx+dx, nd.cy+dy, nd.cz+dz, nd.half/2))
+		child = int32(len(t.nodes) - 1)
+		t.nodes[idx].children[oct] = child
+	}
+	t.insert(int(child), p, pos, masses, depth+1)
+}
+
+// minImage maps a displacement component into [-0.5, 0.5).
+func minImage(d float64) float64 {
+	if d >= 0.5 {
+		return d - 1
+	}
+	if d < -0.5 {
+		return d + 1
+	}
+	return d
+}
+
+// Force returns the gravitational acceleration at position p of particle
+// `self` (pass a negative index to include all particles), using opening
+// angle theta and, when ewald is non-nil, the periodic correction.
+func (t *Tree) Force(p Vec3, self int32, theta float64, ewald *EwaldTable) Vec3 {
+	var acc Vec3
+	t.walk(0, p, self, theta, ewald, &acc)
+	return acc
+}
+
+func (t *Tree) walk(idx int, p Vec3, self int32, theta float64, ewald *EwaldTable, acc *Vec3) {
+	nd := &t.nodes[idx]
+	if nd.n == 0 {
+		return
+	}
+	if nd.n == 1 && nd.leafP == self {
+		return
+	}
+	d := Vec3{
+		minImage(nd.comX - p.X),
+		minImage(nd.comY - p.Y),
+		minImage(nd.comZ - p.Z),
+	}
+	r := d.Norm()
+	open := 2 * nd.half / math.Max(r, 1e-12)
+	if nd.leafP >= 0 || open < theta {
+		// If this is an internal node containing self, we cannot treat it
+		// as a point mass; keep opening.
+		if nd.leafP < 0 && self >= 0 && t.contains(idx, self, p) {
+			// fall through to children
+		} else {
+			m := nd.mass
+			if nd.leafP == self {
+				return
+			}
+			soft := r*r + t.Eps*t.Eps
+			inv := 1 / (soft * math.Sqrt(soft))
+			*acc = acc.Add(d.Scale(m * inv))
+			if ewald != nil {
+				*acc = acc.Add(ewald.Correction(d).Scale(m))
+			}
+			return
+		}
+	}
+	for _, c := range nd.children {
+		if c != noChild {
+			t.walk(int(c), p, self, theta, ewald, acc)
+		}
+	}
+}
+
+// contains reports whether the cell of node idx covers position p (a
+// cheap proxy for "self is inside this node").
+func (t *Tree) contains(idx int, self int32, p Vec3) bool {
+	nd := &t.nodes[idx]
+	return math.Abs(p.X-nd.cx) <= nd.half &&
+		math.Abs(p.Y-nd.cy) <= nd.half &&
+		math.Abs(p.Z-nd.cz) <= nd.half
+}
+
+// NumNodes returns the node count, for tests.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// TotalMass returns the root's aggregated mass.
+func (t *Tree) TotalMass() float64 { return t.nodes[0].mass }

@@ -1,0 +1,292 @@
+// Package matmul is the paper's second cache benchmark (§II-D2, §V-A2,
+// Figure 3): every MPI task repeatedly computes C ← A·B + C where B is
+// common to all tasks. Sharing B through HLS keeps one copy per shared
+// cache instead of eight, so all matrices stay cached for larger problem
+// sizes.
+//
+// The package provides a real blocked DGEMM (the MKL stand-in, used by
+// examples and semantic tests) and the kernel's cache-line access stream
+// for the simulator, which regenerates Figure 3's GFLOPS-vs-size curves.
+package matmul
+
+import (
+	"fmt"
+
+	"hls/internal/cachesim"
+	"hls/internal/topology"
+)
+
+// Mode mirrors meshupdate's sharing configurations.
+type Mode int
+
+const (
+	// Seq is the sequential baseline: one task alone on the machine.
+	Seq Mode = iota
+	// NoHLS duplicates B per task.
+	NoHLS
+	// HLSNode shares one B per node.
+	HLSNode
+	// HLSNuma shares one B per NUMA domain.
+	HLSNuma
+)
+
+// String names the mode like the figure's legend.
+func (m Mode) String() string {
+	switch m {
+	case Seq:
+		return "sequential"
+	case NoHLS:
+		return "without HLS"
+	case HLSNode:
+		return "HLS node"
+	case HLSNuma:
+		return "HLS numa"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Dgemm computes C += A*B for row-major n×k A, k×m B, n×m C, blocked for
+// cache reuse. It is the real computation behind the benchmark.
+func Dgemm(c, a, b []float64, n, m, k int) {
+	if len(a) < n*k || len(b) < k*m || len(c) < n*m {
+		panic(fmt.Sprintf("matmul: Dgemm buffers too small for n=%d m=%d k=%d", n, m, k))
+	}
+	const bs = 64
+	for i0 := 0; i0 < n; i0 += bs {
+		imax := min(i0+bs, n)
+		for k0 := 0; k0 < k; k0 += bs {
+			kmax := min(k0+bs, k)
+			for j0 := 0; j0 < m; j0 += bs {
+				jmax := min(j0+bs, m)
+				for i := i0; i < imax; i++ {
+					for kk := k0; kk < kmax; kk++ {
+						aik := a[i*k+kk]
+						ci := c[i*m+j0 : i*m+jmax]
+						bk := b[kk*m+j0 : kk*m+jmax]
+						for j := range ci {
+							ci[j] += aik * bk[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Config parametrizes the cache experiment.
+type Config struct {
+	Machine *topology.Machine
+	Tasks   int // ignored for Seq (forced to 1)
+	Mode    Mode
+	// N is the (square) matrix dimension, already scaled.
+	N int
+	// Steps is the number of repeated multiplications.
+	Steps int
+	// Update rewrites B between steps (inside a single).
+	Update bool
+	// FreqGHz converts cycles to time for the GFLOPS metric.
+	FreqGHz float64
+}
+
+func (c *Config) validate() error {
+	if c.Machine == nil || c.N < 1 || c.Steps < 1 {
+		return fmt.Errorf("matmul: invalid config %+v", c)
+	}
+	if c.Mode != Seq && (c.Tasks < 1 || c.Tasks > c.Machine.TotalCores()) {
+		return fmt.Errorf("matmul: bad task count %d", c.Tasks)
+	}
+	return nil
+}
+
+type layout struct {
+	aBase, cBase []uint64
+	bBase        []uint64
+	writer       []bool
+}
+
+func buildLayout(cfg *Config, tasks int, space *cachesim.AddressSpace) *layout {
+	m := cfg.Machine
+	bytes := cfg.N * cfg.N * 8
+	lay := &layout{
+		aBase:  make([]uint64, tasks),
+		cBase:  make([]uint64, tasks),
+		bBase:  make([]uint64, tasks),
+		writer: make([]bool, tasks),
+	}
+	for t := 0; t < tasks; t++ {
+		lay.aBase[t] = space.Alloc(bytes)
+		lay.cBase[t] = space.Alloc(bytes)
+	}
+	mode := cfg.Mode
+	if tasks == 1 && mode == Seq {
+		mode = NoHLS
+	}
+	switch mode {
+	case NoHLS:
+		for t := 0; t < tasks; t++ {
+			lay.bBase[t] = space.Alloc(bytes)
+			lay.writer[t] = true
+		}
+	case HLSNode:
+		base := space.Alloc(bytes)
+		for t := 0; t < tasks; t++ {
+			lay.bBase[t] = base
+		}
+		lay.writer[0] = true
+	case HLSNuma:
+		perSocket := make(map[int]uint64)
+		for t := 0; t < tasks; t++ {
+			socket := m.PlaceOf(t * m.Spec.ThreadsPerCore).Socket
+			base, ok := perSocket[socket]
+			if !ok {
+				base = space.Alloc(bytes)
+				perSocket[socket] = base
+				lay.writer[t] = true
+			}
+			lay.bBase[t] = base
+		}
+	}
+	return lay
+}
+
+// stream generates the ijk-order DGEMM access pattern at cache-line
+// granularity: for each i, for each k: read A[i][k]; then sweep row k of B
+// and row i of C one line (8 doubles) at a time. B is the reuse-heavy
+// operand (scanned once per i), which is exactly why sharing it pays.
+type stream struct {
+	cfg  *Config
+	lay  *layout
+	task int
+
+	n     int
+	step  int
+	i, k  int
+	jLine int // line index within the row sweep; -1 = emit A read next
+	upd   int
+	done  bool
+}
+
+func newStream(cfg *Config, lay *layout, task int) *stream {
+	return &stream{cfg: cfg, lay: lay, task: task, n: cfg.N, jLine: -1, upd: -1}
+}
+
+// Core implements cachesim.Stream.
+func (s *stream) Core() int { return s.task }
+
+// linesPerRow returns the number of 64-byte lines a matrix row spans.
+func (s *stream) linesPerRow() int { return (s.n*8 + 63) / 64 }
+
+// Next implements cachesim.Stream.
+func (s *stream) Next() (cachesim.Access, bool) {
+	if s.done {
+		return cachesim.Access{}, false
+	}
+	if s.upd >= 0 {
+		return s.nextUpdate()
+	}
+	if s.jLine < 0 {
+		s.jLine = 0
+		addr := s.lay.aBase[s.task] + uint64((s.i*s.n+s.k)*8)
+		return cachesim.Access{Addr: addr, Bytes: 8}, true
+	}
+	lpr := s.linesPerRow()
+	// Read a line of B row k, then (same jLine) write the C line; to keep
+	// the generator single-emission, alternate B and C using even/odd.
+	half := s.jLine / 2
+	isB := s.jLine%2 == 0
+	s.jLine++
+	if s.jLine >= 2*lpr {
+		s.jLine = -1
+		s.k++
+		if s.k >= s.n {
+			s.k = 0
+			s.i++
+			if s.i >= s.n {
+				s.i = 0
+				s.endOfStep()
+			}
+		}
+	}
+	if isB {
+		addr := s.lay.bBase[s.task] + uint64(s.k*s.n*8+half*64)
+		return cachesim.Access{Addr: addr, Bytes: 64}, true
+	}
+	addr := s.lay.cBase[s.task] + uint64(s.i*s.n*8+half*64)
+	return cachesim.Access{Addr: addr, Bytes: 64, Write: true}, true
+}
+
+func (s *stream) endOfStep() {
+	s.step++
+	if s.step >= s.cfg.Steps {
+		s.done = true
+		return
+	}
+	if s.cfg.Update && s.lay.writer[s.task] {
+		s.upd = 0
+	}
+}
+
+func (s *stream) nextUpdate() (cachesim.Access, bool) {
+	bytes := s.n * s.n * 8
+	addr := s.lay.bBase[s.task] + uint64(s.upd*64)
+	s.upd++
+	if s.upd*64 >= bytes {
+		s.upd = -1
+	}
+	return cachesim.Access{Addr: addr, Bytes: 64, Write: true}, true
+}
+
+// Result is one point of Figure 3.
+type Result struct {
+	// GFLOPS is the per-task rate 2·N³·steps / time.
+	GFLOPS   float64
+	Cycles   float64
+	ParStats cachesim.Stats
+}
+
+// Bandwidth is the per-socket roofline (see meshupdate.Bandwidth).
+var Bandwidth = cachesim.BandwidthModel{BytesPerCycle: 10}
+
+// RunCacheExperiment simulates one (mode, N) point with a warm-up step
+// excluded from the measurement.
+func RunCacheExperiment(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	tasks := cfg.Tasks
+	if cfg.Mode == Seq {
+		tasks = 1
+	}
+	if cfg.FreqGHz <= 0 {
+		cfg.FreqGHz = 2.0
+	}
+	sys := cachesim.New(cfg.Machine)
+	space := cachesim.NewAddressSpace(sys.LineBytes())
+	lay := buildLayout(&cfg, tasks, space)
+	cores := make([]int, tasks)
+	for t := range cores {
+		cores[t] = t
+	}
+	mk := func(c Config) []cachesim.Stream {
+		out := make([]cachesim.Stream, tasks)
+		for t := 0; t < tasks; t++ {
+			out[t] = newStream(&c, lay, t)
+		}
+		return out
+	}
+	warm := cfg
+	warm.Steps = 1
+	warm.Update = false
+	cachesim.Interleave(sys, mk(warm), 256)
+	sys.ResetCounters()
+	cachesim.Interleave(sys, mk(cfg), 256)
+	cycles := Bandwidth.ParallelCycles(sys, cores)
+	flops := 2 * float64(cfg.N) * float64(cfg.N) * float64(cfg.N) * float64(cfg.Steps)
+	seconds := cycles / (cfg.FreqGHz * 1e9)
+	return Result{
+		GFLOPS:   flops / seconds / 1e9,
+		Cycles:   cycles,
+		ParStats: sys.Stats(),
+	}, nil
+}

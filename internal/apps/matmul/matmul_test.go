@@ -1,0 +1,198 @@
+package matmul
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hls/internal/cachesim"
+	"hls/internal/topology"
+)
+
+func TestDgemmCorrectness(t *testing.T) {
+	// Compare the blocked kernel against a naive triple loop.
+	rng := rand.New(rand.NewSource(1))
+	n, m, k := 17, 23, 9 // awkward non-block-multiple sizes
+	a := make([]float64, n*k)
+	b := make([]float64, k*m)
+	c := make([]float64, n*m)
+	want := make([]float64, n*m)
+	for i := range a {
+		a[i] = rng.Float64()
+	}
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	for i := range c {
+		c[i] = rng.Float64()
+		want[i] = c[i]
+	}
+	for i := 0; i < n; i++ {
+		for kk := 0; kk < k; kk++ {
+			for j := 0; j < m; j++ {
+				want[i*m+j] += a[i*k+kk] * b[kk*m+j]
+			}
+		}
+	}
+	Dgemm(c, a, b, n, m, k)
+	for i := range c {
+		if math.Abs(c[i]-want[i]) > 1e-9 {
+			t.Fatalf("C[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestDgemmAccumulates(t *testing.T) {
+	// C ← A·B + C twice must equal 2·A·B + C0.
+	n := 8
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = 1
+		b[i] = 1
+	}
+	Dgemm(c, a, b, n, n, n)
+	Dgemm(c, a, b, n, n, n)
+	for i := range c {
+		if c[i] != 2*float64(n) {
+			t.Fatalf("C[%d] = %v, want %v", i, c[i], 2*float64(n))
+		}
+	}
+}
+
+func TestDgemmPanicsOnShortBuffers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short buffer accepted")
+		}
+	}()
+	Dgemm(make([]float64, 1), make([]float64, 1), make([]float64, 1), 4, 4, 4)
+}
+
+func TestStreamTouchesAllMatrices(t *testing.T) {
+	cfg := Config{Machine: topology.NehalemEX4Scaled(), Tasks: 1, Mode: NoHLS, N: 16, Steps: 1}
+	space := cachesim.NewAddressSpace(64)
+	lay := buildLayout(&cfg, 1, space)
+	s := newStream(&cfg, lay, 0)
+	var reads, writes, total int
+	for {
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		total++
+		if a.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	// Per (i,k): 1 A read + lines(B row) reads + lines(C row) writes.
+	lpr := (16*8 + 63) / 64 // 2 lines
+	wantWrites := 16 * 16 * lpr
+	wantReads := 16*16 + 16*16*lpr
+	if writes != wantWrites || reads != wantReads {
+		t.Errorf("reads/writes = %d/%d, want %d/%d", reads, writes, wantReads, wantWrites)
+	}
+	_ = total
+}
+
+func TestLayoutModes(t *testing.T) {
+	m := topology.NehalemEX4Scaled()
+	cfg := Config{Machine: m, Tasks: 32, N: 8, Steps: 1}
+	cfg.Mode = HLSNode
+	lay := buildLayout(&cfg, 32, cachesim.NewAddressSpace(64))
+	for _, b := range lay.bBase {
+		if b != lay.bBase[0] {
+			t.Error("HLSNode B differs between tasks")
+		}
+	}
+	cfg.Mode = HLSNuma
+	lay = buildLayout(&cfg, 32, cachesim.NewAddressSpace(64))
+	distinct := map[uint64]bool{}
+	for _, b := range lay.bBase {
+		distinct[b] = true
+	}
+	if len(distinct) != 4 {
+		t.Errorf("HLSNuma distinct B copies = %d, want 4", len(distinct))
+	}
+	// A and C always private.
+	seen := map[uint64]bool{}
+	for i := range lay.aBase {
+		seen[lay.aBase[i]] = true
+		seen[lay.cBase[i]] = true
+	}
+	if len(seen) != 64 {
+		t.Errorf("private matrices = %d, want 64", len(seen))
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache simulation is slow")
+	}
+	// At a size where 8 private Bs thrash the (scaled) LLC but one shared
+	// B fits: seq >= HLS > noHLS.
+	machine := topology.NehalemEX4Scaled()
+	run := func(mode Mode, n int) float64 {
+		res, err := RunCacheExperiment(Config{
+			Machine: machine, Tasks: 32, Mode: mode, N: n, Steps: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.GFLOPS
+	}
+	const n = 64 // past the no-HLS LLC crossover of the scaled machine, before the HLS one
+	seq := run(Seq, n)
+	no := run(NoHLS, n)
+	node := run(HLSNode, n)
+	numa := run(HLSNuma, n)
+	t.Logf("N=%d: seq=%.2f noHLS=%.2f node=%.2f numa=%.2f", n, seq, no, node, numa)
+	if node <= no || numa <= no {
+		t.Errorf("HLS (%.2f/%.2f) not above noHLS (%.2f)", node, numa, no)
+	}
+	if seq < node*0.8 {
+		t.Errorf("sequential %.2f unexpectedly far below HLS %.2f", seq, node)
+	}
+}
+
+func TestSmallSizesAllEqual(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache simulation is slow")
+	}
+	// When everything fits in cache for every mode, the figure's curves
+	// coincide.
+	machine := topology.NehalemEX4Scaled()
+	var rates []float64
+	for _, mode := range []Mode{Seq, NoHLS, HLSNode, HLSNuma} {
+		res, err := RunCacheExperiment(Config{Machine: machine, Tasks: 32, Mode: mode, N: 8, Steps: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates = append(rates, res.GFLOPS)
+	}
+	for i := 1; i < len(rates); i++ {
+		if rates[i] < rates[0]*0.7 || rates[i] > rates[0]*1.4 {
+			t.Errorf("mode %d rate %.2f deviates from seq %.2f at cache-resident size", i, rates[i], rates[0])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := RunCacheExperiment(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := RunCacheExperiment(Config{Machine: topology.NehalemEX4Scaled(), Mode: NoHLS, Tasks: 0, N: 4, Steps: 1}); err == nil {
+		t.Error("zero tasks accepted for parallel mode")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for _, m := range []Mode{Seq, NoHLS, HLSNode, HLSNuma} {
+		if m.String() == "" {
+			t.Error("empty mode name")
+		}
+	}
+}

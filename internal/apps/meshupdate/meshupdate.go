@@ -1,0 +1,300 @@
+// Package meshupdate is the paper's first cache benchmark (§II-D1,
+// §V-A1, Table I): every MPI task updates its private 3-D sub-domain by
+// interpolating in a common 2-D table accessed uniformly at random. The
+// table is the HLS candidate: without HLS it is duplicated per task (8
+// copies per socket thrash the shared LLC), with scope node it exists
+// once, with scope numa once per socket.
+//
+// The package provides both a cache-simulator driver (the access streams
+// of the kernel, replayed through internal/cachesim to regenerate
+// Table I) and a real execution over the MPI runtime and HLS registry
+// (used by the examples and semantic tests).
+package meshupdate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hls/internal/cachesim"
+	"hls/internal/topology"
+)
+
+// Mode selects the sharing configuration of the common table.
+type Mode int
+
+const (
+	// NoHLS duplicates the table per task (the regular MPI program).
+	NoHLS Mode = iota
+	// HLSNode shares one table per node.
+	HLSNode
+	// HLSNuma shares one table per NUMA domain.
+	HLSNuma
+)
+
+// String names the mode like the table's row labels.
+func (m Mode) String() string {
+	switch m {
+	case NoHLS:
+		return "without HLS"
+	case HLSNode:
+		return "HLS node"
+	case HLSNuma:
+		return "HLS numa"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parametrizes the benchmark.
+type Config struct {
+	Machine *topology.Machine
+	Tasks   int
+	Mode    Mode
+	// CellsPerTask is the sub-domain size in cells (8 B each). The paper's
+	// small/medium/large are 50³/100³/200³ at full scale.
+	CellsPerTask int
+	// TableEntries is the number of float64 entries of the common table
+	// (1000×1000 at full scale).
+	TableEntries int
+	// Steps is the number of time steps.
+	Steps int
+	// Update modifies the table between steps (inside a single), the
+	// variant separating the node and numa scopes.
+	Update bool
+	// Seed makes the random table accesses reproducible.
+	Seed int64
+}
+
+func (c *Config) validate() error {
+	if c.Machine == nil || c.Tasks < 1 || c.CellsPerTask < 1 || c.TableEntries < 1 || c.Steps < 1 {
+		return fmt.Errorf("meshupdate: invalid config %+v", c)
+	}
+	if c.Tasks > c.Machine.TotalCores() {
+		return fmt.Errorf("meshupdate: %d tasks exceed %d cores", c.Tasks, c.Machine.TotalCores())
+	}
+	return nil
+}
+
+// layout assigns simulated addresses.
+type layout struct {
+	meshBase  []uint64 // per task
+	tableBase []uint64 // per task (may alias across tasks per the mode)
+	writer    []bool   // per task: does it write the table in update mode
+}
+
+func buildLayout(cfg *Config, space *cachesim.AddressSpace) *layout {
+	m := cfg.Machine
+	lay := &layout{
+		meshBase:  make([]uint64, cfg.Tasks),
+		tableBase: make([]uint64, cfg.Tasks),
+		writer:    make([]bool, cfg.Tasks),
+	}
+	tableBytes := cfg.TableEntries * 8
+	for t := 0; t < cfg.Tasks; t++ {
+		lay.meshBase[t] = space.Alloc(cfg.CellsPerTask * 8)
+	}
+	switch cfg.Mode {
+	case NoHLS:
+		for t := 0; t < cfg.Tasks; t++ {
+			lay.tableBase[t] = space.Alloc(tableBytes)
+			lay.writer[t] = true // each task updates its own copy
+		}
+	case HLSNode:
+		base := space.Alloc(tableBytes)
+		for t := 0; t < cfg.Tasks; t++ {
+			lay.tableBase[t] = base
+		}
+		lay.writer[0] = true
+	case HLSNuma:
+		perSocket := make(map[int]uint64)
+		for t := 0; t < cfg.Tasks; t++ {
+			// One task per core: core index == task index under the
+			// paper's pinning.
+			socket := m.PlaceOf(t * m.Spec.ThreadsPerCore).Socket
+			base, ok := perSocket[socket]
+			if !ok {
+				base = space.Alloc(tableBytes)
+				perSocket[socket] = base
+				lay.writer[t] = true // first task of the socket updates
+			}
+			lay.tableBase[t] = base
+		}
+	}
+	return lay
+}
+
+// stream is the per-task access generator: for each step, for each cell,
+// read the cell, read two 16-byte spans of the table (bilinear
+// interpolation corners), write the cell; in update mode the designated
+// writer then rewrites the whole table (the single region).
+type stream struct {
+	cfg  *Config
+	lay  *layout
+	task int
+	rng  *rand.Rand
+
+	tableRows int
+	tableCols int
+
+	step      int
+	cell      int
+	phase     int // 0 read cell, 1 table lo row, 2 table hi row, 3 write cell
+	cornerIdx int // interpolation corner, carried between phases 1 and 2
+	upd       int // table line index during the update phase, -1 when inactive
+	done      bool
+}
+
+func newStream(cfg *Config, lay *layout, task int) *stream {
+	cols := 1
+	for cols*cols < cfg.TableEntries {
+		cols++
+	}
+	return &stream{
+		cfg:       cfg,
+		lay:       lay,
+		task:      task,
+		rng:       rand.New(rand.NewSource(cfg.Seed + int64(task)*7919)),
+		tableRows: cfg.TableEntries / cols,
+		tableCols: cols,
+		upd:       -1,
+	}
+}
+
+// Core implements cachesim.Stream. One task per core.
+func (s *stream) Core() int { return s.task }
+
+// Next implements cachesim.Stream.
+func (s *stream) Next() (cachesim.Access, bool) {
+	if s.done {
+		return cachesim.Access{}, false
+	}
+	if s.upd >= 0 {
+		return s.nextUpdate()
+	}
+	cellAddr := s.lay.meshBase[s.task] + uint64(s.cell*8)
+	switch s.phase {
+	case 0:
+		s.phase = 1
+		return cachesim.Access{Addr: cellAddr, Bytes: 8}, true
+	case 1:
+		ix := s.rng.Intn(maxInt(1, s.tableCols-1))
+		iy := s.rng.Intn(maxInt(1, s.tableRows-1))
+		s.phase = 2
+		// Remember the corner for the second row access.
+		s.cornerIdx = iy*s.tableCols + ix
+		addr := s.lay.tableBase[s.task] + uint64(s.cornerIdx*8)
+		return cachesim.Access{Addr: addr, Bytes: 16}, true
+	case 2:
+		s.phase = 3
+		addr := s.lay.tableBase[s.task] + uint64((s.cornerIdx+s.tableCols)*8)
+		return cachesim.Access{Addr: addr, Bytes: 16}, true
+	default:
+		s.phase = 0
+		s.cell++
+		if s.cell >= s.cfg.CellsPerTask {
+			s.cell = 0
+			s.endOfStep()
+		}
+		return cachesim.Access{Addr: cellAddr, Bytes: 8, Write: true}, true
+	}
+}
+
+func (s *stream) endOfStep() {
+	s.step++
+	if s.step >= s.cfg.Steps {
+		s.done = true
+		return
+	}
+	if s.cfg.Update && s.lay.writer[s.task] {
+		s.upd = 0
+	}
+}
+
+// nextUpdate emits the table-rewrite writes, one cache line at a time.
+func (s *stream) nextUpdate() (cachesim.Access, bool) {
+	const line = 64
+	tableBytes := s.cfg.TableEntries * 8
+	addr := s.lay.tableBase[s.task] + uint64(s.upd*line)
+	s.upd++
+	if s.upd*line >= tableBytes {
+		s.upd = -1
+	}
+	return cachesim.Access{Addr: addr, Bytes: line, Write: true}, true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Result is the outcome of one cache experiment.
+type Result struct {
+	SeqCycles float64
+	ParCycles float64
+	// Efficiency is the weak-scaling parallel efficiency t_seq/t_par that
+	// Table I reports.
+	Efficiency float64
+	ParStats   cachesim.Stats
+}
+
+// Bandwidth is the per-socket memory bandwidth of the cost model, in
+// bytes per cycle (Nehalem-EX ballpark: ~20 GB/s per socket at 2 GHz
+// shared by 8 cores ≈ 10 B/cycle).
+var Bandwidth = cachesim.BandwidthModel{BytesPerCycle: 10}
+
+// RunCacheExperiment measures the weak-scaling efficiency of cfg: the
+// sequential baseline runs the same per-task workload alone on core 0
+// with one private table copy. Each run does one untimed warm-up step so
+// the reported numbers are steady-state, as in the paper's multi-step
+// kernels ("access times to the table should be reduced except for the
+// first iteration").
+func RunCacheExperiment(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	seqCfg := cfg
+	seqCfg.Tasks = 1
+	seqCfg.Mode = NoHLS
+	seq := runOnce(seqCfg)
+	par := runOnce(cfg)
+	return Result{
+		SeqCycles:  seq.cycles,
+		ParCycles:  par.cycles,
+		Efficiency: seq.cycles / par.cycles,
+		ParStats:   par.stats,
+	}, nil
+}
+
+type runOutcome struct {
+	cycles float64
+	stats  cachesim.Stats
+}
+
+func runOnce(cfg Config) runOutcome {
+	sys := cachesim.New(cfg.Machine)
+	space := cachesim.NewAddressSpace(sys.LineBytes())
+	lay := buildLayout(&cfg, space)
+	cores := make([]int, cfg.Tasks)
+	for t := range cores {
+		cores[t] = t
+	}
+	mkStreams := func(c Config) []cachesim.Stream {
+		streams := make([]cachesim.Stream, c.Tasks)
+		for t := 0; t < c.Tasks; t++ {
+			streams[t] = newStream(&c, lay, t)
+		}
+		return streams
+	}
+	warmup := cfg
+	warmup.Steps = 1
+	warmup.Update = false
+	cachesim.Interleave(sys, mkStreams(warmup), 256)
+	sys.ResetCounters()
+	cachesim.Interleave(sys, mkStreams(cfg), 256)
+	return runOutcome{
+		cycles: Bandwidth.ParallelCycles(sys, cores),
+		stats:  sys.Stats(),
+	}
+}

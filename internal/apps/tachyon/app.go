@@ -1,0 +1,179 @@
+package tachyon
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"hls/internal/hls"
+	"hls/internal/memsim"
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+// Config parametrizes a distributed rendering run.
+type Config struct {
+	Machine *topology.Machine
+	Tasks   int
+	// W, H are the image dimensions (paper: 4000×4000, scaled here).
+	W, H int
+	// Frames is the number of frames rendered (paper: ~5000); the camera
+	// orbits the scene between frames.
+	Frames int
+	// Spheres / Triangles control the procedural scene size.
+	Spheres   int
+	Triangles int
+	// UseHLS shares the scene and the image per node.
+	UseHLS bool
+	Seed   int64
+
+	Tracker *memsim.Tracker
+	// PaperSceneBytes / PaperImageBytes are the full-scale footprints
+	// (377 MB scene, 183 MB image).
+	PaperSceneBytes int64
+	PaperImageBytes int64
+	// PaperPrivateBytes is the per-task footprint that stays private after
+	// the paper's struct split (MPI buffers, rank state); fitted to Table
+	// IV's HLS row.
+	PaperPrivateBytes int64
+}
+
+func (c *Config) validate() error {
+	if c.Machine == nil || c.Tasks < 1 || c.W < 1 || c.H < c.Tasks || c.Frames < 1 {
+		return fmt.Errorf("tachyon: invalid config %+v (H must be >= Tasks)", c)
+	}
+	return nil
+}
+
+// Diagnostics summarizes a run.
+type Diagnostics struct {
+	// FrameChecksums holds rank 0's FNV-1a hash of every assembled frame.
+	FrameChecksums []uint64
+	Elapsed        time.Duration
+}
+
+// App wires the ray tracer to the runtime.
+type App struct {
+	cfg   Config
+	scene *hls.Var[Scene] // one Scene per node when UseHLS
+	image *hls.Var[uint8] // shared frame buffer when UseHLS
+}
+
+// New declares the HLS scene and image (node scope) when cfg.UseHLS is
+// set. The paper made the same two structures HLS after splitting
+// Tachyon's state into a shareable part and a private part.
+func New(reg *hls.Registry, cfg Config) (*App, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PaperSceneBytes == 0 {
+		cfg.PaperSceneBytes = 377 << 20
+	}
+	if cfg.PaperImageBytes == 0 {
+		cfg.PaperImageBytes = 183 << 20
+	}
+	if cfg.PaperPrivateBytes == 0 {
+		cfg.PaperPrivateBytes = 17 << 20
+	}
+	a := &App{cfg: cfg}
+	if cfg.UseHLS {
+		a.scene = hls.Declare[Scene](reg, "tachyon_scene", topology.Node, 1,
+			hls.WithAccountBytes[Scene](cfg.PaperSceneBytes))
+		a.image = hls.Declare[uint8](reg, "tachyon_image", topology.Node, 3*cfg.W*cfg.H,
+			hls.WithAccountBytes[uint8](cfg.PaperImageBytes))
+	}
+	return a, nil
+}
+
+// Run renders cfg.Frames frames as one MPI task. Scanline y of each frame
+// belongs to rank y % size; rank 0 assembles full frames and returns
+// their checksums (other ranks return empty checksums).
+func (a *App) Run(task *mpi.Task) (Diagnostics, error) {
+	cfg := a.cfg
+	start := time.Now()
+	rank, size := task.Rank(), task.Size()
+	rowBytes := 3 * cfg.W
+
+	if cfg.Tracker != nil {
+		al := cfg.Tracker.AllocRank(rank, cfg.PaperPrivateBytes, memsim.KindApp)
+		defer cfg.Tracker.Free(al)
+	}
+
+	// Scene: built once per node inside a single (HLS) or per task.
+	var scene *Scene
+	if a.scene != nil {
+		a.scene.Single(task, func(s []Scene) {
+			s[0] = *BuildScene(cfg.Seed, cfg.Spheres, cfg.Triangles)
+		})
+		scene = &a.scene.Slice(task)[0]
+	} else {
+		if cfg.Tracker != nil {
+			al := cfg.Tracker.AllocRank(rank, cfg.PaperSceneBytes, memsim.KindApp)
+			defer cfg.Tracker.Free(al)
+		}
+		scene = BuildScene(cfg.Seed, cfg.Spheres, cfg.Triangles)
+	}
+
+	// Image: shared per node or private per task.
+	var image []uint8
+	if a.image != nil {
+		image = a.image.Slice(task)
+	} else {
+		if cfg.Tracker != nil {
+			al := cfg.Tracker.AllocRank(rank, cfg.PaperImageBytes, memsim.KindApp)
+			defer cfg.Tracker.Free(al)
+		}
+		image = make([]uint8, 3*cfg.W*cfg.H)
+	}
+
+	var diag Diagnostics
+	for frame := 0; frame < cfg.Frames; frame++ {
+		angle := 2 * math.Pi * float64(frame) / float64(maxI(cfg.Frames, 1)) / 8
+		cam := NewCamera(
+			V3{10 * math.Sin(angle), 3.5, 10*math.Cos(angle) - 2},
+			V3{0, 0.8, -6},
+			55, cfg.W, cfg.H,
+		)
+		// Render this rank's scanlines.
+		for y := rank; y < cfg.H; y += size {
+			scene.RenderRow(cam, y, image[y*rowBytes:(y+1)*rowBytes])
+		}
+		// Assemble at rank 0. With a node-shared image the runtime elides
+		// same-address intra-node copies; the sends still happen, keeping
+		// the program identical to the private-image version.
+		tagBase := 1000 + frame*cfg.H
+		if rank == 0 {
+			for y := 0; y < cfg.H; y++ {
+				src := y % size
+				if src == 0 {
+					continue
+				}
+				mpi.Recv(task, nil, image[y*rowBytes:(y+1)*rowBytes], src, tagBase+y)
+			}
+			h := fnv.New64a()
+			h.Write(image)
+			diag.FrameChecksums = append(diag.FrameChecksums, h.Sum64())
+		} else {
+			for y := rank; y < cfg.H; y += size {
+				mpi.Send(task, nil, image[y*rowBytes:(y+1)*rowBytes], 0, tagBase+y)
+			}
+		}
+		// Sample before the frame barrier: every task is still alive (none
+		// can pass the barrier before rank 0 enters it), so the snapshot
+		// sees all allocations.
+		if cfg.Tracker != nil && rank == 0 {
+			cfg.Tracker.Sample()
+		}
+		mpi.Barrier(task, nil)
+	}
+	diag.Elapsed = time.Since(start)
+	return diag, nil
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

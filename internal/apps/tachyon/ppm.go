@@ -1,0 +1,34 @@
+package tachyon
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// EncodePPM writes an RGB image (3 bytes per pixel, row-major) as a
+// binary PPM (P6) stream.
+func EncodePPM(w io.Writer, img []uint8, width, height int) error {
+	if len(img) != 3*width*height {
+		return fmt.Errorf("tachyon: image buffer is %d bytes, want %d for %dx%d",
+			len(img), 3*width*height, width, height)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", width, height); err != nil {
+		return err
+	}
+	if _, err := bw.Write(img); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// RenderFrame renders a full frame single-threaded: a convenience for
+// tools and tests that do not need the MPI decomposition.
+func RenderFrame(scene *Scene, cam *Camera) []uint8 {
+	img := make([]uint8, 3*cam.W*cam.H)
+	for y := 0; y < cam.H; y++ {
+		scene.RenderRow(cam, y, img[y*3*cam.W:(y+1)*3*cam.W])
+	}
+	return img
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"io"
+
+	"hls/internal/apps/matmul"
+	"hls/internal/topology"
+)
+
+// Fig3Point is one point of a Figure 3 curve.
+type Fig3Point struct {
+	Mode   matmul.Mode
+	N      int // scaled matrix dimension
+	Update bool
+	GFLOPS float64
+}
+
+// Fig3Sizes returns the matrix-size sweep (scaled: the paper's crossovers
+// around N≈500-900 at 18 MB LLC map to N≈40-110 at 288 KiB).
+func Fig3Sizes(p Profile) []int {
+	if p == Full {
+		return []int{16, 24, 32, 40, 48, 64, 80, 96, 128}
+	}
+	return []int{16, 48, 64}
+}
+
+// RunFigure3 regenerates Figure 3: per-task DGEMM GFLOPS vs matrix size
+// for {sequential, no HLS, HLS node, HLS numa}, in the no-update and
+// update variants.
+func RunFigure3(p Profile, update bool) ([]Fig3Point, error) {
+	machine := topology.NehalemEX4Scaled()
+	var out []Fig3Point
+	for _, n := range Fig3Sizes(p) {
+		for _, mode := range []matmul.Mode{matmul.Seq, matmul.NoHLS, matmul.HLSNode, matmul.HLSNuma} {
+			res, err := matmul.RunCacheExperiment(matmul.Config{
+				Machine: machine,
+				Tasks:   machine.TotalCores(),
+				Mode:    mode,
+				N:       n,
+				Steps:   2,
+				Update:  update,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig3Point{Mode: mode, N: n, Update: update, GFLOPS: res.GFLOPS})
+		}
+	}
+	return out, nil
+}
+
+// PrintFigure3 renders one variant's curves as aligned series.
+func PrintFigure3(w io.Writer, points []Fig3Point, update bool) {
+	variant := "no-update"
+	if update {
+		variant = "update"
+	}
+	fprintf(w, "Figure 3 (%s): per-task DGEMM GFLOPS vs (scaled) matrix size on 4x Nehalem-EX\n", variant)
+	var sizes []int
+	seen := map[int]bool{}
+	for _, pt := range points {
+		if pt.Update == update && !seen[pt.N] {
+			seen[pt.N] = true
+			sizes = append(sizes, pt.N)
+		}
+	}
+	fprintf(w, "%-14s", "N")
+	for _, n := range sizes {
+		fprintf(w, " %7d", n)
+	}
+	fprintf(w, "\n")
+	for _, mode := range []matmul.Mode{matmul.Seq, matmul.NoHLS, matmul.HLSNode, matmul.HLSNuma} {
+		fprintf(w, "%-14s", mode)
+		for _, n := range sizes {
+			for _, pt := range points {
+				if pt.Mode == mode && pt.N == n && pt.Update == update {
+					fprintf(w, " %7.2f", pt.GFLOPS)
+				}
+			}
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "(paper: all curves equal while in cache; no-HLS falls off first; HLS tracks sequential;\n")
+	fprintf(w, " with update, numa beats node at small sizes)\n")
+}

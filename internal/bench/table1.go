@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"io"
+
+	"hls/internal/apps/meshupdate"
+	"hls/internal/topology"
+)
+
+// TableICell is one parallel-efficiency measurement.
+type TableICell struct {
+	Mode       meshupdate.Mode
+	Size       string // "small" | "medium" | "large"
+	Update     bool
+	Efficiency float64
+}
+
+// TableISizes maps the paper's sub-domain settings (50³/100³/200³ cells,
+// i.e. ~1 MB / 8 MB / 60 MB) to scaled cell counts (bytes ÷ 64).
+func TableISizes(p Profile) map[string]int {
+	if p == Full {
+		return map[string]int{
+			"small":  (1 << 20) / 64 / 8,  // 2048 cells
+			"medium": (8 << 20) / 64 / 8,  // 16384 cells
+			"large":  (60 << 20) / 64 / 8, // 122880 cells
+		}
+	}
+	return map[string]int{
+		"small":  512,
+		"medium": 2048,
+		"large":  8192,
+	}
+}
+
+// tableITableEntries is the scaled common table: 1000×1000 doubles ≈ 8 MB
+// at paper scale, 128 KiB scaled.
+const tableITableEntries = (8 << 20) / 64 / 8
+
+// RunTableI regenerates Table I: parallel efficiency of the mesh-update
+// benchmark for {no HLS, HLS node, HLS numa} × {small, medium, large} ×
+// {no update, update} on the (scaled) 4-socket Nehalem-EX node.
+func RunTableI(p Profile) ([]TableICell, error) {
+	machine := topology.NehalemEX4Scaled()
+	sizes := TableISizes(p)
+	steps := 3
+	var out []TableICell
+	for _, update := range []bool{false, true} {
+		for _, mode := range []meshupdate.Mode{meshupdate.NoHLS, meshupdate.HLSNode, meshupdate.HLSNuma} {
+			for _, size := range []string{"small", "medium", "large"} {
+				res, err := meshupdate.RunCacheExperiment(meshupdate.Config{
+					Machine:      machine,
+					Tasks:        machine.TotalCores(),
+					Mode:         mode,
+					CellsPerTask: sizes[size],
+					TableEntries: tableITableEntries,
+					Steps:        steps,
+					Update:       update,
+					Seed:         42,
+				})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, TableICell{Mode: mode, Size: size, Update: update, Efficiency: res.Efficiency})
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintTableI renders the cells in the paper's layout.
+func PrintTableI(w io.Writer, cells []TableICell) {
+	get := func(mode meshupdate.Mode, size string, update bool) float64 {
+		for _, c := range cells {
+			if c.Mode == mode && c.Size == size && c.Update == update {
+				return c.Efficiency
+			}
+		}
+		return -1
+	}
+	fprintf(w, "Table I: parallel efficiency, mesh update on 4x Nehalem-EX (scaled)\n")
+	fprintf(w, "%-14s | %-23s | %-23s\n", "", "without update", "with update")
+	fprintf(w, "%-14s | %7s %7s %7s | %7s %7s %7s\n", "mesh size", "small", "medium", "large", "small", "medium", "large")
+	for _, mode := range []meshupdate.Mode{meshupdate.NoHLS, meshupdate.HLSNode, meshupdate.HLSNuma} {
+		fprintf(w, "%-14s |", mode)
+		for _, update := range []bool{false, true} {
+			for _, size := range []string{"small", "medium", "large"} {
+				fprintf(w, " %6.0f%%", 100*get(mode, size, update))
+			}
+			fprintf(w, " |")
+		}
+		fprintf(w, "\n")
+	}
+	fprintf(w, "(paper: without HLS 30-40%%, HLS 87-99%%, node drops to ~65%% on small+update)\n")
+}

@@ -1,0 +1,384 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"hls/internal/topology"
+)
+
+// tiny machine: 2 sockets x 2 cores, private L1 (512 B), shared L2 (2 KiB
+// per socket), line 64.
+func tinyMachine() *topology.Machine {
+	return topology.MustNew(topology.Spec{
+		Name:           "tiny",
+		Nodes:          1,
+		SocketsPerNode: 2,
+		CoresPerSocket: 2,
+		ThreadsPerCore: 1,
+		Caches: []topology.CacheConfig{
+			{Level: 1, SizeBytes: 512, LineBytes: 64, Assoc: 2, SharedCores: 1, LatencyCycles: 4},
+			{Level: 2, SizeBytes: 2048, LineBytes: 64, Assoc: 4, SharedCores: 2, LatencyCycles: 20},
+		},
+		MemLatencyCycles: 100,
+	})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	s := New(tinyMachine())
+	s.Access(0, 0x1000, 8, false)
+	st := s.Stats()
+	if st.MemAccesses != 1 {
+		t.Fatalf("cold access: MemAccesses = %d, want 1", st.MemAccesses)
+	}
+	if got := s.Cycles(0); got != 100 {
+		t.Fatalf("cold access cycles = %d, want 100", got)
+	}
+	s.Access(0, 0x1008, 8, false) // same line
+	st = s.Stats()
+	if st.HitsByLevel[0] != 1 {
+		t.Fatalf("second access: L1 hits = %d, want 1", st.HitsByLevel[0])
+	}
+	if got := s.Cycles(0); got != 104 {
+		t.Fatalf("cycles = %d, want 104", got)
+	}
+}
+
+func TestSharedCacheHitBetweenCores(t *testing.T) {
+	// Core 0 loads a line; core 1 (same socket, shared L2) must hit in L2.
+	s := New(tinyMachine())
+	s.Access(0, 0x2000, 8, false)
+	s.Access(1, 0x2000, 8, false)
+	st := s.Stats()
+	if st.MemAccesses != 1 {
+		t.Errorf("MemAccesses = %d, want 1 (second core should hit shared L2)", st.MemAccesses)
+	}
+	if st.HitsByLevel[1] != 1 {
+		t.Errorf("L2 hits = %d, want 1", st.HitsByLevel[1])
+	}
+	// Core 2 is on the other socket: its L2 is different, so it misses.
+	s.Access(2, 0x2000, 8, false)
+	if got := s.Stats().MemAccesses; got != 2 {
+		t.Errorf("other-socket access: MemAccesses = %d, want 2", got)
+	}
+}
+
+func TestWriteInvalidatesOtherCaches(t *testing.T) {
+	s := New(tinyMachine())
+	// Both sockets load the line.
+	s.Access(0, 0x3000, 8, false)
+	s.Access(2, 0x3000, 8, false)
+	// Core 0 writes: core 2's copies (L1 + other-socket L2) must go.
+	s.Access(0, 0x3000, 8, true)
+	if got := s.Stats().Invalidations; got == 0 {
+		t.Fatal("write caused no invalidations")
+	}
+	base := s.Stats().MemAccesses
+	s.Access(2, 0x3000, 8, false)
+	st := s.Stats()
+	if st.MemAccesses != base+1 {
+		t.Errorf("reader after invalidation: MemAccesses = %d, want %d", st.MemAccesses, base+1)
+	}
+	if st.CoherenceMisses != 1 {
+		t.Errorf("CoherenceMisses = %d, want 1", st.CoherenceMisses)
+	}
+}
+
+func TestWriteDoesNotInvalidateOwnSharedCache(t *testing.T) {
+	// Core 0 writes; core 1 shares the same L2, so after losing its L1
+	// copy it must still hit in the shared L2 — the numa-scope effect.
+	s := New(tinyMachine())
+	s.Access(1, 0x4000, 8, false)
+	s.Access(0, 0x4000, 8, true)
+	base := s.Stats().MemAccesses
+	s.Access(1, 0x4000, 8, false)
+	st := s.Stats()
+	if st.MemAccesses != base {
+		t.Errorf("same-socket reader went to memory after neighbour write")
+	}
+	if st.HitsByLevel[1] == 0 {
+		t.Errorf("expected an L2 hit, stats: %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// L1: 512 B, 2-way, 64-B lines -> 4 sets. Addresses that map to set 0
+	// are multiples of 256. Three distinct such lines overflow the set.
+	s := New(tinyMachine())
+	s.Access(0, 0, 8, false)
+	s.Access(0, 256, 8, false)
+	s.Access(0, 512, 8, false) // evicts line 0 from L1 (LRU)
+	st := s.Stats()
+	if st.MemAccesses != 3 {
+		t.Fatalf("MemAccesses = %d, want 3", st.MemAccesses)
+	}
+	// Line 0 still lives in L2 (2048 B, 8 sets... set count 8: 2048/(4*64)=8).
+	s.Access(0, 0, 8, false)
+	st = s.Stats()
+	if st.MemAccesses != 3 {
+		t.Errorf("evicted L1 line missed L2: MemAccesses = %d", st.MemAccesses)
+	}
+	if st.HitsByLevel[1] == 0 {
+		t.Errorf("want L2 hit after L1 eviction, stats %+v", st)
+	}
+}
+
+func TestCapacityMissVsFit(t *testing.T) {
+	// A working set that fits in L2 gets hits on the second pass; one that
+	// exceeds L2 keeps missing (LRU + sequential scan = worst case).
+	m := tinyMachine()
+	line := 64
+
+	missRate := func(bytes int) float64 {
+		s := New(m)
+		// two sequential passes
+		for pass := 0; pass < 2; pass++ {
+			for off := 0; off < bytes; off += line {
+				s.Access(0, uint64(0x10000+off), 8, false)
+			}
+		}
+		st := s.Stats()
+		total := st.MemAccesses
+		for _, h := range st.HitsByLevel {
+			total += h
+		}
+		return float64(st.MemAccesses) / float64(total)
+	}
+	small := missRate(1024)  // fits in 2 KiB L2
+	large := missRate(16384) // 8x the L2
+	if small >= 0.6 {
+		t.Errorf("small working set miss rate = %.2f, want < 0.6", small)
+	}
+	if large <= 0.9 {
+		t.Errorf("thrashing working set miss rate = %.2f, want > 0.9", large)
+	}
+}
+
+func TestAccessSpanningLines(t *testing.T) {
+	s := New(tinyMachine())
+	// 100 bytes starting mid-line touches 3 lines (off 32..131).
+	s.Access(0, 32, 100, false)
+	if got := s.Stats().MemAccesses; got != 3 {
+		t.Errorf("spanning access touched %d lines, want 3", got)
+	}
+}
+
+func TestZeroByteAccessIgnored(t *testing.T) {
+	s := New(tinyMachine())
+	s.Access(0, 64, 0, false)
+	if s.Cycles(0) != 0 {
+		t.Error("zero-byte access cost cycles")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New(tinyMachine())
+	s.Access(0, 0x100, 8, true)
+	s.Reset()
+	if s.Cycles(0) != 0 {
+		t.Error("cycles survive Reset")
+	}
+	st := s.Stats()
+	if st.MemAccesses != 0 || st.Invalidations != 0 {
+		t.Error("stats survive Reset")
+	}
+	s.Access(0, 0x100, 8, false)
+	if s.Stats().MemAccesses != 1 {
+		t.Error("cache contents survived Reset")
+	}
+}
+
+func TestMaxCycles(t *testing.T) {
+	s := New(tinyMachine())
+	s.Access(0, 0, 8, false)  // 100 cycles
+	s.Access(1, 0, 8, false)  // L2 hit: 20
+	s.Access(1, 64, 8, false) // 100
+	if got := s.MaxCycles([]int{0, 1}); got != 120 {
+		t.Errorf("MaxCycles = %d, want 120", got)
+	}
+}
+
+func TestMemLinesBySocket(t *testing.T) {
+	s := New(tinyMachine())
+	s.Access(0, 0, 8, false)      // socket 0
+	s.Access(3, 0x9000, 8, false) // socket 1
+	s.Access(3, 0xA000, 8, false) // socket 1
+	st := s.Stats()
+	if st.MemLinesBySocket[0] != 1 || st.MemLinesBySocket[1] != 2 {
+		t.Errorf("MemLinesBySocket = %v, want [1 2]", st.MemLinesBySocket)
+	}
+}
+
+func TestBandwidthRoofline(t *testing.T) {
+	s := New(tinyMachine())
+	for i := 0; i < 100; i++ {
+		s.Access(0, uint64(0x100000+i*64), 8, false)
+	}
+	bm := BandwidthModel{BytesPerCycle: 0.0001} // absurdly low bandwidth
+	par := bm.ParallelCycles(s, []int{0})
+	if par <= float64(s.Cycles(0)) {
+		t.Errorf("roofline %v did not exceed compute cycles %v", par, s.Cycles(0))
+	}
+	// No bandwidth -> plain max cycles.
+	if got := (BandwidthModel{}).ParallelCycles(s, []int{0}); got != float64(s.Cycles(0)) {
+		t.Errorf("no-roofline cycles = %v, want %v", got, s.Cycles(0))
+	}
+}
+
+func TestAddressSpaceDisjoint(t *testing.T) {
+	a := NewAddressSpace(64)
+	x := a.Alloc(100)
+	y := a.Alloc(1)
+	z := a.Alloc(64)
+	if x%64 != 0 || y%64 != 0 || z%64 != 0 {
+		t.Error("allocations not line-aligned")
+	}
+	if y < x+128 { // 100 rounds to 128
+		t.Errorf("y=%d overlaps x=%d..%d", y, x, x+128)
+	}
+	if z < y+64 {
+		t.Errorf("z=%d overlaps y", z)
+	}
+	if x == 0 {
+		t.Error("address 0 allocated; reserve null")
+	}
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	s := New(tinyMachine())
+	mk := func(core int, n int) *SliceStream {
+		seq := make([]Access, n)
+		for i := range seq {
+			seq[i] = Access{Addr: uint64(0x100000 + core*0x10000 + i*64), Bytes: 8}
+		}
+		return NewSliceStream(core, seq)
+	}
+	Interleave(s, []Stream{mk(0, 10), mk(1, 5), mk(2, 0)}, 2)
+	if got := s.Stats().MemAccesses; got != 15 {
+		t.Errorf("interleave executed %d accesses, want 15", got)
+	}
+}
+
+func TestInterleaveSharingCapture(t *testing.T) {
+	// Two same-socket cores scanning the SAME addresses in lockstep: the
+	// second core should ride the first one's LLC fills (few extra memory
+	// accesses). The same scan of DISJOINT copies doubles memory traffic.
+	m := tinyMachine()
+	scan := func(core int, base uint64, n int) Stream {
+		i := 0
+		return NewFuncStream(core, func() (Access, bool) {
+			if i >= n {
+				return Access{}, false
+			}
+			a := Access{Addr: base + uint64(i*64), Bytes: 8}
+			i++
+			return a, true
+		})
+	}
+	const lines = 256 // 16 KiB, way beyond the 2 KiB L2
+
+	shared := New(m)
+	Interleave(shared, []Stream{scan(0, 0x100000, lines), scan(1, 0x100000, lines)}, 4)
+	sharedMem := shared.Stats().MemAccesses
+
+	private := New(m)
+	Interleave(private, []Stream{scan(0, 0x100000, lines), scan(1, 0x900000, lines)}, 4)
+	privateMem := private.Stats().MemAccesses
+
+	if sharedMem >= privateMem {
+		t.Errorf("shared scan memory accesses (%d) not below private (%d)", sharedMem, privateMem)
+	}
+}
+
+func TestFuncStreamCore(t *testing.T) {
+	st := NewFuncStream(3, func() (Access, bool) { return Access{}, false })
+	if st.Core() != 3 {
+		t.Error("FuncStream core wrong")
+	}
+}
+
+// Property: directory never reports a cache that does not hold the line
+// (checked indirectly: upgrades on random traffic never panic, and stats
+// stay consistent).
+func TestRandomTrafficConsistency(t *testing.T) {
+	s := New(tinyMachine())
+	rng := rand.New(rand.NewSource(3))
+	total := 0
+	for i := 0; i < 20000; i++ {
+		core := rng.Intn(4)
+		addr := uint64(rng.Intn(64)) * 64 * uint64(1+rng.Intn(8))
+		s.Access(core, addr, 8, rng.Intn(4) == 0)
+		total++
+	}
+	st := s.Stats()
+	var hits uint64
+	for _, h := range st.HitsByLevel {
+		hits += h
+	}
+	if hits+st.MemAccesses != uint64(total) {
+		t.Errorf("hits %d + memAccesses %d != accesses %d", hits, st.MemAccesses, total)
+	}
+}
+
+func TestNehalemScaledGeometry(t *testing.T) {
+	// The scaled machine must construct and keep the paper's sharing
+	// pattern: 32 L1s, 32 L2s, 4 L3s.
+	s := New(topology.NehalemEX4Scaled())
+	if len(s.caches[0]) != 32 || len(s.caches[1]) != 32 || len(s.caches[2]) != 4 {
+		t.Errorf("cache instances: %d/%d/%d, want 32/32/4",
+			len(s.caches[0]), len(s.caches[1]), len(s.caches[2]))
+	}
+}
+
+func TestDirtyWritebackCounted(t *testing.T) {
+	// Write lines until the (tiny) L2 overflows: evicted modified lines
+	// must count as write-back traffic on the socket.
+	s := New(tinyMachine()) // L2: 2 KiB shared per socket = 32 lines
+	for i := 0; i < 64; i++ {
+		s.Access(0, uint64(0x10000+i*64), 8, true)
+	}
+	st := s.Stats()
+	if st.Writebacks == 0 {
+		t.Fatal("no write-backs counted after overflowing the LLC with dirty lines")
+	}
+	// Traffic = fills (64) + writebacks, all on socket 0.
+	if st.MemLinesBySocket[0] != 64+st.Writebacks {
+		t.Errorf("socket0 lines = %d, want %d fills + %d writebacks",
+			st.MemLinesBySocket[0], 64, st.Writebacks)
+	}
+	if st.MemLinesBySocket[1] != 0 {
+		t.Errorf("socket1 traffic = %d, want 0", st.MemLinesBySocket[1])
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	s := New(tinyMachine())
+	for i := 0; i < 64; i++ {
+		s.Access(0, uint64(0x10000+i*64), 8, false) // reads only
+	}
+	if wb := s.Stats().Writebacks; wb != 0 {
+		t.Errorf("clean evictions produced %d writebacks", wb)
+	}
+}
+
+func TestAccessInvalidCorePanics(t *testing.T) {
+	s := New(tinyMachine())
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid core accepted")
+		}
+	}()
+	s.Access(99, 0, 8, false)
+}
+
+// BenchmarkAccessThroughput tracks the simulator's accesses/second — the
+// budget that bounds how large the scaled experiments can sweep.
+func BenchmarkAccessThroughput(b *testing.B) {
+	s := New(topology.NehalemEX4Scaled())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core := i & 31
+		addr := uint64((i * 2654435761) % (1 << 22))
+		s.Access(core, addr, 8, i&7 == 0)
+	}
+}

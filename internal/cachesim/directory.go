@@ -1,0 +1,71 @@
+package cachesim
+
+import "math/bits"
+
+// directory tracks, per line, which cache instances hold a copy. It is the
+// snoop filter that makes write-invalidation O(copies) instead of
+// O(caches).
+//
+// Simulated addresses come from AddressSpace's sequential allocator, so
+// line addresses are dense: the directory is a flat bitmask array indexed
+// by line address, grown on demand — far faster than a map on the
+// simulator's hot path.
+type directory struct {
+	numCaches int
+	words     int
+	bitsArr   []uint64 // [line*words .. line*words+words)
+}
+
+func newDirectory(numCaches int) directory {
+	return directory{
+		numCaches: numCaches,
+		words:     (numCaches + 63) / 64,
+	}
+}
+
+func (d *directory) ensure(lineAddr uint64) int {
+	idx := int(lineAddr) * d.words
+	if need := idx + d.words; need > len(d.bitsArr) {
+		grown := make([]uint64, max(need, len(d.bitsArr)*2+d.words))
+		copy(grown, d.bitsArr)
+		d.bitsArr = grown
+	}
+	return idx
+}
+
+func (d *directory) set(lineAddr uint64, id int) {
+	idx := d.ensure(lineAddr)
+	d.bitsArr[idx+id>>6] |= 1 << (uint(id) & 63)
+}
+
+func (d *directory) clear(lineAddr uint64, id int) {
+	idx := int(lineAddr) * d.words
+	if idx+d.words > len(d.bitsArr) {
+		return
+	}
+	d.bitsArr[idx+id>>6] &^= 1 << (uint(id) & 63)
+}
+
+// forEach calls fn for every cache id holding the line. fn may clear bits
+// of the line; iteration works on a snapshot.
+func (d *directory) forEach(lineAddr uint64, fn func(id int)) {
+	idx := int(lineAddr) * d.words
+	if idx+d.words > len(d.bitsArr) {
+		return
+	}
+	var snapshot [4]uint64
+	var snap []uint64
+	if d.words <= len(snapshot) {
+		snap = snapshot[:d.words]
+	} else {
+		snap = make([]uint64, d.words)
+	}
+	copy(snap, d.bitsArr[idx:idx+d.words])
+	for wi, w := range snap {
+		for w != 0 {
+			id := wi<<6 + bits.TrailingZeros64(w)
+			fn(id)
+			w &= w - 1
+		}
+	}
+}

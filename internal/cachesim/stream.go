@@ -1,0 +1,134 @@
+package cachesim
+
+// AddressSpace hands out disjoint, line-aligned simulated address ranges.
+// The HLS effect on the cache is purely an addressing effect: a duplicated
+// table gets one range per task, an HLS table one range per scope
+// instance, and the benchmark's access stream uses whichever range its
+// task resolves to.
+type AddressSpace struct {
+	next uint64
+	line uint64
+}
+
+// NewAddressSpace starts an address space with the given line alignment.
+func NewAddressSpace(lineBytes int) *AddressSpace {
+	return &AddressSpace{next: uint64(lineBytes), line: uint64(lineBytes)}
+}
+
+// Alloc reserves `bytes` and returns the base address, line-aligned and
+// padded to a whole number of lines so distinct allocations never share a
+// line (no false sharing between unrelated data).
+func (a *AddressSpace) Alloc(bytes int) uint64 {
+	base := a.next
+	n := (uint64(bytes) + a.line - 1) / a.line * a.line
+	if n == 0 {
+		n = a.line
+	}
+	a.next += n
+	return base
+}
+
+// Stream produces a core's access sequence lazily. Next returns the next
+// access and true, or false when the stream is exhausted.
+type Stream interface {
+	Core() int
+	Next() (Access, bool)
+}
+
+// SliceStream replays a pre-built access list.
+type SliceStream struct {
+	core int
+	seq  []Access
+	pos  int
+}
+
+// NewSliceStream wraps a slice of accesses for a core.
+func NewSliceStream(core int, seq []Access) *SliceStream {
+	return &SliceStream{core: core, seq: seq}
+}
+
+// Core returns the issuing core.
+func (s *SliceStream) Core() int { return s.core }
+
+// Next returns the next access.
+func (s *SliceStream) Next() (Access, bool) {
+	if s.pos >= len(s.seq) {
+		return Access{}, false
+	}
+	a := s.seq[s.pos]
+	s.pos++
+	return a, true
+}
+
+// FuncStream adapts a generator function to a Stream.
+type FuncStream struct {
+	core int
+	fn   func() (Access, bool)
+}
+
+// NewFuncStream wraps fn as the access stream of a core.
+func NewFuncStream(core int, fn func() (Access, bool)) *FuncStream {
+	return &FuncStream{core: core, fn: fn}
+}
+
+// Core returns the issuing core.
+func (s *FuncStream) Core() int { return s.core }
+
+// Next returns the next access.
+func (s *FuncStream) Next() (Access, bool) { return s.fn() }
+
+// Interleave drives the streams through the system in round-robin chunks
+// of `chunk` accesses, modeling cores that progress at roughly the same
+// pace — the regime in which one task's LLC fill serves its neighbours
+// ("MPI tasks access the same part of matrix B approximately at the same
+// time", §V-A2). It returns when every stream is exhausted.
+func Interleave(sys *System, streams []Stream, chunk int) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	live := len(streams)
+	done := make([]bool, len(streams))
+	for live > 0 {
+		for i, st := range streams {
+			if done[i] {
+				continue
+			}
+			for k := 0; k < chunk; k++ {
+				a, ok := st.Next()
+				if !ok {
+					done[i] = true
+					live--
+					break
+				}
+				sys.Access(st.Core(), a.Addr, a.Bytes, a.Write)
+			}
+		}
+	}
+}
+
+// BandwidthModel converts per-socket memory traffic into a lower bound on
+// parallel time: a socket cannot transfer lines faster than
+// BytesPerCycle. The roofline is what keeps HLS efficiency below 100% on
+// large working sets, and it penalizes the duplicated-table run harder
+// (8x the traffic).
+type BandwidthModel struct {
+	BytesPerCycle float64 // per socket; e.g. ~8 B/cycle for Nehalem-EX
+}
+
+// ParallelCycles returns the makespan of the run: the max over cores of
+// compute cycles, floored by each socket's bandwidth time.
+func (b BandwidthModel) ParallelCycles(sys *System, cores []int) float64 {
+	t := float64(sys.MaxCycles(cores))
+	if b.BytesPerCycle <= 0 {
+		return t
+	}
+	st := sys.Stats()
+	line := float64(sys.LineBytes())
+	for _, lines := range st.MemLinesBySocket {
+		bw := float64(lines) * line / b.BytesPerCycle
+		if bw > t {
+			t = bw
+		}
+	}
+	return t
+}

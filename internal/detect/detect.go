@@ -1,0 +1,314 @@
+// Package detect implements the paper's §III formal eligibility analysis
+// and the automatic-detection extension sketched in its conclusion:
+// "retrieve during one execution of the code all memory accesses to global
+// variables augmented with the synchronizations induced by the MPI calls",
+// then decide per variable whether it can use HLS.
+//
+// A Recorder collects the trace: every read and write of an instrumented
+// global variable is stamped with the task's vector clock (internal/hb)
+// and a hash of the value involved. Analyze then checks, for every read r
+// with value v(r), the paper's conditions on writes w to the same
+// variable:
+//
+//  1. every w ∥ r has v(w) = v(r);
+//  2. every immediate predecessor write (w ≺ r with no w' such that
+//     w ≺ w' ≺ r) has v(w) = v(r);
+//  3. at least one of the writes considered in 1 and 2 has v(w) = v(r).
+//
+// All reads coherent (1 ∧ 2) → the variable is HLS-eligible with no added
+// synchronization. Otherwise, if every task performs the same sequence of
+// write values, wrapping each write in a single directive makes the
+// variable eligible (§III-C's SPMD transformation). A read violating
+// condition 3 — or divergent write sequences — makes the variable
+// ineligible.
+package detect
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+
+	"hls/internal/hb"
+)
+
+// Verdict classifies a variable per §III.
+type Verdict int
+
+const (
+	// EligibleNoSync: every read is coherent; the variable can be made
+	// HLS without touching the program (§III-B).
+	EligibleNoSync Verdict = iota
+	// EligibleWithSingle: some reads are incoherent, but all tasks write
+	// the same value sequence, so wrapping each write in "#pragma hls
+	// single" restores coherence (§III-C).
+	EligibleWithSingle
+	// Ineligible: a read would observe a wrong value under some legal
+	// schedule and the single transformation does not apply.
+	Ineligible
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case EligibleNoSync:
+		return "eligible (no added synchronization)"
+	case EligibleWithSingle:
+		return "eligible with single around writes"
+	case Ineligible:
+		return "ineligible"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Event is one recorded access.
+type Event struct {
+	Var   string
+	Rank  int
+	Write bool
+	Value uint64 // value hash
+	Clock hb.Clock
+	Seq   int // global arrival order, for stable reporting
+}
+
+// Recorder accumulates an access trace. Safe for concurrent use by tasks.
+type Recorder struct {
+	hb *hb.Tracker
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder builds a recorder stamping events with clocks from tr.
+func NewRecorder(tr *hb.Tracker) *Recorder {
+	return &Recorder{hb: tr}
+}
+
+// Read records a read of variable name by rank returning a value with the
+// given hash.
+func (r *Recorder) Read(rank int, name string, value uint64) {
+	r.record(rank, name, false, value)
+}
+
+// Write records a write.
+func (r *Recorder) Write(rank int, name string, value uint64) {
+	r.record(rank, name, true, value)
+}
+
+func (r *Recorder) record(rank int, name string, write bool, value uint64) {
+	clock := r.hb.Tick(rank)
+	r.mu.Lock()
+	r.events = append(r.events, Event{
+		Var: name, Rank: rank, Write: write, Value: value, Clock: clock, Seq: len(r.events),
+	})
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the trace.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Finding is the per-variable analysis result.
+type Finding struct {
+	Var     string
+	Verdict Verdict
+	// Reads / Writes count the trace events of the variable.
+	Reads, Writes int
+	// IncoherentReads counts reads violating condition 1 or 2.
+	IncoherentReads int
+	// Reason explains non-trivial verdicts.
+	Reason string
+}
+
+// Analyze runs the §III analysis over the trace and returns one finding
+// per variable, sorted by name.
+func (r *Recorder) Analyze() []Finding {
+	events := r.Events()
+	byVar := make(map[string][]Event)
+	for _, e := range events {
+		byVar[e.Var] = append(byVar[e.Var], e)
+	}
+	names := make([]string, 0, len(byVar))
+	for name := range byVar {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Finding, 0, len(names))
+	for _, name := range names {
+		out = append(out, analyzeVar(name, byVar[name]))
+	}
+	return out
+}
+
+func analyzeVar(name string, evs []Event) Finding {
+	var reads, writes []Event
+	for _, e := range evs {
+		if e.Write {
+			writes = append(writes, e)
+		} else {
+			reads = append(reads, e)
+		}
+	}
+	f := Finding{Var: name, Reads: len(reads), Writes: len(writes)}
+
+	cond3Violated := false
+	for _, rd := range reads {
+		coherent, anyGood := checkRead(rd, writes)
+		if !coherent {
+			f.IncoherentReads++
+		}
+		if !anyGood {
+			cond3Violated = true
+		}
+	}
+
+	switch {
+	case f.IncoherentReads == 0:
+		f.Verdict = EligibleNoSync
+	case !cond3Violated && sameWriteSequences(writes):
+		f.Verdict = EligibleWithSingle
+		f.Reason = fmt.Sprintf("%d incoherent read(s); all tasks write the same value sequence", f.IncoherentReads)
+	default:
+		f.Verdict = Ineligible
+		if cond3Violated {
+			f.Reason = "a read has no candidate write with its value (condition 3)"
+		} else {
+			f.Reason = "tasks write divergent value sequences; the single transformation does not apply"
+		}
+	}
+	return f
+}
+
+// checkRead evaluates conditions 1-3 of §III for one read. It returns
+// whether the read is coherent (1 ∧ 2) and whether at least one candidate
+// write carries the read's value (condition 3; vacuously true when there
+// are no candidate writes, e.g. a read of the initial value).
+func checkRead(rd Event, writes []Event) (coherent, anyGood bool) {
+	coherent = true
+	var candidates []Event
+
+	// Condition 1: writes concurrent with the read.
+	for _, w := range writes {
+		if hb.Concurrent(w.Clock, rd.Clock) {
+			candidates = append(candidates, w)
+			if w.Value != rd.Value {
+				coherent = false
+			}
+		}
+	}
+	// Condition 2: immediate predecessor writes.
+	for _, w := range writes {
+		if !hb.HappensBefore(w.Clock, rd.Clock) {
+			continue
+		}
+		immediate := true
+		for _, w2 := range writes {
+			if w2.Seq == w.Seq {
+				continue
+			}
+			if hb.HappensBefore(w.Clock, w2.Clock) && hb.HappensBefore(w2.Clock, rd.Clock) {
+				immediate = false
+				break
+			}
+		}
+		if immediate {
+			candidates = append(candidates, w)
+			if w.Value != rd.Value {
+				coherent = false
+			}
+		}
+	}
+
+	if len(candidates) == 0 {
+		return coherent, true
+	}
+	for _, w := range candidates {
+		if w.Value == rd.Value {
+			return coherent, true
+		}
+	}
+	return coherent, false
+}
+
+// sameWriteSequences reports whether every task that writes the variable
+// writes the same sequence of values, in program order — the SPMD
+// precondition of §III-C. Tasks that never write are ignored (with HLS
+// plus single, only one task per instance would write anyway).
+func sameWriteSequences(writes []Event) bool {
+	byRank := make(map[int][]Event)
+	for _, w := range writes {
+		byRank[w.Rank] = append(byRank[w.Rank], w)
+	}
+	var ref []uint64
+	first := true
+	for _, ws := range byRank {
+		// Program order within a rank: order by the rank's own clock
+		// component, which Tick makes strictly increasing.
+		sort.Slice(ws, func(i, j int) bool { return ws[i].Clock[ws[i].Rank] < ws[j].Clock[ws[j].Rank] })
+		seq := make([]uint64, len(ws))
+		for i, w := range ws {
+			seq[i] = w.Value
+		}
+		if first {
+			ref = seq
+			first = false
+			continue
+		}
+		if len(seq) != len(ref) {
+			return false
+		}
+		for i := range seq {
+			if seq[i] != ref[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Hash helpers for stamping values.
+
+// HashBytes hashes a byte slice with FNV-1a.
+func HashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// HashFloat64 hashes one float64.
+func HashFloat64(v float64) uint64 {
+	var b [8]byte
+	u := math.Float64bits(v)
+	for i := range b {
+		b[i] = byte(u >> (8 * i))
+	}
+	return HashBytes(b[:])
+}
+
+// HashFloat64s hashes a float64 slice.
+func HashFloat64s(vs []float64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range vs {
+		u := math.Float64bits(v)
+		for i := range b {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// HashUint64 hashes one uint64.
+func HashUint64(v uint64) uint64 {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	return HashBytes(b[:])
+}

@@ -1,0 +1,217 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"hls/internal/hb"
+	"hls/internal/mpi"
+)
+
+// runTrace executes fn over n tasks with a shared recorder and returns
+// the findings.
+func runTrace(t *testing.T, n int, fn func(task *mpi.Task, rec *Recorder)) []Finding {
+	t.Helper()
+	tr := hb.NewTracker(n)
+	rec := NewRecorder(tr)
+	_, err := mpi.Run(mpi.Config{NumTasks: n, Hooks: tr, Timeout: 10 * time.Second}, func(task *mpi.Task) error {
+		fn(task, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Analyze()
+}
+
+func verdictOf(t *testing.T, fs []Finding, name string) Finding {
+	t.Helper()
+	for _, f := range fs {
+		if f.Var == name {
+			return f
+		}
+	}
+	t.Fatalf("no finding for %q", name)
+	return Finding{}
+}
+
+func TestReadOnlyTableEligible(t *testing.T) {
+	// The canonical HLS candidate: a constant table read by everyone.
+	fs := runTrace(t, 4, func(task *mpi.Task, rec *Recorder) {
+		for i := 0; i < 3; i++ {
+			rec.Read(task.Rank(), "table", HashFloat64(3.14))
+		}
+	})
+	f := verdictOf(t, fs, "table")
+	if f.Verdict != EligibleNoSync {
+		t.Errorf("verdict = %v, want eligible no sync (%s)", f.Verdict, f.Reason)
+	}
+	if f.Reads != 12 || f.Writes != 0 {
+		t.Errorf("counts = %d/%d", f.Reads, f.Writes)
+	}
+}
+
+func TestSameValueWritesEligible(t *testing.T) {
+	// Every task writes the same value then reads it: concurrent writes
+	// agree with every read (condition 1 holds).
+	fs := runTrace(t, 4, func(task *mpi.Task, rec *Recorder) {
+		rec.Write(task.Rank(), "v", HashUint64(7))
+		rec.Read(task.Rank(), "v", HashUint64(7))
+	})
+	f := verdictOf(t, fs, "v")
+	if f.Verdict != EligibleNoSync {
+		t.Errorf("verdict = %v (%s), want eligible", f.Verdict, f.Reason)
+	}
+}
+
+func TestDivergentWritesIneligible(t *testing.T) {
+	// Each task writes its rank: a concurrent write with a different
+	// value exists for every read, and no single transformation helps
+	// (sequences diverge).
+	fs := runTrace(t, 4, func(task *mpi.Task, rec *Recorder) {
+		rec.Write(task.Rank(), "myrank", HashUint64(uint64(task.Rank())))
+		rec.Read(task.Rank(), "myrank", HashUint64(uint64(task.Rank())))
+	})
+	f := verdictOf(t, fs, "myrank")
+	if f.Verdict != Ineligible {
+		t.Errorf("verdict = %v, want ineligible", f.Verdict)
+	}
+	if f.IncoherentReads == 0 {
+		t.Error("expected incoherent reads")
+	}
+}
+
+func TestSPMDWriteSequenceEligibleWithSingle(t *testing.T) {
+	// Every task writes the same sequence (10 then 20) separated by
+	// barriers, reading between phases. Reads are coherent under the
+	// barriers... to exercise §III-C we omit one barrier so a write runs
+	// concurrent with reads of the previous value, then check the
+	// analysis proposes the single transformation.
+	fs := runTrace(t, 4, func(task *mpi.Task, rec *Recorder) {
+		rec.Write(task.Rank(), "param", HashUint64(10))
+		rec.Read(task.Rank(), "param", HashUint64(10))
+		// No barrier here: task X's second write is concurrent with task
+		// Y's first read.
+		rec.Write(task.Rank(), "param", HashUint64(20))
+		rec.Read(task.Rank(), "param", HashUint64(20))
+	})
+	f := verdictOf(t, fs, "param")
+	if f.Verdict != EligibleWithSingle {
+		t.Errorf("verdict = %v (%s), want eligible with single", f.Verdict, f.Reason)
+	}
+}
+
+func TestBarrierMakesPhasedWritesCoherent(t *testing.T) {
+	// Same phased writes, but properly separated by MPI barriers: each
+	// read's only immediate predecessor writes (and no concurrent writes
+	// with other values)... every task still writes, so writes of phase 1
+	// are concurrent with each other but carry equal values: coherent.
+	fs := runTrace(t, 4, func(task *mpi.Task, rec *Recorder) {
+		rec.Write(task.Rank(), "param", HashUint64(10))
+		mpi.Barrier(task, nil)
+		rec.Read(task.Rank(), "param", HashUint64(10))
+		mpi.Barrier(task, nil)
+		rec.Write(task.Rank(), "param", HashUint64(20))
+		mpi.Barrier(task, nil)
+		rec.Read(task.Rank(), "param", HashUint64(20))
+	})
+	f := verdictOf(t, fs, "param")
+	if f.Verdict != EligibleNoSync {
+		t.Errorf("verdict = %v (%s), want eligible no sync", f.Verdict, f.Reason)
+	}
+}
+
+func TestStaleReadDetected(t *testing.T) {
+	// Rank 0 writes a new value, barrier, then rank 1 reads the OLD
+	// value: the immediate predecessor write disagrees -> incoherent, and
+	// condition 3 fails (no candidate write carries the stale value).
+	fs := runTrace(t, 2, func(task *mpi.Task, rec *Recorder) {
+		if task.Rank() == 0 {
+			rec.Write(0, "x", HashUint64(99))
+		}
+		mpi.Barrier(task, nil)
+		if task.Rank() == 1 {
+			rec.Read(1, "x", HashUint64(1)) // stale/wrong value
+		}
+	})
+	f := verdictOf(t, fs, "x")
+	if f.Verdict != Ineligible {
+		t.Errorf("verdict = %v, want ineligible", f.Verdict)
+	}
+}
+
+func TestMessageOrderedWriteRead(t *testing.T) {
+	// Rank 0 writes then sends; rank 1 receives then reads the written
+	// value: the write is an immediate predecessor with the right value.
+	fs := runTrace(t, 2, func(task *mpi.Task, rec *Recorder) {
+		if task.Rank() == 0 {
+			rec.Write(0, "cfg", HashUint64(5))
+			mpi.Send(task, nil, []int{1}, 1, 0)
+		} else {
+			buf := make([]int, 1)
+			mpi.Recv(task, nil, buf, 0, 0)
+			rec.Read(1, "cfg", HashUint64(5))
+		}
+	})
+	f := verdictOf(t, fs, "cfg")
+	if f.Verdict != EligibleNoSync {
+		t.Errorf("verdict = %v (%s), want eligible", f.Verdict, f.Reason)
+	}
+}
+
+func TestInterveningWriteScreensOldValue(t *testing.T) {
+	// w1(5) ≺ w2(8) ≺ read(8) on one task: w1 is screened by w2, so the
+	// read is coherent even though w1's value differs.
+	fs := runTrace(t, 1, func(task *mpi.Task, rec *Recorder) {
+		rec.Write(0, "y", HashUint64(5))
+		rec.Write(0, "y", HashUint64(8))
+		rec.Read(0, "y", HashUint64(8))
+	})
+	f := verdictOf(t, fs, "y")
+	if f.Verdict != EligibleNoSync {
+		t.Errorf("verdict = %v (%s), want eligible", f.Verdict, f.Reason)
+	}
+}
+
+func TestMultipleVariablesIndependent(t *testing.T) {
+	fs := runTrace(t, 2, func(task *mpi.Task, rec *Recorder) {
+		rec.Read(task.Rank(), "good", HashUint64(1))
+		rec.Write(task.Rank(), "bad", HashUint64(uint64(task.Rank())))
+		rec.Read(task.Rank(), "bad", HashUint64(uint64(task.Rank())))
+	})
+	if verdictOf(t, fs, "good").Verdict != EligibleNoSync {
+		t.Error("good should be eligible")
+	}
+	if verdictOf(t, fs, "bad").Verdict != Ineligible {
+		t.Error("bad should be ineligible")
+	}
+	if len(fs) != 2 {
+		t.Errorf("findings = %d, want 2", len(fs))
+	}
+	if fs[0].Var > fs[1].Var {
+		t.Error("findings not sorted")
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	for _, v := range []Verdict{EligibleNoSync, EligibleWithSingle, Ineligible} {
+		if v.String() == "" {
+			t.Error("empty verdict name")
+		}
+	}
+}
+
+func TestHashHelpers(t *testing.T) {
+	if HashFloat64(1.0) == HashFloat64(2.0) {
+		t.Error("float hashes collide trivially")
+	}
+	if HashFloat64s([]float64{1, 2}) == HashFloat64s([]float64{2, 1}) {
+		t.Error("order-insensitive slice hash")
+	}
+	if HashUint64(1) == HashUint64(2) {
+		t.Error("uint hashes collide trivially")
+	}
+	if HashBytes([]byte("a")) == HashBytes([]byte("b")) {
+		t.Error("byte hashes collide trivially")
+	}
+}

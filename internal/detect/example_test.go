@@ -1,0 +1,36 @@
+package detect_test
+
+import (
+	"fmt"
+	"time"
+
+	"hls/internal/detect"
+	"hls/internal/hb"
+	"hls/internal/mpi"
+)
+
+// Record one execution's accesses and decide which variables can use HLS
+// — the paper's §III analysis plus its future-work automation.
+func ExampleRecorder_Analyze() {
+	tracker := hb.NewTracker(4)
+	rec := detect.NewRecorder(tracker)
+	_, err := mpi.Run(mpi.Config{NumTasks: 4, Hooks: tracker, Timeout: 10 * time.Second},
+		func(task *mpi.Task) error {
+			// A constant everyone reads: the canonical HLS candidate.
+			rec.Read(task.Rank(), "G", detect.HashFloat64(6.674e-11))
+			// A per-rank value: never shareable.
+			rec.Write(task.Rank(), "rank", detect.HashUint64(uint64(task.Rank())))
+			rec.Read(task.Rank(), "rank", detect.HashUint64(uint64(task.Rank())))
+			return nil
+		})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, f := range rec.Analyze() {
+		fmt.Printf("%s: %v\n", f.Var, f.Verdict)
+	}
+	// Output:
+	// G: eligible (no added synchronization)
+	// rank: ineligible
+}

@@ -1,0 +1,79 @@
+package detect
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Suggestion turns a Finding into the concrete source change a developer
+// (or hlsgen) would apply — the last step of the paper's envisioned
+// automatic pipeline: trace, analyze (§III), emit directives.
+type Suggestion struct {
+	Var string
+	// Directive is the //hls: comment to place above the declaration, or
+	// "" when the variable must stay private.
+	Directive string
+	// WrapWritesInSingle is set when §III-C applies: every write must be
+	// wrapped in a single directive for the sharing to stay coherent.
+	WrapWritesInSingle bool
+	// Explanation summarizes why.
+	Explanation string
+}
+
+// writeHeavyRatio is the write share above which Suggest narrows the
+// scope from node to numa: Table I's update experiments show node-scope
+// sharing of frequently written data invalidates every other socket's
+// cached copy, while the numa scope keeps one valid copy per shared
+// cache.
+const writeHeavyRatio = 0.05
+
+// Suggest converts analysis findings into directive suggestions. Eligible
+// read-mostly variables get the widest scope (node, the maximum memory
+// saving); variables with a significant write share get numa, trading a
+// factor of the saving for invalidation-free shared-cache reuse —
+// figure 1's trade-off, resolved from the trace's read/write mix.
+func Suggest(findings []Finding) []Suggestion {
+	out := make([]Suggestion, 0, len(findings))
+	for _, f := range findings {
+		s := Suggestion{Var: f.Var}
+		directive := "//hls:node"
+		scopeWhy := "read-mostly: maximize the memory saving"
+		if f.Writes > 0 && f.Reads+f.Writes > 0 &&
+			float64(f.Writes)/float64(f.Reads+f.Writes) > writeHeavyRatio {
+			directive = "//hls:numa"
+			scopeWhy = fmt.Sprintf("%d writes vs %d reads: numa scope keeps updated copies cache-valid (Table I)", f.Writes, f.Reads)
+		}
+		switch f.Verdict {
+		case EligibleNoSync:
+			s.Directive = directive
+			s.Explanation = fmt.Sprintf("all %d reads coherent; %s", f.Reads, scopeWhy)
+		case EligibleWithSingle:
+			s.Directive = directive
+			s.WrapWritesInSingle = true
+			s.Explanation = fmt.Sprintf(
+				"%d of %d reads need the single transformation (wrap each of the %d writes); %s",
+				f.IncoherentReads, f.Reads, f.Writes, scopeWhy)
+		case Ineligible:
+			s.Explanation = "keep private: " + f.Reason
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// FormatSuggestions renders suggestions as a human-readable patch sketch.
+func FormatSuggestions(suggestions []Suggestion) string {
+	var b strings.Builder
+	for _, s := range suggestions {
+		if s.Directive == "" {
+			fmt.Fprintf(&b, "%-14s (no directive)   %s\n", s.Var, s.Explanation)
+			continue
+		}
+		fmt.Fprintf(&b, "%-14s %s", s.Var, s.Directive)
+		if s.WrapWritesInSingle {
+			fmt.Fprintf(&b, "  + single around writes")
+		}
+		fmt.Fprintf(&b, "\n%14s %s\n", "", s.Explanation)
+	}
+	return b.String()
+}

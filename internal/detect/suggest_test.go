@@ -1,0 +1,70 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSuggestVerdictMapping(t *testing.T) {
+	findings := []Finding{
+		{Var: "table", Verdict: EligibleNoSync, Reads: 10},
+		{Var: "param", Verdict: EligibleWithSingle, Reads: 8, Writes: 4, IncoherentReads: 4},
+		{Var: "rank", Verdict: Ineligible, Reason: "divergent writes"},
+	}
+	sugg := Suggest(findings)
+	if len(sugg) != 3 {
+		t.Fatalf("suggestions = %d", len(sugg))
+	}
+	if sugg[0].Directive != "//hls:node" || sugg[0].WrapWritesInSingle {
+		t.Errorf("table: %+v", sugg[0])
+	}
+	// param is write-heavy (4 writes / 8 reads): numa scope suggested.
+	if sugg[1].Directive != "//hls:numa" || !sugg[1].WrapWritesInSingle {
+		t.Errorf("param: %+v", sugg[1])
+	}
+	if sugg[2].Directive != "" || !strings.Contains(sugg[2].Explanation, "divergent") {
+		t.Errorf("rank: %+v", sugg[2])
+	}
+}
+
+func TestFormatSuggestions(t *testing.T) {
+	out := FormatSuggestions(Suggest([]Finding{
+		{Var: "a", Verdict: EligibleNoSync},
+		{Var: "b", Verdict: EligibleWithSingle},
+		{Var: "c", Verdict: Ineligible, Reason: "nope"},
+	}))
+	for _, want := range []string{"//hls:node", "single around writes", "(no directive)", "nope"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSuggestEmpty(t *testing.T) {
+	if got := Suggest(nil); len(got) != 0 {
+		t.Errorf("Suggest(nil) = %v", got)
+	}
+	if FormatSuggestions(nil) != "" {
+		t.Error("non-empty format of nothing")
+	}
+}
+
+func TestSuggestScopeFromWriteShare(t *testing.T) {
+	// Read-only -> node; occasionally written -> still node; write-heavy
+	// -> numa (Table I's update lesson).
+	cases := []struct {
+		reads, writes int
+		wantScope     string
+	}{
+		{100, 0, "//hls:node"},
+		{1000, 10, "//hls:node"}, // 1% writes: below the threshold
+		{100, 20, "//hls:numa"},
+		{10, 10, "//hls:numa"},
+	}
+	for _, c := range cases {
+		s := Suggest([]Finding{{Var: "v", Verdict: EligibleNoSync, Reads: c.reads, Writes: c.writes}})
+		if s[0].Directive != c.wantScope {
+			t.Errorf("reads=%d writes=%d: directive %q, want %q", c.reads, c.writes, s[0].Directive, c.wantScope)
+		}
+	}
+}

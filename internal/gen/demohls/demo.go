@@ -1,0 +1,22 @@
+// Package demohls is the end-to-end fixture of the hlsgen directive
+// processor: demo.go carries the //hls: directives, hls_gen.go is the
+// checked-in output of `hlsgen -dir internal/gen/demohls`, and the
+// package's tests drive the generated accessors through the runtime. A
+// golden test in internal/gen keeps hls_gen.go in sync with the
+// generator.
+package demohls
+
+// The physics table of listing 3: one copy per node.
+//
+//hls:node
+var physTable [256]float64
+
+// A per-socket accumulator.
+//
+//hls:numa
+var socketSum float64
+
+// A slice-typed variable needs an explicit length.
+//
+//hls:llc len=64
+var lut []float64

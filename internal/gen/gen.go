@@ -1,0 +1,262 @@
+// Package gen is the source-level half of HLS: the stand-in for the
+// paper's modified GCC (-fhls). It scans Go source for directive comments
+// attached to package-level variable declarations,
+//
+//	//hls:node
+//	var table [1000]float64
+//
+//	//hls:numa
+//	var b []float64 //hls directives on slices need len=N
+//
+//	//hls:cache level=3 len=4096
+//	var lut []float64
+//
+// and generates the runtime registration and accessor boilerplate the
+// compiler would have emitted: one hls.Var per directive, an
+// HLSInit(reg) function, and a <name>HLS(task) accessor that performs the
+// hls_get_addr call of §IV-A.
+//
+// Like the paper's compiler, it enforces the directive's static rules:
+// the variable must be global, its scope keyword valid, and it must not
+// be accessed anywhere else in the package (the "defined but not yet
+// used" rule of the threadprivate-style directive) — marked variables are
+// only reachable through the generated accessors.
+package gen
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Directive is one parsed //hls: marker bound to a variable.
+type Directive struct {
+	VarName  string
+	Scope    string // "node" | "numa" | "cache" | "core"
+	Level    int    // cache level, 0 = llc
+	Len      int    // element count; 0 = derive from the type
+	ElemType string // Go element type, e.g. "float64"
+	File     string
+	Line     int
+}
+
+// prefix of a directive comment.
+const prefix = "//hls:"
+
+// ParseFile extracts the directives of one Go source file (named fname,
+// content src — src may be nil to read from disk).
+func ParseFile(fset *token.FileSet, fname string, src any) (*ast.File, []Directive, error) {
+	f, err := parser.ParseFile(fset, fname, src, parser.ParseComments)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []Directive
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR || gd.Doc == nil {
+			continue
+		}
+		var dirText string
+		var dirLine int
+		for _, c := range gd.Doc.List {
+			if strings.HasPrefix(c.Text, prefix) {
+				dirText = strings.TrimPrefix(c.Text, prefix)
+				dirLine = fset.Position(c.Pos()).Line
+			}
+		}
+		if dirText == "" {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for _, name := range vs.Names {
+				d, err := parseDirective(dirText)
+				if err != nil {
+					return nil, nil, fmt.Errorf("%s:%d: %v", fname, dirLine, err)
+				}
+				d.VarName = name.Name
+				d.File = fname
+				d.Line = fset.Position(name.Pos()).Line
+				if err := fillType(&d, vs.Type); err != nil {
+					return nil, nil, fmt.Errorf("%s:%d: %v", fname, d.Line, err)
+				}
+				if len(vs.Values) > 0 {
+					return nil, nil, fmt.Errorf("%s:%d: hls variable %s must not have an initializer (write it inside a single)", fname, d.Line, d.VarName)
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return f, out, nil
+}
+
+// parseDirective parses the text after "//hls:", e.g.
+// "numa", "cache level=2 len=512".
+func parseDirective(text string) (Directive, error) {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return Directive{}, fmt.Errorf("empty hls directive")
+	}
+	d := Directive{Scope: fields[0]}
+	switch d.Scope {
+	case "node", "numa", "cache", "core", "llc":
+	default:
+		return Directive{}, fmt.Errorf("unknown hls scope %q (want node|numa|cache|core|llc)", d.Scope)
+	}
+	for _, opt := range fields[1:] {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok {
+			return Directive{}, fmt.Errorf("malformed option %q (want key=value)", opt)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return Directive{}, fmt.Errorf("option %s=%q is not a non-negative integer", k, v)
+		}
+		switch k {
+		case "level":
+			if d.Scope != "cache" {
+				return Directive{}, fmt.Errorf("level= only applies to the cache scope")
+			}
+			d.Level = n
+		case "len":
+			d.Len = n
+		default:
+			return Directive{}, fmt.Errorf("unknown option %q", k)
+		}
+	}
+	return d, nil
+}
+
+// fillType derives element type and count from the declaration.
+func fillType(d *Directive, t ast.Expr) error {
+	switch tt := t.(type) {
+	case *ast.ArrayType:
+		if tt.Len == nil { // slice
+			if d.Len == 0 {
+				return fmt.Errorf("hls variable %s is a slice; specify len=N in the directive", d.VarName)
+			}
+		} else {
+			lit, ok := tt.Len.(*ast.BasicLit)
+			if !ok {
+				return fmt.Errorf("hls variable %s: array length must be a literal", d.VarName)
+			}
+			n, err := strconv.Atoi(lit.Value)
+			if err != nil {
+				return fmt.Errorf("hls variable %s: bad array length %q", d.VarName, lit.Value)
+			}
+			if d.Len == 0 {
+				d.Len = n
+			}
+		}
+		elem, ok := tt.Elt.(*ast.Ident)
+		if !ok {
+			return fmt.Errorf("hls variable %s: element type must be a named type", d.VarName)
+		}
+		d.ElemType = elem.Name
+	case *ast.Ident:
+		d.ElemType = tt.Name
+		if d.Len == 0 {
+			d.Len = 1
+		}
+	case nil:
+		return fmt.Errorf("hls variable %s must have an explicit type", d.VarName)
+	default:
+		return fmt.Errorf("hls variable %s: unsupported type %T", d.VarName, t)
+	}
+	return nil
+}
+
+// CheckUnused enforces the "declared but not yet accessed" rule: no
+// identifier use of a marked variable anywhere in the given files (other
+// than its declaration).
+func CheckUnused(fset *token.FileSet, files []*ast.File, dirs []Directive) error {
+	marked := make(map[string]bool, len(dirs))
+	declLine := make(map[string]int, len(dirs))
+	for _, d := range dirs {
+		marked[d.VarName] = true
+		declLine[d.VarName] = d.Line
+	}
+	var err error
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if err != nil {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || !marked[id.Name] {
+				return true
+			}
+			pos := fset.Position(id.Pos())
+			if pos.Line == declLine[id.Name] {
+				return true // the declaration itself
+			}
+			err = fmt.Errorf("%s: hls variable %s is accessed directly; use the generated %sHLS accessor",
+				pos, id.Name, id.Name)
+			return false
+		})
+	}
+	return err
+}
+
+// Generate renders the registration file for one package.
+func Generate(pkgName string, dirs []Directive) (string, error) {
+	if len(dirs) == 0 {
+		return "", fmt.Errorf("gen: no hls directives found")
+	}
+	sorted := append([]Directive(nil), dirs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].VarName < sorted[j].VarName })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Code generated by hlsgen; DO NOT EDIT.\n\n")
+	fmt.Fprintf(&b, "package %s\n\n", pkgName)
+	fmt.Fprintf(&b, "import (\n")
+	fmt.Fprintf(&b, "\t\"hls/internal/hls\"\n")
+	fmt.Fprintf(&b, "\t\"hls/internal/mpi\"\n")
+	fmt.Fprintf(&b, "\t\"hls/internal/topology\"\n")
+	fmt.Fprintf(&b, ")\n\n")
+	for _, d := range sorted {
+		fmt.Fprintf(&b, "var hlsVar_%s *hls.Var[%s]\n", d.VarName, d.ElemType)
+	}
+	fmt.Fprintf(&b, "\n// HLSInit registers every //hls: variable of the package. Call it\n")
+	fmt.Fprintf(&b, "// once before mpi.World.Run.\n")
+	fmt.Fprintf(&b, "func HLSInit(reg *hls.Registry) {\n")
+	for _, d := range sorted {
+		fmt.Fprintf(&b, "\thlsVar_%s = hls.Declare[%s](reg, %q, %s, %d)\n",
+			d.VarName, d.ElemType, d.VarName, scopeExpr(d), d.Len)
+	}
+	fmt.Fprintf(&b, "}\n")
+	for _, d := range sorted {
+		acc := accessorName(d.VarName)
+		fmt.Fprintf(&b, "\n// %s resolves the calling task's copy of %s\n", acc, d.VarName)
+		fmt.Fprintf(&b, "// (the hls_get_addr_%s call).\n", d.Scope)
+		fmt.Fprintf(&b, "func %s(t *mpi.Task) []%s { return hlsVar_%s.Slice(t) }\n", acc, d.ElemType, d.VarName)
+		fmt.Fprintf(&b, "\n// %sSingle runs body on one task per %s instance with the\n", accessorName(d.VarName), d.Scope)
+		fmt.Fprintf(&b, "// directive's implicit barriers.\n")
+		fmt.Fprintf(&b, "func %sSingle(t *mpi.Task, body func([]%s)) { hlsVar_%s.Single(t, body) }\n",
+			acc, d.ElemType, d.VarName)
+	}
+	return b.String(), nil
+}
+
+func accessorName(v string) string {
+	return v + "HLS"
+}
+
+func scopeExpr(d Directive) string {
+	switch d.Scope {
+	case "node":
+		return "topology.Node"
+	case "numa":
+		return "topology.NUMA"
+	case "core":
+		return "topology.Core"
+	case "llc":
+		return "topology.Cache(0)"
+	default: // cache
+		return fmt.Sprintf("topology.Cache(%d)", d.Level)
+	}
+}

@@ -1,0 +1,178 @@
+package gen
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) ([]Directive, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	_, dirs, err := ParseFile(fset, "test.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs, fset
+}
+
+func parseErr(t *testing.T, src string) error {
+	t.Helper()
+	fset := token.NewFileSet()
+	_, _, err := ParseFile(fset, "test.go", src)
+	return err
+}
+
+func TestParseArrayDirective(t *testing.T) {
+	dirs, _ := parse(t, `package p
+
+//hls:node
+var table [1000]float64
+`)
+	if len(dirs) != 1 {
+		t.Fatalf("directives = %d, want 1", len(dirs))
+	}
+	d := dirs[0]
+	if d.VarName != "table" || d.Scope != "node" || d.Len != 1000 || d.ElemType != "float64" {
+		t.Errorf("parsed %+v", d)
+	}
+}
+
+func TestParseScalarDirective(t *testing.T) {
+	dirs, _ := parse(t, `package p
+
+//hls:numa
+var a int
+`)
+	if dirs[0].Len != 1 || dirs[0].ElemType != "int" || dirs[0].Scope != "numa" {
+		t.Errorf("parsed %+v", dirs[0])
+	}
+}
+
+func TestParseSliceNeedsLen(t *testing.T) {
+	if err := parseErr(t, "package p\n\n//hls:node\nvar b []float64\n"); err == nil {
+		t.Error("slice without len accepted")
+	}
+	dirs, _ := parse(t, "package p\n\n//hls:node len=512\nvar b []float64\n")
+	if dirs[0].Len != 512 {
+		t.Errorf("len = %d", dirs[0].Len)
+	}
+}
+
+func TestParseCacheLevel(t *testing.T) {
+	dirs, _ := parse(t, "package p\n\n//hls:cache level=2\nvar c [8]float32\n")
+	if dirs[0].Scope != "cache" || dirs[0].Level != 2 {
+		t.Errorf("parsed %+v", dirs[0])
+	}
+	if err := parseErr(t, "package p\n\n//hls:node level=2\nvar c [8]float32\n"); err == nil {
+		t.Error("level= on non-cache scope accepted")
+	}
+}
+
+func TestParseRejectsBadScope(t *testing.T) {
+	if err := parseErr(t, "package p\n\n//hls:socket\nvar x int\n"); err == nil {
+		t.Error("bad scope accepted")
+	}
+}
+
+func TestParseRejectsInitializer(t *testing.T) {
+	if err := parseErr(t, "package p\n\n//hls:node\nvar x = 3\n"); err == nil {
+		t.Error("initializer accepted")
+	}
+}
+
+func TestParseRejectsBadOptions(t *testing.T) {
+	for _, src := range []string{
+		"package p\n\n//hls:node foo\nvar x int\n",
+		"package p\n\n//hls:node len=x\nvar x int\n",
+		"package p\n\n//hls:node weird=1\nvar x int\n",
+	} {
+		if err := parseErr(t, src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestLocalVarNotPickedUp(t *testing.T) {
+	// Directives only attach to package-level declarations, mirroring the
+	// "global variables only" rule.
+	dirs, _ := parse(t, `package p
+
+func f() {
+	//hls:node
+	var local [4]float64
+	_ = local
+}
+`)
+	if len(dirs) != 0 {
+		t.Errorf("local var produced directives: %+v", dirs)
+	}
+}
+
+func TestCheckUnusedCatchesDirectAccess(t *testing.T) {
+	src := `package p
+
+//hls:node
+var table [8]float64
+
+func f() float64 { return table[0] }
+`
+	fset := token.NewFileSet()
+	f, dirs, err := ParseFile(fset, "test.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckUnused(fset, nil, dirs); err != nil {
+		t.Errorf("no files should pass: %v", err)
+	}
+	err = CheckUnused(fset, []*ast.File{f}, dirs)
+	if err == nil || !strings.Contains(err.Error(), "accessed directly") {
+		t.Errorf("direct access not caught: %v", err)
+	}
+}
+
+func TestGenerateOutput(t *testing.T) {
+	dirs, _ := parse(t, `package p
+
+//hls:node
+var table [100]float64
+
+//hls:numa
+var flag int
+`)
+	out, err := Generate("p", dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"package p",
+		"func HLSInit(reg *hls.Registry)",
+		`hls.Declare[float64](reg, "table", topology.Node, 100)`,
+		`hls.Declare[int](reg, "flag", topology.NUMA, 1)`,
+		"func tableHLS(t *mpi.Task) []float64",
+		"func flagHLSSingle(t *mpi.Task, body func([]int))",
+		"DO NOT EDIT",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateEmpty(t *testing.T) {
+	if _, err := Generate("p", nil); err == nil {
+		t.Error("empty directive list accepted")
+	}
+}
+
+func TestGenerateLLCScope(t *testing.T) {
+	dirs, _ := parse(t, "package p\n\n//hls:llc\nvar x [4]float64\n")
+	out, err := Generate("p", dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "topology.Cache(0)") {
+		t.Errorf("llc scope not lowered to the placeholder:\n%s", out)
+	}
+}

@@ -1,0 +1,52 @@
+package gen
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDemoPackageGolden regenerates internal/gen/demohls/hls_gen.go and
+// compares it to the checked-in file, so the compiled-and-tested fixture
+// can never drift from the generator.
+func TestDemoPackageGolden(t *testing.T) {
+	dir := filepath.Join("demohls")
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var dirs []Directive
+	pkg := ""
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) != ".go" || name == "hls_gen.go" ||
+			len(name) > 8 && name[len(name)-8:] == "_test.go" {
+			continue
+		}
+		f, ds, err := ParseFile(fset, filepath.Join(dir, name), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg = f.Name.Name
+		files = append(files, f)
+		dirs = append(dirs, ds...)
+	}
+	if err := CheckUnused(fset, files, dirs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Generate(pkg, dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join(dir, "hls_gen.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("hls_gen.go is stale; rerun `go run ./cmd/hlsgen -dir internal/gen/demohls`\n--- generated ---\n%s", got)
+	}
+}

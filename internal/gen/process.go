@@ -1,0 +1,55 @@
+package gen
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ProcessDir scans every non-test Go file of one package directory,
+// enforces the directive rules, and returns the generated registration
+// file's contents. It is the whole hlsgen pipeline behind the CLI.
+func ProcessDir(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") ||
+			strings.HasSuffix(e.Name(), "_test.go") || e.Name() == "hls_gen.go" {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return "", fmt.Errorf("no Go files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var dirs []Directive
+	pkgName := ""
+	for _, name := range names {
+		f, ds, err := ParseFile(fset, filepath.Join(dir, name), nil)
+		if err != nil {
+			return "", err
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if pkgName != f.Name.Name {
+			return "", fmt.Errorf("mixed packages %s and %s in %s", pkgName, f.Name.Name, dir)
+		}
+		files = append(files, f)
+		dirs = append(dirs, ds...)
+	}
+	if err := CheckUnused(fset, files, dirs); err != nil {
+		return "", err
+	}
+	return Generate(pkgName, dirs)
+}

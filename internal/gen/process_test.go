@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestProcessDirHappyPath(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"a.go": "package demo\n\n//hls:node\nvar tbl [16]float64\n",
+		"b.go": "package demo\n\nfunc unrelated() int { return 1 }\n",
+	})
+	out, err := ProcessDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"package demo", `"tbl"`, "topology.Node, 16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestProcessDirSkipsTestsAndGenerated(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"a.go":       "package demo\n\n//hls:node\nvar tbl [4]float64\n",
+		"a_test.go":  "package demo\n\n//hls:node\nvar testOnly [4]float64\n",
+		"hls_gen.go": "package demo\n\n//hls:node\nvar oldGenVar [4]float64\n",
+		"sub":        "", // not a .go file
+	})
+	out, err := ProcessDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "testOnly") || strings.Contains(out, "oldGenVar") {
+		t.Errorf("test/generated files scanned:\n%s", out)
+	}
+}
+
+func TestProcessDirRejectsDirectAccess(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"a.go": "package demo\n\n//hls:node\nvar tbl [4]float64\n",
+		"b.go": "package demo\n\nfunc f() float64 { return tbl[0] }\n",
+	})
+	if _, err := ProcessDir(dir); err == nil || !strings.Contains(err.Error(), "accessed directly") {
+		t.Errorf("direct access not rejected: %v", err)
+	}
+}
+
+func TestProcessDirMixedPackages(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"a.go": "package demo\n\n//hls:node\nvar tbl [4]float64\n",
+		"b.go": "package other\n",
+	})
+	if _, err := ProcessDir(dir); err == nil || !strings.Contains(err.Error(), "mixed packages") {
+		t.Errorf("mixed packages not rejected: %v", err)
+	}
+}
+
+func TestProcessDirEmpty(t *testing.T) {
+	if _, err := ProcessDir(t.TempDir()); err == nil {
+		t.Error("empty dir accepted")
+	}
+	if _, err := ProcessDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing dir accepted")
+	}
+}
+
+func TestProcessDirNoDirectives(t *testing.T) {
+	dir := writeFiles(t, map[string]string{"a.go": "package demo\n"})
+	if _, err := ProcessDir(dir); err == nil {
+		t.Error("directive-less package accepted")
+	}
+}

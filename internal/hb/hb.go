@@ -1,0 +1,165 @@
+// Package hb implements the happens-before relation of §III via vector
+// clocks (Lamport): a ≺ b iff clock(a) ≤ clock(b) componentwise and
+// a ≠ b; otherwise a ∥ b.
+//
+// Edges come from three sources, matching the paper's model of an MPI
+// program's synchronizations:
+//
+//   - program order within a task (every recorded event ticks the task's
+//     own component);
+//   - messages: the runtime's Hooks interface piggybacks the sender's
+//     clock on each message and merges it into the receiver at delivery
+//     (collectives are implemented over point-to-point, so their edges
+//     appear automatically);
+//   - HLS directives: the hls.SyncObserver callbacks treat each barrier /
+//     single / single-nowait as an accumulator clock that arriving tasks
+//     join and departing tasks acquire.
+//
+// A Tracker is the concrete type to pass as both mpi.Config.Hooks and
+// hls.WithObserver.
+package hb
+
+import (
+	"sync"
+)
+
+// Clock is a vector clock over task ranks.
+type Clock []uint64
+
+// clone copies the clock.
+func (c Clock) clone() Clock {
+	out := make(Clock, len(c))
+	copy(out, c)
+	return out
+}
+
+// mergeInto raises dst to the componentwise max of dst and c.
+func (c Clock) mergeInto(dst Clock) {
+	for i, v := range c {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+// Leq reports whether c ≤ other componentwise.
+func (c Clock) Leq(other Clock) bool {
+	for i, v := range c {
+		if v > other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HappensBefore reports a ≺ b: a ≤ b componentwise and a ≠ b.
+func HappensBefore(a, b Clock) bool {
+	if !a.Leq(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Concurrent reports a ∥ b: neither a ≺ b nor b ≺ a, and a ≠ b. (Every
+// recorded event ticks its own component, so distinct events never carry
+// equal clocks; excluding equality makes ∥ irreflexive like ≺.)
+func Concurrent(a, b Clock) bool {
+	if HappensBefore(a, b) || HappensBefore(b, a) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Tracker maintains one vector clock per task plus accumulator clocks for
+// named synchronization points. It implements mpi.Hooks and
+// hls.SyncObserver.
+type Tracker struct {
+	n  int
+	mu sync.Mutex
+
+	clocks []Clock
+	keys   map[string]Clock
+}
+
+// NewTracker builds a tracker for n tasks.
+func NewTracker(n int) *Tracker {
+	t := &Tracker{n: n, keys: make(map[string]Clock)}
+	t.clocks = make([]Clock, n)
+	for i := range t.clocks {
+		t.clocks[i] = make(Clock, n)
+	}
+	return t
+}
+
+// Tick advances rank's own component and returns a snapshot — the clock to
+// stamp an event (e.g. a variable access) with.
+func (t *Tracker) Tick(rank int) Clock {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clocks[rank][rank]++
+	return t.clocks[rank].clone()
+}
+
+// Now returns a snapshot of rank's clock without advancing it.
+func (t *Tracker) Now(rank int) Clock {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clocks[rank].clone()
+}
+
+// OnSend implements mpi.Hooks: stamp the message with the sender's
+// advanced clock.
+func (t *Tracker) OnSend(worldSrc, worldDst int) any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clocks[worldSrc][worldSrc]++
+	return t.clocks[worldSrc].clone()
+}
+
+// OnDeliver implements mpi.Hooks: merge the message clock into the
+// receiver.
+func (t *Tracker) OnDeliver(worldDst int, meta any) {
+	c, ok := meta.(Clock)
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c.mergeInto(t.clocks[worldDst])
+	t.clocks[worldDst][worldDst]++
+}
+
+// Arrive implements hls.SyncObserver: the arriving task publishes its
+// clock into the synchronization point's accumulator.
+func (t *Tracker) Arrive(key string, rank int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clocks[rank][rank]++
+	acc, ok := t.keys[key]
+	if !ok {
+		acc = make(Clock, t.n)
+		t.keys[key] = acc
+	}
+	t.clocks[rank].mergeInto(acc)
+}
+
+// Depart implements hls.SyncObserver: the departing task acquires the
+// accumulated clock.
+func (t *Tracker) Depart(key string, rank int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if acc, ok := t.keys[key]; ok {
+		acc.mergeInto(t.clocks[rank])
+	}
+	t.clocks[rank][rank]++
+}

@@ -1,0 +1,146 @@
+package hb
+
+import (
+	"testing"
+	"time"
+
+	"hls/internal/mpi"
+)
+
+func TestClockOrdering(t *testing.T) {
+	a := Clock{1, 0}
+	b := Clock{2, 1}
+	if !HappensBefore(a, b) {
+		t.Error("a ≺ b expected")
+	}
+	if HappensBefore(b, a) {
+		t.Error("b ≺ a unexpected")
+	}
+	if HappensBefore(a, a) {
+		t.Error("a ≺ a must be false (irreflexive)")
+	}
+	c := Clock{0, 2}
+	if !Concurrent(a, c) {
+		t.Error("a ∥ c expected")
+	}
+	if Concurrent(a, b) {
+		t.Error("a ∥ b unexpected")
+	}
+}
+
+func TestProgramOrder(t *testing.T) {
+	tr := NewTracker(2)
+	e1 := tr.Tick(0)
+	e2 := tr.Tick(0)
+	if !HappensBefore(e1, e2) {
+		t.Error("program order lost")
+	}
+}
+
+func TestMessageEdge(t *testing.T) {
+	// The paper's example: a(); Send -> Recv; d() gives a ≺ d, while
+	// c() ∥ b(), d().
+	tr := NewTracker(2)
+	a := tr.Tick(0)         // a() on rank 0
+	b := tr.Tick(1)         // b() on rank 1
+	meta := tr.OnSend(0, 1) // MPI_Send on rank 0
+	c := tr.Tick(0)         // c() on rank 0
+	tr.OnDeliver(1, meta)   // MPI_Recv on rank 1
+	d := tr.Tick(1)         // d() on rank 1
+	if !HappensBefore(a, d) {
+		t.Error("a ≺ d expected (message edge)")
+	}
+	if !Concurrent(c, b) {
+		t.Error("c ∥ b expected")
+	}
+	if !Concurrent(c, d) {
+		t.Error("c ∥ d expected")
+	}
+	if !HappensBefore(b, d) {
+		t.Error("b ≺ d expected (program order)")
+	}
+}
+
+func TestSyncPointEdges(t *testing.T) {
+	// Barrier semantics through Arrive/Depart: events before the barrier
+	// on any rank precede events after it on every rank.
+	tr := NewTracker(3)
+	pre := make([]Clock, 3)
+	for r := 0; r < 3; r++ {
+		pre[r] = tr.Tick(r)
+	}
+	for r := 0; r < 3; r++ {
+		tr.Arrive("b1", r)
+	}
+	for r := 0; r < 3; r++ {
+		tr.Depart("b1", r)
+	}
+	for r := 0; r < 3; r++ {
+		post := tr.Tick(r)
+		for r2 := 0; r2 < 3; r2++ {
+			if !HappensBefore(pre[r2], post) {
+				t.Errorf("pre[%d] not ≺ post[%d]", r2, r)
+			}
+		}
+	}
+}
+
+func TestDepartUnknownKeyHarmless(t *testing.T) {
+	tr := NewTracker(1)
+	tr.Depart("nope", 0)
+	tr.OnDeliver(0, "not a clock")
+}
+
+func TestIntegrationWithMPIRuntime(t *testing.T) {
+	// Drive a real Send/Recv through the runtime with the tracker as
+	// hooks; the pre-send event must precede the post-recv event.
+	tr := NewTracker(2)
+	events := make([]Clock, 4) // [0]=pre-send, [1]=post-send, [2]=pre-recv, [3]=post-recv
+	_, err := mpi.Run(mpi.Config{NumTasks: 2, Hooks: tr, Timeout: 10 * time.Second}, func(task *mpi.Task) error {
+		if task.Rank() == 0 {
+			events[0] = tr.Tick(0)
+			mpi.Send(task, nil, []int{1}, 1, 0)
+			events[1] = tr.Tick(0)
+		} else {
+			buf := make([]int, 1)
+			events[2] = tr.Tick(1)
+			mpi.Recv(task, nil, buf, 0, 0)
+			events[3] = tr.Tick(1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HappensBefore(events[0], events[3]) {
+		t.Error("pre-send not ≺ post-recv")
+	}
+	if !Concurrent(events[1], events[2]) {
+		t.Error("post-send should be concurrent with pre-recv")
+	}
+}
+
+func TestCollectiveCreatesFullSync(t *testing.T) {
+	// A barrier over the runtime (built from P2P messages) must order
+	// pre-barrier events before post-barrier events across all ranks.
+	const n = 4
+	tr := NewTracker(n)
+	pre := make([]Clock, n)
+	post := make([]Clock, n)
+	_, err := mpi.Run(mpi.Config{NumTasks: n, Hooks: tr, Timeout: 10 * time.Second}, func(task *mpi.Task) error {
+		pre[task.Rank()] = tr.Tick(task.Rank())
+		mpi.Barrier(task, nil)
+		post[task.Rank()] = tr.Tick(task.Rank())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if !HappensBefore(pre[a], post[b]) {
+				t.Errorf("pre[%d] not ≺ post[%d] across runtime barrier", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package hb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// mkClock builds a bounded clock from fuzz input.
+func mkClock(a, b, c uint8) Clock {
+	return Clock{uint64(a % 8), uint64(b % 8), uint64(c % 8)}
+}
+
+func TestHappensBeforeIsStrictPartialOrder(t *testing.T) {
+	// Irreflexive.
+	irreflexive := func(a, b, c uint8) bool {
+		x := mkClock(a, b, c)
+		return !HappensBefore(x, x)
+	}
+	if err := quick.Check(irreflexive, nil); err != nil {
+		t.Error("irreflexivity:", err)
+	}
+	// Antisymmetric: a ≺ b implies not b ≺ a.
+	antisym := func(a1, a2, a3, b1, b2, b3 uint8) bool {
+		x, y := mkClock(a1, a2, a3), mkClock(b1, b2, b3)
+		if HappensBefore(x, y) && HappensBefore(y, x) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error("antisymmetry:", err)
+	}
+	// Transitive: a ≺ b ∧ b ≺ c implies a ≺ c.
+	trans := func(a1, a2, a3, b1, b2, b3, c1, c2, c3 uint8) bool {
+		x, y, z := mkClock(a1, a2, a3), mkClock(b1, b2, b3), mkClock(c1, c2, c3)
+		if HappensBefore(x, y) && HappensBefore(y, z) {
+			return HappensBefore(x, z)
+		}
+		return true
+	}
+	if err := quick.Check(trans, nil); err != nil {
+		t.Error("transitivity:", err)
+	}
+}
+
+func TestConcurrentSymmetricAndExhaustive(t *testing.T) {
+	// Exactly one of {a ≺ b, b ≺ a, a ∥ b, a == b} holds.
+	f := func(a1, a2, a3, b1, b2, b3 uint8) bool {
+		x, y := mkClock(a1, a2, a3), mkClock(b1, b2, b3)
+		if Concurrent(x, y) != Concurrent(y, x) {
+			return false
+		}
+		equal := x[0] == y[0] && x[1] == y[1] && x[2] == y[2]
+		states := 0
+		if HappensBefore(x, y) {
+			states++
+		}
+		if HappensBefore(y, x) {
+			states++
+		}
+		if Concurrent(x, y) {
+			states++
+		}
+		if equal {
+			states++
+		}
+		return states == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeMonotonicity(t *testing.T) {
+	// Tracker operations never decrease a task's clock (componentwise).
+	f := func(ops []uint8) bool {
+		tr := NewTracker(3)
+		prev := []Clock{tr.Now(0), tr.Now(1), tr.Now(2)}
+		for _, op := range ops {
+			rank := int(op) % 3
+			switch (op / 3) % 4 {
+			case 0:
+				tr.Tick(rank)
+			case 1:
+				meta := tr.OnSend(rank, (rank+1)%3)
+				tr.OnDeliver((rank+1)%3, meta)
+			case 2:
+				tr.Arrive("k", rank)
+			default:
+				tr.Depart("k", rank)
+			}
+			for r := 0; r < 3; r++ {
+				now := tr.Now(r)
+				if !prev[r].Leq(now) {
+					return false
+				}
+				prev[r] = now
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,246 @@
+package hls
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+// flatBarrier is the paper's "simple flat algorithm with a counter and a
+// lock", used on its own for scopes up to the LLC and as the building
+// block of the hierarchical barrier.
+type flatBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   uint64
+}
+
+func newFlatBarrier(size int) *flatBarrier {
+	b := &flatBarrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until size tasks have arrived. The last arriver runs body
+// (if non-nil) before anyone is released, implementing the single
+// directive's "the last MPI task entering the barrier executes the code
+// block before releasing the others" (§IV-B). It reports whether this
+// caller was the executor.
+func (b *flatBarrier) await(body func()) bool {
+	b.mu.Lock()
+	myGen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.mu.Unlock()
+		if body != nil {
+			body()
+		}
+		b.mu.Lock()
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return true
+	}
+	for b.gen == myGen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	return false
+}
+
+// barrierNode is the synchronization structure of one scope instance:
+// either a single flat barrier, or the shared-cache-aware hierarchy —
+// "all MPI tasks in the same llc scope synchronize first and only one of
+// them goes to the next scope. This way, locks and counters stay in the
+// shared cache and all synchronizations at the llc scope happen in
+// parallel" (§IV-B).
+type barrierNode struct {
+	flat *flatBarrier
+
+	// hierarchical parts (nil when flat)
+	groups map[int]*flatBarrier // keyed by LLC instance
+	top    *flatBarrier
+}
+
+// await synchronizes a task whose LLC instance is llcInst; body (may be
+// nil) is executed by exactly one task, after everyone arrived and before
+// anyone leaves. Reports whether this task executed body.
+func (bn *barrierNode) await(llcInst int, body func()) bool {
+	if bn.flat != nil {
+		return bn.flat.await(body)
+	}
+	g := bn.groups[llcInst]
+	executed := false
+	g.await(func() {
+		// Last task of this LLC group: represent it at the top level.
+		executed = bn.top.await(body)
+	})
+	return executed
+}
+
+// barrierFor returns (creating lazily) the barrier of task t's instance of
+// scope s.
+func (r *Registry) barrierFor(t *mpi.Task, s topology.Scope) (*barrierNode, scopeKey) {
+	key := r.keyOf(t, s)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if bn, ok := r.barriers[key]; ok {
+		return bn, key
+	}
+	bn := r.buildBarrier(s, key)
+	r.barriers[key] = bn
+	return bn, key
+}
+
+// buildBarrier constructs the barrier of one scope instance from the
+// current pinning. Caller holds r.mu.
+func (r *Registry) buildBarrier(s topology.Scope, key scopeKey) *barrierNode {
+	ranks := r.pin.RanksInInstance(s, key.inst)
+	if len(ranks) == 0 {
+		panic(fmt.Sprintf("hls: no tasks in %v instance %d", s, key.inst))
+	}
+	if r.flatOnly || !r.useHierarchy(s) {
+		return &barrierNode{flat: newFlatBarrier(len(ranks))}
+	}
+	llc := r.machine.LLC()
+	perGroup := make(map[int]int)
+	for _, rank := range ranks {
+		perGroup[r.machine.ScopeInstance(r.pin.Thread(rank), llc)]++
+	}
+	bn := &barrierNode{groups: make(map[int]*flatBarrier, len(perGroup))}
+	for inst, n := range perGroup {
+		bn.groups[inst] = newFlatBarrier(n)
+	}
+	bn.top = newFlatBarrier(len(perGroup))
+	return bn
+}
+
+// useHierarchy reports whether scope s gets the shared-cache-aware
+// barrier: only scopes strictly wider than the LLC (numa, node on machines
+// where they contain several LLC domains).
+func (r *Registry) useHierarchy(s topology.Scope) bool {
+	if r.machine.CacheLevels() == 0 {
+		return false
+	}
+	llc := r.machine.LLC()
+	if !r.machine.Wider(s, llc) {
+		return false
+	}
+	// Only worthwhile when an instance spans more than one LLC domain.
+	return r.machine.ThreadsPerInstance(s) > r.machine.ThreadsPerInstance(llc)
+}
+
+// llcInstanceOf returns task t's LLC instance (0 on cache-less machines).
+func (r *Registry) llcInstanceOf(t *mpi.Task) int {
+	if r.machine.CacheLevels() == 0 {
+		return 0
+	}
+	return r.instanceOf(t, r.machine.LLC())
+}
+
+// BarrierScope synchronizes every task in t's instance of scope s — the
+// runtime entry point the compiler lowers "#pragma hls barrier" to.
+func (r *Registry) BarrierScope(t *mpi.Task, s topology.Scope) {
+	s = r.resolveScope(s)
+	bn, key := r.barrierFor(t, s)
+	obsKey := r.obsKey("barrier", key)
+	r.observe(func(o SyncObserver) { o.Arrive(obsKey, t.Rank()) })
+	last := bn.await(r.llcInstanceOf(t), nil)
+	r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
+	r.countDirective(t, key, last)
+}
+
+// singleScope implements the single directive on scope s: one modified
+// barrier whose last arriver runs body.
+func (r *Registry) singleScope(t *mpi.Task, s topology.Scope, body func()) bool {
+	s = r.resolveScope(s)
+	bn, key := r.barrierFor(t, s)
+	obsKey := r.obsKey("single", key)
+	r.observe(func(o SyncObserver) { o.Arrive(obsKey, t.Rank()) })
+	executed := bn.await(r.llcInstanceOf(t), body)
+	r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
+	r.countDirective(t, key, executed)
+	return executed
+}
+
+// nowaitState is the per-scope-instance counter of single-nowait regions
+// already executed (§IV-B: "a counter is associated to each scope").
+type nowaitState struct {
+	mu   sync.Mutex
+	done int64
+}
+
+// singleNowaitScope implements single nowait: each task counts the
+// regions it encountered; a task whose count runs ahead of the instance
+// counter executes the block, everyone else skips without waiting.
+func (r *Registry) singleNowaitScope(t *mpi.Task, s topology.Scope, body func()) bool {
+	s = r.resolveScope(s)
+	key := r.keyOf(t, s)
+	r.mu.Lock()
+	ns, ok := r.nowaits[key]
+	if !ok {
+		ns = &nowaitState{}
+		r.nowaits[key] = ns
+	}
+	r.mu.Unlock()
+
+	nk := nowaitLK(s)
+	r.taskCounts[t.Rank()][nk]++
+	myCount := r.taskCounts[t.Rank()][nk]
+
+	obsKey := r.obsKey("nowait", key)
+	ns.mu.Lock()
+	if myCount > ns.done {
+		ns.done = myCount
+		ns.mu.Unlock()
+		r.observe(func(o SyncObserver) { o.Arrive(obsKey, t.Rank()) })
+		body()
+		r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
+		return true
+	}
+	ns.mu.Unlock()
+	// Skippers acquire the executor's published state (counter read).
+	r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
+	return false
+}
+
+// nowaitLK is the per-task counter namespace of single-nowait directives
+// (distinct from barrier/single counts; both are checked at migration).
+func nowaitLK(s topology.Scope) scopeLK {
+	return scopeLK{s.Kind, ^s.Level}
+}
+
+// countDirective updates the migration-check counters after a completed
+// barrier/single: every participant bumps its own per-scope count, the
+// executor bumps the instance's phase count.
+func (r *Registry) countDirective(t *mpi.Task, key scopeKey, last bool) {
+	r.taskCounts[t.Rank()][key.scopeLK]++
+	if last {
+		r.mu.Lock()
+		c, ok := r.instCounts[key]
+		if !ok {
+			c = newCounter()
+			r.instCounts[key] = c
+		}
+		r.mu.Unlock()
+		c.Add(1)
+	}
+}
+
+func newCounter() *atomic.Int64 { return &atomic.Int64{} }
+
+func (r *Registry) obsKey(kind string, key scopeKey) string {
+	return fmt.Sprintf("%s/%v:%d/%d", kind, key.kind, key.level, key.inst)
+}
+
+func (r *Registry) observe(fn func(SyncObserver)) {
+	if r.observer != nil {
+		fn(r.observer)
+	}
+}

@@ -1,0 +1,77 @@
+package hls_test
+
+import (
+	"fmt"
+
+	"hls/internal/hls"
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+// The paper's listing 3 in miniature: a node-scope table, loaded once per
+// node inside a single, read by every task.
+func ExampleDeclare() {
+	machine := topology.HarpertownCluster(1) // one 8-core node
+	world, err := mpi.NewWorld(mpi.Config{
+		NumTasks: 8, Machine: machine, Pin: topology.PinCorePerTask,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	reg := hls.New(world)
+
+	// #pragma hls node(table)
+	table := hls.Declare[float64](reg, "table", topology.Node, 4)
+
+	err = world.Run(func(task *mpi.Task) error {
+		// #pragma hls single(table) { load(); }
+		table.Single(task, func(data []float64) {
+			for i := range data {
+				data[i] = float64(i * i)
+			}
+		})
+		if task.Rank() == 0 {
+			fmt.Println("table:", table.Slice(task))
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	fmt.Println("copies materialized:", table.Instances())
+	// Output:
+	// table: [0 1 4 9]
+	// copies materialized: 1
+}
+
+// Listing 2's pattern: explicit barriers around nowait singles halve the
+// synchronizations when several variables are updated together.
+func ExampleRegistry_Barrier() {
+	machine := topology.HarpertownCluster(1)
+	world, err := mpi.NewWorld(mpi.Config{
+		NumTasks: 8, Machine: machine, Pin: topology.PinCorePerTask,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	reg := hls.New(world)
+	a := hls.Declare[int](reg, "a", topology.Node, 1)
+	b := hls.Declare[int](reg, "b", topology.NUMA, 1)
+
+	err = world.Run(func(task *mpi.Task) error {
+		reg.Barrier(task, a, b)
+		a.SingleNowait(task, func(d []int) { d[0] = 4 })
+		b.SingleNowait(task, func(d []int) { d[0] = 2 })
+		reg.Barrier(task, a, b)
+		if task.Rank() == 0 {
+			fmt.Println("a =", a.Slice(task)[0], "b =", b.Slice(task)[0])
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output: a = 4 b = 2
+}

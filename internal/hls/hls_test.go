@@ -1,0 +1,567 @@
+package hls
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hls/internal/memsim"
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+// runOn executes fn over the Nehalem-EX machine with one task per core.
+func runOn(t *testing.T, m *topology.Machine, nTasks int, opts []Option, fn func(r *Registry, task *mpi.Task) error) *Registry {
+	t.Helper()
+	var reg *Registry
+	var once sync.Once
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: nTasks, Machine: m, Pin: topology.PinCorePerTask, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg = New(w, opts...)
+	once.Do(func() {})
+	if err := w.Run(func(task *mpi.Task) error { return fn(reg, task) }); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestNodeScopeSharing(t *testing.T) {
+	// All 32 tasks on the node must see the same storage for a node-scope
+	// variable.
+	m := topology.NehalemEX4()
+	ptrs := make([]*float64, 32)
+	var v *Var[float64]
+	var declOnce sync.Once
+	runOn(t, m, 32, nil, func(r *Registry, task *mpi.Task) error {
+		declOnce.Do(func() { v = Declare[float64](r, "table", topology.Node, 10) })
+		mpi.Barrier(task, nil)
+		s := v.Slice(task)
+		ptrs[task.Rank()] = &s[0]
+		return nil
+	})
+	for i := 1; i < 32; i++ {
+		if ptrs[i] != ptrs[0] {
+			t.Fatalf("rank %d has a different copy", i)
+		}
+	}
+	if v.Instances() != 1 {
+		t.Errorf("instances = %d, want 1", v.Instances())
+	}
+}
+
+func TestNUMAScopeSharing(t *testing.T) {
+	// One copy per socket: ranks 0-7 share, 8-15 share, and the two
+	// groups differ.
+	m := topology.NehalemEX4()
+	ptrs := make([]*int, 32)
+	var v *Var[int]
+	var declOnce sync.Once
+	runOn(t, m, 32, nil, func(r *Registry, task *mpi.Task) error {
+		declOnce.Do(func() { v = Declare[int](r, "b", topology.NUMA, 4) })
+		mpi.Barrier(task, nil)
+		s := v.Slice(task)
+		ptrs[task.Rank()] = &s[0]
+		return nil
+	})
+	for socket := 0; socket < 4; socket++ {
+		base := ptrs[socket*8]
+		for i := 1; i < 8; i++ {
+			if ptrs[socket*8+i] != base {
+				t.Fatalf("socket %d rank offset %d: different copy", socket, i)
+			}
+		}
+		if socket > 0 && base == ptrs[0] {
+			t.Fatalf("sockets 0 and %d share a numa-scope copy", socket)
+		}
+	}
+	if v.Instances() != 4 {
+		t.Errorf("instances = %d, want 4", v.Instances())
+	}
+}
+
+func TestCoreScopeWithSMT(t *testing.T) {
+	// On a hyperthreaded node with compact pinning, the two hyperthreads
+	// of a core share a core-scope copy.
+	m := topology.SMTNode() // 2 sockets x 4 cores x 2 threads = 16 threads
+	ptrs := make([]*int, 16)
+	var v *Var[int]
+	var declOnce sync.Once
+	var reg *Registry
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: 16, Machine: m, Pin: topology.PinCompact, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg = New(w)
+	if err := w.Run(func(task *mpi.Task) error {
+		declOnce.Do(func() { v = Declare[int](reg, "c", topology.Core, 1) })
+		mpi.Barrier(task, nil)
+		ptrs[task.Rank()] = v.Ptr(task, 0)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for core := 0; core < 8; core++ {
+		if ptrs[2*core] != ptrs[2*core+1] {
+			t.Errorf("core %d hyperthreads have different copies", core)
+		}
+		if core > 0 && ptrs[2*core] == ptrs[0] {
+			t.Errorf("cores 0 and %d share a core-scope copy", core)
+		}
+	}
+}
+
+func TestLLCScopePlaceholder(t *testing.T) {
+	// Declaring with the "llc" placeholder (cache level 0) resolves to the
+	// last cache level; on Nehalem-EX it coincides with numa.
+	m := topology.NehalemEX4()
+	var v *Var[int]
+	var declOnce sync.Once
+	runOn(t, m, 32, nil, func(r *Registry, task *mpi.Task) error {
+		declOnce.Do(func() {
+			v = Declare[int](r, "t", topology.Scope{Kind: topology.ScopeCache, Level: 0}, 1)
+		})
+		mpi.Barrier(task, nil)
+		v.Slice(task)
+		return nil
+	})
+	if v.Scope() != topology.Cache(3) {
+		t.Errorf("resolved scope = %v, want cache level(3)", v.Scope())
+	}
+	if v.Instances() != 4 {
+		t.Errorf("instances = %d, want 4", v.Instances())
+	}
+}
+
+func TestLazyInitOncePerInstance(t *testing.T) {
+	m := topology.NehalemEX4()
+	var initCount atomic.Int32
+	var v *Var[float64]
+	var declOnce sync.Once
+	runOn(t, m, 32, nil, func(r *Registry, task *mpi.Task) error {
+		declOnce.Do(func() {
+			v = Declare[float64](r, "t", topology.NUMA, 100, WithInit(func(inst int, data []float64) {
+				initCount.Add(1)
+				for i := range data {
+					data[i] = float64(inst)
+				}
+			}))
+		})
+		mpi.Barrier(task, nil)
+		s := v.Slice(task)
+		socket := task.Place().Socket
+		if s[0] != float64(socket) {
+			return fmt.Errorf("rank %d: init value %v, want %d", task.Rank(), s[0], socket)
+		}
+		return nil
+	})
+	if got := initCount.Load(); got != 4 {
+		t.Errorf("init ran %d times, want 4", got)
+	}
+}
+
+func TestSingleExecutesOncePerInstance(t *testing.T) {
+	m := topology.NehalemEX4()
+	var nodeExec, numaExec atomic.Int32
+	var vn *Var[int]
+	var vu *Var[int]
+	var declOnce sync.Once
+	runOn(t, m, 32, nil, func(r *Registry, task *mpi.Task) error {
+		declOnce.Do(func() {
+			vn = Declare[int](r, "a", topology.Node, 1)
+			vu = Declare[int](r, "b", topology.NUMA, 1)
+		})
+		mpi.Barrier(task, nil)
+		vn.Single(task, func(data []int) {
+			nodeExec.Add(1)
+			data[0] = 4
+		})
+		// Implicit barrier: every task must observe the write.
+		if got := vn.Slice(task)[0]; got != 4 {
+			return fmt.Errorf("rank %d: a = %d after single, want 4", task.Rank(), got)
+		}
+		vu.Single(task, func(data []int) {
+			numaExec.Add(1)
+			data[0] = 2
+		})
+		if got := vu.Slice(task)[0]; got != 2 {
+			return fmt.Errorf("rank %d: b = %d after single, want 2", task.Rank(), got)
+		}
+		return nil
+	})
+	if nodeExec.Load() != 1 {
+		t.Errorf("node single executed %d times, want 1", nodeExec.Load())
+	}
+	if numaExec.Load() != 4 {
+		t.Errorf("numa single executed %d times, want 4 (one per socket)", numaExec.Load())
+	}
+}
+
+func TestSingleActsAsBarrier(t *testing.T) {
+	// No task may pass the single before all tasks entered it.
+	m := topology.NehalemEX4()
+	var entered atomic.Int32
+	var v *Var[int]
+	var declOnce sync.Once
+	runOn(t, m, 32, nil, func(r *Registry, task *mpi.Task) error {
+		declOnce.Do(func() { v = Declare[int](r, "a", topology.Node, 1) })
+		mpi.Barrier(task, nil)
+		entered.Add(1)
+		v.Single(task, func([]int) {})
+		if got := entered.Load(); got != 32 {
+			return fmt.Errorf("rank %d left single with %d entered", task.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestSingleNowaitFirstTaskExecutes(t *testing.T) {
+	m := topology.NehalemEX4()
+	var exec atomic.Int32
+	var v *Var[int]
+	var declOnce sync.Once
+	runOn(t, m, 32, nil, func(r *Registry, task *mpi.Task) error {
+		declOnce.Do(func() { v = Declare[int](r, "a", topology.Node, 1) })
+		mpi.Barrier(task, nil)
+		for iter := 0; iter < 10; iter++ {
+			did := v.SingleNowait(task, func(data []int) { exec.Add(1) })
+			_ = did
+		}
+		return nil
+	})
+	if got := exec.Load(); got != 10 {
+		t.Errorf("nowait bodies executed %d times, want 10 (once per region)", got)
+	}
+}
+
+func TestSingleNowaitPerScopeInstance(t *testing.T) {
+	m := topology.NehalemEX4()
+	var exec atomic.Int32
+	var v *Var[int]
+	var declOnce sync.Once
+	runOn(t, m, 32, nil, func(r *Registry, task *mpi.Task) error {
+		declOnce.Do(func() { v = Declare[int](r, "b", topology.NUMA, 1) })
+		mpi.Barrier(task, nil)
+		v.SingleNowait(task, func(data []int) { exec.Add(1) })
+		return nil
+	})
+	if got := exec.Load(); got != 4 {
+		t.Errorf("numa nowait executed %d times, want 4", got)
+	}
+}
+
+func TestBarrierWidestScope(t *testing.T) {
+	// barrier(a,b) with a node-scope a must synchronize the whole node,
+	// listing 2's pattern.
+	m := topology.NehalemEX4()
+	var entered atomic.Int32
+	var a *Var[int]
+	var b *Var[int]
+	var declOnce sync.Once
+	runOn(t, m, 32, nil, func(r *Registry, task *mpi.Task) error {
+		declOnce.Do(func() {
+			a = Declare[int](r, "a", topology.Node, 1)
+			b = Declare[int](r, "b", topology.NUMA, 1)
+		})
+		mpi.Barrier(task, nil)
+		entered.Add(1)
+		r.Barrier(task, a, b)
+		if got := entered.Load(); got != 32 {
+			return fmt.Errorf("rank %d passed barrier with %d entered", task.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestListing2Pattern(t *testing.T) {
+	// barrier(a,b); single(a) nowait; single(b) nowait; barrier(a,b) —
+	// after the trailing barrier both writes must be visible everywhere.
+	m := topology.NehalemEX4()
+	var a, b *Var[int]
+	var declOnce sync.Once
+	runOn(t, m, 32, nil, func(r *Registry, task *mpi.Task) error {
+		declOnce.Do(func() {
+			a = Declare[int](r, "a", topology.Node, 1)
+			b = Declare[int](r, "b", topology.NUMA, 1)
+		})
+		mpi.Barrier(task, nil)
+		r.Barrier(task, a, b)
+		a.SingleNowait(task, func(data []int) { data[0] = 4 })
+		b.SingleNowait(task, func(data []int) { data[0] = 2 })
+		r.Barrier(task, a, b)
+		if a.Slice(task)[0] != 4 || b.Slice(task)[0] != 2 {
+			return fmt.Errorf("rank %d: a=%d b=%d", task.Rank(), a.Slice(task)[0], b.Slice(task)[0])
+		}
+		return nil
+	})
+}
+
+func TestMixedScopeSinglePanics(t *testing.T) {
+	m := topology.NehalemEX4()
+	var a, b *Var[int]
+	var declOnce sync.Once
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: 32, Machine: m, Pin: topology.PinCorePerTask, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(w)
+	err = w.Run(func(task *mpi.Task) error {
+		declOnce.Do(func() {
+			a = Declare[int](r, "a", topology.Node, 1)
+			b = Declare[int](r, "b", topology.NUMA, 1)
+		})
+		mpi.Barrier(task, nil)
+		if task.Rank() == 0 {
+			Single(task, func() {}, a, b) // mixed scopes: compile error in the paper
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("mixed-scope single did not fail")
+	}
+}
+
+func TestSharedWritesVisible(t *testing.T) {
+	// Writes through one task's slice are visible through another's.
+	m := topology.NehalemEX4()
+	var v *Var[int64]
+	var declOnce sync.Once
+	runOn(t, m, 32, nil, func(r *Registry, task *mpi.Task) error {
+		declOnce.Do(func() { v = Declare[int64](r, "acc", topology.Node, 32) })
+		mpi.Barrier(task, nil)
+		s := v.Slice(task)
+		s[task.Rank()] = int64(task.Rank() * task.Rank())
+		mpi.Barrier(task, nil)
+		for i := 0; i < 32; i++ {
+			if s[i] != int64(i*i) {
+				return fmt.Errorf("rank %d sees acc[%d]=%d", task.Rank(), i, s[i])
+			}
+		}
+		return nil
+	})
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	m := topology.NehalemEX4()
+	pin := topology.MustPin(m, 32, topology.PinCorePerTask)
+	tr := memsim.NewTracker(m, pin)
+	var v *Var[float64]
+	var declOnce sync.Once
+	runOn(t, m, 32, []Option{WithTracker(tr)}, func(r *Registry, task *mpi.Task) error {
+		declOnce.Do(func() {
+			v = Declare[float64](r, "t", topology.NUMA, 1000,
+				WithAccountBytes[float64](1<<20)) // account 1 MiB per instance
+		})
+		mpi.Barrier(task, nil)
+		v.Slice(task)
+		return nil
+	})
+	// 4 instances x 1 MiB on node 0.
+	if got := tr.KindBytes(memsim.KindShared)[0]; got != 4<<20 {
+		t.Errorf("shared bytes = %d, want %d", got, 4<<20)
+	}
+}
+
+func TestDefaultAccountBytes(t *testing.T) {
+	m := topology.NehalemEX4()
+	pin := topology.MustPin(m, 32, topology.PinCorePerTask)
+	tr := memsim.NewTracker(m, pin)
+	var declOnce sync.Once
+	runOn(t, m, 32, []Option{WithTracker(tr)}, func(r *Registry, task *mpi.Task) error {
+		var v *Var[float64]
+		declOnce.Do(func() { v = Declare[float64](r, "t", topology.Node, 512) })
+		if v != nil {
+			v.Slice(task)
+		}
+		return nil
+	})
+	if got := tr.KindBytes(memsim.KindShared)[0]; got != 512*8 {
+		t.Errorf("shared bytes = %d, want %d", got, 512*8)
+	}
+}
+
+func TestHierarchicalVsFlatEquivalence(t *testing.T) {
+	// Both barrier implementations must provide the same semantics.
+	for _, opts := range [][]Option{nil, {WithFlatBarriers()}} {
+		m := topology.NehalemEX4()
+		var entered atomic.Int32
+		var v *Var[int]
+		var declOnce sync.Once
+		runOn(t, m, 32, opts, func(r *Registry, task *mpi.Task) error {
+			declOnce.Do(func() { v = Declare[int](r, "a", topology.Node, 1) })
+			mpi.Barrier(task, nil)
+			for i := 0; i < 5; i++ {
+				entered.Add(1)
+				r.Barrier(task, v)
+				if got := entered.Load(); got < int32((i+1)*32) {
+					return fmt.Errorf("iteration %d: passed with %d entered", i, got)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestUsesHierarchyOnlyAboveLLC(t *testing.T) {
+	m := topology.NehalemEX4()
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: 32, Machine: m, Pin: topology.PinCorePerTask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(w)
+	if r.useHierarchy(topology.Cache(3)) {
+		t.Error("hierarchy used at LLC scope")
+	}
+	if r.useHierarchy(topology.NUMA) {
+		t.Error("hierarchy used for numa == llc on this machine")
+	}
+	if !r.useHierarchy(topology.Node) {
+		t.Error("hierarchy not used at node scope")
+	}
+}
+
+func TestDeclareValidation(t *testing.T) {
+	m := topology.NehalemEX4()
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: 4, Machine: m, Pin: topology.PinCorePerTask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(w)
+	mustPanic(t, "negative length", func() { Declare[int](r, "x", topology.Node, -1) })
+	mustPanic(t, "bad cache level", func() { Declare[int](r, "x", topology.Cache(9), 1) })
+}
+
+func TestBarrierNoVarsPanics(t *testing.T) {
+	m := topology.NehalemEX4()
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: 4, Machine: m, Pin: topology.PinCorePerTask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(w)
+	mustPanic(t, "empty barrier", func() { r.Barrier(nil) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestObserverSeesDirectives(t *testing.T) {
+	m := topology.NehalemEX4()
+	obs := &recordingObserver{}
+	var v *Var[int]
+	var declOnce sync.Once
+	runOn(t, m, 32, []Option{WithObserver(obs)}, func(r *Registry, task *mpi.Task) error {
+		declOnce.Do(func() { v = Declare[int](r, "a", topology.Node, 1) })
+		mpi.Barrier(task, nil)
+		r.Barrier(task, v)
+		v.Single(task, func([]int) {})
+		v.SingleNowait(task, func([]int) {})
+		return nil
+	})
+	arr, dep := obs.counts()
+	// barrier: 32 arrive + 32 depart; single: same; nowait: 1 arrive
+	// (executor) + 32 depart.
+	if arr != 32+32+1 {
+		t.Errorf("arrivals = %d, want 65", arr)
+	}
+	if dep != 32*3 {
+		t.Errorf("departures = %d, want 96", dep)
+	}
+}
+
+type recordingObserver struct {
+	mu      sync.Mutex
+	arrives int
+	departs int
+}
+
+func (o *recordingObserver) Arrive(key string, rank int) {
+	o.mu.Lock()
+	o.arrives++
+	o.mu.Unlock()
+}
+
+func (o *recordingObserver) Depart(key string, rank int) {
+	o.mu.Lock()
+	o.departs++
+	o.mu.Unlock()
+}
+
+func (o *recordingObserver) counts() (int, int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.arrives, o.departs
+}
+
+func TestRegistryReport(t *testing.T) {
+	m := topology.NehalemEX4()
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: 32, Machine: m,
+		Pin: topology.PinCorePerTask, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(w)
+	a := Declare[float64](r, "rep_a", topology.Node, 100)
+	Declare[int](r, "rep_b", topology.NUMA, 5)
+	if err := w.Run(func(task *mpi.Task) error {
+		a.Slice(task) // materialize the node instance only
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	infos := r.Report()
+	if len(infos) != 2 {
+		t.Fatalf("report entries = %d, want 2", len(infos))
+	}
+	if infos[0].Name != "rep_a" || infos[1].Name != "rep_b" {
+		t.Errorf("order: %v, %v", infos[0].Name, infos[1].Name)
+	}
+	if infos[0].Instances != 1 || infos[0].MaxInstances != 1 || infos[0].SavingFactor != 32 {
+		t.Errorf("rep_a info: %+v", infos[0])
+	}
+	if infos[0].BytesPerInstance != 800 {
+		t.Errorf("rep_a bytes = %d, want 800", infos[0].BytesPerInstance)
+	}
+	if infos[1].Instances != 0 || infos[1].MaxInstances != 4 || infos[1].SavingFactor != 8 {
+		t.Errorf("rep_b info: %+v", infos[1])
+	}
+	var sb strings.Builder
+	r.WriteReport(&sb)
+	if !strings.Contains(sb.String(), "rep_a") || !strings.Contains(sb.String(), "32x") {
+		t.Errorf("report rendering:\n%s", sb.String())
+	}
+}
+
+func TestAllOrNoneRuleViolationDiagnosed(t *testing.T) {
+	// §II-C: "All or none MPI tasks should execute a single or barrier
+	// directive." A program violating the rule hangs; the runtime's
+	// timeout surfaces a diagnostic naming the blocked tasks instead of
+	// deadlocking silently.
+	m := topology.NehalemEX4()
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: 4, Machine: m,
+		Pin: topology.PinCorePerTask, Timeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(w)
+	v := Declare[int](r, "partial", topology.Node, 1)
+	err = w.Run(func(task *mpi.Task) error {
+		if task.Rank() != 3 { // rank 3 skips the directive: violation
+			v.Single(task, func([]int) {})
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("partial single did not produce a timeout diagnostic: %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+package hls
+
+import (
+	"fmt"
+
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+// Migrate moves task t to hardware thread newThread — the MPC_Move
+// operation. Per §IV-A, a task may only migrate if it has encountered the
+// same number of single and barrier directives as the destination scope
+// instances it is moving into; otherwise the move is refused with an
+// error. HLS variables are bound to the architecture and do not move: the
+// task simply resolves the destination's copies afterwards (its private
+// pointer cache is invalidated).
+//
+// Migration must be quiescent: no task of the affected scope instances may
+// be inside an HLS directive while Migrate runs. This mirrors MPC, where
+// the migration check itself enforces directive-count agreement.
+func (r *Registry) Migrate(t *mpi.Task, newThread int) error {
+	rank := t.Rank()
+	oldThread := r.pin.Thread(rank)
+	if newThread == oldThread {
+		return nil
+	}
+	if newThread < 0 || newThread >= r.machine.TotalThreads() {
+		return fmt.Errorf("hls: migrate rank %d: thread %d out of range [0,%d)",
+			rank, newThread, r.machine.TotalThreads())
+	}
+
+	changed := make([]topology.Scope, 0, 4)
+	for _, s := range r.allScopes() {
+		if r.machine.ScopeInstance(oldThread, s) != r.machine.ScopeInstance(newThread, s) {
+			changed = append(changed, s)
+		}
+	}
+
+	// Check directive counters against every destination instance.
+	r.mu.Lock()
+	for _, s := range changed {
+		lk := scopeLK{s.Kind, s.Level}
+		destKey := scopeKey{lk, r.machine.ScopeInstance(newThread, s)}
+		var destCount int64
+		if c, ok := r.instCounts[destKey]; ok {
+			destCount = c.Load()
+		}
+		if my := r.taskCounts[rank][lk]; my != destCount {
+			r.mu.Unlock()
+			return fmt.Errorf("hls: migrate rank %d: %v directive count mismatch (task %d, destination instance %d has %d)",
+				rank, s, my, destKey.inst, destCount)
+		}
+		var destNowait int64
+		if ns, ok := r.nowaits[destKey]; ok {
+			ns.mu.Lock()
+			destNowait = ns.done
+			ns.mu.Unlock()
+		}
+		if my := r.taskCounts[rank][nowaitLK(s)]; my != destNowait {
+			r.mu.Unlock()
+			return fmt.Errorf("hls: migrate rank %d: %v single-nowait count mismatch (task %d, destination %d)",
+				rank, s, my, destNowait)
+		}
+	}
+
+	// Commit: re-pin, invalidate the task's variable cache, rebuild the
+	// barriers of every affected instance from the new pinning.
+	r.pin.Move(rank, newThread)
+	r.migGen[rank].Add(1)
+	for _, s := range changed {
+		lk := scopeLK{s.Kind, s.Level}
+		for _, inst := range []int{
+			r.machine.ScopeInstance(oldThread, s),
+			r.machine.ScopeInstance(newThread, s),
+		} {
+			key := scopeKey{lk, inst}
+			if _, ok := r.barriers[key]; !ok {
+				continue
+			}
+			if len(r.pin.RanksInInstance(s, inst)) == 0 {
+				delete(r.barriers, key)
+			} else {
+				r.barriers[key] = r.buildBarrier(s, key)
+			}
+		}
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// allScopes enumerates every scope of the machine, narrow to wide.
+func (r *Registry) allScopes() []topology.Scope {
+	scopes := []topology.Scope{topology.Core}
+	for l := 1; l <= r.machine.CacheLevels(); l++ {
+		scopes = append(scopes, topology.Cache(l))
+	}
+	scopes = append(scopes, topology.NUMA, topology.Node)
+	return scopes
+}

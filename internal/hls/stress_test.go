@@ -1,0 +1,146 @@
+package hls
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+// TestStructVar: HLS variables of struct type (the Tachyon scene pattern:
+// an HLS global holding pointers to heap data).
+func TestStructVar(t *testing.T) {
+	type config struct {
+		Name    string
+		Weights []float64
+		Gen     int
+	}
+	m := topology.NehalemEX4()
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: 32, Machine: m,
+		Pin: topology.PinCorePerTask, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(w)
+	v := Declare[config](r, "cfg", topology.Node, 1)
+	if err := w.Run(func(task *mpi.Task) error {
+		v.Single(task, func(c []config) {
+			c[0] = config{Name: "shared", Weights: []float64{1, 2, 3}, Gen: 7}
+		})
+		got := v.Slice(task)[0]
+		if got.Name != "shared" || got.Gen != 7 || len(got.Weights) != 3 {
+			return fmt.Errorf("rank %d: struct not visible: %+v", task.Rank(), got)
+		}
+		// Heap data behind the struct is shared too: all tasks see the
+		// same backing array.
+		if &v.Slice(task)[0].Weights[0] != &v.Ptr(task, 0).Weights[0] {
+			return fmt.Errorf("inconsistent resolution")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedScopeStress hammers every directive kind at every scope
+// concurrently for many iterations: any lost wakeup, miscounted single or
+// barrier imbalance deadlocks (caught by the timeout) or trips the
+// counters.
+func TestMixedScopeStress(t *testing.T) {
+	m := topology.NehalemEX4()
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: 32, Machine: m,
+		Pin: topology.PinCorePerTask, Timeout: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(w)
+	vNode := Declare[int64](r, "sn", topology.Node, 1)
+	vNuma := Declare[int64](r, "su", topology.NUMA, 1)
+	vCore := Declare[int64](r, "sc", topology.Core, 1)
+	var nodeExec, numaExec, nowaitExec atomic.Int64
+	const iters = 200
+	if err := w.Run(func(task *mpi.Task) error {
+		for i := 0; i < iters; i++ {
+			vNode.Single(task, func(d []int64) { d[0]++; nodeExec.Add(1) })
+			vNuma.Single(task, func(d []int64) { d[0]++; numaExec.Add(1) })
+			vNode.SingleNowait(task, func(d []int64) { nowaitExec.Add(1) })
+			r.Barrier(task, vNode, vNuma, vCore)
+			if got := vNode.Slice(task)[0]; got != int64(i+1) {
+				return fmt.Errorf("iter %d rank %d: node counter %d", i, task.Rank(), got)
+			}
+			if got := vNuma.Slice(task)[0]; got != int64(i+1) {
+				return fmt.Errorf("iter %d rank %d: numa counter %d", i, task.Rank(), got)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if nodeExec.Load() != iters {
+		t.Errorf("node singles = %d, want %d", nodeExec.Load(), iters)
+	}
+	if numaExec.Load() != 4*iters {
+		t.Errorf("numa singles = %d, want %d", numaExec.Load(), 4*iters)
+	}
+	if nowaitExec.Load() != iters {
+		t.Errorf("nowait bodies = %d, want %d", nowaitExec.Load(), iters)
+	}
+}
+
+// TestSliceStableProperty: for random machine geometries and scopes, the
+// resolved slice is identical across repeated calls and across tasks of
+// the same scope instance, and distinct across instances.
+func TestSliceStableProperty(t *testing.T) {
+	f := func(sockets, cores, scopeRaw uint8) bool {
+		s := int(sockets%3) + 1
+		c := int(cores%4) + 1
+		m, err := topology.New(topology.Spec{
+			Name: "q", Nodes: 2, SocketsPerNode: s, CoresPerSocket: c, ThreadsPerCore: 1,
+		})
+		if err != nil {
+			return false
+		}
+		scopes := []topology.Scope{topology.Core, topology.NUMA, topology.Node}
+		scope := scopes[int(scopeRaw)%len(scopes)]
+		n := m.TotalCores()
+		w, err := mpi.NewWorld(mpi.Config{NumTasks: n, Machine: m,
+			Pin: topology.PinCorePerTask, Timeout: 30 * time.Second})
+		if err != nil {
+			return false
+		}
+		r := New(w)
+		v := Declare[int](r, "q", scope, 2)
+		ptrs := make([]*int, n)
+		var mu sync.Mutex
+		if err := w.Run(func(task *mpi.Task) error {
+			a := v.Slice(task)
+			b := v.Slice(task)
+			if &a[0] != &b[0] {
+				return fmt.Errorf("unstable resolution")
+			}
+			mu.Lock()
+			ptrs[task.Rank()] = &a[0]
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				same := m.SameScope(i, j, scope) // one task per core, thread==rank here
+				if (ptrs[i] == ptrs[j]) != same {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package memsim is the memory-accounting substrate behind the paper's
+// memory-footprint evaluation (§V-B, Tables II–IV).
+//
+// The paper measures resident memory (application + MPI runtime) on every
+// node every 0.1 s, reports the time-average per node, then the average
+// and the maximum of that value across nodes. This package reproduces the
+// measurement pipeline: applications allocate through a Tracker that tags
+// every allocation with the node it lives on and a kind (task-private
+// data, HLS-shared data, runtime buffers), the harness calls Sample at
+// step boundaries, and Report returns the same two columns the tables
+// print.
+//
+// Allocations are accounting-only: the tracker records byte counts, it
+// does not reserve memory. Applications hold their real (scaled-down) Go
+// slices separately and report the byte sizes the paper's full-scale run
+// would have used, so the tables can be regenerated at paper scale while
+// the computation runs at laptop scale.
+package memsim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"hls/internal/topology"
+)
+
+// Kind classifies an allocation for per-kind breakdowns.
+type Kind int
+
+const (
+	// KindApp is task-private application data (duplicated per task in a
+	// plain MPI run).
+	KindApp Kind = iota
+	// KindShared is HLS-shared application data (one copy per scope
+	// instance).
+	KindShared
+	// KindRuntime is MPI-runtime memory: communication buffers, queues.
+	KindRuntime
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindApp:
+		return "app"
+	case KindShared:
+		return "shared"
+	case KindRuntime:
+		return "runtime"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Alloc is a handle to one tracked allocation.
+type Alloc struct {
+	node  int
+	bytes int64
+	kind  Kind
+	freed bool
+}
+
+// Bytes returns the allocation size.
+func (a *Alloc) Bytes() int64 { return a.bytes }
+
+// Tracker accounts memory per node over time.
+type Tracker struct {
+	machine *topology.Machine
+	pin     *topology.Pinning
+
+	mu      sync.Mutex
+	current []int64   // per-node bytes now
+	byKind  [][]int64 // [kind][node] bytes now
+	peak    []int64   // per-node instantaneous peak
+	sumSamp []int64   // per-node sum of sampled values
+	nSamp   int       // number of samples taken
+	series  [][]int64 // per-sample snapshots, for WriteCSV
+}
+
+// NewTracker builds a tracker for tasks pinned by pin on machine m.
+func NewTracker(m *topology.Machine, pin *topology.Pinning) *Tracker {
+	nodes := m.Nodes()
+	t := &Tracker{
+		machine: m,
+		pin:     pin,
+		current: make([]int64, nodes),
+		peak:    make([]int64, nodes),
+		sumSamp: make([]int64, nodes),
+	}
+	t.byKind = make([][]int64, 3)
+	for k := range t.byKind {
+		t.byKind[k] = make([]int64, nodes)
+	}
+	return t
+}
+
+// NodeOfRank returns the node hosting MPI task `rank`.
+func (t *Tracker) NodeOfRank(rank int) int {
+	return t.machine.PlaceOf(t.pin.Thread(rank)).Node
+}
+
+// AllocRank records an allocation of `bytes` owned by task `rank`.
+func (t *Tracker) AllocRank(rank int, bytes int64, kind Kind) *Alloc {
+	return t.AllocNode(t.NodeOfRank(rank), bytes, kind)
+}
+
+// AllocNode records an allocation of `bytes` on a node.
+func (t *Tracker) AllocNode(node int, bytes int64, kind Kind) *Alloc {
+	if bytes < 0 {
+		panic(fmt.Sprintf("memsim: negative allocation %d", bytes))
+	}
+	if node < 0 || node >= len(t.current) {
+		panic(fmt.Sprintf("memsim: node %d out of range [0,%d)", node, len(t.current)))
+	}
+	a := &Alloc{node: node, bytes: bytes, kind: kind}
+	t.mu.Lock()
+	t.current[node] += bytes
+	t.byKind[kind][node] += bytes
+	if t.current[node] > t.peak[node] {
+		t.peak[node] = t.current[node]
+	}
+	t.mu.Unlock()
+	return a
+}
+
+// Free releases a tracked allocation. Freeing twice panics.
+func (t *Tracker) Free(a *Alloc) {
+	if a == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if a.freed {
+		panic("memsim: double free")
+	}
+	a.freed = true
+	t.current[a.node] -= a.bytes
+	t.byKind[a.kind][a.node] -= a.bytes
+	if t.current[a.node] < 0 {
+		panic("memsim: node usage went negative")
+	}
+}
+
+// Sample snapshots the current per-node usage, as the paper's 0.1 s
+// monitor does. Call it at regular points (e.g. every time step).
+func (t *Tracker) Sample() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := make([]int64, len(t.current))
+	for n, v := range t.current {
+		t.sumSamp[n] += v
+		snap[n] = v
+	}
+	t.series = append(t.series, snap)
+	t.nSamp++
+}
+
+// Report summarizes the run in the tables' two columns.
+type Report struct {
+	Nodes int
+	// AvgBytes is the per-node time-average, averaged across nodes
+	// ("avg. mem" column).
+	AvgBytes float64
+	// MaxBytes is the maximum across nodes of the per-node time-average
+	// ("max. mem" column).
+	MaxBytes float64
+	// PeakBytes is the instantaneous peak across nodes and time (not in
+	// the paper's tables; useful for debugging).
+	PeakBytes int64
+	// PerNodeAvg lists each node's time-average.
+	PerNodeAvg []float64
+}
+
+// Report computes the summary. If Sample was never called, the current
+// usage counts as one sample.
+func (t *Tracker) Report() Report {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.nSamp
+	sum := t.sumSamp
+	if n == 0 {
+		n = 1
+		sum = t.current
+	}
+	r := Report{Nodes: len(t.current), PerNodeAvg: make([]float64, len(t.current))}
+	var tot float64
+	for i := range t.current {
+		avg := float64(sum[i]) / float64(n)
+		r.PerNodeAvg[i] = avg
+		tot += avg
+		if avg > r.MaxBytes {
+			r.MaxBytes = avg
+		}
+		if t.peak[i] > r.PeakBytes {
+			r.PeakBytes = t.peak[i]
+		}
+	}
+	r.AvgBytes = tot / float64(len(t.current))
+	return r
+}
+
+// KindBytes returns the current per-node usage of one kind, for breakdown
+// assertions in tests.
+func (t *Tracker) KindBytes(kind Kind) []int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int64, len(t.byKind[kind]))
+	copy(out, t.byKind[kind])
+	return out
+}
+
+// CurrentBytes returns the current total usage of one node.
+func (t *Tracker) CurrentBytes(node int) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.current[node]
+}
+
+// MB converts bytes to the tables' MB unit (2^20).
+func MB(bytes float64) float64 { return bytes / (1 << 20) }
+
+// Quantile returns the q-quantile (0..1) of per-node averages; a helper
+// for harness diagnostics.
+func (r Report) Quantile(q float64) float64 {
+	if len(r.PerNodeAvg) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), r.PerNodeAvg...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// WriteCSV emits the sampled per-node usage series — the reproduction of
+// the paper's 0.1 s memory monitor output ("The memory consumption of the
+// application plus the MPI runtime is measured every 0.1s on each node").
+// Columns: sample index followed by one MB value per node.
+func (t *Tracker) WriteCSV(w io.Writer) error {
+	t.mu.Lock()
+	series := make([][]int64, len(t.series))
+	copy(series, t.series)
+	nodes := len(t.current)
+	t.mu.Unlock()
+
+	cw := csv.NewWriter(w)
+	header := make([]string, nodes+1)
+	header[0] = "sample"
+	for n := 0; n < nodes; n++ {
+		header[n+1] = fmt.Sprintf("node%d_mb", n)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, nodes+1)
+	for i, snap := range series {
+		row[0] = strconv.Itoa(i)
+		for n, v := range snap {
+			row[n+1] = strconv.FormatFloat(MB(float64(v)), 'f', 2, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,234 @@
+package memsim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hls/internal/topology"
+)
+
+func tracker(t *testing.T, nodes, tasks int) *Tracker {
+	t.Helper()
+	m := topology.HarpertownCluster(nodes)
+	pin := topology.MustPin(m, tasks, topology.PinCorePerTask)
+	return NewTracker(m, pin)
+}
+
+func TestNodeOfRank(t *testing.T) {
+	tr := tracker(t, 2, 16) // 8 cores per node
+	for r := 0; r < 8; r++ {
+		if tr.NodeOfRank(r) != 0 {
+			t.Errorf("rank %d on node %d, want 0", r, tr.NodeOfRank(r))
+		}
+	}
+	for r := 8; r < 16; r++ {
+		if tr.NodeOfRank(r) != 1 {
+			t.Errorf("rank %d on node %d, want 1", r, tr.NodeOfRank(r))
+		}
+	}
+}
+
+func TestAllocFreeAccounting(t *testing.T) {
+	tr := tracker(t, 2, 16)
+	a := tr.AllocRank(0, 100, KindApp)
+	b := tr.AllocRank(9, 50, KindShared)
+	if got := tr.CurrentBytes(0); got != 100 {
+		t.Errorf("node 0 = %d, want 100", got)
+	}
+	if got := tr.CurrentBytes(1); got != 50 {
+		t.Errorf("node 1 = %d, want 50", got)
+	}
+	tr.Free(a)
+	if got := tr.CurrentBytes(0); got != 0 {
+		t.Errorf("after free node 0 = %d", got)
+	}
+	if got := tr.KindBytes(KindShared)[1]; got != 50 {
+		t.Errorf("shared on node 1 = %d, want 50", got)
+	}
+	tr.Free(b)
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	tr := tracker(t, 1, 4)
+	a := tr.AllocNode(0, 10, KindApp)
+	tr.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	tr.Free(a)
+}
+
+func TestNegativeAllocPanics(t *testing.T) {
+	tr := tracker(t, 1, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative alloc did not panic")
+		}
+	}()
+	tr.AllocNode(0, -1, KindApp)
+}
+
+func TestFreeNilIsNoop(t *testing.T) {
+	tr := tracker(t, 1, 4)
+	tr.Free(nil)
+}
+
+func TestSampleAveraging(t *testing.T) {
+	tr := tracker(t, 2, 16)
+	a := tr.AllocNode(0, 100, KindApp)
+	tr.Sample() // node0=100, node1=0
+	tr.AllocNode(1, 300, KindApp)
+	tr.Sample() // node0=100, node1=300
+	tr.Free(a)
+	tr.Sample() // node0=0, node1=300
+	r := tr.Report()
+	// node0 avg = 200/3, node1 avg = 200
+	if want := 200.0 / 3.0; !near(r.PerNodeAvg[0], want) {
+		t.Errorf("node0 avg = %v, want %v", r.PerNodeAvg[0], want)
+	}
+	if !near(r.PerNodeAvg[1], 200) {
+		t.Errorf("node1 avg = %v, want 200", r.PerNodeAvg[1])
+	}
+	if !near(r.MaxBytes, 200) {
+		t.Errorf("max = %v, want 200", r.MaxBytes)
+	}
+	if !near(r.AvgBytes, (200.0/3.0+200)/2) {
+		t.Errorf("avg = %v", r.AvgBytes)
+	}
+	if r.PeakBytes != 300 {
+		t.Errorf("peak = %d, want 300", r.PeakBytes)
+	}
+}
+
+func TestReportWithoutSamples(t *testing.T) {
+	tr := tracker(t, 1, 4)
+	tr.AllocNode(0, 64, KindRuntime)
+	r := tr.Report()
+	if !near(r.AvgBytes, 64) || !near(r.MaxBytes, 64) {
+		t.Errorf("report = %+v, want 64", r)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	tr := tracker(t, 4, 32)
+	var wg sync.WaitGroup
+	for r := 0; r < 32; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				a := tr.AllocRank(rank, 10, KindApp)
+				tr.Free(a)
+			}
+			tr.AllocRank(rank, 7, KindApp) // leave 7 bytes
+		}(r)
+	}
+	wg.Wait()
+	var total int64
+	for n := 0; n < 4; n++ {
+		total += tr.CurrentBytes(n)
+	}
+	if total != 32*7 {
+		t.Errorf("total = %d, want %d", total, 32*7)
+	}
+}
+
+func TestDuplicationArithmetic(t *testing.T) {
+	// 8 tasks on one node: a 33 MB table costs 8x33 private, 1x33 shared;
+	// the saving is 7x33, as Table III's Gadget-2 discussion computes.
+	const table = 33 << 20
+	trPriv := tracker(t, 1, 8)
+	for r := 0; r < 8; r++ {
+		trPriv.AllocRank(r, table, KindApp)
+	}
+	trHLS := tracker(t, 1, 8)
+	trHLS.AllocNode(0, table, KindShared)
+	saving := trPriv.CurrentBytes(0) - trHLS.CurrentBytes(0)
+	if saving != 7*table {
+		t.Errorf("saving = %d, want %d", saving, 7*int64(table))
+	}
+}
+
+func TestRuntimeModelShape(t *testing.T) {
+	// Open MPI must cost more than MPC, and the gap must grow with the
+	// total number of ranks (the paper: "this gap grows with the number
+	// of cores").
+	prevGap := int64(0)
+	for _, ranks := range []int{256, 512, 736} {
+		mpc := RuntimeBytesPerNode(ModelMPC, 8, ranks)
+		ompi := RuntimeBytesPerNode(ModelOpenMPI, 8, ranks)
+		if ompi <= mpc {
+			t.Errorf("ranks=%d: Open MPI %d <= MPC %d", ranks, ompi, mpc)
+		}
+		gap := ompi - mpc
+		if gap <= prevGap {
+			t.Errorf("ranks=%d: gap %d did not grow (prev %d)", ranks, gap, prevGap)
+		}
+		prevGap = gap
+		// The paper's gap is on the order of 100-300 MB.
+		if MB(float64(gap)) < 50 || MB(float64(gap)) > 400 {
+			t.Errorf("ranks=%d: gap %.0f MB outside the paper's 100-300 MB ballpark", ranks, MB(float64(gap)))
+		}
+	}
+}
+
+func TestRuntimeModelString(t *testing.T) {
+	if ModelMPC.String() != "MPC" || ModelOpenMPI.String() != "Open MPI" {
+		t.Error("model names wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	r := Report{PerNodeAvg: []float64{10, 30, 20, 40}}
+	if got := r.Quantile(0); got != 10 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := r.Quantile(1); got != 40 {
+		t.Errorf("q1 = %v", got)
+	}
+	if (Report{}).Quantile(0.5) != 0 {
+		t.Error("empty quantile not 0")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{KindApp, KindShared, KindRuntime} {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+}
+
+func near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9*(1+b)
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := tracker(t, 2, 16)
+	a := tr.AllocNode(0, 2<<20, KindApp)
+	tr.Sample()
+	tr.AllocNode(1, 1<<20, KindShared)
+	tr.Sample()
+	tr.Free(a)
+	var sb strings.Builder
+	if err := tr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want header + 2 samples:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "sample,node0_mb,node1_mb" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0,2.00,0.00" || lines[2] != "1,2.00,1.00" {
+		t.Errorf("rows: %q / %q", lines[1], lines[2])
+	}
+}

@@ -1,0 +1,83 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPingPong measures round-trip latency by payload size, covering
+// both the eager and the rendezvous protocol.
+func BenchmarkPingPong(b *testing.B) {
+	for _, elems := range []int{1, 64, 512, 8192} {
+		b.Run(fmt.Sprintf("float64x%d", elems), func(b *testing.B) {
+			w, err := NewWorld(Config{NumTasks: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(elems * 8 * 2))
+			b.ResetTimer()
+			err = w.Run(func(task *Task) error {
+				buf := make([]float64, elems)
+				for i := 0; i < b.N; i++ {
+					if task.Rank() == 0 {
+						Send(task, nil, buf, 1, 0)
+						Recv(task, nil, buf, 1, 1)
+					} else {
+						Recv(task, nil, buf, 0, 0)
+						Send(task, nil, buf, 0, 1)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkBarrierScaling measures the dissemination barrier by world
+// size.
+func BenchmarkBarrierScaling(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("tasks%d", n), func(b *testing.B) {
+			w, err := NewWorld(Config{NumTasks: n})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			err = w.Run(func(task *Task) error {
+				for i := 0; i < b.N; i++ {
+					Barrier(task, nil)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkBcastTree measures the binomial broadcast of a 1 KiB payload.
+func BenchmarkBcastTree(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		b.Run(fmt.Sprintf("tasks%d", n), func(b *testing.B) {
+			w, err := NewWorld(Config{NumTasks: n})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			err = w.Run(func(task *Task) error {
+				buf := make([]float64, 128)
+				for i := 0; i < b.N; i++ {
+					Bcast(task, nil, buf, 0)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

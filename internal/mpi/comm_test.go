@@ -1,0 +1,229 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hls/internal/topology"
+)
+
+func TestSplitScopeNUMA(t *testing.T) {
+	machine := topology.NehalemEX4()
+	_, err := Run(Config{NumTasks: 32, Machine: machine, Pin: topology.PinCorePerTask,
+		Timeout: 30 * time.Second}, func(task *Task) error {
+		sub := SplitScope(task, topology.NUMA)
+		if sub.Size() != 8 {
+			return fmt.Errorf("rank %d: numa comm size %d, want 8", task.Rank(), sub.Size())
+		}
+		// Members are exactly the ranks of my socket, ordered by rank.
+		mySocket := task.Place().Socket
+		for r := 0; r < sub.Size(); r++ {
+			wr := sub.WorldRank(r)
+			if wr/8 != mySocket {
+				return fmt.Errorf("rank %d: comm member %d from socket %d", task.Rank(), wr, wr/8)
+			}
+		}
+		// A reduction within the socket.
+		recv := make([]int, 1)
+		Allreduce(task, sub, []int{task.Rank()}, recv, OpSum)
+		want := 0
+		for r := mySocket * 8; r < (mySocket+1)*8; r++ {
+			want += r
+		}
+		if recv[0] != want {
+			return fmt.Errorf("rank %d: socket sum %d, want %d", task.Rank(), recv[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitScopeLLCPlaceholder(t *testing.T) {
+	machine := topology.NehalemEX4()
+	_, err := Run(Config{NumTasks: 32, Machine: machine, Pin: topology.PinCorePerTask,
+		Timeout: 30 * time.Second}, func(task *Task) error {
+		sub := SplitScope(task, topology.Scope{Kind: topology.ScopeCache, Level: 0})
+		if sub.Size() != 8 { // llc == socket on this machine
+			return fmt.Errorf("llc comm size %d, want 8", sub.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitOfSplit(t *testing.T) {
+	// Nested derivation: split world into halves, then each half into
+	// even/odd. Contexts must stay isolated at each level.
+	const n = 8
+	_, err := Run(Config{NumTasks: n, Timeout: 30 * time.Second}, func(task *Task) error {
+		half := Split(task, nil, task.Rank()/4, task.Rank())
+		quarter := Split(task, half, task.Rank()%2, task.Rank())
+		if quarter.Size() != 2 {
+			return fmt.Errorf("quarter size %d", quarter.Size())
+		}
+		recv := make([]int, 1)
+		Allreduce(task, quarter, []int{1}, recv, OpSum)
+		if recv[0] != 2 {
+			return fmt.Errorf("quarter allreduce = %d", recv[0])
+		}
+		// Traffic isolation: a message on `half` must not be received on
+		// `quarter` even with matching rank/tag.
+		if half.Rank(task) == 0 {
+			Send(task, half, []int{77}, 1, 5)
+		}
+		if half.Rank(task) == 1 {
+			buf := make([]int, 1)
+			st := Recv(task, half, buf, 0, 5)
+			if buf[0] != 77 || st.Source != 0 {
+				return fmt.Errorf("half recv got %d from %d", buf[0], st.Source)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDupIsolatesCollectives(t *testing.T) {
+	// Interleaved collectives on parent and dup must not cross-match.
+	const n = 4
+	_, err := Run(Config{NumTasks: n, Timeout: 30 * time.Second}, func(task *Task) error {
+		dup := Dup(task, nil)
+		a := []int{task.Rank()}
+		ra := make([]int, 1)
+		rb := make([]int, 1)
+		Allreduce(task, nil, a, ra, OpSum)
+		Allreduce(task, dup, a, rb, OpMax)
+		if ra[0] != 6 || rb[0] != 3 {
+			return fmt.Errorf("ra=%d rb=%d, want 6/3", ra[0], rb[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEagerLimitBoundary(t *testing.T) {
+	// Exactly at the limit -> eager; one element over -> rendezvous.
+	limit := 256 // bytes
+	w, err := Run(Config{NumTasks: 2, EagerLimit: limit, Timeout: 30 * time.Second}, func(task *Task) error {
+		if task.Rank() == 0 {
+			at := make([]byte, limit) // == limit: eager
+			Send(task, nil, at, 1, 0)
+			over := make([]byte, limit+1) // > limit: rendezvous
+			Send(task, nil, over, 1, 1)
+		} else {
+			buf := make([]byte, limit+1)
+			Recv(task, nil, buf[:limit], 0, 0)
+			Recv(task, nil, buf, 0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().Rendezvous; got != 1 {
+		t.Errorf("rendezvous count = %d, want 1", got)
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	_, err := Run(Config{NumTasks: 2, Timeout: 30 * time.Second}, func(task *Task) error {
+		if task.Rank() == 0 {
+			Send(task, nil, []float64{}, 1, 0)
+		} else {
+			st := Recv(task, nil, []float64{}, 0, 0)
+			if st.Count != 0 {
+				return fmt.Errorf("count = %d", st.Count)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanMultiElement(t *testing.T) {
+	const n = 5
+	_, err := Run(Config{NumTasks: n, Timeout: 30 * time.Second}, func(task *Task) error {
+		r := task.Rank()
+		recv := make([]float64, 2)
+		Scan(task, nil, []float64{1, float64(r)}, recv, OpSum)
+		wantA := float64(r + 1)
+		wantB := float64(r * (r + 1) / 2)
+		if recv[0] != wantA || recv[1] != wantB {
+			return fmt.Errorf("rank %d: scan = %v, want [%v %v]", r, recv, wantA, wantB)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveTrafficInvisibleToProbe(t *testing.T) {
+	// Collective traffic lives in a separate context: a wildcard Iprobe
+	// must never see it.
+	const n = 4
+	_, err := Run(Config{NumTasks: n, Timeout: 30 * time.Second}, func(task *Task) error {
+		for i := 0; i < 5; i++ {
+			Barrier(task, nil)
+			if _, ok := Iprobe(task, nil, AnySource, AnyTag); ok {
+				return fmt.Errorf("rank %d: probe saw collective traffic", task.Rank())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldRankTranslation(t *testing.T) {
+	const n = 6
+	_, err := Run(Config{NumTasks: n, Timeout: 30 * time.Second}, func(task *Task) error {
+		// Reverse-ordered communicator: comm rank i is world rank n-1-i.
+		sub := Split(task, nil, 0, -task.Rank())
+		if got := sub.WorldRank(0); got != n-1 {
+			return fmt.Errorf("WorldRank(0) = %d, want %d", got, n-1)
+		}
+		if got := sub.Rank(task); got != n-1-task.Rank() {
+			return fmt.Errorf("rank %d has comm rank %d", task.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonMemberCommUseFails(t *testing.T) {
+	err := runErr(4, func(task *Task) error {
+		sub := Split(task, nil, task.Rank()%2, 0)
+		// Rank 1 (odd comm) tries to send on it from... itself is a
+		// member; instead have rank 0 use the odd communicator, which it
+		// is not a member of. Ranks exchange pointers via the shared
+		// heap: use a package-level slot guarded by the barrier.
+		subs[task.Rank()] = sub
+		Barrier(task, nil)
+		if task.Rank() == 0 {
+			Send(task, subs[1], []int{1}, 0, 0) // not a member of odd comm
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("non-member send succeeded")
+	}
+}
+
+// subs shares communicators across tasks for TestNonMemberCommUseFails
+// (legal: one address space).
+var subs [4]*Comm

@@ -1,0 +1,246 @@
+package mpi
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+)
+
+// Status describes a completed receive.
+type Status struct {
+	// Source is the rank of the sender within the receive's communicator.
+	Source int
+	// Tag is the message tag.
+	Tag int
+	// Count is the number of elements received.
+	Count int
+	// Bytes is the payload size in bytes.
+	Bytes int
+}
+
+// Request is the handle of a nonblocking operation.
+type Request struct {
+	done   chan struct{}
+	status Status
+	// recvSide is true for receive requests (their Wait returns a Status
+	// with meaning).
+	recvSide bool
+}
+
+func newRequest(recvSide bool) *Request {
+	return &Request{done: make(chan struct{}), recvSide: recvSide}
+}
+
+// Wait blocks until the operation completes and returns its Status (zero
+// for send requests).
+func (r *Request) Wait() Status {
+	<-r.done
+	return r.status
+}
+
+// Test reports whether the operation has completed, without blocking.
+func (r *Request) Test() (Status, bool) {
+	select {
+	case <-r.done:
+		return r.status, true
+	default:
+		return Status{}, false
+	}
+}
+
+func (r *Request) complete(st Status) {
+	r.status = st
+	close(r.done)
+}
+
+// Waitall waits for every request in the slice and returns their statuses.
+func Waitall(reqs []*Request) []Status {
+	out := make([]Status, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Wait()
+	}
+	return out
+}
+
+// message is an in-flight point-to-point message.
+type message struct {
+	ctx   int64 // communication context (per communicator, user vs collective)
+	src   int   // sender rank within the communicator
+	tag   int
+	elems int
+	bytes int
+
+	// deliver copies the payload into dst (a []T of the receiver) and
+	// returns the element count. It panics with *Error on a datatype
+	// mismatch or truncation. recvRank is the receiver's world rank, for
+	// error attribution.
+	deliver func(dst any, recvRank int) int
+
+	// rendezvous marks a synchronizing send: sreq completes only at
+	// delivery, and the sender's blocking Send waits for it.
+	rendezvous bool
+	sreq       *Request
+
+	meta any // hooks.OnSend payload
+}
+
+// postedRecv is a receive waiting for a matching message.
+type postedRecv struct {
+	ctx      int64
+	src, tag int
+	buf      any
+	req      *Request
+	recvRank int // world rank of the receiver
+}
+
+func (m *message) matches(r *postedRecv) bool {
+	return m.ctx == r.ctx &&
+		(r.src == AnySource || r.src == m.src) &&
+		(r.tag == AnyTag || r.tag == m.tag)
+}
+
+// endpoint is the per-rank message engine: a posted-receive list and an
+// unexpected-message queue protected by one mutex, with a condition
+// variable for Probe.
+type endpoint struct {
+	rank int
+
+	mu         sync.Mutex
+	arrived    *sync.Cond // broadcast whenever unexpected grows
+	recvs      []*postedRecv
+	unexpected []*message
+
+	// blockedOn holds a human-readable description of what the task is
+	// blocked on, for deadlock diagnostics ("" when running).
+	blockedOn atomic.Value
+
+	// statistics, updated under mu
+	unexpectedBytes     int
+	peakUnexpectedBytes int
+	recvCount           int64
+}
+
+func newEndpoint(rank int) *endpoint {
+	ep := &endpoint{rank: rank}
+	ep.arrived = sync.NewCond(&ep.mu)
+	ep.blockedOn.Store("")
+	return ep
+}
+
+type worldStats struct {
+	messages      atomic.Int64
+	bytes         atomic.Int64
+	rendezvous    atomic.Int64
+	sameAddrSkips atomic.Int64
+	collectives   atomic.Int64
+}
+
+// Stats is a snapshot of runtime communication statistics.
+type Stats struct {
+	Messages      int64 // point-to-point messages delivered
+	Bytes         int64 // payload bytes carried
+	Rendezvous    int64 // messages that used the rendezvous protocol
+	SameAddrSkips int64 // deliveries elided because src and dst buffers were identical
+	Collectives   int64 // collective operations started (per task)
+
+	// PeakUnexpectedBytes is the maximum, over ranks, of bytes buffered in
+	// an unexpected-message queue at any time: the runtime's eager-buffer
+	// watermark, used by the memory models.
+	PeakUnexpectedBytes int
+}
+
+// Stats returns a snapshot of the world's communication statistics.
+func (w *World) Stats() Stats {
+	s := Stats{
+		Messages:      w.stats.messages.Load(),
+		Bytes:         w.stats.bytes.Load(),
+		Rendezvous:    w.stats.rendezvous.Load(),
+		SameAddrSkips: w.stats.sameAddrSkips.Load(),
+		Collectives:   w.stats.collectives.Load(),
+	}
+	for _, ep := range w.eps {
+		ep.mu.Lock()
+		if ep.peakUnexpectedBytes > s.PeakUnexpectedBytes {
+			s.PeakUnexpectedBytes = ep.peakUnexpectedBytes
+		}
+		ep.mu.Unlock()
+	}
+	return s
+}
+
+// inject delivers msg to the endpoint of world rank dstWorld: either it
+// matches an already-posted receive (delivery happens on the sender's
+// goroutine) or it is queued as unexpected.
+func (w *World) inject(msg *message, dstWorld int) {
+	ep := w.eps[dstWorld]
+	w.stats.messages.Add(1)
+	w.stats.bytes.Add(int64(msg.bytes))
+
+	ep.mu.Lock()
+	for i, pr := range ep.recvs {
+		if msg.matches(pr) {
+			ep.recvs = append(ep.recvs[:i], ep.recvs[i+1:]...)
+			ep.recvCount++
+			ep.mu.Unlock()
+			w.deliverTo(msg, pr)
+			return
+		}
+	}
+	ep.unexpected = append(ep.unexpected, msg)
+	ep.unexpectedBytes += msg.bytes
+	if ep.unexpectedBytes > ep.peakUnexpectedBytes {
+		ep.peakUnexpectedBytes = ep.unexpectedBytes
+	}
+	ep.arrived.Broadcast()
+	ep.mu.Unlock()
+}
+
+// deliverTo copies the payload into the posted receive's buffer, completes
+// the receive request (and the sender's rendezvous request), and fires the
+// delivery hook.
+func (w *World) deliverTo(msg *message, pr *postedRecv) {
+	n := msg.deliver(pr.buf, pr.recvRank)
+	if w.cfg.Hooks != nil {
+		w.cfg.Hooks.OnDeliver(pr.recvRank, msg.meta)
+	}
+	if msg.rendezvous && msg.sreq != nil {
+		msg.sreq.complete(Status{})
+	}
+	pr.req.complete(Status{Source: msg.src, Tag: msg.tag, Count: n, Bytes: msg.bytes})
+}
+
+// matchUnexpected scans the endpoint's unexpected queue (in arrival order)
+// for the first message matching pr, removing and returning it. The caller
+// must hold ep.mu.
+func (ep *endpoint) matchUnexpected(pr *postedRecv) *message {
+	for i, msg := range ep.unexpected {
+		if msg.matches(pr) {
+			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
+			ep.unexpectedBytes -= msg.bytes
+			ep.recvCount++
+			return msg
+		}
+	}
+	return nil
+}
+
+// Waitany blocks until at least one request completes and returns its
+// index and status. Completed requests keep reporting done; callers
+// typically remove the returned index before waiting again.
+func Waitany(reqs []*Request) (int, Status) {
+	if len(reqs) == 0 {
+		panic("mpi: Waitany on an empty request list")
+	}
+	// Fast path: anything already done?
+	for i, r := range reqs {
+		if st, ok := r.Test(); ok {
+			return i, st
+		}
+	}
+	cases := make([]reflect.SelectCase, len(reqs))
+	for i, r := range reqs {
+		cases[i] = reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(r.done)}
+	}
+	chosen, _, _ := reflect.Select(cases)
+	return chosen, reqs[chosen].status
+}

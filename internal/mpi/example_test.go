@@ -1,0 +1,58 @@
+package mpi_test
+
+import (
+	"fmt"
+
+	"hls/internal/mpi"
+)
+
+// The classic two-task exchange: rank 0 sends, rank 1 receives.
+func ExampleSend() {
+	_, err := mpi.Run(mpi.Config{NumTasks: 2}, func(task *mpi.Task) error {
+		if task.Rank() == 0 {
+			mpi.Send(task, nil, []float64{3.14}, 1, 0)
+		} else {
+			buf := make([]float64, 1)
+			st := mpi.Recv(task, nil, buf, 0, 0)
+			fmt.Printf("rank 1 got %.2f from rank %d\n", buf[0], st.Source)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output: rank 1 got 3.14 from rank 0
+}
+
+// Every task contributes one value; all see the sum.
+func ExampleAllreduce() {
+	_, err := mpi.Run(mpi.Config{NumTasks: 4}, func(task *mpi.Task) error {
+		recv := make([]int, 1)
+		mpi.Allreduce(task, nil, []int{task.Rank() + 1}, recv, mpi.OpSum)
+		if task.Rank() == 0 {
+			fmt.Println("sum:", recv[0]) // 1+2+3+4
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output: sum: 10
+}
+
+// Split the world into even/odd halves, each with its own collectives.
+func ExampleSplit() {
+	_, err := mpi.Run(mpi.Config{NumTasks: 4}, func(task *mpi.Task) error {
+		sub := mpi.Split(task, nil, task.Rank()%2, task.Rank())
+		recv := make([]int, 1)
+		mpi.Allreduce(task, sub, []int{task.Rank()}, recv, mpi.OpSum)
+		if task.Rank() == 0 {
+			fmt.Println("even ranks sum:", recv[0]) // 0+2
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output: even ranks sum: 2
+}

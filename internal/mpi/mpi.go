@@ -1,0 +1,269 @@
+// Package mpi is a thread-based MPI-1.3-style runtime: the stand-in for
+// MPC in the HLS paper (Tchiboukdjian, Carribault, Pérache, IPDPS 2012).
+//
+// MPI tasks are goroutines that share one address space per process, the
+// property MPC obtains by running MPI tasks inside user-level threads and
+// the property the HLS mechanism builds on. The runtime provides:
+//
+//   - point-to-point communication with tag/source matching, including
+//     AnySource and AnyTag, non-overtaking delivery, an eager protocol for
+//     small messages and a rendezvous (synchronizing) protocol for large
+//     ones;
+//   - nonblocking operations (Isend/Irecv) with Request/Wait/Test;
+//   - communicators with separate communication contexts, Dup and Split;
+//   - collective operations (Barrier, Bcast, Reduce, Allreduce, Gather,
+//     Gatherv, Scatter, Scatterv, Allgather, Alltoall, Scan) implemented
+//     with binomial-tree and dissemination algorithms over the
+//     point-to-point layer;
+//   - hooks to piggyback metadata on messages, used by the happens-before
+//     tracker (internal/hb) for the paper's §III eligibility analysis;
+//   - intra-node copy elision when the send and receive buffers are the
+//     same memory, the effect that speeds up Tachyon's rank-0 node once
+//     the image is an HLS variable (§V-B3).
+//
+// Error handling follows MPI_ERRORS_ARE_FATAL: misuse (invalid rank,
+// datatype mismatch, truncation) panics with *Error. Run recovers panics
+// in task goroutines and returns them as ordinary errors, so tests can
+// assert on them.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hls/internal/topology"
+)
+
+// AnySource and AnyTag are the wildcard values for Recv and Probe.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// DefaultEagerLimit is the message size (in bytes) up to which sends are
+// buffered (eager protocol). Larger messages use rendezvous: the sender
+// blocks until the receiver has matched and copied, creating a
+// synchronization edge like MPI_Ssend.
+const DefaultEagerLimit = 4096
+
+// Error is the panic payload for fatal MPI usage errors.
+type Error struct {
+	Rank int    // world rank that raised the error, -1 if unknown
+	Op   string // operation name, e.g. "Send"
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("mpi: rank %d: %s: %s", e.Rank, e.Op, e.Msg)
+}
+
+func raise(rank int, op, format string, args ...any) {
+	panic(&Error{Rank: rank, Op: op, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Hooks receive control at message send and delivery time. Implementations
+// must be safe for concurrent use. The hb package uses them to maintain
+// vector clocks; the zero value of Config installs no hooks.
+type Hooks interface {
+	// OnSend is called by the sending task before the message becomes
+	// visible to the receiver. Its return value travels with the message.
+	OnSend(worldSrc, worldDst int) any
+	// OnDeliver is called by the receiving task after the message payload
+	// has been copied into the receive buffer, with OnSend's value.
+	OnDeliver(worldDst int, meta any)
+}
+
+// Config parametrizes a World.
+type Config struct {
+	// NumTasks is the number of MPI tasks (world size). Required.
+	NumTasks int
+	// Machine describes the hardware; defaults to a single-node machine
+	// with NumTasks cores if nil.
+	Machine *topology.Machine
+	// Pin selects the rank→hardware-thread mapping. Default PinCorePerTask.
+	Pin topology.PinPolicy
+	// EagerLimit overrides DefaultEagerLimit when > 0.
+	EagerLimit int
+	// Hooks, if non-nil, is invoked on every message.
+	Hooks Hooks
+	// Timeout aborts Run if the program has not finished in time,
+	// returning a diagnostic of where every task is blocked. Zero means
+	// no timeout. Timed-out task goroutines are abandoned; use only in
+	// tests and tools.
+	Timeout time.Duration
+}
+
+// World is one MPI program instance: a set of tasks and their
+// communication endpoints.
+type World struct {
+	cfg        Config
+	machine    *topology.Machine
+	pin        *topology.Pinning
+	eps        []*endpoint
+	world      *Comm
+	ctxCounter atomic.Int64
+	commID     atomic.Int64
+
+	stats worldStats
+}
+
+// Machine returns the hardware model the world runs on.
+func (w *World) Machine() *topology.Machine { return w.machine }
+
+// Pinning returns the rank→hardware-thread assignment.
+func (w *World) Pinning() *topology.Pinning { return w.pin }
+
+// Size returns the number of tasks.
+func (w *World) Size() int { return w.cfg.NumTasks }
+
+// Task is the per-rank handle passed to the program function. All
+// communication goes through a Task; a Task must only be used by the
+// goroutine it was given to.
+type Task struct {
+	world *World
+	rank  int // world rank
+
+	commState map[int64]*commTaskState // per-communicator collective counters
+	seq       atomic.Int64             // program-order event counter (for hb)
+}
+
+// Rank returns the task's rank in the world communicator.
+func (t *Task) Rank() int { return t.rank }
+
+// Size returns the world size.
+func (t *Task) Size() int { return t.world.cfg.NumTasks }
+
+// World returns the world the task belongs to.
+func (t *Task) World() *World { return t.world }
+
+// Comm returns the world communicator.
+func (t *Task) Comm() *Comm { return t.world.world }
+
+// Thread returns the hardware thread the task is pinned to.
+func (t *Task) Thread() int { return t.world.pin.Thread(t.rank) }
+
+// Place returns the task's position in the machine hierarchy.
+func (t *Task) Place() topology.Place {
+	return t.world.machine.PlaceOf(t.Thread())
+}
+
+// NewWorld validates cfg and builds a World without starting tasks. Most
+// callers use Run; NewWorld is exposed for harnesses that need the world
+// (e.g. for statistics) after the program ends.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.NumTasks < 1 {
+		return nil, fmt.Errorf("mpi: NumTasks = %d, want >= 1", cfg.NumTasks)
+	}
+	m := cfg.Machine
+	if m == nil {
+		var err error
+		m, err = topology.New(topology.Spec{
+			Name:           "default",
+			Nodes:          1,
+			SocketsPerNode: 1,
+			CoresPerSocket: cfg.NumTasks,
+			ThreadsPerCore: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	pin, err := topology.Pin(m, cfg.NumTasks, cfg.Pin)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.EagerLimit <= 0 {
+		cfg.EagerLimit = DefaultEagerLimit
+	}
+	w := &World{cfg: cfg, machine: m, pin: pin}
+	w.eps = make([]*endpoint, cfg.NumTasks)
+	for i := range w.eps {
+		w.eps[i] = newEndpoint(i)
+	}
+	group := make([]int, cfg.NumTasks)
+	for i := range group {
+		group[i] = i
+	}
+	w.world = w.newComm(group)
+	return w, nil
+}
+
+// newComm allocates a communicator over the given world-rank group, with
+// fresh user and collective communication contexts.
+func (w *World) newComm(group []int) *Comm {
+	return &Comm{
+		world:   w,
+		id:      w.commID.Add(1),
+		group:   group,
+		ctxUser: w.ctxCounter.Add(1),
+		ctxColl: w.ctxCounter.Add(1),
+		ctxSync: w.ctxCounter.Add(1),
+	}
+}
+
+// Run executes fn as the body of every task of a fresh world and waits for
+// all tasks to finish. It returns the world (for statistics inspection)
+// and the first error: either an error returned by a task body, a
+// recovered panic (including *Error from MPI misuse), or a timeout
+// diagnostic.
+func Run(cfg Config, fn func(*Task) error) (*World, error) {
+	w, err := NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return w, w.Run(fn)
+}
+
+// Run executes fn for every task of the world. A World must be Run at most
+// once.
+func (w *World) Run(fn func(*Task) error) error {
+	n := w.cfg.NumTasks
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		t := &Task{world: w, rank: r, commState: make(map[int64]*commTaskState)}
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if e, ok := p.(*Error); ok {
+						errs[r] = e
+					} else {
+						errs[r] = fmt.Errorf("mpi: rank %d panicked: %v\n%s", r, p, debug.Stack())
+					}
+				}
+			}()
+			errs[r] = fn(t)
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	if w.cfg.Timeout > 0 {
+		select {
+		case <-done:
+		case <-time.After(w.cfg.Timeout):
+			return fmt.Errorf("mpi: timeout after %v; task states:\n%s", w.cfg.Timeout, w.blockReport())
+		}
+	} else {
+		<-done
+	}
+	return errors.Join(errs...)
+}
+
+// blockReport renders where each task is blocked, for timeout diagnostics.
+func (w *World) blockReport() string {
+	s := ""
+	for r, ep := range w.eps {
+		st := "running"
+		if v := ep.blockedOn.Load(); v != nil && v.(string) != "" {
+			st = v.(string)
+		}
+		s += fmt.Sprintf("  rank %d: %s\n", r, st)
+	}
+	return s
+}

@@ -1,0 +1,65 @@
+package mpi
+
+import "fmt"
+
+// Op is a reduction operator for Reduce/Allreduce/Scan. All provided
+// operators are associative and commutative.
+type Op int
+
+const (
+	// OpSum adds elements.
+	OpSum Op = iota
+	// OpProd multiplies elements.
+	OpProd
+	// OpMax keeps the elementwise maximum.
+	OpMax
+	// OpMin keeps the elementwise minimum.
+	OpMin
+)
+
+// String names the operator.
+func (op Op) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpProd:
+		return "prod"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// apply folds src into dst elementwise: dst[i] = op(dst[i], src[i]).
+func apply[T Scalar](rank int, op Op, dst, src []T) {
+	if len(dst) != len(src) {
+		raise(rank, "Reduce", "operand length mismatch: %d vs %d", len(dst), len(src))
+	}
+	switch op {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpProd:
+		for i, v := range src {
+			dst[i] *= v
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	default:
+		raise(rank, "Reduce", "unknown op %v", op)
+	}
+}

@@ -1,0 +1,224 @@
+package mpi
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Scalar is the set of element types the runtime can transfer. It covers
+// the MPI basic datatypes relevant to numerical codes.
+type Scalar interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// elemSize returns unsafe.Sizeof(T) without importing unsafe.
+func elemSize[T any]() int {
+	return int(reflect.TypeOf((*T)(nil)).Elem().Size())
+}
+
+// Send sends buf to rank dst of comm with the given tag. Messages at most
+// EagerLimit bytes are buffered and Send returns immediately; larger
+// messages use the rendezvous protocol and Send blocks until the receiver
+// has matched the message (synchronizing semantics, like MPI_Ssend).
+func Send[T Scalar](t *Task, comm *Comm, buf []T, dst, tag int) {
+	comm = t.commOrWorld(comm)
+	req := isend(t, comm, comm.ctxUser, buf, dst, tag, "Send")
+	if req != nil {
+		t.blockOn(fmt.Sprintf("Send(dst=%d, tag=%d) rendezvous", dst, tag))
+		req.Wait()
+		t.unblock()
+	}
+}
+
+// Isend starts a nonblocking send and returns its Request. Eager sends
+// complete immediately; rendezvous sends complete when matched.
+func Isend[T Scalar](t *Task, comm *Comm, buf []T, dst, tag int) *Request {
+	comm = t.commOrWorld(comm)
+	req := isend(t, comm, comm.ctxUser, buf, dst, tag, "Isend")
+	if req == nil {
+		req = newRequest(false)
+		req.complete(Status{})
+	}
+	return req
+}
+
+// isend implements Send/Isend on an explicit context. It returns a non-nil
+// request only for rendezvous sends (eager sends are already complete).
+func isend[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dst, tag int, op string) *Request {
+	w := t.world
+	if comm == nil {
+		comm = w.world
+	}
+	if dst < 0 || dst >= comm.Size() {
+		raise(t.rank, op, "destination rank %d out of range [0,%d)", dst, comm.Size())
+	}
+	if ctx == comm.ctxUser && tag < 0 {
+		raise(t.rank, op, "negative tag %d", tag)
+	}
+	myCommRank := comm.rankOf(t.rank)
+	if myCommRank < 0 {
+		raise(t.rank, op, "task is not a member of the communicator")
+	}
+	worldDst := comm.group[dst]
+	bytes := len(buf) * elemSize[T]()
+
+	msg := &message{
+		ctx:   ctx,
+		src:   myCommRank,
+		tag:   tag,
+		elems: len(buf),
+		bytes: bytes,
+	}
+	if w.cfg.Hooks != nil {
+		msg.meta = w.cfg.Hooks.OnSend(t.rank, worldDst)
+	}
+
+	var origPtr *T
+	if len(buf) > 0 {
+		origPtr = &buf[0]
+	}
+	var src []T
+	var sreq *Request
+	if bytes > w.cfg.EagerLimit {
+		// Rendezvous: keep a reference; the sender's request completes at
+		// delivery time.
+		msg.rendezvous = true
+		sreq = newRequest(false)
+		msg.sreq = sreq
+		src = buf
+		w.stats.rendezvous.Add(1)
+	} else {
+		src = append([]T(nil), buf...)
+	}
+	msg.deliver = func(dst any, recvRank int) int {
+		d, ok := dst.([]T)
+		if !ok {
+			raise(recvRank, "Recv", "datatype mismatch: receive buffer is %T, message holds %T", dst, src)
+		}
+		if len(d) < len(src) {
+			raise(recvRank, "Recv", "message truncated: %d elements into buffer of %d", len(src), len(d))
+		}
+		if len(src) > 0 && len(d) > 0 && origPtr == &d[0] {
+			// Send and receive buffers are the same memory: skip the copy.
+			// This is MPC's intra-node optimization that removes Tachyon's
+			// rank-0 image copies once the image is an HLS variable.
+			w.stats.sameAddrSkips.Add(1)
+		} else {
+			copy(d, src)
+		}
+		return len(src)
+	}
+	w.inject(msg, worldDst)
+	return sreq
+}
+
+// Recv receives a message from rank src (or AnySource) with the given tag
+// (or AnyTag) into buf, blocking until delivery, and returns the Status.
+// The buffer must be at least as long as the incoming message.
+func Recv[T Scalar](t *Task, comm *Comm, buf []T, src, tag int) Status {
+	comm = t.commOrWorld(comm)
+	req := irecv(t, comm, comm.ctxUser, buf, src, tag, "Recv")
+	t.blockOn(fmt.Sprintf("Recv(src=%d, tag=%d)", src, tag))
+	st := req.Wait()
+	t.unblock()
+	return st
+}
+
+// Irecv posts a nonblocking receive and returns its Request.
+func Irecv[T Scalar](t *Task, comm *Comm, buf []T, src, tag int) *Request {
+	comm = t.commOrWorld(comm)
+	return irecv(t, comm, comm.ctxUser, buf, src, tag, "Irecv")
+}
+
+func irecv[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, src, tag int, op string) *Request {
+	w := t.world
+	if comm == nil {
+		comm = w.world
+	}
+	if src != AnySource && (src < 0 || src >= comm.Size()) {
+		raise(t.rank, op, "source rank %d out of range [0,%d)", src, comm.Size())
+	}
+	if ctx == comm.ctxUser && tag != AnyTag && tag < 0 {
+		raise(t.rank, op, "negative tag %d", tag)
+	}
+	if comm.rankOf(t.rank) < 0 {
+		raise(t.rank, op, "task is not a member of the communicator")
+	}
+	req := newRequest(true)
+	pr := &postedRecv{ctx: ctx, src: src, tag: tag, buf: buf, req: req, recvRank: t.rank}
+	ep := w.eps[t.rank]
+	ep.mu.Lock()
+	if msg := ep.matchUnexpected(pr); msg != nil {
+		ep.mu.Unlock()
+		w.deliverTo(msg, pr)
+		return req
+	}
+	ep.recvs = append(ep.recvs, pr)
+	ep.mu.Unlock()
+	return req
+}
+
+// Probe blocks until a message from src (or AnySource) with tag (or
+// AnyTag) is available on comm, and returns its Status without receiving
+// it.
+func Probe(t *Task, comm *Comm, src, tag int) Status {
+	st, _ := probe(t, comm, src, tag, true)
+	return st
+}
+
+// Iprobe reports whether a matching message is available, without
+// blocking.
+func Iprobe(t *Task, comm *Comm, src, tag int) (Status, bool) {
+	return probe(t, comm, src, tag, false)
+}
+
+func probe(t *Task, comm *Comm, src, tag int, block bool) (Status, bool) {
+	w := t.world
+	if comm == nil {
+		comm = w.world
+	}
+	if src != AnySource && (src < 0 || src >= comm.Size()) {
+		raise(t.rank, "Probe", "source rank %d out of range [0,%d)", src, comm.Size())
+	}
+	pr := &postedRecv{ctx: comm.ctxUser, src: src, tag: tag}
+	ep := w.eps[t.rank]
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for {
+		for _, msg := range ep.unexpected {
+			if msg.matches(pr) {
+				return Status{Source: msg.src, Tag: msg.tag, Count: msg.elems, Bytes: msg.bytes}, true
+			}
+		}
+		if !block {
+			return Status{}, false
+		}
+		t.blockOn(fmt.Sprintf("Probe(src=%d, tag=%d)", src, tag))
+		ep.arrived.Wait()
+		t.unblock()
+	}
+}
+
+// Sendrecv performs a combined send and receive, safe against the
+// exchange deadlocks of two blocking calls.
+func Sendrecv[T Scalar](t *Task, comm *Comm, sendBuf []T, dst, sendTag int, recvBuf []T, src, recvTag int) Status {
+	rr := Irecv(t, comm, recvBuf, src, recvTag)
+	Send(t, comm, sendBuf, dst, sendTag)
+	t.blockOn(fmt.Sprintf("Sendrecv recv(src=%d, tag=%d)", src, recvTag))
+	st := rr.Wait()
+	t.unblock()
+	return st
+}
+
+func (t *Task) blockOn(s string) { t.world.eps[t.rank].blockedOn.Store(s) }
+func (t *Task) unblock()         { t.world.eps[t.rank].blockedOn.Store("") }
+
+// commOrWorld substitutes the world communicator for a nil comm argument.
+func (t *Task) commOrWorld(c *Comm) *Comm {
+	if c == nil {
+		return t.world.world
+	}
+	return c
+}

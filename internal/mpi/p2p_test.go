@@ -1,0 +1,460 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// run executes fn over n tasks with a test-friendly timeout and fails the
+// test on error.
+func run(t *testing.T, n int, fn func(*Task) error) *World {
+	t.Helper()
+	w, err := Run(Config{NumTasks: n, Timeout: 30 * time.Second}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// runErr executes fn and returns the error.
+func runErr(n int, fn func(*Task) error) error {
+	_, err := Run(Config{NumTasks: n, Timeout: 30 * time.Second}, fn)
+	return err
+}
+
+func TestRunRanks(t *testing.T) {
+	seen := make([]bool, 7)
+	run(t, 7, func(task *Task) error {
+		if task.Size() != 7 {
+			return fmt.Errorf("size = %d", task.Size())
+		}
+		seen[task.Rank()] = true
+		return nil
+	})
+	for r, ok := range seen {
+		if !ok {
+			t.Errorf("rank %d never ran", r)
+		}
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	run(t, 2, func(task *Task) error {
+		if task.Rank() == 0 {
+			Send(task, nil, []float64{1.5, 2.5, 3.5}, 1, 7)
+		} else {
+			buf := make([]float64, 3)
+			st := Recv(task, nil, buf, 0, 7)
+			if st.Source != 0 || st.Tag != 7 || st.Count != 3 {
+				return fmt.Errorf("status = %+v", st)
+			}
+			if buf[0] != 1.5 || buf[2] != 3.5 {
+				return fmt.Errorf("payload = %v", buf)
+			}
+		}
+		return nil
+	})
+}
+
+func TestSendRecvRendezvous(t *testing.T) {
+	const n = 4096 // 32 KiB of float64 > DefaultEagerLimit
+	w := run(t, 2, func(task *Task) error {
+		if task.Rank() == 0 {
+			big := make([]float64, n)
+			for i := range big {
+				big[i] = float64(i)
+			}
+			Send(task, nil, big, 1, 0)
+		} else {
+			buf := make([]float64, n)
+			Recv(task, nil, buf, 0, 0)
+			if buf[n-1] != float64(n-1) {
+				return fmt.Errorf("last = %v", buf[n-1])
+			}
+		}
+		return nil
+	})
+	if w.Stats().Rendezvous == 0 {
+		t.Error("large message did not use rendezvous")
+	}
+}
+
+func TestRecvBeforeSend(t *testing.T) {
+	// Posted-receive path: the receiver posts first, the sender matches.
+	run(t, 2, func(task *Task) error {
+		if task.Rank() == 1 {
+			buf := make([]int, 1)
+			st := Recv(task, nil, buf, 0, 3)
+			if buf[0] != 42 || st.Count != 1 {
+				return fmt.Errorf("got %v %+v", buf, st)
+			}
+		} else {
+			time.Sleep(20 * time.Millisecond) // let rank 1 post
+			Send(task, nil, []int{42}, 1, 3)
+		}
+		return nil
+	})
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	run(t, 3, func(task *Task) error {
+		switch task.Rank() {
+		case 0:
+			got := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				buf := make([]int, 1)
+				st := Recv(task, nil, buf, AnySource, AnyTag)
+				if buf[0] != st.Source*100+st.Tag {
+					return fmt.Errorf("payload %d inconsistent with status %+v", buf[0], st)
+				}
+				got[st.Source] = true
+			}
+			if !got[1] || !got[2] {
+				return fmt.Errorf("sources seen: %v", got)
+			}
+		case 1:
+			Send(task, nil, []int{1*100 + 5}, 0, 5)
+		case 2:
+			Send(task, nil, []int{2*100 + 9}, 0, 9)
+		}
+		return nil
+	})
+}
+
+func TestNonOvertaking(t *testing.T) {
+	// Messages from the same sender with the same tag must arrive in
+	// order.
+	const k = 50
+	run(t, 2, func(task *Task) error {
+		if task.Rank() == 0 {
+			for i := 0; i < k; i++ {
+				Send(task, nil, []int{i}, 1, 0)
+			}
+		} else {
+			for i := 0; i < k; i++ {
+				buf := make([]int, 1)
+				Recv(task, nil, buf, 0, 0)
+				if buf[0] != i {
+					return fmt.Errorf("message %d arrived at position %d", buf[0], i)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestTagSelectivity(t *testing.T) {
+	// A receive with tag 2 must match the tag-2 message even if a tag-1
+	// message arrived first.
+	run(t, 2, func(task *Task) error {
+		if task.Rank() == 0 {
+			Send(task, nil, []int{1}, 1, 1)
+			Send(task, nil, []int{2}, 1, 2)
+		} else {
+			buf := make([]int, 1)
+			Recv(task, nil, buf, 0, 2)
+			if buf[0] != 2 {
+				return fmt.Errorf("tag-2 receive got %d", buf[0])
+			}
+			Recv(task, nil, buf, 0, 1)
+			if buf[0] != 1 {
+				return fmt.Errorf("tag-1 receive got %d", buf[0])
+			}
+		}
+		return nil
+	})
+}
+
+func TestIsendIrecvWaitall(t *testing.T) {
+	run(t, 2, func(task *Task) error {
+		if task.Rank() == 0 {
+			var reqs []*Request
+			for i := 0; i < 5; i++ {
+				reqs = append(reqs, Isend(task, nil, []int{i * i}, 1, i))
+			}
+			Waitall(reqs)
+		} else {
+			bufs := make([][]int, 5)
+			var reqs []*Request
+			for i := 0; i < 5; i++ {
+				bufs[i] = make([]int, 1)
+				reqs = append(reqs, Irecv(task, nil, bufs[i], 0, i))
+			}
+			sts := Waitall(reqs)
+			for i := 0; i < 5; i++ {
+				if bufs[i][0] != i*i || sts[i].Tag != i {
+					return fmt.Errorf("req %d: buf=%v st=%+v", i, bufs[i], sts[i])
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestTestCompletion(t *testing.T) {
+	run(t, 2, func(task *Task) error {
+		if task.Rank() == 0 {
+			time.Sleep(10 * time.Millisecond)
+			Send(task, nil, []int{1}, 1, 0)
+		} else {
+			buf := make([]int, 1)
+			req := Irecv(task, nil, buf, 0, 0)
+			for {
+				if _, ok := req.Test(); ok {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if buf[0] != 1 {
+				return fmt.Errorf("buf = %v", buf)
+			}
+		}
+		return nil
+	})
+}
+
+func TestProbeIprobe(t *testing.T) {
+	run(t, 2, func(task *Task) error {
+		if task.Rank() == 0 {
+			Send(task, nil, []float32{1, 2, 3, 4}, 1, 11)
+		} else {
+			st := Probe(task, nil, 0, 11)
+			if st.Count != 4 || st.Tag != 11 || st.Source != 0 {
+				return fmt.Errorf("probe status %+v", st)
+			}
+			// The message is still there.
+			if _, ok := Iprobe(task, nil, 0, 11); !ok {
+				return fmt.Errorf("iprobe missed probed message")
+			}
+			buf := make([]float32, st.Count)
+			Recv(task, nil, buf, 0, 11)
+			if _, ok := Iprobe(task, nil, AnySource, AnyTag); ok {
+				return fmt.Errorf("iprobe found message after receive")
+			}
+		}
+		return nil
+	})
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	// Pairwise exchange with large (rendezvous) messages: Sendrecv must
+	// not deadlock.
+	const n = 4096
+	run(t, 2, func(task *Task) error {
+		me := task.Rank()
+		other := 1 - me
+		out := make([]float64, n)
+		in := make([]float64, n)
+		for i := range out {
+			out[i] = float64(me*1000 + i%10)
+		}
+		Sendrecv(task, nil, out, other, 0, in, other, 0)
+		if in[0] != float64(other*1000) {
+			return fmt.Errorf("rank %d received %v", me, in[0])
+		}
+		return nil
+	})
+}
+
+func TestSameAddressElision(t *testing.T) {
+	// When source and destination are the same buffer, the copy is
+	// skipped — the Tachyon rank-0 optimization. Use a rendezvous-sized
+	// message so no eager copy happens either.
+	const n = 4096
+	shared := make([]float64, n)
+	w := run(t, 2, func(task *Task) error {
+		if task.Rank() == 0 {
+			for i := range shared {
+				shared[i] = float64(i)
+			}
+			Send(task, nil, shared, 1, 0)
+		} else {
+			Recv(task, nil, shared, 0, 0)
+		}
+		return nil
+	})
+	if w.Stats().SameAddrSkips != 1 {
+		t.Errorf("SameAddrSkips = %d, want 1", w.Stats().SameAddrSkips)
+	}
+}
+
+func TestDatatypeMismatchFatal(t *testing.T) {
+	err := runErr(2, func(task *Task) error {
+		if task.Rank() == 0 {
+			Send(task, nil, []float64{1}, 1, 0)
+		} else {
+			buf := make([]int32, 1)
+			Recv(task, nil, buf, 0, 0)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "datatype mismatch") {
+		t.Errorf("err = %v, want datatype mismatch", err)
+	}
+}
+
+func TestTruncationFatal(t *testing.T) {
+	err := runErr(2, func(task *Task) error {
+		if task.Rank() == 0 {
+			Send(task, nil, []int{1, 2, 3}, 1, 0)
+		} else {
+			buf := make([]int, 2)
+			Recv(task, nil, buf, 0, 0)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("err = %v, want truncation", err)
+	}
+}
+
+func TestInvalidRankFatal(t *testing.T) {
+	err := runErr(2, func(task *Task) error {
+		if task.Rank() == 0 {
+			Send(task, nil, []int{1}, 5, 0)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("err = %v, want out-of-range", err)
+	}
+}
+
+func TestNegativeTagFatal(t *testing.T) {
+	err := runErr(2, func(task *Task) error {
+		if task.Rank() == 0 {
+			Send(task, nil, []int{1}, 1, -3)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "negative tag") {
+		t.Errorf("err = %v, want negative-tag error", err)
+	}
+}
+
+func TestTimeoutDiagnostic(t *testing.T) {
+	_, err := Run(Config{NumTasks: 2, Timeout: 100 * time.Millisecond}, func(task *Task) error {
+		if task.Rank() == 0 {
+			buf := make([]int, 1)
+			Recv(task, nil, buf, 1, 0) // never sent: deadlock
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if !strings.Contains(err.Error(), "Recv(src=1, tag=0)") {
+		t.Errorf("diagnostic missing blocked operation: %v", err)
+	}
+}
+
+func TestTaskPanicsRecovered(t *testing.T) {
+	err := runErr(2, func(task *Task) error {
+		if task.Rank() == 1 {
+			panic("user bug")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "user bug") {
+		t.Errorf("err = %v, want recovered panic", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{NumTasks: 0}, func(*Task) error { return nil }); err == nil {
+		t.Error("NumTasks=0 accepted")
+	}
+}
+
+// Property-style stress: random pairs exchange random-length messages with
+// random tags; everything must be delivered intact.
+func TestRandomTrafficStress(t *testing.T) {
+	const n = 8
+	const msgsPerRank = 40
+	rng := rand.New(rand.NewSource(1))
+	// Pre-plan traffic so senders and receivers agree.
+	type plan struct{ dst, tag, size int }
+	plans := make([][]plan, n)
+	expect := make([][]plan, n) // indexed by receiver, in per-sender order
+	for r := 0; r < n; r++ {
+		for m := 0; m < msgsPerRank; m++ {
+			p := plan{dst: rng.Intn(n), tag: rng.Intn(4), size: 1 + rng.Intn(2000)}
+			if p.dst == r {
+				p.dst = (p.dst + 1) % n
+			}
+			plans[r] = append(plans[r], p)
+			expect[p.dst] = append(expect[p.dst], plan{dst: r /* sender */, tag: p.tag, size: p.size})
+		}
+	}
+	run(t, n, func(task *Task) error {
+		r := task.Rank()
+		done := make(chan error, 1)
+		go func() { done <- nil }()
+		// Send everything nonblocking, then receive what we expect with
+		// AnySource/AnyTag, verifying size-vs-content consistency.
+		var reqs []*Request
+		for _, p := range plans[r] {
+			buf := make([]int32, p.size)
+			for i := range buf {
+				buf[i] = int32(p.size)
+			}
+			reqs = append(reqs, Isend(task, nil, buf, p.dst, p.tag))
+		}
+		for range expect[r] {
+			st := Probe(task, nil, AnySource, AnyTag)
+			buf := make([]int32, st.Count)
+			st2 := Recv(task, nil, buf, st.Source, st.Tag)
+			if st2.Count != st.Count {
+				return fmt.Errorf("probe count %d != recv count %d", st.Count, st2.Count)
+			}
+			for _, v := range buf {
+				if v != int32(len(buf)) {
+					return fmt.Errorf("corrupt payload: %d in message of %d", v, len(buf))
+				}
+			}
+		}
+		Waitall(reqs)
+		return <-done
+	})
+}
+
+func TestStatsCounts(t *testing.T) {
+	w := run(t, 2, func(task *Task) error {
+		if task.Rank() == 0 {
+			Send(task, nil, []byte{1, 2, 3}, 1, 0)
+		} else {
+			buf := make([]byte, 3)
+			Recv(task, nil, buf, 0, 0)
+		}
+		return nil
+	})
+	s := w.Stats()
+	if s.Messages != 1 || s.Bytes != 3 {
+		t.Errorf("stats = %+v, want 1 message of 3 bytes", s)
+	}
+}
+
+func TestUnexpectedQueueWatermark(t *testing.T) {
+	w := run(t, 2, func(task *Task) error {
+		if task.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				Send(task, nil, []byte{0, 1, 2, 3}, 1, i)
+			}
+			Send(task, nil, []byte{9}, 1, 99)
+		} else {
+			// Let all sends land unexpected first.
+			buf := make([]byte, 4)
+			Recv(task, nil, buf[:1], 0, 99)
+			for i := 0; i < 10; i++ {
+				Recv(task, nil, buf, 0, i)
+			}
+		}
+		return nil
+	})
+	if got := w.Stats().PeakUnexpectedBytes; got < 40 {
+		t.Errorf("PeakUnexpectedBytes = %d, want >= 40", got)
+	}
+}

@@ -1,0 +1,112 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestApplyMatchesReference: the reduction kernel equals a scalar fold
+// for every op on arbitrary inputs.
+func TestApplyMatchesReference(t *testing.T) {
+	ref := map[Op]func(a, b int64) int64{
+		OpSum:  func(a, b int64) int64 { return a + b },
+		OpProd: func(a, b int64) int64 { return a * b },
+		OpMax: func(a, b int64) int64 {
+			if b > a {
+				return b
+			}
+			return a
+		},
+		OpMin: func(a, b int64) int64 {
+			if b < a {
+				return b
+			}
+			return a
+		},
+	}
+	f := func(dst, src []int8, opRaw uint8) bool {
+		if len(dst) != len(src) {
+			n := min(len(dst), len(src))
+			dst, src = dst[:n], src[:n]
+		}
+		op := Op(opRaw % 4)
+		a := make([]int64, len(dst))
+		b := make([]int64, len(src))
+		want := make([]int64, len(dst))
+		for i := range dst {
+			a[i] = int64(dst[i])
+			b[i] = int64(src[i])
+			want[i] = ref[op](a[i], b[i])
+		}
+		apply(0, op, a, b)
+		for i := range a {
+			if a[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestApplyOpsCommutative: every provided reduction operator is
+// commutative, the property the tree reduction relies on.
+func TestApplyOpsCommutative(t *testing.T) {
+	f := func(x, y int16, opRaw uint8) bool {
+		op := Op(opRaw % 4)
+		a1 := []int64{int64(x)}
+		b1 := []int64{int64(y)}
+		a2 := []int64{int64(y)}
+		b2 := []int64{int64(x)}
+		apply(0, op, a1, b1)
+		apply(0, op, a2, b2)
+		return a1[0] == a2[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestApplyOpsAssociative on random triples.
+func TestApplyOpsAssociative(t *testing.T) {
+	f := func(x, y, z int8, opRaw uint8) bool {
+		op := Op(opRaw % 4)
+		// (x op y) op z
+		a := []int64{int64(x)}
+		apply(0, op, a, []int64{int64(y)})
+		apply(0, op, a, []int64{int64(z)})
+		// x op (y op z)
+		b := []int64{int64(y)}
+		apply(0, op, b, []int64{int64(z)})
+		c := []int64{int64(x)}
+		apply(0, op, c, b)
+		return a[0] == c[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMessageMatchingProperty: matches() honours wildcards and nothing
+// else.
+func TestMessageMatchingProperty(t *testing.T) {
+	f := func(ctx1, ctx2 uint8, src1, src2, tag1, tag2 uint8, anySrc, anyTag bool) bool {
+		msg := &message{ctx: int64(ctx1 % 3), src: int(src1 % 4), tag: int(tag1 % 4)}
+		pr := &postedRecv{ctx: int64(ctx2 % 3), src: int(src2 % 4), tag: int(tag2 % 4)}
+		if anySrc {
+			pr.src = AnySource
+		}
+		if anyTag {
+			pr.tag = AnyTag
+		}
+		want := msg.ctx == pr.ctx &&
+			(anySrc || msg.src == pr.src) &&
+			(anyTag || msg.tag == pr.tag)
+		return msg.matches(pr) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package omp is a minimal OpenMP-like fork-join layer running *inside*
+// an MPI task, reproducing the hybrid MPI+OpenMP context the paper's HLS
+// implementation had to coexist with (§I, §VI).
+//
+// The paper's mechanism is built on a two-level extension of thread-local
+// storage (Carribault et al., IWOMP 2011 — the paper's [22]): in a
+// thread-based MPI where tasks and OpenMP threads are all user-level
+// threads in one address space, a variable can be
+//
+//   - private per OpenMP thread             (ThreadPrivate here),
+//   - private per MPI task but shared by the
+//     task's OpenMP threads                 (TaskPrivate here), or
+//   - shared by several MPI tasks at a
+//     memory-hierarchy scope                (hls.Var).
+//
+// This package provides the fork-join machinery (Parallel, For, Barrier,
+// Single, Critical, reductions) plus the first two storage levels, and
+// its tests assert the full three-level containment: OpenMP-private ⊂
+// task-private ⊂ HLS scope.
+//
+// With it, a hybrid program can keep one MPI task per socket with eight
+// OpenMP threads while an HLS variable stays node-scoped — the paper's
+// "decouple data sharing from the programming-model decomposition".
+package omp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hls/internal/mpi"
+)
+
+// ThreadCtx is the per-OpenMP-thread execution context inside a parallel
+// region.
+type ThreadCtx struct {
+	task *mpi.Task
+	team *team
+	tid  int
+}
+
+// team is one parallel region's thread team.
+type team struct {
+	n       int
+	barrier *teamBarrier
+	single  singleState
+	mu      sync.Mutex // Critical and reductions
+
+	redCount  int
+	redAcc    float64
+	redResult float64
+
+	dynNext atomic.Int64 // ForDynamic iteration cursor
+}
+
+// Task returns the enclosing MPI task.
+func (tc *ThreadCtx) Task() *mpi.Task { return tc.task }
+
+// ThreadNum returns the OpenMP thread id within the team (0-based).
+func (tc *ThreadCtx) ThreadNum() int { return tc.tid }
+
+// NumThreads returns the team size.
+func (tc *ThreadCtx) NumThreads() int { return tc.team.n }
+
+// Parallel forks a team of n threads executing body and joins them — the
+// "#pragma omp parallel" construct. Panics inside body are re-panicked in
+// the caller after all threads join (abort semantics).
+func Parallel(task *mpi.Task, n int, body func(tc *ThreadCtx)) {
+	if n < 1 {
+		panic(fmt.Sprintf("omp: Parallel with %d threads", n))
+	}
+	tm := &team{n: n, barrier: newTeamBarrier(n)}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	panics := make([]any, n)
+	for tid := 0; tid < n; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			defer func() { panics[tid] = recover() }()
+			body(&ThreadCtx{task: task, team: tm, tid: tid})
+		}(tid)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// For statically partitions iterations [0, n) over the team and runs body
+// for each owned index — "#pragma omp for schedule(static)". It ends with
+// the construct's implicit barrier.
+func (tc *ThreadCtx) For(n int, body func(i int)) {
+	chunk := (n + tc.team.n - 1) / tc.team.n
+	lo := tc.tid * chunk
+	hi := min(lo+chunk, n)
+	for i := lo; i < hi; i++ {
+		body(i)
+	}
+	tc.Barrier()
+}
+
+// ForNowait is For without the trailing barrier.
+func (tc *ThreadCtx) ForNowait(n int, body func(i int)) {
+	chunk := (n + tc.team.n - 1) / tc.team.n
+	lo := tc.tid * chunk
+	hi := min(lo+chunk, n)
+	for i := lo; i < hi; i++ {
+		body(i)
+	}
+}
+
+// Barrier synchronizes the team.
+func (tc *ThreadCtx) Barrier() { tc.team.barrier.await() }
+
+// Critical runs body under the region's mutual exclusion —
+// "#pragma omp critical".
+func (tc *ThreadCtx) Critical(body func()) {
+	tc.team.mu.Lock()
+	defer tc.team.mu.Unlock()
+	body()
+}
+
+// Single runs body on the first thread to arrive; every thread waits at
+// the implicit barrier — "#pragma omp single". Reports whether this
+// thread executed body.
+func (tc *ThreadCtx) Single(body func()) bool {
+	did := tc.team.single.claim(tc.team.barrier.phase())
+	if did {
+		body()
+	}
+	tc.Barrier()
+	return did
+}
+
+// singleState tracks which barrier phase already had its single executed.
+type singleState struct {
+	mu    sync.Mutex
+	phase uint64
+	used  bool
+}
+
+func (s *singleState) claim(phase uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.phase != phase {
+		s.phase = phase
+		s.used = false
+	}
+	if s.used {
+		return false
+	}
+	s.used = true
+	return true
+}
+
+// teamBarrier is a phase-counting barrier.
+type teamBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newTeamBarrier(n int) *teamBarrier {
+	b := &teamBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *teamBarrier) phase() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.gen
+}
+
+func (b *teamBarrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for b.gen == gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// ReduceFloat64 combines each thread's contribution with op starting from
+// init and returns the team-wide result on every thread — a
+// "reduction(op:x)" clause.
+func (tc *ThreadCtx) ReduceFloat64(contribution float64, op func(a, b float64) float64, init float64) float64 {
+	tc.team.mu.Lock()
+	if tc.team.redCount == 0 {
+		tc.team.redAcc = init
+	}
+	tc.team.redAcc = op(tc.team.redAcc, contribution)
+	tc.team.redCount++
+	done := tc.team.redCount == tc.team.n
+	if done {
+		tc.team.redCount = 0
+		tc.team.redResult = tc.team.redAcc
+	}
+	tc.team.mu.Unlock()
+	tc.Barrier()
+	return tc.team.redResult
+}
+
+// ForDynamic partitions iterations [0, n) dynamically in chunks — the
+// "schedule(dynamic, chunk)" clause, for load-imbalanced bodies (a ray
+// tracer's scanlines, a tree walk). Ends with the construct's implicit
+// barrier.
+func (tc *ThreadCtx) ForDynamic(n, chunk int, body func(i int)) {
+	if chunk < 1 {
+		chunk = 1
+	}
+	for {
+		lo := int(tc.team.dynNext.Add(int64(chunk))) - chunk
+		if lo >= n {
+			break
+		}
+		hi := min(lo+chunk, n)
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	}
+	tc.Barrier()
+	// The last thread out of the barrier would race a reset; instead the
+	// counter is rewound by one designated thread inside a second barrier
+	// pair, keeping repeated ForDynamic calls correct.
+	if tc.tid == 0 {
+		tc.team.dynNext.Store(0)
+	}
+	tc.Barrier()
+}

@@ -1,0 +1,298 @@
+package omp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hls/internal/hls"
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+func runMPI(t *testing.T, tasks int, fn func(task *mpi.Task) error) {
+	t.Helper()
+	_, err := mpi.Run(mpi.Config{NumTasks: tasks, Timeout: 30 * time.Second}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelForksAllThreads(t *testing.T) {
+	runMPI(t, 1, func(task *mpi.Task) error {
+		var seen [8]atomic.Bool
+		Parallel(task, 8, func(tc *ThreadCtx) {
+			if tc.NumThreads() != 8 {
+				t.Errorf("NumThreads = %d", tc.NumThreads())
+			}
+			seen[tc.ThreadNum()].Store(true)
+		})
+		for tid := range seen {
+			if !seen[tid].Load() {
+				return fmt.Errorf("thread %d never ran", tid)
+			}
+		}
+		return nil
+	})
+}
+
+func TestParallelPanicPropagates(t *testing.T) {
+	runMPI(t, 1, func(task *mpi.Task) error {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic not propagated out of Parallel")
+			}
+		}()
+		Parallel(task, 4, func(tc *ThreadCtx) {
+			if tc.ThreadNum() == 2 {
+				panic("thread bug")
+			}
+		})
+		return nil
+	})
+}
+
+func TestForCoversAllIterations(t *testing.T) {
+	runMPI(t, 1, func(task *mpi.Task) error {
+		const n = 103 // not divisible by team size
+		counts := make([]atomic.Int32, n)
+		Parallel(task, 6, func(tc *ThreadCtx) {
+			tc.For(n, func(i int) { counts[i].Add(1) })
+		})
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				return fmt.Errorf("iteration %d ran %d times", i, got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestBarrierPhases(t *testing.T) {
+	runMPI(t, 1, func(task *mpi.Task) error {
+		var phase atomic.Int32
+		Parallel(task, 8, func(tc *ThreadCtx) {
+			for p := 0; p < 10; p++ {
+				phase.Add(1)
+				tc.Barrier()
+				if got := int(phase.Load()); got < (p+1)*8 {
+					t.Errorf("phase %d: left barrier with %d arrivals", p, got)
+				}
+				tc.Barrier()
+			}
+		})
+		return nil
+	})
+}
+
+func TestSingleOncePerRegion(t *testing.T) {
+	runMPI(t, 1, func(task *mpi.Task) error {
+		var execs atomic.Int32
+		Parallel(task, 8, func(tc *ThreadCtx) {
+			for i := 0; i < 5; i++ {
+				tc.Single(func() { execs.Add(1) })
+			}
+		})
+		if got := execs.Load(); got != 5 {
+			return fmt.Errorf("single executed %d times, want 5", got)
+		}
+		return nil
+	})
+}
+
+func TestCriticalMutualExclusion(t *testing.T) {
+	runMPI(t, 1, func(task *mpi.Task) error {
+		counter := 0
+		Parallel(task, 8, func(tc *ThreadCtx) {
+			for i := 0; i < 1000; i++ {
+				tc.Critical(func() { counter++ })
+			}
+		})
+		if counter != 8000 {
+			return fmt.Errorf("counter = %d, want 8000 (data race)", counter)
+		}
+		return nil
+	})
+}
+
+func TestReduction(t *testing.T) {
+	runMPI(t, 1, func(task *mpi.Task) error {
+		Parallel(task, 6, func(tc *ThreadCtx) {
+			sum := tc.ReduceFloat64(float64(tc.ThreadNum()+1), func(a, b float64) float64 { return a + b }, 0)
+			if sum != 21 {
+				t.Errorf("thread %d: reduction = %v, want 21", tc.ThreadNum(), sum)
+			}
+		})
+		return nil
+	})
+}
+
+func TestTaskPrivateSharedWithinTask(t *testing.T) {
+	v := NewTaskPrivate[int]("tp", 4, func(rank int, data []int) { data[0] = rank * 100 })
+	runMPI(t, 3, func(task *mpi.Task) error {
+		ptrs := make([]*int, 4)
+		Parallel(task, 4, func(tc *ThreadCtx) {
+			s := v.Slice(tc)
+			ptrs[tc.ThreadNum()] = &s[0]
+			if s[0] != task.Rank()*100 {
+				t.Errorf("rank %d tid %d: init value %d", task.Rank(), tc.ThreadNum(), s[0])
+			}
+		})
+		for tid := 1; tid < 4; tid++ {
+			if ptrs[tid] != ptrs[0] {
+				return fmt.Errorf("rank %d: threads see different task copies", task.Rank())
+			}
+		}
+		return nil
+	})
+	if v.Instances() != 3 {
+		t.Errorf("task copies = %d, want 3", v.Instances())
+	}
+}
+
+func TestThreadPrivateDistinctPerThread(t *testing.T) {
+	v := NewThreadPrivate[int]("thp", 1, func(rank, tid int, data []int) { data[0] = rank*10 + tid })
+	runMPI(t, 2, func(task *mpi.Task) error {
+		var mu sync.Mutex
+		seen := map[*int]bool{}
+		Parallel(task, 4, func(tc *ThreadCtx) {
+			s := v.Slice(tc)
+			if s[0] != task.Rank()*10+tc.ThreadNum() {
+				t.Errorf("wrong init: %d", s[0])
+			}
+			mu.Lock()
+			seen[&s[0]] = true
+			mu.Unlock()
+		})
+		if len(seen) != 4 {
+			return fmt.Errorf("rank %d: %d distinct thread copies, want 4", task.Rank(), len(seen))
+		}
+		return nil
+	})
+	if v.Instances() != 8 {
+		t.Errorf("thread copies = %d, want 8", v.Instances())
+	}
+}
+
+// TestThreeLevelHierarchy asserts the full containment of the paper's
+// storage model on one node: OpenMP-private (8 copies) ⊂ task-private
+// (2 copies) ⊂ HLS node scope (1 copy), with 2 MPI tasks x 4 threads.
+func TestThreeLevelHierarchy(t *testing.T) {
+	machine := topology.HarpertownCluster(1)
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: 2, Machine: machine,
+		Pin: topology.PinCorePerTask, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := hls.New(w)
+	shared := hls.Declare[int](reg, "h", topology.Node, 1)
+	taskPriv := NewTaskPrivate[int]("t", 1, nil)
+	thrPriv := NewThreadPrivate[int]("o", 1, nil)
+
+	var mu sync.Mutex
+	sharedPtrs := map[*int]bool{}
+	taskPtrs := map[*int]bool{}
+	thrPtrs := map[*int]bool{}
+	if err := w.Run(func(task *mpi.Task) error {
+		Parallel(task, 4, func(tc *ThreadCtx) {
+			h := &shared.Slice(task)[0]
+			tp := &taskPriv.Slice(tc)[0]
+			op := &thrPriv.Slice(tc)[0]
+			mu.Lock()
+			sharedPtrs[h] = true
+			taskPtrs[tp] = true
+			thrPtrs[op] = true
+			mu.Unlock()
+		})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sharedPtrs) != 1 {
+		t.Errorf("HLS node copies = %d, want 1", len(sharedPtrs))
+	}
+	if len(taskPtrs) != 2 {
+		t.Errorf("task-private copies = %d, want 2", len(taskPtrs))
+	}
+	if len(thrPtrs) != 8 {
+		t.Errorf("thread-private copies = %d, want 8", len(thrPtrs))
+	}
+}
+
+// TestHybridMasterOnly reproduces the paper's master-only hybrid pattern:
+// OpenMP threads compute, thread 0 alone performs the MPI communication
+// between parallel regions.
+func TestHybridMasterOnly(t *testing.T) {
+	runMPI(t, 4, func(task *mpi.Task) error {
+		local := make([]float64, 1)
+		Parallel(task, 4, func(tc *ThreadCtx) {
+			part := tc.ReduceFloat64(1, func(a, b float64) float64 { return a + b }, 0)
+			if tc.ThreadNum() == 0 {
+				local[0] = part // 4 threads contributed
+			}
+		})
+		global := make([]float64, 1)
+		mpi.Allreduce(task, nil, local, global, mpi.OpSum)
+		if global[0] != 16 { // 4 tasks x 4 threads
+			return fmt.Errorf("global = %v, want 16", global[0])
+		}
+		return nil
+	})
+}
+
+func TestValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	runMPI(t, 1, func(task *mpi.Task) error {
+		mustPanic("zero threads", func() { Parallel(task, 0, func(*ThreadCtx) {}) })
+		return nil
+	})
+	mustPanic("negative taskprivate", func() { NewTaskPrivate[int]("x", -1, nil) })
+	mustPanic("negative threadprivate", func() { NewThreadPrivate[int]("x", -1, nil) })
+}
+
+func TestForDynamicCoversAllIterations(t *testing.T) {
+	runMPI(t, 1, func(task *mpi.Task) error {
+		const n = 137
+		counts := make([]atomic.Int32, n)
+		Parallel(task, 5, func(tc *ThreadCtx) {
+			// Two consecutive dynamic loops: the cursor must reset.
+			tc.ForDynamic(n, 3, func(i int) { counts[i].Add(1) })
+			tc.ForDynamic(n, 7, func(i int) { counts[i].Add(1) })
+		})
+		for i := range counts {
+			if got := counts[i].Load(); got != 2 {
+				return fmt.Errorf("iteration %d ran %d times, want 2", i, got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestForDynamicBalancesLoad(t *testing.T) {
+	runMPI(t, 1, func(task *mpi.Task) error {
+		var executed [4]atomic.Int32
+		Parallel(task, 4, func(tc *ThreadCtx) {
+			tc.ForDynamic(400, 1, func(i int) {
+				executed[tc.ThreadNum()].Add(1)
+			})
+		})
+		total := int32(0)
+		for i := range executed {
+			total += executed[i].Load()
+		}
+		if total != 400 {
+			return fmt.Errorf("total iterations = %d", total)
+		}
+		return nil
+	})
+}

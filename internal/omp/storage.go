@@ -1,0 +1,106 @@
+package omp
+
+import (
+	"fmt"
+	"sync"
+
+	"hls/internal/mpi"
+)
+
+// TaskPrivate is the middle level of the extended-TLS hierarchy (the
+// paper's [22]): one copy of the variable per MPI task, shared by all the
+// OpenMP threads the task forks. In a thread-based MPI this is what the
+// runtime privatizes globals to in order to stay MPI-compliant while
+// remaining OpenMP-shared — the level plain TLS cannot express once both
+// models coexist.
+type TaskPrivate[T any] struct {
+	name string
+	n    int
+	init func(rank int, data []T)
+
+	mu     sync.Mutex
+	byRank map[int][]T
+}
+
+// NewTaskPrivate declares a task-private variable of n elements of T with
+// an optional per-task initializer.
+func NewTaskPrivate[T any](name string, n int, init func(rank int, data []T)) *TaskPrivate[T] {
+	if n < 0 {
+		panic(fmt.Sprintf("omp: NewTaskPrivate(%q) with negative length", name))
+	}
+	return &TaskPrivate[T]{name: name, n: n, init: init, byRank: make(map[int][]T)}
+}
+
+// Slice resolves the copy of the calling thread's MPI task: identical for
+// every OpenMP thread of the task, distinct across tasks.
+func (v *TaskPrivate[T]) Slice(tc *ThreadCtx) []T {
+	return v.SliceTask(tc.task)
+}
+
+// SliceTask resolves a task's copy outside a parallel region.
+func (v *TaskPrivate[T]) SliceTask(task *mpi.Task) []T {
+	rank := task.Rank()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if data, ok := v.byRank[rank]; ok {
+		return data
+	}
+	data := make([]T, v.n)
+	if v.init != nil {
+		v.init(rank, data)
+	}
+	v.byRank[rank] = data
+	return data
+}
+
+// Instances returns how many task copies have materialized.
+func (v *TaskPrivate[T]) Instances() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.byRank)
+}
+
+// ThreadPrivate is the innermost level: one copy per (MPI task, OpenMP
+// thread) — the semantics of OpenMP's threadprivate directive under a
+// thread-based MPI.
+type ThreadPrivate[T any] struct {
+	name string
+	n    int
+	init func(rank, tid int, data []T)
+
+	mu    sync.Mutex
+	byKey map[threadKey][]T
+}
+
+type threadKey struct{ rank, tid int }
+
+// NewThreadPrivate declares a thread-private variable.
+func NewThreadPrivate[T any](name string, n int, init func(rank, tid int, data []T)) *ThreadPrivate[T] {
+	if n < 0 {
+		panic(fmt.Sprintf("omp: NewThreadPrivate(%q) with negative length", name))
+	}
+	return &ThreadPrivate[T]{name: name, n: n, init: init, byKey: make(map[threadKey][]T)}
+}
+
+// Slice resolves the calling OpenMP thread's copy.
+func (v *ThreadPrivate[T]) Slice(tc *ThreadCtx) []T {
+	key := threadKey{tc.task.Rank(), tc.tid}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if data, ok := v.byKey[key]; ok {
+		return data
+	}
+	data := make([]T, v.n)
+	if v.init != nil {
+		v.init(key.rank, key.tid, data)
+	}
+	v.byKey[key] = data
+	return data
+}
+
+// Instances returns how many thread copies have materialized.
+func (v *ThreadPrivate[T]) Instances() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.byKey)
+}

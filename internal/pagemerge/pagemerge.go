@@ -1,0 +1,211 @@
+// Package pagemerge models SBLLmalloc (Biswas et al., IPDPS 2011), the
+// automatic alternative the paper's related-work section compares HLS
+// against: identical virtual pages of MPI tasks on a node are periodically
+// detected and merged onto one physical page marked read-only; a write to
+// a merged page faults and unmerges it.
+//
+// The model tracks, per registered region and page, each task's page
+// content hash. Scan groups identical pages and counts the physical pages
+// a merged configuration needs; Write updates a task's page and, if the
+// page was merged, records a copy-on-write fault. The costs the paper
+// calls out — scan work proportional to memory, page-granularity only,
+// fault storms under writes — all fall out of the counters, giving the
+// ablation benchmark its baseline.
+package pagemerge
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stats aggregates the manager's cost and benefit counters.
+type Stats struct {
+	// Scans counts Scan calls; PagesScanned the page-hash comparisons
+	// performed (the periodic scanning overhead).
+	Scans        int64
+	PagesScanned int64
+	// PagesMerged counts pages newly merged across all scans.
+	PagesMerged int64
+	// Faults counts copy-on-write unmerges caused by writes.
+	Faults int64
+}
+
+// Manager tracks page contents of one node's tasks.
+type Manager struct {
+	pageBytes int
+
+	mu      sync.Mutex
+	regions map[string]*region
+	stats   Stats
+}
+
+// region is one named allocation registered by several tasks (e.g. "the
+// EOS table"), page-hashed per task.
+type region struct {
+	tasks int
+	pages int
+	// hash[task][page]
+	hash [][]uint64
+	// groupOf[task][page] identifies the merge group the task's page
+	// belongs to after the last scan; -1 means private (unmerged).
+	groupOf [][]int
+	// groupSize[page] maps group id -> member count.
+	groupSize []map[int]int
+}
+
+// NewManager builds a manager with the given page size.
+func NewManager(pageBytes int) *Manager {
+	if pageBytes <= 0 {
+		panic(fmt.Sprintf("pagemerge: page size %d", pageBytes))
+	}
+	return &Manager{pageBytes: pageBytes, regions: make(map[string]*region)}
+}
+
+// PageBytes returns the page size.
+func (m *Manager) PageBytes() int { return m.pageBytes }
+
+// Register declares a region replicated across `tasks` tasks, `bytes`
+// long, with initial page hashes produced by hashAt (called per task and
+// page). Registering an existing name panics.
+func (m *Manager) Register(name string, tasks, bytes int, hashAt func(task, page int) uint64) {
+	if tasks < 1 || bytes < 1 {
+		panic(fmt.Sprintf("pagemerge: Register(%q, %d tasks, %d bytes)", name, tasks, bytes))
+	}
+	pages := (bytes + m.pageBytes - 1) / m.pageBytes
+	r := &region{tasks: tasks, pages: pages}
+	r.hash = make([][]uint64, tasks)
+	r.groupOf = make([][]int, tasks)
+	for t := 0; t < tasks; t++ {
+		r.hash[t] = make([]uint64, pages)
+		r.groupOf[t] = make([]int, pages)
+		for p := 0; p < pages; p++ {
+			r.hash[t][p] = hashAt(t, p)
+			r.groupOf[t][p] = -1
+		}
+	}
+	r.groupSize = make([]map[int]int, pages)
+	for p := range r.groupSize {
+		r.groupSize[p] = make(map[int]int)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.regions[name]; ok {
+		panic(fmt.Sprintf("pagemerge: region %q already registered", name))
+	}
+	m.regions[name] = r
+}
+
+// Write records that `task` stored into byte offset `off` of the region,
+// changing the containing page's content hash to newHash. If the page was
+// merged, the write faults and the task's copy unmerges (SBLLmalloc's
+// fault handler duplicating the page).
+func (m *Manager) Write(name string, task, off int, newHash uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.mustRegion(name)
+	page := off / m.pageBytes
+	if task < 0 || task >= r.tasks || page < 0 || page >= r.pages {
+		panic(fmt.Sprintf("pagemerge: Write(%q, task %d, page %d) out of range", name, task, page))
+	}
+	if g := r.groupOf[task][page]; g >= 0 {
+		if r.groupSize[page][g] > 1 {
+			m.stats.Faults++
+		}
+		r.groupSize[page][g]--
+		if r.groupSize[page][g] == 0 {
+			delete(r.groupSize[page], g)
+		}
+		r.groupOf[task][page] = -1
+	}
+	r.hash[task][page] = newHash
+}
+
+// Scan performs one merge pass over all regions: pages with identical
+// hashes across tasks are grouped onto one physical page.
+func (m *Manager) Scan() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Scans++
+	for _, r := range m.regions {
+		nextGroup := 0
+		for p := 0; p < r.pages; p++ {
+			m.stats.PagesScanned += int64(r.tasks)
+			// Group unmerged pages by hash; join existing groups when the
+			// hash matches a merged group's content.
+			byHash := make(map[uint64]int) // hash -> group id
+			// Seed with existing groups (pick any member's hash).
+			for t := 0; t < r.tasks; t++ {
+				if g := r.groupOf[t][p]; g >= 0 {
+					byHash[r.hash[t][p]] = g
+					if g >= nextGroup {
+						nextGroup = g + 1
+					}
+				}
+			}
+			for t := 0; t < r.tasks; t++ {
+				if r.groupOf[t][p] >= 0 {
+					continue
+				}
+				h := r.hash[t][p]
+				g, ok := byHash[h]
+				if !ok {
+					g = nextGroup
+					nextGroup++
+					byHash[h] = g
+				}
+				r.groupOf[t][p] = g
+				r.groupSize[p][g]++
+				if r.groupSize[p][g] == 2 {
+					// The group just became a real merge.
+					m.stats.PagesMerged++
+				}
+			}
+		}
+	}
+}
+
+// PhysicalBytes returns the physical memory the current configuration
+// needs: one page per merge group plus one per private page.
+func (m *Manager) PhysicalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var pages int64
+	for _, r := range m.regions {
+		for p := 0; p < r.pages; p++ {
+			pages += int64(len(r.groupSize[p]))
+			for t := 0; t < r.tasks; t++ {
+				if r.groupOf[t][p] == -1 {
+					pages++
+				}
+			}
+		}
+	}
+	return pages * int64(m.pageBytes)
+}
+
+// PrivateBytes returns the memory a fully-duplicated configuration uses
+// (the no-merging baseline).
+func (m *Manager) PrivateBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var pages int64
+	for _, r := range m.regions {
+		pages += int64(r.tasks) * int64(r.pages)
+	}
+	return pages * int64(m.pageBytes)
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+func (m *Manager) mustRegion(name string) *region {
+	r, ok := m.regions[name]
+	if !ok {
+		panic(fmt.Sprintf("pagemerge: unknown region %q", name))
+	}
+	return r
+}

@@ -1,0 +1,177 @@
+package pagemerge
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const page = 4096
+
+func identical(task, p int) uint64 { return uint64(p) } // same on every task
+
+func TestMergeIdenticalPages(t *testing.T) {
+	m := NewManager(page)
+	m.Register("table", 8, 10*page, identical)
+	if got, want := m.PhysicalBytes(), int64(8*10*page); got != want {
+		t.Fatalf("pre-scan physical = %d, want %d (nothing merged yet)", got, want)
+	}
+	m.Scan()
+	if got, want := m.PhysicalBytes(), int64(10*page); got != want {
+		t.Errorf("post-scan physical = %d, want %d (one copy)", got, want)
+	}
+	if got := m.Stats().PagesMerged; got != 10 {
+		t.Errorf("PagesMerged = %d, want 10", got)
+	}
+	if m.PrivateBytes() != int64(8*10*page) {
+		t.Errorf("PrivateBytes = %d", m.PrivateBytes())
+	}
+}
+
+func TestDistinctPagesNotMerged(t *testing.T) {
+	m := NewManager(page)
+	m.Register("mesh", 4, 5*page, func(task, p int) uint64 {
+		return uint64(task*1000 + p) // all distinct
+	})
+	m.Scan()
+	if got, want := m.PhysicalBytes(), int64(4*5*page); got != want {
+		t.Errorf("physical = %d, want %d", got, want)
+	}
+	if got := m.Stats().PagesMerged; got != 0 {
+		t.Errorf("PagesMerged = %d, want 0", got)
+	}
+}
+
+func TestWriteFaultsAndUnmerges(t *testing.T) {
+	m := NewManager(page)
+	m.Register("table", 4, 2*page, identical)
+	m.Scan()
+	if got := m.PhysicalBytes(); got != int64(2*page) {
+		t.Fatalf("merged physical = %d", got)
+	}
+	// Task 2 writes into page 1.
+	m.Write("table", 2, page+100, 0xDEAD)
+	st := m.Stats()
+	if st.Faults != 1 {
+		t.Errorf("Faults = %d, want 1", st.Faults)
+	}
+	// Page 1 now: group of 3 + private copy = 2 physical pages; page 0: 1.
+	if got := m.PhysicalBytes(); got != int64(3*page) {
+		t.Errorf("physical after fault = %d, want %d", got, 3*page)
+	}
+}
+
+func TestRemergeAfterWriteBack(t *testing.T) {
+	// A page written to the original content merges again at next scan.
+	m := NewManager(page)
+	m.Register("t", 2, page, identical)
+	m.Scan()
+	m.Write("t", 0, 0, 0xAA)
+	if got := m.PhysicalBytes(); got != int64(2*page) {
+		t.Fatalf("after write physical = %d", got)
+	}
+	m.Write("t", 0, 0, identical(0, 0)) // restore content (no fault: already private)
+	st := m.Stats()
+	if st.Faults != 1 {
+		t.Errorf("Faults = %d, want 1 (second write hit a private page)", st.Faults)
+	}
+	m.Scan()
+	if got := m.PhysicalBytes(); got != int64(page) {
+		t.Errorf("after re-scan physical = %d, want %d", got, page)
+	}
+}
+
+func TestPartialSharingGroups(t *testing.T) {
+	// Tasks 0,1 share content A; tasks 2,3 share content B: two groups.
+	m := NewManager(page)
+	m.Register("t", 4, page, func(task, p int) uint64 { return uint64(task / 2) })
+	m.Scan()
+	if got := m.PhysicalBytes(); got != int64(2*page) {
+		t.Errorf("physical = %d, want %d (two groups)", got, 2*page)
+	}
+}
+
+func TestScanCostGrowsWithMemory(t *testing.T) {
+	m := NewManager(page)
+	m.Register("a", 4, 100*page, identical)
+	m.Scan()
+	first := m.Stats().PagesScanned
+	m.Scan()
+	if got := m.Stats().PagesScanned; got != 2*first {
+		t.Errorf("scan cost = %d after two scans, want %d (proportional)", got, 2*first)
+	}
+	if first != 400 {
+		t.Errorf("pages scanned per scan = %d, want 400", first)
+	}
+}
+
+func TestFaultStormUnderUpdates(t *testing.T) {
+	// The paper's criticism: periodically modified data causes unmerge
+	// faults every cycle. 8 tasks, every task writes every page between
+	// scans.
+	const pages = 16
+	m := NewManager(page)
+	m.Register("upd", 8, pages*page, identical)
+	for cycle := 0; cycle < 3; cycle++ {
+		m.Scan()
+		for task := 0; task < 8; task++ {
+			for p := 0; p < pages; p++ {
+				m.Write("upd", task, p*page, uint64(cycle+1)*uint64(p+1)) // same new content on every task
+			}
+		}
+	}
+	st := m.Stats()
+	// First write per merged page faults: each cycle merges all pages
+	// (identical content), then the first writer of each page faults.
+	if st.Faults < 3*pages {
+		t.Errorf("Faults = %d, want >= %d", st.Faults, 3*pages)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	m := NewManager(page)
+	m.Register("x", 1, 1, identical)
+	for name, fn := range map[string]func(){
+		"duplicate": func() { m.Register("x", 1, 1, identical) },
+		"zero-task": func() { m.Register("y", 0, 1, identical) },
+		"zero-size": func() { m.Register("z", 1, 0, identical) },
+		"unknown":   func() { m.Write("nope", 0, 0, 0) },
+		"oob":       func() { m.Write("x", 5, 0, 0) },
+		"bad-page":  func() { NewManager(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: PhysicalBytes never exceeds PrivateBytes and never undercounts
+// the distinct-content lower bound.
+func TestPhysicalBoundsProperty(t *testing.T) {
+	f := func(seed uint8, writes uint8) bool {
+		m := NewManager(page)
+		const tasks, pages = 4, 6
+		m.Register("r", tasks, pages*page, func(task, p int) uint64 {
+			return uint64((int(seed) + task*p) % 3)
+		})
+		m.Scan()
+		for w := 0; w < int(writes%32); w++ {
+			task := (int(seed) + w) % tasks
+			p := (w * 7) % pages
+			m.Write("r", task, p*page, uint64(seed)+uint64(w%4))
+			if w%5 == 0 {
+				m.Scan()
+			}
+		}
+		phys := m.PhysicalBytes()
+		priv := m.PrivateBytes()
+		return phys > 0 && phys <= priv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package procmpi models §IV-C of the paper: how HLS is implemented on a
+// process-based MPI (Open MPI, MPICH2) where tasks do NOT share an address
+// space.
+//
+// The technique: every process of a node maps one shared memory segment at
+// the SAME virtual base address (the isomalloc scheme of PM2, obtained
+// with mmap at a fixed address), so a pointer into the segment is valid in
+// every process. HLS variables and their synchronization structures live
+// in the segment. Heap memory reachable from an HLS variable must also be
+// in the segment, which the paper obtains by interposing malloc (e.g. via
+// LD_PRELOAD) while the calling process executes a single region.
+//
+// Here processes are modelled as separate simulated address spaces:
+// a virtual address resolves through the owning process, private heaps of
+// different processes reuse the same virtual range but back it with
+// different storage (as real processes do), and the node's shared segment
+// is one arena mapped at sharedBase in every process. Tests assert the
+// §IV-C properties: address identity across processes, isolation of
+// private heaps, and single-interposed allocation landing in the segment.
+package procmpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Addr is a simulated virtual address.
+type Addr uint64
+
+const (
+	// privateBase is where every process's private heap starts. Identical
+	// across processes — the same number means different memory in
+	// different processes.
+	privateBase Addr = 0x0000_1000_0000
+	// sharedBase is the fixed virtual address every process of a node
+	// maps the shared segment at (the isomalloc invariant).
+	sharedBase Addr = 0x7f00_0000_0000
+)
+
+// Node owns the shared segment its processes map.
+type Node struct {
+	id int
+
+	mu      sync.Mutex
+	shared  []byte
+	brk     int   // bump pointer into shared
+	singles int64 // single-nowait counter (one per node scope)
+
+	// hlsVars interns HLS variable allocations by name: the first process
+	// to register allocates, the rest look up — the same effect as the
+	// runtime structures of figure 2 living in the segment.
+	hlsVars map[string]Addr
+}
+
+// Runtime is a cluster of nodes with processes.
+type Runtime struct {
+	nodes []*Node
+	procs []*Process
+}
+
+// Process is one MPI task as an OS process: a private address space plus
+// the node's shared segment mapped at sharedBase.
+type Process struct {
+	pid  int
+	node *Node
+
+	private []byte
+	brk     int
+
+	// inSingle marks that the process executes a single region, so
+	// interposed allocations go to the shared segment (the LD_PRELOAD
+	// mechanism).
+	inSingle bool
+	// singleCount counts single regions this process encountered.
+	singleCount int64
+}
+
+// New builds a runtime of `nodes` nodes with procsPerNode processes each,
+// each node with a shared segment of segBytes.
+func New(nodes, procsPerNode, segBytes int) (*Runtime, error) {
+	if nodes < 1 || procsPerNode < 1 || segBytes < 1 {
+		return nil, fmt.Errorf("procmpi: invalid geometry nodes=%d procs=%d seg=%d", nodes, procsPerNode, segBytes)
+	}
+	r := &Runtime{}
+	for n := 0; n < nodes; n++ {
+		node := &Node{id: n, shared: make([]byte, segBytes), hlsVars: make(map[string]Addr)}
+		r.nodes = append(r.nodes, node)
+		for p := 0; p < procsPerNode; p++ {
+			r.procs = append(r.procs, &Process{
+				pid:     n*procsPerNode + p,
+				node:    node,
+				private: make([]byte, 1<<20),
+			})
+		}
+	}
+	return r, nil
+}
+
+// Proc returns process `pid`.
+func (r *Runtime) Proc(pid int) *Process { return r.procs[pid] }
+
+// NumProcs returns the total process count.
+func (r *Runtime) NumProcs() int { return len(r.procs) }
+
+// Pid returns the process id.
+func (p *Process) Pid() int { return p.pid }
+
+// NodeID returns the node the process runs on.
+func (p *Process) NodeID() int { return p.node.id }
+
+// Malloc allocates n bytes. Outside a single region the allocation is
+// private; inside one it is interposed into the node's shared segment, so
+// pointers stored in HLS variables stay valid in every process (§IV-C:
+// "overload dynamic memory allocations ... and allocate memory in the
+// shared memory segment when the call is inside a single directive").
+func (p *Process) Malloc(n int) Addr {
+	if n <= 0 {
+		panic(fmt.Sprintf("procmpi: malloc(%d)", n))
+	}
+	if p.inSingle {
+		return p.node.sharedAlloc(n)
+	}
+	if p.brk+n > len(p.private) {
+		grown := make([]byte, max(len(p.private)*2, p.brk+n))
+		copy(grown, p.private)
+		p.private = grown
+	}
+	a := privateBase + Addr(p.brk)
+	p.brk += n
+	return a
+}
+
+// sharedAlloc bump-allocates in the node segment.
+func (n *Node) sharedAlloc(bytes int) Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.brk+bytes > len(n.shared) {
+		panic(fmt.Sprintf("procmpi: shared segment exhausted (%d + %d > %d)", n.brk, bytes, len(n.shared)))
+	}
+	a := sharedBase + Addr(n.brk)
+	n.brk += bytes
+	return a
+}
+
+// IsShared reports whether addr points into the node's shared segment.
+func (p *Process) IsShared(addr Addr) bool {
+	return addr >= sharedBase && addr < sharedBase+Addr(len(p.node.shared))
+}
+
+// resolve maps a virtual address to backing storage through this process,
+// like the MMU would.
+func (p *Process) resolve(addr Addr, n int) []byte {
+	switch {
+	case p.IsShared(addr):
+		off := int(addr - sharedBase)
+		return p.node.shared[off : off+n]
+	case addr >= privateBase && int(addr-privateBase)+n <= len(p.private):
+		off := int(addr - privateBase)
+		return p.private[off : off+n]
+	default:
+		panic(fmt.Sprintf("procmpi: pid %d: segmentation fault at %#x (+%d)", p.pid, uint64(addr), n))
+	}
+}
+
+// Store writes data at addr in this process's view of memory.
+func (p *Process) Store(addr Addr, data []byte) {
+	copy(p.resolve(addr, len(data)), data)
+}
+
+// Load reads n bytes at addr in this process's view of memory.
+func (p *Process) Load(addr Addr, n int) []byte {
+	out := make([]byte, n)
+	copy(out, p.resolve(addr, n))
+	return out
+}
+
+// StoreU64 / LoadU64 are fixed-width conveniences (e.g. for storing a
+// pointer inside an HLS variable, listing 4's heap-backed matrix B).
+func (p *Process) StoreU64(addr Addr, v uint64) {
+	binary.LittleEndian.PutUint64(p.resolve(addr, 8), v)
+}
+
+// LoadU64 reads a 64-bit value.
+func (p *Process) LoadU64(addr Addr) uint64 {
+	return binary.LittleEndian.Uint64(p.resolve(addr, 8))
+}
+
+// SingleNowait runs body in this process if it is the first of its node to
+// reach the region (node-scope single nowait, the §IV-B counter scheme);
+// allocations inside body are interposed into the shared segment. It
+// reports whether body ran.
+func (p *Process) SingleNowait(body func()) bool {
+	p.singleCount++
+	n := p.node
+	n.mu.Lock()
+	execute := p.singleCount > n.singles
+	if execute {
+		n.singles = p.singleCount
+	}
+	n.mu.Unlock()
+	if execute {
+		p.inSingle = true
+		defer func() { p.inSingle = false }()
+		body()
+	}
+	return execute
+}
+
+// HLSVar returns the segment address of the named HLS variable, allocating
+// it (zeroed) on first registration by any process of the node. All
+// processes of a node observe the same address — the figure-2 layout in a
+// shared segment.
+func (p *Process) HLSVar(name string, bytes int) Addr {
+	n := p.node
+	n.mu.Lock()
+	if a, ok := n.hlsVars[name]; ok {
+		n.mu.Unlock()
+		return a
+	}
+	n.mu.Unlock()
+	a := n.sharedAlloc(bytes)
+	n.mu.Lock()
+	// Another process may have raced us; first registration wins and the
+	// losing allocation is abandoned (bump allocators don't free).
+	if prev, ok := n.hlsVars[name]; ok {
+		a = prev
+	} else {
+		n.hlsVars[name] = a
+	}
+	n.mu.Unlock()
+	return a
+}

@@ -1,0 +1,201 @@
+package procmpi
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPrivateHeapsIsolated(t *testing.T) {
+	// Same virtual address, different processes, different contents —
+	// the defining property of process-based MPI.
+	r, err := New(1, 2, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := r.Proc(0), r.Proc(1)
+	a0 := p0.Malloc(8)
+	a1 := p1.Malloc(8)
+	if a0 != a1 {
+		t.Fatalf("first private allocations differ: %#x vs %#x", a0, a1)
+	}
+	p0.StoreU64(a0, 111)
+	p1.StoreU64(a1, 222)
+	if p0.LoadU64(a0) != 111 || p1.LoadU64(a1) != 222 {
+		t.Error("private heaps are not isolated")
+	}
+}
+
+func TestSharedSegmentSameAddressAcrossProcesses(t *testing.T) {
+	// The isomalloc invariant: one process allocates in the segment, every
+	// process of the node dereferences the same address successfully.
+	r, _ := New(1, 4, 1<<16)
+	p0 := r.Proc(0)
+	var addr Addr
+	p0.SingleNowait(func() {
+		addr = p0.Malloc(64)
+		p0.StoreU64(addr, 0xBEEF)
+	})
+	for pid := 0; pid < 4; pid++ {
+		p := r.Proc(pid)
+		if !p.IsShared(addr) {
+			t.Fatalf("pid %d: %#x not recognized as shared", pid, uint64(addr))
+		}
+		if got := p.LoadU64(addr); got != 0xBEEF {
+			t.Errorf("pid %d reads %#x, want 0xBEEF", pid, got)
+		}
+	}
+}
+
+func TestInterpositionOnlyInsideSingle(t *testing.T) {
+	r, _ := New(1, 2, 1<<16)
+	p := r.Proc(0)
+	private := p.Malloc(8)
+	if p.IsShared(private) {
+		t.Error("allocation outside single landed in the shared segment")
+	}
+	var shared Addr
+	p.SingleNowait(func() { shared = p.Malloc(8) })
+	if !p.IsShared(shared) {
+		t.Error("allocation inside single did not interpose into the segment")
+	}
+	after := p.Malloc(8)
+	if p.IsShared(after) {
+		t.Error("interposition leaked past the single region")
+	}
+}
+
+func TestSingleNowaitOncePerNode(t *testing.T) {
+	r, _ := New(2, 4, 1<<16)
+	execs := make([]int, 2)
+	for pid := 0; pid < 8; pid++ {
+		p := r.Proc(pid)
+		if p.SingleNowait(func() {}) {
+			execs[p.NodeID()]++
+		}
+	}
+	if execs[0] != 1 || execs[1] != 1 {
+		t.Errorf("single executed %v times per node, want once each", execs)
+	}
+}
+
+func TestSingleNowaitRepeatedRegions(t *testing.T) {
+	r, _ := New(1, 3, 1<<16)
+	total := 0
+	for region := 0; region < 5; region++ {
+		for pid := 0; pid < 3; pid++ {
+			if r.Proc(pid).SingleNowait(func() {}) {
+				total++
+			}
+		}
+	}
+	if total != 5 {
+		t.Errorf("bodies executed %d times, want 5", total)
+	}
+}
+
+func TestHLSVarSameAddressEveryProcess(t *testing.T) {
+	r, _ := New(1, 4, 1<<16)
+	addrs := make([]Addr, 4)
+	var wg sync.WaitGroup
+	for pid := 0; pid < 4; pid++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			addrs[pid] = r.Proc(pid).HLSVar("eos_table", 1024)
+		}(pid)
+	}
+	wg.Wait()
+	for pid := 1; pid < 4; pid++ {
+		if addrs[pid] != addrs[0] {
+			t.Fatalf("pid %d got %#x, pid 0 got %#x", pid, uint64(addrs[pid]), uint64(addrs[0]))
+		}
+	}
+	// Writes by one process are visible to all through the variable.
+	r.Proc(2).StoreU64(addrs[0], 42)
+	if got := r.Proc(3).LoadU64(addrs[0]); got != 42 {
+		t.Errorf("pid 3 reads %d, want 42", got)
+	}
+}
+
+func TestHLSVarDistinctPerNode(t *testing.T) {
+	// Same name on different nodes -> same virtual address (isomalloc base
+	// identical), but different storage: HLS keeps no coherency across
+	// nodes (the paper's DSM contrast).
+	r, _ := New(2, 1, 1<<16)
+	a0 := r.Proc(0).HLSVar("v", 8)
+	a1 := r.Proc(1).HLSVar("v", 8)
+	if a0 != a1 {
+		t.Fatalf("addresses differ across nodes: %#x vs %#x", a0, a1)
+	}
+	r.Proc(0).StoreU64(a0, 7)
+	r.Proc(1).StoreU64(a1, 9)
+	if r.Proc(0).LoadU64(a0) != 7 || r.Proc(1).LoadU64(a1) != 9 {
+		t.Error("nodes share storage; HLS must be node-local")
+	}
+}
+
+func TestHeapBackedHLSPointer(t *testing.T) {
+	// Listing 4's pattern: an HLS variable holds a pointer to heap memory
+	// allocated inside a single. The pointer must dereference correctly
+	// from every process.
+	r, _ := New(1, 4, 1<<16)
+	slot := r.Proc(0).HLSVar("B_ptr", 8)
+	r.Proc(1).SingleNowait(func() {
+		buf := r.Proc(1).Malloc(256) // interposed -> shared
+		r.Proc(1).StoreU64(buf, 123456)
+		r.Proc(1).StoreU64(slot, uint64(buf))
+	})
+	for pid := 0; pid < 4; pid++ {
+		p := r.Proc(pid)
+		ptr := Addr(p.LoadU64(slot))
+		if !p.IsShared(ptr) {
+			t.Fatalf("pid %d: stored pointer %#x is not shared", pid, uint64(ptr))
+		}
+		if got := p.LoadU64(ptr); got != 123456 {
+			t.Errorf("pid %d dereferences %d, want 123456", pid, got)
+		}
+	}
+}
+
+func TestSegfaultOnWildPointer(t *testing.T) {
+	r, _ := New(1, 1, 1<<12)
+	defer func() {
+		if recover() == nil {
+			t.Error("wild load did not fault")
+		}
+	}()
+	r.Proc(0).Load(0xDEAD, 8)
+}
+
+func TestSegmentExhaustion(t *testing.T) {
+	r, _ := New(1, 1, 128)
+	p := r.Proc(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("segment overflow did not panic")
+		}
+	}()
+	p.SingleNowait(func() { p.Malloc(4096) })
+}
+
+func TestPrivateHeapGrows(t *testing.T) {
+	r, _ := New(1, 1, 1<<12)
+	p := r.Proc(0)
+	a := p.Malloc(4 << 20) // larger than the 1 MiB initial arena
+	p.StoreU64(a+Addr(4<<20)-8, 5)
+	if got := p.LoadU64(a + Addr(4<<20) - 8); got != 5 {
+		t.Errorf("tail of grown heap = %d", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, 10); err == nil {
+		t.Error("0 nodes accepted")
+	}
+	if _, err := New(1, 0, 10); err == nil {
+		t.Error("0 procs accepted")
+	}
+	if _, err := New(1, 1, 0); err == nil {
+		t.Error("0-byte segment accepted")
+	}
+}

@@ -1,0 +1,231 @@
+package topology
+
+import (
+	"fmt"
+)
+
+// CacheConfig describes one level of the cache hierarchy of a node. All
+// caches at the same level are identical.
+type CacheConfig struct {
+	// Level of the cache, 1-based (1 = L1).
+	Level int
+	// SizeBytes is the capacity of one cache instance.
+	SizeBytes int
+	// LineBytes is the cache-line size (typically 64).
+	LineBytes int
+	// Assoc is the set associativity. SizeBytes must be divisible by
+	// Assoc*LineBytes.
+	Assoc int
+	// SharedCores is the number of cores sharing one instance of this
+	// cache: 1 for a private cache, CoresPerSocket for a socket-wide
+	// last-level cache.
+	SharedCores int
+	// LatencyCycles is the access latency on a hit at this level, used by
+	// the cache simulator's cost model.
+	LatencyCycles int
+}
+
+// Spec declares a homogeneous cluster. The zero value is not usable; call
+// Validate (or New, which validates) before use.
+type Spec struct {
+	Name           string
+	Nodes          int
+	SocketsPerNode int // one NUMA domain per socket
+	CoresPerSocket int
+	ThreadsPerCore int
+	Caches         []CacheConfig // ascending levels, private first
+	// MemLatencyCycles is the cost of a miss in the last cache level.
+	MemLatencyCycles int
+}
+
+// Validate checks internal consistency of the spec.
+func (s Spec) Validate() error {
+	if s.Nodes < 1 || s.SocketsPerNode < 1 || s.CoresPerSocket < 1 || s.ThreadsPerCore < 1 {
+		return fmt.Errorf("topology: spec %q: all counts must be >= 1 (nodes=%d sockets=%d cores=%d threads=%d)",
+			s.Name, s.Nodes, s.SocketsPerNode, s.CoresPerSocket, s.ThreadsPerCore)
+	}
+	for i, c := range s.Caches {
+		if c.Level != i+1 {
+			return fmt.Errorf("topology: spec %q: cache %d has level %d, want ascending levels starting at 1", s.Name, i, c.Level)
+		}
+		if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+			return fmt.Errorf("topology: spec %q: cache L%d has non-positive geometry", s.Name, c.Level)
+		}
+		if c.SizeBytes%(c.Assoc*c.LineBytes) != 0 {
+			return fmt.Errorf("topology: spec %q: cache L%d size %d not divisible by assoc*line=%d",
+				s.Name, c.Level, c.SizeBytes, c.Assoc*c.LineBytes)
+		}
+		if c.SharedCores < 1 || s.CoresPerSocket%c.SharedCores != 0 {
+			return fmt.Errorf("topology: spec %q: cache L%d shared by %d cores, must divide cores/socket %d",
+				s.Name, c.Level, c.SharedCores, s.CoresPerSocket)
+		}
+		if i > 0 && c.SharedCores < s.Caches[i-1].SharedCores {
+			return fmt.Errorf("topology: spec %q: cache L%d shared by fewer cores than L%d", s.Name, c.Level, c.Level-1)
+		}
+	}
+	return nil
+}
+
+// Machine is a validated, queryable instance of a Spec.
+type Machine struct {
+	Spec Spec
+
+	llc int // last cache level; 0 if no caches declared
+
+	threadsPerCore   int
+	threadsPerSocket int
+	threadsPerNode   int
+	totalThreads     int
+}
+
+// New validates spec and builds a Machine.
+func New(spec Spec) (*Machine, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{Spec: spec}
+	m.llc = len(spec.Caches)
+	m.threadsPerCore = spec.ThreadsPerCore
+	m.threadsPerSocket = spec.CoresPerSocket * m.threadsPerCore
+	m.threadsPerNode = spec.SocketsPerNode * m.threadsPerSocket
+	m.totalThreads = spec.Nodes * m.threadsPerNode
+	return m, nil
+}
+
+// MustNew is New that panics on error; for package-level machine literals.
+func MustNew(spec Spec) *Machine {
+	m, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// LLC returns the scope of the last level of cache (paper: "lle"/llc).
+// It panics if the spec declares no caches.
+func (m *Machine) LLC() Scope {
+	if m.llc == 0 {
+		panic("topology: machine has no caches, no LLC scope")
+	}
+	return Cache(m.llc)
+}
+
+// Resolve replaces the "llc" placeholder (cache level 0) with the concrete
+// last cache level, and validates the scope against the machine.
+func (m *Machine) Resolve(s Scope) (Scope, error) {
+	if s.Kind == ScopeCache {
+		if s.Level == 0 {
+			return m.LLC(), nil
+		}
+		if s.Level < 1 || s.Level > m.llc {
+			return Scope{}, fmt.Errorf("topology: cache level %d out of range [1,%d]", s.Level, m.llc)
+		}
+	}
+	return s, nil
+}
+
+// Counting accessors.
+
+// TotalThreads returns the number of hardware threads in the cluster.
+func (m *Machine) TotalThreads() int { return m.totalThreads }
+
+// TotalCores returns the number of physical cores in the cluster.
+func (m *Machine) TotalCores() int { return m.totalThreads / m.threadsPerCore }
+
+// ThreadsPerNode returns hardware threads per node.
+func (m *Machine) ThreadsPerNode() int { return m.threadsPerNode }
+
+// CoresPerNode returns physical cores per node.
+func (m *Machine) CoresPerNode() int { return m.Spec.SocketsPerNode * m.Spec.CoresPerSocket }
+
+// Nodes returns the number of nodes.
+func (m *Machine) Nodes() int { return m.Spec.Nodes }
+
+// CacheConfig returns the configuration of cache level l (1-based).
+func (m *Machine) CacheConfig(l int) CacheConfig {
+	if l < 1 || l > m.llc {
+		panic(fmt.Sprintf("topology: cache level %d out of range [1,%d]", l, m.llc))
+	}
+	return m.Spec.Caches[l-1]
+}
+
+// CacheLevels returns the number of cache levels.
+func (m *Machine) CacheLevels() int { return m.llc }
+
+// threadsPerInstance returns how many hardware threads share one instance
+// of scope s.
+func (m *Machine) threadsPerInstance(s Scope) int {
+	switch s.Kind {
+	case ScopeCore:
+		return m.threadsPerCore
+	case ScopeCache:
+		c := m.CacheConfig(s.Level)
+		return c.SharedCores * m.threadsPerCore
+	case ScopeNUMA:
+		return m.threadsPerSocket
+	case ScopeNode:
+		return m.threadsPerNode
+	default:
+		panic(fmt.Sprintf("topology: invalid scope kind %d", s.Kind))
+	}
+}
+
+// InstanceCount returns the number of instances of scope s in the whole
+// cluster (e.g. number of NUMA domains for ScopeNUMA).
+func (m *Machine) InstanceCount(s Scope) int {
+	return m.totalThreads / m.threadsPerInstance(s)
+}
+
+// InstancesPerNode returns the number of instances of scope s on one node.
+func (m *Machine) InstancesPerNode(s Scope) int {
+	return m.threadsPerNode / m.threadsPerInstance(s)
+}
+
+// ThreadsPerInstance returns how many hardware threads share one instance
+// of scope s. This bounds the memory-duplication reduction factor of an
+// HLS variable with that scope.
+func (m *Machine) ThreadsPerInstance(s Scope) int { return m.threadsPerInstance(s) }
+
+// ScopeInstance returns the global instance index of scope s that hardware
+// thread `thread` (global id) belongs to. Thread ids lay out threads
+// compactly: thread, then core, then socket, then node.
+func (m *Machine) ScopeInstance(thread int, s Scope) int {
+	if thread < 0 || thread >= m.totalThreads {
+		panic(fmt.Sprintf("topology: thread %d out of range [0,%d)", thread, m.totalThreads))
+	}
+	return thread / m.threadsPerInstance(s)
+}
+
+// Place describes where a hardware thread sits in the hierarchy.
+type Place struct {
+	Thread int // global hardware-thread id
+	Node   int
+	Socket int // global socket (NUMA domain) id
+	Core   int // global core id
+	SMT    int // thread index within the core
+}
+
+// PlaceOf decomposes a global hardware-thread id.
+func (m *Machine) PlaceOf(thread int) Place {
+	if thread < 0 || thread >= m.totalThreads {
+		panic(fmt.Sprintf("topology: thread %d out of range [0,%d)", thread, m.totalThreads))
+	}
+	return Place{
+		Thread: thread,
+		Node:   thread / m.threadsPerNode,
+		Socket: thread / m.threadsPerSocket,
+		Core:   thread / m.threadsPerCore,
+		SMT:    thread % m.threadsPerCore,
+	}
+}
+
+// SameScope reports whether threads a and b share an instance of scope s.
+func (m *Machine) SameScope(a, b int, s Scope) bool {
+	return m.ScopeInstance(a, s) == m.ScopeInstance(b, s)
+}
+
+// String summarizes the machine geometry.
+func (m *Machine) String() string {
+	return fmt.Sprintf("%s: %d node(s) x %d socket(s) x %d core(s) x %d thread(s), %d cache level(s)",
+		m.Spec.Name, m.Spec.Nodes, m.Spec.SocketsPerNode, m.Spec.CoresPerSocket, m.Spec.ThreadsPerCore, m.llc)
+}

@@ -1,0 +1,183 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds a machine Spec from a compact textual description, so
+// harnesses can take topologies from flags or config files:
+//
+//	"1x4x8 l1:32K/8 l2:256K/8 l3:18M/24@8 mem:220"
+//
+// grammar, whitespace-separated:
+//
+//	NODESxSOCKETSxCORES[xTHREADS]   geometry (threads default 1)
+//	lL:SIZE/ASSOC[@SHARED][/LINE]   cache level L; SIZE accepts K/M/G
+//	                                suffixes; SHARED = cores sharing one
+//	                                instance (default 1); LINE default 64
+//	mem:CYCLES                      memory latency in cycles
+func ParseSpec(s string) (Spec, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return Spec{}, fmt.Errorf("topology: empty machine spec")
+	}
+	spec := Spec{Name: s}
+	dims := strings.Split(fields[0], "x")
+	if len(dims) != 3 && len(dims) != 4 {
+		return Spec{}, fmt.Errorf("topology: geometry %q, want NxSxC or NxSxCxT", fields[0])
+	}
+	geo := make([]int, len(dims))
+	for i, d := range dims {
+		v, err := strconv.Atoi(d)
+		if err != nil || v < 1 {
+			return Spec{}, fmt.Errorf("topology: bad geometry component %q", d)
+		}
+		geo[i] = v
+	}
+	spec.Nodes, spec.SocketsPerNode, spec.CoresPerSocket = geo[0], geo[1], geo[2]
+	spec.ThreadsPerCore = 1
+	if len(geo) == 4 {
+		spec.ThreadsPerCore = geo[3]
+	}
+
+	for _, f := range fields[1:] {
+		switch {
+		case strings.HasPrefix(f, "mem:"):
+			v, err := strconv.Atoi(f[4:])
+			if err != nil || v < 1 {
+				return Spec{}, fmt.Errorf("topology: bad memory latency %q", f)
+			}
+			spec.MemLatencyCycles = v
+		case strings.HasPrefix(f, "l"):
+			cfg, err := parseCache(f)
+			if err != nil {
+				return Spec{}, err
+			}
+			spec.Caches = append(spec.Caches, cfg)
+		default:
+			return Spec{}, fmt.Errorf("topology: unknown spec token %q", f)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// parseCache parses "lL:SIZE/ASSOC[@SHARED][/LINE]".
+func parseCache(f string) (CacheConfig, error) {
+	head, rest, ok := strings.Cut(f, ":")
+	if !ok || len(head) < 2 {
+		return CacheConfig{}, fmt.Errorf("topology: bad cache token %q", f)
+	}
+	level, err := strconv.Atoi(head[1:])
+	if err != nil || level < 1 {
+		return CacheConfig{}, fmt.Errorf("topology: bad cache level in %q", f)
+	}
+	parts := strings.Split(rest, "/")
+	if len(parts) < 2 || len(parts) > 3 {
+		return CacheConfig{}, fmt.Errorf("topology: cache %q, want SIZE/ASSOC[@SHARED][/LINE]", f)
+	}
+	size, err := parseBytes(parts[0])
+	if err != nil {
+		return CacheConfig{}, fmt.Errorf("topology: cache %q: %v", f, err)
+	}
+	assocPart := parts[1]
+	shared := 1
+	if a, sh, ok := strings.Cut(assocPart, "@"); ok {
+		assocPart = a
+		shared, err = strconv.Atoi(sh)
+		if err != nil || shared < 1 {
+			return CacheConfig{}, fmt.Errorf("topology: cache %q: bad sharing %q", f, sh)
+		}
+	}
+	assoc, err := strconv.Atoi(assocPart)
+	if err != nil || assoc < 1 {
+		return CacheConfig{}, fmt.Errorf("topology: cache %q: bad associativity", f)
+	}
+	line := 64
+	if len(parts) == 3 {
+		line, err = strconv.Atoi(parts[2])
+		if err != nil || line < 1 {
+			return CacheConfig{}, fmt.Errorf("topology: cache %q: bad line size", f)
+		}
+	}
+	lat := defaultLatency(level)
+	return CacheConfig{Level: level, SizeBytes: size, LineBytes: line,
+		Assoc: assoc, SharedCores: shared, LatencyCycles: lat}, nil
+}
+
+// defaultLatency supplies a plausible hit cost per level when the spec
+// string does not model timing explicitly.
+func defaultLatency(level int) int {
+	switch level {
+	case 1:
+		return 4
+	case 2:
+		return 12
+	default:
+		return 40
+	}
+}
+
+// parseBytes parses "32K", "18M", "1G", "512".
+func parseBytes(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty size")
+	}
+	mult := 1
+	switch s[len(s)-1] {
+	case 'K', 'k':
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	case 'M', 'm':
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	case 'G', 'g':
+		mult = 1 << 30
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+// FormatSpec renders a Spec in ParseSpec's grammar (latencies excepted:
+// the textual form uses per-level defaults).
+func FormatSpec(spec Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%dx%d", spec.Nodes, spec.SocketsPerNode, spec.CoresPerSocket)
+	if spec.ThreadsPerCore != 1 {
+		fmt.Fprintf(&b, "x%d", spec.ThreadsPerCore)
+	}
+	for _, c := range spec.Caches {
+		fmt.Fprintf(&b, " l%d:%s/%d", c.Level, formatBytes(c.SizeBytes), c.Assoc)
+		if c.SharedCores != 1 {
+			fmt.Fprintf(&b, "@%d", c.SharedCores)
+		}
+		if c.LineBytes != 64 {
+			fmt.Fprintf(&b, "/%d", c.LineBytes)
+		}
+	}
+	if spec.MemLatencyCycles != 0 {
+		fmt.Fprintf(&b, " mem:%d", spec.MemLatencyCycles)
+	}
+	return b.String()
+}
+
+func formatBytes(n int) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dG", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,117 @@
+package topology
+
+import "testing"
+
+func TestParseSpecNehalem(t *testing.T) {
+	spec, err := ParseSpec("1x4x8 l1:32K/8 l2:256K/8 l3:18M/24@8 mem:220")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NehalemEX4().Spec
+	if spec.Nodes != ref.Nodes || spec.SocketsPerNode != ref.SocketsPerNode ||
+		spec.CoresPerSocket != ref.CoresPerSocket || spec.ThreadsPerCore != ref.ThreadsPerCore {
+		t.Errorf("geometry %+v != reference", spec)
+	}
+	if len(spec.Caches) != 3 {
+		t.Fatalf("caches = %d", len(spec.Caches))
+	}
+	for i := range spec.Caches {
+		g, w := spec.Caches[i], ref.Caches[i]
+		if g.SizeBytes != w.SizeBytes || g.Assoc != w.Assoc || g.SharedCores != w.SharedCores || g.LineBytes != 64 {
+			t.Errorf("L%d: %+v != %+v", i+1, g, w)
+		}
+	}
+	if spec.MemLatencyCycles != 220 {
+		t.Errorf("mem latency = %d", spec.MemLatencyCycles)
+	}
+	if _, err := New(spec); err != nil {
+		t.Errorf("parsed spec does not build: %v", err)
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	spec, err := ParseSpec("2x1x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.ThreadsPerCore != 1 || len(spec.Caches) != 0 {
+		t.Errorf("defaults wrong: %+v", spec)
+	}
+	spec, err = ParseSpec("1x2x4x2 l1:1K/2/128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.ThreadsPerCore != 2 {
+		t.Errorf("threads = %d", spec.ThreadsPerCore)
+	}
+	if spec.Caches[0].LineBytes != 128 || spec.Caches[0].SharedCores != 1 {
+		t.Errorf("cache: %+v", spec.Caches[0])
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"4",
+		"1x2",
+		"0x2x2",
+		"axbxc",
+		"1x1x1 bogus",
+		"1x1x1 l:32K/8",
+		"1x1x1 l0:32K/8",
+		"1x1x1 l1:32K",
+		"1x1x1 l1:/8",
+		"1x1x1 l1:32K/0",
+		"1x1x1 l1:32K/8@0",
+		"1x1x1 l1:32K/8/0",
+		"1x1x1 mem:x",
+		"1x1x1 mem:0",
+		"1x1x2 l1:32K/8@3", // sharing does not divide cores/socket
+		"1x1x1 l2:32K/8",   // levels must start at 1
+		"1x1x1 l1:1000/3",  // size not divisible by assoc*line
+	} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("spec %q accepted", s)
+		}
+	}
+}
+
+func TestParseBytesSuffixes(t *testing.T) {
+	cases := map[string]int{"512": 512, "2K": 2048, "3M": 3 << 20, "1G": 1 << 30, "4k": 4096}
+	for in, want := range cases {
+		got, err := parseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "K", "-1", "x3"} {
+		if _, err := parseBytes(in); err == nil {
+			t.Errorf("parseBytes(%q) accepted", in)
+		}
+	}
+}
+
+func TestFormatSpecRoundTrip(t *testing.T) {
+	for _, m := range []*Machine{NehalemEX4(), HarpertownCluster(3), SMTNode()} {
+		text := FormatSpec(m.Spec)
+		parsed, err := ParseSpec(text)
+		if err != nil {
+			t.Fatalf("%s: FormatSpec output %q does not parse: %v", m.Spec.Name, text, err)
+		}
+		if parsed.Nodes != m.Spec.Nodes || parsed.SocketsPerNode != m.Spec.SocketsPerNode ||
+			parsed.CoresPerSocket != m.Spec.CoresPerSocket || parsed.ThreadsPerCore != m.Spec.ThreadsPerCore ||
+			len(parsed.Caches) != len(m.Spec.Caches) {
+			t.Errorf("%s: round trip lost geometry: %q", m.Spec.Name, text)
+		}
+		for i := range parsed.Caches {
+			g, w := parsed.Caches[i], m.Spec.Caches[i]
+			if g.SizeBytes != w.SizeBytes || g.Assoc != w.Assoc ||
+				g.SharedCores != w.SharedCores || g.LineBytes != w.LineBytes {
+				t.Errorf("%s L%d: %+v != %+v", m.Spec.Name, i+1, g, w)
+			}
+		}
+		if parsed.MemLatencyCycles != m.Spec.MemLatencyCycles {
+			t.Errorf("%s: mem latency %d != %d", m.Spec.Name, parsed.MemLatencyCycles, m.Spec.MemLatencyCycles)
+		}
+	}
+}

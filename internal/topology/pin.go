@@ -1,0 +1,136 @@
+package topology
+
+import "fmt"
+
+// PinPolicy selects how MPI task ranks are mapped onto hardware threads.
+// MPC pins each MPI task to a core by default; the policies here reproduce
+// the usual launcher options.
+type PinPolicy int
+
+const (
+	// PinCompact fills a core's threads, then the next core, the next
+	// socket, the next node. Rank r gets hardware thread r.
+	PinCompact PinPolicy = iota
+	// PinCorePerTask pins one task per physical core (the paper's
+	// configuration: one MPI task per core, hyperthreads unused).
+	PinCorePerTask
+	// PinScatterSockets round-robins tasks across sockets of a node first
+	// (rank 0 on socket 0, rank 1 on socket 1, ...), filling nodes in order.
+	PinScatterSockets
+)
+
+// String names the policy.
+func (p PinPolicy) String() string {
+	switch p {
+	case PinCompact:
+		return "compact"
+	case PinCorePerTask:
+		return "core-per-task"
+	case PinScatterSockets:
+		return "scatter-sockets"
+	default:
+		return fmt.Sprintf("PinPolicy(%d)", int(p))
+	}
+}
+
+// Pinning is a concrete rank→hardware-thread assignment.
+type Pinning struct {
+	Machine *Machine
+	Threads []int // Threads[rank] = global hardware-thread id
+}
+
+// Pin computes the hardware thread for each of n task ranks under policy p.
+// It returns an error if the machine cannot host n tasks under the policy
+// (e.g. more tasks than cores for PinCorePerTask).
+func Pin(m *Machine, n int, p PinPolicy) (*Pinning, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: cannot pin %d tasks", n)
+	}
+	threads := make([]int, n)
+	switch p {
+	case PinCompact:
+		if n > m.TotalThreads() {
+			return nil, fmt.Errorf("topology: %d tasks exceed %d hardware threads", n, m.TotalThreads())
+		}
+		for r := range threads {
+			threads[r] = r
+		}
+	case PinCorePerTask:
+		if n > m.TotalCores() {
+			return nil, fmt.Errorf("topology: %d tasks exceed %d cores", n, m.TotalCores())
+		}
+		for r := range threads {
+			threads[r] = r * m.Spec.ThreadsPerCore // first thread of core r
+		}
+	case PinScatterSockets:
+		if n > m.TotalCores() {
+			return nil, fmt.Errorf("topology: %d tasks exceed %d cores", n, m.TotalCores())
+		}
+		socketsPerNode := m.Spec.SocketsPerNode
+		coresPerSocket := m.Spec.CoresPerSocket
+		coresPerNode := socketsPerNode * coresPerSocket
+		for r := range threads {
+			node := r / coresPerNode
+			inNode := r % coresPerNode
+			socket := inNode % socketsPerNode
+			coreInSocket := inNode / socketsPerNode
+			core := node*coresPerNode + socket*coresPerSocket + coreInSocket
+			threads[r] = core * m.Spec.ThreadsPerCore
+		}
+	default:
+		return nil, fmt.Errorf("topology: unknown pin policy %v", p)
+	}
+	return &Pinning{Machine: m, Threads: threads}, nil
+}
+
+// MustPin is Pin that panics on error.
+func MustPin(m *Machine, n int, p PinPolicy) *Pinning {
+	pin, err := Pin(m, n, p)
+	if err != nil {
+		panic(err)
+	}
+	return pin
+}
+
+// Thread returns the hardware thread of rank r.
+func (p *Pinning) Thread(r int) int { return p.Threads[r] }
+
+// NumTasks returns the number of pinned tasks.
+func (p *Pinning) NumTasks() int { return len(p.Threads) }
+
+// ScopeInstance returns the scope-instance index rank r belongs to.
+func (p *Pinning) ScopeInstance(r int, s Scope) int {
+	return p.Machine.ScopeInstance(p.Threads[r], s)
+}
+
+// RanksInInstance returns the ranks sharing scope instance `inst` of scope
+// s, in rank order.
+func (p *Pinning) RanksInInstance(s Scope, inst int) []int {
+	var out []int
+	for r := range p.Threads {
+		if p.ScopeInstance(r, s) == inst {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TasksPerInstance returns, for scope s, a map from instance index to the
+// number of tasks pinned inside it. Instances hosting no task are absent.
+func (p *Pinning) TasksPerInstance(s Scope) map[int]int {
+	out := make(map[int]int)
+	for r := range p.Threads {
+		out[p.ScopeInstance(r, s)]++
+	}
+	return out
+}
+
+// Move re-pins rank r to hardware thread t. It is the low-level half of
+// MPC_Move; the HLS registry layers the directive-counter safety check on
+// top (see the hls package).
+func (p *Pinning) Move(r, t int) {
+	if t < 0 || t >= p.Machine.TotalThreads() {
+		panic(fmt.Sprintf("topology: move target thread %d out of range", t))
+	}
+	p.Threads[r] = t
+}

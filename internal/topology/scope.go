@@ -1,0 +1,151 @@
+// Package topology models the hardware a Hierarchical Local Storage (HLS)
+// runtime runs on: a cluster of identical nodes, each made of NUMA domains
+// (sockets), a cache hierarchy, cores, and hardware threads.
+//
+// The package provides the scope arithmetic at the heart of HLS: a Scope
+// names a level of the memory hierarchy (core, cache level L, NUMA domain,
+// node), and the Machine can answer, for any hardware thread, which
+// *instance* of a scope the thread belongs to. Two MPI tasks pinned to
+// threads that map to the same scope instance share one copy of every HLS
+// variable declared with that scope.
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ScopeKind enumerates the kinds of memory-hierarchy levels an HLS variable
+// can be attached to. The paper's directive syntax exposes the same four:
+// node, numa, cache (with a level clause) and core.
+type ScopeKind int
+
+const (
+	// ScopeCore gives one copy per physical core. Hardware threads
+	// (hyperthreads) of the same core share the copy.
+	ScopeCore ScopeKind = iota
+	// ScopeCache gives one copy per cache instance at a given level.
+	// The level is carried in Scope.Level (1 = L1, up to the last level).
+	ScopeCache
+	// ScopeNUMA gives one copy per NUMA domain (a socket on the
+	// Nehalem/Westmere machines of the paper).
+	ScopeNUMA
+	// ScopeNode gives one copy per node: the widest scope, every MPI task
+	// on the node shares the copy.
+	ScopeNode
+)
+
+// String returns the directive keyword for the kind.
+func (k ScopeKind) String() string {
+	switch k {
+	case ScopeCore:
+		return "core"
+	case ScopeCache:
+		return "cache"
+	case ScopeNUMA:
+		return "numa"
+	case ScopeNode:
+		return "node"
+	default:
+		return fmt.Sprintf("ScopeKind(%d)", int(k))
+	}
+}
+
+// Scope identifies one level of the memory hierarchy. Level is only
+// meaningful for ScopeCache, where it selects the cache level (1-based).
+// The zero value is the core scope.
+type Scope struct {
+	Kind  ScopeKind
+	Level int
+}
+
+// Convenience constructors for the four directive scopes.
+var (
+	Core = Scope{Kind: ScopeCore}
+	NUMA = Scope{Kind: ScopeNUMA}
+	Node = Scope{Kind: ScopeNode}
+)
+
+// Cache returns the scope of cache level l (1 = L1). Use Machine.LLC to
+// obtain the last-level-cache scope of a concrete machine.
+func Cache(l int) Scope { return Scope{Kind: ScopeCache, Level: l} }
+
+// String renders the scope in the paper's directive syntax, e.g. "node",
+// "numa", "cache level(3)", "core".
+func (s Scope) String() string {
+	if s.Kind == ScopeCache {
+		return fmt.Sprintf("cache level(%d)", s.Level)
+	}
+	return s.Kind.String()
+}
+
+// ParseScope parses a scope from its textual form. Accepted forms:
+// "core", "numa", "node", "cache:L", "cache(L)", "cache level(L)", "llc"
+// (last level of cache, resolved by Machine.Resolve).
+func ParseScope(s string) (Scope, error) {
+	t := strings.TrimSpace(strings.ToLower(s))
+	switch t {
+	case "core":
+		return Core, nil
+	case "numa":
+		return NUMA, nil
+	case "node":
+		return Node, nil
+	case "llc":
+		// Level 0 is a placeholder resolved against a Machine.
+		return Scope{Kind: ScopeCache, Level: 0}, nil
+	}
+	for _, pre := range []string{"cache level(", "cache(", "cache:"} {
+		if strings.HasPrefix(t, pre) {
+			rest := strings.TrimPrefix(t, pre)
+			rest = strings.TrimSuffix(rest, ")")
+			l, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil || l < 1 {
+				return Scope{}, fmt.Errorf("topology: bad cache level in scope %q", s)
+			}
+			return Cache(l), nil
+		}
+	}
+	return Scope{}, fmt.Errorf("topology: unknown scope %q", s)
+}
+
+// rank maps a scope to a total order of widths for machine m:
+// core < cache L1 < cache L2 < ... < cache LLC <= numa < node.
+// A cache whose sharing set equals the socket compares equal to NUMA in
+// instance count but is still ranked below it, which matches the paper
+// ("node is the largest scope and core the smallest").
+func (m *Machine) rank(s Scope) int {
+	switch s.Kind {
+	case ScopeCore:
+		return 0
+	case ScopeCache:
+		return s.Level
+	case ScopeNUMA:
+		return m.llc + 1
+	case ScopeNode:
+		return m.llc + 2
+	default:
+		panic(fmt.Sprintf("topology: invalid scope kind %d", s.Kind))
+	}
+}
+
+// Wider reports whether a is strictly wider than b on machine m, i.e. a's
+// instances contain b's instances.
+func (m *Machine) Wider(a, b Scope) bool { return m.rank(a) > m.rank(b) }
+
+// Widest returns the widest scope of the list, as used by the
+// "#pragma hls barrier(v1,...,vN)" directive, which synchronizes the
+// largest scope of all listed variables. It panics on an empty list.
+func (m *Machine) Widest(scopes ...Scope) Scope {
+	if len(scopes) == 0 {
+		panic("topology: Widest of empty scope list")
+	}
+	w := scopes[0]
+	for _, s := range scopes[1:] {
+		if m.Wider(s, w) {
+			w = s
+		}
+	}
+	return w
+}

@@ -1,0 +1,89 @@
+package topology
+
+// Predefined machines matching the paper's two experimental platforms,
+// plus scaled-down variants used by the cache simulator (see DESIGN.md §6:
+// all byte quantities divided by 64 so that simulated traces stay small
+// while every fits-in-cache crossover is preserved).
+
+// NehalemEX4 returns the cache-benchmark node of §V-A: 4 Intel Xeon X7550
+// (Nehalem-EX) sockets, 8 cores each, 18 MB shared L3 per socket. One NUMA
+// domain per socket, so "hls numa" and "hls cache level(llc)" coincide,
+// exactly as the paper notes.
+func NehalemEX4() *Machine {
+	return MustNew(Spec{
+		Name:           "nehalem-ex-4s",
+		Nodes:          1,
+		SocketsPerNode: 4,
+		CoresPerSocket: 8,
+		ThreadsPerCore: 1,
+		Caches: []CacheConfig{
+			{Level: 1, SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, SharedCores: 1, LatencyCycles: 4},
+			{Level: 2, SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8, SharedCores: 1, LatencyCycles: 12},
+			{Level: 3, SizeBytes: 18 << 20, LineBytes: 64, Assoc: 24, SharedCores: 8, LatencyCycles: 45},
+		},
+		MemLatencyCycles: 220,
+	})
+}
+
+// NehalemEX4Scaled is NehalemEX4 with every cache capacity divided by
+// CacheScale, holding line size and associativity fixed. Workloads driven
+// through the cache simulator must scale their data sizes by the same
+// factor.
+func NehalemEX4Scaled() *Machine {
+	return MustNew(Spec{
+		Name:           "nehalem-ex-4s-scaled",
+		Nodes:          1,
+		SocketsPerNode: 4,
+		CoresPerSocket: 8,
+		ThreadsPerCore: 1,
+		Caches: []CacheConfig{
+			// 32 KiB/64 = 512 B: 1 set of 8 ways.
+			{Level: 1, SizeBytes: (32 << 10) / CacheScale, LineBytes: 64, Assoc: 8, SharedCores: 1, LatencyCycles: 4},
+			// 256 KiB/64 = 4 KiB: 8 sets of 8 ways.
+			{Level: 2, SizeBytes: (256 << 10) / CacheScale, LineBytes: 64, Assoc: 8, SharedCores: 1, LatencyCycles: 12},
+			// 18 MiB/64 = 288 KiB: 192 sets of 24 ways.
+			{Level: 3, SizeBytes: (18 << 20) / CacheScale, LineBytes: 64, Assoc: 24, SharedCores: 8, LatencyCycles: 45},
+		},
+		MemLatencyCycles: 220,
+	})
+}
+
+// CacheScale is the linear factor by which cache capacities and working
+// sets are divided in the scaled cache experiments.
+const CacheScale = 64
+
+// HarpertownCluster returns the memory-benchmark platform of §V-B: nodes
+// with 2 Intel Xeon E5462 quad-core processors (8 cores/node, Core2
+// micro-architecture: 6 MB L2 shared per core pair, no L3). The node count
+// is a parameter; the paper used up to 92 nodes.
+func HarpertownCluster(nodes int) *Machine {
+	return MustNew(Spec{
+		Name:           "harpertown-cluster",
+		Nodes:          nodes,
+		SocketsPerNode: 2,
+		CoresPerSocket: 4,
+		ThreadsPerCore: 1,
+		Caches: []CacheConfig{
+			{Level: 1, SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, SharedCores: 1, LatencyCycles: 3},
+			{Level: 2, SizeBytes: 6 << 20, LineBytes: 64, Assoc: 24, SharedCores: 2, LatencyCycles: 15},
+		},
+		MemLatencyCycles: 200,
+	})
+}
+
+// SMTNode returns a small hyperthreaded node used by tests of the core
+// scope ("Hyperthreaded processors benefit from this level").
+func SMTNode() *Machine {
+	return MustNew(Spec{
+		Name:           "smt-node",
+		Nodes:          1,
+		SocketsPerNode: 2,
+		CoresPerSocket: 4,
+		ThreadsPerCore: 2,
+		Caches: []CacheConfig{
+			{Level: 1, SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, SharedCores: 1, LatencyCycles: 4},
+			{Level: 2, SizeBytes: 1 << 20, LineBytes: 64, Assoc: 16, SharedCores: 4, LatencyCycles: 14},
+		},
+		MemLatencyCycles: 200,
+	})
+}

@@ -1,0 +1,372 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScopeString(t *testing.T) {
+	cases := []struct {
+		s    Scope
+		want string
+	}{
+		{Core, "core"},
+		{NUMA, "numa"},
+		{Node, "node"},
+		{Cache(3), "cache level(3)"},
+		{Cache(1), "cache level(1)"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestParseScope(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Scope
+		ok   bool
+	}{
+		{"core", Core, true},
+		{"NUMA", NUMA, true},
+		{" node ", Node, true},
+		{"cache:2", Cache(2), true},
+		{"cache(3)", Cache(3), true},
+		{"cache level(1)", Cache(1), true},
+		{"llc", Scope{Kind: ScopeCache, Level: 0}, true},
+		{"cache:0", Scope{}, false},
+		{"cache:x", Scope{}, false},
+		{"socket", Scope{}, false},
+		{"", Scope{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseScope(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseScope(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseScope(%q) succeeded, want error", c.in)
+		}
+	}
+}
+
+func TestParseScopeRoundTrip(t *testing.T) {
+	for _, s := range []Scope{Core, NUMA, Node, Cache(1), Cache(2), Cache(3)} {
+		got, err := ParseScope(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v -> %q -> %v, %v", s, s.String(), got, err)
+		}
+	}
+}
+
+func TestNehalemGeometry(t *testing.T) {
+	m := NehalemEX4()
+	if got := m.TotalCores(); got != 32 {
+		t.Fatalf("TotalCores = %d, want 32", got)
+	}
+	if got := m.TotalThreads(); got != 32 {
+		t.Fatalf("TotalThreads = %d, want 32", got)
+	}
+	if got := m.InstanceCount(Node); got != 1 {
+		t.Errorf("node instances = %d, want 1", got)
+	}
+	if got := m.InstanceCount(NUMA); got != 4 {
+		t.Errorf("numa instances = %d, want 4", got)
+	}
+	if got := m.InstanceCount(m.LLC()); got != 4 {
+		t.Errorf("llc instances = %d, want 4", got)
+	}
+	if got := m.InstanceCount(Cache(1)); got != 32 {
+		t.Errorf("L1 instances = %d, want 32", got)
+	}
+	if got := m.InstanceCount(Core); got != 32 {
+		t.Errorf("core instances = %d, want 32", got)
+	}
+	// On this machine numa and cache llc coincide, as the paper notes.
+	for th := 0; th < m.TotalThreads(); th++ {
+		if m.ScopeInstance(th, NUMA) != m.ScopeInstance(th, m.LLC()) {
+			t.Fatalf("thread %d: numa and llc instances differ", th)
+		}
+	}
+}
+
+func TestScopeInstanceNesting(t *testing.T) {
+	// Wider scopes must induce coarser partitions: threads sharing a
+	// narrow scope instance must share every wider scope instance.
+	m := SMTNode()
+	scopes := []Scope{Core, Cache(1), Cache(2), NUMA, Node}
+	for i := 0; i < len(scopes)-1; i++ {
+		narrow, wide := scopes[i], scopes[i+1]
+		if !m.Wider(wide, narrow) && m.rank(wide) == m.rank(narrow) {
+			continue
+		}
+		for a := 0; a < m.TotalThreads(); a++ {
+			for b := 0; b < m.TotalThreads(); b++ {
+				if m.SameScope(a, b, narrow) && !m.SameScope(a, b, wide) {
+					t.Fatalf("threads %d,%d share %v but not wider %v", a, b, narrow, wide)
+				}
+			}
+		}
+	}
+}
+
+func TestWidest(t *testing.T) {
+	m := NehalemEX4()
+	if got := m.Widest(Core, NUMA, Cache(1)); got != NUMA {
+		t.Errorf("Widest = %v, want numa", got)
+	}
+	if got := m.Widest(Node, Core); got != Node {
+		t.Errorf("Widest = %v, want node", got)
+	}
+	if got := m.Widest(Cache(1), Cache(3)); got != Cache(3) {
+		t.Errorf("Widest = %v, want cache level(3)", got)
+	}
+	if got := m.Widest(Core); got != Core {
+		t.Errorf("Widest single = %v, want core", got)
+	}
+}
+
+func TestWidestPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Widest() of empty list did not panic")
+		}
+	}()
+	NehalemEX4().Widest()
+}
+
+func TestPlaceOf(t *testing.T) {
+	m := SMTNode() // 2 sockets x 4 cores x 2 threads
+	p := m.PlaceOf(0)
+	if p != (Place{Thread: 0, Node: 0, Socket: 0, Core: 0, SMT: 0}) {
+		t.Errorf("PlaceOf(0) = %+v", p)
+	}
+	p = m.PlaceOf(9) // socket 1 (threads 8..15), core 4, smt 1
+	want := Place{Thread: 9, Node: 0, Socket: 1, Core: 4, SMT: 1}
+	if p != want {
+		t.Errorf("PlaceOf(9) = %+v, want %+v", p, want)
+	}
+}
+
+func TestPlaceOfPanicsOutOfRange(t *testing.T) {
+	m := SMTNode()
+	for _, th := range []int{-1, m.TotalThreads()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PlaceOf(%d) did not panic", th)
+				}
+			}()
+			m.PlaceOf(th)
+		}()
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Name: "zero"},
+		{Name: "neg-nodes", Nodes: -1, SocketsPerNode: 1, CoresPerSocket: 1, ThreadsPerCore: 1},
+		{Name: "bad-level", Nodes: 1, SocketsPerNode: 1, CoresPerSocket: 2, ThreadsPerCore: 1,
+			Caches: []CacheConfig{{Level: 2, SizeBytes: 1024, LineBytes: 64, Assoc: 2, SharedCores: 1}}},
+		{Name: "bad-geom", Nodes: 1, SocketsPerNode: 1, CoresPerSocket: 2, ThreadsPerCore: 1,
+			Caches: []CacheConfig{{Level: 1, SizeBytes: 1000, LineBytes: 64, Assoc: 2, SharedCores: 1}}},
+		{Name: "bad-shared", Nodes: 1, SocketsPerNode: 1, CoresPerSocket: 4, ThreadsPerCore: 1,
+			Caches: []CacheConfig{{Level: 1, SizeBytes: 1024, LineBytes: 64, Assoc: 2, SharedCores: 3}}},
+		{Name: "shrinking-share", Nodes: 1, SocketsPerNode: 1, CoresPerSocket: 4, ThreadsPerCore: 1,
+			Caches: []CacheConfig{
+				{Level: 1, SizeBytes: 1024, LineBytes: 64, Assoc: 2, SharedCores: 2},
+				{Level: 2, SizeBytes: 2048, LineBytes: 64, Assoc: 2, SharedCores: 1},
+			}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %q validated, want error", s.Name)
+		}
+	}
+	if err := NehalemEX4().Spec.Validate(); err != nil {
+		t.Errorf("NehalemEX4 spec invalid: %v", err)
+	}
+}
+
+func TestPinCorePerTask(t *testing.T) {
+	m := SMTNode() // 8 cores, 16 threads
+	pin, err := Pin(m, 8, PinCorePerTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for r := 0; r < 8; r++ {
+		p := m.PlaceOf(pin.Thread(r))
+		if p.SMT != 0 {
+			t.Errorf("rank %d on SMT thread %d, want 0", r, p.SMT)
+		}
+		if seen[p.Core] {
+			t.Errorf("core %d assigned twice", p.Core)
+		}
+		seen[p.Core] = true
+	}
+	if _, err := Pin(m, 9, PinCorePerTask); err == nil {
+		t.Error("pinning 9 tasks on 8 cores succeeded, want error")
+	}
+}
+
+func TestPinCompact(t *testing.T) {
+	m := SMTNode()
+	pin := MustPin(m, m.TotalThreads(), PinCompact)
+	for r := 0; r < pin.NumTasks(); r++ {
+		if pin.Thread(r) != r {
+			t.Fatalf("compact rank %d on thread %d", r, pin.Thread(r))
+		}
+	}
+	if _, err := Pin(m, m.TotalThreads()+1, PinCompact); err == nil {
+		t.Error("over-subscription accepted, want error")
+	}
+}
+
+func TestPinScatterSockets(t *testing.T) {
+	m := NehalemEX4() // 4 sockets x 8 cores
+	pin := MustPin(m, 8, PinScatterSockets)
+	// First 4 ranks land on 4 distinct sockets.
+	sockets := map[int]bool{}
+	for r := 0; r < 4; r++ {
+		sockets[m.PlaceOf(pin.Thread(r)).Socket] = true
+	}
+	if len(sockets) != 4 {
+		t.Errorf("first 4 scattered ranks cover %d sockets, want 4", len(sockets))
+	}
+	// No duplicate threads overall.
+	seen := map[int]bool{}
+	for r := 0; r < pin.NumTasks(); r++ {
+		th := pin.Thread(r)
+		if seen[th] {
+			t.Fatalf("thread %d pinned twice", th)
+		}
+		seen[th] = true
+	}
+}
+
+func TestPinErrors(t *testing.T) {
+	m := SMTNode()
+	if _, err := Pin(m, 0, PinCompact); err == nil {
+		t.Error("Pin(0 tasks) succeeded")
+	}
+	if _, err := Pin(m, 1, PinPolicy(99)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRanksInInstance(t *testing.T) {
+	m := NehalemEX4()
+	pin := MustPin(m, 32, PinCorePerTask)
+	for inst := 0; inst < 4; inst++ {
+		ranks := pin.RanksInInstance(NUMA, inst)
+		if len(ranks) != 8 {
+			t.Fatalf("numa instance %d hosts %d ranks, want 8", inst, len(ranks))
+		}
+		for _, r := range ranks {
+			if pin.ScopeInstance(r, NUMA) != inst {
+				t.Fatalf("rank %d not in instance %d", r, inst)
+			}
+		}
+	}
+	per := pin.TasksPerInstance(Node)
+	if len(per) != 1 || per[0] != 32 {
+		t.Errorf("TasksPerInstance(node) = %v, want {0:32}", per)
+	}
+}
+
+func TestPinningMove(t *testing.T) {
+	m := NehalemEX4()
+	pin := MustPin(m, 2, PinCorePerTask)
+	pin.Move(1, 31)
+	if pin.Thread(1) != 31 {
+		t.Errorf("after Move, thread = %d, want 31", pin.Thread(1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Move out of range did not panic")
+		}
+	}()
+	pin.Move(0, m.TotalThreads())
+}
+
+// Property: instance indices partition threads — every thread belongs to
+// exactly one instance in [0, InstanceCount), and each instance holds
+// exactly ThreadsPerInstance threads.
+func TestScopePartitionProperty(t *testing.T) {
+	machines := []*Machine{NehalemEX4(), SMTNode(), HarpertownCluster(3)}
+	for _, m := range machines {
+		scopes := []Scope{Core, NUMA, Node}
+		for l := 1; l <= m.CacheLevels(); l++ {
+			scopes = append(scopes, Cache(l))
+		}
+		for _, s := range scopes {
+			counts := make(map[int]int)
+			for th := 0; th < m.TotalThreads(); th++ {
+				inst := m.ScopeInstance(th, s)
+				if inst < 0 || inst >= m.InstanceCount(s) {
+					t.Fatalf("%s scope %v: instance %d out of range", m.Spec.Name, s, inst)
+				}
+				counts[inst]++
+			}
+			if len(counts) != m.InstanceCount(s) {
+				t.Fatalf("%s scope %v: %d instances populated, want %d", m.Spec.Name, s, len(counts), m.InstanceCount(s))
+			}
+			for inst, c := range counts {
+				if c != m.ThreadsPerInstance(s) {
+					t.Fatalf("%s scope %v instance %d holds %d threads, want %d",
+						m.Spec.Name, s, inst, c, m.ThreadsPerInstance(s))
+				}
+			}
+		}
+	}
+}
+
+// Property: Widest is idempotent, commutative, and returns one of its
+// arguments.
+func TestWidestProperty(t *testing.T) {
+	m := NehalemEX4()
+	all := []Scope{Core, Cache(1), Cache(2), Cache(3), NUMA, Node}
+	f := func(i, j uint8) bool {
+		a := all[int(i)%len(all)]
+		b := all[int(j)%len(all)]
+		w := m.Widest(a, b)
+		if w != a && w != b {
+			return false
+		}
+		if m.Widest(b, a).Kind != w.Kind { // same rank either way
+			return m.rank(m.Widest(b, a)) == m.rank(w)
+		}
+		return m.Widest(w, w) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMachineString(t *testing.T) {
+	s := NehalemEX4().String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestResolveLLC(t *testing.T) {
+	m := NehalemEX4()
+	s, err := ParseScope("llc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Resolve(s)
+	if err != nil || r != Cache(3) {
+		t.Errorf("Resolve(llc) = %v, %v; want cache level(3)", r, err)
+	}
+	if _, err := m.Resolve(Cache(9)); err == nil {
+		t.Error("Resolve(cache:9) succeeded, want error")
+	}
+	if r, err := m.Resolve(Node); err != nil || r != Node {
+		t.Errorf("Resolve(node) = %v, %v", r, err)
+	}
+}

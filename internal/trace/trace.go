@@ -1,0 +1,154 @@
+// Package trace records runtime events (messages, HLS directives, user
+// phases) and exports them in the Chrome trace-event JSON format, so a
+// run's task timelines can be inspected in chrome://tracing or Perfetto.
+//
+// The recorder plugs into the runtime through the same extension points
+// the happens-before tracker uses: an mpi.Hooks adapter stamps message
+// sends/deliveries, an hls.SyncObserver adapter brackets directive
+// arrive/depart pairs, and user code can add phase spans directly.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one trace-event entry (Chrome "traceEvents" schema).
+type Event struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"` // "B"egin, "E"nd, "i"nstant, "X" complete
+	Ts   float64 `json:"ts"` // microseconds since recorder start
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Dur  float64 `json:"dur,omitempty"`
+	Args any     `json:"args,omitempty"`
+}
+
+// Recorder accumulates events. Safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	start  time.Time
+}
+
+// NewRecorder starts a recorder; timestamps are relative to this call.
+func NewRecorder() *Recorder {
+	return &Recorder{start: time.Now()}
+}
+
+func (r *Recorder) now() float64 {
+	return float64(time.Since(r.start).Nanoseconds()) / 1e3
+}
+
+func (r *Recorder) add(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Span opens a duration event on task `tid`; the returned func closes it.
+func (r *Recorder) Span(tid int, name, cat string) func() {
+	begin := r.now()
+	return func() {
+		r.add(Event{Name: name, Cat: cat, Ph: "X", Ts: begin, Pid: 0, Tid: tid, Dur: r.now() - begin})
+	}
+}
+
+// Instant records a point event on task `tid`.
+func (r *Recorder) Instant(tid int, name, cat string, args any) {
+	r.add(Event{Name: name, Cat: cat, Ph: "i", Ts: r.now(), Pid: 0, Tid: tid, Args: args})
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// WriteJSON emits the Chrome trace file.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	events := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	return json.NewEncoder(w).Encode(map[string]any{"traceEvents": events})
+}
+
+// MPIAdapter implements mpi.Hooks, recording message sends and
+// deliveries as instants. Wrap another Hooks (e.g. the hb tracker) to
+// keep its behaviour; meta values pass through untouched.
+type MPIAdapter struct {
+	R     *Recorder
+	Inner interface {
+		OnSend(worldSrc, worldDst int) any
+		OnDeliver(worldDst int, meta any)
+	}
+}
+
+// OnSend implements mpi.Hooks.
+func (a *MPIAdapter) OnSend(src, dst int) any {
+	a.R.Instant(src, fmt.Sprintf("send->%d", dst), "msg", nil)
+	if a.Inner != nil {
+		return a.Inner.OnSend(src, dst)
+	}
+	return nil
+}
+
+// OnDeliver implements mpi.Hooks.
+func (a *MPIAdapter) OnDeliver(dst int, meta any) {
+	a.R.Instant(dst, "deliver", "msg", nil)
+	if a.Inner != nil {
+		a.Inner.OnDeliver(dst, meta)
+	}
+}
+
+// SyncAdapter implements hls.SyncObserver, bracketing each directive.
+type SyncAdapter struct {
+	R     *Recorder
+	Inner interface {
+		Arrive(key string, rank int)
+		Depart(key string, rank int)
+	}
+
+	mu   sync.Mutex
+	open map[spanKey]float64
+}
+
+type spanKey struct {
+	key  string
+	rank int
+}
+
+// Arrive implements hls.SyncObserver.
+func (a *SyncAdapter) Arrive(key string, rank int) {
+	a.mu.Lock()
+	if a.open == nil {
+		a.open = make(map[spanKey]float64)
+	}
+	a.open[spanKey{key, rank}] = a.R.now()
+	a.mu.Unlock()
+	if a.Inner != nil {
+		a.Inner.Arrive(key, rank)
+	}
+}
+
+// Depart implements hls.SyncObserver.
+func (a *SyncAdapter) Depart(key string, rank int) {
+	a.mu.Lock()
+	begin, ok := a.open[spanKey{key, rank}]
+	delete(a.open, spanKey{key, rank})
+	a.mu.Unlock()
+	if ok {
+		a.R.add(Event{Name: key, Cat: "hls", Ph: "X", Ts: begin, Tid: rank, Dur: a.R.now() - begin})
+	} else {
+		// A nowait skipper departs without arriving: record an instant.
+		a.R.Instant(rank, key, "hls", nil)
+	}
+	if a.Inner != nil {
+		a.Inner.Depart(key, rank)
+	}
+}

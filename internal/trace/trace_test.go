@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hls/internal/hb"
+	"hls/internal/hls"
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+func TestSpanAndInstant(t *testing.T) {
+	r := NewRecorder()
+	end := r.Span(3, "compute", "phase")
+	r.Instant(3, "tick", "misc", map[string]int{"i": 1})
+	end()
+	if r.Len() != 2 {
+		t.Fatalf("events = %d, want 2", r.Len())
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 2 {
+		t.Fatalf("parsed %d events", len(parsed.TraceEvents))
+	}
+	var span, instant bool
+	for _, e := range parsed.TraceEvents {
+		switch e.Ph {
+		case "X":
+			span = e.Name == "compute" && e.Tid == 3 && e.Dur >= 0
+		case "i":
+			instant = e.Name == "tick"
+		}
+	}
+	if !span || !instant {
+		t.Errorf("span=%v instant=%v; events: %+v", span, instant, parsed.TraceEvents)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Instant(g, "e", "c", nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("events = %d, want 800", r.Len())
+	}
+}
+
+func TestMPIAdapterWrapsHB(t *testing.T) {
+	// The adapter must both record events and preserve the inner hooks'
+	// clock semantics.
+	rec := NewRecorder()
+	inner := hb.NewTracker(2)
+	hooks := &MPIAdapter{R: rec, Inner: inner}
+	var pre, post hb.Clock
+	_, err := mpi.Run(mpi.Config{NumTasks: 2, Hooks: hooks, Timeout: 10 * time.Second},
+		func(task *mpi.Task) error {
+			if task.Rank() == 0 {
+				pre = inner.Tick(0)
+				mpi.Send(task, nil, []int{1}, 1, 0)
+			} else {
+				buf := make([]int, 1)
+				mpi.Recv(task, nil, buf, 0, 0)
+				post = inner.Tick(1)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hb.HappensBefore(pre, post) {
+		t.Error("inner hb tracker broken by the adapter")
+	}
+	if rec.Len() < 2 {
+		t.Errorf("adapter recorded %d events, want >= 2 (send + deliver)", rec.Len())
+	}
+}
+
+func TestSyncAdapterBracketsDirectives(t *testing.T) {
+	rec := NewRecorder()
+	machine := topology.NehalemEX4()
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: 8, Machine: machine,
+		Pin: topology.PinCorePerTask, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := hls.New(w, hls.WithObserver(&SyncAdapter{R: rec}))
+	v := hls.Declare[int](reg, "tv", topology.Node, 1)
+	if err := w.Run(func(task *mpi.Task) error {
+		v.Single(task, func([]int) {})
+		v.SingleNowait(task, func([]int) {})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// 8 single spans + 1 nowait span (executor) + 7 nowait instants.
+	if got := rec.Len(); got != 16 {
+		t.Errorf("events = %d, want 16", got)
+	}
+	var sb strings.Builder
+	if err := rec.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"cat":"hls"`) {
+		t.Error("no hls-category events in output")
+	}
+}
+
+func TestAdaptersWithoutInner(t *testing.T) {
+	rec := NewRecorder()
+	a := &MPIAdapter{R: rec}
+	if meta := a.OnSend(0, 1); meta != nil {
+		t.Error("nil inner should return nil meta")
+	}
+	a.OnDeliver(1, nil)
+	s := &SyncAdapter{R: rec}
+	s.Arrive("k", 0)
+	s.Depart("k", 0)
+	s.Depart("unopened", 1) // nowait skip path
+	if rec.Len() != 4 {
+		t.Errorf("events = %d, want 4", rec.Len())
+	}
+}
