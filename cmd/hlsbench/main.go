@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|all")
 	full := flag.Bool("full", false, "run the paper-shaped sweep instead of the quick profile")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	flag.Parse()
@@ -115,6 +115,14 @@ func main() {
 		hres, err := bench.RunHybridAblation(profile)
 		exitOn(err)
 		bench.PrintHybrid(os.Stdout, hres)
+		fmt.Println()
+	}
+	if want("rma") {
+		ran = true
+		fmt.Printf("== RMA ablation: HLS vs MPI-3 shared windows (%s profile) ==\n", profile)
+		res, err := bench.RunRMA(profile)
+		exitOn(err)
+		bench.PrintRMA(os.Stdout, res)
 		fmt.Println()
 	}
 	if !ran {

@@ -28,6 +28,10 @@ const (
 	HLSNode
 	// HLSNuma shares one B per NUMA domain.
 	HLSNuma
+	// WinShm shares one B per node through an MPI-3 shared window — the
+	// ablation baseline against the HLS directives. Cache behaviour
+	// matches HLSNode; the deltas are synchronization and window memory.
+	WinShm
 )
 
 // String names the mode like the figure's legend.
@@ -41,6 +45,8 @@ func (m Mode) String() string {
 		return "HLS node"
 	case HLSNuma:
 		return "HLS numa"
+	case WinShm:
+		return "MPI-3 shared window"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -128,7 +134,7 @@ func buildLayout(cfg *Config, tasks int, space *cachesim.AddressSpace) *layout {
 			lay.bBase[t] = space.Alloc(bytes)
 			lay.writer[t] = true
 		}
-	case HLSNode:
+	case HLSNode, WinShm:
 		base := space.Alloc(bytes)
 		for t := 0; t < tasks; t++ {
 			lay.bBase[t] = base

@@ -29,6 +29,13 @@ const (
 	HLSNode
 	// HLSNuma shares one table per NUMA domain.
 	HLSNuma
+	// WinShm shares one table per node through an MPI-3 shared window
+	// (rma.WinAllocateShared + WinSharedQuery) instead of an HLS
+	// directive — the ablation comparing the paper's approach against
+	// the standard-MPI alternative. The cache layout is identical to
+	// HLSNode; the cost difference shows up in synchronization (window
+	// fences vs HLS singles) and per-window memory overhead.
+	WinShm
 )
 
 // String names the mode like the table's row labels.
@@ -40,6 +47,8 @@ func (m Mode) String() string {
 		return "HLS node"
 	case HLSNuma:
 		return "HLS numa"
+	case WinShm:
+		return "MPI-3 shared window"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -99,7 +108,9 @@ func buildLayout(cfg *Config, space *cachesim.AddressSpace) *layout {
 			lay.tableBase[t] = space.Alloc(tableBytes)
 			lay.writer[t] = true // each task updates its own copy
 		}
-	case HLSNode:
+	case HLSNode, WinShm:
+		// A shared window's slab holds the same single node-resident copy
+		// an HLS node-scope variable does, so the access streams coincide.
 		base := space.Alloc(tableBytes)
 		for t := 0; t < cfg.Tasks; t++ {
 			lay.tableBase[t] = base

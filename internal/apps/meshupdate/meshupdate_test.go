@@ -9,7 +9,7 @@ import (
 )
 
 func TestModeString(t *testing.T) {
-	for _, m := range []Mode{NoHLS, HLSNode, HLSNuma} {
+	for _, m := range []Mode{NoHLS, HLSNode, HLSNuma, WinShm} {
 		if m.String() == "" {
 			t.Error("empty mode name")
 		}
@@ -17,8 +17,8 @@ func TestModeString(t *testing.T) {
 }
 
 func TestChecksumIdenticalAcrossModes(t *testing.T) {
-	// The HLS directives must not change program semantics: all three
-	// sharing modes compute identical results.
+	// Neither the HLS directives nor the MPI-3 shared window may change
+	// program semantics: all sharing modes compute identical results.
 	base := Config{
 		Machine:      topology.NehalemEX4(),
 		Tasks:        8,
@@ -29,7 +29,7 @@ func TestChecksumIdenticalAcrossModes(t *testing.T) {
 	}
 	for _, update := range []bool{false, true} {
 		var sums []float64
-		for _, mode := range []Mode{NoHLS, HLSNode, HLSNuma} {
+		for _, mode := range []Mode{NoHLS, HLSNode, HLSNuma, WinShm} {
 			cfg := base
 			cfg.Mode = mode
 			cfg.Update = update

@@ -6,6 +6,7 @@ import (
 
 	"hls/internal/hls"
 	"hls/internal/mpi"
+	"hls/internal/rma"
 	"hls/internal/topology"
 )
 
@@ -13,11 +14,13 @@ import (
 // and the HLS registry: the same arithmetic in every mode, so a checksum
 // comparison across modes verifies that introducing HLS preserves the
 // program's semantics (the paper's central correctness claim: the
-// directives "keep the original parallel semantics of the code").
+// directives "keep the original parallel semantics of the code"). The
+// WinShm mode runs the same kernel over an MPI-3 shared window instead,
+// so the comparison extends to the standard-MPI alternative.
 type RealApp struct {
 	cfg   Config
 	reg   *hls.Registry
-	table *hls.Var[float64] // nil in NoHLS mode
+	table *hls.Var[float64] // nil in NoHLS and WinShm modes
 	rows  int
 	cols  int
 }
@@ -61,9 +64,28 @@ func (a *RealApp) Run(task *mpi.Task) (float64, error) {
 	}
 
 	var table []float64
-	if a.table != nil {
+	var win *rma.Window[float64] // WinShm mode only
+	winWriter := false
+	switch {
+	case a.table != nil:
 		table = a.table.Slice(task)
-	} else {
+	case cfg.Mode == WinShm:
+		// The shared-window version of listing 1: rank 0 of the node
+		// allocates the whole table, everyone addresses it directly.
+		nodeComm := mpi.SplitScope(task, topology.Node)
+		winWriter = nodeComm.Rank(task) == 0
+		mine := 0
+		if winWriter {
+			mine = cfg.TableEntries
+		}
+		win = rma.WinAllocateShared[float64](task, nodeComm, mine, rma.WithName("mesh_table"))
+		win.Fence(task)
+		if winWriter {
+			fillTable(win.Local(task), 0)
+		}
+		win.Fence(task)
+		table = rma.WinSharedQuery(task, win, 0)
+	default:
 		table = make([]float64, cfg.TableEntries)
 		fillTable(table, 0)
 	}
@@ -77,7 +99,7 @@ func (a *RealApp) Run(task *mpi.Task) (float64, error) {
 			mesh[c] = mesh[c]*0.5 + a.interp(table, x, y)
 		}
 		if cfg.Update && step < cfg.Steps-1 {
-			a.updateTable(task, table, step+1)
+			a.updateTable(task, win, winWriter, table, step+1)
 		}
 	}
 	sum := 0.0
@@ -88,10 +110,19 @@ func (a *RealApp) Run(task *mpi.Task) (float64, error) {
 }
 
 // updateTable rewrites the table for the next step: through a single for
-// the HLS modes (listing 1's pattern), directly for private copies.
-func (a *RealApp) updateTable(task *mpi.Task, table []float64, step int) {
+// the HLS modes (listing 1's pattern), between fences for the shared
+// window, directly for private copies.
+func (a *RealApp) updateTable(task *mpi.Task, win *rma.Window[float64], winWriter bool, table []float64, step int) {
 	if a.table != nil {
 		a.table.Single(task, func(data []float64) { fillTable(data, step) })
+		return
+	}
+	if win != nil {
+		win.Fence(task) // readers of the previous step are done
+		if winWriter {
+			fillTable(table, step)
+		}
+		win.Fence(task) // new contents visible to everyone
 		return
 	}
 	fillTable(table, step)

@@ -262,3 +262,36 @@ func TestCSVWriters(t *testing.T) {
 		t.Errorf("mem csv:\n%s", sb.String())
 	}
 }
+
+func TestRMAAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rma ablation spins many goroutines")
+	}
+	res, err := RunRMA(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cache) != 3 || len(res.Mem) != 3 || len(res.Sync) < 3 {
+		t.Fatalf("shape: %d cache, %d mem, %d sync rows", len(res.Cache), len(res.Mem), len(res.Sync))
+	}
+	// The window must reproduce HLS node's single-copy profile: same cache
+	// efficiency (identical access streams) and same order of memory.
+	if res.Cache[1].MeshEff != res.Cache[2].MeshEff {
+		t.Errorf("shared window efficiency %v != HLS node %v", res.Cache[2].MeshEff, res.Cache[1].MeshEff)
+	}
+	if res.Cache[0].MeshEff >= res.Cache[2].MeshEff {
+		t.Errorf("private copies (%v) should scale worse than the shared window (%v)",
+			res.Cache[0].MeshEff, res.Cache[2].MeshEff)
+	}
+	if res.Mem[0].TableMB <= res.Mem[2].TableMB {
+		t.Errorf("private copies (%v MB) should cost more than the window (%v MB)",
+			res.Mem[0].TableMB, res.Mem[2].TableMB)
+	}
+	var sb strings.Builder
+	PrintRMA(&sb, res)
+	for _, want := range []string{"MPI-3 shared window", "window fence", "lock/unlock"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

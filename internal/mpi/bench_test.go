@@ -36,6 +36,51 @@ func BenchmarkPingPong(b *testing.B) {
 	}
 }
 
+// BenchmarkEagerRendezvousCrossover sweeps the payload size across the
+// per-World eager/rendezvous threshold (Config.EagerLimit) at several
+// threshold settings, so the protocol switch — buffered copy vs
+// synchronizing handoff — shows up as a latency step inside one sweep.
+func BenchmarkEagerRendezvousCrossover(b *testing.B) {
+	for _, limit := range []int{512, DefaultEagerLimit, 32 << 10} {
+		for _, bytes := range []int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10} {
+			elems := bytes / 8
+			proto := "eager"
+			if bytes > limit {
+				proto = "rendezvous"
+			}
+			b.Run(fmt.Sprintf("limit%d/%dB/%s", limit, bytes, proto), func(b *testing.B) {
+				w, err := NewWorld(Config{NumTasks: 2, EagerLimit: limit})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(bytes * 2))
+				b.ResetTimer()
+				err = w.Run(func(task *Task) error {
+					buf := make([]float64, elems)
+					for i := 0; i < b.N; i++ {
+						if task.Rank() == 0 {
+							Send(task, nil, buf, 1, 0)
+							Recv(task, nil, buf, 1, 1)
+						} else {
+							Recv(task, nil, buf, 0, 0)
+							Send(task, nil, buf, 0, 1)
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				wantRendezvous := bytes > limit
+				if gotR := w.Stats().Rendezvous > 0; gotR != wantRendezvous {
+					b.Fatalf("rendezvous used = %v, want %v (bytes=%d limit=%d)", gotR, wantRendezvous, bytes, limit)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkBarrierScaling measures the dissemination barrier by world
 // size.
 func BenchmarkBarrierScaling(b *testing.B) {

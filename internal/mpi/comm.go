@@ -25,6 +25,11 @@ type Comm struct {
 // Size returns the number of tasks in the communicator.
 func (c *Comm) Size() int { return len(c.group) }
 
+// ID returns the communicator's world-unique identifier. Layers built on
+// the runtime (internal/rma) use it to intern per-communicator objects
+// that every member must resolve identically.
+func (c *Comm) ID() int64 { return c.id }
+
 // Rank returns t's rank within the communicator, or -1 if t is not a
 // member.
 func (c *Comm) Rank(t *Task) int { return c.rankOf(t.rank) }

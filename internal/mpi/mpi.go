@@ -114,6 +114,14 @@ type World struct {
 // Machine returns the hardware model the world runs on.
 func (w *World) Machine() *topology.Machine { return w.machine }
 
+// Hooks returns the hooks the world was configured with (nil if none), so
+// layers built on the runtime (internal/rma) can publish their own
+// happens-before edges through the same tracker the messages use.
+func (w *World) Hooks() Hooks { return w.cfg.Hooks }
+
+// EagerLimit returns the world's eager/rendezvous threshold in bytes.
+func (w *World) EagerLimit() int { return w.cfg.EagerLimit }
+
 // Pinning returns the rank→hardware-thread assignment.
 func (w *World) Pinning() *topology.Pinning { return w.pin }
 

@@ -33,6 +33,11 @@ func (op Op) String() string {
 	}
 }
 
+// ApplyOp folds src into dst elementwise: dst[i] = op(dst[i], src[i]).
+// Exported for layers that reuse the reduce operators outside a collective
+// (internal/rma's Accumulate).
+func ApplyOp[T Scalar](op Op, dst, src []T) { apply(-1, op, dst, src) }
+
 // apply folds src into dst elementwise: dst[i] = op(dst[i], src[i]).
 func apply[T Scalar](rank int, op Op, dst, src []T) {
 	if len(dst) != len(src) {

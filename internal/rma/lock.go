@@ -1,0 +1,96 @@
+package rma
+
+import (
+	"fmt"
+
+	"hls/internal/mpi"
+)
+
+// LockType selects the passive-target lock mode.
+type LockType int
+
+const (
+	// LockShared admits concurrent epochs from several origins
+	// (MPI_LOCK_SHARED) — safe for Get and for Accumulate, whose
+	// per-target serialization keeps updates atomic.
+	LockShared LockType = iota
+	// LockExclusive admits one origin at a time (MPI_LOCK_EXCLUSIVE).
+	LockExclusive
+)
+
+// String names the lock type like the MPI constants.
+func (lt LockType) String() string {
+	switch lt {
+	case LockShared:
+		return "shared"
+	case LockExclusive:
+		return "exclusive"
+	default:
+		return fmt.Sprintf("LockType(%d)", int(lt))
+	}
+}
+
+// Lock opens a passive-target epoch on target (MPI_Win_lock): the
+// target does not participate. A shared lock maps to the read side of
+// the target's readers-writer lock, an exclusive lock to the write
+// side. The clocks published by earlier Unlocks of the same target are
+// acquired through the window's Observer, giving the epoch its
+// happens-before edge.
+func (w *Window[T]) Lock(t *mpi.Task, typ LockType, target int) {
+	me := w.rankOf(t, "Lock")
+	if target < 0 || target >= w.comm.Size() {
+		raise(t.Rank(), "Lock", "target rank %d out of range [0,%d)", target, w.comm.Size())
+	}
+	if typ != LockShared && typ != LockExclusive {
+		raise(t.Rank(), "Lock", "invalid lock type %d", int(typ))
+	}
+	ep := w.eps[me]
+	if _, ok := ep.locked[target]; ok {
+		raise(t.Rank(), "Lock", "lock epoch to target %d already open on window %q", target, w.name)
+	}
+	if typ == LockExclusive {
+		w.st[target].lock.Lock()
+	} else {
+		w.st[target].lock.RLock()
+	}
+	if o := w.cfg.observer; o != nil {
+		o.Depart(w.lockKey(target), t.Rank())
+	}
+	ep.locked[target] = typ
+	if tr := w.cfg.tracer; tr != nil {
+		tr.EpochOpen(w.name, fmt.Sprintf("lock:%d", target), t.Rank())
+	}
+}
+
+// Unlock closes the passive-target epoch on target (MPI_Win_unlock):
+// this task's RMA operations on target are complete and visible to the
+// next epoch. The task's clock is published (Observer.Arrive) before
+// the lock is released, so later lockers order after it.
+func (w *Window[T]) Unlock(t *mpi.Task, target int) {
+	me := w.rankOf(t, "Unlock")
+	if target < 0 || target >= w.comm.Size() {
+		raise(t.Rank(), "Unlock", "target rank %d out of range [0,%d)", target, w.comm.Size())
+	}
+	ep := w.eps[me]
+	typ, ok := ep.locked[target]
+	if !ok {
+		raise(t.Rank(), "Unlock", "no lock epoch to target %d open on window %q", target, w.name)
+	}
+	if tr := w.cfg.tracer; tr != nil {
+		tr.EpochClose(w.name, fmt.Sprintf("lock:%d", target), t.Rank())
+	}
+	if o := w.cfg.observer; o != nil {
+		o.Arrive(w.lockKey(target), t.Rank())
+	}
+	if typ == LockExclusive {
+		w.st[target].lock.Unlock()
+	} else {
+		w.st[target].lock.RUnlock()
+	}
+	delete(ep.locked, target)
+}
+
+// lockKey is the Observer accumulator key of one target's lock.
+func (w *Window[T]) lockKey(target int) string {
+	return fmt.Sprintf("rma/%s/lock:%d", w.name, target)
+}

@@ -1,0 +1,70 @@
+package rma
+
+import (
+	"hls/internal/mpi"
+)
+
+// Put copies buf into target's segment at element offset
+// (MPI_Put). Requires an open epoch to target; the transfer is applied
+// eagerly (tasks share one address space) and becomes visible to the
+// target under MPI-3 rules when the epoch closes. Concurrent conflicting
+// Puts to the same location are erroneous, as in MPI.
+func (w *Window[T]) Put(t *mpi.Task, buf []T, target, offset int) {
+	w.originCheck(t, "Put", target, offset, len(buf))
+	bytes := len(buf) * elemBytes[T]()
+	if tr := w.cfg.tracer; tr != nil {
+		tr.BeginOp(w.name, "put", t.Rank(), w.comm.WorldRank(target), bytes)
+		defer tr.EndOp(w.name, "put", t.Rank())
+	}
+	copy(w.segs[target][offset:], buf)
+}
+
+// Get copies len(buf) elements from target's segment at element offset
+// into buf (MPI_Get). Requires an open epoch to target.
+func (w *Window[T]) Get(t *mpi.Task, buf []T, target, offset int) {
+	w.originCheck(t, "Get", target, offset, len(buf))
+	bytes := len(buf) * elemBytes[T]()
+	if tr := w.cfg.tracer; tr != nil {
+		tr.BeginOp(w.name, "get", t.Rank(), w.comm.WorldRank(target), bytes)
+		defer tr.EndOp(w.name, "get", t.Rank())
+	}
+	copy(buf, w.segs[target][offset:offset+len(buf)])
+}
+
+// Accumulate folds buf into target's segment at element offset with the
+// given reduce operator (MPI_Accumulate with the predefined ops of
+// internal/mpi). Requires an open epoch to target. Unlike Put,
+// concurrent Accumulates to the same location are well-defined: a
+// per-target mutex serializes them, which implies MPI-3's element-wise
+// atomicity guarantee.
+func (w *Window[T]) Accumulate(t *mpi.Task, buf []T, target, offset int, op mpi.Op) {
+	w.originCheck(t, "Accumulate", target, offset, len(buf))
+	bytes := len(buf) * elemBytes[T]()
+	if tr := w.cfg.tracer; tr != nil {
+		tr.BeginOp(w.name, "accumulate", t.Rank(), w.comm.WorldRank(target), bytes)
+		defer tr.EndOp(w.name, "accumulate", t.Rank())
+	}
+	st := w.st[target]
+	st.accMu.Lock()
+	mpi.ApplyOp(op, w.segs[target][offset:offset+len(buf)], buf)
+	st.accMu.Unlock()
+}
+
+// originCheck validates a communication call: membership, target range,
+// an open epoch covering target, and segment bounds. It returns the
+// caller's comm rank.
+func (w *Window[T]) originCheck(t *mpi.Task, op string, target, offset, n int) int {
+	me := w.rankOf(t, op)
+	if target < 0 || target >= w.comm.Size() {
+		raise(t.Rank(), op, "target rank %d out of range [0,%d)", target, w.comm.Size())
+	}
+	ep := w.eps[me]
+	if _, locked := ep.locked[target]; !ep.fence && !ep.started[target] && !locked {
+		raise(t.Rank(), op, "no RMA epoch open to target %d on window %q (call Fence, Start, or Lock first)", target, w.name)
+	}
+	if offset < 0 || offset+n > len(w.segs[target]) {
+		raise(t.Rank(), op, "elements [%d,%d) outside target %d's %d-element segment of window %q",
+			offset, offset+n, target, len(w.segs[target]), w.name)
+	}
+	return me
+}

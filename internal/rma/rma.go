@@ -1,0 +1,175 @@
+// Package rma is an MPI-3-style one-sided (RMA) communication subsystem
+// layered on internal/mpi: memory windows, Put/Get/Accumulate, and the
+// three MPI synchronization modes (fence, post/start/complete/wait,
+// passive-target lock/unlock).
+//
+// The paper positions HLS against "emerging standard mechanisms" for
+// intra-node sharing; MPI-3 later standardized exactly that as
+// shared-memory windows (MPI_Win_allocate_shared), the mechanism PGAS
+// runtimes build on (Zhou et al., "Leveraging MPI-3 Shared-Memory
+// Extensions for Efficient PGAS Runtime Systems"; DART-MPI). This package
+// makes that comparison runnable: WinAllocateShared carves one
+// node-resident slab into per-rank segments, WinSharedQuery hands out
+// another rank's segment for direct load/store, and `hlsbench -exp rma`
+// contrasts HLS-directive sharing with shared-window sharing on the
+// paper's kernels.
+//
+// Because MPI tasks are goroutines in one address space (the MPC
+// property), communication calls apply eagerly; what the synchronization
+// calls add is MPI-3's *visibility* contract, realized as real
+// happens-before edges the Go race detector sees:
+//
+//   - Fence is a barrier over the window's (private) communicator; the
+//     hb edges appear automatically because collectives ride on the
+//     hooked point-to-point layer.
+//   - Post/Start and Complete/Wait exchange tokens through per-pair
+//     channels and piggyback mpi.Hooks metadata on them, so the vector
+//     clocks of internal/hb order the epochs exactly like messages.
+//   - Lock/Unlock use a per-target readers-writer lock; an Observer
+//     (hb.Tracker via Arrive/Depart) carries the clock from unlockers
+//     to subsequent lockers.
+//
+// Epoch discipline is enforced: a communication call without an open
+// epoch to its target, an Unlock without a Lock, a Complete without a
+// Start, etc. panic with *mpi.Error (MPI_ERRORS_ARE_FATAL), which
+// mpi.Run converts to an ordinary error.
+package rma
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"hls/internal/memsim"
+	"hls/internal/mpi"
+)
+
+// PageBytes is the allocation granularity of window slabs: MPI
+// implementations back shared windows with page-granular segments
+// (shm_open + mmap), so the memory model rounds every slab up to it.
+const PageBytes = 4096
+
+// ControlBytesPerRank models the per-rank window bookkeeping an MPI
+// runtime keeps (window object, base/size/disp tables, lock state). It
+// is accounted as memsim.KindRuntime on the rank's node.
+const ControlBytesPerRank = 192
+
+// Observer receives the synchronization edges of passive-target epochs,
+// in the same Arrive/Depart vocabulary as hls.SyncObserver: Unlock
+// publishes (Arrive) into a per-(window,target) accumulator that later
+// Locks acquire (Depart). hb.Tracker satisfies it.
+type Observer interface {
+	Arrive(key string, worldRank int)
+	Depart(key string, worldRank int)
+}
+
+// Tracer receives RMA runtime events for timeline recording.
+// trace.RMAAdapter implements it; the zero Window has no tracer.
+type Tracer interface {
+	// EpochOpen / EpochClose bracket one synchronization epoch of kind
+	// "fence", "access" (Start..Complete), "expose" (Post..Wait) or
+	// "lock:<target>" on the given world rank.
+	EpochOpen(win, kind string, worldRank int)
+	EpochClose(win, kind string, worldRank int)
+	// BeginOp / EndOp bracket one Put/Get/Accumulate issued by worldRank
+	// against targetWorldRank.
+	BeginOp(win, op string, worldRank, targetWorldRank, bytes int)
+	EndOp(win, op string, worldRank int)
+}
+
+// winConfig collects creation options. Every rank of the communicator
+// must pass equivalent options: the first task to arrive builds the
+// window from its own copy.
+type winConfig struct {
+	name         string
+	tracker      *memsim.Tracker
+	accountBytes int64
+	observer     Observer
+	tracer       Tracer
+}
+
+// Option tunes window creation.
+type Option func(*winConfig)
+
+// WithName names the window (trace/observer keys); default "win<id>".
+func WithName(name string) Option {
+	return func(c *winConfig) { c.name = name }
+}
+
+// WithTracker accounts the window's slab (page-rounded, KindShared) and
+// per-rank control blocks (KindRuntime) in tr, on the nodes hosting them.
+func WithTracker(tr *memsim.Tracker) Option {
+	return func(c *winConfig) { c.tracker = tr }
+}
+
+// WithAccountBytes overrides the window's data bytes reported to the
+// memory tracker. Scaled-down reproductions allocate small real windows
+// but account the paper-scale size (cf. hls.WithAccountBytes).
+func WithAccountBytes(bytes int64) Option {
+	return func(c *winConfig) { c.accountBytes = bytes }
+}
+
+// WithObserver wires an Observer into the passive-target epochs.
+func WithObserver(o Observer) Option {
+	return func(c *winConfig) { c.observer = o }
+}
+
+// WithTracer wires a Tracer into every epoch and communication call.
+func WithTracer(tr Tracer) Option {
+	return func(c *winConfig) { c.tracer = tr }
+}
+
+// raise panics with an *mpi.Error so mpi.Run reports RMA misuse like any
+// other fatal MPI error.
+func raise(rank int, op, format string, args ...any) {
+	panic(&mpi.Error{Rank: rank, Op: "rma." + op, Msg: fmt.Sprintf(format, args...)})
+}
+
+// elemBytes returns the size of T without importing unsafe.
+func elemBytes[T any]() int {
+	return int(reflect.TypeOf((*T)(nil)).Elem().Size())
+}
+
+// winRegistry interns windows per world so that every member of a
+// collective creation call resolves the same *Window. The key is the
+// ID of the window's private communicator (a fresh Dup per creation),
+// which all members share and no other window can obtain.
+var winRegistry struct {
+	mu sync.Mutex
+	m  map[*mpi.World]map[int64]any
+}
+
+func internWindow(w *mpi.World, id int64, build func() any) any {
+	winRegistry.mu.Lock()
+	defer winRegistry.mu.Unlock()
+	if winRegistry.m == nil {
+		winRegistry.m = make(map[*mpi.World]map[int64]any)
+	}
+	byID, ok := winRegistry.m[w]
+	if !ok {
+		byID = make(map[int64]any)
+		winRegistry.m[w] = byID
+	}
+	if win, ok := byID[id]; ok {
+		return win
+	}
+	win := build()
+	byID[id] = win
+	return win
+}
+
+func forgetWindow(w *mpi.World, id int64) {
+	winRegistry.mu.Lock()
+	defer winRegistry.mu.Unlock()
+	if byID, ok := winRegistry.m[w]; ok {
+		delete(byID, id)
+	}
+}
+
+// pageRound rounds bytes up to whole pages.
+func pageRound(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + PageBytes - 1) / PageBytes * PageBytes
+}

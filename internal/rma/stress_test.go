@@ -1,0 +1,218 @@
+package rma
+
+import (
+	"fmt"
+	"time"
+
+	"testing"
+
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+// The stress tests mirror internal/hls/stress_test.go: many tasks, many
+// iterations, run under -race. Because the synchronization calls are
+// implemented with real Go primitives (barriers, channels, mutexes), any
+// missing MPI-3 visibility edge shows up as a data race or a timeout —
+// the race detector is the referee, not just the assertions.
+
+func stressWorld(t *testing.T) *mpi.World {
+	t.Helper()
+	m := topology.NehalemEX4()
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: 32, Machine: m,
+		Pin: topology.PinCorePerTask, Timeout: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestStressFenceOrdering: rotating single-writer rounds. In round i only
+// rank i%n writes (to every segment, via Put); after the closing fence
+// everyone reads everything directly. Without the fence's barrier edges
+// the direct reads race with the Puts.
+func TestStressFenceOrdering(t *testing.T) {
+	const iters = 60
+	w := stressWorld(t)
+	n := w.Size()
+	if err := w.Run(func(task *mpi.Task) error {
+		win := WinAllocate[int](task, nil, 4)
+		me := task.Rank()
+		win.Fence(task)
+		for i := 0; i < iters; i++ {
+			writer := i % n
+			if me == writer {
+				for r := 0; r < n; r++ {
+					win.Put(task, []int{i, i * 2, i * 3, r}, r, 0)
+				}
+			}
+			win.Fence(task)
+			got := win.Local(task)
+			if got[0] != i || got[1] != i*2 || got[3] != me {
+				return fmt.Errorf("rank %d iter %d: stale segment %v", me, i, got)
+			}
+			win.Fence(task)
+		}
+		win.Free(task)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressConcurrentLockEpochs: every task performs read-modify-write
+// transactions against pseudo-random targets under exclusive locks, with
+// interleaved shared-lock audits. Exclusive epochs must serialize the
+// unsynchronized Get/Put pairs; totals prove no lost update.
+func TestStressConcurrentLockEpochs(t *testing.T) {
+	const iters = 200
+	w := stressWorld(t)
+	n := w.Size()
+	if err := w.Run(func(task *mpi.Task) error {
+		win := WinAllocate[int64](task, nil, 2)
+		me := task.Rank()
+		var buf [2]int64
+		for i := 0; i < iters; i++ {
+			target := (me*31 + i*17) % n
+			win.Lock(task, LockExclusive, target)
+			win.Get(task, buf[:], target, 0)
+			buf[0]++
+			buf[1] += int64(me)
+			win.Put(task, buf[:], target, 0)
+			win.Unlock(task, target)
+
+			if i%16 == 0 { // shared-lock audit of a second target
+				audit := (target + 1) % n
+				win.Lock(task, LockShared, audit)
+				win.Get(task, buf[:], audit, 0)
+				win.Unlock(task, audit)
+				if buf[0] < 0 || buf[0] > iters*int64(n) {
+					return fmt.Errorf("rank %d: implausible count %d", me, buf[0])
+				}
+			}
+		}
+		mpi.Barrier(task, nil)
+		win.Lock(task, LockShared, me)
+		win.Get(task, buf[:], me, 0)
+		win.Unlock(task, me)
+		counts := make([]int64, n)
+		mpi.Allgather(task, nil, []int64{buf[0]}, counts)
+		var total int64
+		for _, c := range counts {
+			total += c
+		}
+		if total != int64(n)*iters {
+			return fmt.Errorf("rank %d: %d transactions recorded, want %d", me, total, n*iters)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressAccumulateAtomicity: all tasks hammer overlapping slices of
+// rank 0's segment with Accumulate under shared locks — concurrent
+// updates to the same elements are legal for Accumulate and must not
+// lose increments.
+func TestStressAccumulateAtomicity(t *testing.T) {
+	const iters, width = 150, 8
+	w := stressWorld(t)
+	n := w.Size()
+	if err := w.Run(func(task *mpi.Task) error {
+		win := WinAllocate[int64](task, nil, width)
+		ones := make([]int64, width)
+		for i := range ones {
+			ones[i] = 1
+		}
+		for i := 0; i < iters; i++ {
+			off := (task.Rank() + i) % width // overlapping, shifted windows
+			win.Lock(task, LockShared, 0)
+			win.Accumulate(task, ones[:width-off], 0, off, mpi.OpSum)
+			win.Unlock(task, 0)
+		}
+		mpi.Barrier(task, nil)
+		if task.Rank() == 0 {
+			win.Lock(task, LockShared, 0)
+			got := make([]int64, width)
+			win.Get(task, got, 0, 0)
+			win.Unlock(task, 0)
+			var sum, want int64
+			for _, v := range got {
+				sum += v
+			}
+			for r := 0; r < n; r++ {
+				for i := 0; i < iters; i++ {
+					want += int64(width - (r+i)%width)
+				}
+			}
+			if sum != want {
+				return fmt.Errorf("lost updates: accumulated %d, want %d", sum, want)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressPSCWRing: a ring pipeline. Each iteration, every task exposes
+// its segment to its left neighbour and writes into its right
+// neighbour's; Wait must order the local read after the neighbour's
+// Complete.
+func TestStressPSCWRing(t *testing.T) {
+	const iters = 100
+	w := stressWorld(t)
+	n := w.Size()
+	if err := w.Run(func(task *mpi.Task) error {
+		win := WinAllocate[int](task, nil, 1)
+		me := task.Rank()
+		right, left := (me+1)%n, (me+n-1)%n
+		for i := 0; i < iters; i++ {
+			win.Post(task, left)
+			win.Start(task, right)
+			win.Put(task, []int{me + i}, right, 0)
+			win.Complete(task)
+			win.Wait(task)
+			if got := win.Local(task)[0]; got != left+i {
+				return fmt.Errorf("rank %d iter %d: got %d, want %d", me, i, got, left+i)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressSharedWindowDirectAccess: the HLS-style pattern on a shared
+// window — rank 0 refills the node table between fences, everyone reads
+// it through WinSharedQuery with plain loads. The only synchronization is
+// the fence, so -race validates that it carries the writer→readers edge.
+func TestStressSharedWindowDirectAccess(t *testing.T) {
+	const iters, entries = 80, 256
+	w := stressWorld(t)
+	if err := w.Run(func(task *mpi.Task) error {
+		mine := 0
+		if task.Rank() == 0 {
+			mine = entries
+		}
+		win := WinAllocateShared[float64](task, nil, mine)
+		win.Fence(task)
+		table := WinSharedQuery(task, win, 0)
+		for i := 0; i < iters; i++ {
+			if task.Rank() == 0 {
+				for j := range table {
+					table[j] = float64(i*entries + j)
+				}
+			}
+			win.Fence(task)
+			if table[17] != float64(i*entries+17) {
+				return fmt.Errorf("rank %d iter %d: stale read %v", task.Rank(), i, table[17])
+			}
+			win.Fence(task)
+		}
+		win.Free(task)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
