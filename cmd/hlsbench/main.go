@@ -18,15 +18,32 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"hls/internal/bench"
+	"hls/internal/metrics"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|all")
 	full := flag.Bool("full", false, "run the paper-shaped sweep instead of the quick profile")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	serve := flag.String("serve", "", "serve live /metrics, /metrics.json and /debug/pprof/ on this address (e.g. :8080 or :0) while experiments run")
+	linger := flag.Duration("linger", 0, "keep the -serve endpoint up this long after the experiments finish")
 	flag.Parse()
+
+	// Telemetry is always collected (the registry is cheap and the summary
+	// is part of the output); -serve additionally exposes it live.
+	// 1024 shards cover every machine shape the runners build (≤736 ranks)
+	// without aliasing the per-rank breakdowns.
+	telemetry := bench.NewTelemetry(1024)
+	bench.SetTelemetry(telemetry)
+	if *serve != "" {
+		addr, shutdown, err := metrics.Serve(*serve, telemetry.Registry)
+		exitOn(err)
+		defer shutdown()
+		fmt.Printf("serving /metrics, /metrics.json and /debug/pprof/ on http://%s\n", addr)
+	}
 
 	writeCSV := func(name string, fn func(w io.Writer) error) {
 		if *csvDir == "" {
@@ -129,6 +146,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	bench.PrintTelemetry(os.Stdout, telemetry)
+	writeCSV("telemetry.csv", func(w io.Writer) error { return bench.WriteTelemetryCSV(w, telemetry) })
+	if *serve != "" && *linger > 0 {
+		fmt.Printf("lingering %s so the endpoint stays scrapeable...\n", *linger)
+		time.Sleep(*linger)
 	}
 }
 

@@ -1,9 +1,11 @@
 // Tracing: record a run's messages and HLS directives and export a
 // Chrome-trace file (chrome://tracing or https://ui.perfetto.dev).
 //
-// The recorder wraps the happens-before tracker, so the same run that
-// produces the timeline also feeds the §III eligibility analysis — one
-// instrumented execution, two artifacts.
+// One instrumented execution, three artifacts: the fan-out helpers
+// (mpi.MultiHooks, hls.MultiObserver) feed the same run to the trace
+// recorder, the happens-before tracker (the §III eligibility analysis)
+// and the metrics registry simultaneously — no hand-written Inner
+// chains.
 //
 // Run with: go run ./examples/tracing   (writes trace.json)
 package main
@@ -15,6 +17,7 @@ import (
 
 	"hls/internal/hb"
 	"hls/internal/hls"
+	"hls/internal/metrics"
 	"hls/internal/mpi"
 	"hls/internal/topology"
 	"hls/internal/trace"
@@ -24,19 +27,26 @@ func main() {
 	const tasks = 8
 	machine := topology.HarpertownCluster(1)
 
-	rec := trace.NewRecorder()
+	// Bound the recorder: long runs keep the most recent 4096 events and
+	// count the rest (reported as otherData.droppedEvents in the file).
+	rec := trace.NewRecorder(trace.WithMaxEvents(4096))
 	clocks := hb.NewTracker(tasks)
+	reg := metrics.New(tasks)
+	mpiMetrics := metrics.NewMPIAdapter(reg)
+	hlsMetrics := metrics.NewHLSAdapter(reg)
+
 	world, err := mpi.NewWorld(mpi.Config{
 		NumTasks: tasks,
 		Machine:  machine,
 		Pin:      topology.PinCorePerTask,
-		Hooks:    &trace.MPIAdapter{R: rec, Inner: clocks},
+		Hooks:    mpi.MultiHooks(&trace.MPIAdapter{R: rec}, clocks, mpiMetrics),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	reg := hls.New(world, hls.WithObserver(&trace.SyncAdapter{R: rec, Inner: clocks}))
-	table := hls.Declare[float64](reg, "table", topology.Node, 512)
+	reghls := hls.New(world, hls.WithObserver(
+		hls.MultiObserver(&trace.SyncAdapter{R: rec}, clocks, hlsMetrics)))
+	table := hls.Declare[float64](reghls, "table", topology.Node, 512)
 
 	err = world.Run(func(task *mpi.Task) error {
 		defer rec.Span(task.Rank(), "task", "run")()
@@ -71,5 +81,14 @@ func main() {
 	if err := rec.WriteJSON(f); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote trace.json with %d events (open in chrome://tracing)\n", rec.Len())
+	fmt.Printf("wrote trace.json with %d events, %d dropped (open in chrome://tracing)\n",
+		rec.Len(), rec.Dropped())
+
+	// The metrics registry watched the same run; its snapshot is the
+	// numeric companion to the timeline.
+	for _, c := range reg.Snapshot().Counters {
+		if c.Value != 0 {
+			fmt.Printf("%-28s %v  %d\n", c.Name, c.Labels, c.Value)
+		}
+	}
 }

@@ -74,11 +74,12 @@ func RunHybridAblation(p Profile) (HybridResult, error) {
 	// max over tasks of (their compute + their comm).
 	{
 		w, err := mpi.NewWorld(mpi.Config{NumTasks: nCores, Machine: machine,
-			Pin: topology.PinCorePerTask, Timeout: 10 * time.Minute})
+			Pin: topology.PinCorePerTask, Timeout: 10 * time.Minute,
+			Hooks: telemetryHooks()})
 		if err != nil {
 			return res, err
 		}
-		reg := hls.New(w)
+		reg := hls.New(w, telemetryHLSOptions()...)
 		table := hls.Declare[float64](reg, "hyb_table", topology.Node, 4096)
 		perTaskWork := make([]int64, nCores)
 		start := time.Now()
@@ -114,7 +115,8 @@ func RunHybridAblation(p Profile) (HybridResult, error) {
 	// while the team waits. Critical path per step = compute/8 + comm.
 	{
 		w, err := mpi.NewWorld(mpi.Config{NumTasks: 1, Machine: machine,
-			Pin: topology.PinCorePerTask, Timeout: 10 * time.Minute})
+			Pin: topology.PinCorePerTask, Timeout: 10 * time.Minute,
+			Hooks: telemetryHooks()})
 		if err != nil {
 			return res, err
 		}

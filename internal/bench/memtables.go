@@ -93,6 +93,7 @@ func newMemEnv(cores int, variant Variant) (*memEnv, error) {
 		Machine:  machine,
 		Pin:      topology.PinCorePerTask,
 		Timeout:  10 * time.Minute,
+		Hooks:    telemetryHooks(),
 	})
 	if err != nil {
 		return nil, err
@@ -102,7 +103,7 @@ func newMemEnv(cores int, variant Variant) (*memEnv, error) {
 	for node := 0; node < machine.Nodes(); node++ {
 		tracker.AllocNode(node, memsim.RuntimeBytesPerNode(variant.model(), 8, cores), memsim.KindRuntime)
 	}
-	reg := hls.New(world, hls.WithTracker(tracker))
+	reg := hls.New(world, append(telemetryHLSOptions(), hls.WithTracker(tracker))...)
 	return &memEnv{machine: machine, world: world, tracker: tracker, reg: reg}, nil
 }
 

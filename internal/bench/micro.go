@@ -82,11 +82,12 @@ func microWorld(opts ...hls.Option) (*mpi.World, *hls.Registry, error) {
 		Machine:  machine,
 		Pin:      topology.PinCorePerTask,
 		Timeout:  5 * time.Minute,
+		Hooks:    telemetryHooks(),
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	return w, hls.New(w, opts...), nil
+	return w, hls.New(w, append(telemetryHLSOptions(), opts...)...), nil
 }
 
 func microGetAddr() (MicroResult, error) {

@@ -115,7 +115,8 @@ func rmaMemory() ([]RMAMemRow, error) {
 	tasks := machine.TotalCores()
 	newEnv := func() (*mpi.World, *memsim.Tracker, error) {
 		w, err := mpi.NewWorld(mpi.Config{NumTasks: tasks, Machine: machine,
-			Pin: topology.PinCorePerTask, Timeout: 5 * time.Minute})
+			Pin: topology.PinCorePerTask, Timeout: 5 * time.Minute,
+			Hooks: telemetryHooks()})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -139,7 +140,7 @@ func rmaMemory() ([]RMAMemRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	reg := hls.New(w, hls.WithTracker(tr))
+	reg := hls.New(w, append(telemetryHLSOptions(), hls.WithTracker(tr))...)
 	v := hls.Declare[float64](reg, "rma_mem_table", topology.Node, tableITableEntries,
 		hls.WithAccountBytes[float64](tableBytes))
 	if err := w.Run(func(task *mpi.Task) error { v.Slice(task); return nil }); err != nil {
@@ -159,7 +160,7 @@ func rmaMemory() ([]RMAMemRow, error) {
 			mine = tableITableEntries
 		}
 		rma.WinAllocateShared[float64](task, nil, mine,
-			rma.WithTracker(tr), rma.WithAccountBytes(tableBytes))
+			append(telemetryWinOptions(), rma.WithTracker(tr), rma.WithAccountBytes(tableBytes))...)
 		return nil
 	}); err != nil {
 		return nil, err
@@ -191,7 +192,8 @@ func rmaSync(p Profile) ([]MicroResult, error) {
 	machine := topology.NehalemEX4()
 	newWorld := func() (*mpi.World, error) {
 		return mpi.NewWorld(mpi.Config{NumTasks: machine.TotalCores(), Machine: machine,
-			Pin: topology.PinCorePerTask, Timeout: 5 * time.Minute})
+			Pin: topology.PinCorePerTask, Timeout: 5 * time.Minute,
+			Hooks: telemetryHooks()})
 	}
 
 	// Window fence: the collective closing every shared-window update.
@@ -201,7 +203,7 @@ func rmaSync(p Profile) ([]MicroResult, error) {
 	}
 	var elapsed time.Duration
 	if err := w.Run(func(task *mpi.Task) error {
-		win := rma.WinAllocate[int](task, nil, 1)
+		win := rma.WinAllocate[int](task, nil, 1, telemetryWinOptions()...)
 		mpi.Barrier(task, nil)
 		start := time.Now()
 		for i := 0; i < iters; i++ {
@@ -227,7 +229,7 @@ func rmaSync(p Profile) ([]MicroResult, error) {
 		}
 		var elapsed time.Duration
 		if err := w.Run(func(task *mpi.Task) error {
-			win := rma.WinAllocate[int](task, nil, 1)
+			win := rma.WinAllocate[int](task, nil, 1, telemetryWinOptions()...)
 			target := task.Rank()
 			if contended {
 				target = 0

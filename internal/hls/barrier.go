@@ -165,6 +165,9 @@ func (r *Registry) singleScope(t *mpi.Task, s topology.Scope, body func()) bool 
 	r.observe(func(o SyncObserver) { o.Arrive(obsKey, t.Rank()) })
 	executed := bn.await(r.llcInstanceOf(t), body)
 	r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
+	if r.singleObs != nil {
+		r.singleObs.SingleDone(obsKey, t.Rank(), executed)
+	}
 	r.countDirective(t, key, executed)
 	return executed
 }
@@ -202,11 +205,17 @@ func (r *Registry) singleNowaitScope(t *mpi.Task, s topology.Scope, body func())
 		r.observe(func(o SyncObserver) { o.Arrive(obsKey, t.Rank()) })
 		body()
 		r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
+		if r.singleObs != nil {
+			r.singleObs.SingleDone(obsKey, t.Rank(), true)
+		}
 		return true
 	}
 	ns.mu.Unlock()
 	// Skippers acquire the executor's published state (counter read).
 	r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
+	if r.singleObs != nil {
+		r.singleObs.SingleDone(obsKey, t.Rank(), false)
+	}
 	return false
 }
 

@@ -50,6 +50,28 @@ type SyncObserver interface {
 	Depart(key string, worldRank int)
 }
 
+// SingleObserver is an optional extension of SyncObserver: observers
+// that also satisfy it learn the outcome of every single / single-nowait
+// directive — which task won (executed the block) and which tasks
+// skipped or waited. internal/metrics uses it for winner/loser counts.
+// The registry detects the extension once at construction.
+type SingleObserver interface {
+	// SingleDone is called by every task completing a single directive;
+	// executed is true for the one task per scope instance that ran the
+	// block.
+	SingleDone(key string, worldRank int, executed bool)
+}
+
+// AllocObserver is an optional extension of SyncObserver: observers
+// that also satisfy it are told about every lazy module allocation
+// (§IV-A) — the variable, its scope (rendered as a string, e.g.
+// "node"), the instance, the bytes the single shared copy occupies,
+// and the bytes duplication across the instance's tasks would have cost
+// beyond that copy.
+type AllocObserver interface {
+	VarAllocated(varName, scope string, inst int, sharedBytes, savedBytes int64)
+}
+
 // Option configures a Registry.
 type Option func(*Registry)
 
@@ -80,7 +102,11 @@ type Registry struct {
 
 	tracker  *memsim.Tracker
 	observer SyncObserver
-	flatOnly bool
+	// singleObs / allocObs are observer when it also implements the
+	// optional extensions, resolved once at construction.
+	singleObs SingleObserver
+	allocObs  AllocObserver
+	flatOnly  bool
 
 	mu       sync.Mutex
 	vars     []varMeta
@@ -130,6 +156,12 @@ func New(w *mpi.World, opts ...Option) *Registry {
 	}
 	for _, o := range opts {
 		o(r)
+	}
+	if so, ok := r.observer.(SingleObserver); ok {
+		r.singleObs = so
+	}
+	if ao, ok := r.observer.(AllocObserver); ok {
+		r.allocObs = ao
 	}
 	return r
 }
@@ -286,6 +318,11 @@ func (v *Var[T]) instanceData(inst int) []T {
 	if v.reg.tracker != nil {
 		node := v.nodeOfInstance(inst)
 		v.reg.tracker.AllocNode(node, v.accountBytes, memsim.KindShared)
+	}
+	if ao := v.reg.allocObs; ao != nil {
+		tasks := len(v.reg.pin.RanksInInstance(v.scope, inst))
+		saved := v.accountBytes * int64(tasks-1)
+		ao.VarAllocated(v.name, v.scope.String(), inst, v.accountBytes, saved)
 	}
 	return data
 }

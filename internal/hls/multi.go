@@ -1,0 +1,68 @@
+package hls
+
+// MultiObserver combines several SyncObservers into one, so a registry
+// can feed the happens-before tracker, the trace recorder and the
+// metrics adapter simultaneously without hand-written Inner chains.
+// Members implementing the optional SingleObserver / AllocObserver
+// extensions also receive those events.
+//
+// Nil members are dropped; with zero non-nil members MultiObserver
+// returns nil, and with exactly one it returns that member unchanged.
+func MultiObserver(obs ...SyncObserver) SyncObserver {
+	os := make([]SyncObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			os = append(os, o)
+		}
+	}
+	switch len(os) {
+	case 0:
+		return nil
+	case 1:
+		return os[0]
+	}
+	m := &multiObserver{obs: os}
+	for _, o := range os {
+		if so, ok := o.(SingleObserver); ok {
+			m.single = append(m.single, so)
+		}
+		if ao, ok := o.(AllocObserver); ok {
+			m.alloc = append(m.alloc, ao)
+		}
+	}
+	return m
+}
+
+type multiObserver struct {
+	obs    []SyncObserver
+	single []SingleObserver // the subset implementing SingleObserver
+	alloc  []AllocObserver  // the subset implementing AllocObserver
+}
+
+// Arrive implements SyncObserver.
+func (m *multiObserver) Arrive(key string, worldRank int) {
+	for _, o := range m.obs {
+		o.Arrive(key, worldRank)
+	}
+}
+
+// Depart implements SyncObserver.
+func (m *multiObserver) Depart(key string, worldRank int) {
+	for _, o := range m.obs {
+		o.Depart(key, worldRank)
+	}
+}
+
+// SingleDone implements SingleObserver.
+func (m *multiObserver) SingleDone(key string, worldRank int, executed bool) {
+	for _, o := range m.single {
+		o.SingleDone(key, worldRank, executed)
+	}
+}
+
+// VarAllocated implements AllocObserver.
+func (m *multiObserver) VarAllocated(varName, scope string, inst int, sharedBytes, savedBytes int64) {
+	for _, o := range m.alloc {
+		o.VarAllocated(varName, scope, inst, sharedBytes, savedBytes)
+	}
+}

@@ -1,0 +1,127 @@
+package hls
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+// syncOnlyObserver implements just SyncObserver.
+type syncOnlyObserver struct{ arrives, departs atomic.Int64 }
+
+func (o *syncOnlyObserver) Arrive(key string, rank int) { o.arrives.Add(1) }
+func (o *syncOnlyObserver) Depart(key string, rank int) { o.departs.Add(1) }
+
+// fullObserver implements SyncObserver plus both optional extensions.
+type fullObserver struct {
+	syncOnlyObserver
+	mu      sync.Mutex
+	singles map[string][2]int // key -> [won, lost]
+	allocs  []allocEvent
+}
+
+type allocEvent struct {
+	varName, scope          string
+	inst                    int
+	sharedBytes, savedBytes int64
+}
+
+func (o *fullObserver) SingleDone(key string, rank int, executed bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.singles == nil {
+		o.singles = make(map[string][2]int)
+	}
+	c := o.singles[key]
+	if executed {
+		c[0]++
+	} else {
+		c[1]++
+	}
+	o.singles[key] = c
+}
+
+func (o *fullObserver) VarAllocated(varName, scope string, inst int, sharedBytes, savedBytes int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.allocs = append(o.allocs, allocEvent{varName, scope, inst, sharedBytes, savedBytes})
+}
+
+func TestMultiObserverDegenerateCases(t *testing.T) {
+	if MultiObserver() != nil || MultiObserver(nil, nil) != nil {
+		t.Fatal("MultiObserver with no members must be nil")
+	}
+	o := &syncOnlyObserver{}
+	if got := MultiObserver(nil, o); got != SyncObserver(o) {
+		t.Fatal("MultiObserver with one member must return it unchanged")
+	}
+	m := MultiObserver(&syncOnlyObserver{}, &fullObserver{})
+	if _, ok := m.(SingleObserver); !ok {
+		t.Fatal("combined observer must expose SingleObserver when a member implements it")
+	}
+	if _, ok := m.(AllocObserver); !ok {
+		t.Fatal("combined observer must expose AllocObserver when a member implements it")
+	}
+}
+
+// TestObserverExtensions drives singles, nowaits and a lazy allocation
+// through a registry observed by MultiObserver(plain, full): the plain
+// member sees only Arrive/Depart, the full member additionally gets
+// exactly one winner per single execution and the allocation accounting.
+func TestObserverExtensions(t *testing.T) {
+	const iters = 5
+	plain := &syncOnlyObserver{}
+	full := &fullObserver{}
+	machine := topology.NehalemEX4()
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: 32, Machine: machine,
+		Pin: topology.PinCorePerTask, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(w, WithObserver(MultiObserver(plain, full)))
+	const tableBytes = 1 << 16
+	v := Declare[int64](r, "obs_table", topology.Node, 8,
+		WithAccountBytes[int64](tableBytes))
+	if err := w.Run(func(task *mpi.Task) error {
+		for i := 0; i < iters; i++ {
+			v.Single(task, func(d []int64) { d[0]++ })
+			v.SingleNowait(task, func(d []int64) {})
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.arrives.Load() == 0 || plain.departs.Load() == 0 {
+		t.Fatal("plain member starved")
+	}
+	// One winner per single execution, 32 participants each: per key,
+	// iters wins and iters*31 losses (one node instance on this machine).
+	var wins, losses int
+	for key, c := range full.singles {
+		wins += c[0]
+		losses += c[1]
+		if c[0] != iters {
+			t.Errorf("key %s: %d wins, want %d", key, c[0], iters)
+		}
+	}
+	if wins != 2*iters || losses != 2*iters*31 {
+		t.Fatalf("outcomes: %d wins %d losses, want %d/%d", wins, losses, 2*iters, 2*iters*31)
+	}
+
+	if len(full.allocs) != 1 {
+		t.Fatalf("allocations observed: %d, want 1 (one node instance, allocated lazily once)", len(full.allocs))
+	}
+	a := full.allocs[0]
+	if a.varName != "obs_table" || a.scope != "node" || a.inst != 0 {
+		t.Fatalf("alloc identity: %+v", a)
+	}
+	if a.sharedBytes != tableBytes || a.savedBytes != tableBytes*31 {
+		t.Fatalf("alloc accounting: shared %d saved %d, want %d/%d",
+			a.sharedBytes, a.savedBytes, int64(tableBytes), int64(tableBytes*31))
+	}
+}

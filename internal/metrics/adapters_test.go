@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func TestMPIAdapter(t *testing.T) {
+	r := New(4)
+	a := NewMPIAdapter(r)
+
+	meta := a.OnSend(0, 1)
+	if meta != nil {
+		t.Fatal("MPIAdapter carries no metadata")
+	}
+	a.OnMessage(0, 1, 64, false)
+	a.OnDeliver(1, meta)
+	a.OnSend(2, 3)
+	a.OnMessage(2, 3, 1<<20, true)
+	a.OnCopyElided(3, 512)
+	a.OnCollective(0)
+	a.OnCollective(1)
+
+	if got := a.sends.Value(); got != 2 {
+		t.Errorf("sends = %d", got)
+	}
+	if got := a.deliveries.Value(); got != 1 {
+		t.Errorf("deliveries = %d", got)
+	}
+	if got := a.inFlight.Value(); got != 1 {
+		t.Errorf("in flight = %d, want 1 (one undelivered)", got)
+	}
+	if a.eager.Value() != 1 || a.rendezvous.Value() != 1 {
+		t.Errorf("protocol split: eager %d rendezvous %d", a.eager.Value(), a.rendezvous.Value())
+	}
+	if got := a.bytes.Value(); got != 64+1<<20 {
+		t.Errorf("bytes = %d", got)
+	}
+	if a.elided.Value() != 1 || a.elidedBytes.Value() != 512 {
+		t.Errorf("elided: %d / %d B", a.elided.Value(), a.elidedBytes.Value())
+	}
+	if got := a.collectives.Value(); got != 2 {
+		t.Errorf("collectives = %d", got)
+	}
+
+	// Nil-registry adapter: every method is a no-op.
+	d := NewMPIAdapter(nil)
+	d.OnDeliver(0, d.OnSend(0, 1))
+	d.OnMessage(0, 1, 8, false)
+	d.OnCopyElided(0, 8)
+	d.OnCollective(0)
+}
+
+func TestParseDirectiveKey(t *testing.T) {
+	cases := []struct{ key, kind, scope string }{
+		{"barrier/node:0/0", "barrier", "node:0"},
+		{"single/cache level(3):2/5", "single", "cache level(3):2"},
+		{"nowait/numa:1/0", "nowait", "numa:1"},
+		{"weird", "weird", ""},
+	}
+	for _, c := range cases {
+		kind, scope := parseDirectiveKey(c.key)
+		if kind != c.kind || scope != c.scope {
+			t.Errorf("parseDirectiveKey(%q) = %q,%q want %q,%q", c.key, kind, scope, c.kind, c.scope)
+		}
+	}
+}
+
+func TestHLSAdapter(t *testing.T) {
+	r := New(8)
+	a := NewHLSAdapter(r)
+
+	const key = "barrier/node:0/0"
+	a.Arrive(key, 3)
+	a.Depart(key, 3)
+	a.Depart("nowait/node:0/0", 5) // depart without arrive: zero-wait count
+
+	d := a.metricsFor(key)
+	if d.count.Value() != 1 || d.wait.Count() != 1 {
+		t.Fatalf("directive not counted: count %d wait-count %d", d.count.Value(), d.wait.Count())
+	}
+	if a.metricsFor(key) != d {
+		t.Fatal("directive handles not cached")
+	}
+	nw := a.metricsFor("nowait/node:0/0")
+	if nw.count.Value() != 1 || nw.wait.Count() != 1 || nw.wait.Sum() != 0 {
+		t.Fatal("unmatched depart must count with zero wait")
+	}
+
+	a.SingleDone("single/node:0/0", 0, true)
+	a.SingleDone("single/node:0/0", 1, false)
+	a.SingleDone("single/node:0/0", 2, false)
+	s := a.metricsFor("single/node:0/0")
+	if s.won.Value() != 1 || s.lost.Value() != 2 {
+		t.Fatalf("single outcomes: won %d lost %d", s.won.Value(), s.lost.Value())
+	}
+
+	a.VarAllocated("table", "node", 0, 1<<20, 7<<20)
+	if got := r.Counter("hls_instance_allocs_total", "", L("var", "table"), L("scope", "node")).Value(); got != 1 {
+		t.Fatalf("allocs = %d", got)
+	}
+	if got := r.Gauge("hls_shared_bytes", "", L("var", "table"), L("scope", "node")).Value(); got != 1<<20 {
+		t.Fatalf("shared bytes = %d", got)
+	}
+	if got := r.Gauge("hls_duplicate_bytes_avoided", "", L("var", "table"), L("scope", "node")).Value(); got != 7<<20 {
+		t.Fatalf("avoided bytes = %d", got)
+	}
+
+	// Nil-registry adapter.
+	n := NewHLSAdapter(nil)
+	n.Arrive(key, 0)
+	n.Depart(key, 0)
+	n.SingleDone(key, 0, true)
+	n.VarAllocated("v", "node", 0, 1, 1)
+}
+
+func TestRMAAdapter(t *testing.T) {
+	r := New(4)
+	a := NewRMAAdapter(r)
+
+	a.EpochOpen("w0", "fence", 0)
+	if got := r.Gauge("rma_open_epochs", "", L("kind", "fence")).Value(); got != 1 {
+		t.Fatalf("open epochs = %d", got)
+	}
+	a.EpochClose("w0", "fence", 0)
+	h := r.Histogram("rma_epoch_ns", "", L("win", "w0"), L("kind", "fence"))
+	if h.Count() != 1 {
+		t.Fatalf("epoch histogram count = %d", h.Count())
+	}
+	if got := r.Gauge("rma_open_epochs", "", L("kind", "fence")).Value(); got != 0 {
+		t.Fatalf("open epochs after close = %d", got)
+	}
+
+	// Lock epochs fold their per-target suffix into one kind.
+	a.EpochOpen("w0", "lock:7", 2)
+	a.EpochClose("w0", "lock:7", 2)
+	if got := r.Histogram("rma_epoch_ns", "", L("win", "w0"), L("kind", "lock")).Count(); got != 1 {
+		t.Fatalf("lock epoch not folded: %d", got)
+	}
+	// Closing an epoch that never opened records no duration.
+	a.EpochClose("w0", "fence", 3)
+	if got := h.Count(); got != 1 {
+		t.Fatalf("unmatched close must not record a duration: %d", got)
+	}
+
+	a.BeginOp("w0", "put", 0, 1, 256)
+	a.BeginOp("w0", "get", 1, 0, 64)
+	a.BeginOp("w0", "accumulate", 2, 0, 8)
+	a.EndOp("w0", "put", 0)
+	if a.opsPut.Value() != 1 || a.opsGet.Value() != 1 || a.opsAcc.Value() != 1 {
+		t.Fatal("op counters")
+	}
+	if a.opBytesPut.Value() != 256 || a.opSizeGet.Count() != 1 {
+		t.Fatal("op bytes")
+	}
+
+	a.Arrive("lock", 0)
+	a.Arrive("lock", 1)
+	a.Depart("lock", 1)
+	if a.lockPublish.Value() != 2 || a.lockAcquire.Value() != 1 {
+		t.Fatalf("lock handovers: %d publishes %d acquires", a.lockPublish.Value(), a.lockAcquire.Value())
+	}
+
+	// Nil-registry adapter.
+	n := NewRMAAdapter(nil)
+	n.EpochOpen("w", "fence", 0)
+	n.EpochClose("w", "fence", 0)
+	n.BeginOp("w", "put", 0, 1, 8)
+	n.EndOp("w", "put", 0)
+	n.Arrive("k", 0)
+	n.Depart("k", 0)
+}

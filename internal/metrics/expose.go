@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4): `# HELP` / `# TYPE` headers per family,
+// histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+// `_count`. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	ew := &errWriter{w: w}
+
+	helps := r.helps()
+	typed := make(map[string]bool)
+	header := func(name, kind string) {
+		if typed[name] {
+			return
+		}
+		typed[name] = true
+		if h := helps[name]; h != "" {
+			fmt.Fprintf(ew, "# HELP %s %s\n", name, strings.ReplaceAll(h, "\n", " "))
+		}
+		fmt.Fprintf(ew, "# TYPE %s %s\n", name, kind)
+	}
+
+	for _, c := range snap.Counters {
+		header(c.Name, "counter")
+		fmt.Fprintf(ew, "%s%s %d\n", c.Name, promLabels(c.Labels, "", -1), c.Value)
+	}
+	for _, g := range snap.Gauges {
+		header(g.Name, "gauge")
+		fmt.Fprintf(ew, "%s%s %d\n", g.Name, promLabels(g.Labels, "", -1), g.Value)
+	}
+	for _, h := range snap.Histograms {
+		header(h.Name, "histogram")
+		var cum int64
+		for _, b := range h.Buckets {
+			if b.Le < 0 {
+				continue // +Inf rendered below from the total count
+			}
+			cum += b.Count
+			fmt.Fprintf(ew, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", b.Le), cum)
+		}
+		fmt.Fprintf(ew, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", -1), h.Count)
+		fmt.Fprintf(ew, "%s_sum%s %d\n", h.Name, promLabels(h.Labels, "", -1), h.Sum)
+		fmt.Fprintf(ew, "%s_count%s %d\n", h.Name, promLabels(h.Labels, "", -1), h.Count)
+	}
+	return ew.err
+}
+
+// helps collects the help string of each family (first registered wins).
+func (r *Registry) helps() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := make(map[string]string)
+	for _, c := range r.counters {
+		if _, ok := m[c.name]; !ok {
+			m[c.name] = c.help
+		}
+	}
+	for _, g := range r.gauges {
+		if _, ok := m[g.name]; !ok {
+			m[g.name] = g.help
+		}
+	}
+	for _, h := range r.histograms {
+		if _, ok := m[h.name]; !ok {
+			m[h.name] = h.help
+		}
+	}
+	return m
+}
+
+// promLabels renders a label set, optionally with an extra `le` label
+// (le < 0 with leKey set means +Inf; leKey empty means no le label).
+func promLabels(labels map[string]string, leKey string, le int64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if leKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		if le < 0 {
+			fmt.Fprintf(&b, "%s=%q", leKey, "+Inf")
+		} else {
+			fmt.Fprintf(&b, "%s=%q", leKey, fmt.Sprintf("%d", le))
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// errWriter remembers the first write error so the exposition loop can
+// stay unconditional.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return len(p), nil
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+	}
+	return n, err
+}

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// HLSAdapter implements hls.SyncObserver plus the optional
+// hls.SingleObserver and hls.AllocObserver extensions (structurally),
+// turning directive synchronization into metrics:
+//
+//   - hls_directives_total{kind,scope} — completed directives;
+//   - hls_directive_wait_ns{kind,scope} — per-task wait time inside each
+//     barrier/single/nowait, the histogram whose spread across ranks IS
+//     the task imbalance (a balanced barrier shows a tight distribution;
+//     a straggler pushes every other rank into the high buckets);
+//   - hls_single_outcomes_total{outcome,scope} — single winner/loser
+//     counts;
+//   - hls_instance_allocs_total / hls_shared_bytes /
+//     hls_duplicate_bytes_avoided{var,scope} — lazy module allocations
+//     (§IV-A) and the bytes one shared copy serves vs what per-task
+//     duplication would have added.
+//
+// Install with hls.WithObserver(metrics.NewHLSAdapter(reg)), or combine
+// with other observers through hls.MultiObserver. Constructed over a nil
+// registry every method is a cheap no-op.
+type HLSAdapter struct {
+	reg   *Registry
+	start time.Time
+
+	// open tracks each rank's in-progress directive spans. Striped per
+	// shard: Arrive and Depart for one rank come from that rank's
+	// goroutine, so stripes see almost no contention.
+	open []openShard
+
+	mu   sync.RWMutex
+	dirs map[string]*dirMetrics // full directive key -> handles
+}
+
+type openShard struct {
+	mu sync.Mutex
+	m  map[string]int64 // directive key -> arrival time (ns since start)
+	_  [3]int64         // keep neighbouring stripes off one cache line
+}
+
+// dirMetrics caches the handles of one directive key, so the hot path
+// resolves labels once per distinct key rather than per event.
+type dirMetrics struct {
+	count *Counter
+	wait  *Histogram
+	won   *Counter
+	lost  *Counter
+}
+
+// NewHLSAdapter creates the adapter. Passing a nil registry yields a
+// disabled adapter.
+func NewHLSAdapter(r *Registry) *HLSAdapter {
+	if r == nil {
+		return &HLSAdapter{}
+	}
+	shards := r.Shards()
+	open := make([]openShard, shards)
+	for i := range open {
+		open[i].m = make(map[string]int64)
+	}
+	return &HLSAdapter{
+		reg:   r,
+		start: time.Now(),
+		open:  open,
+		dirs:  make(map[string]*dirMetrics),
+	}
+}
+
+func (a *HLSAdapter) nowNs() int64 { return time.Since(a.start).Nanoseconds() }
+
+// parseDirectiveKey splits an hls observer key "kind/scope:level/inst"
+// (e.g. "barrier/node:0/0") into its kind and scope parts. Keys without
+// the expected shape keep the whole string as kind.
+func parseDirectiveKey(key string) (kind, scope string) {
+	i := strings.IndexByte(key, '/')
+	j := strings.LastIndexByte(key, '/')
+	if i < 0 || j <= i {
+		return key, ""
+	}
+	return key[:i], key[i+1 : j]
+}
+
+// metricsFor resolves (creating on first use) the handles of one
+// directive key.
+func (a *HLSAdapter) metricsFor(key string) *dirMetrics {
+	a.mu.RLock()
+	d, ok := a.dirs[key]
+	a.mu.RUnlock()
+	if ok {
+		return d
+	}
+	kind, scope := parseDirectiveKey(key)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if d, ok = a.dirs[key]; ok {
+		return d
+	}
+	kl, sl := L("kind", kind), L("scope", scope)
+	d = &dirMetrics{
+		count: a.reg.Counter("hls_directives_total", "HLS directives completed, by directive kind and scope", kl, sl),
+		wait:  a.reg.Histogram("hls_directive_wait_ns", "per-task wait inside HLS synchronization directives; the spread across ranks is the task imbalance (§IV-B)", kl, sl),
+		won:   a.reg.Counter("hls_single_outcomes_total", "single directives by outcome: won = executed the block", L("outcome", "won"), sl),
+		lost:  a.reg.Counter("hls_single_outcomes_total", "single directives by outcome: won = executed the block", L("outcome", "lost"), sl),
+	}
+	a.dirs[key] = d
+	return d
+}
+
+// Arrive implements hls.SyncObserver.
+func (a *HLSAdapter) Arrive(key string, worldRank int) {
+	if a.reg == nil {
+		return
+	}
+	sh := &a.open[uint(worldRank)%uint(len(a.open))]
+	now := a.nowNs()
+	sh.mu.Lock()
+	sh.m[key] = now
+	sh.mu.Unlock()
+}
+
+// Depart implements hls.SyncObserver, closing the span opened by Arrive
+// and recording the wait. A depart without a matching arrive (a nowait
+// skipper) counts the directive with zero wait.
+func (a *HLSAdapter) Depart(key string, worldRank int) {
+	if a.reg == nil {
+		return
+	}
+	sh := &a.open[uint(worldRank)%uint(len(a.open))]
+	sh.mu.Lock()
+	begin, ok := sh.m[key]
+	if ok {
+		delete(sh.m, key)
+	}
+	sh.mu.Unlock()
+	d := a.metricsFor(key)
+	d.count.Inc(worldRank)
+	var wait int64
+	if ok {
+		wait = a.nowNs() - begin
+	}
+	d.wait.Observe(worldRank, wait)
+}
+
+// SingleDone implements hls.SingleObserver.
+func (a *HLSAdapter) SingleDone(key string, worldRank int, executed bool) {
+	if a.reg == nil {
+		return
+	}
+	d := a.metricsFor(key)
+	if executed {
+		d.won.Inc(worldRank)
+	} else {
+		d.lost.Inc(worldRank)
+	}
+}
+
+// VarAllocated implements hls.AllocObserver, accounting one lazy module
+// allocation: sharedBytes is the single copy the scope instance holds,
+// savedBytes what duplicating it over the instance's other tasks would
+// have added.
+func (a *HLSAdapter) VarAllocated(varName, scope string, inst int, sharedBytes, savedBytes int64) {
+	if a.reg == nil {
+		return
+	}
+	vl, sl := L("var", varName), L("scope", scope)
+	a.reg.Counter("hls_instance_allocs_total", "lazy HLS module allocations (one per scope instance, §IV-A)", vl, sl).Inc(inst)
+	a.reg.Gauge("hls_shared_bytes", "bytes held by HLS instances: one shared copy per scope instance", vl, sl).Add(inst, sharedBytes)
+	a.reg.Gauge("hls_duplicate_bytes_avoided", "bytes per-task duplication would have added beyond the shared copies", vl, sl).Add(inst, savedBytes)
+}

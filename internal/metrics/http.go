@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry as Prometheus text exposition.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the registry as a JSON snapshot. `?shards=1`
+// includes per-shard (per-rank) breakdowns.
+func JSONHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var opts []SnapshotOption
+		if req.URL.Query().Get("shards") != "" {
+			opts = append(opts, WithPerShard())
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot(opts...))
+	})
+}
+
+// NewMux builds the telemetry endpoint: /metrics (Prometheus text),
+// /metrics.json (snapshot, ?shards=1 for per-rank detail), and the full
+// net/http/pprof surface under /debug/pprof/ — live goroutine, heap,
+// mutex and CPU profiles of the running experiment.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/metrics.json", JSONHandler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr (e.g. ":9090", "127.0.0.1:0") and serves the
+// telemetry endpoint in a background goroutine. It returns the bound
+// address — resolving a ":0" port — and a shutdown function. The server
+// runs until shutdown is called or the process exits.
+func Serve(addr string, r *Registry) (boundAddr string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewMux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,296 @@
+// Package metrics is the runtime telemetry registry: low-overhead
+// counters, gauges and log-scale histograms that the runtime's extension
+// points (mpi.Hooks, hls.SyncObserver, rma.Observer/Tracer) feed while a
+// program runs, exported as Prometheus text exposition, JSON snapshots,
+// and a live HTTP endpoint (see http.go).
+//
+// The paper's evaluation (§V) is an observability exercise — cache
+// footprints, memory per node, directive synchronization cost — and
+// PGAS-over-MPI runtimes report that shared-segment schemes live or die
+// on *measured* synchronization and access overheads. This package turns
+// those quantities into first-class metrics instead of after-the-fact
+// trace files or print statements.
+//
+// Two properties drive the design:
+//
+//   - Sharding. MPI tasks are goroutines pinned across sockets; a single
+//     shared atomic counter would bounce its cache line between all of
+//     them on every message. Every metric therefore keeps one
+//     cache-line-padded cell (or bucket block) per shard — callers pass
+//     their world rank — and readers sum across shards.
+//
+//   - A nil fast path. A nil *Registry hands out nil metric handles, and
+//     every mutating method on a nil handle is a no-op: the disabled
+//     path compiles to a method call and one branch, with zero
+//     allocations (bench_test.go proves it), so instrumentation can stay
+//     in place permanently.
+//
+// All methods are safe for concurrent use.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheLine is the padding granularity separating shard cells, in units
+// of int64 words (64 bytes on every platform this targets).
+const cacheLine = 8
+
+// Label is one name/value pair attached to a metric. Metrics with the
+// same name and different labels are distinct series of one family.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry owns a set of named metrics. The zero value is not usable;
+// call New. A nil *Registry is valid and hands out nil handles whose
+// methods do nothing — the disabled fast path.
+type Registry struct {
+	shards int
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	order      []family // exposition order = registration order
+}
+
+type family struct {
+	kind string // "counter", "gauge", "histogram"
+	id   string // name + rendered labels
+}
+
+// New builds a registry with the given shard count. Callers pass their
+// shard (typically the MPI world rank) to every update; shard indices
+// are reduced modulo the count, so any non-negative index is safe.
+func New(shards int) *Registry {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Registry{
+		shards:     shards,
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Shards returns the registry's shard count (0 for a nil registry).
+func (r *Registry) Shards() int {
+	if r == nil {
+		return 0
+	}
+	return r.shards
+}
+
+// seriesID renders the unique identity of a series: name plus sorted
+// labels, e.g. `hls_directive_wait_ns{kind="barrier",scope="node:0"}`.
+func seriesID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sortedLabels returns a sorted copy of labels.
+func sortedLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// Counter returns (creating on first use) the monotonically increasing
+// counter of the given name and labels. Help is recorded on first
+// creation of the family. Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[id]; ok {
+		return c
+	}
+	c := &Counter{
+		name:   name,
+		help:   help,
+		labels: sortedLabels(labels),
+		cells:  make([]int64, r.shards*cacheLine),
+		shards: r.shards,
+	}
+	r.counters[id] = c
+	r.order = append(r.order, family{kind: "counter", id: id})
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge of the given name and
+// labels: a sum of sharded deltas, so concurrent Inc/Dec from many tasks
+// never contend on one cache line. Returns nil on a nil registry.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[id]; ok {
+		return g
+	}
+	g := &Gauge{
+		name:   name,
+		help:   help,
+		labels: sortedLabels(labels),
+		cells:  make([]int64, r.shards*cacheLine),
+		shards: r.shards,
+	}
+	r.gauges[id] = g
+	r.order = append(r.order, family{kind: "gauge", id: id})
+	return g
+}
+
+// Histogram returns (creating on first use) the log-scale histogram of
+// the given name and labels. Returns nil on a nil registry.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	id := seriesID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[id]; ok {
+		return h
+	}
+	h := newHistogram(name, help, sortedLabels(labels), r.shards)
+	r.histograms[id] = h
+	r.order = append(r.order, family{kind: "histogram", id: id})
+	return h
+}
+
+// Counter is a monotonically increasing sharded counter. A nil *Counter
+// is the disabled fast path: every method is a no-op (Value returns 0).
+type Counter struct {
+	name   string
+	help   string
+	labels []Label
+	shards int
+	// cells holds one value per shard at stride cacheLine, so shards
+	// never share a cache line.
+	cells []int64
+}
+
+// Add adds v (which must be >= 0) to the shard's cell.
+func (c *Counter) Add(shard int, v int64) {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.cells[int(uint(shard)%uint(c.shards))*cacheLine], v)
+}
+
+// Inc adds 1 to the shard's cell.
+func (c *Counter) Inc(shard int) { c.Add(shard, 1) }
+
+// Value returns the sum over shards.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var sum int64
+	for s := 0; s < c.shards; s++ {
+		sum += atomic.LoadInt64(&c.cells[s*cacheLine])
+	}
+	return sum
+}
+
+// PerShard returns the per-shard values — per-rank breakdowns for
+// imbalance analysis. Returns nil on a nil counter.
+func (c *Counter) PerShard() []int64 {
+	if c == nil {
+		return nil
+	}
+	out := make([]int64, c.shards)
+	for s := range out {
+		out[s] = atomic.LoadInt64(&c.cells[s*cacheLine])
+	}
+	return out
+}
+
+// Gauge is a sharded gauge: the value is the sum of per-shard deltas.
+// A nil *Gauge is the disabled fast path.
+type Gauge struct {
+	name   string
+	help   string
+	labels []Label
+	shards int
+	cells  []int64
+}
+
+// Add adds v (possibly negative) to the shard's cell.
+func (g *Gauge) Add(shard int, v int64) {
+	if g == nil {
+		return
+	}
+	atomic.AddInt64(&g.cells[int(uint(shard)%uint(g.shards))*cacheLine], v)
+}
+
+// Inc adds 1 to the shard's cell.
+func (g *Gauge) Inc(shard int) { g.Add(shard, 1) }
+
+// Dec subtracts 1 from the shard's cell.
+func (g *Gauge) Dec(shard int) { g.Add(shard, -1) }
+
+// Set makes the gauge read v by adjusting shard 0 (intended for
+// single-writer gauges like configuration values).
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.Add(0, v-g.Value())
+}
+
+// PerShard returns the per-shard deltas. Returns nil on a nil gauge.
+func (g *Gauge) PerShard() []int64 {
+	if g == nil {
+		return nil
+	}
+	out := make([]int64, g.shards)
+	for s := range out {
+		out[s] = atomic.LoadInt64(&g.cells[s*cacheLine])
+	}
+	return out
+}
+
+// Value returns the sum over shards.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	var sum int64
+	for s := 0; s < g.shards; s++ {
+		sum += atomic.LoadInt64(&g.cells[s*cacheLine])
+	}
+	return sum
+}

@@ -1,0 +1,277 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterSharded(t *testing.T) {
+	r := New(4)
+	c := r.Counter("msgs_total", "messages")
+	c.Inc(0)
+	c.Add(1, 10)
+	c.Add(3, 100)
+	c.Add(5, 1000) // shard 5 folds into cell 5 mod 4 = 1
+	if got := c.Value(); got != 1111 {
+		t.Fatalf("Value = %d, want 1111", got)
+	}
+	want := []int64{1, 1010, 0, 100}
+	got := c.PerShard()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PerShard = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegistryInternsSeries(t *testing.T) {
+	r := New(2)
+	a := r.Counter("x_total", "x", L("op", "put"), L("win", "w"))
+	b := r.Counter("x_total", "ignored on reuse", L("win", "w"), L("op", "put"))
+	if a != b {
+		t.Fatal("same name+labels (any order) must return the same counter")
+	}
+	if c := r.Counter("x_total", "x", L("op", "get")); c == a {
+		t.Fatal("different label values must be distinct series")
+	}
+	if h1, h2 := r.Histogram("h", ""), r.Histogram("h", ""); h1 != h2 {
+		t.Fatal("histogram not interned")
+	}
+	if g1, g2 := r.Gauge("g", ""), r.Gauge("g", ""); g1 != g2 {
+		t.Fatal("gauge not interned")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := New(4)
+	g := r.Gauge("in_flight", "")
+	g.Inc(0)
+	g.Inc(1)
+	g.Dec(2) // deltas may go negative per shard; the sum is the value
+	if got := g.Value(); got != 1 {
+		t.Fatalf("Value = %d, want 1", got)
+	}
+	g.Set(42)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("after Set(42): Value = %d", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11},
+	}
+	r := New(2)
+	for _, c := range cases {
+		h := r.Histogram("case", "", L("v", time.Duration(c.v).String()))
+		h.Observe(0, c.v)
+		b := h.Buckets()
+		if b[c.bucket] != 1 {
+			t.Errorf("Observe(%d): bucket %d not hit: %v", c.v, c.bucket, b[:12])
+		}
+	}
+
+	h := r.Histogram("lat", "")
+	for i := 0; i < 100; i++ {
+		h.Observe(i, 100) // spread over shards
+	}
+	h.Observe(0, 1<<60) // beyond the last bound: clamps into the overflow bucket
+	if got := h.Count(); got != 101 {
+		t.Fatalf("Count = %d, want 101", got)
+	}
+	if got := h.Sum(); got != 100*100+1<<60 {
+		t.Fatalf("Sum = %d", got)
+	}
+	if q := h.Quantile(0.5); q != 128 {
+		t.Fatalf("Quantile(0.5) = %d, want 128 (bucket bound above 100)", q)
+	}
+	if BucketBound(0) != 1 || BucketBound(3) != 8 || BucketBound(numBuckets-1) != -1 {
+		t.Fatal("BucketBound bounds wrong")
+	}
+}
+
+func TestNilRegistryFastPath(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	c.Inc(3)
+	c.Add(1, 5)
+	g.Inc(0)
+	g.Dec(0)
+	g.Set(9)
+	h.Observe(2, 100)
+	h.ObserveDuration(0, time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read zero")
+	}
+	if c.PerShard() != nil || h.PerShardCount() != nil || h.Quantile(0.9) != 0 {
+		t.Fatal("nil handles must read empty breakdowns")
+	}
+	if r.Shards() != 0 {
+		t.Fatal("nil registry Shards")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotAndSub(t *testing.T) {
+	r := New(2)
+	c := r.Counter("ops_total", "", L("op", "put"))
+	h := r.Histogram("lat_ns", "")
+	c.Add(0, 5)
+	h.Observe(0, 3)
+	before := r.Snapshot()
+	c.Add(1, 7)
+	h.Observe(1, 3)
+	h.Observe(1, 100)
+	after := r.Snapshot(WithPerShard())
+
+	if after.Counters[0].Value != 12 || after.Counters[0].PerShard[1] != 7 {
+		t.Fatalf("snapshot counter: %+v", after.Counters[0])
+	}
+	delta := after.Sub(before)
+	if delta.Counters[0].Value != 7 {
+		t.Fatalf("delta counter = %d, want 7", delta.Counters[0].Value)
+	}
+	dh := delta.Histograms[0]
+	if dh.Count != 2 || dh.Sum != 103 {
+		t.Fatalf("delta histogram: count %d sum %d", dh.Count, dh.Sum)
+	}
+	// Bucket deltas: one more observation of 3 (bucket le=4), one of 100
+	// (le=128).
+	counts := map[int64]int64{}
+	for _, b := range dh.Buckets {
+		counts[b.Le] = b.Count
+	}
+	if counts[4] != 1 || counts[128] != 1 {
+		t.Fatalf("delta buckets: %v", dh.Buckets)
+	}
+
+	// A snapshot round-trips through JSON (the /metrics.json body).
+	blob, err := json.Marshal(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters[0].Value != 12 {
+		t.Fatal("snapshot did not survive JSON round-trip")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New(2)
+	r.Counter("ops_total", "operations, by op", L("op", "put")).Add(0, 3)
+	r.Counter("ops_total", "operations, by op", L("op", "get")).Add(1, 1)
+	r.Gauge("open", "open things").Set(2)
+	h := r.Histogram("lat_ns", "latency")
+	h.Observe(0, 1)
+	h.Observe(0, 3)
+	h.Observe(1, 1000)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP ops_total operations, by op\n",
+		"# TYPE ops_total counter\n",
+		`ops_total{op="put"} 3` + "\n",
+		`ops_total{op="get"} 1` + "\n",
+		"# TYPE open gauge\nopen 2\n",
+		"# TYPE lat_ns histogram\n",
+		`lat_ns_bucket{le="1"} 1` + "\n",
+		`lat_ns_bucket{le="4"} 2` + "\n", // cumulative: the le=4 bucket includes le=1
+		`lat_ns_bucket{le="1024"} 3` + "\n",
+		`lat_ns_bucket{le="+Inf"} 3` + "\n",
+		"lat_ns_sum 1004\n",
+		"lat_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\ngot:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE ops_total") != 1 {
+		t.Error("family header must appear once per family, not per series")
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	r := New(2)
+	r.Counter("hits_total", "hits").Inc(0)
+
+	srv := httptest.NewServer(NewMux(r))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(body, "hits_total 1") || !strings.Contains(ctype, "version=0.0.4") {
+		t.Fatalf("/metrics: ctype %q body %q", ctype, body)
+	}
+	body, ctype = get("/metrics.json?shards=1")
+	if !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/metrics.json ctype %q", ctype)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].PerShard == nil {
+		t.Fatalf("/metrics.json?shards=1 missing per-shard detail: %s", body)
+	}
+	if body, _ = get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatal("/debug/pprof/ index not served")
+	}
+}
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	r := New(1)
+	addr, shutdown, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	if strings.HasSuffix(addr, ":0") {
+		t.Fatalf("Serve did not resolve the ephemeral port: %s", addr)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,77 @@
+package metrics
+
+// MPIAdapter implements mpi.Hooks and mpi.MessageHooks (structurally, so
+// this package needs no runtime imports), counting the point-to-point
+// layer's work: sends and deliveries per rank, bytes moved, the
+// eager-vs-rendezvous protocol split, elided intra-node copies (MPC's
+// §V-B3 optimization), and collective starts. Install it with
+//
+//	mpi.Config{Hooks: metrics.NewMPIAdapter(reg)}
+//
+// or combine it with the happens-before tracker and the trace recorder
+// through mpi.MultiHooks. Constructed over a nil registry every method
+// is a cheap no-op (the disabled fast path).
+type MPIAdapter struct {
+	sends       *Counter
+	deliveries  *Counter
+	bytes       *Counter
+	eager       *Counter
+	rendezvous  *Counter
+	elided      *Counter
+	elidedBytes *Counter
+	collectives *Counter
+	inFlight    *Gauge
+	msgBytes    *Histogram
+}
+
+// NewMPIAdapter creates the adapter and registers its metric families.
+// Passing a nil registry yields a disabled adapter.
+func NewMPIAdapter(r *Registry) *MPIAdapter {
+	return &MPIAdapter{
+		sends:       r.Counter("mpi_sends_total", "point-to-point messages sent, by sending rank"),
+		deliveries:  r.Counter("mpi_deliveries_total", "point-to-point messages delivered, by receiving rank"),
+		bytes:       r.Counter("mpi_bytes_total", "payload bytes carried by point-to-point messages"),
+		eager:       r.Counter("mpi_messages_protocol_total", "messages by wire protocol", L("protocol", "eager")),
+		rendezvous:  r.Counter("mpi_messages_protocol_total", "messages by wire protocol", L("protocol", "rendezvous")),
+		elided:      r.Counter("mpi_copies_elided_total", "deliveries skipped because send and receive buffers were the same memory (HLS intra-node elision)"),
+		elidedBytes: r.Counter("mpi_copy_bytes_elided_total", "payload bytes not copied thanks to same-buffer elision"),
+		collectives: r.Counter("mpi_collectives_total", "collective operations started, per participating task"),
+		inFlight:    r.Gauge("mpi_messages_in_flight", "messages sent but not yet delivered"),
+		msgBytes:    r.Histogram("mpi_message_bytes", "point-to-point message size distribution"),
+	}
+}
+
+// OnSend implements mpi.Hooks. It carries no metadata (returns nil).
+func (a *MPIAdapter) OnSend(worldSrc, worldDst int) any {
+	a.sends.Inc(worldSrc)
+	a.inFlight.Inc(worldSrc)
+	return nil
+}
+
+// OnDeliver implements mpi.Hooks.
+func (a *MPIAdapter) OnDeliver(worldDst int, meta any) {
+	a.deliveries.Inc(worldDst)
+	a.inFlight.Dec(worldDst)
+}
+
+// OnMessage implements mpi.MessageHooks.
+func (a *MPIAdapter) OnMessage(worldSrc, worldDst, bytes int, rendezvous bool) {
+	a.bytes.Add(worldSrc, int64(bytes))
+	a.msgBytes.Observe(worldSrc, int64(bytes))
+	if rendezvous {
+		a.rendezvous.Inc(worldSrc)
+	} else {
+		a.eager.Inc(worldSrc)
+	}
+}
+
+// OnCopyElided implements mpi.MessageHooks.
+func (a *MPIAdapter) OnCopyElided(worldDst, bytes int) {
+	a.elided.Inc(worldDst)
+	a.elidedBytes.Add(worldDst, int64(bytes))
+}
+
+// OnCollective implements mpi.MessageHooks.
+func (a *MPIAdapter) OnCollective(worldRank int) {
+	a.collectives.Inc(worldRank)
+}

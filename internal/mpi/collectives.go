@@ -26,6 +26,9 @@ func collStart(t *Task, c *Comm) (comm *Comm, baseTag int) {
 	st := t.stateFor(c)
 	st.collSeq++
 	t.world.stats.collectives.Add(1)
+	if t.world.msgHooks != nil {
+		t.world.msgHooks.OnCollective(t.rank)
+	}
 	return c, int(st.collSeq << collStepBits)
 }
 

@@ -77,6 +77,28 @@ type Hooks interface {
 	OnDeliver(worldDst int, meta any)
 }
 
+// MessageHooks is an optional extension of Hooks: implementations that
+// also satisfy it receive the runtime events beyond the metadata
+// piggyback — per-message sizes and protocol choices, elided intra-node
+// copies, collective starts. The runtime detects the extension once at
+// world creation, so the per-message cost when it is absent is a single
+// nil check. internal/metrics' MPI adapter implements it; MultiHooks
+// forwards it to every member that does.
+type MessageHooks interface {
+	Hooks
+	// OnMessage is called by the sending task for every point-to-point
+	// message (including those carrying collectives), after the
+	// eager-vs-rendezvous decision.
+	OnMessage(worldSrc, worldDst, bytes int, rendezvous bool)
+	// OnCopyElided is called on the delivery path when the send and
+	// receive buffers were the same memory and the copy was skipped
+	// (MPC's intra-node optimization, §V-B3).
+	OnCopyElided(worldDst, bytes int)
+	// OnCollective is called by each task starting a collective
+	// operation.
+	OnCollective(worldRank int)
+}
+
 // Config parametrizes a World.
 type Config struct {
 	// NumTasks is the number of MPI tasks (world size). Required.
@@ -107,6 +129,11 @@ type World struct {
 	world      *Comm
 	ctxCounter atomic.Int64
 	commID     atomic.Int64
+
+	// msgHooks is cfg.Hooks when it also implements MessageHooks,
+	// resolved once so hot paths pay one nil check, not an interface
+	// assertion per message.
+	msgHooks MessageHooks
 
 	stats worldStats
 }
@@ -188,6 +215,9 @@ func NewWorld(cfg Config) (*World, error) {
 		cfg.EagerLimit = DefaultEagerLimit
 	}
 	w := &World{cfg: cfg, machine: m, pin: pin}
+	if mh, ok := cfg.Hooks.(MessageHooks); ok {
+		w.msgHooks = mh
+	}
 	w.eps = make([]*endpoint, cfg.NumTasks)
 	for i := range w.eps {
 		w.eps[i] = newEndpoint(i)

@@ -1,0 +1,80 @@
+package mpi
+
+// MultiHooks combines several Hooks into one, so a world can feed the
+// happens-before tracker, the trace recorder and the metrics adapters
+// simultaneously without hand-written Inner chains. Each member's
+// OnSend metadata travels with the message independently and is handed
+// back to that member's OnDeliver. Members implementing MessageHooks
+// also receive the extended events.
+//
+// Nil members are dropped; with zero non-nil members MultiHooks returns
+// nil (no hooks), and with exactly one it returns that member unchanged,
+// so composition adds no overhead in the degenerate cases.
+func MultiHooks(hooks ...Hooks) Hooks {
+	hs := make([]Hooks, 0, len(hooks))
+	for _, h := range hooks {
+		if h != nil {
+			hs = append(hs, h)
+		}
+	}
+	switch len(hs) {
+	case 0:
+		return nil
+	case 1:
+		return hs[0]
+	}
+	m := &multiHooks{hooks: hs}
+	for _, h := range hs {
+		if mh, ok := h.(MessageHooks); ok {
+			m.msg = append(m.msg, mh)
+		}
+	}
+	return m
+}
+
+type multiHooks struct {
+	hooks []Hooks
+	msg   []MessageHooks // the subset implementing MessageHooks
+}
+
+// OnSend implements Hooks, gathering every member's metadata.
+func (m *multiHooks) OnSend(worldSrc, worldDst int) any {
+	metas := make([]any, len(m.hooks))
+	for i, h := range m.hooks {
+		metas[i] = h.OnSend(worldSrc, worldDst)
+	}
+	return metas
+}
+
+// OnDeliver implements Hooks, handing each member its own metadata.
+func (m *multiHooks) OnDeliver(worldDst int, meta any) {
+	metas, _ := meta.([]any)
+	for i, h := range m.hooks {
+		var mi any
+		if i < len(metas) {
+			mi = metas[i]
+		}
+		h.OnDeliver(worldDst, mi)
+	}
+}
+
+// OnMessage implements MessageHooks.
+func (m *multiHooks) OnMessage(worldSrc, worldDst, bytes int, rendezvous bool) {
+	for _, h := range m.msg {
+		h.OnMessage(worldSrc, worldDst, bytes, rendezvous)
+	}
+}
+
+// OnCopyElided implements MessageHooks.
+func (m *multiHooks) OnCopyElided(worldDst, bytes int) {
+	for _, h := range m.msg {
+		h.OnCopyElided(worldDst, bytes)
+	}
+}
+
+// OnCollective implements MessageHooks.
+func (m *multiHooks) OnCollective(worldRank int) {
+	for _, h := range m.msg {
+		h.OnCollective(worldRank)
+	}
+}

@@ -92,6 +92,9 @@ func isend[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dst, tag int, op s
 	} else {
 		src = append([]T(nil), buf...)
 	}
+	if w.msgHooks != nil {
+		w.msgHooks.OnMessage(t.rank, worldDst, bytes, msg.rendezvous)
+	}
 	msg.deliver = func(dst any, recvRank int) int {
 		d, ok := dst.([]T)
 		if !ok {
@@ -105,6 +108,9 @@ func isend[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dst, tag int, op s
 			// This is MPC's intra-node optimization that removes Tachyon's
 			// rank-0 image copies once the image is an HLS variable.
 			w.stats.sameAddrSkips.Add(1)
+			if w.msgHooks != nil {
+				w.msgHooks.OnCopyElided(recvRank, bytes)
+			}
 		} else {
 			copy(d, src)
 		}

@@ -1,0 +1,90 @@
+package rma
+
+// MultiObserver combines several Observers into one, so a window can
+// publish its passive-target synchronization edges to the
+// happens-before tracker and the metrics adapter simultaneously.
+//
+// Nil members are dropped; with zero non-nil members MultiObserver
+// returns nil, and with exactly one it returns that member unchanged.
+func MultiObserver(obs ...Observer) Observer {
+	os := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			os = append(os, o)
+		}
+	}
+	switch len(os) {
+	case 0:
+		return nil
+	case 1:
+		return os[0]
+	}
+	return multiObserver(os)
+}
+
+type multiObserver []Observer
+
+// Arrive implements Observer.
+func (m multiObserver) Arrive(key string, worldRank int) {
+	for _, o := range m {
+		o.Arrive(key, worldRank)
+	}
+}
+
+// Depart implements Observer.
+func (m multiObserver) Depart(key string, worldRank int) {
+	for _, o := range m {
+		o.Depart(key, worldRank)
+	}
+}
+
+// MultiTracer combines several Tracers into one, so a window can feed
+// the Chrome-trace recorder and the metrics adapter from the same run.
+//
+// Nil members are dropped; with zero non-nil members MultiTracer
+// returns nil, and with exactly one it returns that member unchanged.
+func MultiTracer(tracers ...Tracer) Tracer {
+	ts := make([]Tracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			ts = append(ts, t)
+		}
+	}
+	switch len(ts) {
+	case 0:
+		return nil
+	case 1:
+		return ts[0]
+	}
+	return multiTracer(ts)
+}
+
+type multiTracer []Tracer
+
+// EpochOpen implements Tracer.
+func (m multiTracer) EpochOpen(win, kind string, worldRank int) {
+	for _, t := range m {
+		t.EpochOpen(win, kind, worldRank)
+	}
+}
+
+// EpochClose implements Tracer.
+func (m multiTracer) EpochClose(win, kind string, worldRank int) {
+	for _, t := range m {
+		t.EpochClose(win, kind, worldRank)
+	}
+}
+
+// BeginOp implements Tracer.
+func (m multiTracer) BeginOp(win, op string, worldRank, targetWorldRank, bytes int) {
+	for _, t := range m {
+		t.BeginOp(win, op, worldRank, targetWorldRank, bytes)
+	}
+}
+
+// EndOp implements Tracer.
+func (m multiTracer) EndOp(win, op string, worldRank int) {
+	for _, t := range m {
+		t.EndOp(win, op, worldRank)
+	}
+}

@@ -14,9 +14,9 @@ import (
 type RMAAdapter struct {
 	R *Recorder
 
-	mu      sync.Mutex
-	epochs  map[rmaKey]float64
-	ops     map[rmaKey]rmaOp
+	mu     sync.Mutex
+	epochs map[rmaKey]float64
+	ops    map[rmaKey]rmaOp
 }
 
 type rmaKey struct {

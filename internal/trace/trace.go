@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
 )
@@ -30,14 +31,32 @@ type Event struct {
 
 // Recorder accumulates events. Safe for concurrent use.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
-	start  time.Time
+	mu      sync.Mutex
+	events  []Event
+	start   time.Time
+	max     int   // 0 = unbounded
+	next    int   // ring write position when the buffer is full
+	dropped int64 // events overwritten because the buffer was full
+}
+
+// RecorderOption tunes a Recorder.
+type RecorderOption func(*Recorder)
+
+// WithMaxEvents bounds the recorder to the most recent n events: once
+// full it becomes a ring buffer, overwriting the oldest event and
+// counting the overwritten ones (see Dropped), so long runs cannot grow
+// the recorder without limit. n <= 0 means unbounded.
+func WithMaxEvents(n int) RecorderOption {
+	return func(r *Recorder) { r.max = n }
 }
 
 // NewRecorder starts a recorder; timestamps are relative to this call.
-func NewRecorder() *Recorder {
-	return &Recorder{start: time.Now()}
+func NewRecorder(opts ...RecorderOption) *Recorder {
+	r := &Recorder{start: time.Now()}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
 }
 
 func (r *Recorder) now() float64 {
@@ -46,7 +65,13 @@ func (r *Recorder) now() float64 {
 
 func (r *Recorder) add(e Event) {
 	r.mu.Lock()
-	r.events = append(r.events, e)
+	if r.max > 0 && len(r.events) >= r.max {
+		r.events[r.next] = e
+		r.next = (r.next + 1) % r.max
+		r.dropped++
+	} else {
+		r.events = append(r.events, e)
+	}
 	r.mu.Unlock()
 }
 
@@ -63,19 +88,38 @@ func (r *Recorder) Instant(tid int, name, cat string, args any) {
 	r.add(Event{Name: name, Cat: cat, Ph: "i", Ts: r.now(), Pid: 0, Tid: tid, Args: args})
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of currently held events (at most the
+// WithMaxEvents bound).
 func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.events)
 }
 
-// WriteJSON emits the Chrome trace file.
+// Dropped returns how many events were overwritten because the
+// WithMaxEvents ring filled up (always 0 for unbounded recorders).
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// WriteJSON emits the Chrome trace file. Events are sorted by timestamp
+// — concurrent tasks append out of order, ring-buffer wrap-around
+// rotates the oldest events to the back, and some viewers mis-stack
+// unsorted duration events. When events were dropped, the count is
+// recorded in the file's otherData section as "droppedEvents".
 func (r *Recorder) WriteJSON(w io.Writer) error {
 	r.mu.Lock()
 	events := append([]Event(nil), r.events...)
+	dropped := r.dropped
 	r.mu.Unlock()
-	return json.NewEncoder(w).Encode(map[string]any{"traceEvents": events})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
+	doc := map[string]any{"traceEvents": events}
+	if dropped > 0 {
+		doc["otherData"] = map[string]any{"droppedEvents": dropped}
+	}
+	return json.NewEncoder(w).Encode(doc)
 }
 
 // MPIAdapter implements mpi.Hooks, recording message sends and

@@ -178,3 +178,103 @@ func TestAdaptersWithoutInner(t *testing.T) {
 		t.Errorf("events = %d, want 4", rec.Len())
 	}
 }
+
+func TestWriteJSONSortsByTimestamp(t *testing.T) {
+	r := NewRecorder()
+	// Append out of order by hand: concurrent tasks do this naturally.
+	r.add(Event{Name: "late", Ph: "i", Ts: 300})
+	r.add(Event{Name: "early", Ph: "i", Ts: 100})
+	r.add(Event{Name: "mid", Ph: "i", Ts: 200})
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"early", "mid", "late"}
+	for i, e := range parsed.TraceEvents {
+		if e.Name != want[i] {
+			t.Fatalf("event %d = %q, want %q (not sorted by Ts)", i, e.Name, want[i])
+		}
+	}
+	// The writer must not mutate the recorder's live buffer.
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d after WriteJSON", r.Len())
+	}
+}
+
+func TestRingBufferBoundsEvents(t *testing.T) {
+	r := NewRecorder(WithMaxEvents(4))
+	for i := 0; i < 10; i++ {
+		r.add(Event{Name: "e", Ph: "i", Ts: float64(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (bounded)", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []Event        `json:"traceEvents"`
+		OtherData   map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	// The survivors are the most recent 4, sorted despite wrap-around.
+	if len(parsed.TraceEvents) != 4 {
+		t.Fatalf("wrote %d events", len(parsed.TraceEvents))
+	}
+	for i, e := range parsed.TraceEvents {
+		if int(e.Ts) != 6+i {
+			t.Fatalf("event %d has Ts %v, want %d (oldest survivors first)", i, e.Ts, 6+i)
+		}
+	}
+	if got, ok := parsed.OtherData["droppedEvents"].(float64); !ok || int(got) != 6 {
+		t.Fatalf("otherData.droppedEvents = %v, want 6", parsed.OtherData["droppedEvents"])
+	}
+}
+
+func TestUnboundedRecorderReportsNoDrops(t *testing.T) {
+	r := NewRecorder()
+	r.Instant(0, "e", "c", nil)
+	if r.Dropped() != 0 {
+		t.Fatal("unbounded recorder dropped events")
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "droppedEvents") {
+		t.Fatal("otherData must be absent when nothing was dropped")
+	}
+}
+
+func TestRingBufferConcurrent(t *testing.T) {
+	r := NewRecorder(WithMaxEvents(64))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Instant(g, "e", "c", nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", r.Len())
+	}
+	if r.Dropped() != 800-64 {
+		t.Fatalf("Dropped = %d, want %d", r.Dropped(), 800-64)
+	}
+}
