@@ -25,8 +25,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|faults|all")
 	full := flag.Bool("full", false, "run the paper-shaped sweep instead of the quick profile")
+	seed := flag.Int64("seed", 1, "chaos seed for -exp faults (fixes the whole fault schedule)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	serve := flag.String("serve", "", "serve live /metrics, /metrics.json and /debug/pprof/ on this address (e.g. :8080 or :0) while experiments run")
 	linger := flag.Duration("linger", 0, "keep the -serve endpoint up this long after the experiments finish")
@@ -140,6 +141,15 @@ func main() {
 		res, err := bench.RunRMA(profile)
 		exitOn(err)
 		bench.PrintRMA(os.Stdout, res)
+		fmt.Println()
+	}
+	if want("faults") {
+		ran = true
+		fmt.Printf("== Fault tolerance: clean vs chaos (%s profile, seed %d) ==\n", profile, *seed)
+		res, err := bench.RunFaults(profile, *seed)
+		exitOn(err)
+		bench.PrintFaults(os.Stdout, res)
+		writeCSV("faults.csv", func(w io.Writer) error { return bench.WriteFaultsCSV(w, res) })
 		fmt.Println()
 	}
 	if !ran {

@@ -18,6 +18,7 @@ import (
 	"hls/internal/apps/eulermhd"
 	"hls/internal/apps/gadget"
 	"hls/internal/apps/tachyon"
+	"hls/internal/chaos"
 	"hls/internal/hls"
 	"hls/internal/memsim"
 	"hls/internal/mpi"
@@ -29,6 +30,8 @@ func main() {
 	variant := flag.String("variant", "hls", "runtime variant: hls|mpc|openmpi")
 	cores := flag.Int("cores", 16, "total MPI tasks (multiple of 8, 8 per node)")
 	csvPath := flag.String("csv", "", "write the per-node memory timeline CSV here")
+	allocFail := flag.Float64("chaos-alloc-fail", 0, "probability [0,1] that each HLS allocation attempt fails (drives demotion to private copies)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the injected allocation failures")
 	flag.Parse()
 
 	if *cores < 8 || *cores%8 != 0 {
@@ -58,7 +61,13 @@ func main() {
 	for node := 0; node < machine.Nodes(); node++ {
 		tracker.AllocNode(node, memsim.RuntimeBytesPerNode(model, 8, *cores), memsim.KindRuntime)
 	}
-	reg := hls.New(world, hls.WithTracker(tracker))
+	var inj *chaos.Injector
+	hlsOpts := []hls.Option{hls.WithTracker(tracker)}
+	if *allocFail > 0 {
+		inj = chaos.New(*chaosSeed, chaos.Fault{Kind: chaos.AllocFail, Prob: *allocFail})
+		hlsOpts = append(hlsOpts, hls.WithAllocGate(inj), hls.WithAllocRetry(2, time.Millisecond))
+	}
+	reg := hls.New(world, hlsOpts...)
 
 	var body func(task *mpi.Task) error
 	switch *app {
@@ -97,6 +106,19 @@ func main() {
 	fmt.Printf("avg. mem %.0f MB (per-node time-average, mean over nodes)\n", memsim.MB(rep.AvgBytes))
 	fmt.Printf("max. mem %.0f MB\n", memsim.MB(rep.MaxBytes))
 
+	// Demotion footprint delta: what the graceful-degradation path cost
+	// over sharing (nonzero only under -chaos-alloc-fail).
+	var demotions int
+	var extraBytes int64
+	for _, vi := range reg.Report() {
+		demotions += vi.Demotions
+		extraBytes += vi.DemotedExtraBytes
+	}
+	if inj != nil || demotions > 0 {
+		fmt.Printf("demotions: %d instances fell back to private copies, +%.2f MB over sharing (%d injected alloc failures)\n",
+			demotions, memsim.MB(float64(extraBytes)), injCount(inj))
+	}
+
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		fail(err)
@@ -104,6 +126,13 @@ func main() {
 		fail(tracker.WriteCSV(f))
 		fmt.Println("wrote", *csvPath)
 	}
+}
+
+func injCount(inj *chaos.Injector) int {
+	if inj == nil {
+		return 0
+	}
+	return inj.Count(chaos.AllocFail)
 }
 
 func fail(err error) {

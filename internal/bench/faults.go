@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"hls/internal/chaos"
+	"hls/internal/hls"
+	"hls/internal/metrics"
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+// The faults experiment measures what the fault-tolerance layer costs
+// and what it buys: the same HLS workload runs once clean and once under
+// a seeded chaos plan (allocation failures forcing demotion, message
+// delays, a rank stall), and the harness reports the throughput delta,
+// the demotions with their footprint cost, the recovery latency
+// histogram, and — the acceptance property — that degraded execution
+// produced bitwise-identical results (§III sharing/duplication
+// equivalence).
+
+// FaultsRun is one configuration's measurements.
+type FaultsRun struct {
+	Mode       string
+	Seconds    float64
+	Throughput float64 // iterations*tasks per second
+	Demotions  int
+	ExtraMB    float64
+}
+
+// FaultsResult aggregates the experiment.
+type FaultsResult struct {
+	Tasks, Iters int
+	Seed         int64
+	Clean, Chaos FaultsRun
+	// Identical reports bitwise equality of the clean and degraded
+	// result vectors.
+	Identical bool
+	// Injected counts the chaos events per kind.
+	Injected map[string]int
+	// RecoveryP50Ns / RecoveryP99Ns are read from the
+	// hls_demotion_recovery_ns histogram (first-failed-attempt to
+	// demotion decision).
+	RecoveryP50Ns, RecoveryP99Ns float64
+}
+
+// RunFaults runs the clean-vs-chaos comparison. The seed fixes the whole
+// chaos schedule, so a run is reproducible bit for bit.
+func RunFaults(p Profile, seed int64) (*FaultsResult, error) {
+	machine := topology.HarpertownCluster(2)
+	tasks := machine.TotalCores()
+	iters := 60
+	entries := 2048
+	if p == Full {
+		machine = topology.NehalemEX4Scaled()
+		tasks = machine.TotalCores()
+		iters = 300
+		entries = 8192
+	}
+	out := &FaultsResult{Tasks: tasks, Iters: iters, Seed: seed}
+
+	// A local registry always collects the demotion metrics (the live
+	// telemetry registry, when serving, gets them too via the shared
+	// adapter chain).
+	localReg := metrics.New(tasks)
+	localHLS := metrics.NewHLSAdapter(localReg)
+
+	run := func(inj *chaos.Injector) ([]float64, FaultsRun, error) {
+		var hooks mpi.Hooks
+		obs := []hls.SyncObserver{localHLS}
+		if t := ActiveTelemetry(); t != nil {
+			hooks = t.MPI
+			obs = append(obs, t.HLS)
+		}
+		if inj != nil {
+			if hooks != nil {
+				hooks = mpi.MultiHooks(hooks, inj)
+			} else {
+				hooks = inj
+			}
+			obs = append(obs, inj)
+		}
+		w, err := mpi.NewWorld(mpi.Config{NumTasks: tasks, Machine: machine,
+			Pin: topology.PinCorePerTask, Timeout: 5 * time.Minute, Hooks: hooks})
+		if err != nil {
+			return nil, FaultsRun{}, err
+		}
+		reg := hls.New(w, hls.WithObserver(hls.MultiObserver(obs...)),
+			hls.WithAllocRetry(2, 50*time.Microsecond))
+		v := hls.Declare[float64](reg, "fault_table", topology.Node, entries,
+			hls.WithInit(func(inst int, data []float64) {
+				for i := range data {
+					data[i] = float64(i%97) * 0.5
+				}
+			}))
+		results := make([]float64, iters)
+		start := time.Now()
+		runErr := w.Run(func(task *mpi.Task) error {
+			sum := []float64{0}
+			out := []float64{0}
+			for i := 0; i < iters; i++ {
+				v.Single(task, func(data []float64) {
+					for j := range data {
+						data[j] += 1
+					}
+				})
+				s := 0.0
+				for _, x := range v.Slice(task) {
+					s += x
+				}
+				sum[0] = s
+				mpi.Allreduce(task, nil, sum, out, mpi.OpSum)
+				if task.Rank() == 0 {
+					results[i] = out[0]
+				}
+				reg.BarrierScope(task, topology.Node)
+			}
+			return nil
+		})
+		elapsed := time.Since(start)
+		if runErr != nil {
+			return nil, FaultsRun{}, runErr
+		}
+		dem, extra := v.Demotions()
+		return results, FaultsRun{
+			Seconds:    elapsed.Seconds(),
+			Throughput: float64(iters*tasks) / elapsed.Seconds(),
+			Demotions:  dem,
+			ExtraMB:    float64(extra) / (1 << 20),
+		}, nil
+	}
+
+	clean, cleanRun, err := run(nil)
+	if err != nil {
+		return nil, fmt.Errorf("faults: clean run: %w", err)
+	}
+	cleanRun.Mode = "clean"
+	out.Clean = cleanRun
+
+	inj := chaos.New(seed,
+		chaos.Fault{Kind: chaos.AllocFail, Var: "fault_table", Prob: 1},
+		chaos.Fault{Kind: chaos.MsgDelay, Rank: -1, Prob: 0.02, Delay: 100 * time.Microsecond},
+		chaos.Fault{Kind: chaos.RankStall, Rank: 1, Nth: 5, Times: 2, Delay: time.Millisecond},
+	)
+	degraded, chaosRun, err := run(inj)
+	if err != nil {
+		return nil, fmt.Errorf("faults: chaos run: %w", err)
+	}
+	chaosRun.Mode = "chaos"
+	out.Chaos = chaosRun
+	if out.Chaos.Demotions == 0 {
+		return nil, fmt.Errorf("faults: chaos run demoted nothing (alloc-fail plan did not fire)")
+	}
+
+	out.Identical = len(clean) == len(degraded)
+	for i := range clean {
+		if clean[i] != degraded[i] {
+			out.Identical = false
+			break
+		}
+	}
+
+	out.Injected = make(map[string]int)
+	for _, e := range inj.Events() {
+		out.Injected[e.Kind.String()]++
+	}
+
+	snap := localReg.Snapshot()
+	for _, h := range snap.Histograms {
+		if h.Name == "hls_demotion_recovery_ns" && h.Count > 0 {
+			out.RecoveryP50Ns = histQuantile(h, 0.5)
+			out.RecoveryP99Ns = histQuantile(h, 0.99)
+		}
+	}
+	return out, nil
+}
+
+// PrintFaults renders the experiment.
+func PrintFaults(w io.Writer, r *FaultsResult) {
+	fprintf(w, "Fault tolerance: clean vs chaos (%d tasks, %d iterations, seed %d)\n",
+		r.Tasks, r.Iters, r.Seed)
+	fprintf(w, "%-8s %10s %16s %11s %10s\n", "run", "seconds", "iters*tasks/s", "demotions", "extra MB")
+	for _, row := range []FaultsRun{r.Clean, r.Chaos} {
+		fprintf(w, "%-8s %10.3f %16.0f %11d %10.2f\n",
+			row.Mode, row.Seconds, row.Throughput, row.Demotions, row.ExtraMB)
+	}
+	slow := r.Chaos.Seconds / r.Clean.Seconds
+	fprintf(w, "chaos slowdown: %.2fx\n", slow)
+	fprintf(w, "injected:")
+	for _, k := range []string{"alloc-fail", "msg-delay", "rank-stall", "msg-drop", "msg-dup", "rank-kill", "map-fail"} {
+		if n := r.Injected[k]; n > 0 {
+			fprintf(w, " %s=%d", k, n)
+		}
+	}
+	fprintf(w, "\n")
+	if !math.IsNaN(r.RecoveryP50Ns) && r.RecoveryP50Ns > 0 {
+		fprintf(w, "demotion recovery latency: p50 <= %s, p99 <= %s (first failed attempt -> demotion)\n",
+			fmtDur(r.RecoveryP50Ns), fmtDur(r.RecoveryP99Ns))
+	}
+	if r.Identical {
+		fprintf(w, "degraded results: bitwise identical to clean run (§III sharing≡duplication)\n")
+	} else {
+		fprintf(w, "degraded results: DIFFER from clean run — degradation broke §III equivalence!\n")
+	}
+}
+
+// WriteFaultsCSV writes the experiment as machine-readable rows.
+func WriteFaultsCSV(w io.Writer, r *FaultsResult) error {
+	if _, err := fmt.Fprintln(w, "mode,seconds,throughput,demotions,extra_mb,identical"); err != nil {
+		return err
+	}
+	for _, row := range []FaultsRun{r.Clean, r.Chaos} {
+		if _, err := fmt.Fprintf(w, "%s,%.4f,%.1f,%d,%.3f,%t\n",
+			row.Mode, row.Seconds, row.Throughput, row.Demotions, row.ExtraMB, r.Identical); err != nil {
+			return err
+		}
+	}
+	return nil
+}

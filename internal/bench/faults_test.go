@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosFaultsExperiment runs the quick clean-vs-chaos comparison and
+// asserts its acceptance properties: demotions happened, the degraded
+// run produced bitwise-identical results, and the report renders.
+func TestChaosFaultsExperiment(t *testing.T) {
+	res, err := RunFaults(Quick, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chaos.Demotions == 0 {
+		t.Error("chaos run demoted nothing")
+	}
+	if res.Chaos.ExtraMB <= 0 {
+		t.Error("demotion reported no extra footprint")
+	}
+	if !res.Identical {
+		t.Error("degraded results differ from clean run (§III equivalence broken)")
+	}
+	if res.Injected["alloc-fail"] == 0 {
+		t.Error("no allocation failures recorded")
+	}
+	var b strings.Builder
+	PrintFaults(&b, res)
+	for _, want := range []string{"demotions", "bitwise identical", "alloc-fail"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, b.String())
+		}
+	}
+	var csv strings.Builder
+	if err := WriteFaultsCSV(&csv, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "chaos,") {
+		t.Errorf("CSV missing chaos row:\n%s", csv.String())
+	}
+}

@@ -1,0 +1,336 @@
+// Package chaos is a seeded, deterministic fault injector for the HLS
+// runtime. One Injector plugs into the existing extension points — it
+// implements mpi.FaultHooks for message faults, hls.SyncObserver (+
+// AllocGate) for directive-level rank faults and allocation failures,
+// and exposes a MapGate closure for procmpi's shared-segment mapping —
+// so the hot paths grow no chaos-specific code: a world without an
+// injector pays the same single nil check it always did.
+//
+// Faults are described declaratively (kind, scope filters, firing rule)
+// and armed on a per-fault seeded RNG, so a given (seed, fault plan,
+// schedule) is reproducible. Every injected fault is recorded and
+// queryable via Events, which the faults experiment and the CI chaos
+// job assert on.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"hls/internal/mpi"
+)
+
+// Kind enumerates the injectable faults.
+type Kind int
+
+const (
+	// MsgDelay sleeps the sending task before the message is delivered.
+	MsgDelay Kind = iota
+	// MsgDrop loses the message (the receiver stalls; the deadlock
+	// watchdog or a typed failure surfaces it).
+	MsgDrop
+	// MsgDup delivers the message twice (at-least-once delivery fault).
+	MsgDup
+	// RankStall sleeps a rank at an HLS directive entry.
+	RankStall
+	// RankKill panics a rank at an HLS directive entry with *Killed.
+	RankKill
+	// AllocFail fails an HLS lazy allocation attempt (§IV-A), driving
+	// the retry-then-demote degradation path.
+	AllocFail
+	// MapFail fails a procmpi shared-segment mapping attempt.
+	MapFail
+)
+
+func (k Kind) String() string {
+	switch k {
+	case MsgDelay:
+		return "msg-delay"
+	case MsgDrop:
+		return "msg-drop"
+	case MsgDup:
+		return "msg-dup"
+	case RankStall:
+		return "rank-stall"
+	case RankKill:
+		return "rank-kill"
+	case AllocFail:
+		return "alloc-fail"
+	case MapFail:
+		return "map-fail"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Fault is one declarative fault description.
+type Fault struct {
+	Kind Kind
+
+	// Rank filters by world rank (the sender for message faults, the
+	// executing rank for directive faults); -1 matches any rank.
+	Rank int
+	// Var filters AllocFail by variable name ("" = any).
+	Var string
+	// Node filters MapFail by node index (-1 = any; note 0 matches only
+	// node 0).
+	Node int
+
+	// Firing rule: Nth fires at the Nth matching opportunity (1-based)
+	// seen by this fault; when Nth is 0, Prob fires each opportunity
+	// with the given probability on the fault's seeded RNG. Times caps
+	// the total firings (0 = unlimited).
+	Nth   int64
+	Prob  float64
+	Times int
+
+	// Delay is the sleep of MsgDelay / RankStall.
+	Delay time.Duration
+}
+
+// Killed is the panic payload of a RankKill fault. mpi.Run classifies it
+// into a *mpi.RankFailure, so surviving ranks see typed dead-rank errors.
+type Killed struct {
+	Rank      int
+	Directive string
+}
+
+func (k *Killed) Error() string {
+	return fmt.Sprintf("chaos: rank %d killed at %s", k.Rank, k.Directive)
+}
+
+// Event records one injected fault.
+type Event struct {
+	Seq    int64
+	Kind   Kind
+	Rank   int
+	Detail string
+}
+
+// armedFault is a Fault plus its firing state. The mutex serializes the
+// RNG and counters; chaos decisions are off the common fast path (the
+// injector is only consulted when installed at all).
+type armedFault struct {
+	Fault
+	mu    sync.Mutex
+	seen  int64
+	fired int64
+	rng   *rand.Rand
+}
+
+// fires decides (deterministically per fault, given a fixed opportunity
+// order) whether this opportunity triggers the fault.
+func (f *armedFault) fires() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seen++
+	if f.Times > 0 && f.fired >= int64(f.Times) {
+		return false
+	}
+	hit := false
+	if f.Nth > 0 {
+		hit = f.seen == f.Nth
+	} else if f.Prob > 0 {
+		hit = f.rng.Float64() < f.Prob
+	}
+	if hit {
+		f.fired++
+	}
+	return hit
+}
+
+// Injector holds an armed fault plan. Install it as (part of) the
+// world's mpi.Hooks and the registry's hls.SyncObserver; wire MapGate
+// into procmpi when mapping faults are wanted.
+type Injector struct {
+	faults []*armedFault
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// New arms a fault plan on the given seed. Each fault gets its own RNG
+// (seed xor fault index), so adding a fault does not perturb the firing
+// pattern of the others.
+func New(seed int64, faults ...Fault) *Injector {
+	inj := &Injector{}
+	for i, f := range faults {
+		inj.faults = append(inj.faults, &armedFault{
+			Fault: f,
+			rng:   rand.New(rand.NewSource(seed ^ int64(i)*0x5851f42d4c957f2d)),
+		})
+	}
+	return inj
+}
+
+// record appends an event.
+func (inj *Injector) record(k Kind, rank int, format string, args ...any) {
+	inj.mu.Lock()
+	inj.events = append(inj.events, Event{
+		Seq:    int64(len(inj.events)),
+		Kind:   k,
+		Rank:   rank,
+		Detail: fmt.Sprintf(format, args...),
+	})
+	inj.mu.Unlock()
+}
+
+// Events returns a snapshot of every fault injected so far.
+func (inj *Injector) Events() []Event {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return append([]Event(nil), inj.events...)
+}
+
+// Count returns how many faults of kind k fired.
+func (inj *Injector) Count(k Kind) int {
+	n := 0
+	inj.mu.Lock()
+	for _, e := range inj.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	inj.mu.Unlock()
+	return n
+}
+
+// String summarizes the injected faults per kind.
+func (inj *Injector) String() string {
+	counts := make(map[Kind]int)
+	inj.mu.Lock()
+	for _, e := range inj.events {
+		counts[e.Kind]++
+	}
+	total := len(inj.events)
+	inj.mu.Unlock()
+	if total == 0 {
+		return "chaos: no faults injected"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: %d faults injected:", total)
+	for k := MsgDelay; k <= MapFail; k++ {
+		if counts[k] > 0 {
+			fmt.Fprintf(&b, " %v=%d", k, counts[k])
+		}
+	}
+	return b.String()
+}
+
+// --- mpi.Hooks / mpi.FaultHooks ---
+
+// OnSend implements mpi.Hooks (no metadata piggyback).
+func (inj *Injector) OnSend(worldSrc, worldDst int) any { return nil }
+
+// OnDeliver implements mpi.Hooks.
+func (inj *Injector) OnDeliver(worldDst int, meta any) {}
+
+// FaultP2P implements mpi.FaultHooks: it is consulted once per
+// point-to-point message on the send path and merges the verdicts of
+// every matching message fault.
+func (inj *Injector) FaultP2P(worldSrc, worldDst, bytes int, rendezvous bool) mpi.FaultAction {
+	var act mpi.FaultAction
+	for _, f := range inj.faults {
+		switch f.Kind {
+		case MsgDelay, MsgDrop, MsgDup:
+		default:
+			continue
+		}
+		if f.Rank >= 0 && f.Rank != worldSrc {
+			continue
+		}
+		if !f.fires() {
+			continue
+		}
+		switch f.Kind {
+		case MsgDelay:
+			act.Delay += f.Delay
+			inj.record(MsgDelay, worldSrc, "delay %v on %d->%d (%dB)", f.Delay, worldSrc, worldDst, bytes)
+		case MsgDrop:
+			act.Drop = true
+			inj.record(MsgDrop, worldSrc, "drop %d->%d (%dB, rendezvous=%t)", worldSrc, worldDst, bytes, rendezvous)
+		case MsgDup:
+			act.Duplicate = true
+			inj.record(MsgDup, worldSrc, "duplicate %d->%d (%dB)", worldSrc, worldDst, bytes)
+		}
+	}
+	return act
+}
+
+// --- hls.SyncObserver (directive-entry faults) ---
+
+// Arrive implements hls.SyncObserver: directive entry is the injection
+// point for rank stalls and rank kills.
+func (inj *Injector) Arrive(key string, worldRank int) {
+	for _, f := range inj.faults {
+		switch f.Kind {
+		case RankStall, RankKill:
+		default:
+			continue
+		}
+		if f.Rank >= 0 && f.Rank != worldRank {
+			continue
+		}
+		if !f.fires() {
+			continue
+		}
+		switch f.Kind {
+		case RankStall:
+			inj.record(RankStall, worldRank, "stall %v at %s", f.Delay, key)
+			time.Sleep(f.Delay)
+		case RankKill:
+			inj.record(RankKill, worldRank, "kill at %s", key)
+			panic(&Killed{Rank: worldRank, Directive: key})
+		}
+	}
+}
+
+// Depart implements hls.SyncObserver.
+func (inj *Injector) Depart(key string, worldRank int) {}
+
+// --- hls.AllocGate ---
+
+// AllocAttempt implements hls.AllocGate: matching AllocFail faults fail
+// the attempt, driving the registry's retry-then-demote path.
+func (inj *Injector) AllocAttempt(varName, scope string, inst, attempt int) error {
+	for _, f := range inj.faults {
+		if f.Kind != AllocFail {
+			continue
+		}
+		if f.Var != "" && f.Var != varName {
+			continue
+		}
+		if !f.fires() {
+			continue
+		}
+		inj.record(AllocFail, -1, "alloc %s[%s/%d] attempt %d failed", varName, scope, inst, attempt)
+		return fmt.Errorf("chaos: injected allocation failure for %s (%s instance %d, attempt %d)",
+			varName, scope, inst, attempt)
+	}
+	return nil
+}
+
+// --- procmpi mapping gate ---
+
+// MapGate returns the shared-segment mapping gate for procmpi: matching
+// MapFail faults fail the attempt.
+func (inj *Injector) MapGate() func(node, attempt int) error {
+	return func(node, attempt int) error {
+		for _, f := range inj.faults {
+			if f.Kind != MapFail {
+				continue
+			}
+			if f.Node >= 0 && f.Node != node {
+				continue
+			}
+			if !f.fires() {
+				continue
+			}
+			inj.record(MapFail, -1, "map node %d attempt %d failed", node, attempt)
+			return fmt.Errorf("chaos: injected mapping failure on node %d (attempt %d)", node, attempt)
+		}
+		return nil
+	}
+}

@@ -13,11 +13,12 @@ import (
 // lock", used on its own for scopes up to the LLC and as the building
 // block of the hierarchical barrier.
 type flatBarrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	size  int
-	count int
-	gen   uint64
+	mu       sync.Mutex
+	cond     *sync.Cond
+	size     int
+	count    int
+	gen      uint64
+	abortErr error // non-nil once the barrier can never complete
 }
 
 func newFlatBarrier(size int) *flatBarrier {
@@ -26,13 +27,31 @@ func newFlatBarrier(size int) *flatBarrier {
 	return b
 }
 
+// abort poisons the barrier: current waiters wake and panic with err,
+// and every later arriver panics immediately. Called by the registry's
+// failure handler when a participant rank dies (the barrier can never
+// be completed) or the world is cancelled.
+func (b *flatBarrier) abort(err error) {
+	b.mu.Lock()
+	if b.abortErr == nil {
+		b.abortErr = err
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
 // await blocks until size tasks have arrived. The last arriver runs body
 // (if non-nil) before anyone is released, implementing the single
 // directive's "the last MPI task entering the barrier executes the code
 // block before releasing the others" (§IV-B). It reports whether this
-// caller was the executor.
+// caller was the executor. An aborted barrier panics with the typed
+// abort error instead of blocking forever.
 func (b *flatBarrier) await(body func()) bool {
 	b.mu.Lock()
+	if err := b.abortErr; err != nil {
+		b.mu.Unlock()
+		panic(err)
+	}
 	myGen := b.gen
 	b.count++
 	if b.count == b.size {
@@ -47,10 +66,17 @@ func (b *flatBarrier) await(body func()) bool {
 		b.mu.Unlock()
 		return true
 	}
-	for b.gen == myGen {
+	for b.gen == myGen && b.abortErr == nil {
 		b.cond.Wait()
 	}
+	err := b.abortErr
+	released := b.gen != myGen
 	b.mu.Unlock()
+	// A completed generation wins over a concurrent abort: the barrier's
+	// work was done before the failure reached it.
+	if !released && err != nil {
+		panic(err)
+	}
 	return false
 }
 
@@ -84,12 +110,27 @@ func (bn *barrierNode) await(llcInst int, body func()) bool {
 	return executed
 }
 
-// barrierFor returns (creating lazily) the barrier of task t's instance of
-// scope s.
-func (r *Registry) barrierFor(t *mpi.Task, s topology.Scope) (*barrierNode, scopeKey) {
+// abort poisons every level of the barrier.
+func (bn *barrierNode) abort(err error) {
+	if bn.flat != nil {
+		bn.flat.abort(err)
+		return
+	}
+	for _, g := range bn.groups {
+		g.abort(err)
+	}
+	bn.top.abort(err)
+}
+
+// barrierFor returns (creating lazily) the barrier of task t's instance
+// of scope s, after logging the directive kind against the instance's
+// sequence (mismatched sequences panic here, before the task can block
+// on a barrier its siblings will never complete).
+func (r *Registry) barrierFor(t *mpi.Task, s topology.Scope, kind string) (*barrierNode, scopeKey) {
 	key := r.keyOf(t, s)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.checkSequenceLocked(t.Rank(), key, kind)
 	if bn, ok := r.barriers[key]; ok {
 		return bn, key
 	}
@@ -105,19 +146,33 @@ func (r *Registry) buildBarrier(s topology.Scope, key scopeKey) *barrierNode {
 	if len(ranks) == 0 {
 		panic(fmt.Sprintf("hls: no tasks in %v instance %d", s, key.inst))
 	}
+	var bn *barrierNode
 	if r.flatOnly || !r.useHierarchy(s) {
-		return &barrierNode{flat: newFlatBarrier(len(ranks))}
+		bn = &barrierNode{flat: newFlatBarrier(len(ranks))}
+	} else {
+		llc := r.machine.LLC()
+		perGroup := make(map[int]int)
+		for _, rank := range ranks {
+			perGroup[r.machine.ScopeInstance(r.pin.Thread(rank), llc)]++
+		}
+		bn = &barrierNode{groups: make(map[int]*flatBarrier, len(perGroup))}
+		for inst, n := range perGroup {
+			bn.groups[inst] = newFlatBarrier(n)
+		}
+		bn.top = newFlatBarrier(len(perGroup))
 	}
-	llc := r.machine.LLC()
-	perGroup := make(map[int]int)
-	for _, rank := range ranks {
-		perGroup[r.machine.ScopeInstance(r.pin.Thread(rank), llc)]++
+	// Barriers built after a failure are born aborted: a participant is
+	// already dead (or the world cancelled), so nobody may wait on them.
+	if r.cancelErr != nil {
+		bn.abort(r.cancelErr)
 	}
-	bn := &barrierNode{groups: make(map[int]*flatBarrier, len(perGroup))}
-	for inst, n := range perGroup {
-		bn.groups[inst] = newFlatBarrier(n)
+	for dr, err := range r.deadRanks {
+		for _, rank := range ranks {
+			if rank == dr {
+				bn.abort(err)
+			}
+		}
 	}
-	bn.top = newFlatBarrier(len(perGroup))
 	return bn
 }
 
@@ -148,10 +203,12 @@ func (r *Registry) llcInstanceOf(t *mpi.Task) int {
 // runtime entry point the compiler lowers "#pragma hls barrier" to.
 func (r *Registry) BarrierScope(t *mpi.Task, s topology.Scope) {
 	s = r.resolveScope(s)
-	bn, key := r.barrierFor(t, s)
+	bn, key := r.barrierFor(t, s, "barrier")
 	obsKey := r.obsKey("barrier", key)
 	r.observe(func(o SyncObserver) { o.Arrive(obsKey, t.Rank()) })
+	t.BlockOn("hls " + obsKey)
 	last := bn.await(r.llcInstanceOf(t), nil)
+	t.Unblock()
 	r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
 	r.countDirective(t, key, last)
 }
@@ -160,16 +217,45 @@ func (r *Registry) BarrierScope(t *mpi.Task, s topology.Scope) {
 // barrier whose last arriver runs body.
 func (r *Registry) singleScope(t *mpi.Task, s topology.Scope, body func()) bool {
 	s = r.resolveScope(s)
-	bn, key := r.barrierFor(t, s)
+	bn, key := r.barrierFor(t, s, "single")
 	obsKey := r.obsKey("single", key)
 	r.observe(func(o SyncObserver) { o.Arrive(obsKey, t.Rank()) })
+	t.BlockOn("hls " + obsKey)
 	executed := bn.await(r.llcInstanceOf(t), body)
+	t.Unblock()
 	r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
 	if r.singleObs != nil {
 		r.singleObs.SingleDone(obsKey, t.Rank(), executed)
 	}
 	r.countDirective(t, key, executed)
 	return executed
+}
+
+// singleScopeAll is the degraded form of the single directive, used when
+// the instance's variable was demoted to private copies: every task runs
+// body on its own copy between an entry and an exit barrier, preserving
+// the directive's synchronization while giving each private copy the
+// writes the shared copy would have received. It counts as one single
+// directive, like its healthy counterpart.
+func (r *Registry) singleScopeAll(t *mpi.Task, s topology.Scope, body func()) bool {
+	s = r.resolveScope(s)
+	bn, key := r.barrierFor(t, s, "single")
+	obsKey := r.obsKey("single", key)
+	llc := r.llcInstanceOf(t)
+	r.observe(func(o SyncObserver) { o.Arrive(obsKey, t.Rank()) })
+	t.BlockOn("hls " + obsKey + " (degraded)")
+	bn.await(llc, nil)
+	t.Unblock()
+	body()
+	t.BlockOn("hls " + obsKey + " (degraded)")
+	last := bn.await(llc, nil)
+	t.Unblock()
+	r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
+	if r.singleObs != nil {
+		r.singleObs.SingleDone(obsKey, t.Rank(), true)
+	}
+	r.countDirective(t, key, last)
+	return true
 }
 
 // nowaitState is the per-scope-instance counter of single-nowait regions
@@ -185,13 +271,7 @@ type nowaitState struct {
 func (r *Registry) singleNowaitScope(t *mpi.Task, s topology.Scope, body func()) bool {
 	s = r.resolveScope(s)
 	key := r.keyOf(t, s)
-	r.mu.Lock()
-	ns, ok := r.nowaits[key]
-	if !ok {
-		ns = &nowaitState{}
-		r.nowaits[key] = ns
-	}
-	r.mu.Unlock()
+	ns := r.nowaitFor(t, key)
 
 	nk := nowaitLK(s)
 	r.taskCounts[t.Rank()][nk]++
@@ -217,6 +297,49 @@ func (r *Registry) singleNowaitScope(t *mpi.Task, s topology.Scope, body func())
 		r.singleObs.SingleDone(obsKey, t.Rank(), false)
 	}
 	return false
+}
+
+// nowaitFor returns (creating lazily) the nowait state of key, logging
+// the directive against the instance's sequence.
+func (r *Registry) nowaitFor(t *mpi.Task, key scopeKey) *nowaitState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkSequenceLocked(t.Rank(), key, "nowait")
+	ns, ok := r.nowaits[key]
+	if !ok {
+		ns = &nowaitState{}
+		r.nowaits[key] = ns
+	}
+	return ns
+}
+
+// nowaitAll is the degraded form of single-nowait for demoted instances:
+// every task executes body on its own private copy, without waiting (the
+// directive's no-synchronization contract is unchanged; only the
+// execute-once property turns into execute-everywhere, per §III). The
+// instance counter still advances so migration checks stay consistent.
+func (r *Registry) nowaitAll(t *mpi.Task, s topology.Scope, body func()) bool {
+	s = r.resolveScope(s)
+	key := r.keyOf(t, s)
+	ns := r.nowaitFor(t, key)
+
+	nk := nowaitLK(s)
+	r.taskCounts[t.Rank()][nk]++
+	myCount := r.taskCounts[t.Rank()][nk]
+	ns.mu.Lock()
+	if myCount > ns.done {
+		ns.done = myCount
+	}
+	ns.mu.Unlock()
+
+	obsKey := r.obsKey("nowait", key)
+	r.observe(func(o SyncObserver) { o.Arrive(obsKey, t.Rank()) })
+	body()
+	r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
+	if r.singleObs != nil {
+		r.singleObs.SingleDone(obsKey, t.Rank(), true)
+	}
+	return true
 }
 
 // nowaitLK is the per-task counter namespace of single-nowait directives

@@ -34,6 +34,7 @@ import (
 	"reflect"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hls/internal/memsim"
 	"hls/internal/mpi"
@@ -102,16 +103,35 @@ type Registry struct {
 
 	tracker  *memsim.Tracker
 	observer SyncObserver
-	// singleObs / allocObs are observer when it also implements the
-	// optional extensions, resolved once at construction.
+	// singleObs / allocObs / demoteObs / allocGate are observer when it
+	// also implements the optional extensions, resolved once at
+	// construction (allocGate may also come from WithAllocGate).
 	singleObs SingleObserver
 	allocObs  AllocObserver
+	demoteObs DemoteObserver
+	allocGate AllocGate
 	flatOnly  bool
+
+	// degradation tuning (WithAllocRetry)
+	allocRetries int
+	allocBackoff time.Duration
 
 	mu       sync.Mutex
 	vars     []varMeta
 	barriers map[scopeKey]*barrierNode
 	nowaits  map[scopeKey]*nowaitState
+
+	// failure state: ranks known dead (with the abort error barriers get)
+	// and the cancellation error once the world is torn down. Guarded by
+	// mu; consulted when barriers are built lazily after a failure.
+	deadRanks map[int]error
+	cancelErr error
+
+	// sequence-mismatch detection: dirIdx[rank][scope] is the unified
+	// per-scope directive index (barrier, single and nowait share it);
+	// dirSeq logs which directive kind each index was, per instance.
+	dirIdx []map[scopeLK]int64
+	dirSeq map[scopeKey]*seqLog
 
 	// taskCounts[rank][kindLevel] counts directives (barrier/single/
 	// nowait) the task completed per scope, for the migration check.
@@ -142,17 +162,23 @@ type scopeKey struct {
 // New builds a Registry for the tasks of world w.
 func New(w *mpi.World, opts ...Option) *Registry {
 	r := &Registry{
-		world:      w,
-		machine:    w.Machine(),
-		pin:        w.Pinning(),
-		barriers:   make(map[scopeKey]*barrierNode),
-		nowaits:    make(map[scopeKey]*nowaitState),
-		instCounts: make(map[scopeKey]*atomic.Int64),
-		taskCounts: make([]map[scopeLK]int64, w.Size()),
-		migGen:     make([]atomic.Int64, w.Size()),
+		world:        w,
+		machine:      w.Machine(),
+		pin:          w.Pinning(),
+		barriers:     make(map[scopeKey]*barrierNode),
+		nowaits:      make(map[scopeKey]*nowaitState),
+		instCounts:   make(map[scopeKey]*atomic.Int64),
+		taskCounts:   make([]map[scopeLK]int64, w.Size()),
+		migGen:       make([]atomic.Int64, w.Size()),
+		deadRanks:    make(map[int]error),
+		dirIdx:       make([]map[scopeLK]int64, w.Size()),
+		dirSeq:       make(map[scopeKey]*seqLog),
+		allocRetries: 3,
+		allocBackoff: time.Millisecond,
 	}
 	for i := range r.taskCounts {
 		r.taskCounts[i] = make(map[scopeLK]int64)
+		r.dirIdx[i] = make(map[scopeLK]int64)
 	}
 	for _, o := range opts {
 		o(r)
@@ -163,6 +189,16 @@ func New(w *mpi.World, opts ...Option) *Registry {
 	if ao, ok := r.observer.(AllocObserver); ok {
 		r.allocObs = ao
 	}
+	if do, ok := r.observer.(DemoteObserver); ok {
+		r.demoteObs = do
+	}
+	if ag, ok := r.observer.(AllocGate); ok && r.allocGate == nil {
+		r.allocGate = ag
+	}
+	// Wire into the world's failure layer: abort our barriers when a rank
+	// dies and contribute directive counters to deadlock diagnostics.
+	w.OnFailure(r.failHandler)
+	w.AddBlockReporter(r.directiveReport)
 	return r
 }
 
@@ -197,6 +233,11 @@ type AnyVar interface {
 	// Scope returns the resolved HLS scope.
 	Scope() topology.Scope
 	registry() *Registry
+	// ensureResolved forces the task's instance to materialize (and so
+	// forces the demote-or-share decision before any directive branches
+	// on it); demotedFor reports the decision.
+	ensureResolved(t *mpi.Task)
+	demotedFor(t *mpi.Task) bool
 }
 
 // Var is a declared HLS variable holding n elements of T per scope
@@ -213,6 +254,16 @@ type Var[T any] struct {
 
 	instMu    sync.Mutex
 	instances map[int][]T
+	// demoted marks instances whose shared allocation failed past the
+	// retry budget: they run with private per-task copies (§III's
+	// duplication end of the sharing equivalence). Decided under instMu
+	// at first touch, before any task caches a slice, so a decision
+	// never needs cache invalidation.
+	demoted  map[int]bool
+	privates map[int]map[int][]T // inst -> rank -> private copy
+	// demotions / extraBytes summarize the degradation for reports.
+	demotions  int
+	extraBytes int64
 
 	// cache[rank] holds the task's resolved slice, invalidated by
 	// migration. Entries are atomic because in hybrid MPI+OpenMP code
@@ -298,17 +349,41 @@ func (v *Var[T]) Slice(t *mpi.Task) []T {
 		return c.data
 	}
 	inst := v.reg.instanceOf(t, v.scope)
-	data := v.instanceData(inst)
+	data := v.instanceData(inst, rank)
 	v.cache[rank].Store(&varCache[T]{gen: gen, data: data})
 	return data
 }
 
-// instanceData lazily allocates the storage of one scope instance.
-func (v *Var[T]) instanceData(inst int) []T {
+// instanceData lazily allocates the storage of one scope instance
+// (§IV-A), or — when the allocation gate keeps failing past the retry
+// budget — demotes the instance to private per-task copies and returns
+// rank's copy.
+func (v *Var[T]) instanceData(inst, rank int) []T {
 	v.instMu.Lock()
 	defer v.instMu.Unlock()
+	if v.demoted[inst] {
+		return v.privateData(inst, rank)
+	}
 	if data, ok := v.instances[inst]; ok {
 		return data
+	}
+	if g := v.reg.allocGate; g != nil {
+		start := time.Now()
+		backoff := v.reg.allocBackoff
+		for attempt := 1; ; attempt++ {
+			err := g.AllocAttempt(v.name, v.scope.String(), inst, attempt)
+			if err == nil {
+				break
+			}
+			if attempt > v.reg.allocRetries {
+				return v.demote(inst, rank, attempt, time.Since(start))
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > maxAllocBackoff {
+				backoff = maxAllocBackoff
+			}
+		}
 	}
 	data := make([]T, v.n)
 	if v.init != nil {
@@ -325,6 +400,73 @@ func (v *Var[T]) instanceData(inst int) []T {
 		ao.VarAllocated(v.name, v.scope.String(), inst, v.accountBytes, saved)
 	}
 	return data
+}
+
+// demote switches instance inst to private per-task copies after a
+// failed allocation and returns rank's copy. Caller holds instMu.
+func (v *Var[T]) demote(inst, rank, attempts int, elapsed time.Duration) []T {
+	if v.demoted == nil {
+		v.demoted = make(map[int]bool)
+	}
+	v.demoted[inst] = true
+	tasks := len(v.reg.pin.RanksInInstance(v.scope, inst))
+	extra := v.accountBytes * int64(tasks-1)
+	v.demotions++
+	v.extraBytes += extra
+	if do := v.reg.demoteObs; do != nil {
+		do.VarDemoted(v.name, v.scope.String(), inst, attempts, elapsed, extra)
+	}
+	return v.privateData(inst, rank)
+}
+
+// privateData returns (allocating lazily) rank's private copy of a
+// demoted instance, initialized exactly like the shared copy would have
+// been — the §III equivalence that keeps results bitwise identical for
+// eligible programs. Caller holds instMu.
+func (v *Var[T]) privateData(inst, rank int) []T {
+	if v.privates == nil {
+		v.privates = make(map[int]map[int][]T)
+	}
+	per := v.privates[inst]
+	if per == nil {
+		per = make(map[int][]T)
+		v.privates[inst] = per
+	}
+	if d, ok := per[rank]; ok {
+		return d
+	}
+	d := make([]T, v.n)
+	if v.init != nil {
+		v.init(inst, d)
+	}
+	per[rank] = d
+	if v.reg.tracker != nil {
+		// Private copies are application memory on the task's own node:
+		// the footprint the shared copy was saving.
+		node := v.reg.machine.PlaceOf(v.reg.pin.Thread(rank)).Node
+		v.reg.tracker.AllocNode(node, v.accountBytes, memsim.KindApp)
+	}
+	return d
+}
+
+// ensureResolved forces the demote-or-share decision for t's instance.
+func (v *Var[T]) ensureResolved(t *mpi.Task) { v.Slice(t) }
+
+// demotedFor reports whether t's instance runs in degraded (private
+// copies) mode. Only meaningful after ensureResolved.
+func (v *Var[T]) demotedFor(t *mpi.Task) bool {
+	inst := v.reg.instanceOf(t, v.scope)
+	v.instMu.Lock()
+	defer v.instMu.Unlock()
+	return v.demoted[inst]
+}
+
+// Demotions returns how many of the variable's instances were demoted to
+// private copies, and the extra bytes duplication costs over sharing.
+func (v *Var[T]) Demotions() (int, int64) {
+	v.instMu.Lock()
+	defer v.instMu.Unlock()
+	return v.demotions, v.extraBytes
 }
 
 // nodeOfInstance maps a scope instance to the node hosting it.
@@ -357,6 +499,15 @@ func (v *Var[T]) MaxInstances() int {
 // single(v) { body }". The last task to enter executes body (§IV-B), so
 // on return every task observes the block's effects.
 func (v *Var[T]) Single(t *mpi.Task, body func(data []T)) {
+	v.ensureResolved(t)
+	if v.demotedFor(t) {
+		// Degraded instance: every task owns a private copy, so the body
+		// must run on each of them (barrier / body / barrier preserves
+		// the directive's synchronization). §III equivalence makes the
+		// results identical to the shared execution.
+		v.reg.singleScopeAll(t, v.scope, func() { body(v.Slice(t)) })
+		return
+	}
 	v.reg.singleScope(t, v.scope, func() { body(v.Slice(t)) })
 }
 
@@ -365,6 +516,10 @@ func (v *Var[T]) Single(t *mpi.Task, body func(data []T)) {
 // "#pragma hls single(v) nowait { body }". It reports whether this task
 // executed the body.
 func (v *Var[T]) SingleNowait(t *mpi.Task, body func(data []T)) bool {
+	v.ensureResolved(t)
+	if v.demotedFor(t) {
+		return v.reg.nowaitAll(t, v.scope, func() { body(v.Slice(t)) })
+	}
 	return v.reg.singleNowaitScope(t, v.scope, func() { body(v.Slice(t)) })
 }
 
@@ -403,7 +558,25 @@ func Single(t *mpi.Task, body func(), vars ...AnyVar) {
 			panic(fmt.Sprintf("hls: single over variables of different scopes (%v and %v)", s, v.Scope()))
 		}
 	}
+	if anyDemoted(t, vars) {
+		r.singleScopeAll(t, s, body)
+		return
+	}
 	r.singleScope(t, s, body)
+}
+
+// anyDemoted forces each variable's allocation decision and reports
+// whether any of them runs degraded for t's instance (in which case the
+// enclosing single must execute on every task).
+func anyDemoted(t *mpi.Task, vars []AnyVar) bool {
+	dem := false
+	for _, v := range vars {
+		v.ensureResolved(t)
+		if v.demotedFor(t) {
+			dem = true
+		}
+	}
+	return dem
 }
 
 // SingleNowait is Single without the implicit barriers: the first task per
@@ -422,6 +595,9 @@ func SingleNowait(t *mpi.Task, body func(), vars ...AnyVar) bool {
 		if v.Scope() != s {
 			panic(fmt.Sprintf("hls: single nowait over variables of different scopes (%v and %v)", s, v.Scope()))
 		}
+	}
+	if anyDemoted(t, vars) {
+		return r.nowaitAll(t, s, body)
 	}
 	return r.singleNowaitScope(t, s, body)
 }

@@ -1,11 +1,34 @@
 package hls
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"hls/internal/mpi"
 	"hls/internal/topology"
 )
+
+// MigrationBlockedError reports a refused MPC_Move: the migrating task's
+// directive counters disagree with the destination scope instance's
+// (§IV-A's migration condition). It is transient whenever the program
+// keeps synchronizing — retrying once the counts align succeeds, which
+// is what MigrateWhenQuiescent automates.
+type MigrationBlockedError struct {
+	Rank  int
+	Scope topology.Scope
+	// Kind distinguishes the mismatched counter: "directive" for
+	// barrier/single counts, "nowait" for single-nowait counts.
+	Kind      string
+	DestInst  int
+	TaskCount int64
+	DestCount int64
+}
+
+func (e *MigrationBlockedError) Error() string {
+	return fmt.Sprintf("hls: migrate rank %d: %v %s count mismatch (task has %d, destination instance %d has %d)",
+		e.Rank, e.Scope, e.Kind, e.TaskCount, e.DestInst, e.DestCount)
+}
 
 // Migrate moves task t to hardware thread newThread — the MPC_Move
 // operation. Per §IV-A, a task may only migrate if it has encountered the
@@ -47,8 +70,10 @@ func (r *Registry) Migrate(t *mpi.Task, newThread int) error {
 		}
 		if my := r.taskCounts[rank][lk]; my != destCount {
 			r.mu.Unlock()
-			return fmt.Errorf("hls: migrate rank %d: %v directive count mismatch (task %d, destination instance %d has %d)",
-				rank, s, my, destKey.inst, destCount)
+			return &MigrationBlockedError{
+				Rank: rank, Scope: s, Kind: "directive",
+				DestInst: destKey.inst, TaskCount: my, DestCount: destCount,
+			}
 		}
 		var destNowait int64
 		if ns, ok := r.nowaits[destKey]; ok {
@@ -58,8 +83,10 @@ func (r *Registry) Migrate(t *mpi.Task, newThread int) error {
 		}
 		if my := r.taskCounts[rank][nowaitLK(s)]; my != destNowait {
 			r.mu.Unlock()
-			return fmt.Errorf("hls: migrate rank %d: %v single-nowait count mismatch (task %d, destination %d)",
-				rank, s, my, destNowait)
+			return &MigrationBlockedError{
+				Rank: rank, Scope: s, Kind: "nowait",
+				DestInst: destKey.inst, TaskCount: my, DestCount: destNowait,
+			}
 		}
 	}
 
@@ -86,6 +113,29 @@ func (r *Registry) Migrate(t *mpi.Task, newThread int) error {
 	}
 	r.mu.Unlock()
 	return nil
+}
+
+// MigrateWhenQuiescent retries Migrate while it is blocked by directive
+// count disagreement, sleeping backoff (doubling, capped at 100ms)
+// between attempts. The caller's program must keep making progress on
+// the destination instance's directives for the counts to converge;
+// attempts bounds how long to keep trying. Errors other than
+// *MigrationBlockedError (invalid thread, etc.) return immediately.
+func (r *Registry) MigrateWhenQuiescent(t *mpi.Task, newThread int, attempts int, backoff time.Duration) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		err = r.Migrate(t, newThread)
+		var blocked *MigrationBlockedError
+		if err == nil || !errors.As(err, &blocked) {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > maxAllocBackoff {
+			backoff = maxAllocBackoff
+		}
+	}
+	return err
 }
 
 // allScopes enumerates every scope of the machine, narrow to wide.

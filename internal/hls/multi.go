@@ -1,5 +1,7 @@
 package hls
 
+import "time"
+
 // MultiObserver combines several SyncObservers into one, so a registry
 // can feed the happens-before tracker, the trace recorder and the
 // metrics adapter simultaneously without hand-written Inner chains.
@@ -29,6 +31,17 @@ func MultiObserver(obs ...SyncObserver) SyncObserver {
 		if ao, ok := o.(AllocObserver); ok {
 			m.alloc = append(m.alloc, ao)
 		}
+		if do, ok := o.(DemoteObserver); ok {
+			m.demote = append(m.demote, do)
+		}
+		if g, ok := o.(AllocGate); ok {
+			m.gates = append(m.gates, g)
+		}
+	}
+	if len(m.gates) > 0 {
+		// Only the wrapper type asserts AllocGate, so a chain without a
+		// gating member keeps the registry's nil-gate fast path.
+		return &multiGateObserver{multiObserver: m}
 	}
 	return m
 }
@@ -37,6 +50,23 @@ type multiObserver struct {
 	obs    []SyncObserver
 	single []SingleObserver // the subset implementing SingleObserver
 	alloc  []AllocObserver  // the subset implementing AllocObserver
+	demote []DemoteObserver // the subset implementing DemoteObserver
+	gates  []AllocGate      // the subset implementing AllocGate
+}
+
+// multiGateObserver adds AllocGate fan-out: the first member to refuse
+// an allocation attempt fails it.
+type multiGateObserver struct {
+	*multiObserver
+}
+
+func (m *multiGateObserver) AllocAttempt(varName, scope string, inst, attempt int) error {
+	for _, g := range m.gates {
+		if err := g.AllocAttempt(varName, scope, inst, attempt); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Arrive implements SyncObserver.
@@ -64,5 +94,12 @@ func (m *multiObserver) SingleDone(key string, worldRank int, executed bool) {
 func (m *multiObserver) VarAllocated(varName, scope string, inst int, sharedBytes, savedBytes int64) {
 	for _, o := range m.alloc {
 		o.VarAllocated(varName, scope, inst, sharedBytes, savedBytes)
+	}
+}
+
+// VarDemoted implements DemoteObserver.
+func (m *multiObserver) VarDemoted(varName, scope string, inst, attempts int, elapsed time.Duration, extraBytes int64) {
+	for _, o := range m.demote {
+		o.VarDemoted(varName, scope, inst, attempts, elapsed, extraBytes)
 	}
 }

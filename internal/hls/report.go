@@ -25,6 +25,11 @@ type VarInfo struct {
 	// SavingFactor is tasks-per-instance: how many private copies one
 	// shared copy replaces.
 	SavingFactor int
+	// Demotions counts instances degraded to private per-task copies
+	// after allocation failures; DemotedExtraBytes is the footprint the
+	// duplication costs over sharing (the delta hlsmem reports).
+	Demotions         int
+	DemotedExtraBytes int64
 }
 
 // instanceCounter lets the registry query Var[T] instances without
@@ -34,10 +39,12 @@ type instanceCounter interface {
 	Scope() topology.Scope
 	countInstances() int
 	bytesPerInstance() int64
+	demotionStats() (int, int64)
 }
 
-func (v *Var[T]) countInstances() int     { return v.Instances() }
-func (v *Var[T]) bytesPerInstance() int64 { return v.accountBytes }
+func (v *Var[T]) countInstances() int         { return v.Instances() }
+func (v *Var[T]) bytesPerInstance() int64     { return v.accountBytes }
+func (v *Var[T]) demotionStats() (int, int64) { return v.Demotions() }
 
 // declared tracks the concrete vars per registry for reporting. Keyed by
 // registry to keep Registry itself free of type parameters.
@@ -63,13 +70,16 @@ func (r *Registry) Report() []VarInfo {
 	out := make([]VarInfo, 0, len(vars))
 	for _, v := range vars {
 		s := v.Scope()
+		dem, extra := v.demotionStats()
 		out = append(out, VarInfo{
-			Name:             v.Name(),
-			Scope:            s,
-			Instances:        v.countInstances(),
-			MaxInstances:     r.machine.InstanceCount(s),
-			BytesPerInstance: v.bytesPerInstance(),
-			SavingFactor:     r.machine.ThreadsPerInstance(s),
+			Name:              v.Name(),
+			Scope:             s,
+			Instances:         v.countInstances(),
+			MaxInstances:      r.machine.InstanceCount(s),
+			BytesPerInstance:  v.bytesPerInstance(),
+			SavingFactor:      r.machine.ThreadsPerInstance(s),
+			Demotions:         dem,
+			DemotedExtraBytes: extra,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -160,6 +160,27 @@ func (a *HLSAdapter) SingleDone(key string, worldRank int, executed bool) {
 	}
 }
 
+// VarDemoted implements hls.DemoteObserver, accounting one graceful
+// degradation: a scope instance whose lazy allocation kept failing fell
+// back to private per-task copies. The counters feed the faults
+// experiment and the CI chaos smoke (which asserts a nonzero
+// hls_demotions_total in /metrics.json):
+//
+//   - hls_demotions_total{var,scope} — instances demoted;
+//   - hls_demoted_extra_bytes{var,scope} — footprint the duplication
+//     costs over sharing (the delta hlsmem reports);
+//   - hls_demotion_recovery_ns — time from the first failed attempt to
+//     the demotion decision (the recovery latency histogram).
+func (a *HLSAdapter) VarDemoted(varName, scope string, inst, attempts int, elapsed time.Duration, extraBytes int64) {
+	if a.reg == nil {
+		return
+	}
+	vl, sl := L("var", varName), L("scope", scope)
+	a.reg.Counter("hls_demotions_total", "HLS instances demoted to private per-task copies after allocation failures", vl, sl).Inc(inst)
+	a.reg.Gauge("hls_demoted_extra_bytes", "extra footprint demoted instances cost over sharing", vl, sl).Add(inst, extraBytes)
+	a.reg.Histogram("hls_demotion_recovery_ns", "latency from first failed allocation attempt to the demotion decision").Observe(inst, elapsed.Nanoseconds())
+}
+
 // VarAllocated implements hls.AllocObserver, accounting one lazy module
 // allocation: sharedBytes is the single copy the scope instance holds,
 // savedBytes what duplicating it over the instance's other tasks would

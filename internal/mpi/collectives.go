@@ -32,17 +32,20 @@ func collStart(t *Task, c *Comm) (comm *Comm, baseTag int) {
 	return c, int(st.collSeq << collStepBits)
 }
 
-// csend / crecv are collective-context point-to-point helpers.
-func csend[T Scalar](t *Task, c *Comm, buf []T, dst, tag int) {
-	if req := isend(t, c, c.ctxColl, buf, dst, tag, "collective send"); req != nil {
-		t.blockOn(fmt.Sprintf("collective rendezvous send(dst=%d)", dst))
+// csend / crecv are collective-context point-to-point helpers. op names
+// the collective ("Barrier", "Bcast", ...) so failures surface as typed
+// errors attributed to it.
+func csend[T Scalar](t *Task, c *Comm, op string, buf []T, dst, tag int) {
+	if req := isend(t, c, c.ctxColl, buf, dst, tag, op); req != nil {
+		t.blockOn(fmt.Sprintf("%s rendezvous send(dst=%d)", op, dst))
 		req.Wait()
 		t.unblock()
+		t.checkReq(op, req)
 	}
 }
 
-func cisend[T Scalar](t *Task, c *Comm, buf []T, dst, tag int) *Request {
-	req := isend(t, c, c.ctxColl, buf, dst, tag, "collective isend")
+func cisend[T Scalar](t *Task, c *Comm, op string, buf []T, dst, tag int) *Request {
+	req := isend(t, c, c.ctxColl, buf, dst, tag, op)
 	if req == nil {
 		req = newRequest(false)
 		req.complete(Status{})
@@ -50,11 +53,12 @@ func cisend[T Scalar](t *Task, c *Comm, buf []T, dst, tag int) *Request {
 	return req
 }
 
-func crecv[T Scalar](t *Task, c *Comm, buf []T, src, tag int) {
-	req := irecv(t, c, c.ctxColl, buf, src, tag, "collective recv")
-	t.blockOn(fmt.Sprintf("collective recv(src=%d)", src))
+func crecv[T Scalar](t *Task, c *Comm, op string, buf []T, src, tag int) {
+	req := irecv(t, c, c.ctxColl, buf, src, tag, op)
+	t.blockOn(fmt.Sprintf("%s recv(src=%d)", op, src))
 	req.Wait()
 	t.unblock()
+	t.checkReq(op, req)
 }
 
 // Barrier blocks until every task of the communicator has entered it.
@@ -71,9 +75,10 @@ func Barrier(t *Task, c *Comm) {
 	for k, step := 1, 0; k < n; k, step = k<<1, step+1 {
 		dst := (r + k) % n
 		src := (r - k + n) % n
-		sreq := cisend(t, c, token[:], dst, base+step)
-		crecv(t, c, token[:], src, base+step)
+		sreq := cisend(t, c, "Barrier", token[:], dst, base+step)
+		crecv(t, c, "Barrier", token[:], src, base+step)
 		sreq.Wait()
+		t.checkReq("Barrier", sreq)
 	}
 }
 
@@ -92,7 +97,7 @@ func Bcast[T Scalar](t *Task, c *Comm, buf []T, root int) {
 	for mask < n {
 		if vr&mask != 0 {
 			src := (vr - mask + root) % n
-			crecv(t, c, buf, src, base)
+			crecv(t, c, "Bcast", buf, src, base)
 			break
 		}
 		mask <<= 1
@@ -101,7 +106,7 @@ func Bcast[T Scalar](t *Task, c *Comm, buf []T, root int) {
 	for mask > 0 {
 		if vr+mask < n {
 			dst := (vr + mask + root) % n
-			csend(t, c, buf, dst, base)
+			csend(t, c, "Bcast", buf, dst, base)
 		}
 		mask >>= 1
 	}
@@ -123,12 +128,12 @@ func Reduce[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, op Op, root int) {
 		for mask < n {
 			if vr&mask != 0 {
 				dst := (vr - mask + root) % n
-				csend(t, c, acc, dst, base+bits(mask))
+				csend(t, c, "Reduce", acc, dst, base+bits(mask))
 				break
 			}
 			if vr+mask < n {
 				src := (vr + mask + root) % n
-				crecv(t, c, tmp, src, base+bits(mask))
+				crecv(t, c, "Reduce", tmp, src, base+bits(mask))
 				apply(t.rank, op, acc, tmp)
 			}
 			mask <<= 1
@@ -176,7 +181,7 @@ func Gather[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, root int) {
 	r := c.Rank(t)
 	k := len(sendBuf)
 	if r != root {
-		csend(t, c, sendBuf, root, base)
+		csend(t, c, "Gather", sendBuf, root, base)
 		return
 	}
 	if len(recvBuf) < n*k {
@@ -187,7 +192,7 @@ func Gather[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, root int) {
 		if src == root {
 			continue
 		}
-		crecv(t, c, recvBuf[src*k:(src+1)*k], src, base)
+		crecv(t, c, "Gather", recvBuf[src*k:(src+1)*k], src, base)
 	}
 }
 
@@ -198,7 +203,7 @@ func Gatherv[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, counts, displs []
 	checkRoot(t, c, root, "Gatherv")
 	r := c.Rank(t)
 	if r != root {
-		csend(t, c, sendBuf, root, base)
+		csend(t, c, "Gatherv", sendBuf, root, base)
 		return
 	}
 	if len(counts) != n || len(displs) != n {
@@ -209,7 +214,7 @@ func Gatherv[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, counts, displs []
 		if src == root {
 			continue
 		}
-		crecv(t, c, recvBuf[displs[src]:displs[src]+counts[src]], src, base)
+		crecv(t, c, "Gatherv", recvBuf[displs[src]:displs[src]+counts[src]], src, base)
 	}
 }
 
@@ -229,12 +234,12 @@ func Scatter[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, root int) {
 			if dst == root {
 				continue
 			}
-			csend(t, c, sendBuf[dst*k:(dst+1)*k], dst, base)
+			csend(t, c, "Scatter", sendBuf[dst*k:(dst+1)*k], dst, base)
 		}
 		copy(recvBuf, sendBuf[r*k:(r+1)*k])
 		return
 	}
-	crecv(t, c, recvBuf, root, base)
+	crecv(t, c, "Scatter", recvBuf, root, base)
 }
 
 // Scatterv is Scatter with per-rank counts and displacements (in
@@ -252,12 +257,12 @@ func Scatterv[T Scalar](t *Task, c *Comm, sendBuf []T, counts, displs []int, rec
 			if dst == root {
 				continue
 			}
-			csend(t, c, sendBuf[displs[dst]:displs[dst]+counts[dst]], dst, base)
+			csend(t, c, "Scatterv", sendBuf[displs[dst]:displs[dst]+counts[dst]], dst, base)
 		}
 		copy(recvBuf, sendBuf[displs[r]:displs[r]+counts[r]])
 		return
 	}
-	crecv(t, c, recvBuf, root, base)
+	crecv(t, c, "Scatterv", recvBuf, root, base)
 }
 
 // Allgather concentrates every task's sendBuf into every task's recvBuf
@@ -277,9 +282,10 @@ func Allgather[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T) {
 	for step := 0; step < n-1; step++ {
 		sendBlock := (r - step + n) % n
 		recvBlock := (r - step - 1 + n) % n
-		sreq := cisend(t, c, recvBuf[sendBlock*k:(sendBlock+1)*k], right, base+step)
-		crecv(t, c, recvBuf[recvBlock*k:(recvBlock+1)*k], left, base+step)
+		sreq := cisend(t, c, "Allgather", recvBuf[sendBlock*k:(sendBlock+1)*k], right, base+step)
+		crecv(t, c, "Allgather", recvBuf[recvBlock*k:(recvBlock+1)*k], left, base+step)
 		sreq.Wait()
+		t.checkReq("Allgather", sreq)
 	}
 }
 
@@ -301,9 +307,10 @@ func Alltoall[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T) {
 	for step := 1; step < n; step++ {
 		dst := (r + step) % n
 		src := (r - step + n) % n
-		sreq := cisend(t, c, sendBuf[dst*k:(dst+1)*k], dst, base+step)
-		crecv(t, c, recvBuf[src*k:(src+1)*k], src, base+step)
+		sreq := cisend(t, c, "Alltoall", sendBuf[dst*k:(dst+1)*k], dst, base+step)
+		crecv(t, c, "Alltoall", recvBuf[src*k:(src+1)*k], src, base+step)
 		sreq.Wait()
+		t.checkReq("Alltoall", sreq)
 	}
 }
 
@@ -319,11 +326,11 @@ func Scan[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, op Op) {
 	copy(recvBuf, sendBuf)
 	if r > 0 {
 		tmp := make([]T, len(sendBuf))
-		crecv(t, c, tmp, r-1, base)
+		crecv(t, c, "Scan", tmp, r-1, base)
 		apply(t.rank, op, recvBuf[:len(sendBuf)], tmp)
 	}
 	if r < n-1 {
-		csend(t, c, recvBuf[:len(sendBuf)], r+1, base)
+		csend(t, c, "Scan", recvBuf[:len(sendBuf)], r+1, base)
 	}
 }
 

@@ -24,6 +24,7 @@ func Ssend[T Scalar](t *Task, comm *Comm, buf []T, dst, tag int) {
 	t.blockOn("Ssend acknowledgement")
 	req.Wait()
 	t.unblock()
+	t.checkReq("Ssend", req)
 }
 
 // RecvSsend matches an Ssend of a small message: Recv plus the
@@ -35,6 +36,7 @@ func RecvSsend[T Scalar](t *Task, comm *Comm, buf []T, src, tag int) Status {
 		var token [0]byte
 		if req := isend(t, comm, comm.ctxSync, token[:], st.Source, tag, "RecvSsend"); req != nil {
 			req.Wait()
+			t.checkReq("RecvSsend", req)
 		}
 	}
 	return st
@@ -59,9 +61,10 @@ func Allgatherv[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, counts, displs
 	for step := 0; step < n-1; step++ {
 		sendBlock := (r - step + n) % n
 		recvBlock := (r - step - 1 + n) % n
-		sreq := cisend(t, c, recvBuf[displs[sendBlock]:displs[sendBlock]+counts[sendBlock]], right, base+step)
-		crecv(t, c, recvBuf[displs[recvBlock]:displs[recvBlock]+counts[recvBlock]], left, base+step)
+		sreq := cisend(t, c, "Allgatherv", recvBuf[displs[sendBlock]:displs[sendBlock]+counts[sendBlock]], right, base+step)
+		crecv(t, c, "Allgatherv", recvBuf[displs[recvBlock]:displs[recvBlock]+counts[recvBlock]], left, base+step)
 		sreq.Wait()
+		t.checkReq("Allgatherv", sreq)
 	}
 }
 
@@ -79,9 +82,10 @@ func Alltoallv[T Scalar](t *Task, c *Comm, sendBuf []T, sendCounts, sendDispls [
 	for step := 1; step < n; step++ {
 		dst := (r + step) % n
 		src := (r - step + n) % n
-		sreq := cisend(t, c, sendBuf[sendDispls[dst]:sendDispls[dst]+sendCounts[dst]], dst, base+step)
-		crecv(t, c, recvBuf[recvDispls[src]:recvDispls[src]+recvCounts[src]], src, base+step)
+		sreq := cisend(t, c, "Alltoallv", sendBuf[sendDispls[dst]:sendDispls[dst]+sendCounts[dst]], dst, base+step)
+		crecv(t, c, "Alltoallv", recvBuf[recvDispls[src]:recvDispls[src]+recvCounts[src]], src, base+step)
 		sreq.Wait()
+		t.checkReq("Alltoallv", sreq)
 	}
 }
 
@@ -136,9 +140,9 @@ func AllreduceRD[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, op Op) {
 	newRank := -1
 	switch {
 	case r < 2*rem && r%2 != 0: // sends, then waits for the result
-		csend(t, c, acc, r-1, base)
+		csend(t, c, "AllreduceRD", acc, r-1, base)
 	case r < 2*rem: // absorbs its right neighbour
-		crecv(t, c, tmp, r+1, base)
+		crecv(t, c, "AllreduceRD", tmp, r+1, base)
 		apply(t.rank, op, acc, tmp)
 		newRank = r / 2
 	default:
@@ -153,9 +157,10 @@ func AllreduceRD[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, op Op) {
 			if partnerNew < rem {
 				partner = partnerNew * 2
 			}
-			sreq := cisend(t, c, acc, partner, base+1+log2(mask))
-			crecv(t, c, tmp, partner, base+1+log2(mask))
+			sreq := cisend(t, c, "AllreduceRD", acc, partner, base+1+log2(mask))
+			crecv(t, c, "AllreduceRD", tmp, partner, base+1+log2(mask))
 			sreq.Wait()
+			t.checkReq("AllreduceRD", sreq)
 			apply(t.rank, op, acc, tmp)
 		}
 	}
@@ -164,9 +169,9 @@ func AllreduceRD[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, op Op) {
 	finalTag := base + 1 + log2(pof2) + 1
 	if r < 2*rem {
 		if r%2 == 0 {
-			csend(t, c, acc, r+1, finalTag)
+			csend(t, c, "AllreduceRD", acc, r+1, finalTag)
 		} else {
-			crecv(t, c, acc, r-1, finalTag)
+			crecv(t, c, "AllreduceRD", acc, r-1, finalTag)
 		}
 	}
 }

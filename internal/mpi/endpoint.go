@@ -22,9 +22,12 @@ type Status struct {
 type Request struct {
 	done   chan struct{}
 	status Status
+	err    error // non-nil when the operation failed (dead peer, cancel)
 	// recvSide is true for receive requests (their Wait returns a Status
 	// with meaning).
 	recvSide bool
+
+	failOnce sync.Once
 }
 
 func newRequest(recvSide bool) *Request {
@@ -32,10 +35,25 @@ func newRequest(recvSide bool) *Request {
 }
 
 // Wait blocks until the operation completes and returns its Status (zero
-// for send requests).
+// for send requests). When the operation failed — its peer rank died, or
+// the world was cancelled — the Status is zero and Err reports the typed
+// failure; the blocking wrappers (Recv, Send, collectives) check it and
+// raise, so only explicit Irecv/Isend users need to consult Err.
 func (r *Request) Wait() Status {
 	<-r.done
 	return r.status
+}
+
+// Err returns the typed failure of a completed request: a *DeadRankError
+// when the peer died, a *CancelledError when the world was cancelled, nil
+// on success. Only valid after Wait or a true Test.
+func (r *Request) Err() error {
+	select {
+	case <-r.done:
+		return r.err
+	default:
+		return nil
+	}
 }
 
 // Test reports whether the operation has completed, without blocking.
@@ -49,8 +67,21 @@ func (r *Request) Test() (Status, bool) {
 }
 
 func (r *Request) complete(st Status) {
-	r.status = st
-	close(r.done)
+	r.failOnce.Do(func() {
+		r.status = st
+		close(r.done)
+	})
+}
+
+// fail completes the request with a typed error instead of a status. The
+// failure layer may race a genuine delivery (a message arrives just as
+// its sender is declared dead); whichever comes first wins and the other
+// is dropped.
+func (r *Request) fail(err error) {
+	r.failOnce.Do(func() {
+		r.err = err
+		close(r.done)
+	})
 }
 
 // Waitall waits for every request in the slice and returns their statuses.
@@ -91,6 +122,9 @@ type postedRecv struct {
 	buf      any
 	req      *Request
 	recvRank int // world rank of the receiver
+	worldSrc int // world rank of the expected source (-1 for AnySource),
+	// so the failure layer can fail receives from a dead rank without
+	// communicator lookups.
 }
 
 func (m *message) matches(r *postedRecv) bool {
@@ -113,6 +147,11 @@ type endpoint struct {
 	// blockedOn holds a human-readable description of what the task is
 	// blocked on, for deadlock diagnostics ("" when running).
 	blockedOn atomic.Value
+
+	// progress counts blocking-state transitions; the deadlock watchdog
+	// samples the world-wide sum to distinguish a stall from slow
+	// progress.
+	progress atomic.Int64
 
 	// statistics, updated under mu
 	unexpectedBytes     int
@@ -170,20 +209,27 @@ func (w *World) Stats() Stats {
 
 // inject delivers msg to the endpoint of world rank dstWorld: either it
 // matches an already-posted receive (delivery happens on the sender's
-// goroutine) or it is queued as unexpected.
-func (w *World) inject(msg *message, dstWorld int) {
+// goroutine) or it is queued as unexpected. It reports false — without
+// delivering — when the destination rank is dead, so the sender can fail
+// fast; the check is made under ep.mu, which orders it against the
+// failure layer's scan of the same endpoint.
+func (w *World) inject(msg *message, dstWorld int) bool {
 	ep := w.eps[dstWorld]
-	w.stats.messages.Add(1)
-	w.stats.bytes.Add(int64(msg.bytes))
 
 	ep.mu.Lock()
+	if w.rankDead(dstWorld) {
+		ep.mu.Unlock()
+		return false
+	}
+	w.stats.messages.Add(1)
+	w.stats.bytes.Add(int64(msg.bytes))
 	for i, pr := range ep.recvs {
 		if msg.matches(pr) {
 			ep.recvs = append(ep.recvs[:i], ep.recvs[i+1:]...)
 			ep.recvCount++
 			ep.mu.Unlock()
 			w.deliverTo(msg, pr)
-			return
+			return true
 		}
 	}
 	ep.unexpected = append(ep.unexpected, msg)
@@ -193,6 +239,7 @@ func (w *World) inject(msg *message, dstWorld int) {
 	}
 	ep.arrived.Broadcast()
 	ep.mu.Unlock()
+	return true
 }
 
 // deliverTo copies the payload into the posted receive's buffer, completes

@@ -1,0 +1,131 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file defines the typed failure vocabulary of the runtime. The
+// baseline error model is MPI_ERRORS_ARE_FATAL per rank: misuse panics
+// with *Error and Run recovers it. The fault-tolerance layer extends the
+// model ULFM-style (errors-return, no revoke/shrink): the death of one
+// task is recovered into a *RankFailure, and every surviving rank whose
+// pending or future operations can no longer complete fails fast with a
+// *DeadRankError naming the dead peer and the operation, instead of
+// blocking forever and tripping the global timeout.
+
+// RankFailure is the recovered death of one task: a panic in the task
+// body (application bug or injected chaos kill), an MPI usage error, or
+// a propagated peer failure. Run marks the rank dead and unblocks its
+// communication partners before returning it.
+type RankFailure struct {
+	Rank  int   // world rank that died
+	Cause error // what killed it
+}
+
+func (e *RankFailure) Error() string {
+	return fmt.Sprintf("mpi: rank %d failed: %v", e.Rank, e.Cause)
+}
+
+// Unwrap exposes the original panic payload to errors.Is/As.
+func (e *RankFailure) Unwrap() error { return e.Cause }
+
+// DeadRankError reports that an operation could not complete because a
+// peer rank failed: a receive or probe whose source died, a send whose
+// destination died, a collective with a dead member, or an RMA epoch
+// whose partner died. This is the ULFM errors-return discipline — the
+// surviving rank learns which rank failed and in which operation, and
+// terminates instead of hanging.
+type DeadRankError struct {
+	Rank int    // surviving world rank that observed the failure (-1 if unknown)
+	Op   string // operation that could not complete, e.g. "Recv", "Barrier"
+	Dead int    // world rank that failed
+}
+
+func (e *DeadRankError) Error() string {
+	return fmt.Sprintf("mpi: rank %d: %s: peer rank %d failed", e.Rank, e.Op, e.Dead)
+}
+
+// CancelledError reports that a blocked operation was abandoned because
+// the world was cancelled — by the deadlock watchdog, the Run timeout,
+// or an explicit Cancel. Cause carries the reason (e.g. *DeadlockError).
+type CancelledError struct {
+	Rank  int    // world rank that was unblocked (-1 if unknown)
+	Op    string // operation that was cancelled
+	Cause error
+}
+
+func (e *CancelledError) Error() string {
+	return fmt.Sprintf("mpi: rank %d: %s cancelled: %v", e.Rank, e.Op, e.Cause)
+}
+
+// Unwrap exposes the cancellation reason to errors.Is/As.
+func (e *CancelledError) Unwrap() error { return e.Cause }
+
+// TaskState is one rank's position in a deadlock or timeout diagnostic.
+type TaskState struct {
+	Rank      int
+	BlockedOn string // what the rank is blocked on ("" = running)
+	Finished  bool   // the task body returned
+	Dead      bool   // the task failed (see World.FailedRanks)
+	Progress  int64  // blocking-operation transitions observed so far
+}
+
+// DeadlockError is raised by the watchdog (or the Run timeout) when every
+// unfinished task has been blocked with no progress across consecutive
+// scans: a true cycle or stall. It carries the per-rank states plus any
+// extra diagnostics registered with World.AddBlockReporter (e.g. the HLS
+// registry's directive counters).
+type DeadlockError struct {
+	Tasks []TaskState
+	Extra []string // reports from AddBlockReporter callbacks
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	b.WriteString("mpi: deadlock detected; task states:\n")
+	for _, ts := range e.Tasks {
+		st := ts.BlockedOn
+		switch {
+		case ts.Finished:
+			st = "finished"
+		case ts.Dead:
+			st = "dead"
+		case st == "":
+			st = "running"
+		}
+		fmt.Fprintf(&b, "  rank %d: %s (progress %d)\n", ts.Rank, st, ts.Progress)
+	}
+	for _, x := range e.Extra {
+		b.WriteString(strings.TrimRight(x, "\n"))
+		b.WriteByte('\n')
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// TimeoutError is returned by Run when the configured Timeout expires.
+// It wraps the same per-rank diagnostic as a deadlock report; unlike the
+// pre-fault-tolerance runtime, the timed-out world is cancelled, so task
+// goroutines blocked in runtime operations unwind instead of leaking.
+type TimeoutError struct {
+	After string // the configured timeout, rendered
+	Tasks []TaskState
+}
+
+func (e *TimeoutError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mpi: timeout after %s; task states:\n", e.After)
+	for _, ts := range e.Tasks {
+		st := ts.BlockedOn
+		switch {
+		case ts.Finished:
+			st = "finished"
+		case ts.Dead:
+			st = "dead"
+		case st == "":
+			st = "running"
+		}
+		fmt.Fprintf(&b, "  rank %d: %s\n", ts.Rank, st)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

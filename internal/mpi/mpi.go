@@ -99,6 +99,34 @@ type MessageHooks interface {
 	OnCollective(worldRank int)
 }
 
+// FaultAction tells the runtime what the fault-injection layer decided
+// for one point-to-point message. The zero value delivers normally.
+type FaultAction struct {
+	// Delay blocks the sending task this long before the message becomes
+	// visible, modelling network latency (and, under a seeded random
+	// plan, message reordering between senders).
+	Delay time.Duration
+	// Drop loses the message: it never reaches the receiver. A dropped
+	// rendezvous send still completes on the sender side (the handshake
+	// succeeded, the payload is lost), so the loss surfaces where it
+	// would in a real stack — at the receiver, as a stall the deadlock
+	// watchdog attributes.
+	Drop bool
+	// Duplicate injects the message twice (at-least-once delivery fault).
+	Duplicate bool
+}
+
+// FaultHooks is an optional extension of Hooks for fault injection:
+// implementations that also satisfy it are consulted once per
+// point-to-point message on the send path, before the message becomes
+// visible, and their FaultAction is applied. Like MessageHooks, the
+// extension is resolved once at world creation, so the per-message cost
+// when absent is a single nil check. internal/chaos implements it.
+type FaultHooks interface {
+	Hooks
+	FaultP2P(worldSrc, worldDst, bytes int, rendezvous bool) FaultAction
+}
+
 // Config parametrizes a World.
 type Config struct {
 	// NumTasks is the number of MPI tasks (world size). Required.
@@ -113,10 +141,18 @@ type Config struct {
 	// Hooks, if non-nil, is invoked on every message.
 	Hooks Hooks
 	// Timeout aborts Run if the program has not finished in time,
-	// returning a diagnostic of where every task is blocked. Zero means
-	// no timeout. Timed-out task goroutines are abandoned; use only in
-	// tests and tools.
+	// returning a *TimeoutError diagnostic of where every task is
+	// blocked. Zero means no timeout. The timed-out world is cancelled:
+	// tasks blocked in runtime operations unwind with typed errors;
+	// only tasks blocked outside the runtime can leak, and Run reports
+	// them.
 	Timeout time.Duration
+	// Watchdog enables stall detection at the given sampling interval:
+	// when every unfinished task stays blocked in runtime operations
+	// with no progress across consecutive scans, Run cancels the world
+	// and returns a *DeadlockError naming each rank's blocking point.
+	// Zero disables the watchdog.
+	Watchdog time.Duration
 }
 
 // World is one MPI program instance: a set of tasks and their
@@ -130,10 +166,14 @@ type World struct {
 	ctxCounter atomic.Int64
 	commID     atomic.Int64
 
-	// msgHooks is cfg.Hooks when it also implements MessageHooks,
-	// resolved once so hot paths pay one nil check, not an interface
-	// assertion per message.
-	msgHooks MessageHooks
+	// msgHooks / faultHooks are cfg.Hooks when it also implements the
+	// MessageHooks / FaultHooks extensions, resolved once so hot paths
+	// pay one nil check, not an interface assertion per message.
+	msgHooks   MessageHooks
+	faultHooks FaultHooks
+
+	fail     failureState
+	rankErrs []error // per-rank outcome of Run (nil entries = success)
 
 	stats worldStats
 }
@@ -218,6 +258,10 @@ func NewWorld(cfg Config) (*World, error) {
 	if mh, ok := cfg.Hooks.(MessageHooks); ok {
 		w.msgHooks = mh
 	}
+	if fh, ok := cfg.Hooks.(FaultHooks); ok {
+		w.faultHooks = fh
+	}
+	w.initFailure()
 	w.eps = make([]*endpoint, cfg.NumTasks)
 	for i := range w.eps {
 		w.eps[i] = newEndpoint(i)
@@ -258,9 +302,18 @@ func Run(cfg Config, fn func(*Task) error) (*World, error) {
 
 // Run executes fn for every task of the world. A World must be Run at most
 // once.
+//
+// Failure semantics are per rank (ULFM-style errors-return): a panic in
+// one task body — an application bug, an MPI usage *Error, or an
+// injected chaos kill — is recovered into that rank's error and the rank
+// is marked dead; every other rank blocked on (or later attempting) an
+// operation involving it fails fast with a *DeadRankError instead of
+// hanging. The joined error Run returns therefore carries one typed
+// entry per affected rank; RankErrors exposes them individually.
 func (w *World) Run(fn func(*Task) error) error {
 	n := w.cfg.NumTasks
 	errs := make([]error, n)
+	w.rankErrs = errs
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for r := 0; r < n; r++ {
@@ -269,39 +322,71 @@ func (w *World) Run(fn func(*Task) error) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					if e, ok := p.(*Error); ok {
-						errs[r] = e
-					} else {
-						errs[r] = fmt.Errorf("mpi: rank %d panicked: %v\n%s", r, p, debug.Stack())
-					}
+					errs[r] = w.classifyPanic(r, p)
+					w.rankFailed(r, errs[r])
 				}
+				w.fail.finished[r].Store(true)
 			}()
 			errs[r] = fn(t)
 		}(r)
 	}
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
+	if w.cfg.Watchdog > 0 {
+		go w.watchdog(w.cfg.Watchdog, done)
+	}
+	var abort error
 	if w.cfg.Timeout > 0 {
 		select {
 		case <-done:
 		case <-time.After(w.cfg.Timeout):
-			return fmt.Errorf("mpi: timeout after %v; task states:\n%s", w.cfg.Timeout, w.blockReport())
+			// Cancel the world so goroutines blocked in runtime
+			// operations unwind, then give them a grace period to do so.
+			abort = &TimeoutError{After: w.cfg.Timeout.String(), Tasks: w.taskStates()}
+			w.cancel(abort)
+			grace := w.cfg.Timeout
+			if grace > 2*time.Second {
+				grace = 2 * time.Second
+			}
+			select {
+			case <-done:
+			case <-time.After(grace):
+				// Tasks blocked outside the runtime cannot be unwound.
+				return fmt.Errorf("%w\n(tasks still blocked outside the runtime after cancellation)", abort)
+			}
 		}
 	} else {
 		<-done
 	}
+	if c := w.Cancelled(); c != nil && abort == nil {
+		abort = c // e.g. the watchdog's DeadlockError
+	}
+	if abort != nil {
+		return errors.Join(append([]error{abort}, errs...)...)
+	}
 	return errors.Join(errs...)
 }
 
-// blockReport renders where each task is blocked, for timeout diagnostics.
-func (w *World) blockReport() string {
-	s := ""
-	for r, ep := range w.eps {
-		st := "running"
-		if v := ep.blockedOn.Load(); v != nil && v.(string) != "" {
-			st = v.(string)
-		}
-		s += fmt.Sprintf("  rank %d: %s\n", r, st)
+// classifyPanic turns a recovered task panic into the rank's typed error.
+// Runtime-raised typed errors pass through; everything else — including
+// injected chaos kills — becomes a *RankFailure.
+func (w *World) classifyPanic(r int, p any) error {
+	switch e := p.(type) {
+	case *Error:
+		return e
+	case *DeadRankError:
+		return e
+	case *CancelledError:
+		return e
+	case error:
+		return &RankFailure{Rank: r, Cause: e}
+	default:
+		return &RankFailure{Rank: r, Cause: fmt.Errorf("panic: %v\n%s", p, debug.Stack())}
 	}
-	return s
+}
+
+// RankErrors returns each rank's outcome of the last Run: nil for ranks
+// that completed, the typed failure otherwise. Valid after Run returns.
+func (w *World) RankErrors() []error {
+	return append([]error(nil), w.rankErrs...)
 }

@@ -24,12 +24,40 @@ func MultiHooks(hooks ...Hooks) Hooks {
 		return hs[0]
 	}
 	m := &multiHooks{hooks: hs}
+	var faults []FaultHooks
 	for _, h := range hs {
 		if mh, ok := h.(MessageHooks); ok {
 			m.msg = append(m.msg, mh)
 		}
+		if fh, ok := h.(FaultHooks); ok {
+			faults = append(faults, fh)
+		}
+	}
+	if len(faults) > 0 {
+		// Only the wrapper type asserts FaultHooks, so a composition with
+		// no fault-injecting member keeps the nil faultHooks fast path.
+		return &multiFaultHooks{multiHooks: m, faults: faults}
 	}
 	return m
+}
+
+// multiFaultHooks extends multiHooks with FaultP2P fan-out. Members'
+// actions merge: delays add up, and any member's drop (or duplicate)
+// verdict wins.
+type multiFaultHooks struct {
+	*multiHooks
+	faults []FaultHooks
+}
+
+func (m *multiFaultHooks) FaultP2P(worldSrc, worldDst, bytes int, rendezvous bool) FaultAction {
+	var act FaultAction
+	for _, f := range m.faults {
+		a := f.FaultP2P(worldSrc, worldDst, bytes, rendezvous)
+		act.Delay += a.Delay
+		act.Drop = act.Drop || a.Drop
+		act.Duplicate = act.Duplicate || a.Duplicate
+	}
+	return act
 }
 
 type multiHooks struct {

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"reflect"
+	"time"
 )
 
 // Scalar is the set of element types the runtime can transfer. It covers
@@ -29,6 +30,7 @@ func Send[T Scalar](t *Task, comm *Comm, buf []T, dst, tag int) {
 		t.blockOn(fmt.Sprintf("Send(dst=%d, tag=%d) rendezvous", dst, tag))
 		req.Wait()
 		t.unblock()
+		t.checkReq("Send", req)
 	}
 }
 
@@ -62,6 +64,7 @@ func isend[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dst, tag int, op s
 		raise(t.rank, op, "task is not a member of the communicator")
 	}
 	worldDst := comm.group[dst]
+	t.checkPeer(op, worldDst)
 	bytes := len(buf) * elemSize[T]()
 
 	msg := &message{
@@ -116,7 +119,34 @@ func isend[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dst, tag int, op s
 		}
 		return len(src)
 	}
-	w.inject(msg, worldDst)
+	if w.faultHooks != nil {
+		act := w.faultHooks.FaultP2P(t.rank, worldDst, bytes, msg.rendezvous)
+		if act.Delay > 0 {
+			time.Sleep(act.Delay)
+			t.checkPeer(op, worldDst) // the peer may have died during the delay
+		}
+		if act.Drop {
+			// The message is lost. A rendezvous sender's handshake is
+			// deemed complete (the payload is what was lost), so the
+			// stall surfaces at the receiver, where the watchdog can
+			// attribute it.
+			if sreq != nil {
+				sreq.complete(Status{})
+			}
+			return sreq
+		}
+		if act.Duplicate {
+			dup := *msg
+			dup.rendezvous = false // only the original completes the send
+			dup.sreq = nil
+			if !w.inject(&dup, worldDst) {
+				panic(&DeadRankError{Rank: t.rank, Op: op, Dead: worldDst})
+			}
+		}
+	}
+	if !w.inject(msg, worldDst) {
+		panic(&DeadRankError{Rank: t.rank, Op: op, Dead: worldDst})
+	}
 	return sreq
 }
 
@@ -129,6 +159,7 @@ func Recv[T Scalar](t *Task, comm *Comm, buf []T, src, tag int) Status {
 	t.blockOn(fmt.Sprintf("Recv(src=%d, tag=%d)", src, tag))
 	st := req.Wait()
 	t.unblock()
+	t.checkReq("Recv", req)
 	return st
 }
 
@@ -152,13 +183,31 @@ func irecv[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, src, tag int, op s
 	if comm.rankOf(t.rank) < 0 {
 		raise(t.rank, op, "task is not a member of the communicator")
 	}
+	worldSrc := -1
+	if src != AnySource {
+		worldSrc = comm.group[src]
+	}
 	req := newRequest(true)
-	pr := &postedRecv{ctx: ctx, src: src, tag: tag, buf: buf, req: req, recvRank: t.rank}
+	pr := &postedRecv{ctx: ctx, src: src, tag: tag, buf: buf, req: req, recvRank: t.rank, worldSrc: worldSrc}
 	ep := w.eps[t.rank]
 	ep.mu.Lock()
 	if msg := ep.matchUnexpected(pr); msg != nil {
 		ep.mu.Unlock()
 		w.deliverTo(msg, pr)
+		return req
+	}
+	// Under ep.mu the dead/cancelled flags are ordered against the
+	// failure layer's scan of this endpoint: either we observe the flag
+	// here and fail the request immediately, or the scan observes our
+	// posted receive and fails it.
+	if worldSrc >= 0 && w.rankDead(worldSrc) {
+		ep.mu.Unlock()
+		req.fail(&DeadRankError{Rank: t.rank, Op: op, Dead: worldSrc})
+		return req
+	}
+	if c := w.Cancelled(); c != nil {
+		ep.mu.Unlock()
+		req.fail(&CancelledError{Rank: t.rank, Op: op, Cause: c})
 		return req
 	}
 	ep.recvs = append(ep.recvs, pr)
@@ -188,6 +237,10 @@ func probe(t *Task, comm *Comm, src, tag int, block bool) (Status, bool) {
 	if src != AnySource && (src < 0 || src >= comm.Size()) {
 		raise(t.rank, "Probe", "source rank %d out of range [0,%d)", src, comm.Size())
 	}
+	worldSrc := -1
+	if src != AnySource {
+		worldSrc = comm.group[src]
+	}
 	pr := &postedRecv{ctx: comm.ctxUser, src: src, tag: tag}
 	ep := w.eps[t.rank]
 	ep.mu.Lock()
@@ -197,6 +250,15 @@ func probe(t *Task, comm *Comm, src, tag int, block bool) (Status, bool) {
 			if msg.matches(pr) {
 				return Status{Source: msg.src, Tag: msg.tag, Count: msg.elems, Bytes: msg.bytes}, true
 			}
+		}
+		// The failure layer broadcasts `arrived` when a rank dies or the
+		// world is cancelled, so blocked probes re-check here and fail
+		// fast instead of waiting for a message that cannot come.
+		if worldSrc >= 0 && w.rankDead(worldSrc) {
+			panic(&DeadRankError{Rank: t.rank, Op: "Probe", Dead: worldSrc})
+		}
+		if c := w.Cancelled(); c != nil {
+			panic(&CancelledError{Rank: t.rank, Op: "Probe", Cause: c})
 		}
 		if !block {
 			return Status{}, false
@@ -215,11 +277,31 @@ func Sendrecv[T Scalar](t *Task, comm *Comm, sendBuf []T, dst, sendTag int, recv
 	t.blockOn(fmt.Sprintf("Sendrecv recv(src=%d, tag=%d)", src, recvTag))
 	st := rr.Wait()
 	t.unblock()
+	t.checkReq("Sendrecv", rr)
 	return st
 }
 
-func (t *Task) blockOn(s string) { t.world.eps[t.rank].blockedOn.Store(s) }
-func (t *Task) unblock()         { t.world.eps[t.rank].blockedOn.Store("") }
+func (t *Task) blockOn(s string) {
+	ep := t.world.eps[t.rank]
+	ep.progress.Add(1)
+	ep.blockedOn.Store(s)
+}
+
+func (t *Task) unblock() {
+	ep := t.world.eps[t.rank]
+	ep.progress.Add(1)
+	ep.blockedOn.Store("")
+}
+
+// BlockOn publishes a human-readable description of what the task is
+// about to block on, for the deadlock watchdog and timeout diagnostics.
+// Layers built on the runtime (internal/hls barriers, internal/rma
+// epochs) bracket their own blocking waits with BlockOn/Unblock so their
+// stalls are attributed like message-layer ones.
+func (t *Task) BlockOn(what string) { t.blockOn(what) }
+
+// Unblock clears the description published by BlockOn.
+func (t *Task) Unblock() { t.unblock() }
 
 // commOrWorld substitutes the world communicator for a nil comm argument.
 func (t *Task) commOrWorld(c *Comm) *Comm {

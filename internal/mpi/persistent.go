@@ -9,6 +9,7 @@ type Persistent struct {
 	start  func() *Request
 	label  string
 	active *Request
+	task   *Task
 }
 
 // SendInit binds a persistent send of buf to (dst, tag). The buffer
@@ -25,6 +26,7 @@ func SendInit[T Scalar](t *Task, comm *Comm, buf []T, dst, tag int) *Persistent 
 	return &Persistent{
 		label: "persistent send",
 		start: func() *Request { return Isend(t, comm, buf, dst, tag) },
+		task:  t,
 	}
 }
 
@@ -37,6 +39,7 @@ func RecvInit[T Scalar](t *Task, comm *Comm, buf []T, src, tag int) *Persistent 
 	return &Persistent{
 		label: "persistent recv",
 		start: func() *Request { return Irecv(t, comm, buf, src, tag) },
+		task:  t,
 	}
 }
 
@@ -58,6 +61,7 @@ func (p *Persistent) Wait() Status {
 		panic("mpi: Wait on a never-started persistent request")
 	}
 	st := p.active.Wait()
+	p.task.checkReq(p.label, p.active)
 	return st
 }
 

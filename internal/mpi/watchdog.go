@@ -1,0 +1,65 @@
+package mpi
+
+import "time"
+
+// The deadlock watchdog runs entirely off the critical path: it samples
+// the per-rank blocking descriptors (blockReport's data) and a progress
+// counter that every blocking-state transition bumps. If every unfinished
+// rank stays blocked with the world-wide progress sum unchanged across
+// consecutive scans, the run can never move again — a true cycle (A
+// recvs from B, B recvs from A), a stall on a dead peer the failure
+// layer could not attribute, or a collective some rank will never enter.
+// The watchdog then raises a DeadlockError carrying every rank's state
+// plus the extra reports (HLS directive counters) and cancels the world,
+// so the blocked ranks unwind with typed errors instead of hanging until
+// the global timeout.
+//
+// Detection needs two consecutive stable scans, so transient states (a
+// rank between unblocking and its next operation bumps the progress sum)
+// never trigger it. A rank busy in user code shows blockedOn == "" and
+// suppresses detection: only runtime-blocked stalls count.
+
+// watchdog scans every interval until done closes or a deadlock fires.
+func (w *World) watchdog(interval time.Duration, done <-chan struct{}) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var prevSum int64 = -1
+	stable := 0
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+		}
+		if w.Cancelled() != nil {
+			return
+		}
+		states := w.taskStates()
+		allBlocked := true
+		var sum int64
+		live := 0
+		for _, ts := range states {
+			sum += ts.Progress
+			if ts.Finished || ts.Dead {
+				continue
+			}
+			live++
+			if ts.BlockedOn == "" {
+				allBlocked = false
+			}
+		}
+		if live == 0 {
+			return
+		}
+		if allBlocked && sum == prevSum {
+			stable++
+		} else {
+			stable = 0
+		}
+		prevSum = sum
+		if stable >= 2 {
+			w.cancel(&DeadlockError{Tasks: states, Extra: w.blockReports()})
+			return
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package procmpi
+
+import (
+	"fmt"
+	"time"
+)
+
+// Fault tolerance for the process-based model: mapping the node's shared
+// segment at the fixed base address can fail (address already taken,
+// shm exhausted — the real isomalloc failure modes). New retries with
+// capped exponential backoff and, when the retries are exhausted,
+// degrades the node instead of failing the job: the node runs without a
+// shared segment, HLS variables fall back to private per-process copies,
+// and single-nowait regions execute in every process so each copy is
+// maintained — the process-level analogue of hls demotion (§III
+// sharing/duplication equivalence).
+
+// MapGate is consulted before each attempt (1-based) to map node's
+// shared segment; a non-nil error fails the attempt. internal/chaos's
+// Injector.MapGate() implements it.
+type MapGate func(node, attempt int) error
+
+// Option tunes New.
+type Option func(*config)
+
+type config struct {
+	mapGate    MapGate
+	mapRetries int
+	mapBackoff time.Duration
+}
+
+// WithMapGate installs a mapping gate (fault injection point).
+func WithMapGate(g MapGate) Option {
+	return func(c *config) { c.mapGate = g }
+}
+
+// WithMapRetry tunes the mapping retry policy: up to retries additional
+// attempts after the first failure, sleeping backoff, 2*backoff, ...
+// (capped at 100ms) between them. Defaults: 3 retries, 1ms backoff.
+func WithMapRetry(retries int, backoff time.Duration) Option {
+	return func(c *config) {
+		c.mapRetries = retries
+		c.mapBackoff = backoff
+	}
+}
+
+// maxMapBackoff caps the exponential backoff between mapping attempts.
+const maxMapBackoff = 100 * time.Millisecond
+
+// mapSegment runs the gated mapping attempts for one node. It returns
+// the mapped segment, or nil after the retries are exhausted (the node
+// degrades).
+func (c *config) mapSegment(node, segBytes int) ([]byte, int) {
+	attempts := 0
+	backoff := c.mapBackoff
+	for {
+		attempts++
+		if c.mapGate != nil {
+			if err := c.mapGate(node, attempts); err != nil {
+				if attempts > c.mapRetries {
+					return nil, attempts
+				}
+				time.Sleep(backoff)
+				backoff *= 2
+				if backoff > maxMapBackoff {
+					backoff = maxMapBackoff
+				}
+				continue
+			}
+		}
+		return make([]byte, segBytes), attempts
+	}
+}
+
+// Degraded reports whether the node runs without a shared segment.
+func (n *Node) Degraded() bool { return n.shared == nil }
+
+// Degraded reports whether this process's node runs without a shared
+// segment (HLS variables are private per-process copies).
+func (p *Process) Degraded() bool { return p.node.Degraded() }
+
+// DegradedNodes lists the nodes whose segment mapping failed.
+func (r *Runtime) DegradedNodes() []int {
+	var out []int
+	for _, n := range r.nodes {
+		if n.Degraded() {
+			out = append(out, n.id)
+		}
+	}
+	return out
+}
+
+// MapAttempts returns how many mapping attempts node needed (1 for a
+// clean first-try mapping).
+func (r *Runtime) MapAttempts(node int) int { return r.nodes[node].mapAttempts }
+
+// privHLSVar is the degraded-mode HLSVar: a per-process private copy,
+// interned per process so repeated lookups agree within the process.
+// Address identity across processes — the §IV-C invariant — is exactly
+// what degradation gives up.
+func (p *Process) privHLSVar(name string, bytes int) Addr {
+	if p.hlsVars == nil {
+		p.hlsVars = make(map[string]Addr)
+	}
+	if a, ok := p.hlsVars[name]; ok {
+		return a
+	}
+	a := p.Malloc(bytes)
+	p.hlsVars[name] = a
+	return a
+}
+
+// degradedCheck panics when shared-segment operations are attempted on a
+// degraded node outside the sanctioned fallback paths.
+func (n *Node) degradedCheck(op string) {
+	if n.Degraded() {
+		panic(fmt.Sprintf("procmpi: node %d is degraded (no shared segment): %s", n.id, op))
+	}
+}

@@ -1,0 +1,140 @@
+package procmpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hls/internal/chaos"
+)
+
+// TestFaultMapRetryRecovers: transient mapping failures are retried and
+// the node comes up healthy.
+func TestFaultMapRetryRecovers(t *testing.T) {
+	fails := 2
+	calls := 0
+	rt, err := New(1, 2, 1<<16,
+		WithMapGate(func(node, attempt int) error {
+			calls++
+			if attempt <= fails {
+				return fmt.Errorf("transient map failure %d", attempt)
+			}
+			return nil
+		}),
+		WithMapRetry(3, time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != fails+1 {
+		t.Errorf("gate consulted %d times, want %d", calls, fails+1)
+	}
+	if got := rt.DegradedNodes(); len(got) != 0 {
+		t.Fatalf("DegradedNodes = %v after recoverable failures", got)
+	}
+	if rt.MapAttempts(0) != fails+1 {
+		t.Errorf("MapAttempts(0) = %d, want %d", rt.MapAttempts(0), fails+1)
+	}
+	// Healthy node: §IV-C address identity holds.
+	a := rt.Proc(0).HLSVar("x", 8)
+	b := rt.Proc(1).HLSVar("x", 8)
+	if a != b {
+		t.Errorf("HLSVar addresses differ on a healthy node: %#x vs %#x", uint64(a), uint64(b))
+	}
+}
+
+// TestFaultMapFailureDegradesNode: a node whose mapping attempts are
+// exhausted degrades to private per-process HLS copies; other nodes keep
+// the shared-segment invariants.
+func TestFaultMapFailureDegradesNode(t *testing.T) {
+	rt, err := New(2, 2, 1<<16,
+		WithMapGate(func(node, attempt int) error {
+			if node == 0 {
+				return fmt.Errorf("persistent map failure on node %d", node)
+			}
+			return nil
+		}),
+		WithMapRetry(2, time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.DegradedNodes(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("DegradedNodes = %v, want [0]", got)
+	}
+
+	// Degraded node 0: per-process private copies, isolated writes, and
+	// single-nowait running in EVERY process.
+	p0, p1 := rt.Proc(0), rt.Proc(1)
+	if !p0.Degraded() || !p1.Degraded() {
+		t.Fatal("processes of node 0 do not report Degraded")
+	}
+	a0 := p0.HLSVar("v", 8)
+	a1 := p1.HLSVar("v", 8)
+	if p0.IsShared(a0) || p1.IsShared(a1) {
+		t.Error("degraded HLSVar landed in a (nonexistent) shared segment")
+	}
+	p0.StoreU64(a0, 111)
+	p1.StoreU64(a1, 222)
+	if got := p0.LoadU64(a0); got != 111 {
+		t.Errorf("pid 0 private copy = %d, want 111 (write isolation broken)", got)
+	}
+	if got := p1.LoadU64(a1); got != 222 {
+		t.Errorf("pid 1 private copy = %d, want 222", got)
+	}
+	ran := 0
+	for _, p := range []*Process{p0, p1} {
+		if p.SingleNowait(func() {}) {
+			ran++
+		}
+	}
+	if ran != 2 {
+		t.Errorf("degraded single-nowait ran in %d/2 processes, want every process", ran)
+	}
+	// Interposed allocations inside the region stay private and usable.
+	var heap Addr
+	p0.SingleNowait(func() { heap = p0.Malloc(16) })
+	if p0.IsShared(heap) {
+		t.Error("degraded interposed allocation claims to be shared")
+	}
+	p0.StoreU64(heap, 7)
+	if got := p0.LoadU64(heap); got != 7 {
+		t.Errorf("degraded heap readback = %d, want 7", got)
+	}
+
+	// Node 1 is untouched: address identity and single-nowait election.
+	p2, p3 := rt.Proc(2), rt.Proc(3)
+	if p2.Degraded() {
+		t.Fatal("node 1 degraded despite clean mapping")
+	}
+	b2 := p2.HLSVar("v", 8)
+	b3 := p3.HLSVar("v", 8)
+	if b2 != b3 {
+		t.Errorf("healthy node lost address identity: %#x vs %#x", uint64(b2), uint64(b3))
+	}
+	ran = 0
+	for _, p := range []*Process{p2, p3} {
+		if p.SingleNowait(func() {}) {
+			ran++
+		}
+	}
+	if ran != 1 {
+		t.Errorf("healthy single-nowait ran in %d/2 processes, want exactly 1", ran)
+	}
+}
+
+// TestChaosMapGateDegradesNode wires the chaos injector's MapGate into
+// procmpi: an injected persistent mapping fault on node 1 degrades it.
+func TestChaosMapGateDegradesNode(t *testing.T) {
+	inj := chaos.New(17, chaos.Fault{Kind: chaos.MapFail, Node: 1, Prob: 1})
+	rt, err := New(2, 2, 1<<16,
+		WithMapGate(inj.MapGate()),
+		WithMapRetry(1, time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.DegradedNodes(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("DegradedNodes = %v, want [1]", got)
+	}
+	if inj.Count(chaos.MapFail) != 2 {
+		t.Errorf("MapFail fired %d times, want 2 (initial + 1 retry)", inj.Count(chaos.MapFail))
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Addr is a simulated virtual address.
@@ -51,6 +52,11 @@ type Node struct {
 	// to register allocates, the rest look up — the same effect as the
 	// runtime structures of figure 2 living in the segment.
 	hlsVars map[string]Addr
+
+	// mapAttempts counts the gated mapping attempts the segment needed;
+	// shared == nil after New means they were exhausted and the node is
+	// degraded (fault.go).
+	mapAttempts int
 }
 
 // Runtime is a cluster of nodes with processes.
@@ -74,17 +80,29 @@ type Process struct {
 	inSingle bool
 	// singleCount counts single regions this process encountered.
 	singleCount int64
+
+	// hlsVars interns degraded-mode private HLS copies (fault.go); nil on
+	// healthy nodes.
+	hlsVars map[string]Addr
 }
 
 // New builds a runtime of `nodes` nodes with procsPerNode processes each,
-// each node with a shared segment of segBytes.
-func New(nodes, procsPerNode, segBytes int) (*Runtime, error) {
+// each node with a shared segment of segBytes. Mapping the segment is
+// gated and retried per WithMapGate/WithMapRetry; a node whose mapping
+// attempts are exhausted comes up degraded (no shared segment, private
+// HLS fallback — see fault.go) rather than failing the whole runtime.
+func New(nodes, procsPerNode, segBytes int, opts ...Option) (*Runtime, error) {
 	if nodes < 1 || procsPerNode < 1 || segBytes < 1 {
 		return nil, fmt.Errorf("procmpi: invalid geometry nodes=%d procs=%d seg=%d", nodes, procsPerNode, segBytes)
 	}
+	cfg := config{mapRetries: 3, mapBackoff: time.Millisecond}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	r := &Runtime{}
 	for n := 0; n < nodes; n++ {
-		node := &Node{id: n, shared: make([]byte, segBytes), hlsVars: make(map[string]Addr)}
+		seg, attempts := cfg.mapSegment(n, segBytes)
+		node := &Node{id: n, shared: seg, hlsVars: make(map[string]Addr), mapAttempts: attempts}
 		r.nodes = append(r.nodes, node)
 		for p := 0; p < procsPerNode; p++ {
 			r.procs = append(r.procs, &Process{
@@ -118,7 +136,7 @@ func (p *Process) Malloc(n int) Addr {
 	if n <= 0 {
 		panic(fmt.Sprintf("procmpi: malloc(%d)", n))
 	}
-	if p.inSingle {
+	if p.inSingle && !p.node.Degraded() {
 		return p.node.sharedAlloc(n)
 	}
 	if p.brk+n > len(p.private) {
@@ -133,6 +151,7 @@ func (p *Process) Malloc(n int) Addr {
 
 // sharedAlloc bump-allocates in the node segment.
 func (n *Node) sharedAlloc(bytes int) Addr {
+	n.degradedCheck("sharedAlloc")
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.brk+bytes > len(n.shared) {
@@ -193,6 +212,15 @@ func (p *Process) LoadU64(addr Addr) uint64 {
 func (p *Process) SingleNowait(body func()) bool {
 	p.singleCount++
 	n := p.node
+	if n.Degraded() {
+		// Degraded mode: each process keeps its own private copies, so the
+		// region must execute in every process to maintain them (the hls
+		// demotion semantics at process level).
+		p.inSingle = true
+		defer func() { p.inSingle = false }()
+		body()
+		return true
+	}
 	n.mu.Lock()
 	execute := p.singleCount > n.singles
 	if execute {
@@ -213,6 +241,9 @@ func (p *Process) SingleNowait(body func()) bool {
 // shared segment.
 func (p *Process) HLSVar(name string, bytes int) Addr {
 	n := p.node
+	if n.Degraded() {
+		return p.privHLSVar(name, bytes)
+	}
 	n.mu.Lock()
 	if a, ok := n.hlsVars[name]; ok {
 		n.mu.Unlock()

@@ -1,0 +1,177 @@
+package rma
+
+import (
+	"time"
+
+	"hls/internal/mpi"
+)
+
+// This file is the RMA side of the fault-tolerance layer. A window
+// registers one handler with the world's failure layer; when a member
+// rank dies (or the world is cancelled) the handler
+//
+//   - marks the window failed, so every subsequent synchronization call
+//     fails fast with a typed error instead of deadlocking,
+//   - poisons the PSCW token channels of the dead rank, unblocking
+//     origins stuck in Start (target died before Post) and targets stuck
+//     in Wait (origin died before Complete), and
+//   - releases the passive-target locks the dead rank still held, so
+//     survivors blocked in Lock acquire, observe the failure, and unwind
+//     with a typed error.
+//
+// Fence needs no handling of its own: it rides on mpi.Barrier, which the
+// mpi failure layer already fails fast.
+
+// failToken is the poison value injected into PSCW channels when a rank
+// dies; Start and Wait convert it into a panic with err.
+type failToken struct{ err error }
+
+// failHandler runs on the world's failure path (from the dying rank's
+// goroutine, after its stack unwound). rank is a world rank, or -1 for
+// world cancellation.
+func (w *Window[T]) failHandler(rank int, cause error) {
+	d := -1 // dead comm rank, if a member
+	if rank >= 0 {
+		for r := 0; r < w.comm.Size(); r++ {
+			if w.comm.WorldRank(r) == rank {
+				d = r
+				break
+			}
+		}
+		if d < 0 {
+			return // not a member of this window's communicator
+		}
+	}
+
+	var err error
+	if rank >= 0 {
+		err = &mpi.DeadRankError{Rank: -1, Op: "rma window " + w.name, Dead: rank}
+	} else {
+		err = &mpi.CancelledError{Rank: -1, Op: "rma window " + w.name, Cause: cause}
+	}
+	w.failMu.Lock()
+	if w.failErr == nil {
+		w.failErr = err
+	}
+	w.failMu.Unlock()
+
+	// Poison the dead rank's PSCW channels (all of them on cancellation).
+	// Capacity-1 channels: a non-blocking send either lands the token or
+	// finds a real unconsumed token already there — in the latter case the
+	// receiver consumes it normally and the next sync call fails fast via
+	// checkFailed.
+	poison := func(r int) {
+		for x := 0; x < w.comm.Size(); x++ {
+			select {
+			case w.st[r].post[x] <- failToken{err}:
+			default:
+			}
+			select {
+			case w.st[x].done[r] <- failToken{err}:
+			default:
+			}
+		}
+	}
+	if d >= 0 {
+		poison(d)
+	} else {
+		for r := 0; r < w.comm.Size(); r++ {
+			poison(r)
+		}
+	}
+
+	// Release the locks the dead rank still held. Its goroutine has
+	// unwound, so its epochState is quiesced; survivors blocked in Lock
+	// acquire, re-check the window, and unwind typed.
+	if d >= 0 {
+		ep := w.eps[d]
+		for target, typ := range ep.locked {
+			if typ == LockExclusive {
+				w.st[target].lock.Unlock()
+			} else {
+				w.st[target].lock.RUnlock()
+			}
+			delete(ep.locked, target)
+		}
+	}
+}
+
+// checkFailed panics with a typed error attributed to t when the window
+// has a dead member or the world was cancelled.
+func (w *Window[T]) checkFailed(t *mpi.Task, op string) {
+	w.failMu.Lock()
+	err := w.failErr
+	w.failMu.Unlock()
+	if err == nil {
+		return
+	}
+	w.failPanic(t, op, err)
+}
+
+// failPanic re-raises a window failure with the caller's rank and
+// operation.
+func (w *Window[T]) failPanic(t *mpi.Task, op string, err error) {
+	switch e := err.(type) {
+	case *mpi.DeadRankError:
+		panic(&mpi.DeadRankError{Rank: t.Rank(), Op: "rma." + op, Dead: e.Dead})
+	case *mpi.CancelledError:
+		panic(&mpi.CancelledError{Rank: t.Rank(), Op: "rma." + op, Cause: e.Cause})
+	default:
+		panic(&mpi.CancelledError{Rank: t.Rank(), Op: "rma." + op, Cause: err})
+	}
+}
+
+// faultDelay gives the chaos layer (any mpi.FaultHooks installed on the
+// world) a chance to delay a synchronization call the way it delays
+// point-to-point messages. Drop/duplicate verdicts are meaningless for
+// synchronization and are ignored.
+func (w *Window[T]) faultDelay(t *mpi.Task, target int) {
+	fh, ok := w.world.Hooks().(mpi.FaultHooks)
+	if !ok {
+		return
+	}
+	act := fh.FaultP2P(t.Rank(), w.comm.WorldRank(target), 0, false)
+	if act.Delay > 0 {
+		time.Sleep(act.Delay)
+	}
+}
+
+// Flush completes all RMA operations this task issued to target within
+// an open passive-target epoch (MPI_Win_flush), without closing the
+// epoch. Operations apply eagerly in this runtime, so what Flush adds is
+// the visibility point: the task's clock is published to the target's
+// lock accumulator (Observer.Arrive), ordering the flushed operations
+// before any subsequent Lock of the same target.
+func (w *Window[T]) Flush(t *mpi.Task, target int) {
+	me := w.rankOf(t, "Flush")
+	w.checkFailed(t, "Flush")
+	if target < 0 || target >= w.comm.Size() {
+		raise(t.Rank(), "Flush", "target rank %d out of range [0,%d)", target, w.comm.Size())
+	}
+	ep := w.eps[me]
+	if _, ok := ep.locked[target]; !ok {
+		raise(t.Rank(), "Flush", "no lock epoch to target %d open on window %q", target, w.name)
+	}
+	w.faultDelay(t, target)
+	if tr := w.cfg.tracer; tr != nil {
+		tr.BeginOp(w.name, "flush", t.Rank(), w.comm.WorldRank(target), 0)
+		tr.EndOp(w.name, "flush", t.Rank())
+	}
+	if o := w.cfg.observer; o != nil {
+		o.Arrive(w.lockKey(target), t.Rank())
+	}
+}
+
+// FlushAll flushes every target this task currently holds a lock epoch
+// to (MPI_Win_flush_all over the open epochs).
+func (w *Window[T]) FlushAll(t *mpi.Task) {
+	me := w.rankOf(t, "FlushAll")
+	w.checkFailed(t, "FlushAll")
+	ep := w.eps[me]
+	if len(ep.locked) == 0 {
+		raise(t.Rank(), "FlushAll", "no lock epochs open on window %q", w.name)
+	}
+	for target := range ep.locked {
+		w.Flush(t, target)
+	}
+}

@@ -1,0 +1,197 @@
+package rma
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"hls/internal/chaos"
+	"hls/internal/mpi"
+)
+
+// TestFaultLockReleasedWhenHolderDies: a rank dies while holding an
+// exclusive passive-target lock; the failure handler releases it, and a
+// survivor blocked in Lock unwinds with a typed dead-rank error instead
+// of deadlocking.
+func TestFaultLockReleasedWhenHolderDies(t *testing.T) {
+	const n = 4
+	w := testWorld(t, n)
+	locked := make(chan struct{})
+	runErr := w.Run(func(task *mpi.Task) error {
+		win := WinAllocate[int](task, nil, 1)
+		switch task.Rank() {
+		case 1:
+			win.Lock(task, LockExclusive, 0)
+			close(locked)
+			panic(fmt.Errorf("injected kill while holding lock"))
+		case 2:
+			<-locked
+			win.Lock(task, LockExclusive, 0) // blocked on the dead holder
+			return nil
+		default:
+			return nil
+		}
+	})
+	if runErr == nil {
+		t.Fatal("Run returned nil after a lock holder died")
+	}
+	var te *mpi.TimeoutError
+	if errors.As(runErr, &te) {
+		t.Fatalf("survivor hung on the dead holder's lock: %v", runErr)
+	}
+	var dre *mpi.DeadRankError
+	if !errors.As(w.RankErrors()[2], &dre) || dre.Dead != 1 {
+		t.Errorf("rank 2 error = %v, want *mpi.DeadRankError{Dead: 1}", w.RankErrors()[2])
+	}
+	var rf *mpi.RankFailure
+	if !errors.As(w.RankErrors()[1], &rf) {
+		t.Errorf("rank 1 error = %v, want *mpi.RankFailure", w.RankErrors()[1])
+	}
+}
+
+// TestFaultWaitUnblocksWhenOriginDies: a PSCW origin dies between Start
+// and Complete; the exposing target's Wait must fail fast.
+func TestFaultWaitUnblocksWhenOriginDies(t *testing.T) {
+	const n = 2
+	w := testWorld(t, n)
+	runErr := w.Run(func(task *mpi.Task) error {
+		win := WinAllocate[int](task, nil, 2)
+		if task.Rank() == 0 {
+			win.Post(task, 1)
+			win.Wait(task) // origin 1 never Completes
+			return nil
+		}
+		win.Start(task, 0)
+		panic(fmt.Errorf("injected kill before Complete"))
+	})
+	if runErr == nil {
+		t.Fatal("Run returned nil")
+	}
+	var te *mpi.TimeoutError
+	if errors.As(runErr, &te) {
+		t.Fatalf("Wait hung on the dead origin: %v", runErr)
+	}
+	var dre *mpi.DeadRankError
+	if !errors.As(w.RankErrors()[0], &dre) || dre.Dead != 1 {
+		t.Errorf("rank 0 error = %v, want *mpi.DeadRankError{Dead: 1}", w.RankErrors()[0])
+	}
+}
+
+// TestFaultStartUnblocksWhenTargetDies: a PSCW target dies before
+// Posting; the origin's Start must fail fast.
+func TestFaultStartUnblocksWhenTargetDies(t *testing.T) {
+	const n = 2
+	w := testWorld(t, n)
+	runErr := w.Run(func(task *mpi.Task) error {
+		win := WinAllocate[int](task, nil, 2)
+		if task.Rank() == 0 {
+			panic(fmt.Errorf("injected kill before Post"))
+		}
+		win.Start(task, 0) // target 0 never Posts
+		return nil
+	})
+	if runErr == nil {
+		t.Fatal("Run returned nil")
+	}
+	var te *mpi.TimeoutError
+	if errors.As(runErr, &te) {
+		t.Fatalf("Start hung on the dead target: %v", runErr)
+	}
+	var dre *mpi.DeadRankError
+	if !errors.As(w.RankErrors()[1], &dre) || dre.Dead != 0 {
+		t.Errorf("rank 1 error = %v, want *mpi.DeadRankError{Dead: 0}", w.RankErrors()[1])
+	}
+}
+
+// TestFaultFlushRequiresLockEpoch: Flush outside a passive-target epoch
+// is an epoch-discipline error (MPI_ERRORS_ARE_FATAL → typed *mpi.Error).
+func TestFaultFlushRequiresLockEpoch(t *testing.T) {
+	w := testWorld(t, 2)
+	runErr := w.Run(func(task *mpi.Task) error {
+		win := WinAllocate[int](task, nil, 1)
+		if task.Rank() == 0 {
+			win.Flush(task, 1)
+		}
+		return nil
+	})
+	if runErr == nil {
+		t.Fatal("Flush without a lock epoch succeeded")
+	}
+	var me *mpi.Error
+	if !errors.As(runErr, &me) || me.Op != "rma.Flush" {
+		t.Errorf("error = %v, want *mpi.Error from rma.Flush", runErr)
+	}
+}
+
+// TestChaosFlushDuringInjectedDelay: lock/accumulate/flush/unlock cycles
+// stay correct while the chaos layer delays every synchronization and
+// message; Flush picks up the injected delay through mpi.FaultHooks.
+func TestChaosFlushDuringInjectedDelay(t *testing.T) {
+	const n, iters = 4, 8
+	inj := chaos.New(21, chaos.Fault{Kind: chaos.MsgDelay, Rank: -1, Prob: 1, Delay: 200 * time.Microsecond})
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: n, Hooks: inj, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(task *mpi.Task) error {
+		win := WinAllocate[int64](task, nil, 1)
+		for i := 0; i < iters; i++ {
+			win.Lock(task, LockShared, 0)
+			win.Accumulate(task, []int64{1}, 0, 0, mpi.OpSum)
+			win.Flush(task, 0)
+			win.Unlock(task, 0)
+		}
+		mpi.Barrier(task, win.Comm())
+		if task.Rank() == 0 {
+			if got := win.Local(task)[0]; got != n*iters {
+				return fmt.Errorf("counter = %d, want %d", got, n*iters)
+			}
+		}
+		win.Free(task)
+		return nil
+	}); err != nil {
+		t.Fatalf("delayed run failed: %v", err)
+	}
+	if inj.Count(chaos.MsgDelay) == 0 {
+		t.Error("no delays were injected")
+	}
+}
+
+// TestChaosPassiveTargetReorderStress: mixed shared/exclusive epochs
+// with probabilistic chaos delays reordering the interleavings; meant to
+// run under -race (the CI chaos job does).
+func TestChaosPassiveTargetReorderStress(t *testing.T) {
+	const n, iters = 8, 20
+	inj := chaos.New(33, chaos.Fault{Kind: chaos.MsgDelay, Rank: -1, Prob: 0.25, Delay: 50 * time.Microsecond})
+	w, err := mpi.NewWorld(mpi.Config{NumTasks: n, Hooks: inj, Timeout: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(task *mpi.Task) error {
+		win := WinAllocate[int64](task, nil, n)
+		me := task.Rank()
+		for i := 0; i < iters; i++ {
+			target := (me + i) % n
+			if i%3 == 0 {
+				win.Lock(task, LockExclusive, target)
+				buf := []int64{int64(me)}
+				win.Put(task, buf, target, me)
+				win.Get(task, buf, target, me)
+				if buf[0] != int64(me) {
+					return fmt.Errorf("rank %d: exclusive read-back got %d", me, buf[0])
+				}
+			} else {
+				win.Lock(task, LockShared, target)
+				win.Accumulate(task, []int64{1}, target, (me+1)%n, mpi.OpSum)
+				win.FlushAll(task)
+			}
+			win.Unlock(task, target)
+		}
+		mpi.Barrier(task, win.Comm())
+		win.Free(task)
+		return nil
+	}); err != nil {
+		t.Fatalf("stress run failed: %v", err)
+	}
+}

@@ -48,10 +48,27 @@ func (w *Window[T]) Lock(t *mpi.Task, typ LockType, target int) {
 	if _, ok := ep.locked[target]; ok {
 		raise(t.Rank(), "Lock", "lock epoch to target %d already open on window %q", target, w.name)
 	}
+	w.checkFailed(t, "Lock")
+	t.BlockOn("rma.Lock")
 	if typ == LockExclusive {
 		w.st[target].lock.Lock()
 	} else {
 		w.st[target].lock.RLock()
+	}
+	t.Unblock()
+	// A failure while we were blocked may be the very thing that released
+	// the lock (the failure handler frees a dead holder's locks): give it
+	// back and unwind typed instead of entering a poisoned epoch.
+	w.failMu.Lock()
+	ferr := w.failErr
+	w.failMu.Unlock()
+	if ferr != nil {
+		if typ == LockExclusive {
+			w.st[target].lock.Unlock()
+		} else {
+			w.st[target].lock.RUnlock()
+		}
+		w.failPanic(t, "Lock", ferr)
 	}
 	if o := w.cfg.observer; o != nil {
 		o.Depart(w.lockKey(target), t.Rank())

@@ -40,6 +40,7 @@ func (w *Window[T]) Post(t *mpi.Task, origins ...int) {
 	if len(origins) == 0 {
 		raise(t.Rank(), "Post", "empty origin group")
 	}
+	w.checkFailed(t, "Post")
 	hooks := w.world.Hooks()
 	seen := make(map[int]bool, len(origins))
 	for _, o := range origins {
@@ -79,6 +80,7 @@ func (w *Window[T]) Start(t *mpi.Task, targets ...int) {
 	if len(targets) == 0 {
 		raise(t.Rank(), "Start", "empty target group")
 	}
+	w.checkFailed(t, "Start")
 	hooks := w.world.Hooks()
 	for _, g := range targets {
 		if g < 0 || g >= w.comm.Size() {
@@ -87,7 +89,12 @@ func (w *Window[T]) Start(t *mpi.Task, targets ...int) {
 		if ep.started[g] {
 			raise(t.Rank(), "Start", "duplicate target rank %d", g)
 		}
+		t.BlockOn("rma.Start")
 		meta := <-w.st[g].post[me]
+		t.Unblock()
+		if ft, ok := meta.(failToken); ok {
+			w.failPanic(t, "Start", ft.err)
+		}
 		if hooks != nil {
 			hooks.OnDeliver(t.Rank(), meta)
 		}
@@ -108,6 +115,7 @@ func (w *Window[T]) Complete(t *mpi.Task) {
 	if len(ep.started) == 0 {
 		raise(t.Rank(), "Complete", "no access epoch open on window %q", w.name)
 	}
+	w.checkFailed(t, "Complete")
 	if tr := w.cfg.tracer; tr != nil {
 		tr.EpochClose(w.name, "access", t.Rank())
 	}
@@ -139,7 +147,12 @@ func (w *Window[T]) Wait(t *mpi.Task) {
 	}
 	hooks := w.world.Hooks()
 	for _, o := range ep.postedTo {
+		t.BlockOn("rma.Wait")
 		meta := <-w.st[me].done[o]
+		t.Unblock()
+		if ft, ok := meta.(failToken); ok {
+			w.failPanic(t, "Wait", ft.err)
+		}
 		if hooks != nil {
 			hooks.OnDeliver(t.Rank(), meta)
 		}

@@ -27,6 +27,11 @@ type Window[T mpi.Scalar] struct {
 	cfg    winConfig
 	allocs []*memsim.Alloc
 	free   sync.Once
+
+	// failMu guards failErr, the first member failure (or cancellation)
+	// observed by the window's failure handler; see fault.go.
+	failMu  sync.Mutex
+	failErr error
 }
 
 // targetState is the synchronization state other tasks address when this
@@ -225,6 +230,10 @@ func buildWindow[T mpi.Scalar](world *mpi.World, wc *mpi.Comm, rank int, op stri
 		}
 	}
 	win.account(sizes, shared)
+	// Fail fast instead of deadlocking when a member rank dies: the
+	// handler poisons PSCW channels and releases the dead rank's held
+	// locks (fault.go).
+	world.OnFailure(win.failHandler)
 	return win
 }
 
