@@ -25,10 +25,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|faults|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|faults|sync|all")
 	full := flag.Bool("full", false, "run the paper-shaped sweep instead of the quick profile")
 	seed := flag.Int64("seed", 1, "chaos seed for -exp faults (fixes the whole fault schedule)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
+	syncOut := flag.String("out", "BENCH_sync.json", "where -exp sync writes its JSON snapshot (empty to skip)")
+	compare := flag.String("compare", "", "baseline BENCH_sync.json to compare -exp sync results against (exit 1 on check regressions)")
 	serve := flag.String("serve", "", "serve live /metrics, /metrics.json and /debug/pprof/ on this address (e.g. :8080 or :0) while experiments run")
 	linger := flag.Duration("linger", 0, "keep the -serve endpoint up this long after the experiments finish")
 	flag.Parse()
@@ -150,6 +152,31 @@ func main() {
 		exitOn(err)
 		bench.PrintFaults(os.Stdout, res)
 		writeCSV("faults.csv", func(w io.Writer) error { return bench.WriteFaultsCSV(w, res) })
+		fmt.Println()
+	}
+	if want("sync") {
+		ran = true
+		fmt.Printf("== Synchronization: barrier tree + zero-copy collectives (%s profile) ==\n", profile)
+		res, err := bench.RunSync(profile)
+		exitOn(err)
+		bench.PrintSync(os.Stdout, res)
+		writeCSV("sync.csv", func(w io.Writer) error { return bench.WriteSyncCSV(w, res) })
+		if *syncOut != "" {
+			f, err := os.Create(*syncOut)
+			exitOn(err)
+			err = bench.WriteSyncJSON(f, res)
+			f.Close()
+			exitOn(err)
+			fmt.Println("wrote", *syncOut)
+		}
+		if *compare != "" {
+			f, err := os.Open(*compare)
+			exitOn(err)
+			base, err := bench.ReadSyncJSON(f)
+			f.Close()
+			exitOn(err)
+			exitOn(bench.CompareSync(os.Stdout, base, res))
+		}
 		fmt.Println()
 	}
 	if !ran {

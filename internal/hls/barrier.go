@@ -6,120 +6,59 @@ import (
 	"sync/atomic"
 
 	"hls/internal/mpi"
+	"hls/internal/spin"
 	"hls/internal/topology"
 )
 
-// flatBarrier is the paper's "simple flat algorithm with a counter and a
-// lock", used on its own for scopes up to the LLC and as the building
-// block of the hierarchical barrier.
-type flatBarrier struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	size     int
-	count    int
-	gen      uint64
-	abortErr error // non-nil once the barrier can never complete
-}
-
-func newFlatBarrier(size int) *flatBarrier {
-	b := &flatBarrier{size: size}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-// abort poisons the barrier: current waiters wake and panic with err,
-// and every later arriver panics immediately. Called by the registry's
-// failure handler when a participant rank dies (the barrier can never
-// be completed) or the world is cancelled.
-func (b *flatBarrier) abort(err error) {
-	b.mu.Lock()
-	if b.abortErr == nil {
-		b.abortErr = err
-	}
-	b.cond.Broadcast()
-	b.mu.Unlock()
-}
-
-// await blocks until size tasks have arrived. The last arriver runs body
-// (if non-nil) before anyone is released, implementing the single
-// directive's "the last MPI task entering the barrier executes the code
-// block before releasing the others" (§IV-B). It reports whether this
-// caller was the executor. An aborted barrier panics with the typed
-// abort error instead of blocking forever.
-func (b *flatBarrier) await(body func()) bool {
-	b.mu.Lock()
-	if err := b.abortErr; err != nil {
-		b.mu.Unlock()
-		panic(err)
-	}
-	myGen := b.gen
-	b.count++
-	if b.count == b.size {
-		b.count = 0
-		b.mu.Unlock()
-		if body != nil {
-			body()
-		}
-		b.mu.Lock()
-		b.gen++
-		b.cond.Broadcast()
-		b.mu.Unlock()
-		return true
-	}
-	for b.gen == myGen && b.abortErr == nil {
-		b.cond.Wait()
-	}
-	err := b.abortErr
-	released := b.gen != myGen
-	b.mu.Unlock()
-	// A completed generation wins over a concurrent abort: the barrier's
-	// work was done before the failure reached it.
-	if !released && err != nil {
-		panic(err)
-	}
-	return false
-}
-
-// barrierNode is the synchronization structure of one scope instance:
-// either a single flat barrier, or the shared-cache-aware hierarchy —
-// "all MPI tasks in the same llc scope synchronize first and only one of
-// them goes to the next scope. This way, locks and counters stay in the
-// shared cache and all synchronizations at the llc scope happen in
-// parallel" (§IV-B).
+// barrierNode is the synchronization structure of one scope instance: a
+// spin.Tree nested along the machine's cache hierarchy — "all MPI tasks
+// in the same llc scope synchronize first and only one of them goes to
+// the next scope. This way, locks and counters stay in the shared cache
+// and all synchronizations at the llc scope happen in parallel" (§IV-B),
+// generalized to every level that actually coalesces arrivals (core, each
+// shared cache, NUMA; see topology.SyncPaths). WithFlatBarriers collapses
+// the tree to a single flat spin barrier; WithMutexBarriers swaps in the
+// pre-tree mutex+condvar baseline for ablation.
+//
+// The node also caches the directive's observer keys and pre-boxed
+// BlockOn values: directives are the hot path, and rebuilding
+// "hls barrier/node:0/0" (or re-boxing it into the endpoint's
+// atomic.Value) on every call is a per-directive allocation.
 type barrierNode struct {
-	flat *flatBarrier
+	tree *spin.Tree         // default and WithFlatBarriers (empty paths)
+	mtx  *spin.MutexBarrier // WithMutexBarriers ablation baseline
+	slot map[int]int        // world rank -> tree member index
 
-	// hierarchical parts (nil when flat)
-	groups map[int]*flatBarrier // keyed by LLC instance
-	top    *flatBarrier
+	obsBarrier, obsSingle              string
+	blkBarrier, blkSingle, blkDegraded any // pre-boxed "hls <key>" strings
 }
 
-// await synchronizes a task whose LLC instance is llcInst; body (may be
+// await synchronizes world rank with its instance siblings; body (may be
 // nil) is executed by exactly one task, after everyone arrived and before
 // anyone leaves. Reports whether this task executed body.
-func (bn *barrierNode) await(llcInst int, body func()) bool {
-	if bn.flat != nil {
-		return bn.flat.await(body)
+func (bn *barrierNode) await(rank int, body func()) bool {
+	if bn.mtx != nil {
+		return bn.mtx.Await(body)
 	}
-	g := bn.groups[llcInst]
-	executed := false
-	g.await(func() {
-		// Last task of this LLC group: represent it at the top level.
-		executed = bn.top.await(body)
-	})
-	return executed
+	return bn.tree.Await(bn.slot[rank], body)
 }
 
 // abort poisons every level of the barrier.
 func (bn *barrierNode) abort(err error) {
-	if bn.flat != nil {
-		bn.flat.abort(err)
+	if bn.mtx != nil {
+		bn.mtx.Abort(err)
 		return
 	}
-	for _, g := range bn.groups {
-		g.abort(err)
+	bn.tree.Abort(err)
+}
+
+// depth returns the number of grouping levels below the top barrier
+// (0 for a flat or mutex barrier).
+func (bn *barrierNode) depth() int {
+	if bn.mtx != nil {
+		return 0
 	}
-	bn.top.abort(err)
+	return bn.tree.Depth()
 }
 
 // barrierFor returns (creating lazily) the barrier of task t's instance
@@ -146,21 +85,27 @@ func (r *Registry) buildBarrier(s topology.Scope, key scopeKey) *barrierNode {
 	if len(ranks) == 0 {
 		panic(fmt.Sprintf("hls: no tasks in %v instance %d", s, key.inst))
 	}
-	var bn *barrierNode
-	if r.flatOnly || !r.useHierarchy(s) {
-		bn = &barrierNode{flat: newFlatBarrier(len(ranks))}
-	} else {
-		llc := r.machine.LLC()
-		perGroup := make(map[int]int)
-		for _, rank := range ranks {
-			perGroup[r.machine.ScopeInstance(r.pin.Thread(rank), llc)]++
-		}
-		bn = &barrierNode{groups: make(map[int]*flatBarrier, len(perGroup))}
-		for inst, n := range perGroup {
-			bn.groups[inst] = newFlatBarrier(n)
-		}
-		bn.top = newFlatBarrier(len(perGroup))
+	bn := &barrierNode{slot: make(map[int]int, len(ranks))}
+	for i, rank := range ranks {
+		bn.slot[rank] = i
 	}
+	switch {
+	case r.mutexOnly:
+		bn.mtx = spin.NewMutexBarrier(len(ranks))
+	case r.flatOnly:
+		bn.tree = spin.NewTree(make([][]int, len(ranks)))
+	default:
+		threads := make([]int, len(ranks))
+		for i, rank := range ranks {
+			threads[i] = r.pin.Thread(rank)
+		}
+		bn.tree = spin.NewAdaptiveTree(r.machine.SyncPaths(threads, s))
+	}
+	bn.obsBarrier = r.obsKey("barrier", key)
+	bn.obsSingle = r.obsKey("single", key)
+	bn.blkBarrier = "hls " + bn.obsBarrier
+	bn.blkSingle = "hls " + bn.obsSingle
+	bn.blkDegraded = "hls " + bn.obsSingle + " (degraded)"
 	// Barriers built after a failure are born aborted: a participant is
 	// already dead (or the world cancelled), so nobody may wait on them.
 	if r.cancelErr != nil {
@@ -176,40 +121,16 @@ func (r *Registry) buildBarrier(s topology.Scope, key scopeKey) *barrierNode {
 	return bn
 }
 
-// useHierarchy reports whether scope s gets the shared-cache-aware
-// barrier: only scopes strictly wider than the LLC (numa, node on machines
-// where they contain several LLC domains).
-func (r *Registry) useHierarchy(s topology.Scope) bool {
-	if r.machine.CacheLevels() == 0 {
-		return false
-	}
-	llc := r.machine.LLC()
-	if !r.machine.Wider(s, llc) {
-		return false
-	}
-	// Only worthwhile when an instance spans more than one LLC domain.
-	return r.machine.ThreadsPerInstance(s) > r.machine.ThreadsPerInstance(llc)
-}
-
-// llcInstanceOf returns task t's LLC instance (0 on cache-less machines).
-func (r *Registry) llcInstanceOf(t *mpi.Task) int {
-	if r.machine.CacheLevels() == 0 {
-		return 0
-	}
-	return r.instanceOf(t, r.machine.LLC())
-}
-
 // BarrierScope synchronizes every task in t's instance of scope s — the
 // runtime entry point the compiler lowers "#pragma hls barrier" to.
 func (r *Registry) BarrierScope(t *mpi.Task, s topology.Scope) {
 	s = r.resolveScope(s)
 	bn, key := r.barrierFor(t, s, "barrier")
-	obsKey := r.obsKey("barrier", key)
-	r.observe(func(o SyncObserver) { o.Arrive(obsKey, t.Rank()) })
-	t.BlockOn("hls " + obsKey)
-	last := bn.await(r.llcInstanceOf(t), nil)
+	r.observe(func(o SyncObserver) { o.Arrive(bn.obsBarrier, t.Rank()) })
+	t.BlockOnBoxed(bn.blkBarrier)
+	last := bn.await(t.Rank(), nil)
 	t.Unblock()
-	r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
+	r.observe(func(o SyncObserver) { o.Depart(bn.obsBarrier, t.Rank()) })
 	r.countDirective(t, key, last)
 }
 
@@ -218,14 +139,13 @@ func (r *Registry) BarrierScope(t *mpi.Task, s topology.Scope) {
 func (r *Registry) singleScope(t *mpi.Task, s topology.Scope, body func()) bool {
 	s = r.resolveScope(s)
 	bn, key := r.barrierFor(t, s, "single")
-	obsKey := r.obsKey("single", key)
-	r.observe(func(o SyncObserver) { o.Arrive(obsKey, t.Rank()) })
-	t.BlockOn("hls " + obsKey)
-	executed := bn.await(r.llcInstanceOf(t), body)
+	r.observe(func(o SyncObserver) { o.Arrive(bn.obsSingle, t.Rank()) })
+	t.BlockOnBoxed(bn.blkSingle)
+	executed := bn.await(t.Rank(), body)
 	t.Unblock()
-	r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
+	r.observe(func(o SyncObserver) { o.Depart(bn.obsSingle, t.Rank()) })
 	if r.singleObs != nil {
-		r.singleObs.SingleDone(obsKey, t.Rank(), executed)
+		r.singleObs.SingleDone(bn.obsSingle, t.Rank(), executed)
 	}
 	r.countDirective(t, key, executed)
 	return executed
@@ -240,29 +160,29 @@ func (r *Registry) singleScope(t *mpi.Task, s topology.Scope, body func()) bool 
 func (r *Registry) singleScopeAll(t *mpi.Task, s topology.Scope, body func()) bool {
 	s = r.resolveScope(s)
 	bn, key := r.barrierFor(t, s, "single")
-	obsKey := r.obsKey("single", key)
-	llc := r.llcInstanceOf(t)
-	r.observe(func(o SyncObserver) { o.Arrive(obsKey, t.Rank()) })
-	t.BlockOn("hls " + obsKey + " (degraded)")
-	bn.await(llc, nil)
+	r.observe(func(o SyncObserver) { o.Arrive(bn.obsSingle, t.Rank()) })
+	t.BlockOnBoxed(bn.blkDegraded)
+	bn.await(t.Rank(), nil)
 	t.Unblock()
 	body()
-	t.BlockOn("hls " + obsKey + " (degraded)")
-	last := bn.await(llc, nil)
+	t.BlockOnBoxed(bn.blkDegraded)
+	last := bn.await(t.Rank(), nil)
 	t.Unblock()
-	r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
+	r.observe(func(o SyncObserver) { o.Depart(bn.obsSingle, t.Rank()) })
 	if r.singleObs != nil {
-		r.singleObs.SingleDone(obsKey, t.Rank(), true)
+		r.singleObs.SingleDone(bn.obsSingle, t.Rank(), true)
 	}
 	r.countDirective(t, key, last)
 	return true
 }
 
 // nowaitState is the per-scope-instance counter of single-nowait regions
-// already executed (§IV-B: "a counter is associated to each scope").
+// already executed (§IV-B: "a counter is associated to each scope"), with
+// the instance's cached observer key alongside.
 type nowaitState struct {
-	mu   sync.Mutex
-	done int64
+	mu     sync.Mutex
+	done   int64
+	obsKey string
 }
 
 // singleNowaitScope implements single nowait: each task counts the
@@ -277,24 +197,23 @@ func (r *Registry) singleNowaitScope(t *mpi.Task, s topology.Scope, body func())
 	r.taskCounts[t.Rank()][nk]++
 	myCount := r.taskCounts[t.Rank()][nk]
 
-	obsKey := r.obsKey("nowait", key)
 	ns.mu.Lock()
 	if myCount > ns.done {
 		ns.done = myCount
 		ns.mu.Unlock()
-		r.observe(func(o SyncObserver) { o.Arrive(obsKey, t.Rank()) })
+		r.observe(func(o SyncObserver) { o.Arrive(ns.obsKey, t.Rank()) })
 		body()
-		r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
+		r.observe(func(o SyncObserver) { o.Depart(ns.obsKey, t.Rank()) })
 		if r.singleObs != nil {
-			r.singleObs.SingleDone(obsKey, t.Rank(), true)
+			r.singleObs.SingleDone(ns.obsKey, t.Rank(), true)
 		}
 		return true
 	}
 	ns.mu.Unlock()
 	// Skippers acquire the executor's published state (counter read).
-	r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
+	r.observe(func(o SyncObserver) { o.Depart(ns.obsKey, t.Rank()) })
 	if r.singleObs != nil {
-		r.singleObs.SingleDone(obsKey, t.Rank(), false)
+		r.singleObs.SingleDone(ns.obsKey, t.Rank(), false)
 	}
 	return false
 }
@@ -307,7 +226,7 @@ func (r *Registry) nowaitFor(t *mpi.Task, key scopeKey) *nowaitState {
 	r.checkSequenceLocked(t.Rank(), key, "nowait")
 	ns, ok := r.nowaits[key]
 	if !ok {
-		ns = &nowaitState{}
+		ns = &nowaitState{obsKey: r.obsKey("nowait", key)}
 		r.nowaits[key] = ns
 	}
 	return ns
@@ -332,12 +251,11 @@ func (r *Registry) nowaitAll(t *mpi.Task, s topology.Scope, body func()) bool {
 	}
 	ns.mu.Unlock()
 
-	obsKey := r.obsKey("nowait", key)
-	r.observe(func(o SyncObserver) { o.Arrive(obsKey, t.Rank()) })
+	r.observe(func(o SyncObserver) { o.Arrive(ns.obsKey, t.Rank()) })
 	body()
-	r.observe(func(o SyncObserver) { o.Depart(obsKey, t.Rank()) })
+	r.observe(func(o SyncObserver) { o.Depart(ns.obsKey, t.Rank()) })
 	if r.singleObs != nil {
-		r.singleObs.SingleDone(obsKey, t.Rank(), true)
+		r.singleObs.SingleDone(ns.obsKey, t.Rank(), true)
 	}
 	return true
 }

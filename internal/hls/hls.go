@@ -21,12 +21,15 @@
 // slice; migration (MPC_Move, guarded by directive counters) invalidates
 // the cache.
 //
-// Synchronization follows §IV-B: for scopes up to the last level of cache
-// a flat counter barrier per scope instance; for wider scopes (numa, node)
-// a shared-cache-aware hierarchical barrier — tasks sharing an LLC
-// synchronize first and a single representative proceeds to the top level.
-// Single is the modified barrier whose last arriver executes the block
-// before releasing the others; single-nowait is a pair of counters.
+// Synchronization follows §IV-B, generalized: each scope instance gets a
+// multi-level tree of cache-line-padded sense-reversing spin-then-park
+// barriers (internal/spin), nested along every hardware level that
+// actually groups the instance's tasks — core, each shared cache, NUMA
+// (topology.SyncPaths). Tasks sharing the narrowest level synchronize
+// first and a single representative proceeds upward, so locks and
+// counters stay in the smallest shared cache. Single is the modified
+// barrier whose last arriver executes the block before releasing the
+// others; single-nowait is a pair of counters.
 package hls
 
 import (
@@ -88,10 +91,17 @@ func WithObserver(o SyncObserver) Option {
 }
 
 // WithFlatBarriers disables the shared-cache-aware hierarchical barrier
-// and uses the flat algorithm for every scope — the ablation baseline for
-// §IV-B's design choice.
+// tree and uses a single flat (but still spin-then-park) barrier for
+// every scope — the ablation baseline for §IV-B's design choice.
 func WithFlatBarriers() Option {
 	return func(r *Registry) { r.flatOnly = true }
+}
+
+// WithMutexBarriers swaps every barrier for the flat mutex+condvar
+// algorithm that predated the spin-then-park design — the second ablation
+// baseline of hlsbench -exp sync (flat mutex vs flat spin vs tree).
+func WithMutexBarriers() Option {
+	return func(r *Registry) { r.mutexOnly = true }
 }
 
 // Registry owns the HLS state of one MPI world: variable metadata, the
@@ -111,6 +121,7 @@ type Registry struct {
 	demoteObs DemoteObserver
 	allocGate AllocGate
 	flatOnly  bool
+	mutexOnly bool
 
 	// degradation tuning (WithAllocRetry)
 	allocRetries int

@@ -2,6 +2,7 @@ package hls
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -406,21 +407,55 @@ func TestHierarchicalVsFlatEquivalence(t *testing.T) {
 	}
 }
 
-func TestUsesHierarchyOnlyAboveLLC(t *testing.T) {
+func TestBarrierTreeShapes(t *testing.T) {
+	// The adaptive tree collapses to flat at GOMAXPROCS 1 (no execution
+	// parallelism, so the hierarchy is pure overhead); force parallelism
+	// so the hierarchical shapes are what's under test.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	depthOf := func(r *Registry, s topology.Scope) int {
+		s = r.resolveScope(s)
+		key := scopeKey{scopeLK{s.Kind, s.Level}, 0}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return r.buildBarrier(s, key).depth()
+	}
+
 	m := topology.NehalemEX4()
 	w, err := mpi.NewWorld(mpi.Config{NumTasks: 32, Machine: m, Pin: topology.PinCorePerTask})
 	if err != nil {
 		t.Fatal(err)
 	}
 	r := New(w)
-	if r.useHierarchy(topology.Cache(3)) {
-		t.Error("hierarchy used at LLC scope")
+	// 8 core-pinned tasks inside one L3: no narrower level groups them.
+	if d := depthOf(r, topology.Cache(3)); d != 0 {
+		t.Errorf("LLC-scope barrier depth = %d, want flat", d)
 	}
-	if r.useHierarchy(topology.NUMA) {
-		t.Error("hierarchy used for numa == llc on this machine")
+	// numa == socket == L3 domain on this machine: still flat.
+	if d := depthOf(r, topology.NUMA); d != 0 {
+		t.Errorf("numa-scope barrier depth = %d, want flat", d)
 	}
-	if !r.useHierarchy(topology.Node) {
-		t.Error("hierarchy not used at node scope")
+	// Node scope spans 4 L3 domains of 8 tasks: one tree level.
+	if d := depthOf(r, topology.Node); d != 1 {
+		t.Errorf("node-scope barrier depth = %d, want 1 (L3 groups)", d)
+	}
+	// Ablation options force flat shapes regardless of scope.
+	if d := depthOf(New(w, WithFlatBarriers()), topology.Node); d != 0 {
+		t.Errorf("flat-only node barrier depth = %d, want 0", d)
+	}
+	if d := depthOf(New(w, WithMutexBarriers()), topology.Node); d != 0 {
+		t.Errorf("mutex node barrier depth = %d, want 0", d)
+	}
+
+	// SMT machine, compact pinning: node scope nests core pairs inside
+	// the socket-wide L2 — a two-level tree.
+	sm := topology.SMTNode()
+	sw, err := mpi.NewWorld(mpi.Config{NumTasks: 16, Machine: sm, Pin: topology.PinCompact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := depthOf(New(sw), topology.Node); d != 2 {
+		t.Errorf("SMT node-scope barrier depth = %d, want 2 (core, L2)", d)
 	}
 }
 

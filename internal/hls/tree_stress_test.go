@@ -1,0 +1,136 @@
+package hls
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"hls/internal/mpi"
+	"hls/internal/topology"
+)
+
+// TestChaosKillAbortsTreeBarrierAllShapes kills one rank while every
+// other task waits in a node-scope barrier, across every barrier
+// implementation the registry can build: the multi-level spin tree (at
+// depth 1 and 2, so waiters parked at both leaf and upper levels are
+// woken), the flat spin barrier and the mutex baseline. Every survivor
+// must unwind with a typed *mpi.DeadRankError, never hang.
+func TestChaosKillAbortsTreeBarrierAllShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		mach  *topology.Machine
+		tasks int
+		pin   topology.PinPolicy
+		opts  []Option
+	}{
+		{name: "tree-depth1", mach: topology.NehalemEX4(), tasks: 32, pin: topology.PinCorePerTask},
+		{name: "tree-depth2", mach: topology.SMTNode(), tasks: 16, pin: topology.PinCompact},
+		{name: "flat", mach: topology.NehalemEX4(), tasks: 32, pin: topology.PinCorePerTask, opts: []Option{WithFlatBarriers()}},
+		{name: "mutex", mach: topology.NehalemEX4(), tasks: 32, pin: topology.PinCorePerTask, opts: []Option{WithMutexBarriers()}},
+	}
+	// Force execution parallelism so the adaptive tree keeps its
+	// hierarchical shape (it collapses to flat at GOMAXPROCS 1).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const victim = 3
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := mpi.NewWorld(mpi.Config{
+				NumTasks: tc.tasks, Machine: tc.mach, Pin: tc.pin,
+				Timeout: 30 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := New(w, tc.opts...)
+			runErr := w.Run(func(tk *mpi.Task) error {
+				for i := 0; i < 10; i++ {
+					if tk.Rank() == victim && i == 5 {
+						panic(fmt.Errorf("injected kill at barrier %d", i))
+					}
+					reg.BarrierScope(tk, topology.Node)
+				}
+				return nil
+			})
+			if runErr == nil {
+				t.Fatal("Run returned nil with a rank killed mid-barrier")
+			}
+			var te *mpi.TimeoutError
+			if errors.As(runErr, &te) {
+				t.Fatalf("%s barrier hung until timeout instead of aborting: %v", tc.name, runErr)
+			}
+			for r, re := range w.RankErrors() {
+				if r == victim {
+					continue
+				}
+				var dre *mpi.DeadRankError
+				if !errors.As(re, &dre) || dre.Dead != victim {
+					t.Errorf("rank %d error = %v, want *mpi.DeadRankError{Dead: %d}", r, re, victim)
+				}
+			}
+		})
+	}
+}
+
+// TestTreeBarrierMigrationStress hammers barriers at every scope level
+// of the hierarchy while one task repeatedly migrates between hardware
+// threads with MigrateWhenQuiescent — the §IV-A flexibility the barrier
+// trees must survive (rebuilt instances, two tasks sharing a core, a
+// stale-but-correct tree shape for unchanged instances). Run with -race
+// in CI; directive counters and tree generations must stay coherent.
+func TestTreeBarrierMigrationStress(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const tasks = 8
+	const migrant = 7
+	m := topology.NehalemEX4()
+	w, err := mpi.NewWorld(mpi.Config{
+		NumTasks: tasks, Machine: m, Pin: topology.PinCorePerTask,
+		Timeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := New(w)
+	scopes := []topology.Scope{
+		topology.Core,
+		topology.Cache(1), topology.Cache(2), topology.Cache(3),
+		topology.NUMA, topology.Node,
+	}
+	moves := 0
+	if err := w.Run(func(tk *mpi.Task) error {
+		for i := 0; i < 40; i++ {
+			for _, s := range scopes {
+				reg.BarrierScope(tk, s)
+			}
+			if i%5 == 4 && i/5 < migrant {
+				// Quiesce every HLS directive (an mpi collective is not
+				// one), migrate, and hold the others until it is done.
+				mpi.Barrier(tk, nil)
+				if tk.Rank() == migrant {
+					// Walk one-way across the still-occupied cores
+					// 6,5,...,0: each destination instance's directive
+					// counts equal the migrant's own, since all tasks run
+					// the same directive sequence (a core the migrant
+					// abandoned froze its counts and may never be
+					// re-entered, per the §IV-A condition).
+					target := migrant - 1 - moves
+					if err := reg.MigrateWhenQuiescent(tk, target, 10, time.Millisecond); err != nil {
+						return fmt.Errorf("move %d to thread %d: %w", moves, target, err)
+					}
+					if got := tk.Thread(); got != target {
+						return fmt.Errorf("thread = %d after move %d, want %d", got, moves, target)
+					}
+					moves++
+				}
+				mpi.Barrier(tk, nil)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if moves != migrant {
+		t.Errorf("migrant moved %d times, want %d", moves, migrant)
+	}
+}

@@ -20,6 +20,7 @@ type MPIAdapter struct {
 	elided      *Counter
 	elidedBytes *Counter
 	collectives *Counter
+	sharedColl  *Counter
 	inFlight    *Gauge
 	msgBytes    *Histogram
 }
@@ -36,6 +37,7 @@ func NewMPIAdapter(r *Registry) *MPIAdapter {
 		elided:      r.Counter("mpi_copies_elided_total", "deliveries skipped because send and receive buffers were the same memory (HLS intra-node elision)"),
 		elidedBytes: r.Counter("mpi_copy_bytes_elided_total", "payload bytes not copied thanks to same-buffer elision"),
 		collectives: r.Counter("mpi_collectives_total", "collective operations started, per participating task"),
+		sharedColl:  r.Counter("mpi_shared_collectives_total", "collectives completed on the shared-address-space fast path, per participating task"),
 		inFlight:    r.Gauge("mpi_messages_in_flight", "messages sent but not yet delivered"),
 		msgBytes:    r.Histogram("mpi_message_bytes", "point-to-point message size distribution"),
 	}
@@ -74,4 +76,14 @@ func (a *MPIAdapter) OnCopyElided(worldDst, bytes int) {
 // OnCollective implements mpi.MessageHooks.
 func (a *MPIAdapter) OnCollective(worldRank int) {
 	a.collectives.Inc(worldRank)
+}
+
+// SharedCollectivesOK implements mpi.SharedCollHooks: the adapter only
+// counts, it derives nothing from message edges, so collectives may
+// bypass the message layer.
+func (a *MPIAdapter) SharedCollectivesOK() bool { return true }
+
+// OnSharedCollective implements mpi.SharedCollHooks.
+func (a *MPIAdapter) OnSharedCollective(worldRank int, op string) {
+	a.sharedColl.Inc(worldRank)
 }

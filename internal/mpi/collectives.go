@@ -66,6 +66,10 @@ func crecv[T Scalar](t *Task, c *Comm, op string, buf []T, src, tag int) {
 // to (rank+2^k) mod n and receives from (rank-2^k) mod n.
 func Barrier(t *Task, c *Comm) {
 	c, base := collStart(t, c)
+	if c.shm != nil {
+		shmBarrier(t, c, base)
+		return
+	}
 	n := c.Size()
 	if n == 1 {
 		return
@@ -88,6 +92,10 @@ func Bcast[T Scalar](t *Task, c *Comm, buf []T, root int) {
 	c, base := collStart(t, c)
 	n := c.Size()
 	checkRoot(t, c, root, "Bcast")
+	if c.shm != nil {
+		shmBcast(t, c, buf, root, base)
+		return
+	}
 	if n == 1 {
 		return
 	}
@@ -119,6 +127,10 @@ func Reduce[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, op Op, root int) {
 	c, base := collStart(t, c)
 	n := c.Size()
 	checkRoot(t, c, root, "Reduce")
+	if c.shm != nil {
+		shmReduce(t, c, sendBuf, recvBuf, op, root, base)
+		return
+	}
 	r := c.Rank(t)
 	acc := append([]T(nil), sendBuf...)
 	if n > 1 {
@@ -166,6 +178,11 @@ func Allreduce[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, op Op) {
 	}
 	if len(recvBuf) < len(sendBuf) {
 		raise(t.rank, "Allreduce", "receive buffer too small: %d < %d", len(recvBuf), len(sendBuf))
+	}
+	if c.shm != nil {
+		c, base := collStart(t, c)
+		shmAllreduce(t, c, sendBuf, recvBuf, op, base)
+		return
 	}
 	Reduce(t, c, sendBuf, recvBuf, op, 0)
 	Bcast(t, c, recvBuf[:len(sendBuf)], 0)
@@ -275,6 +292,10 @@ func Allgather[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T) {
 	k := len(sendBuf)
 	if len(recvBuf) < n*k {
 		raise(t.rank, "Allgather", "receive buffer too small: %d < %d", len(recvBuf), n*k)
+	}
+	if c.shm != nil {
+		shmAllgather(t, c, sendBuf, recvBuf, base)
+		return
 	}
 	copy(recvBuf[r*k:(r+1)*k], sendBuf)
 	right := (r + 1) % n

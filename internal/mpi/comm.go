@@ -20,6 +20,10 @@ type Comm struct {
 	ctxUser   int64
 	ctxColl   int64
 	ctxSync   int64 // synchronous-send acknowledgements
+
+	// shm is the shared-address-space collective fast path of this
+	// communicator, non-nil iff the world runs with it enabled.
+	shm *shmColl
 }
 
 // Size returns the number of tasks in the communicator.

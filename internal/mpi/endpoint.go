@@ -167,11 +167,12 @@ func newEndpoint(rank int) *endpoint {
 }
 
 type worldStats struct {
-	messages      atomic.Int64
-	bytes         atomic.Int64
-	rendezvous    atomic.Int64
-	sameAddrSkips atomic.Int64
-	collectives   atomic.Int64
+	messages          atomic.Int64
+	bytes             atomic.Int64
+	rendezvous        atomic.Int64
+	sameAddrSkips     atomic.Int64
+	collectives       atomic.Int64
+	sharedCollectives atomic.Int64
 }
 
 // Stats is a snapshot of runtime communication statistics.
@@ -181,6 +182,12 @@ type Stats struct {
 	Rendezvous    int64 // messages that used the rendezvous protocol
 	SameAddrSkips int64 // deliveries elided because src and dst buffers were identical
 	Collectives   int64 // collective operations started (per task)
+
+	// SharedCollectives counts collectives completed (per task) on the
+	// shared-address-space fast path, i.e. without point-to-point
+	// messages. Zero when the world runs with CollChannels or hooks that
+	// did not opt in.
+	SharedCollectives int64
 
 	// PeakUnexpectedBytes is the maximum, over ranks, of bytes buffered in
 	// an unexpected-message queue at any time: the runtime's eager-buffer
@@ -196,6 +203,8 @@ func (w *World) Stats() Stats {
 		Rendezvous:    w.stats.rendezvous.Load(),
 		SameAddrSkips: w.stats.sameAddrSkips.Load(),
 		Collectives:   w.stats.collectives.Load(),
+
+		SharedCollectives: w.stats.sharedCollectives.Load(),
 	}
 	for _, ep := range w.eps {
 		ep.mu.Lock()
@@ -245,13 +254,40 @@ func (w *World) inject(msg *message, dstWorld int) bool {
 // deliverTo copies the payload into the posted receive's buffer, completes
 // the receive request (and the sender's rendezvous request), and fires the
 // delivery hook.
+//
+// Delivery can run on either side's goroutine: the receiver's when an
+// unexpected message is matched at post time, the sender's when inject
+// finds an already-posted receive. A payload error (truncation, datatype
+// mismatch) is the *receiver's* error, and by the time deliver runs the
+// posted receive has been removed from the endpoint — if the error
+// escaped here on the sender's goroutine, the receiver's request would be
+// orphaned (invisible to the failure cascade, never completed) and the
+// receiver would hang until the watchdog. So the error is routed into the
+// receive request instead, where the receiver's checkReq re-raises it; the
+// sender's rendezvous handshake still completes (the payload left the
+// sender correctly — the mismatch is on the receiving side).
 func (w *World) deliverTo(msg *message, pr *postedRecv) {
-	n := msg.deliver(pr.buf, pr.recvRank)
-	if w.cfg.Hooks != nil {
-		w.cfg.Hooks.OnDeliver(pr.recvRank, msg.meta)
-	}
+	n, err := func() (n int, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				e, ok := r.(*Error)
+				if !ok {
+					panic(r)
+				}
+				err = e
+			}
+		}()
+		return msg.deliver(pr.buf, pr.recvRank), nil
+	}()
 	if msg.rendezvous && msg.sreq != nil {
 		msg.sreq.complete(Status{})
+	}
+	if err != nil {
+		pr.req.fail(err)
+		return
+	}
+	if w.cfg.Hooks != nil {
+		w.cfg.Hooks.OnDeliver(pr.recvRank, msg.meta)
 	}
 	pr.req.complete(Status{Source: msg.src, Tag: msg.tag, Count: n, Bytes: msg.bytes})
 }

@@ -20,7 +20,8 @@ type failureState struct {
 	causes    map[int]error // rank -> what killed it
 	handlers  []func(rank int, cause error)
 	reporters []func() string
-	cancelled error // non-nil once the world has been cancelled
+	cancelled error      // non-nil once the world has been cancelled
+	shm       []*shmColl // fast-path collective state, aborted on failure
 }
 
 func (w *World) initFailure() {

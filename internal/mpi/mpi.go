@@ -140,6 +140,10 @@ type Config struct {
 	EagerLimit int
 	// Hooks, if non-nil, is invoked on every message.
 	Hooks Hooks
+	// Collectives selects between the shared-address-space collective
+	// fast path and the channel (point-to-point) algorithms. The default
+	// CollAuto engages the fast path when it is safe; see CollectiveMode.
+	Collectives CollectiveMode
 	// Timeout aborts Run if the program has not finished in time,
 	// returning a *TimeoutError diagnostic of where every task is
 	// blocked. Zero means no timeout. The timed-out world is cancelled:
@@ -171,6 +175,13 @@ type World struct {
 	// pay one nil check, not an interface assertion per message.
 	msgHooks   MessageHooks
 	faultHooks FaultHooks
+
+	// shmOn selects the shared-address-space collective fast path,
+	// resolved once from cfg.Collectives and the installed hooks (see
+	// CollectiveMode); shmHooks is cfg.Hooks when it opted in through
+	// SharedCollHooks.
+	shmOn    bool
+	shmHooks SharedCollHooks
 
 	fail     failureState
 	rankErrs []error // per-rank outcome of Run (nil entries = success)
@@ -261,7 +272,25 @@ func NewWorld(cfg Config) (*World, error) {
 	if fh, ok := cfg.Hooks.(FaultHooks); ok {
 		w.faultHooks = fh
 	}
+	if sh, ok := cfg.Hooks.(SharedCollHooks); ok && sh.SharedCollectivesOK() {
+		w.shmHooks = sh
+	}
+	switch cfg.Collectives {
+	case CollChannels:
+		w.shmOn = false
+	case CollShared:
+		w.shmOn = true
+	default:
+		// Auto: the fast path completes collectives without per-step
+		// messages, so it must not engage when fault injection wants to
+		// perturb those messages or when hooks that watch them have not
+		// opted in.
+		w.shmOn = w.faultHooks == nil && (cfg.Hooks == nil || w.shmHooks != nil)
+	}
 	w.initFailure()
+	if w.shmOn {
+		w.OnFailure(w.abortShmColls)
+	}
 	w.eps = make([]*endpoint, cfg.NumTasks)
 	for i := range w.eps {
 		w.eps[i] = newEndpoint(i)
@@ -277,7 +306,7 @@ func NewWorld(cfg Config) (*World, error) {
 // newComm allocates a communicator over the given world-rank group, with
 // fresh user and collective communication contexts.
 func (w *World) newComm(group []int) *Comm {
-	return &Comm{
+	c := &Comm{
 		world:   w,
 		id:      w.commID.Add(1),
 		group:   group,
@@ -285,6 +314,10 @@ func (w *World) newComm(group []int) *Comm {
 		ctxColl: w.ctxCounter.Add(1),
 		ctxSync: w.ctxCounter.Add(1),
 	}
+	if w.shmOn {
+		c.shm = newShmColl(w, c)
+	}
+	return c
 }
 
 // Run executes fn as the body of every task of a fresh world and waits for

@@ -23,7 +23,7 @@ func MultiHooks(hooks ...Hooks) Hooks {
 	case 1:
 		return hs[0]
 	}
-	m := &multiHooks{hooks: hs}
+	m := &multiHooks{hooks: hs, shmOK: true}
 	var faults []FaultHooks
 	for _, h := range hs {
 		if mh, ok := h.(MessageHooks); ok {
@@ -31,6 +31,14 @@ func MultiHooks(hooks ...Hooks) Hooks {
 		}
 		if fh, ok := h.(FaultHooks); ok {
 			faults = append(faults, fh)
+		}
+		// The composition allows the shared-collective fast path only if
+		// every member does: one message-watching member (the hb tracker)
+		// vetoes it for the whole world.
+		if sh, ok := h.(SharedCollHooks); ok && sh.SharedCollectivesOK() {
+			m.shm = append(m.shm, sh)
+		} else {
+			m.shmOK = false
 		}
 	}
 	if len(faults) > 0 {
@@ -62,7 +70,9 @@ func (m *multiFaultHooks) FaultP2P(worldSrc, worldDst, bytes int, rendezvous boo
 
 type multiHooks struct {
 	hooks []Hooks
-	msg   []MessageHooks // the subset implementing MessageHooks
+	msg   []MessageHooks    // the subset implementing MessageHooks
+	shm   []SharedCollHooks // the subset that opted into shared collectives
+	shmOK bool              // every member opted in
 }
 
 // OnSend implements Hooks, gathering every member's metadata.
@@ -104,5 +114,16 @@ func (m *multiHooks) OnCopyElided(worldDst, bytes int) {
 func (m *multiHooks) OnCollective(worldRank int) {
 	for _, h := range m.msg {
 		h.OnCollective(worldRank)
+	}
+}
+
+// SharedCollectivesOK implements SharedCollHooks: the composition opts
+// into the fast path only when every member did.
+func (m *multiHooks) SharedCollectivesOK() bool { return m.shmOK }
+
+// OnSharedCollective implements SharedCollHooks.
+func (m *multiHooks) OnSharedCollective(worldRank int, op string) {
+	for _, h := range m.shm {
+		h.OnSharedCollective(worldRank, op)
 	}
 }

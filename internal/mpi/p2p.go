@@ -303,6 +303,16 @@ func (t *Task) BlockOn(what string) { t.blockOn(what) }
 // Unblock clears the description published by BlockOn.
 func (t *Task) Unblock() { t.unblock() }
 
+// BlockOnBoxed is BlockOn for hot paths: what must be a string already
+// boxed into an any (typically a package- or structure-level constant
+// built once), so publishing it does not re-box and therefore does not
+// allocate per call.
+func (t *Task) BlockOnBoxed(what any) {
+	ep := t.world.eps[t.rank]
+	ep.progress.Add(1)
+	ep.blockedOn.Store(what)
+}
+
 // commOrWorld substitutes the world communicator for a nil comm argument.
 func (t *Task) commOrWorld(c *Comm) *Comm {
 	if c == nil {

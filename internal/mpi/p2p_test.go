@@ -311,6 +311,33 @@ func TestTruncationFatal(t *testing.T) {
 	}
 }
 
+// TestTruncationPostedFirst pins the delivery on the sender's goroutine:
+// the receive is posted before the send, so inject matches it and the
+// sender performs the copy. The truncation error must surface as the
+// receiver's error — not escape on the sender's goroutine and orphan the
+// already-dequeued receive request (which would hang the receiver until
+// the watchdog timeout).
+func TestTruncationPostedFirst(t *testing.T) {
+	err := runErr(2, func(task *Task) error {
+		if task.Rank() == 1 {
+			buf := make([]int, 2)
+			req := Irecv(task, nil, buf, 0, 0)
+			Barrier(task, nil) // the send happens after the post
+			req.Wait()
+			if e := req.Err(); e == nil || !strings.Contains(e.Error(), "truncated") {
+				return fmt.Errorf("receiver err = %v, want truncation", e)
+			}
+			return nil
+		}
+		Barrier(task, nil)
+		Send(task, nil, []int{1, 2, 3}, 1, 0)
+		return nil
+	})
+	if err != nil {
+		t.Errorf("run err = %v, want nil (error handled at the receiver)", err)
+	}
+}
+
 func TestInvalidRankFatal(t *testing.T) {
 	err := runErr(2, func(task *Task) error {
 		if task.Rank() == 0 {

@@ -1,0 +1,466 @@
+package mpi
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"unsafe"
+
+	"hls/internal/spin"
+)
+
+// Shared-address-space collective fast path. MPI tasks are goroutines in
+// one process, so a collective does not need per-step channel messages:
+// every member publishes its buffer pointers in a per-communicator slot
+// array, a hierarchical spin barrier (the same tree the HLS directives
+// use, built over the members' hardware threads) orders the publication
+// against the reads, and the data moves with direct memory copies — or
+// no copy at all when a rank's buffer is the shared HLS storage itself.
+//
+// Per collective the protocol is one or two tree barriers:
+//
+//	publish own slot -> entry barrier (leader verifies the slots agree
+//	and, for reductions, folds every send buffer into the target recv
+//	buffer) -> members copy what they need from peer buffers -> exit
+//	barrier (only for ops where members read after release, so no buffer
+//	is reused while a peer still copies from it).
+//
+// The fast path is selected per world (see CollectiveMode): it engages
+// only when no hooks are installed or the installed hooks opt in via
+// SharedCollHooks, and never when fault-injection hooks are present —
+// chaos must keep seeing the per-step messages it perturbs. Rank
+// failures are still honored: the world's failure layer aborts the trees
+// of every communicator containing a dead rank, so members blocked in a
+// collective unwind with the same typed errors the channel path raises.
+//
+// The steady-state path is allocation-free: slots hold raw pointers, the
+// blocked-on descriptions are pre-boxed, and the verification/fold body
+// is built once per communicator.
+
+// CollectiveMode selects how a world executes collective operations.
+type CollectiveMode int
+
+const (
+	// CollAuto (the default) uses the shared-address-space fast path for
+	// Barrier/Bcast/Reduce/Allreduce/Allgather when it is safe: no hooks,
+	// or hooks that opt in through SharedCollHooks, and no fault
+	// injection. Everything else uses the channel algorithms.
+	CollAuto CollectiveMode = iota
+	// CollChannels forces the point-to-point algorithms for every
+	// collective (the ablation baseline of hlsbench -exp sync).
+	CollChannels
+	// CollShared forces the fast path regardless of hooks (testing).
+	CollShared
+)
+
+// SharedCollHooks is an optional extension of Hooks: implementations
+// that also satisfy it can allow the shared-memory collective fast path,
+// which completes collectives without the per-step point-to-point
+// messages OnSend/OnDeliver would otherwise observe. Hooks that derive
+// correctness from message edges (the happens-before tracker) must not
+// implement it; pure accounting hooks (internal/metrics) do.
+type SharedCollHooks interface {
+	Hooks
+	// SharedCollectivesOK reports whether these hooks stay correct when
+	// collectives bypass the message layer.
+	SharedCollectivesOK() bool
+	// OnSharedCollective is called by each task completing a collective
+	// on the fast path (op is "Barrier", "Bcast", ...).
+	OnSharedCollective(worldRank int, op string)
+}
+
+// Collective kinds published in the slots, so mismatched collectives are
+// detected instead of silently exchanging buffers.
+const (
+	shmKindBarrier uint8 = iota + 1
+	shmKindBcast
+	shmKindReduce
+	shmKindAllreduce
+	shmKindAllgather
+)
+
+func shmOpName(kind uint8) string {
+	switch kind {
+	case shmKindBarrier:
+		return "Barrier"
+	case shmKindBcast:
+		return "Bcast"
+	case shmKindReduce:
+		return "Reduce"
+	case shmKindAllreduce:
+		return "Allreduce"
+	case shmKindAllgather:
+		return "Allgather"
+	}
+	return "collective"
+}
+
+// opCopy is the fold-function sentinel for a plain copy (no operator).
+const opCopy Op = -1
+
+// shmFoldFn is the type-recovering bridge between the type-erased slots
+// and the generic reduction kernels: each rank publishes its element
+// type's instance, the (dynamically elected) leader calls it.
+type shmFoldFn func(op Op, dst, src unsafe.Pointer, n int)
+
+// shmFolds caches one shmFold instantiation per element type: taking a
+// generic function's value allocates its dictionary closure, which would
+// put one allocation on every fast-path Reduce/Allreduce call.
+var shmFolds sync.Map // reflect.Type -> shmFoldFn
+
+func shmFoldFor[T Scalar](typ reflect.Type) shmFoldFn {
+	if f, ok := shmFolds.Load(typ); ok {
+		return f.(shmFoldFn)
+	}
+	f, _ := shmFolds.LoadOrStore(typ, shmFoldFn(shmFold[T]))
+	return f.(shmFoldFn)
+}
+
+func shmFold[T Scalar](op Op, dst, src unsafe.Pointer, n int) {
+	d := unsafe.Slice((*T)(dst), n)
+	s := unsafe.Slice((*T)(src), n)
+	if op == opCopy {
+		copy(d, s)
+		return
+	}
+	apply(-1, op, d, s)
+}
+
+// shmType returns the comparable identity of T (allocation-free).
+func shmType[T any]() reflect.Type {
+	return reflect.TypeOf((*T)(nil)).Elem()
+}
+
+// shmSlot is one member's publication record. The written fields fit in
+// the first two cache lines and the trailing pad keeps neighbouring
+// slots' hot fields off each other's lines.
+type shmSlot struct {
+	send    unsafe.Pointer // first element of the send buffer (nil if empty)
+	sendLen int
+	recv    unsafe.Pointer // first element of the receive buffer, when published
+	recvLen int
+	typ     reflect.Type
+	fold    shmFoldFn
+	elem    int // element size in bytes
+	seq     int // collective identity (the base tag)
+	kind    uint8
+	op      Op
+	root    int
+	_       [64]byte
+}
+
+// shmColl is the fast-path state of one communicator: the barrier tree
+// over its members' hardware threads and one publication slot per member.
+type shmColl struct {
+	w     *World
+	comm  *Comm
+	tree  *spin.Tree
+	slots []shmSlot
+
+	// verifyErr is written by the entry barrier's leader body and read by
+	// every member after release; the tree's atomics order the accesses.
+	verifyErr *Error
+	// verifyFn is the entry-barrier body, built once so the hot path
+	// creates no closure.
+	verifyFn func()
+}
+
+// newShmColl builds the fast-path state for comm and registers it with
+// the failure layer; state built after a failure is born aborted.
+func newShmColl(w *World, c *Comm) *shmColl {
+	threads := make([]int, len(c.group))
+	for i, wr := range c.group {
+		threads[i] = w.pin.Thread(wr)
+	}
+	sc := &shmColl{
+		w:     w,
+		comm:  c,
+		tree:  spin.NewAdaptiveTree(w.machine.SyncPathsAll(threads)),
+		slots: make([]shmSlot, len(c.group)),
+	}
+	sc.verifyFn = sc.verifyAndFold
+	w.fail.mu.Lock()
+	w.fail.shm = append(w.fail.shm, sc)
+	if w.fail.cancelled != nil {
+		sc.tree.Abort(&CancelledError{Rank: -1, Op: "collective", Cause: w.fail.cancelled})
+	}
+	for r := range w.fail.causes {
+		if c.rankOf(r) >= 0 {
+			sc.tree.Abort(&DeadRankError{Rank: -1, Op: "collective", Dead: r})
+			break
+		}
+	}
+	w.fail.mu.Unlock()
+	return sc
+}
+
+// abortShmColls is the failure handler registered by worlds running the
+// fast path: a dead rank aborts the tree of every communicator containing
+// it; cancellation (rank -1) aborts them all.
+func (w *World) abortShmColls(rank int, cause error) {
+	var err error
+	if rank >= 0 {
+		err = &DeadRankError{Rank: -1, Op: "collective", Dead: rank}
+	} else {
+		err = &CancelledError{Rank: -1, Op: "collective", Cause: cause}
+	}
+	w.fail.mu.Lock()
+	colls := append([]*shmColl(nil), w.fail.shm...)
+	w.fail.mu.Unlock()
+	for _, sc := range colls {
+		if rank < 0 || sc.comm.rankOf(rank) >= 0 {
+			sc.tree.Abort(err)
+		}
+	}
+}
+
+// verifyAndFold is the entry barrier's leader body: with every member
+// arrived and published (and none released), it checks that the slots
+// describe the same collective and, for reductions, folds every send
+// buffer into the target receive buffer. It must not panic — a panic here
+// would strand the other members — so violations are recorded in
+// verifyErr for every member to raise after release.
+func (sc *shmColl) verifyAndFold() {
+	sc.verifyErr = nil
+	slots := sc.slots
+	s0 := &slots[0]
+	n := len(slots)
+	op := shmOpName(s0.kind)
+	for i := 1; i < n; i++ {
+		s := &slots[i]
+		switch {
+		case s.seq != s0.seq:
+			sc.verifyErr = shmErr(op, "collective sequence mismatch: rank 0 at #%d, rank %d at #%d", s0.seq, i, s.seq)
+		case s.kind != s0.kind:
+			sc.verifyErr = shmErr(op, "mismatched collectives: rank 0 in %s, rank %d in %s", op, i, shmOpName(s.kind))
+		case s.typ != s0.typ:
+			sc.verifyErr = shmErr(op, "datatype mismatch: rank 0 has %v, rank %d has %v", s0.typ, i, s.typ)
+		case s.op != s0.op:
+			sc.verifyErr = shmErr(op, "reduction op mismatch: rank 0 used %v, rank %d used %v", s0.op, i, s.op)
+		case s.root != s0.root:
+			sc.verifyErr = shmErr(op, "root mismatch: rank 0 named %d, rank %d named %d", s0.root, i, s.root)
+		case s.sendLen != s0.sendLen:
+			sc.verifyErr = shmErr(op, "buffer length mismatch: rank 0 has %d elements, rank %d has %d", s0.sendLen, i, s.sendLen)
+		}
+		if sc.verifyErr != nil {
+			return
+		}
+	}
+	if s0.kind != shmKindReduce && s0.kind != shmKindAllreduce {
+		return
+	}
+	if s0.op < OpSum || s0.op > OpMin {
+		sc.verifyErr = shmErr(op, "unknown op %v", s0.op)
+		return
+	}
+	k := s0.sendLen
+	if k == 0 {
+		return
+	}
+	target := 0
+	if s0.kind == shmKindReduce {
+		target = s0.root
+	}
+	dst := slots[target].recv
+	fold := s0.fold
+	if dst != s0.send {
+		fold(opCopy, dst, s0.send, k)
+	} else {
+		sc.w.shmElided(sc.comm.group[target], k*s0.elem)
+	}
+	for i := 1; i < n; i++ {
+		fold(s0.op, dst, slots[i].send, k)
+	}
+}
+
+func shmErr(op, format string, args ...any) *Error {
+	return &Error{Rank: -1, Op: op, Msg: fmt.Sprintf(format, args...)}
+}
+
+// await runs one tree barrier, translating an abort panic into a typed
+// error attributed to this rank and operation (the shape checkReq gives
+// channel-path failures).
+func (sc *shmColl) await(t *Task, op string, member int, body func()) {
+	err := sc.awaitErr(member, body)
+	if err == nil {
+		return
+	}
+	switch e := err.(type) {
+	case *DeadRankError:
+		panic(&DeadRankError{Rank: t.rank, Op: op, Dead: e.Dead})
+	case *CancelledError:
+		panic(&CancelledError{Rank: t.rank, Op: op, Cause: e.Cause})
+	default:
+		panic(err)
+	}
+}
+
+func (sc *shmColl) awaitErr(member int, body func()) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			e, ok := p.(error)
+			if !ok {
+				panic(p)
+			}
+			err = e
+		}
+	}()
+	sc.tree.Await(member, body)
+	return nil
+}
+
+// check raises the leader's verification verdict on every member.
+func (sc *shmColl) check(t *Task, op string) {
+	if e := sc.verifyErr; e != nil {
+		panic(&Error{Rank: t.rank, Op: op, Msg: e.Msg})
+	}
+}
+
+// done counts a completed fast-path collective.
+func (sc *shmColl) done(t *Task, op string) {
+	t.world.stats.sharedCollectives.Add(1)
+	if h := t.world.shmHooks; h != nil {
+		h.OnSharedCollective(t.rank, op)
+	}
+}
+
+// shmElided counts a copy skipped because source and destination were
+// the same memory — the same accounting the p2p delivery path uses, so
+// internal/metrics' existing adapters see fast-path elisions too.
+func (w *World) shmElided(dstWorld, bytes int) {
+	w.stats.sameAddrSkips.Add(1)
+	if w.msgHooks != nil {
+		w.msgHooks.OnCopyElided(dstWorld, bytes)
+	}
+}
+
+// Pre-boxed blocked-on descriptions: publishing them costs no allocation.
+var (
+	boxShmBarrier   any = "Barrier (shm)"
+	boxShmBcast     any = "Bcast (shm)"
+	boxShmReduce    any = "Reduce (shm)"
+	boxShmAllreduce any = "Allreduce (shm)"
+	boxShmAllgather any = "Allgather (shm)"
+)
+
+func shmBarrier(t *Task, c *Comm, seq int) {
+	sc := c.shm
+	me := c.Rank(t)
+	s := &sc.slots[me]
+	*s = shmSlot{seq: seq, kind: shmKindBarrier}
+	t.BlockOnBoxed(boxShmBarrier)
+	sc.await(t, "Barrier", me, sc.verifyFn)
+	t.unblock()
+	sc.check(t, "Barrier")
+	sc.done(t, "Barrier")
+}
+
+func shmBcast[T Scalar](t *Task, c *Comm, buf []T, root, seq int) {
+	sc := c.shm
+	me := c.Rank(t)
+	s := &sc.slots[me]
+	*s = shmSlot{
+		send: unsafe.Pointer(unsafe.SliceData(buf)), sendLen: len(buf),
+		typ: shmType[T](), elem: elemSize[T](),
+		seq: seq, kind: shmKindBcast, root: root,
+	}
+	t.BlockOnBoxed(boxShmBcast)
+	sc.await(t, "Bcast", me, sc.verifyFn)
+	sc.check(t, "Bcast")
+	if me != root && len(buf) > 0 {
+		src := sc.slots[root].send
+		if s.send == src {
+			t.world.shmElided(t.rank, len(buf)*s.elem)
+		} else {
+			copy(buf, unsafe.Slice((*T)(src), len(buf)))
+		}
+	}
+	sc.await(t, "Bcast", me, nil) // nobody reuses buf while peers copy
+	t.unblock()
+	sc.done(t, "Bcast")
+}
+
+func shmReduce[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, op Op, root, seq int) {
+	sc := c.shm
+	me := c.Rank(t)
+	if me == root && len(recvBuf) < len(sendBuf) {
+		raise(t.rank, "Reduce", "receive buffer too small: %d < %d", len(recvBuf), len(sendBuf))
+	}
+	typ := shmType[T]()
+	s := &sc.slots[me]
+	*s = shmSlot{
+		send: unsafe.Pointer(unsafe.SliceData(sendBuf)), sendLen: len(sendBuf),
+		typ: typ, fold: shmFoldFor[T](typ), elem: elemSize[T](),
+		seq: seq, kind: shmKindReduce, op: op, root: root,
+	}
+	if me == root {
+		s.recv = unsafe.Pointer(unsafe.SliceData(recvBuf))
+		s.recvLen = len(recvBuf)
+	}
+	t.BlockOnBoxed(boxShmReduce)
+	// The leader folds inside the entry barrier, so when it releases the
+	// result is complete and every send buffer is free: no exit barrier.
+	sc.await(t, "Reduce", me, sc.verifyFn)
+	t.unblock()
+	sc.check(t, "Reduce")
+	sc.done(t, "Reduce")
+}
+
+func shmAllreduce[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, op Op, seq int) {
+	sc := c.shm
+	me := c.Rank(t)
+	typ := shmType[T]()
+	s := &sc.slots[me]
+	*s = shmSlot{
+		send: unsafe.Pointer(unsafe.SliceData(sendBuf)), sendLen: len(sendBuf),
+		recv: unsafe.Pointer(unsafe.SliceData(recvBuf)), recvLen: len(recvBuf),
+		typ: typ, fold: shmFoldFor[T](typ), elem: elemSize[T](),
+		seq: seq, kind: shmKindAllreduce, op: op,
+	}
+	t.BlockOnBoxed(boxShmAllreduce)
+	sc.await(t, "Allreduce", me, sc.verifyFn) // leader folds into rank 0's recv
+	sc.check(t, "Allreduce")
+	k := len(sendBuf)
+	if me != 0 && k > 0 {
+		src := sc.slots[0].recv
+		if s.recv == src {
+			t.world.shmElided(t.rank, k*s.elem)
+		} else {
+			copy(recvBuf[:k], unsafe.Slice((*T)(src), k))
+		}
+	}
+	sc.await(t, "Allreduce", me, nil) // rank 0's recv stays stable until all copied
+	t.unblock()
+	sc.done(t, "Allreduce")
+}
+
+func shmAllgather[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, seq int) {
+	sc := c.shm
+	me := c.Rank(t)
+	n := c.Size()
+	k := len(sendBuf)
+	s := &sc.slots[me]
+	*s = shmSlot{
+		send: unsafe.Pointer(unsafe.SliceData(sendBuf)), sendLen: k,
+		recv: unsafe.Pointer(unsafe.SliceData(recvBuf)), recvLen: len(recvBuf),
+		typ: shmType[T](), elem: elemSize[T](),
+		seq: seq, kind: shmKindAllgather,
+	}
+	t.BlockOnBoxed(boxShmAllgather)
+	sc.await(t, "Allgather", me, sc.verifyFn)
+	sc.check(t, "Allgather")
+	if k > 0 {
+		for r := 0; r < n; r++ {
+			dst := recvBuf[r*k : (r+1)*k]
+			src := sc.slots[r].send
+			if unsafe.Pointer(unsafe.SliceData(dst)) == src {
+				t.world.shmElided(t.rank, k*s.elem)
+			} else {
+				copy(dst, unsafe.Slice((*T)(src), k))
+			}
+		}
+	}
+	sc.await(t, "Allgather", me, nil) // send buffers stay stable until all copied
+	t.unblock()
+	sc.done(t, "Allgather")
+}

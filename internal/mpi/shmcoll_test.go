@@ -1,0 +1,498 @@
+package mpi
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"hls/internal/topology"
+)
+
+// runBoth runs the same program under CollShared and CollChannels and
+// returns both worlds, failing the test if either errors. The fast path
+// must be observationally equivalent to the channel algorithms.
+func runBoth(t *testing.T, tasks int, fn func(*Task) error) (shared, channels *World) {
+	t.Helper()
+	shared, err := Run(Config{NumTasks: tasks, Collectives: CollShared}, fn)
+	if err != nil {
+		t.Fatalf("CollShared: %v", err)
+	}
+	channels, err = Run(Config{NumTasks: tasks, Collectives: CollChannels}, fn)
+	if err != nil {
+		t.Fatalf("CollChannels: %v", err)
+	}
+	if got := shared.Stats().SharedCollectives; got == 0 {
+		t.Errorf("CollShared world completed 0 fast-path collectives")
+	}
+	if got := channels.Stats().SharedCollectives; got != 0 {
+		t.Errorf("CollChannels world completed %d fast-path collectives, want 0", got)
+	}
+	return shared, channels
+}
+
+// TestSharedCollectivesMatchChannels drives every fast-path operation —
+// non-zero roots, empty and rendezvous-sized buffers, world and derived
+// communicators — under both modes and checks the results agree.
+func TestSharedCollectivesMatchChannels(t *testing.T) {
+	const n = 8
+	const big = DefaultEagerLimit // elements, so bytes >> EagerLimit on the channel path
+	runBoth(t, n, func(tk *Task) error {
+		r := tk.Rank()
+
+		// Bcast, root 3, small and large.
+		small := make([]float64, 5)
+		if r == 3 {
+			for i := range small {
+				small[i] = float64(10 + i)
+			}
+		}
+		Bcast(tk, nil, small, 3)
+		for i, v := range small {
+			if v != float64(10+i) {
+				t.Errorf("rank %d: Bcast small[%d] = %v", r, i, v)
+			}
+		}
+		large := make([]int64, big)
+		if r == 3 {
+			for i := range large {
+				large[i] = int64(i * i)
+			}
+		}
+		Bcast(tk, nil, large, 3)
+		if large[big-1] != int64(big-1)*int64(big-1) {
+			t.Errorf("rank %d: Bcast large tail = %d", r, large[big-1])
+		}
+
+		// Empty buffers are legal everywhere.
+		Bcast(tk, nil, []int{}, 0)
+		Allreduce(tk, nil, []int{}, []int{}, OpSum)
+
+		// Reduce to a non-zero root.
+		send := []int{r + 1, 2 * r}
+		recv := make([]int, 2)
+		Reduce(tk, nil, send, recv, OpSum, 5)
+		if r == 5 {
+			wantA, wantB := 0, 0
+			for q := 0; q < n; q++ {
+				wantA += q + 1
+				wantB += 2 * q
+			}
+			if recv[0] != wantA || recv[1] != wantB {
+				t.Errorf("rank %d: Reduce = %v, want [%d %d]", r, recv, wantA, wantB)
+			}
+		}
+
+		// Allreduce max.
+		mx := make([]int, 1)
+		Allreduce(tk, nil, []int{r * 7 % 5}, mx, OpMax)
+		want := 0
+		for q := 0; q < n; q++ {
+			if q*7%5 > want {
+				want = q * 7 % 5
+			}
+		}
+		if mx[0] != want {
+			t.Errorf("rank %d: Allreduce max = %d, want %d", r, mx[0], want)
+		}
+
+		// Allgather.
+		all := make([]int32, 2*n)
+		Allgather(tk, nil, []int32{int32(r), int32(-r)}, all)
+		for q := 0; q < n; q++ {
+			if all[2*q] != int32(q) || all[2*q+1] != int32(-q) {
+				t.Errorf("rank %d: Allgather block %d = %v", r, q, all[2*q:2*q+2])
+			}
+		}
+
+		// Derived communicators run the same fast path: Dup, then an
+		// odd/even Split with reversed rank order.
+		dup := Dup(tk, nil)
+		sum := make([]int, 1)
+		Allreduce(tk, dup, []int{1}, sum, OpSum)
+		if sum[0] != n {
+			t.Errorf("rank %d: dup Allreduce = %d, want %d", r, sum[0], n)
+		}
+		sub := Split(tk, nil, r%2, -r)
+		subSum := make([]int, 1)
+		Allreduce(tk, sub, []int{r}, subSum, OpSum)
+		want = 0
+		for q := r % 2; q < n; q += 2 {
+			want += q
+		}
+		if subSum[0] != want {
+			t.Errorf("rank %d: split Allreduce = %d, want %d", r, subSum[0], want)
+		}
+		Barrier(tk, sub)
+		Barrier(tk, dup)
+		Barrier(tk, nil)
+		return nil
+	})
+}
+
+// TestSharedCollectivesSingleTask checks the degenerate world.
+func TestSharedCollectivesSingleTask(t *testing.T) {
+	runBoth(t, 1, func(tk *Task) error {
+		Barrier(tk, nil)
+		buf := []int{7}
+		Bcast(tk, nil, buf, 0)
+		out := make([]int, 1)
+		Reduce(tk, nil, buf, out, OpSum, 0)
+		if out[0] != 7 {
+			t.Errorf("Reduce alone = %d", out[0])
+		}
+		Allreduce(tk, nil, buf, out, OpProd)
+		all := make([]int, 1)
+		Allgather(tk, nil, buf, all)
+		if all[0] != 7 {
+			t.Errorf("Allgather alone = %d", all[0])
+		}
+		return nil
+	})
+}
+
+// TestSharedCollectivesTopologyComms runs fast-path collectives on
+// SplitScope communicators of a 4-socket machine, so the per-comm
+// barrier trees are built over real cache/NUMA sub-hierarchies.
+func TestSharedCollectivesTopologyComms(t *testing.T) {
+	w, err := Run(Config{
+		NumTasks: 32, Machine: topology.NehalemEX4(), Pin: topology.PinCorePerTask,
+	}, func(tk *Task) error {
+		sub := SplitScope(tk, topology.NUMA)
+		sum := make([]int, 1)
+		Allreduce(tk, sub, []int{tk.Rank()}, sum, OpSum)
+		// Ranks are pinned core-per-task on 4 sockets of 8 cores: the
+		// NUMA siblings of rank r are the 8 ranks sharing r/8.
+		base := tk.Rank() / 8 * 8
+		want := 0
+		for q := base; q < base+8; q++ {
+			want += q
+		}
+		if sum[0] != want {
+			t.Errorf("rank %d: NUMA Allreduce = %d, want %d", tk.Rank(), sum[0], want)
+		}
+		Barrier(tk, sub)
+		Barrier(tk, nil)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().SharedCollectives == 0 {
+		t.Error("no fast-path collectives on a hook-less world")
+	}
+}
+
+// TestSharedCollectivesGating checks when CollAuto engages the fast path.
+func TestSharedCollectivesGating(t *testing.T) {
+	countShared := func(cfg Config) int64 {
+		t.Helper()
+		w, err := Run(cfg, func(tk *Task) error { Barrier(tk, nil); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Stats().SharedCollectives
+	}
+	if got := countShared(Config{NumTasks: 4}); got != 4 {
+		t.Errorf("hook-less auto: SharedCollectives = %d, want 4", got)
+	}
+	if got := countShared(Config{NumTasks: 4, Hooks: noopHooks{}}); got != 0 {
+		t.Errorf("non-opted-in hooks: SharedCollectives = %d, want 0", got)
+	}
+	if got := countShared(Config{NumTasks: 4, Hooks: optinHooks{}}); got != 4 {
+		t.Errorf("opted-in hooks: SharedCollectives = %d, want 4", got)
+	}
+	if got := countShared(Config{NumTasks: 4, Hooks: vetoHooks{}}); got != 0 {
+		t.Errorf("vetoing hooks: SharedCollectives = %d, want 0", got)
+	}
+	if got := countShared(Config{NumTasks: 4, Hooks: faultyHooks{}}); got != 0 {
+		t.Errorf("fault hooks: SharedCollectives = %d, want 0", got)
+	}
+	if got := countShared(Config{NumTasks: 4, Hooks: noopHooks{}, Collectives: CollShared}); got != 4 {
+		t.Errorf("CollShared override: SharedCollectives = %d, want 4", got)
+	}
+	if got := countShared(Config{NumTasks: 4, Collectives: CollChannels}); got != 0 {
+		t.Errorf("CollChannels override: SharedCollectives = %d, want 0", got)
+	}
+	// Composition: every member must opt in.
+	if got := countShared(Config{NumTasks: 4, Hooks: MultiHooks(optinHooks{}, optinHooks{})}); got != 4 {
+		t.Errorf("all-opted-in MultiHooks: SharedCollectives = %d, want 4", got)
+	}
+	if got := countShared(Config{NumTasks: 4, Hooks: MultiHooks(optinHooks{}, noopHooks{})}); got != 0 {
+		t.Errorf("mixed MultiHooks: SharedCollectives = %d, want 0", got)
+	}
+}
+
+type noopHooks struct{}
+
+func (noopHooks) OnSend(worldSrc, worldDst int) any { return nil }
+func (noopHooks) OnDeliver(worldDst int, meta any)  {}
+
+type optinHooks struct{ noopHooks }
+
+func (optinHooks) SharedCollectivesOK() bool                   { return true }
+func (optinHooks) OnSharedCollective(worldRank int, op string) {}
+
+type vetoHooks struct{ noopHooks }
+
+func (vetoHooks) SharedCollectivesOK() bool                   { return false }
+func (vetoHooks) OnSharedCollective(worldRank int, op string) {}
+
+type faultyHooks struct{ noopHooks }
+
+func (faultyHooks) FaultP2P(worldSrc, worldDst, bytes int, rendezvous bool) FaultAction {
+	return FaultAction{}
+}
+
+// TestSharedCollectiveHookNotifications checks opted-in hooks see one
+// OnSharedCollective per task per collective.
+func TestSharedCollectiveHookNotifications(t *testing.T) {
+	h := &countingShmHooks{}
+	_, err := Run(Config{NumTasks: 4, Hooks: h}, func(tk *Task) error {
+		Barrier(tk, nil)
+		buf := make([]int, 1)
+		Bcast(tk, nil, buf, 0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counts["Barrier"] != 4 || h.counts["Bcast"] != 4 {
+		t.Errorf("OnSharedCollective counts = %v, want 4 each", h.counts)
+	}
+}
+
+type countingShmHooks struct {
+	noopHooks
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func (h *countingShmHooks) SharedCollectivesOK() bool { return true }
+func (h *countingShmHooks) OnSharedCollective(worldRank int, op string) {
+	h.mu.Lock()
+	if h.counts == nil {
+		h.counts = make(map[string]int)
+	}
+	h.counts[op]++
+	h.mu.Unlock()
+}
+
+// TestSharedCollectiveElision: when every task passes the same shared
+// slice to Bcast (the HLS pattern: the buffer is an hls variable), the
+// fast path skips all n-1 copies and counts them as elided.
+func TestSharedCollectiveElision(t *testing.T) {
+	shared := make([]float64, 64)
+	w, err := Run(Config{NumTasks: 4}, func(tk *Task) error {
+		if tk.Rank() == 2 {
+			for i := range shared {
+				shared[i] = float64(i)
+			}
+		}
+		Bcast(tk, nil, shared, 2)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().SameAddrSkips; got != 3 {
+		t.Errorf("SameAddrSkips = %d, want 3", got)
+	}
+}
+
+// Mismatch detection: the entry barrier's leader inspects every member's
+// published slot, so a desynchronized program fails on all ranks with a
+// typed *Error instead of deadlocking or corrupting buffers.
+
+func wantAllErrors(t *testing.T, w *World, substr string) {
+	t.Helper()
+	for r, err := range w.RankErrors() {
+		var me *Error
+		if !errors.As(err, &me) {
+			t.Errorf("rank %d: error %v, want *Error", r, err)
+			continue
+		}
+		if !strings.Contains(me.Msg, substr) {
+			t.Errorf("rank %d: message %q does not mention %q", r, me.Msg, substr)
+		}
+	}
+}
+
+func TestSharedCollectiveMismatchedKinds(t *testing.T) {
+	w, _ := NewWorld(Config{NumTasks: 4})
+	err := w.Run(func(tk *Task) error {
+		if tk.Rank() == 1 {
+			buf := make([]int, 1)
+			Bcast(tk, nil, buf, 0)
+		} else {
+			Barrier(tk, nil)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("mismatched collectives completed")
+	}
+	wantAllErrors(t, w, "mismatched collectives")
+}
+
+func TestSharedCollectiveDatatypeMismatch(t *testing.T) {
+	w, _ := NewWorld(Config{NumTasks: 4})
+	err := w.Run(func(tk *Task) error {
+		if tk.Rank() == 3 {
+			Bcast(tk, nil, make([]int32, 4), 0)
+		} else {
+			Bcast(tk, nil, make([]int64, 4), 0)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("datatype mismatch completed")
+	}
+	wantAllErrors(t, w, "datatype mismatch")
+}
+
+func TestSharedCollectiveLengthMismatch(t *testing.T) {
+	w, _ := NewWorld(Config{NumTasks: 4})
+	err := w.Run(func(tk *Task) error {
+		Bcast(tk, nil, make([]int, 4+tk.Rank()%2), 0)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("length mismatch completed")
+	}
+	wantAllErrors(t, w, "length mismatch")
+}
+
+func TestSharedCollectiveRootMismatch(t *testing.T) {
+	w, _ := NewWorld(Config{NumTasks: 4})
+	err := w.Run(func(tk *Task) error {
+		Bcast(tk, nil, make([]int, 2), tk.Rank()%2)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("root mismatch completed")
+	}
+	wantAllErrors(t, w, "root mismatch")
+}
+
+func TestSharedCollectiveUnknownOp(t *testing.T) {
+	w, _ := NewWorld(Config{NumTasks: 4})
+	err := w.Run(func(tk *Task) error {
+		out := make([]int, 1)
+		Allreduce(tk, nil, []int{1}, out, Op(99))
+		return nil
+	})
+	if err == nil {
+		t.Fatal("unknown op completed")
+	}
+	wantAllErrors(t, w, "unknown op")
+}
+
+// TestSharedCollectiveDeadRankAttribution kills a rank mid-program and
+// checks survivors blocked in a fast-path collective unwind with a
+// DeadRankError attributed to their own rank and the operation — the
+// same contract the channel path keeps via checkReq.
+func TestSharedCollectiveDeadRankAttribution(t *testing.T) {
+	const n, victim = 8, 5
+	w, _ := NewWorld(Config{NumTasks: n})
+	err := w.Run(func(tk *Task) error {
+		buf := make([]float64, 16)
+		out := make([]float64, 16)
+		for i := 0; i < 50; i++ {
+			if tk.Rank() == victim && i == 7 {
+				panic("chaos kill")
+			}
+			Allreduce(tk, nil, buf, out, OpSum)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("world with a killed rank completed")
+	}
+	for r, rerr := range w.RankErrors() {
+		if r == victim {
+			continue
+		}
+		var dre *DeadRankError
+		if !errors.As(rerr, &dre) {
+			t.Errorf("rank %d: error %v, want *DeadRankError", r, rerr)
+			continue
+		}
+		if dre.Dead != victim || dre.Rank != r || dre.Op != "Allreduce" {
+			t.Errorf("rank %d: DeadRankError{Rank:%d Op:%q Dead:%d}, want {Rank:%d Op:\"Allreduce\" Dead:%d}",
+				r, dre.Rank, dre.Op, dre.Dead, r, victim)
+		}
+	}
+}
+
+// TestSharedCollectiveZeroAllocs is the fast path's allocation budget:
+// small Bcast/Allreduce/Barrier on the steady state allocate nothing, on
+// any rank.
+func TestSharedCollectiveZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarks under -short")
+	}
+	cases := []struct {
+		name string
+		fn   func(tk *Task, send, recv []float64)
+	}{
+		{"Barrier", func(tk *Task, send, recv []float64) { Barrier(tk, nil) }},
+		{"Bcast8", func(tk *Task, send, recv []float64) { Bcast(tk, nil, send, 0) }},
+		{"Allreduce8", func(tk *Task, send, recv []float64) { Allreduce(tk, nil, send, recv, OpSum) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := testing.Benchmark(func(b *testing.B) {
+				benchWorldCollective(b, 4, tc.fn)
+			})
+			if allocs := res.AllocsPerOp(); allocs != 0 {
+				t.Errorf("%s: %d allocs/op, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// benchWorldCollective runs fn b.N times on every rank of a hook-less
+// world, timing (and metering allocations) only the steady-state loop:
+// every rank warms up first, and the timer restarts once all are ready.
+func benchWorldCollective(b *testing.B, tasks int, fn func(tk *Task, send, recv []float64)) {
+	w, err := NewWorld(Config{NumTasks: tasks})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ready sync.WaitGroup
+	ready.Add(tasks)
+	start := make(chan struct{})
+	go func() {
+		ready.Wait()
+		b.ResetTimer()
+		close(start)
+	}()
+	if err := w.Run(func(tk *Task) error {
+		send := make([]float64, 8)
+		recv := make([]float64, 8)
+		for i := 0; i < 4; i++ {
+			fn(tk, send, recv)
+		}
+		ready.Done()
+		<-start
+		for i := 0; i < b.N; i++ {
+			fn(tk, send, recv)
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSharedBarrier(b *testing.B) {
+	benchWorldCollective(b, 4, func(tk *Task, send, recv []float64) { Barrier(tk, nil) })
+}
+
+func BenchmarkSharedAllreduce8(b *testing.B) {
+	benchWorldCollective(b, 4, func(tk *Task, send, recv []float64) {
+		Allreduce(tk, nil, send, recv, OpSum)
+	})
+}

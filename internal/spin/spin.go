@@ -1,0 +1,300 @@
+// Package spin provides the low-level synchronization primitives behind
+// the runtime's cache-aware hierarchical barriers (§IV-B): a
+// cache-line-padded, sense-reversing spin-then-park barrier, a
+// mutex+condvar baseline kept for ablation, and a Tree that nests
+// barriers along the machine's cache hierarchy so synchronization
+// traffic stays inside the smallest shared cache.
+//
+// All primitives share the abort/poison protocol of the HLS runtime's
+// failure model: Abort wakes every waiter (and fails every later
+// arriver) with a typed error delivered by panic, and a completed
+// generation wins over a concurrent abort — the barrier's work was done
+// before the failure reached it.
+package spin
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pad is one cache line of padding. The arrival counter and the
+// generation word sit on their own lines so the release store does not
+// contend with the arrival RMWs (false sharing is the classic flat-
+// barrier scalability killer).
+type pad [64]byte
+
+// Spin phases: arrivers poll the generation word activeSpins times
+// back-to-back, then yieldSpins more times with a scheduler yield
+// between polls, then park on the condvar. The bounds are deliberately
+// modest: with more runnable tasks than Ps, long busy-spins steal the
+// processor from the very task everyone is waiting for.
+const (
+	activeSpins = 128
+	yieldSpins  = 32
+)
+
+// Barrier is a sense-reversing spin-then-park barrier for a fixed set
+// of size participants. The fast path is two atomic operations per
+// arrival (one counter RMW, generation loads while waiting); the mutex
+// and condvar are only touched by waiters that exhausted their spin
+// budget, by the releaser when someone parked, and on abort.
+type Barrier struct {
+	size int32
+	// spin is the per-wait spin budget; zero when the barrier is wider
+	// than GOMAXPROCS, where spinning only delays the tasks still
+	// expected to arrive.
+	spin int32
+
+	_       pad
+	arrived atomic.Int32 // arrivals in the current generation
+	_       pad
+	gen     atomic.Uint32 // completed-generation counter (the "sense")
+	_       pad
+	parked  atomic.Int32 // waiters that gave up spinning
+	aborted atomic.Bool  // fast-path mirror of abortErr != nil
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	abortErr error
+}
+
+// NewBarrier builds a barrier for size participants (size >= 1).
+func NewBarrier(size int) *Barrier {
+	if size < 1 {
+		panic("spin: barrier size must be >= 1")
+	}
+	b := &Barrier{size: int32(size), spin: activeSpins}
+	if size > runtime.GOMAXPROCS(0) {
+		b.spin = 0
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Size returns the number of participants.
+func (b *Barrier) Size() int { return int(b.size) }
+
+// Await blocks until all participants have arrived. The last arriver
+// runs body (if non-nil) before anyone is released — the single
+// directive's "the last MPI task entering the barrier executes the code
+// block before releasing the others" — and Await reports whether this
+// caller was that executor. An aborted barrier panics with the typed
+// abort error instead of blocking forever.
+func (b *Barrier) Await(body func()) bool {
+	if !b.Arrive() {
+		return false
+	}
+	if body != nil {
+		body()
+	}
+	b.Release()
+	return true
+}
+
+// Arrive is the split half of Await used by Tree: the last arriver
+// returns true immediately *without* releasing the others, so it can
+// represent the group at the next tree level; everyone else blocks
+// until that task calls Release and then returns false. Between an
+// Arrive that returned true and the matching Release the barrier is
+// quiescent: all other participants are blocked in Arrive and none can
+// start the next generation.
+func (b *Barrier) Arrive() bool {
+	if b.aborted.Load() {
+		b.panicAborted()
+	}
+	g := b.gen.Load()
+	if b.arrived.Add(1) == b.size {
+		// Reset before release: the others can only re-enter after they
+		// observe the generation flip in wait, so the counter is never
+		// concurrently incremented here.
+		b.arrived.Store(0)
+		return true
+	}
+	b.wait(g)
+	return false
+}
+
+// Release completes the generation the caller's true-returning Arrive
+// opened, waking every blocked participant.
+func (b *Barrier) Release() {
+	// Flip first, check parked second. A waiter about to park increments
+	// parked and re-checks the generation while holding mu: it either
+	// sees this flip and returns without sleeping, or its increment is
+	// ordered before our load and we take the broadcast path.
+	b.gen.Add(1)
+	if b.parked.Load() == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// wait blocks until generation g completes: bounded spin on the
+// generation word, then park under the mutex.
+func (b *Barrier) wait(g uint32) {
+	for i := b.spin; i > 0; i-- {
+		if b.gen.Load() != g {
+			return
+		}
+		if b.aborted.Load() {
+			break // recheck under mu: completion may have raced the abort
+		}
+	}
+	for i := 0; i < yieldSpins; i++ {
+		if b.gen.Load() != g {
+			return
+		}
+		if b.aborted.Load() {
+			break
+		}
+		runtime.Gosched()
+	}
+	b.park(g)
+}
+
+// park sleeps under the condvar until the generation completes or the
+// barrier is aborted. A completed generation wins over a concurrent
+// abort.
+func (b *Barrier) park(g uint32) {
+	b.mu.Lock()
+	b.parked.Add(1)
+	for b.gen.Load() == g && b.abortErr == nil {
+		b.cond.Wait()
+	}
+	b.parked.Add(-1)
+	err := b.abortErr
+	released := b.gen.Load() != g
+	b.mu.Unlock()
+	if !released && err != nil {
+		panic(err)
+	}
+}
+
+// Abort poisons the barrier: current waiters wake and panic with err,
+// and every later arriver panics immediately. Aborting an already
+// aborted barrier keeps the first error. A nil err is ignored.
+func (b *Barrier) Abort(err error) {
+	if err == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.abortErr == nil {
+		b.abortErr = err
+		b.aborted.Store(true)
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// AbortErr returns the poison error, or nil while the barrier is
+// healthy.
+func (b *Barrier) AbortErr() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.abortErr
+}
+
+func (b *Barrier) panicAborted() {
+	b.mu.Lock()
+	err := b.abortErr
+	b.mu.Unlock()
+	if err != nil {
+		panic(err)
+	}
+}
+
+// MutexBarrier is the flat mutex+condvar barrier the spin barrier
+// replaced — the paper's "simple flat algorithm with a counter and a
+// lock" — kept as the ablation baseline for hlsbench -exp sync. Unlike
+// its predecessor it uses one condvar per generation parity, so a
+// release broadcast can only wake waiters of its own generation and
+// stale-generation spurious wakeups cannot thundering-herd through the
+// mutex.
+type MutexBarrier struct {
+	mu       sync.Mutex
+	conds    [2]*sync.Cond // indexed by generation parity
+	size     int
+	count    int
+	gen      uint64
+	abortErr error
+}
+
+// NewMutexBarrier builds a mutex barrier for size participants.
+func NewMutexBarrier(size int) *MutexBarrier {
+	if size < 1 {
+		panic("spin: barrier size must be >= 1")
+	}
+	b := &MutexBarrier{size: size}
+	b.conds[0] = sync.NewCond(&b.mu)
+	b.conds[1] = sync.NewCond(&b.mu)
+	return b
+}
+
+// Size returns the number of participants.
+func (b *MutexBarrier) Size() int { return b.size }
+
+// Await blocks until all participants have arrived; the last arriver
+// runs body before anyone is released and Await reports whether this
+// caller executed it. Panics with the abort error on a poisoned
+// barrier.
+func (b *MutexBarrier) Await(body func()) bool {
+	if !b.Arrive() {
+		return false
+	}
+	if body != nil {
+		body()
+	}
+	b.Release()
+	return true
+}
+
+// Arrive/Release split, with the same contract as Barrier's.
+func (b *MutexBarrier) Arrive() bool {
+	b.mu.Lock()
+	if err := b.abortErr; err != nil {
+		b.mu.Unlock()
+		panic(err)
+	}
+	myGen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.mu.Unlock()
+		return true
+	}
+	cond := b.conds[myGen&1]
+	for b.gen == myGen && b.abortErr == nil {
+		cond.Wait()
+	}
+	err := b.abortErr
+	released := b.gen != myGen
+	b.mu.Unlock()
+	if !released && err != nil {
+		panic(err)
+	}
+	return false
+}
+
+// Release completes the generation opened by a true-returning Arrive.
+func (b *MutexBarrier) Release() {
+	b.mu.Lock()
+	b.conds[b.gen&1].Broadcast()
+	b.gen++
+	b.mu.Unlock()
+}
+
+// Abort poisons the barrier (see Barrier.Abort).
+func (b *MutexBarrier) Abort(err error) {
+	if err == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.abortErr == nil {
+		b.abortErr = err
+	}
+	b.conds[0].Broadcast()
+	b.conds[1].Broadcast()
+	b.mu.Unlock()
+}

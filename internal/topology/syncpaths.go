@@ -1,0 +1,91 @@
+package topology
+
+// SyncPaths computes the barrier-tree structure for a set of hardware
+// threads that synchronize together inside one instance of scope top:
+// paths[i][l] is the instance index of threads[i] at tree level l,
+// narrowest level first, ready for spin.NewTree. Candidate levels are
+// every scope strictly narrower than top (core, each cache level, NUMA);
+// a level is included only when it actually coalesces arrivals — it
+// splits the current representatives into more than one group, and at
+// least one group holds more than one of them. Threads sharing no level
+// get empty paths (a flat tree).
+//
+// This generalizes the paper's §IV-B llc split: on a machine with
+// per-pair L2 and a socket L3, a node-scope barrier nests core pairs
+// inside L2 domains inside sockets, so every intermediate
+// synchronization stays in the smallest cache shared by its group.
+func (m *Machine) SyncPaths(threads []int, top Scope) [][]int {
+	return m.syncPaths(threads, m.narrowerScopes(top))
+}
+
+// SyncPathsAll is SyncPaths with every scope of the machine as a
+// candidate (core up to node): the tree for a set of threads spanning
+// the whole cluster, as used by communicator-wide collectives.
+func (m *Machine) SyncPathsAll(threads []int) [][]int {
+	scopes := m.narrowerScopes(Node)
+	scopes = append(scopes, Node)
+	return m.syncPaths(threads, scopes)
+}
+
+// narrowerScopes lists every scope strictly narrower than top, narrow
+// to wide.
+func (m *Machine) narrowerScopes(top Scope) []Scope {
+	var out []Scope
+	for _, s := range m.allScopesNarrowFirst() {
+		if m.Wider(top, s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// allScopesNarrowFirst enumerates the machine's scopes, narrowest first.
+func (m *Machine) allScopesNarrowFirst() []Scope {
+	scopes := []Scope{Core}
+	for l := 1; l <= m.llc; l++ {
+		scopes = append(scopes, Cache(l))
+	}
+	return append(scopes, NUMA, Node)
+}
+
+func (m *Machine) syncPaths(threads []int, candidates []Scope) [][]int {
+	n := len(threads)
+	paths := make([][]int, n)
+	// units[i] marks threads still representing a group: initially all;
+	// after a level is included, one representative per group remains.
+	units := make([]bool, n)
+	for i := range units {
+		units[i] = true
+	}
+	unitCount := n
+	for _, s := range candidates {
+		if unitCount <= 2 {
+			break // nothing left to coalesce below the top barrier
+		}
+		groups := make(map[int]int)
+		for i := 0; i < n; i++ {
+			if units[i] {
+				groups[m.ScopeInstance(threads[i], s)]++
+			}
+		}
+		// Useful only if it both splits (>1 group) and coalesces (fewer
+		// groups than units — some group has at least two members).
+		if len(groups) <= 1 || len(groups) >= unitCount {
+			continue
+		}
+		first := make(map[int]bool, len(groups))
+		for i := 0; i < n; i++ {
+			inst := m.ScopeInstance(threads[i], s)
+			paths[i] = append(paths[i], inst)
+			if units[i] {
+				if first[inst] {
+					units[i] = false
+				} else {
+					first[inst] = true
+				}
+			}
+		}
+		unitCount = len(groups)
+	}
+	return paths
+}

@@ -1,0 +1,102 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSyncPathsNehalemNode(t *testing.T) {
+	// 32 tasks, one per core, node scope: L1/L2 are per-core (useless),
+	// the socket-wide L3 splits 32 units into 4 groups of 8. NUMA would
+	// regroup the 4 L3 representatives into the same 4 groups (no
+	// coalescing), so the tree has exactly one level.
+	m := NehalemEX4()
+	pin := MustPin(m, 32, PinCorePerTask)
+	paths := m.SyncPaths(pin.Threads, Node)
+	for i, p := range paths {
+		want := []int{i / 8}
+		if !reflect.DeepEqual(p, want) {
+			t.Fatalf("paths[%d] = %v, want %v", i, p, want)
+		}
+	}
+}
+
+func TestSyncPathsSMTCompact(t *testing.T) {
+	// 16 compact tasks on the SMT node: pairs share a core, 4 threads
+	// share the L2, sockets == L2 representatives regrouped 4->2... NUMA
+	// coalesces the four L2 reps into two sockets? Each socket holds one
+	// L2 domain (4 cores * 2 threads? no: SharedCores=4 = whole socket),
+	// so L2 and NUMA coincide and NUMA adds nothing.
+	m := SMTNode()
+	pin := MustPin(m, 16, PinCompact)
+	paths := m.SyncPaths(pin.Threads, Node)
+	for i, p := range paths {
+		want := []int{i / 2, i / 8}
+		if !reflect.DeepEqual(p, want) {
+			t.Fatalf("paths[%d] = %v, want %v", i, p, want)
+		}
+	}
+}
+
+func TestSyncPathsHarpertownNUMA(t *testing.T) {
+	// 8 tasks on one Harpertown node, NUMA scope: the per-pair L2 splits
+	// each socket's 4 tasks into 2 pairs. Candidates stop below NUMA.
+	m := HarpertownCluster(1)
+	pin := MustPin(m, 8, PinCorePerTask)
+	ranks := pin.RanksInInstance(NUMA, 0)
+	threads := make([]int, len(ranks))
+	for i, r := range ranks {
+		threads[i] = pin.Thread(r)
+	}
+	paths := m.SyncPaths(threads, NUMA)
+	for i, p := range paths {
+		want := []int{i / 2}
+		if !reflect.DeepEqual(p, want) {
+			t.Fatalf("paths[%d] = %v, want %v", i, p, want)
+		}
+	}
+}
+
+func TestSyncPathsFlatWhenNothingCoalesces(t *testing.T) {
+	// 4 tasks all inside one L2 pair-domain? Use one Harpertown L2
+	// domain: 2 tasks -> no level both splits and coalesces: flat.
+	m := HarpertownCluster(1)
+	paths := m.SyncPaths([]int{0, 1}, NUMA)
+	for i, p := range paths {
+		if len(p) != 0 {
+			t.Fatalf("paths[%d] = %v, want empty (flat)", i, p)
+		}
+	}
+	// A single thread is trivially flat.
+	if p := m.SyncPaths([]int{3}, Node); len(p[0]) != 0 {
+		t.Fatalf("singleton path = %v, want empty", p[0])
+	}
+}
+
+func TestSyncPathsAllCluster(t *testing.T) {
+	// 16 tasks across 2 Harpertown nodes: L2 pairs first, then nodes.
+	// NUMA (4 tasks/socket -> 2 pair-reps each) also coalesces: levels
+	// are L2 (16->8), NUMA (8->4), node (4->2).
+	m := HarpertownCluster(2)
+	pin := MustPin(m, 16, PinCorePerTask)
+	paths := m.SyncPathsAll(pin.Threads)
+	for i, p := range paths {
+		want := []int{i / 2, i / 4, i / 8}
+		if !reflect.DeepEqual(p, want) {
+			t.Fatalf("paths[%d] = %v, want %v", i, p, want)
+		}
+	}
+}
+
+func TestSyncPathsSparsePinning(t *testing.T) {
+	// Threads scattered one per socket: no narrower level groups them,
+	// flat tree regardless of how many levels the machine has.
+	m := NehalemEX4()
+	threads := []int{0, 8, 16, 24}
+	paths := m.SyncPaths(threads, Node)
+	for i, p := range paths {
+		if len(p) != 0 {
+			t.Fatalf("paths[%d] = %v, want empty", i, p)
+		}
+	}
+}
