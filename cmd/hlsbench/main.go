@@ -25,12 +25,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|faults|sync|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|faults|sync|p2p|all")
 	full := flag.Bool("full", false, "run the paper-shaped sweep instead of the quick profile")
 	seed := flag.Int64("seed", 1, "chaos seed for -exp faults (fixes the whole fault schedule)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	syncOut := flag.String("out", "BENCH_sync.json", "where -exp sync writes its JSON snapshot (empty to skip)")
-	compare := flag.String("compare", "", "baseline BENCH_sync.json to compare -exp sync results against (exit 1 on check regressions)")
+	p2pOut := flag.String("p2pout", "BENCH_p2p.json", "where -exp p2p writes its JSON snapshot (empty to skip)")
+	eagerLimit := flag.Int("eager-limit", 0, "pin -exp p2p to one eager/rendezvous threshold in bytes (0 sweeps a ladder around the default)")
+	compare := flag.String("compare", "", "baseline JSON snapshot to compare against, for -exp sync or -exp p2p (exit 1 on check regressions)")
 	serve := flag.String("serve", "", "serve live /metrics, /metrics.json and /debug/pprof/ on this address (e.g. :8080 or :0) while experiments run")
 	linger := flag.Duration("linger", 0, "keep the -serve endpoint up this long after the experiments finish")
 	flag.Parse()
@@ -169,13 +171,40 @@ func main() {
 			exitOn(err)
 			fmt.Println("wrote", *syncOut)
 		}
-		if *compare != "" {
+		// -compare is per-experiment: it names a sync baseline only when
+		// the sync experiment was selected explicitly.
+		if *compare != "" && *exp == "sync" {
 			f, err := os.Open(*compare)
 			exitOn(err)
 			base, err := bench.ReadSyncJSON(f)
 			f.Close()
 			exitOn(err)
 			exitOn(bench.CompareSync(os.Stdout, base, res))
+		}
+		fmt.Println()
+	}
+	if want("p2p") {
+		ran = true
+		fmt.Printf("== P2P datapath: pooled buffers + single-copy delivery (%s profile) ==\n", profile)
+		res, err := bench.RunP2P(profile, *eagerLimit)
+		exitOn(err)
+		bench.PrintP2P(os.Stdout, res)
+		writeCSV("p2p.csv", func(w io.Writer) error { return bench.WriteP2PCSV(w, res) })
+		if *p2pOut != "" {
+			f, err := os.Create(*p2pOut)
+			exitOn(err)
+			err = bench.WriteP2PJSON(f, res)
+			f.Close()
+			exitOn(err)
+			fmt.Println("wrote", *p2pOut)
+		}
+		if *compare != "" && *exp == "p2p" {
+			f, err := os.Open(*compare)
+			exitOn(err)
+			base, err := bench.ReadP2PJSON(f)
+			f.Close()
+			exitOn(err)
+			exitOn(bench.CompareP2P(os.Stdout, base, res))
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,529 @@
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"time"
+
+	"hls/internal/mpi"
+)
+
+// The -exp p2p experiment measures the point-to-point datapath after the
+// zero-allocation rework: pooled eager buffers, single-copy delivery
+// into posted receives, and bucketed (comm, source) matching.
+//
+//   - pingpong: latency/bandwidth/allocs-per-op across message sizes and
+//     eager limits — the eager/rendezvous crossover sweep. The eager
+//     limit defaults to a three-value sweep and can be pinned from the
+//     command line (hlsbench -eager-limit).
+//   - arrival: the same eager exchange with the receive deterministically
+//     posted (direct delivery, no pooled buffer) vs deterministically
+//     unexpected (one copy through a pooled buffer), isolating the cost
+//     of the intermediate copy and exercising the pool's recycling.
+//   - tasks: concurrent ping-pong pairs across world sizes, checking that
+//     bucketed matching keeps the probes-per-message ratio flat as the
+//     number of endpoints grows.
+//
+// The JSON snapshot (BENCH_p2p.json) carries Checks, the acceptance
+// booleans CI tracks against the committed baseline.
+
+// P2PPoint is one datapath measurement. The counters are whole-run
+// totals from World.Stats (warmup included); the per-op figures time the
+// measured loop only.
+type P2PPoint struct {
+	Kind             string  `json:"kind"` // pingpong | arrival | tasks
+	Tasks            int     `json:"tasks"`
+	Bytes            int     `json:"bytes"`
+	EagerLimit       int     `json:"eager_limit"`
+	Protocol         string  `json:"protocol"`          // eager | rendezvous
+	Arrival          string  `json:"arrival,omitempty"` // posted | unexpected
+	NsPerOp          float64 `json:"ns_per_op"`
+	MBPerS           float64 `json:"mb_per_s"`
+	AllocsPerOp      float64 `json:"allocs_per_op"` // process-wide, all ranks
+	Messages         int64   `json:"messages"`
+	DirectDeliveries int64   `json:"direct_deliveries"`
+	PoolHits         int64   `json:"pool_hits"`
+	PoolMisses       int64   `json:"pool_misses"`
+	MatchProbes      int64   `json:"match_probes"`
+	Outstanding      int64   `json:"pool_outstanding"`
+}
+
+// P2PChecks are the experiment's acceptance criteria.
+type P2PChecks struct {
+	// ZeroAllocEager: every two-task eager ping-pong allocates less than
+	// one object per round trip process-wide (steady state is zero; the
+	// budget absorbs the bracketing barriers and stray runtime work).
+	ZeroAllocEager bool `json:"zero_alloc_eager"`
+	// SingleCopyPosted: with the receive deterministically posted, every
+	// data message is delivered sender-buffer -> receiver-buffer directly
+	// and the eager pool is never touched.
+	SingleCopyPosted bool `json:"single_copy_posted"`
+	// PoolRecyclesUnexpected: with the receive deterministically late,
+	// every data message takes a pooled buffer, the pool serves the
+	// steady state from recycled buffers, and nothing stays outstanding.
+	PoolRecyclesUnexpected bool `json:"pool_recycles_unexpected"`
+	// MatchProbesBounded: bucketed matching examines at most ~2 queue
+	// entries per message on the ping-pong and task-sweep runs,
+	// independent of world size.
+	MatchProbesBounded bool `json:"match_probes_bounded"`
+	// EagerWinsAtLimit: at the smallest size measured under both
+	// protocols, the eager path beats the rendezvous handshake.
+	EagerWinsAtLimit bool `json:"eager_wins_at_limit"`
+	// NoLeakedBuffers: every run ends with zero pooled buffers
+	// outstanding.
+	NoLeakedBuffers bool `json:"no_leaked_buffers"`
+}
+
+// P2PResult is the full -exp p2p output.
+type P2PResult struct {
+	Profile     string `json:"profile"`
+	EagerLimits []int  `json:"eager_limits"`
+	// CrossoverBytes is the smallest swept size at which the rendezvous
+	// protocol beat the eager path; 0 when eager won at every size both
+	// were measured (single-copy delivery keeps eager competitive).
+	CrossoverBytes int        `json:"crossover_bytes"`
+	Points         []P2PPoint `json:"points"`
+	Checks         P2PChecks  `json:"checks"`
+}
+
+func p2pProtocol(nbytes, eagerLimit int) string {
+	if nbytes <= eagerLimit {
+		return "eager"
+	}
+	return "rendezvous"
+}
+
+// p2pCounters copies the whole-run totals out of a finished world.
+func p2pCounters(pt *P2PPoint, s mpi.Stats) {
+	pt.Messages = s.Messages
+	pt.DirectDeliveries = s.DirectDeliveries
+	pt.PoolHits = s.EagerPoolHits
+	pt.PoolMisses = s.EagerPoolMisses
+	pt.MatchProbes = s.MatchProbes
+	pt.Outstanding = s.EagerPoolOutstanding
+}
+
+// p2pPingPong times iters lockstep round trips of nbytes under the given
+// eager limit. Every even rank pairs with the next odd rank, so larger
+// worlds measure the matching engine under concurrent pair traffic;
+// rank 0 reports the timing and the process-wide allocation rate.
+func p2pPingPong(kind string, tasks, nbytes, eagerLimit, iters int) (P2PPoint, error) {
+	w, err := mpi.NewWorld(mpi.Config{
+		NumTasks: tasks, EagerLimit: eagerLimit,
+		Timeout: 5 * time.Minute, Hooks: telemetryHooks(),
+	})
+	if err != nil {
+		return P2PPoint{}, err
+	}
+	var perOp, allocs float64
+	var ms0, ms1 runtime.MemStats
+	err = w.Run(func(tk *mpi.Task) error {
+		buf := make([]byte, nbytes)
+		peer := tk.Rank() ^ 1
+		step := func(tag int) {
+			if tk.Rank()%2 == 0 {
+				mpi.Send(tk, nil, buf, peer, tag)
+				mpi.Recv(tk, nil, buf, peer, tag)
+			} else {
+				mpi.Recv(tk, nil, buf, peer, tag)
+				mpi.Send(tk, nil, buf, peer, tag)
+			}
+		}
+		for i := 0; i < 50; i++ { // warm the pools and the buckets
+			step(0)
+		}
+		mpi.Barrier(tk, nil)
+		if tk.Rank() == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+		}
+		mpi.Barrier(tk, nil)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			step(1)
+		}
+		mpi.Barrier(tk, nil)
+		if tk.Rank() == 0 {
+			perOp = float64(time.Since(start).Nanoseconds()) / float64(iters)
+			runtime.ReadMemStats(&ms1)
+			allocs = float64(ms1.Mallocs-ms0.Mallocs) / float64(iters)
+		}
+		return nil
+	})
+	pt := P2PPoint{
+		Kind: kind, Tasks: tasks, Bytes: nbytes, EagerLimit: eagerLimit,
+		Protocol: p2pProtocol(nbytes, eagerLimit),
+		NsPerOp:  perOp, AllocsPerOp: allocs,
+	}
+	if perOp > 0 {
+		pt.MBPerS = 2 * float64(nbytes) * 1000 / perOp // two messages per round trip
+	}
+	p2pCounters(&pt, w.Stats())
+	return pt, err
+}
+
+// p2pArrival times iters eager exchanges with the arrival order pinned.
+// posted: the receiver posts the receive and confirms with a zero-byte
+// ready message before the sender injects, so every data message finds
+// its receive waiting (direct delivery, no pooled buffer). unexpected:
+// the sender injects first and the receiver probes — Probe returns only
+// once the message is queued unexpected — so every data message is
+// copied through a pooled buffer. The zero-byte control messages carry
+// no payload and never touch the pool, keeping the counters pure.
+func p2pArrival(arrival string, nbytes, eagerLimit, iters int) (P2PPoint, error) {
+	w, err := mpi.NewWorld(mpi.Config{
+		NumTasks: 2, EagerLimit: eagerLimit,
+		Timeout: 5 * time.Minute, Hooks: telemetryHooks(),
+	})
+	if err != nil {
+		return P2PPoint{}, err
+	}
+	var perOp float64
+	err = w.Run(func(tk *mpi.Task) error {
+		data := make([]byte, nbytes)
+		empty := []byte{}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if tk.Rank() == 0 {
+				if arrival == "posted" {
+					mpi.Recv(tk, nil, empty, 1, 1) // receive is posted: go
+					mpi.Send(tk, nil, data, 1, 0)
+				} else {
+					mpi.Send(tk, nil, data, 1, 0)
+					mpi.Recv(tk, nil, empty, 1, 1) // consumed: next round
+				}
+			} else {
+				if arrival == "posted" {
+					req := mpi.Irecv(tk, nil, data, 0, 0)
+					mpi.Send(tk, nil, empty, 0, 1)
+					req.Wait()
+				} else {
+					mpi.Probe(tk, nil, 0, 0) // blocks until queued unexpected
+					mpi.Recv(tk, nil, data, 0, 0)
+					mpi.Send(tk, nil, empty, 0, 1)
+				}
+			}
+		}
+		if tk.Rank() == 0 {
+			perOp = float64(time.Since(start).Nanoseconds()) / float64(iters)
+		}
+		return nil
+	})
+	pt := P2PPoint{
+		Kind: "arrival", Tasks: 2, Bytes: nbytes, EagerLimit: eagerLimit,
+		Protocol: p2pProtocol(nbytes, eagerLimit), Arrival: arrival,
+		NsPerOp: perOp,
+	}
+	if perOp > 0 {
+		pt.MBPerS = float64(nbytes) * 1000 / perOp // one data message per round
+	}
+	p2pCounters(&pt, w.Stats())
+	return pt, err
+}
+
+// RunP2P runs the datapath experiment. eagerLimit > 0 pins the sweep to
+// that single threshold (hlsbench -eager-limit); 0 sweeps the default
+// three-value ladder around mpi.DefaultEagerLimit.
+func RunP2P(p Profile, eagerLimit int) (*P2PResult, error) {
+	iters, itersLarge, itersArrival, itersTasks := 1500, 300, 800, 600
+	if p == Full {
+		iters, itersLarge, itersArrival, itersTasks = 15000, 3000, 8000, 6000
+	}
+	limits := []int{1024, mpi.DefaultEagerLimit, 32768}
+	if eagerLimit > 0 {
+		limits = []int{eagerLimit}
+	}
+	res := &P2PResult{Profile: p.String(), EagerLimits: limits}
+
+	// Ping-pong: size x eager limit, two tasks. The same size measured
+	// under limits on both sides of it is the protocol crossover sweep.
+	for _, limit := range limits {
+		for _, nbytes := range []int{64, 512, 4096, 16384, 65536} {
+			n := iters
+			if nbytes >= 16384 {
+				n = itersLarge
+			}
+			pt, err := p2pPingPong("pingpong", 2, nbytes, limit, n)
+			if err != nil {
+				return nil, fmt.Errorf("pingpong %dB limit %d: %w", nbytes, limit, err)
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+
+	// Arrival ablation: posted vs unexpected at an always-eager size
+	// under the sweep's middle (or pinned) limit.
+	arrivalLimit := limits[len(limits)/2]
+	for _, arrival := range []string{"posted", "unexpected"} {
+		pt, err := p2pArrival(arrival, 512, arrivalLimit, itersArrival)
+		if err != nil {
+			return nil, fmt.Errorf("arrival %s: %w", arrival, err)
+		}
+		res.Points = append(res.Points, pt)
+	}
+
+	// Task sweep: concurrent ping-pong pairs at 1 KiB, default limit.
+	for _, tasks := range []int{2, 8, 16, 32} {
+		pt, err := p2pPingPong("tasks", tasks, 1024, arrivalLimit, itersTasks)
+		if err != nil {
+			return nil, fmt.Errorf("tasks %d: %w", tasks, err)
+		}
+		res.Points = append(res.Points, pt)
+	}
+
+	res.CrossoverBytes = computeP2PCrossover(res)
+	res.Checks = computeP2PChecks(res)
+	return res, nil
+}
+
+// computeP2PCrossover finds the smallest ping-pong size where the best
+// rendezvous measurement beat the best eager one; 0 when eager held on.
+func computeP2PCrossover(res *P2PResult) int {
+	best := map[int]map[string]float64{} // size -> protocol -> min ns/op
+	sizes := []int{}
+	for _, pt := range res.Points {
+		if pt.Kind != "pingpong" || pt.NsPerOp <= 0 {
+			continue
+		}
+		m := best[pt.Bytes]
+		if m == nil {
+			m = map[string]float64{}
+			best[pt.Bytes] = m
+			sizes = append(sizes, pt.Bytes)
+		}
+		if cur, ok := m[pt.Protocol]; !ok || pt.NsPerOp < cur {
+			m[pt.Protocol] = pt.NsPerOp
+		}
+	}
+	crossover := 0
+	for _, size := range sizes { // sizes appended in ascending sweep order
+		m := best[size]
+		e, okE := m["eager"]
+		r, okR := m["rendezvous"]
+		if okE && okR && r < e && (crossover == 0 || size < crossover) {
+			crossover = size
+		}
+	}
+	return crossover
+}
+
+func computeP2PChecks(res *P2PResult) P2PChecks {
+	ch := P2PChecks{
+		ZeroAllocEager:     true,
+		MatchProbesBounded: true,
+		NoLeakedBuffers:    true,
+	}
+	// Smallest size measured under both protocols, for EagerWinsAtLimit.
+	bothSize := 0
+	bestEager := map[int]float64{}
+	bestRendez := map[int]float64{}
+	for _, pt := range res.Points {
+		if pt.Outstanding != 0 {
+			ch.NoLeakedBuffers = false
+		}
+		switch pt.Kind {
+		case "pingpong", "tasks":
+			if pt.Messages > 0 && float64(pt.MatchProbes) > 2.5*float64(pt.Messages) {
+				ch.MatchProbesBounded = false
+			}
+			if pt.Kind == "pingpong" && pt.Protocol == "eager" && pt.AllocsPerOp >= 1 {
+				ch.ZeroAllocEager = false
+			}
+			if pt.Kind == "pingpong" && pt.NsPerOp > 0 {
+				m := bestEager
+				if pt.Protocol == "rendezvous" {
+					m = bestRendez
+				}
+				if cur, ok := m[pt.Bytes]; !ok || pt.NsPerOp < cur {
+					m[pt.Bytes] = pt.NsPerOp
+				}
+			}
+		case "arrival":
+			switch pt.Arrival {
+			case "posted":
+				// Every data message direct-delivered, pool untouched.
+				ch.SingleCopyPosted = pt.DirectDeliveries > 0 &&
+					pt.PoolHits == 0 && pt.PoolMisses == 0
+			case "unexpected":
+				// Every data message pooled, steady state served from
+				// recycled buffers, nothing left pinned.
+				ch.PoolRecyclesUnexpected = pt.PoolHits > pt.PoolMisses &&
+					pt.DirectDeliveries == 0 && pt.Outstanding == 0
+			}
+		}
+	}
+	for size, e := range bestEager {
+		if r, ok := bestRendez[size]; ok && (bothSize == 0 || size < bothSize) {
+			bothSize = size
+			ch.EagerWinsAtLimit = e <= r
+		}
+	}
+	if bothSize == 0 {
+		// A pinned -eager-limit can leave every size on one protocol;
+		// the comparison is then vacuous.
+		ch.EagerWinsAtLimit = true
+	}
+	return ch
+}
+
+// PrintP2P renders the measurements and the acceptance checks.
+func PrintP2P(w io.Writer, res *P2PResult) {
+	fprintf(w, "P2P ping-pong (2 tasks; allocs are process-wide per round trip)\n")
+	fprintf(w, "%-8s %8s %8s %-11s %10s %9s %10s %8s %8s %7s\n",
+		"kind", "bytes", "eager", "protocol", "ns/op", "MB/s", "allocs/op", "direct", "poolhit", "probes")
+	for _, pt := range res.Points {
+		if pt.Kind != "pingpong" {
+			continue
+		}
+		fprintf(w, "%-8s %8d %8d %-11s %10.0f %9.1f %10.2f %8d %8d %7.2f\n",
+			pt.Kind, pt.Bytes, pt.EagerLimit, pt.Protocol, pt.NsPerOp, pt.MBPerS,
+			pt.AllocsPerOp, pt.DirectDeliveries, pt.PoolHits,
+			probesPerMsg(pt))
+	}
+	if res.CrossoverBytes > 0 {
+		fprintf(w, "measured eager/rendezvous crossover: %d B\n", res.CrossoverBytes)
+	} else {
+		fprintf(w, "measured eager/rendezvous crossover: none within sweep (single-copy delivery keeps eager ahead)\n")
+	}
+	fprintf(w, "\nArrival ablation (512 B eager, order pinned per round)\n")
+	fprintf(w, "%-12s %10s %9s %8s %8s %8s %6s\n",
+		"arrival", "ns/op", "MB/s", "direct", "poolhit", "poolmiss", "outst")
+	for _, pt := range res.Points {
+		if pt.Kind != "arrival" {
+			continue
+		}
+		fprintf(w, "%-12s %10.0f %9.1f %8d %8d %8d %6d\n",
+			pt.Arrival, pt.NsPerOp, pt.MBPerS, pt.DirectDeliveries,
+			pt.PoolHits, pt.PoolMisses, pt.Outstanding)
+	}
+	fprintf(w, "\nConcurrent pairs (1 KiB eager; probes/msg must stay flat)\n")
+	fprintf(w, "%-8s %10s %9s %10s %7s\n", "tasks", "ns/op", "MB/s", "messages", "probes")
+	for _, pt := range res.Points {
+		if pt.Kind != "tasks" {
+			continue
+		}
+		fprintf(w, "%-8d %10.0f %9.1f %10d %7.2f\n",
+			pt.Tasks, pt.NsPerOp, pt.MBPerS, pt.Messages, probesPerMsg(pt))
+	}
+	fprintf(w, "\nChecks:\n")
+	for _, c := range []struct {
+		name string
+		ok   bool
+	}{
+		{"eager ping-pong allocation-free", res.Checks.ZeroAllocEager},
+		{"posted receives delivered in a single copy", res.Checks.SingleCopyPosted},
+		{"unexpected eager traffic recycles pooled buffers", res.Checks.PoolRecyclesUnexpected},
+		{"match probes bounded per message", res.Checks.MatchProbesBounded},
+		{"eager beats rendezvous at the crossover's left edge", res.Checks.EagerWinsAtLimit},
+		{"no pooled buffers leaked", res.Checks.NoLeakedBuffers},
+	} {
+		state := "PASS"
+		if !c.ok {
+			state = "FAIL"
+		}
+		fprintf(w, "  [%s] %s\n", state, c.name)
+	}
+}
+
+func probesPerMsg(pt P2PPoint) float64 {
+	if pt.Messages == 0 {
+		return 0
+	}
+	return float64(pt.MatchProbes) / float64(pt.Messages)
+}
+
+// WriteP2PCSV writes the measurements as one flat table.
+func WriteP2PCSV(w io.Writer, res *P2PResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"kind", "tasks", "bytes", "eager_limit", "protocol", "arrival",
+		"ns_per_op", "mb_per_s", "allocs_per_op",
+		"messages", "direct_deliveries", "pool_hits", "pool_misses",
+		"match_probes", "pool_outstanding",
+	}); err != nil {
+		return err
+	}
+	for _, pt := range res.Points {
+		if err := cw.Write([]string{
+			pt.Kind, strconv.Itoa(pt.Tasks), strconv.Itoa(pt.Bytes),
+			strconv.Itoa(pt.EagerLimit), pt.Protocol, pt.Arrival,
+			fmt.Sprintf("%.1f", pt.NsPerOp), fmt.Sprintf("%.1f", pt.MBPerS),
+			fmt.Sprintf("%.2f", pt.AllocsPerOp),
+			strconv.FormatInt(pt.Messages, 10),
+			strconv.FormatInt(pt.DirectDeliveries, 10),
+			strconv.FormatInt(pt.PoolHits, 10),
+			strconv.FormatInt(pt.PoolMisses, 10),
+			strconv.FormatInt(pt.MatchProbes, 10),
+			strconv.FormatInt(pt.Outstanding, 10),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteP2PJSON writes the full result snapshot (BENCH_p2p.json).
+func WriteP2PJSON(w io.Writer, res *P2PResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// ReadP2PJSON parses a snapshot written by WriteP2PJSON.
+func ReadP2PJSON(r io.Reader) (*P2PResult, error) {
+	var res P2PResult
+	if err := json.NewDecoder(r).Decode(&res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// CompareP2P prints an old/new comparison and returns an error if an
+// acceptance check that held in the baseline fails now. Timing deltas
+// are informational — CI runners are noisy — but check regressions are
+// hard failures.
+func CompareP2P(w io.Writer, base, cur *P2PResult) error {
+	delta := func(old, new float64) string {
+		if old <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+	}
+	fprintf(w, "P2P comparison vs baseline (%s profile)\n", base.Profile)
+	for _, b := range base.Points {
+		for _, c := range cur.Points {
+			if b.Kind == c.Kind && b.Tasks == c.Tasks && b.Bytes == c.Bytes &&
+				b.EagerLimit == c.EagerLimit && b.Arrival == c.Arrival {
+				fprintf(w, "  %-8s %2d tasks %6d B limit %5d %-10s %10.0f -> %10.0f ns/op  %s\n",
+					b.Kind, b.Tasks, b.Bytes, b.EagerLimit, b.Protocol+b.Arrival,
+					b.NsPerOp, c.NsPerOp, delta(b.NsPerOp, c.NsPerOp))
+			}
+		}
+	}
+	var regressed []string
+	for _, chk := range []struct {
+		name      string
+		was, isOK bool
+	}{
+		{"zero_alloc_eager", base.Checks.ZeroAllocEager, cur.Checks.ZeroAllocEager},
+		{"single_copy_posted", base.Checks.SingleCopyPosted, cur.Checks.SingleCopyPosted},
+		{"pool_recycles_unexpected", base.Checks.PoolRecyclesUnexpected, cur.Checks.PoolRecyclesUnexpected},
+		{"match_probes_bounded", base.Checks.MatchProbesBounded, cur.Checks.MatchProbesBounded},
+		{"eager_wins_at_limit", base.Checks.EagerWinsAtLimit, cur.Checks.EagerWinsAtLimit},
+		{"no_leaked_buffers", base.Checks.NoLeakedBuffers, cur.Checks.NoLeakedBuffers},
+	} {
+		if chk.was && !chk.isOK {
+			regressed = append(regressed, chk.name)
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("p2p checks regressed vs baseline: %v", regressed)
+	}
+	fprintf(w, "all baseline checks still hold\n")
+	return nil
+}

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// p2pFixture is a small in-memory result with every check passing.
+func p2pFixture() *P2PResult {
+	res := &P2PResult{
+		Profile:     "quick",
+		EagerLimits: []int{1024, 4096, 32768},
+		Points: []P2PPoint{
+			{Kind: "pingpong", Tasks: 2, Bytes: 512, EagerLimit: 4096, Protocol: "eager",
+				NsPerOp: 1500, AllocsPerOp: 0.01, Messages: 1000, DirectDeliveries: 990, MatchProbes: 1000},
+			{Kind: "pingpong", Tasks: 2, Bytes: 4096, EagerLimit: 4096, Protocol: "eager",
+				NsPerOp: 1700, AllocsPerOp: 0.01, Messages: 1000, DirectDeliveries: 990, MatchProbes: 1000},
+			{Kind: "pingpong", Tasks: 2, Bytes: 4096, EagerLimit: 1024, Protocol: "rendezvous",
+				NsPerOp: 1900, AllocsPerOp: 0.02, Messages: 1000, MatchProbes: 1000},
+			{Kind: "pingpong", Tasks: 2, Bytes: 65536, EagerLimit: 4096, Protocol: "rendezvous",
+				NsPerOp: 5000, AllocsPerOp: 0.04, Messages: 1000, MatchProbes: 1000},
+			{Kind: "arrival", Tasks: 2, Bytes: 512, EagerLimit: 4096, Protocol: "eager",
+				Arrival: "posted", NsPerOp: 1400, Messages: 1600, DirectDeliveries: 800},
+			{Kind: "arrival", Tasks: 2, Bytes: 512, EagerLimit: 4096, Protocol: "eager",
+				Arrival: "unexpected", NsPerOp: 1700, Messages: 1600, PoolHits: 799, PoolMisses: 1},
+			{Kind: "tasks", Tasks: 32, Bytes: 1024, EagerLimit: 4096, Protocol: "eager",
+				NsPerOp: 25000, Messages: 20000, MatchProbes: 20000},
+		},
+	}
+	res.CrossoverBytes = computeP2PCrossover(res)
+	res.Checks = computeP2PChecks(res)
+	return res
+}
+
+func p2pAllChecks(c P2PChecks) bool {
+	return c.ZeroAllocEager && c.SingleCopyPosted && c.PoolRecyclesUnexpected &&
+		c.MatchProbesBounded && c.EagerWinsAtLimit && c.NoLeakedBuffers
+}
+
+func TestP2PChecksAndJSONRoundTrip(t *testing.T) {
+	res := p2pFixture()
+	if !p2pAllChecks(res.Checks) {
+		t.Fatalf("fixture checks = %+v, want all true", res.Checks)
+	}
+	if res.CrossoverBytes != 0 {
+		t.Fatalf("fixture crossover = %d, want none (eager wins at 4096)", res.CrossoverBytes)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteP2PJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadP2PJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(res.Points) {
+		t.Fatalf("round trip lost points: %d/%d", len(back.Points), len(res.Points))
+	}
+	if back.Checks != res.Checks {
+		t.Fatalf("round trip checks = %+v, want %+v", back.Checks, res.Checks)
+	}
+}
+
+func TestP2PCrossoverMeasured(t *testing.T) {
+	res := p2pFixture()
+	// Make rendezvous win at 4 KiB: the crossover must surface there.
+	for i := range res.Points {
+		if res.Points[i].Protocol == "rendezvous" && res.Points[i].Bytes == 4096 {
+			res.Points[i].NsPerOp = 1600
+		}
+	}
+	if got := computeP2PCrossover(res); got != 4096 {
+		t.Fatalf("crossover = %d, want 4096", got)
+	}
+	// EagerWinsAtLimit flips with it.
+	if computeP2PChecks(res).EagerWinsAtLimit {
+		t.Fatal("EagerWinsAtLimit still true with rendezvous faster at 4096")
+	}
+}
+
+func TestCompareP2PFlagsRegressions(t *testing.T) {
+	base := p2pFixture()
+	var out bytes.Buffer
+	if err := CompareP2P(&out, base, p2pFixture()); err != nil {
+		t.Fatalf("identical results compared unequal: %v", err)
+	}
+	if !strings.Contains(out.String(), "all baseline checks still hold") {
+		t.Errorf("missing pass line in:\n%s", out.String())
+	}
+
+	// Leak a pooled buffer: the check regresses and CompareP2P must fail.
+	bad := p2pFixture()
+	bad.Points[5].Outstanding = 3
+	bad.Checks = computeP2PChecks(bad)
+	out.Reset()
+	err := CompareP2P(&out, base, bad)
+	if err == nil || !strings.Contains(err.Error(), "no_leaked_buffers") {
+		t.Fatalf("regressed compare error = %v, want no_leaked_buffers failure", err)
+	}
+}
+
+func TestP2PBaselineSnapshotParses(t *testing.T) {
+	f, err := os.Open("testdata/BENCH_p2p_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	base, err := ReadP2PJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2pAllChecks(base.Checks) {
+		t.Fatalf("committed baseline checks = %+v, want all true", base.Checks)
+	}
+	if got := computeP2PChecks(base); got != base.Checks {
+		t.Fatalf("recomputed checks %+v disagree with stored %+v", got, base.Checks)
+	}
+}
+
+func TestWriteP2PCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteP2PCSV(&buf, p2pFixture()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"kind,tasks,bytes,eager_limit,protocol,arrival",
+		"pingpong,2,4096,1024,rendezvous",
+		"arrival,2,512,4096,eager,unexpected",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("CSV missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunP2PQuickSmoke runs a pinned single-limit quick sweep end to end;
+// the live checks are the datapath's acceptance criteria.
+func TestRunP2PQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick experiment")
+	}
+	res, err := RunP2P(Quick, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Checks
+	if !c.ZeroAllocEager && !raceDetectorOn {
+		t.Error("ZeroAllocEager failed")
+	}
+	for _, chk := range []struct {
+		name string
+		ok   bool
+	}{
+		{"SingleCopyPosted", c.SingleCopyPosted},
+		{"PoolRecyclesUnexpected", c.PoolRecyclesUnexpected},
+		{"MatchProbesBounded", c.MatchProbesBounded},
+		{"NoLeakedBuffers", c.NoLeakedBuffers},
+	} {
+		if !chk.ok {
+			t.Errorf("%s failed", chk.name)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package bench
+
+// raceDetectorOn reports whether the race detector is compiled in.
+const raceDetectorOn = false

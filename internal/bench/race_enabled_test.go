@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceDetectorOn reports whether the race detector is compiled in; the
+// allocation-rate assertions are skipped under it (sync.Pool drops puts
+// deliberately when racing).
+const raceDetectorOn = true

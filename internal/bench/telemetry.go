@@ -190,6 +190,16 @@ func PrintTelemetry(w io.Writer, t *Telemetry) {
 		sumSeries(snap.Counters, "mpi_copies_elided_total"),
 		fmtBytes(sumSeries(snap.Counters, "mpi_copy_bytes_elided_total")),
 		sumSeries(snap.Counters, "mpi_collectives_total"))
+	if gets := sumSeries(snap.Counters, "mpi_eager_pool_hits_total") +
+		sumSeries(snap.Counters, "mpi_eager_pool_misses_total"); gets > 0 {
+		fprintf(w, "mpi eager pool: %d gets (%d hits / %d allocs), %s recycled, %d outstanding; match probes %d\n",
+			gets,
+			sumSeries(snap.Counters, "mpi_eager_pool_hits_total"),
+			sumSeries(snap.Counters, "mpi_eager_pool_misses_total"),
+			fmtBytes(sumSeries(snap.Counters, "mpi_eager_pool_recycled_bytes_total")),
+			sumSeries(snap.Gauges, "mpi_eager_pool_outstanding"),
+			sumSeries(snap.Counters, "mpi_match_probes_total"))
+	}
 
 	// HLS directives: one row per (kind, scope), sorted by total wait so
 	// the most expensive synchronization reads first.

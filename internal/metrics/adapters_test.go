@@ -42,12 +42,35 @@ func TestMPIAdapter(t *testing.T) {
 		t.Errorf("collectives = %d", got)
 	}
 
+	// Eager-buffer pool and matching-engine families (mpi.PoolHooks).
+	a.OnPoolGet(0, 64, false) // allocates
+	a.OnPoolGet(0, 64, true)  // served by the pool
+	a.OnPoolGet(1, 128, true)
+	a.OnPoolPut(0, 64)
+	a.OnMatchProbes(0, 1)
+	a.OnMatchProbes(1, 3)
+	if a.poolHits.Value() != 2 || a.poolMisses.Value() != 1 {
+		t.Errorf("pool hit/miss = %d/%d, want 2/1", a.poolHits.Value(), a.poolMisses.Value())
+	}
+	if got := a.poolRecycled.Value(); got != 64 {
+		t.Errorf("pool recycled bytes = %d, want 64", got)
+	}
+	if got := a.poolOutstanding.Value(); got != 2 {
+		t.Errorf("pool outstanding = %d, want 2 (three gets, one put)", got)
+	}
+	if got := a.matchProbes.Value(); got != 4 {
+		t.Errorf("match probes = %d, want 4", got)
+	}
+
 	// Nil-registry adapter: every method is a no-op.
 	d := NewMPIAdapter(nil)
 	d.OnDeliver(0, d.OnSend(0, 1))
 	d.OnMessage(0, 1, 8, false)
 	d.OnCopyElided(0, 8)
 	d.OnCollective(0)
+	d.OnPoolGet(0, 64, true)
+	d.OnPoolPut(0, 64)
+	d.OnMatchProbes(0, 1)
 }
 
 func TestParseDirectiveKey(t *testing.T) {

@@ -1,10 +1,12 @@
 package metrics
 
-// MPIAdapter implements mpi.Hooks and mpi.MessageHooks (structurally, so
-// this package needs no runtime imports), counting the point-to-point
-// layer's work: sends and deliveries per rank, bytes moved, the
-// eager-vs-rendezvous protocol split, elided intra-node copies (MPC's
-// §V-B3 optimization), and collective starts. Install it with
+// MPIAdapter implements mpi.Hooks, mpi.MessageHooks and mpi.PoolHooks
+// (structurally, so this package needs no runtime imports), counting the
+// point-to-point layer's work: sends and deliveries per rank, bytes
+// moved, the eager-vs-rendezvous protocol split, elided intra-node
+// copies (MPC's §V-B3 optimization), collective starts, the eager-buffer
+// pool's hit/miss/recycle traffic and the matching engine's probe
+// counts. Install it with
 //
 //	mpi.Config{Hooks: metrics.NewMPIAdapter(reg)}
 //
@@ -23,6 +25,12 @@ type MPIAdapter struct {
 	sharedColl  *Counter
 	inFlight    *Gauge
 	msgBytes    *Histogram
+
+	poolHits        *Counter
+	poolMisses      *Counter
+	poolRecycled    *Counter
+	poolOutstanding *Gauge
+	matchProbes     *Counter
 }
 
 // NewMPIAdapter creates the adapter and registers its metric families.
@@ -40,6 +48,12 @@ func NewMPIAdapter(r *Registry) *MPIAdapter {
 		sharedColl:  r.Counter("mpi_shared_collectives_total", "collectives completed on the shared-address-space fast path, per participating task"),
 		inFlight:    r.Gauge("mpi_messages_in_flight", "messages sent but not yet delivered"),
 		msgBytes:    r.Histogram("mpi_message_bytes", "point-to-point message size distribution"),
+
+		poolHits:        r.Counter("mpi_eager_pool_hits_total", "eager-payload acquisitions served by the buffer pool"),
+		poolMisses:      r.Counter("mpi_eager_pool_misses_total", "eager-payload acquisitions that had to allocate"),
+		poolRecycled:    r.Counter("mpi_eager_pool_recycled_bytes_total", "bytes of eager-buffer capacity returned to the pool for reuse"),
+		poolOutstanding: r.Gauge("mpi_eager_pool_outstanding", "pooled eager buffers pinned by in-flight messages"),
+		matchProbes:     r.Counter("mpi_match_probes_total", "matching-queue entries examined by the p2p engine"),
 	}
 }
 
@@ -76,6 +90,27 @@ func (a *MPIAdapter) OnCopyElided(worldDst, bytes int) {
 // OnCollective implements mpi.MessageHooks.
 func (a *MPIAdapter) OnCollective(worldRank int) {
 	a.collectives.Inc(worldRank)
+}
+
+// OnPoolGet implements mpi.PoolHooks.
+func (a *MPIAdapter) OnPoolGet(worldRank, bytes int, hit bool) {
+	if hit {
+		a.poolHits.Inc(worldRank)
+	} else {
+		a.poolMisses.Inc(worldRank)
+	}
+	a.poolOutstanding.Inc(worldRank)
+}
+
+// OnPoolPut implements mpi.PoolHooks.
+func (a *MPIAdapter) OnPoolPut(worldRank, bytes int) {
+	a.poolRecycled.Add(worldRank, int64(bytes))
+	a.poolOutstanding.Dec(worldRank)
+}
+
+// OnMatchProbes implements mpi.PoolHooks.
+func (a *MPIAdapter) OnMatchProbes(worldRank, probes int) {
+	a.matchProbes.Add(worldRank, int64(probes))
 }
 
 // SharedCollectivesOK implements mpi.SharedCollHooks: the adapter only

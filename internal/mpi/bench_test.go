@@ -15,6 +15,7 @@ func BenchmarkPingPong(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.SetBytes(int64(elems * 8 * 2))
+			b.ReportAllocs() // the eager datapath must show 0 allocs/op
 			b.ResetTimer()
 			err = w.Run(func(task *Task) error {
 				buf := make([]float64, elems)

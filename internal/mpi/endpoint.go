@@ -1,9 +1,11 @@
 package mpi
 
 import (
+	"fmt"
 	"reflect"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Status describes a completed receive.
@@ -18,94 +20,33 @@ type Status struct {
 	Bytes int
 }
 
-// Request is the handle of a nonblocking operation.
-type Request struct {
-	done   chan struct{}
-	status Status
-	err    error // non-nil when the operation failed (dead peer, cancel)
-	// recvSide is true for receive requests (their Wait returns a Status
-	// with meaning).
-	recvSide bool
-
-	failOnce sync.Once
-}
-
-func newRequest(recvSide bool) *Request {
-	return &Request{done: make(chan struct{}), recvSide: recvSide}
-}
-
-// Wait blocks until the operation completes and returns its Status (zero
-// for send requests). When the operation failed — its peer rank died, or
-// the world was cancelled — the Status is zero and Err reports the typed
-// failure; the blocking wrappers (Recv, Send, collectives) check it and
-// raise, so only explicit Irecv/Isend users need to consult Err.
-func (r *Request) Wait() Status {
-	<-r.done
-	return r.status
-}
-
-// Err returns the typed failure of a completed request: a *DeadRankError
-// when the peer died, a *CancelledError when the world was cancelled, nil
-// on success. Only valid after Wait or a true Test.
-func (r *Request) Err() error {
-	select {
-	case <-r.done:
-		return r.err
-	default:
-		return nil
-	}
-}
-
-// Test reports whether the operation has completed, without blocking.
-func (r *Request) Test() (Status, bool) {
-	select {
-	case <-r.done:
-		return r.status, true
-	default:
-		return Status{}, false
-	}
-}
-
-func (r *Request) complete(st Status) {
-	r.failOnce.Do(func() {
-		r.status = st
-		close(r.done)
-	})
-}
-
-// fail completes the request with a typed error instead of a status. The
-// failure layer may race a genuine delivery (a message arrives just as
-// its sender is declared dead); whichever comes first wins and the other
-// is dropped.
-func (r *Request) fail(err error) {
-	r.failOnce.Do(func() {
-		r.err = err
-		close(r.done)
-	})
-}
-
-// Waitall waits for every request in the slice and returns their statuses.
-func Waitall(reqs []*Request) []Status {
-	out := make([]Status, len(reqs))
-	for i, r := range reqs {
-		out[i] = r.Wait()
-	}
-	return out
-}
-
-// message is an in-flight point-to-point message.
+// message is an in-flight point-to-point message. Messages are pooled;
+// every field is reset when the message is recycled. The payload is not
+// a typed slice but a byte view plus an element-type token, so the
+// delivery path needs no per-send closure (the former deliver-func
+// captured the typed buffer and allocated on every send).
 type message struct {
 	ctx   int64 // communication context (per communicator, user vs collective)
 	src   int   // sender rank within the communicator
 	tag   int
 	elems int
 	bytes int
+	seq   uint64 // arrival order within the endpoint, set at enqueue
 
-	// deliver copies the payload into dst (a []T of the receiver) and
-	// returns the element count. It panics with *Error on a datatype
-	// mismatch or truncation. recvRank is the receiver's world rank, for
-	// error attribution.
-	deliver func(dst any, recvRank int) int
+	// etype is the element type of the sender's buffer, compared against
+	// the receiver's on delivery (MPI datatype matching).
+	etype reflect.Type
+
+	// sdata is the payload as bytes: a view of the pooled eager buffer
+	// once the message is queued unexpected, or of the sender's own
+	// buffer while the send call is still on the stack (posted-match
+	// delivery, rendezvous).
+	sdata []byte
+	// sptr identifies the sender's buffer for same-address copy elision.
+	sptr unsafe.Pointer
+	// payload is the pooled eager buffer backing sdata (nil while sdata
+	// still views the sender's buffer, and always nil for rendezvous).
+	payload *eagerBuf
 
 	// rendezvous marks a synchronizing send: sreq completes only at
 	// delivery, and the sender's blocking Send waits for it.
@@ -115,11 +56,27 @@ type message struct {
 	meta any // hooks.OnSend payload
 }
 
-// postedRecv is a receive waiting for a matching message.
+var messagePool = sync.Pool{New: func() any { return new(message) }}
+
+func getMessage() *message { return messagePool.Get().(*message) }
+
+func putMessage(m *message) {
+	*m = message{}
+	messagePool.Put(m)
+}
+
+// postedRecv is a receive waiting for a matching message. Pooled, like
+// message, and described in bytes for the same reason.
 type postedRecv struct {
 	ctx      int64
 	src, tag int
-	buf      any
+	seq      uint64 // post order within the endpoint
+
+	etype  reflect.Type
+	rdata  []byte // receiver's buffer as bytes
+	relems int
+	rptr   unsafe.Pointer
+
 	req      *Request
 	recvRank int // world rank of the receiver
 	worldSrc int // world rank of the expected source (-1 for AnySource),
@@ -127,26 +84,153 @@ type postedRecv struct {
 	// communicator lookups.
 }
 
-func (m *message) matches(r *postedRecv) bool {
-	return m.ctx == r.ctx &&
-		(r.src == AnySource || r.src == m.src) &&
-		(r.tag == AnyTag || r.tag == m.tag)
+var postedRecvPool = sync.Pool{New: func() any { return new(postedRecv) }}
+
+func getPostedRecv() *postedRecv { return postedRecvPool.Get().(*postedRecv) }
+
+func putPostedRecv(pr *postedRecv) {
+	*pr = postedRecv{}
+	postedRecvPool.Put(pr)
 }
 
-// endpoint is the per-rank message engine: a posted-receive list and an
-// unexpected-message queue protected by one mutex, with a condition
-// variable for Probe.
+// bytesOf reinterprets a Scalar slice as its underlying bytes. Scalar
+// types carry no pointers, so the view is GC-safe; the view shares the
+// slice's backing array and keeps it alive.
+func bytesOf[T Scalar](buf []T) []byte {
+	if len(buf) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&buf[0])), len(buf)*int(unsafe.Sizeof(buf[0])))
+}
+
+// ptrOf returns the identity of a slice's backing array (nil when empty).
+func ptrOf[T Scalar](buf []T) unsafe.Pointer {
+	if len(buf) == 0 {
+		return nil
+	}
+	return unsafe.Pointer(&buf[0])
+}
+
+// epKey addresses one matching bucket: all traffic of one (communication
+// context, source rank) pair.
+type epKey struct {
+	ctx int64
+	src int
+}
+
+// epBucket holds the posted receives and unexpected messages of one
+// (ctx, src) pair, each a FIFO implemented as a slice with a head index
+// whose backing array is reused once drained. cond is created lazily for
+// probes blocked on this bucket, so an unexpected arrival wakes only the
+// waiters that could match it (plus wildcard waiters) instead of
+// broadcasting to every blocked probe on the endpoint.
+type epBucket struct {
+	recvs []*postedRecv
+	rhead int
+	msgs  []*message
+	mhead int
+
+	cond    *sync.Cond
+	waiters int
+}
+
+func (b *epBucket) pushRecv(pr *postedRecv) {
+	if b.rhead == len(b.recvs) {
+		b.recvs = b.recvs[:0]
+		b.rhead = 0
+	}
+	b.recvs = append(b.recvs, pr)
+}
+
+func (b *epBucket) pushMsg(m *message) {
+	if b.mhead == len(b.msgs) {
+		b.msgs = b.msgs[:0]
+		b.mhead = 0
+	}
+	b.msgs = append(b.msgs, m)
+}
+
+// takeRecv removes and returns the posted receive at index i.
+func (b *epBucket) takeRecv(i int) *postedRecv {
+	pr := b.recvs[i]
+	if i == b.rhead {
+		b.recvs[i] = nil
+		b.rhead++
+	} else {
+		copy(b.recvs[i:], b.recvs[i+1:])
+		b.recvs[len(b.recvs)-1] = nil
+		b.recvs = b.recvs[:len(b.recvs)-1]
+	}
+	return pr
+}
+
+// takeMsg removes and returns the unexpected message at index i.
+func (b *epBucket) takeMsg(i int) *message {
+	m := b.msgs[i]
+	if i == b.mhead {
+		b.msgs[i] = nil
+		b.mhead++
+	} else {
+		copy(b.msgs[i:], b.msgs[i+1:])
+		b.msgs[len(b.msgs)-1] = nil
+		b.msgs = b.msgs[:len(b.msgs)-1]
+	}
+	return m
+}
+
+// prQueue is the wildcard (AnySource) posted-receive FIFO.
+type prQueue struct {
+	items []*postedRecv
+	head  int
+}
+
+func (q *prQueue) push(pr *postedRecv) {
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.items = append(q.items, pr)
+}
+
+func (q *prQueue) take(i int) *postedRecv {
+	pr := q.items[i]
+	if i == q.head {
+		q.items[i] = nil
+		q.head++
+	} else {
+		copy(q.items[i:], q.items[i+1:])
+		q.items[len(q.items)-1] = nil
+		q.items = q.items[:len(q.items)-1]
+	}
+	return pr
+}
+
+// endpoint is the per-rank message engine. Matching state is bucketed by
+// (communication context, source): an incoming message consults exactly
+// one bucket plus the wildcard queue, so the common exact-match case is
+// O(1) instead of a linear scan of every pending operation on the rank.
 type endpoint struct {
 	rank int
 
-	mu         sync.Mutex
-	arrived    *sync.Cond // broadcast whenever unexpected grows
-	recvs      []*postedRecv
-	unexpected []*message
+	mu      sync.Mutex
+	buckets map[epKey]*epBucket
+	wild    prQueue // posted receives with src == AnySource, any context
 
-	// blockedOn holds a human-readable description of what the task is
-	// blocked on, for deadlock diagnostics ("" when running).
-	blockedOn atomic.Value
+	postSeq uint64 // posted-receive sequence, orders bucket vs wildcard
+	arrSeq  uint64 // unexpected-arrival sequence, orders AnySource matches
+
+	// wildCond wakes AnySource probes (and, on failure/cancel, every
+	// probe; the failure paths broadcast the per-bucket conds too).
+	wildCond    *sync.Cond
+	wildWaiters int
+
+	// blocked-state publication for the deadlock watchdog and timeout
+	// diagnostics. blockLabel holds a pre-boxed static string (hot paths
+	// never format); blockPeer/blockTag carry the p2p operands, rendered
+	// off the critical path. blockPeer == blockNone means no operands.
+	blockLabel atomic.Value
+	blockPeer  atomic.Int64
+	blockTag   atomic.Int64
 
 	// progress counts blocking-state transitions; the deadlock watchdog
 	// samples the world-wide sum to distinguish a stall from slow
@@ -157,13 +241,265 @@ type endpoint struct {
 	unexpectedBytes     int
 	peakUnexpectedBytes int
 	recvCount           int64
+	matchProbes         int64
 }
 
+const blockNone = int64(-1 << 62)
+
 func newEndpoint(rank int) *endpoint {
-	ep := &endpoint{rank: rank}
-	ep.arrived = sync.NewCond(&ep.mu)
-	ep.blockedOn.Store("")
+	ep := &endpoint{rank: rank, buckets: make(map[epKey]*epBucket)}
+	ep.wildCond = sync.NewCond(&ep.mu)
+	ep.blockLabel.Store("")
+	ep.blockPeer.Store(blockNone)
 	return ep
+}
+
+// blockedDesc renders the endpoint's published blocking state. Runs only
+// on diagnostic paths (watchdog, timeout).
+func (ep *endpoint) blockedDesc() string {
+	label, _ := ep.blockLabel.Load().(string)
+	if label == "" {
+		return ""
+	}
+	peer := ep.blockPeer.Load()
+	if peer == blockNone {
+		return label
+	}
+	tag := ep.blockTag.Load()
+	switch label {
+	case "Send":
+		return fmt.Sprintf("Send(dst=%d, tag=%d) rendezvous", peer, tag)
+	default:
+		return fmt.Sprintf("%s(src=%d, tag=%d)", label, peer, tag)
+	}
+}
+
+// bucket returns (creating on first use) the bucket for key.
+func (ep *endpoint) bucket(key epKey) *epBucket {
+	b := ep.buckets[key]
+	if b == nil {
+		b = &epBucket{}
+		ep.buckets[key] = b
+	}
+	return b
+}
+
+// matchRecvLocked finds, removes and returns the earliest-posted receive
+// matching an incoming (ctx, src, tag) message, merging the (ctx, src)
+// bucket with the wildcard queue by post sequence — the MPI rule that a
+// message matches the first receive, in post order, whose source and tag
+// patterns accept it. Returns nil if no posted receive matches. Caller
+// holds ep.mu.
+func (ep *endpoint) matchRecvLocked(ctx int64, src, tag int) (*postedRecv, int) {
+	probes := 0
+	b := ep.buckets[epKey{ctx, src}]
+	bIdx := -1
+	if b != nil {
+		for i := b.rhead; i < len(b.recvs); i++ {
+			probes++
+			pr := b.recvs[i]
+			if pr.tag == AnyTag || pr.tag == tag {
+				bIdx = i
+				break
+			}
+		}
+	}
+	wIdx := -1
+	for i := ep.wild.head; i < len(ep.wild.items); i++ {
+		pr := ep.wild.items[i]
+		if pr.ctx != ctx {
+			continue
+		}
+		probes++
+		if pr.tag == AnyTag || pr.tag == tag {
+			wIdx = i
+			break
+		}
+	}
+	ep.matchProbes += int64(probes)
+	switch {
+	case bIdx < 0 && wIdx < 0:
+		return nil, probes
+	case wIdx < 0 || (bIdx >= 0 && b.recvs[bIdx].seq < ep.wild.items[wIdx].seq):
+		ep.recvCount++
+		return b.takeRecv(bIdx), probes
+	default:
+		ep.recvCount++
+		return ep.wild.take(wIdx), probes
+	}
+}
+
+// matchUnexpectedLocked finds, removes and returns the earliest-arrived
+// unexpected message matching a newly posted receive: the (ctx, src)
+// bucket for a specific source, or the minimum arrival sequence across
+// the context's buckets for AnySource. Caller holds ep.mu.
+func (ep *endpoint) matchUnexpectedLocked(ctx int64, src, tag int) (*message, int) {
+	probes := 0
+	defer func() { ep.matchProbes += int64(probes) }()
+	if src != AnySource {
+		b := ep.buckets[epKey{ctx, src}]
+		if b == nil {
+			return nil, probes
+		}
+		for i := b.mhead; i < len(b.msgs); i++ {
+			probes++
+			m := b.msgs[i]
+			if tag == AnyTag || tag == m.tag {
+				ep.dequeuedUnexpected(m)
+				return b.takeMsg(i), probes
+			}
+		}
+		return nil, probes
+	}
+	// AnySource: the earliest matching arrival across every bucket of
+	// this context. Buckets exist only for (ctx, src) pairs that have
+	// seen traffic, so the scan is over active sources, not world size.
+	var bestB *epBucket
+	bestI := -1
+	var bestSeq uint64
+	for key, b := range ep.buckets {
+		if key.ctx != ctx {
+			continue
+		}
+		for i := b.mhead; i < len(b.msgs); i++ {
+			probes++
+			m := b.msgs[i]
+			if tag == AnyTag || tag == m.tag {
+				if bestI < 0 || m.seq < bestSeq {
+					bestB, bestI, bestSeq = b, i, m.seq
+				}
+				break // later entries of this bucket arrived later
+			}
+		}
+	}
+	if bestI < 0 {
+		return nil, probes
+	}
+	m := bestB.msgs[bestI]
+	ep.dequeuedUnexpected(m)
+	return bestB.takeMsg(bestI), probes
+}
+
+// findUnexpectedLocked is matchUnexpectedLocked without removal: the
+// Probe path, returning the Status of the earliest matching unexpected
+// message. Caller holds ep.mu.
+func (ep *endpoint) findUnexpectedLocked(ctx int64, src, tag int) (Status, bool) {
+	probes := 0
+	defer func() { ep.matchProbes += int64(probes) }()
+	status := func(m *message) Status {
+		return Status{Source: m.src, Tag: m.tag, Count: m.elems, Bytes: m.bytes}
+	}
+	if src != AnySource {
+		b := ep.buckets[epKey{ctx, src}]
+		if b == nil {
+			return Status{}, false
+		}
+		for i := b.mhead; i < len(b.msgs); i++ {
+			probes++
+			m := b.msgs[i]
+			if tag == AnyTag || tag == m.tag {
+				return status(m), true
+			}
+		}
+		return Status{}, false
+	}
+	var best *message
+	for key, b := range ep.buckets {
+		if key.ctx != ctx {
+			continue
+		}
+		for i := b.mhead; i < len(b.msgs); i++ {
+			probes++
+			m := b.msgs[i]
+			if tag == AnyTag || tag == m.tag {
+				if best == nil || m.seq < best.seq {
+					best = m
+				}
+				break
+			}
+		}
+	}
+	if best == nil {
+		return Status{}, false
+	}
+	return status(best), true
+}
+
+// eachUnexpectedLocked visits every queued unexpected message — the
+// failure layer's scan for parked rendezvous senders. Caller holds ep.mu.
+func (ep *endpoint) eachUnexpectedLocked(f func(*message)) {
+	for _, b := range ep.buckets {
+		for i := b.mhead; i < len(b.msgs); i++ {
+			f(b.msgs[i])
+		}
+	}
+}
+
+// failRecvsLocked removes and fails every posted receive for which sel
+// returns a non-nil error, across all buckets and the wildcard queue.
+// Caller holds ep.mu.
+func (ep *endpoint) failRecvsLocked(sel func(*postedRecv) error) {
+	for _, b := range ep.buckets {
+		kept := b.recvs[:0]
+		for i := b.rhead; i < len(b.recvs); i++ {
+			pr := b.recvs[i]
+			if err := sel(pr); err != nil {
+				pr.req.fail(err)
+				putPostedRecv(pr)
+			} else {
+				kept = append(kept, pr)
+			}
+		}
+		b.recvs = kept
+		b.rhead = 0
+	}
+	kept := ep.wild.items[:0]
+	for i := ep.wild.head; i < len(ep.wild.items); i++ {
+		pr := ep.wild.items[i]
+		if err := sel(pr); err != nil {
+			pr.req.fail(err)
+			putPostedRecv(pr)
+		} else {
+			kept = append(kept, pr)
+		}
+	}
+	ep.wild.items = kept
+	ep.wild.head = 0
+}
+
+// enqueueUnexpected queues msg (whose payload must already be stable —
+// pooled or rendezvous-pinned) and wakes matching probes. Caller holds
+// ep.mu; the bucket is passed in from the failed match.
+func (ep *endpoint) enqueueUnexpected(b *epBucket, msg *message) {
+	ep.arrSeq++
+	msg.seq = ep.arrSeq
+	b.pushMsg(msg)
+	ep.unexpectedBytes += msg.bytes
+	if ep.unexpectedBytes > ep.peakUnexpectedBytes {
+		ep.peakUnexpectedBytes = ep.unexpectedBytes
+	}
+	if b.waiters > 0 {
+		b.cond.Broadcast()
+	}
+	if ep.wildWaiters > 0 {
+		ep.wildCond.Broadcast()
+	}
+}
+
+func (ep *endpoint) dequeuedUnexpected(m *message) {
+	ep.unexpectedBytes -= m.bytes
+	ep.recvCount++
+}
+
+// wakeAllLocked wakes every blocked probe — the failure layer's path, so
+// they re-check the dead/cancelled flags. Caller holds ep.mu.
+func (ep *endpoint) wakeAllLocked() {
+	ep.wildCond.Broadcast()
+	for _, b := range ep.buckets {
+		if b.waiters > 0 {
+			b.cond.Broadcast()
+		}
+	}
 }
 
 type worldStats struct {
@@ -171,6 +507,7 @@ type worldStats struct {
 	bytes             atomic.Int64
 	rendezvous        atomic.Int64
 	sameAddrSkips     atomic.Int64
+	directDeliveries  atomic.Int64
 	collectives       atomic.Int64
 	sharedCollectives atomic.Int64
 }
@@ -183,6 +520,11 @@ type Stats struct {
 	SameAddrSkips int64 // deliveries elided because src and dst buffers were identical
 	Collectives   int64 // collective operations started (per task)
 
+	// DirectDeliveries counts eager messages that found their receive
+	// already posted and were copied sender-buffer → receiver-buffer in
+	// one step, skipping the intermediate pooled payload entirely.
+	DirectDeliveries int64
+
 	// SharedCollectives counts collectives completed (per task) on the
 	// shared-address-space fast path, i.e. without point-to-point
 	// messages. Zero when the world runs with CollChannels or hooks that
@@ -191,38 +533,69 @@ type Stats struct {
 
 	// PeakUnexpectedBytes is the maximum, over ranks, of bytes buffered in
 	// an unexpected-message queue at any time: the runtime's eager-buffer
-	// watermark, used by the memory models.
+	// watermark, used by the memory models. It counts message payload
+	// bytes, not the (power-of-two-rounded) pooled capacity behind them.
 	PeakUnexpectedBytes int
+
+	// MatchProbes is the total number of queue entries examined by the
+	// matching engine, across message injections and receive postings.
+	// With bucketed matching it stays close to the message count (one
+	// probe per exact match); the linear scans it replaced grew with the
+	// number of pending operations.
+	MatchProbes int64
+
+	// EagerPoolHits / EagerPoolMisses / EagerPoolRecycledBytes /
+	// EagerPoolOutstanding describe the eager-payload pool: acquisitions
+	// served from the pool, acquisitions that allocated, bytes of
+	// capacity returned for reuse, and buffers currently pinned by
+	// in-flight messages (zero once every message has been consumed).
+	EagerPoolHits          int64
+	EagerPoolMisses        int64
+	EagerPoolRecycledBytes int64
+	EagerPoolOutstanding   int64
 }
 
 // Stats returns a snapshot of the world's communication statistics.
 func (w *World) Stats() Stats {
 	s := Stats{
-		Messages:      w.stats.messages.Load(),
-		Bytes:         w.stats.bytes.Load(),
-		Rendezvous:    w.stats.rendezvous.Load(),
-		SameAddrSkips: w.stats.sameAddrSkips.Load(),
-		Collectives:   w.stats.collectives.Load(),
+		Messages:         w.stats.messages.Load(),
+		Bytes:            w.stats.bytes.Load(),
+		Rendezvous:       w.stats.rendezvous.Load(),
+		SameAddrSkips:    w.stats.sameAddrSkips.Load(),
+		DirectDeliveries: w.stats.directDeliveries.Load(),
+		Collectives:      w.stats.collectives.Load(),
 
 		SharedCollectives: w.stats.sharedCollectives.Load(),
+
+		EagerPoolHits:          w.pool.hits.Load(),
+		EagerPoolMisses:        w.pool.misses.Load(),
+		EagerPoolRecycledBytes: w.pool.recycled.Load(),
+		EagerPoolOutstanding:   w.pool.outstanding(),
 	}
 	for _, ep := range w.eps {
 		ep.mu.Lock()
 		if ep.peakUnexpectedBytes > s.PeakUnexpectedBytes {
 			s.PeakUnexpectedBytes = ep.peakUnexpectedBytes
 		}
+		s.MatchProbes += ep.matchProbes
 		ep.mu.Unlock()
 	}
 	return s
 }
 
 // inject delivers msg to the endpoint of world rank dstWorld: either it
-// matches an already-posted receive (delivery happens on the sender's
-// goroutine) or it is queued as unexpected. It reports false — without
+// matches an already-posted receive — then the payload moves straight
+// from the sender's buffer into the receiver's, the single-copy fast
+// path — or it is copied once into a pooled eager buffer and queued as
+// unexpected (rendezvous messages queue without a payload; the sender's
+// buffer is pinned until delivery). It reports false — without
 // delivering — when the destination rank is dead, so the sender can fail
 // fast; the check is made under ep.mu, which orders it against the
 // failure layer's scan of the same endpoint.
-func (w *World) inject(msg *message, dstWorld int) bool {
+//
+// inject must run on the sending task's goroutine, while msg.sdata still
+// views the sender's live buffer.
+func (w *World) inject(msg *message, srcWorld, dstWorld int) bool {
 	ep := w.eps[dstWorld]
 
 	ep.mu.Lock()
@@ -232,33 +605,56 @@ func (w *World) inject(msg *message, dstWorld int) bool {
 	}
 	w.stats.messages.Add(1)
 	w.stats.bytes.Add(int64(msg.bytes))
-	for i, pr := range ep.recvs {
-		if msg.matches(pr) {
-			ep.recvs = append(ep.recvs[:i], ep.recvs[i+1:]...)
-			ep.recvCount++
-			ep.mu.Unlock()
-			w.deliverTo(msg, pr)
-			return true
+	pr, probes := ep.matchRecvLocked(msg.ctx, msg.src, msg.tag)
+	if pr != nil {
+		ep.mu.Unlock()
+		probeHook(w, dstWorld, probes)
+		if msg.payload == nil && !msg.rendezvous && msg.bytes > 0 {
+			// The intermediate eager copy never happened: count the
+			// elision the same way the same-address skip is counted.
+			w.stats.directDeliveries.Add(1)
+			if w.msgHooks != nil {
+				w.msgHooks.OnCopyElided(dstWorld, msg.bytes)
+			}
 		}
+		w.deliverTo(msg, pr)
+		return true
 	}
-	ep.unexpected = append(ep.unexpected, msg)
-	ep.unexpectedBytes += msg.bytes
-	if ep.unexpectedBytes > ep.peakUnexpectedBytes {
-		ep.peakUnexpectedBytes = ep.unexpectedBytes
+	b := ep.bucket(epKey{msg.ctx, msg.src})
+	if !msg.rendezvous && msg.payload == nil && msg.bytes > 0 {
+		// No receive posted: the payload must outlive the send call.
+		// Copy it (once) into a pooled buffer. The copy runs under ep.mu,
+		// which keeps enqueue order equal to send order; it is bounded by
+		// EagerLimit.
+		msg.payload = w.pool.get(srcWorld, msg.bytes)
+		copy(msg.payload.data, msg.sdata)
+		msg.sdata = msg.payload.data[:msg.bytes]
 	}
-	ep.arrived.Broadcast()
+	ep.enqueueUnexpected(b, msg)
 	ep.mu.Unlock()
+	probeHook(w, dstWorld, probes)
 	return true
 }
 
+// probeHook forwards a match-probe count to the PoolHooks extension; the
+// exact totals also live in ep.matchProbes (updated under the lock), the
+// hook adds rank attribution. Split out so the no-hooks fast path is a
+// nil check.
+func probeHook(w *World, rank, probes int) {
+	if w.poolHooks != nil {
+		w.poolHooks.OnMatchProbes(rank, probes)
+	}
+}
+
 // deliverTo copies the payload into the posted receive's buffer, completes
-// the receive request (and the sender's rendezvous request), and fires the
+// the receive request (and the sender's rendezvous request), releases the
+// pooled payload, recycles the message and posted receive, and fires the
 // delivery hook.
 //
 // Delivery can run on either side's goroutine: the receiver's when an
 // unexpected message is matched at post time, the sender's when inject
 // finds an already-posted receive. A payload error (truncation, datatype
-// mismatch) is the *receiver's* error, and by the time deliver runs the
+// mismatch) is the *receiver's* error, and by the time deliverTo runs the
 // posted receive has been removed from the endpoint — if the error
 // escaped here on the sender's goroutine, the receiver's request would be
 // orphaned (invisible to the failure cascade, never completed) and the
@@ -267,63 +663,63 @@ func (w *World) inject(msg *message, dstWorld int) bool {
 // sender's rendezvous handshake still completes (the payload left the
 // sender correctly — the mismatch is on the receiving side).
 func (w *World) deliverTo(msg *message, pr *postedRecv) {
-	n, err := func() (n int, err error) {
-		defer func() {
-			if r := recover(); r != nil {
-				e, ok := r.(*Error)
-				if !ok {
-					panic(r)
-				}
-				err = e
-			}
-		}()
-		return msg.deliver(pr.buf, pr.recvRank), nil
-	}()
+	var err error
+	switch {
+	case msg.etype != pr.etype:
+		err = &Error{Rank: pr.recvRank, Op: "Recv",
+			Msg: fmt.Sprintf("datatype mismatch: receive buffer is []%v, message holds []%v", pr.etype, msg.etype)}
+	case msg.elems > pr.relems:
+		err = &Error{Rank: pr.recvRank, Op: "Recv",
+			Msg: fmt.Sprintf("message truncated: %d elements into buffer of %d", msg.elems, pr.relems)}
+	case msg.sptr != nil && msg.sptr == pr.rptr:
+		// Send and receive buffers are the same memory: skip the copy.
+		// This is MPC's intra-node optimization that removes Tachyon's
+		// rank-0 image copies once the image is an HLS variable.
+		w.stats.sameAddrSkips.Add(1)
+		if w.msgHooks != nil {
+			w.msgHooks.OnCopyElided(pr.recvRank, msg.bytes)
+		}
+	default:
+		copy(pr.rdata, msg.sdata)
+	}
 	if msg.rendezvous && msg.sreq != nil {
 		msg.sreq.complete(Status{})
 	}
+	if msg.payload != nil {
+		w.pool.release(pr.recvRank, msg.payload)
+	}
 	if err != nil {
 		pr.req.fail(err)
-		return
+	} else {
+		if w.cfg.Hooks != nil {
+			w.cfg.Hooks.OnDeliver(pr.recvRank, msg.meta)
+		}
+		pr.req.complete(Status{Source: msg.src, Tag: msg.tag, Count: msg.elems, Bytes: msg.bytes})
 	}
-	if w.cfg.Hooks != nil {
-		w.cfg.Hooks.OnDeliver(pr.recvRank, msg.meta)
-	}
-	pr.req.complete(Status{Source: msg.src, Tag: msg.tag, Count: n, Bytes: msg.bytes})
+	putMessage(msg)
+	putPostedRecv(pr)
 }
 
-// matchUnexpected scans the endpoint's unexpected queue (in arrival order)
-// for the first message matching pr, removing and returning it. The caller
-// must hold ep.mu.
-func (ep *endpoint) matchUnexpected(pr *postedRecv) *message {
-	for i, msg := range ep.unexpected {
-		if msg.matches(pr) {
-			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
-			ep.unexpectedBytes -= msg.bytes
-			ep.recvCount++
-			return msg
+// drainEndpoints releases the payloads of every message still queued
+// when the world winds down (undelivered chaos duplicates, messages to
+// ranks that died, traffic abandoned by a cancel), so pool accounting
+// balances after Run returns. Called once, after every task finished.
+func (w *World) drainEndpoints() {
+	for _, ep := range w.eps {
+		ep.mu.Lock()
+		for _, b := range ep.buckets {
+			for i := b.mhead; i < len(b.msgs); i++ {
+				m := b.msgs[i]
+				ep.unexpectedBytes -= m.bytes
+				if m.payload != nil {
+					w.pool.release(ep.rank, m.payload)
+				}
+				putMessage(m)
+				b.msgs[i] = nil
+			}
+			b.msgs = b.msgs[:0]
+			b.mhead = 0
 		}
+		ep.mu.Unlock()
 	}
-	return nil
-}
-
-// Waitany blocks until at least one request completes and returns its
-// index and status. Completed requests keep reporting done; callers
-// typically remove the returned index before waiting again.
-func Waitany(reqs []*Request) (int, Status) {
-	if len(reqs) == 0 {
-		panic("mpi: Waitany on an empty request list")
-	}
-	// Fast path: anything already done?
-	for i, r := range reqs {
-		if st, ok := r.Test(); ok {
-			return i, st
-		}
-	}
-	cases := make([]reflect.SelectCase, len(reqs))
-	for i, r := range reqs {
-		cases[i] = reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(r.done)}
-	}
-	chosen, _, _ := reflect.Select(cases)
-	return chosen, reqs[chosen].status
 }

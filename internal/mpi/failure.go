@@ -115,11 +115,11 @@ func (w *World) rankFailed(r int, cause error) {
 	// by ep.mu).
 	epDead := w.eps[r]
 	epDead.mu.Lock()
-	for _, msg := range epDead.unexpected {
+	epDead.eachUnexpectedLocked(func(msg *message) {
 		if msg.rendezvous && msg.sreq != nil {
 			msg.sreq.fail(&DeadRankError{Rank: -1, Op: "Send", Dead: r})
 		}
-	}
+	})
 	epDead.mu.Unlock()
 
 	// Fail every pending receive that names r as its source, and wake the
@@ -129,16 +129,13 @@ func (w *World) rankFailed(r int, cause error) {
 			continue
 		}
 		ep.mu.Lock()
-		kept := ep.recvs[:0]
-		for _, pr := range ep.recvs {
-			if pr.worldSrc == r {
-				pr.req.fail(&DeadRankError{Rank: pr.recvRank, Op: "Recv", Dead: r})
-			} else {
-				kept = append(kept, pr)
+		ep.failRecvsLocked(func(pr *postedRecv) error {
+			if pr.worldSrc != r {
+				return nil
 			}
-		}
-		ep.recvs = kept
-		ep.arrived.Broadcast()
+			return &DeadRankError{Rank: pr.recvRank, Op: "Recv", Dead: r}
+		})
+		ep.wakeAllLocked()
 		ep.mu.Unlock()
 	}
 
@@ -166,16 +163,15 @@ func (w *World) cancel(cause error) {
 
 	for _, ep := range w.eps {
 		ep.mu.Lock()
-		for _, pr := range ep.recvs {
-			pr.req.fail(&CancelledError{Rank: pr.recvRank, Op: "Recv", Cause: cause})
-		}
-		ep.recvs = nil
-		for _, msg := range ep.unexpected {
+		ep.failRecvsLocked(func(pr *postedRecv) error {
+			return &CancelledError{Rank: pr.recvRank, Op: "Recv", Cause: cause}
+		})
+		ep.eachUnexpectedLocked(func(msg *message) {
 			if msg.rendezvous && msg.sreq != nil {
 				msg.sreq.fail(&CancelledError{Rank: -1, Op: "Send", Cause: cause})
 			}
-		}
-		ep.arrived.Broadcast()
+		})
+		ep.wakeAllLocked()
 		ep.mu.Unlock()
 	}
 
@@ -228,10 +224,7 @@ func (t *Task) checkPeer(op string, worldPeer int) {
 func (w *World) taskStates() []TaskState {
 	out := make([]TaskState, len(w.eps))
 	for r, ep := range w.eps {
-		st := ""
-		if v := ep.blockedOn.Load(); v != nil {
-			st = v.(string)
-		}
+		st := ep.blockedDesc()
 		out[r] = TaskState{
 			Rank:      r,
 			BlockedOn: st,

@@ -170,11 +170,16 @@ type World struct {
 	ctxCounter atomic.Int64
 	commID     atomic.Int64
 
-	// msgHooks / faultHooks are cfg.Hooks when it also implements the
-	// MessageHooks / FaultHooks extensions, resolved once so hot paths
-	// pay one nil check, not an interface assertion per message.
+	// msgHooks / faultHooks / poolHooks are cfg.Hooks when it also
+	// implements the MessageHooks / FaultHooks / PoolHooks extensions,
+	// resolved once so hot paths pay one nil check, not an interface
+	// assertion per message.
 	msgHooks   MessageHooks
 	faultHooks FaultHooks
+	poolHooks  PoolHooks
+
+	// pool recycles eager payload buffers across sends (see pool.go).
+	pool *bufPool
 
 	// shmOn selects the shared-address-space collective fast path,
 	// resolved once from cfg.Collectives and the installed hooks (see
@@ -272,6 +277,11 @@ func NewWorld(cfg Config) (*World, error) {
 	if fh, ok := cfg.Hooks.(FaultHooks); ok {
 		w.faultHooks = fh
 	}
+	if ph, ok := cfg.Hooks.(PoolHooks); ok {
+		w.poolHooks = ph
+	}
+	w.pool = newBufPool(cfg.NumTasks, cfg.EagerLimit)
+	w.pool.hooks = w.poolHooks
 	if sh, ok := cfg.Hooks.(SharedCollHooks); ok && sh.SharedCollectivesOK() {
 		w.shmHooks = sh
 	}
@@ -391,6 +401,10 @@ func (w *World) Run(fn func(*Task) error) error {
 	} else {
 		<-done
 	}
+	// Every task finished: release the payloads of messages nobody will
+	// ever receive (chaos duplicates, traffic to dead ranks), so the
+	// pool's outstanding count balances to zero.
+	w.drainEndpoints()
 	if c := w.Cancelled(); c != nil && abort == nil {
 		abort = c // e.g. the watchdog's DeadlockError
 	}

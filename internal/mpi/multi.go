@@ -25,12 +25,16 @@ func MultiHooks(hooks ...Hooks) Hooks {
 	}
 	m := &multiHooks{hooks: hs, shmOK: true}
 	var faults []FaultHooks
+	var pools poolFan
 	for _, h := range hs {
 		if mh, ok := h.(MessageHooks); ok {
 			m.msg = append(m.msg, mh)
 		}
 		if fh, ok := h.(FaultHooks); ok {
 			faults = append(faults, fh)
+		}
+		if ph, ok := h.(PoolHooks); ok {
+			pools = append(pools, ph)
 		}
 		// The composition allows the shared-collective fast path only if
 		// every member does: one message-watching member (the hb tracker)
@@ -41,12 +45,54 @@ func MultiHooks(hooks ...Hooks) Hooks {
 			m.shmOK = false
 		}
 	}
-	if len(faults) > 0 {
-		// Only the wrapper type asserts FaultHooks, so a composition with
-		// no fault-injecting member keeps the nil faultHooks fast path.
+	// Only the wrapper types assert FaultHooks / PoolHooks, so a
+	// composition with no fault-injecting (or pool-watching) member keeps
+	// the corresponding nil fast path in the world.
+	switch {
+	case len(faults) > 0 && len(pools) > 0:
+		return &multiFaultPoolHooks{
+			multiFaultHooks: multiFaultHooks{multiHooks: m, faults: faults},
+			poolFan:         pools,
+		}
+	case len(faults) > 0:
 		return &multiFaultHooks{multiHooks: m, faults: faults}
+	case len(pools) > 0:
+		return &multiPoolHooks{multiHooks: m, poolFan: pools}
 	}
 	return m
+}
+
+// poolFan fans the PoolHooks events out to every pool-watching member.
+type poolFan []PoolHooks
+
+func (p poolFan) OnPoolGet(worldRank, bytes int, hit bool) {
+	for _, h := range p {
+		h.OnPoolGet(worldRank, bytes, hit)
+	}
+}
+
+func (p poolFan) OnPoolPut(worldRank, bytes int) {
+	for _, h := range p {
+		h.OnPoolPut(worldRank, bytes)
+	}
+}
+
+func (p poolFan) OnMatchProbes(worldRank, probes int) {
+	for _, h := range p {
+		h.OnMatchProbes(worldRank, probes)
+	}
+}
+
+// multiPoolHooks extends multiHooks with PoolHooks fan-out.
+type multiPoolHooks struct {
+	*multiHooks
+	poolFan
+}
+
+// multiFaultPoolHooks combines both extensions.
+type multiFaultPoolHooks struct {
+	multiFaultHooks
+	poolFan
 }
 
 // multiFaultHooks extends multiHooks with FaultP2P fan-out. Members'

@@ -75,6 +75,10 @@ func TestMultiHooksFanOut(t *testing.T) {
 				Send(task, nil, shared, 1, 2)            // same buffer on both sides
 			} else {
 				buf := make([]int, 4)
+				// Probe first so the eager message is queued unexpected before
+				// the receive posts: a pre-posted receive would be delivered
+				// directly and fire a second, timing-dependent elision event.
+				Probe(task, nil, 0, 0)
 				Recv(task, nil, buf[:1], 0, 0)
 				Recv(task, nil, buf, 0, 1)
 				Recv(task, nil, shared, 0, 2) // same backing array: copy elided

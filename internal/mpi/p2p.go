@@ -1,8 +1,8 @@
 package mpi
 
 import (
-	"fmt"
 	"reflect"
+	"sync"
 	"time"
 )
 
@@ -19,6 +19,19 @@ func elemSize[T any]() int {
 	return int(reflect.TypeOf((*T)(nil)).Elem().Size())
 }
 
+// Pre-boxed blocking-state labels: the hot paths publish these via
+// blockOnP2P, which stores an already-boxed any plus two atomic ints, so
+// entering a blocking wait performs no allocation. The full diagnostic
+// string ("Recv(src=1, tag=0)") is rendered by endpoint.blockedDesc only
+// on the watchdog/timeout path.
+var (
+	labelRecv         any = "Recv"
+	labelProbe        any = "Probe"
+	labelSend         any = "Send"
+	labelSendrecvRecv any = "Sendrecv recv"
+	labelEmpty        any = ""
+)
+
 // Send sends buf to rank dst of comm with the given tag. Messages at most
 // EagerLimit bytes are buffered and Send returns immediately; larger
 // messages use the rendezvous protocol and Send blocks until the receiver
@@ -27,10 +40,11 @@ func Send[T Scalar](t *Task, comm *Comm, buf []T, dst, tag int) {
 	comm = t.commOrWorld(comm)
 	req := isend(t, comm, comm.ctxUser, buf, dst, tag, "Send")
 	if req != nil {
-		t.blockOn(fmt.Sprintf("Send(dst=%d, tag=%d) rendezvous", dst, tag))
+		t.blockOnP2P(labelSend, dst, tag)
 		req.Wait()
 		t.unblock()
 		t.checkReq("Send", req)
+		putRequest(req)
 	}
 }
 
@@ -67,57 +81,35 @@ func isend[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dst, tag int, op s
 	t.checkPeer(op, worldDst)
 	bytes := len(buf) * elemSize[T]()
 
-	msg := &message{
-		ctx:   ctx,
-		src:   myCommRank,
-		tag:   tag,
-		elems: len(buf),
-		bytes: bytes,
-	}
+	msg := getMessage()
+	msg.ctx = ctx
+	msg.src = myCommRank
+	msg.tag = tag
+	msg.elems = len(buf)
+	msg.bytes = bytes
+	msg.etype = reflect.TypeFor[T]()
+	// No payload copy here: sdata views the caller's buffer, which stays
+	// live for the duration of this call. inject either copies it straight
+	// into a posted receive (single copy) or, unmatched, into a pooled
+	// eager buffer — so by the time isend returns, an eager message no
+	// longer references the caller's memory.
+	msg.sdata = bytesOf(buf)
+	msg.sptr = ptrOf(buf)
 	if w.cfg.Hooks != nil {
 		msg.meta = w.cfg.Hooks.OnSend(t.rank, worldDst)
 	}
 
-	var origPtr *T
-	if len(buf) > 0 {
-		origPtr = &buf[0]
-	}
-	var src []T
 	var sreq *Request
 	if bytes > w.cfg.EagerLimit {
-		// Rendezvous: keep a reference; the sender's request completes at
-		// delivery time.
+		// Rendezvous: the message keeps viewing the sender's buffer; the
+		// sender's request completes at delivery time and Send blocks on it.
 		msg.rendezvous = true
 		sreq = newRequest(false)
 		msg.sreq = sreq
-		src = buf
 		w.stats.rendezvous.Add(1)
-	} else {
-		src = append([]T(nil), buf...)
 	}
 	if w.msgHooks != nil {
 		w.msgHooks.OnMessage(t.rank, worldDst, bytes, msg.rendezvous)
-	}
-	msg.deliver = func(dst any, recvRank int) int {
-		d, ok := dst.([]T)
-		if !ok {
-			raise(recvRank, "Recv", "datatype mismatch: receive buffer is %T, message holds %T", dst, src)
-		}
-		if len(d) < len(src) {
-			raise(recvRank, "Recv", "message truncated: %d elements into buffer of %d", len(src), len(d))
-		}
-		if len(src) > 0 && len(d) > 0 && origPtr == &d[0] {
-			// Send and receive buffers are the same memory: skip the copy.
-			// This is MPC's intra-node optimization that removes Tachyon's
-			// rank-0 image copies once the image is an HLS variable.
-			w.stats.sameAddrSkips.Add(1)
-			if w.msgHooks != nil {
-				w.msgHooks.OnCopyElided(recvRank, bytes)
-			}
-		} else {
-			copy(d, src)
-		}
-		return len(src)
 	}
 	if w.faultHooks != nil {
 		act := w.faultHooks.FaultP2P(t.rank, worldDst, bytes, msg.rendezvous)
@@ -133,18 +125,46 @@ func isend[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dst, tag int, op s
 			if sreq != nil {
 				sreq.complete(Status{})
 			}
+			putMessage(msg)
 			return sreq
 		}
-		if act.Duplicate {
-			dup := *msg
+		if act.Duplicate && bytes > 0 {
+			dup := getMessage()
+			*dup = *msg
 			dup.rendezvous = false // only the original completes the send
 			dup.sreq = nil
-			if !w.inject(&dup, worldDst) {
+			dup.meta = nil
+			// The duplicate can outlive this call (it may sit unexpected
+			// after the original was consumed), so it cannot view the
+			// caller's buffer: give it a pooled payload now. For an eager
+			// original, pin the same buffer under both messages — the
+			// refcount holds it until the last copy is consumed.
+			dup.payload = w.pool.get(t.rank, bytes)
+			copy(dup.payload.data, msg.sdata)
+			dup.sdata = dup.payload.data[:bytes]
+			if !msg.rendezvous {
+				dup.payload.refs.Add(1)
+				msg.payload = dup.payload
+				msg.sdata = dup.sdata
+			} else {
+				dup.sptr = nil
+			}
+			if !w.inject(dup, t.rank, worldDst) {
+				w.pool.release(t.rank, dup.payload)
+				putMessage(dup)
+				if msg.payload != nil {
+					w.pool.release(t.rank, msg.payload)
+				}
+				putMessage(msg)
 				panic(&DeadRankError{Rank: t.rank, Op: op, Dead: worldDst})
 			}
 		}
 	}
-	if !w.inject(msg, worldDst) {
+	if !w.inject(msg, t.rank, worldDst) {
+		if msg.payload != nil {
+			w.pool.release(t.rank, msg.payload)
+		}
+		putMessage(msg)
 		panic(&DeadRankError{Rank: t.rank, Op: op, Dead: worldDst})
 	}
 	return sreq
@@ -156,10 +176,11 @@ func isend[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dst, tag int, op s
 func Recv[T Scalar](t *Task, comm *Comm, buf []T, src, tag int) Status {
 	comm = t.commOrWorld(comm)
 	req := irecv(t, comm, comm.ctxUser, buf, src, tag, "Recv")
-	t.blockOn(fmt.Sprintf("Recv(src=%d, tag=%d)", src, tag))
+	t.blockOnP2P(labelRecv, src, tag)
 	st := req.Wait()
 	t.unblock()
 	t.checkReq("Recv", req)
+	putRequest(req)
 	return st
 }
 
@@ -188,11 +209,24 @@ func irecv[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, src, tag int, op s
 		worldSrc = comm.group[src]
 	}
 	req := newRequest(true)
-	pr := &postedRecv{ctx: ctx, src: src, tag: tag, buf: buf, req: req, recvRank: t.rank, worldSrc: worldSrc}
+	pr := getPostedRecv()
+	pr.ctx = ctx
+	pr.src = src
+	pr.tag = tag
+	pr.etype = reflect.TypeFor[T]()
+	pr.rdata = bytesOf(buf)
+	pr.relems = len(buf)
+	pr.rptr = ptrOf(buf)
+	pr.req = req
+	pr.recvRank = t.rank
+	pr.worldSrc = worldSrc
 	ep := w.eps[t.rank]
 	ep.mu.Lock()
-	if msg := ep.matchUnexpected(pr); msg != nil {
+	if msg, probes := ep.matchUnexpectedLocked(ctx, src, tag); msg != nil {
 		ep.mu.Unlock()
+		if w.poolHooks != nil {
+			w.poolHooks.OnMatchProbes(t.rank, probes)
+		}
 		w.deliverTo(msg, pr)
 		return req
 	}
@@ -202,15 +236,23 @@ func irecv[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, src, tag int, op s
 	// posted receive and fails it.
 	if worldSrc >= 0 && w.rankDead(worldSrc) {
 		ep.mu.Unlock()
+		putPostedRecv(pr)
 		req.fail(&DeadRankError{Rank: t.rank, Op: op, Dead: worldSrc})
 		return req
 	}
 	if c := w.Cancelled(); c != nil {
 		ep.mu.Unlock()
+		putPostedRecv(pr)
 		req.fail(&CancelledError{Rank: t.rank, Op: op, Cause: c})
 		return req
 	}
-	ep.recvs = append(ep.recvs, pr)
+	ep.postSeq++
+	pr.seq = ep.postSeq
+	if src == AnySource {
+		ep.wild.push(pr)
+	} else {
+		ep.bucket(epKey{ctx, src}).pushRecv(pr)
+	}
 	ep.mu.Unlock()
 	return req
 }
@@ -241,19 +283,17 @@ func probe(t *Task, comm *Comm, src, tag int, block bool) (Status, bool) {
 	if src != AnySource {
 		worldSrc = comm.group[src]
 	}
-	pr := &postedRecv{ctx: comm.ctxUser, src: src, tag: tag}
+	ctx := comm.ctxUser
 	ep := w.eps[t.rank]
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	for {
-		for _, msg := range ep.unexpected {
-			if msg.matches(pr) {
-				return Status{Source: msg.src, Tag: msg.tag, Count: msg.elems, Bytes: msg.bytes}, true
-			}
+		if st, ok := ep.findUnexpectedLocked(ctx, src, tag); ok {
+			return st, true
 		}
-		// The failure layer broadcasts `arrived` when a rank dies or the
-		// world is cancelled, so blocked probes re-check here and fail
-		// fast instead of waiting for a message that cannot come.
+		// The failure layer wakes blocked probes when a rank dies or the
+		// world is cancelled, so they re-check here and fail fast instead
+		// of waiting for a message that cannot come.
 		if worldSrc >= 0 && w.rankDead(worldSrc) {
 			panic(&DeadRankError{Rank: t.rank, Op: "Probe", Dead: worldSrc})
 		}
@@ -263,8 +303,25 @@ func probe(t *Task, comm *Comm, src, tag int, block bool) (Status, bool) {
 		if !block {
 			return Status{}, false
 		}
-		t.blockOn(fmt.Sprintf("Probe(src=%d, tag=%d)", src, tag))
-		ep.arrived.Wait()
+		// Park on the narrowest condition that can satisfy this probe: the
+		// (ctx, src) bucket's cond for a specific source, the endpoint-wide
+		// wildcard cond for AnySource. An arrival broadcasts a bucket cond
+		// only when it has waiters, so unrelated traffic no longer wakes
+		// every blocked probe on the endpoint.
+		t.blockOnP2P(labelProbe, src, tag)
+		if src == AnySource {
+			ep.wildWaiters++
+			ep.wildCond.Wait()
+			ep.wildWaiters--
+		} else {
+			b := ep.bucket(epKey{ctx, src})
+			if b.cond == nil {
+				b.cond = sync.NewCond(&ep.mu)
+			}
+			b.waiters++
+			b.cond.Wait()
+			b.waiters--
+		}
 		t.unblock()
 	}
 }
@@ -274,23 +331,37 @@ func probe(t *Task, comm *Comm, src, tag int, block bool) (Status, bool) {
 func Sendrecv[T Scalar](t *Task, comm *Comm, sendBuf []T, dst, sendTag int, recvBuf []T, src, recvTag int) Status {
 	rr := Irecv(t, comm, recvBuf, src, recvTag)
 	Send(t, comm, sendBuf, dst, sendTag)
-	t.blockOn(fmt.Sprintf("Sendrecv recv(src=%d, tag=%d)", src, recvTag))
+	t.blockOnP2P(labelSendrecvRecv, src, recvTag)
 	st := rr.Wait()
 	t.unblock()
 	t.checkReq("Sendrecv", rr)
+	putRequest(rr)
 	return st
+}
+
+// blockOnP2P publishes a point-to-point blocking state without
+// allocating: label is a pre-boxed static string, the peer rank and tag
+// ride in atomic ints and are formatted only if a diagnostic needs them.
+func (t *Task) blockOnP2P(label any, peer, tag int) {
+	ep := t.world.eps[t.rank]
+	ep.progress.Add(1)
+	ep.blockPeer.Store(int64(peer))
+	ep.blockTag.Store(int64(tag))
+	ep.blockLabel.Store(label)
 }
 
 func (t *Task) blockOn(s string) {
 	ep := t.world.eps[t.rank]
 	ep.progress.Add(1)
-	ep.blockedOn.Store(s)
+	ep.blockPeer.Store(blockNone)
+	ep.blockLabel.Store(s)
 }
 
 func (t *Task) unblock() {
 	ep := t.world.eps[t.rank]
 	ep.progress.Add(1)
-	ep.blockedOn.Store("")
+	ep.blockPeer.Store(blockNone)
+	ep.blockLabel.Store(labelEmpty)
 }
 
 // BlockOn publishes a human-readable description of what the task is
@@ -310,7 +381,8 @@ func (t *Task) Unblock() { t.unblock() }
 func (t *Task) BlockOnBoxed(what any) {
 	ep := t.world.eps[t.rank]
 	ep.progress.Add(1)
-	ep.blockedOn.Store(what)
+	ep.blockPeer.Store(blockNone)
+	ep.blockLabel.Store(what)
 }
 
 // commOrWorld substitutes the world communicator for a nil comm argument.

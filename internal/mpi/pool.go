@@ -1,0 +1,225 @@
+package mpi
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The eager-buffer pool. Every eager send needs a payload buffer that
+// outlives the Send call (the message may sit in the receiver's
+// unexpected queue); before this pool each send allocated a fresh slice
+// and dropped it on the garbage collector after delivery. In MPC-style
+// thread-based MPI the eager path is the intra-node hot path, so the
+// runtime recycles payloads instead: buffers live in power-of-two size
+// classes up to the world's EagerLimit, with a small per-rank cache in
+// front of a shared per-class overflow pool. Acquire prefers the calling
+// rank's cache (no contention in the steady state); release returns the
+// buffer to the cache of the rank that acquired it — its home — so a
+// steady sender finds its own buffers again no matter which rank's
+// goroutine performed the delivery. Only cache over/underflow touches
+// the shared pool's lock.
+//
+// Buffers are reference-counted so the chaos duplicate-message fault can
+// pin one payload under two in-flight messages: the buffer returns to
+// the pool only when the last copy has been consumed (delivered, dropped
+// or drained at world teardown), which the pooling stress test checks by
+// asserting zero outstanding buffers after Run returns.
+
+// poolMinClassBits is the smallest size class (64 bytes): below that the
+// bookkeeping dwarfs the payload.
+const poolMinClassBits = 6
+
+// poolSharedCap bounds each shared class's free list; beyond it buffers
+// are handed to the GC, so a burst does not pin memory forever.
+const poolSharedCap = 64
+
+// poolRankCap bounds each per-rank per-class cache.
+const poolRankCap = 8
+
+// eagerBuf is one pooled payload buffer. data always has the full class
+// capacity; the message tracks its own byte count. refs counts the
+// in-flight messages sharing the buffer (> 1 only under chaos
+// duplication).
+type eagerBuf struct {
+	data  []byte
+	class int // size-class index, -1 for oversize unpooled buffers
+	home  int // world rank whose get acquired the buffer, set per get
+	refs  atomic.Int32
+}
+
+// bufClass is one shared size class: a mutex-protected LIFO free list.
+type bufClass struct {
+	mu   sync.Mutex
+	free []*eagerBuf
+	_    [5]int64 // keep neighbouring classes off one cache line
+}
+
+// bufRankCache is one rank's private cache, a small LIFO per class. It
+// has its own mutex because release runs on whichever goroutine performs
+// the delivery, but in the steady state only the owning rank touches it.
+type bufRankCache struct {
+	mu   sync.Mutex
+	free [][]*eagerBuf
+	_    [5]int64
+}
+
+// bufPool is the world's eager-payload pool.
+type bufPool struct {
+	classes []bufClass
+	ranks   []*bufRankCache
+	minSize int // size of class 0
+	maxSize int // size of the largest class (>= EagerLimit)
+
+	hooks PoolHooks // resolved once at world creation, may be nil
+
+	hits     atomic.Int64 // gets served from a cache or the shared pool
+	misses   atomic.Int64 // gets that had to allocate
+	puts     atomic.Int64 // releases (buffer consumed by its last message)
+	recycled atomic.Int64 // bytes of capacity returned to the pool
+}
+
+// poolClassFor returns the index of the smallest class holding n bytes.
+func poolClassFor(n int) int {
+	c := 0
+	size := 1 << poolMinClassBits
+	for size < n {
+		size <<= 1
+		c++
+	}
+	return c
+}
+
+func newBufPool(ranks, eagerLimit int) *bufPool {
+	nClasses := poolClassFor(eagerLimit) + 1
+	p := &bufPool{
+		classes: make([]bufClass, nClasses),
+		ranks:   make([]*bufRankCache, ranks),
+		minSize: 1 << poolMinClassBits,
+		maxSize: 1 << (poolMinClassBits + nClasses - 1),
+	}
+	for r := range p.ranks {
+		p.ranks[r] = &bufRankCache{free: make([][]*eagerBuf, nClasses)}
+	}
+	return p
+}
+
+// get acquires a buffer of capacity >= n for the given world rank, with
+// refs = 1. Buffers larger than the largest class (possible only on the
+// chaos duplicate path for rendezvous messages) are allocated unpooled.
+func (p *bufPool) get(rank, n int) *eagerBuf {
+	if n > p.maxSize {
+		p.misses.Add(1)
+		if p.hooks != nil {
+			p.hooks.OnPoolGet(rank, n, false)
+		}
+		b := &eagerBuf{data: make([]byte, n), class: -1, home: rank}
+		b.refs.Store(1)
+		return b
+	}
+	class := poolClassFor(n)
+	rc := p.ranks[rank]
+	rc.mu.Lock()
+	if l := len(rc.free[class]); l > 0 {
+		b := rc.free[class][l-1]
+		rc.free[class][l-1] = nil
+		rc.free[class] = rc.free[class][:l-1]
+		rc.mu.Unlock()
+		p.hits.Add(1)
+		if p.hooks != nil {
+			p.hooks.OnPoolGet(rank, n, true)
+		}
+		b.home = rank
+		b.refs.Store(1)
+		return b
+	}
+	rc.mu.Unlock()
+	sc := &p.classes[class]
+	sc.mu.Lock()
+	if l := len(sc.free); l > 0 {
+		b := sc.free[l-1]
+		sc.free[l-1] = nil
+		sc.free = sc.free[:l-1]
+		sc.mu.Unlock()
+		p.hits.Add(1)
+		if p.hooks != nil {
+			p.hooks.OnPoolGet(rank, n, true)
+		}
+		b.home = rank
+		b.refs.Store(1)
+		return b
+	}
+	sc.mu.Unlock()
+	p.misses.Add(1)
+	if p.hooks != nil {
+		p.hooks.OnPoolGet(rank, n, false)
+	}
+	b := &eagerBuf{data: make([]byte, 1<<(poolMinClassBits+class)), class: class, home: rank}
+	b.refs.Store(1)
+	return b
+}
+
+// release drops one reference; the last reference returns the buffer to
+// the pool — its home rank's cache first, the shared class on overflow —
+// so the rank that acquires next (typically the same steady sender)
+// finds it again. Safe to call from any goroutine; rank names the
+// releasing side only for hook attribution.
+func (p *bufPool) release(rank int, b *eagerBuf) {
+	if b == nil {
+		return
+	}
+	if b.refs.Add(-1) != 0 {
+		return
+	}
+	p.puts.Add(1)
+	p.recycled.Add(int64(len(b.data)))
+	if p.hooks != nil {
+		p.hooks.OnPoolPut(rank, len(b.data))
+	}
+	if b.class < 0 {
+		return // oversize: hand to the GC
+	}
+	rc := p.ranks[b.home]
+	rc.mu.Lock()
+	if len(rc.free[b.class]) < poolRankCap {
+		rc.free[b.class] = append(rc.free[b.class], b)
+		rc.mu.Unlock()
+		return
+	}
+	rc.mu.Unlock()
+	sc := &p.classes[b.class]
+	sc.mu.Lock()
+	if len(sc.free) < poolSharedCap {
+		sc.free = append(sc.free, b)
+	}
+	sc.mu.Unlock()
+	// Beyond both caps the buffer is dropped to the GC; it is still
+	// counted as put, so outstanding accounting stays exact.
+}
+
+// outstanding returns the number of buffers acquired and not yet
+// released — zero once every in-flight message has been consumed.
+func (p *bufPool) outstanding() int64 {
+	// Read puts before gets: a concurrent get-then-release pair can then
+	// at worst be counted as outstanding, never as negative.
+	puts := p.puts.Load()
+	gets := p.hits.Load() + p.misses.Load()
+	return gets - puts
+}
+
+// PoolHooks is an optional extension of Hooks: implementations that also
+// satisfy it receive the eager-buffer pool's traffic and the matching
+// engine's probe counts, which internal/metrics exports as
+// mpi_eager_pool_* and mpi_match_probes_total. Like MessageHooks, the
+// extension is resolved once at world creation.
+type PoolHooks interface {
+	Hooks
+	// OnPoolGet is called for every eager-payload acquisition. hit is
+	// false when the pool had to allocate a fresh buffer.
+	OnPoolGet(worldRank, bytes int, hit bool)
+	// OnPoolPut is called when a payload's last reference is consumed and
+	// its capacity returns to the pool.
+	OnPoolPut(worldRank, bytes int)
+	// OnMatchProbes is called once per matching attempt (message injection
+	// or receive posting) with the number of queue entries examined.
+	OnMatchProbes(worldRank, probes int)
+}

@@ -89,22 +89,45 @@ func TestApplyOpsAssociative(t *testing.T) {
 	}
 }
 
-// TestMessageMatchingProperty: matches() honours wildcards and nothing
-// else.
+// TestMessageMatchingProperty: the bucketed matching engine honours
+// wildcards and nothing else — a posted receive matches an incoming
+// (ctx, src, tag) exactly when the contexts agree and each of source and
+// tag is either equal or a wildcard.
 func TestMessageMatchingProperty(t *testing.T) {
 	f := func(ctx1, ctx2 uint8, src1, src2, tag1, tag2 uint8, anySrc, anyTag bool) bool {
-		msg := &message{ctx: int64(ctx1 % 3), src: int(src1 % 4), tag: int(tag1 % 4)}
-		pr := &postedRecv{ctx: int64(ctx2 % 3), src: int(src2 % 4), tag: int(tag2 % 4)}
+		mctx, msrc, mtag := int64(ctx1%3), int(src1%4), int(tag1%4)
+		pr := getPostedRecv()
+		pr.ctx = int64(ctx2 % 3)
+		pr.src = int(src2 % 4)
+		pr.tag = int(tag2 % 4)
 		if anySrc {
 			pr.src = AnySource
 		}
 		if anyTag {
 			pr.tag = AnyTag
 		}
-		want := msg.ctx == pr.ctx &&
-			(anySrc || msg.src == pr.src) &&
-			(anyTag || msg.tag == pr.tag)
-		return msg.matches(pr) == want
+		want := mctx == pr.ctx &&
+			(anySrc || msrc == pr.src) &&
+			(anyTag || mtag == pr.tag)
+
+		ep := newEndpoint(0)
+		ep.mu.Lock()
+		ep.postSeq++
+		pr.seq = ep.postSeq
+		if pr.src == AnySource {
+			ep.wild.push(pr)
+		} else {
+			ep.bucket(epKey{pr.ctx, pr.src}).pushRecv(pr)
+		}
+		got, _ := ep.matchRecvLocked(mctx, msrc, mtag)
+		ep.mu.Unlock()
+		if got != nil {
+			putPostedRecv(got)
+		} else {
+			// leave pr queued; the endpoint is dropped after this iteration
+			_ = pr
+		}
+		return (got != nil) == want
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -1,0 +1,8 @@
+//go:build race
+
+package mpi
+
+// raceEnabled reports whether the race detector is compiled in. Under
+// the race detector sync.Pool deliberately drops a fraction of puts, so
+// zero-allocation assertions cannot hold and are skipped.
+const raceEnabled = true

@@ -1,0 +1,172 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestWaitallMixedRequests: Waitall over a mix of already-complete eager
+// sends, an in-flight receive, and a rendezvous send that completes only
+// when matched — the single-notifier wait must see all three kinds.
+func TestWaitallMixedRequests(t *testing.T) {
+	const big = DefaultEagerLimit/8 + 16 // rendezvous-sized float64 count
+	run(t, 2, func(task *Task) error {
+		if task.Rank() == 0 {
+			small := []float64{1, 2, 3}
+			in := make([]float64, 4)
+			bigBuf := make([]float64, big)
+			reqEager := Isend(task, nil, small, 1, 0) // complete on return
+			if _, done := reqEager.Test(); !done {
+				return errors.New("eager Isend not complete immediately")
+			}
+			reqRecv := Irecv(task, nil, in, 1, 1)       // completes mid-wait
+			reqRendez := Isend(task, nil, bigBuf, 1, 2) // completes at match
+			sts := Waitall([]*Request{reqEager, reqRecv, reqRendez})
+			if sts[1].Count != 4 || sts[1].Source != 1 || sts[1].Tag != 1 {
+				return fmt.Errorf("recv status = %+v", sts[1])
+			}
+			if in[3] != 40 {
+				return fmt.Errorf("recv payload = %v", in)
+			}
+			for i, r := range []*Request{reqEager, reqRecv, reqRendez} {
+				if err := r.Err(); err != nil {
+					return fmt.Errorf("request %d failed: %v", i, err)
+				}
+			}
+			return nil
+		}
+		buf := make([]float64, 3)
+		Recv(task, nil, buf, 0, 0)
+		time.Sleep(5 * time.Millisecond) // rank 0 enters Waitall first
+		Send(task, nil, []float64{10, 20, 30, 40}, 0, 1)
+		bigBuf := make([]float64, big)
+		Recv(task, nil, bigBuf, 0, 2)
+		return nil
+	})
+}
+
+// TestWaitallFailedRequest: a Waitall containing a receive whose source
+// is chaos-killed must still return, with the typed failure on that
+// request and clean completions on the others.
+func TestWaitallFailedRequest(t *testing.T) {
+	w, err := Run(Config{NumTasks: 3, Timeout: 10 * time.Second}, func(task *Task) error {
+		switch task.Rank() {
+		case 0:
+			okBuf := make([]int, 1)
+			deadBuf := make([]int, 1)
+			reqOK := Irecv(task, nil, okBuf, 1, 0)
+			reqDead := Irecv(task, nil, deadBuf, 2, 0)
+			Waitall([]*Request{reqOK, reqDead})
+			if err := reqOK.Err(); err != nil {
+				return fmt.Errorf("healthy request failed: %v", err)
+			}
+			if okBuf[0] != 7 {
+				return fmt.Errorf("healthy payload = %d", okBuf[0])
+			}
+			var dre *DeadRankError
+			if e := reqDead.Err(); !errors.As(e, &dre) || dre.Dead != 2 {
+				return fmt.Errorf("dead-source request Err() = %v, want DeadRankError{Dead: 2}", e)
+			}
+			return nil
+		case 1:
+			Send(task, nil, []int{7}, 0, 0)
+			return nil
+		default:
+			time.Sleep(10 * time.Millisecond) // let rank 0 reach Waitall
+			panic(killErr(2))
+		}
+	})
+	if err == nil {
+		t.Fatal("Run returned nil despite the kill")
+	}
+	if re := w.RankErrors()[0]; re != nil {
+		t.Errorf("rank 0 returned %v, want nil (failure handled via Err)", re)
+	}
+}
+
+// TestWaitanyMixedRequests: Waitany returns an already-complete request
+// immediately, then blocks for eager and rendezvous completions as the
+// caller retires indices.
+func TestWaitanyMixedRequests(t *testing.T) {
+	const big = DefaultEagerLimit/8 + 16
+	run(t, 2, func(task *Task) error {
+		if task.Rank() == 0 {
+			in := make([]float64, 1)
+			bigBuf := make([]float64, big)
+			reqRecv := Irecv(task, nil, in, 1, 1)
+			reqRendez := Isend(task, nil, bigBuf, 1, 2)
+			reqEager := Isend(task, nil, []float64{5}, 1, 0)
+			reqs := []*Request{reqRecv, reqRendez, reqEager}
+			first := true
+			for len(reqs) > 0 {
+				i, _ := Waitany(reqs)
+				if first && reqs[i] != reqEager {
+					return fmt.Errorf("first Waitany returned index %d, want the already-complete eager send", i)
+				}
+				first = false
+				// Completed requests keep reporting done, so retire the
+				// returned index before waiting again.
+				reqs = append(reqs[:i], reqs[i+1:]...)
+			}
+			if in[0] != 9 {
+				return fmt.Errorf("recv payload = %v", in[0])
+			}
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+		Send(task, nil, []float64{9}, 0, 1)
+		bigBuf := make([]float64, big)
+		Recv(task, nil, bigBuf, 0, 2)
+		return nil
+	})
+}
+
+// TestWaitanyFailedRequest: Waitany over a single receive from a killed
+// rank returns (completion-by-failure), with the typed error on Err.
+func TestWaitanyFailedRequest(t *testing.T) {
+	w, _ := Run(Config{NumTasks: 2, Timeout: 10 * time.Second}, func(task *Task) error {
+		if task.Rank() == 1 {
+			time.Sleep(10 * time.Millisecond)
+			panic(killErr(1))
+		}
+		buf := make([]int, 1)
+		req := Irecv(task, nil, buf, 1, 0)
+		i, _ := Waitany([]*Request{req})
+		if i != 0 {
+			return fmt.Errorf("Waitany index = %d", i)
+		}
+		var dre *DeadRankError
+		if e := req.Err(); !errors.As(e, &dre) {
+			return fmt.Errorf("Err() = %v, want *DeadRankError", e)
+		}
+		return nil
+	})
+	if re := w.RankErrors()[0]; re != nil {
+		t.Errorf("rank 0: %v", re)
+	}
+}
+
+// TestRequestReuseAcrossBlockingCalls: the blocking wrappers recycle
+// their requests through the pool; a long alternating sequence must keep
+// statuses straight (a stale pooled request would surface as a wrong
+// Source/Tag/Count).
+func TestRequestReuseAcrossBlockingCalls(t *testing.T) {
+	const rounds = 300
+	run(t, 2, func(task *Task) error {
+		buf := make([]int, 2)
+		for i := 0; i < rounds; i++ {
+			if task.Rank() == 0 {
+				buf[0], buf[1] = i, i+1
+				Send(task, nil, buf, 1, i%7)
+			} else {
+				st := Recv(task, nil, buf, 0, i%7)
+				if st.Source != 0 || st.Tag != i%7 || st.Count != 2 || buf[0] != i {
+					return fmt.Errorf("round %d: status %+v payload %v", i, st, buf)
+				}
+			}
+		}
+		return nil
+	})
+}
