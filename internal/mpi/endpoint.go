@@ -306,11 +306,14 @@ func (ep *endpoint) matchRecvLocked(ctx int64, src, tag int) (*postedRecv, int) 
 	}
 	wIdx := -1
 	for i := ep.wild.head; i < len(ep.wild.items); i++ {
+		// Count every entry the scan examines, including wildcard
+		// receives of other contexts: MatchProbes measures work done by
+		// the matcher, not just candidates that passed the ctx filter.
+		probes++
 		pr := ep.wild.items[i]
 		if pr.ctx != ctx {
 			continue
 		}
-		probes++
 		if pr.tag == AnyTag || pr.tag == tag {
 			wIdx = i
 			break

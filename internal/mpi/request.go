@@ -156,10 +156,17 @@ func waitallInto(reqs []*Request, out []Status) {
 	for {
 		done := 0
 		for _, r := range reqs {
+			// Register the notifier before loading the state (the same
+			// order Wait uses): a completion concurrent with this scan
+			// either publishes reqDone before our load, or observes the
+			// registered notifier and sends a token. Checking state first
+			// would open a window where the completer sees a nil waiter
+			// and the waiter then parks forever.
+			if nb != nil {
+				r.waiter.Store(nb)
+			}
 			if r.state.Load() == reqDone {
 				done++
-			} else if nb != nil {
-				r.waiter.Store(nb)
 			}
 		}
 		if done == len(reqs) {
@@ -167,8 +174,7 @@ func waitallInto(reqs []*Request, out []Status) {
 		}
 		if nb == nil {
 			// First pass found pending requests: arm the shared notifier
-			// and re-scan, so a completion between scan and park is never
-			// missed.
+			// and re-scan.
 			nb = getNotifier()
 			continue
 		}
@@ -195,6 +201,12 @@ func Waitany(reqs []*Request) (int, Status) {
 	var nb *notifyBox
 	for {
 		for i, r := range reqs {
+			// Notifier before state load, as in waitallInto: a completer
+			// racing with this scan must either be observed done or find
+			// the notifier registered.
+			if nb != nil {
+				r.waiter.Store(nb)
+			}
 			if r.state.Load() == reqDone {
 				if nb != nil {
 					for _, q := range reqs {
@@ -203,8 +215,6 @@ func Waitany(reqs []*Request) (int, Status) {
 					putNotifier(nb)
 				}
 				return i, r.status
-			} else if nb != nil {
-				r.waiter.Store(nb)
 			}
 		}
 		if nb == nil {

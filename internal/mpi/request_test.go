@@ -3,6 +3,8 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -145,6 +147,59 @@ func TestWaitanyFailedRequest(t *testing.T) {
 	})
 	if re := w.RankErrors()[0]; re != nil {
 		t.Errorf("rank 0: %v", re)
+	}
+}
+
+// TestWaitallWaitanyCompletionRace: hammer the window between the armed
+// scan's state load and its notifier registration. The multi-wait paths
+// must register the shared notifier on each request *before* loading its
+// state — a completer that publishes reqDone between a state load and a
+// later waiter registration would otherwise see a nil waiter, send no
+// token, and leave the waiter parked forever. Each round races a burst
+// of completer goroutines (staggered so some land mid-scan) against a
+// Waitall or Waitany; a lost wakeup shows up as a test timeout.
+func TestWaitallWaitanyCompletionRace(t *testing.T) {
+	const rounds = 2000
+	const nreq = 4
+	for round := 0; round < rounds; round++ {
+		reqs := make([]*Request, nreq)
+		for i := range reqs {
+			reqs[i] = newRequest(false)
+		}
+		var wg sync.WaitGroup
+		wg.Add(nreq)
+		for i, r := range reqs {
+			go func(i int, r *Request) {
+				defer wg.Done()
+				for s := 0; s < i; s++ {
+					runtime.Gosched() // stagger completions across the scan
+				}
+				r.complete(Status{Count: i + 1})
+			}(i, r)
+		}
+		if round%2 == 0 {
+			sts := Waitall(reqs)
+			for i, st := range sts {
+				if st.Count != i+1 {
+					t.Fatalf("round %d: status[%d] = %+v", round, i, st)
+				}
+			}
+		} else {
+			// Copy: retiring indices below would otherwise shuffle the
+			// reqs backing array under the putRequest loop.
+			pending := append([]*Request(nil), reqs...)
+			for len(pending) > 0 {
+				i, st := Waitany(pending)
+				if st.Count < 1 || st.Count > nreq {
+					t.Fatalf("round %d: Waitany status = %+v", round, st)
+				}
+				pending = append(pending[:i], pending[i+1:]...)
+			}
+		}
+		wg.Wait()
+		for _, r := range reqs {
+			putRequest(r)
+		}
 	}
 }
 
