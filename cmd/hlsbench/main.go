@@ -25,12 +25,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|faults|sync|p2p|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|faults|sync|p2p|net|all")
 	full := flag.Bool("full", false, "run the paper-shaped sweep instead of the quick profile")
 	seed := flag.Int64("seed", 1, "chaos seed for -exp faults (fixes the whole fault schedule)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	syncOut := flag.String("out", "BENCH_sync.json", "where -exp sync writes its JSON snapshot (empty to skip)")
 	p2pOut := flag.String("p2pout", "BENCH_p2p.json", "where -exp p2p writes its JSON snapshot (empty to skip)")
+	netOut := flag.String("netout", "BENCH_net.json", "where -exp net writes its JSON snapshot (empty to skip)")
 	eagerLimit := flag.Int("eager-limit", 0, "pin -exp p2p to one eager/rendezvous threshold in bytes (0 sweeps a ladder around the default)")
 	compare := flag.String("compare", "", "baseline JSON snapshot to compare against, for -exp sync or -exp p2p (exit 1 on check regressions)")
 	serve := flag.String("serve", "", "serve live /metrics, /metrics.json and /debug/pprof/ on this address (e.g. :8080 or :0) while experiments run")
@@ -205,6 +206,31 @@ func main() {
 			f.Close()
 			exitOn(err)
 			exitOn(bench.CompareP2P(os.Stdout, base, res))
+		}
+		fmt.Println()
+	}
+	if want("net") {
+		ran = true
+		fmt.Printf("== Wire transport: in-process vs loopback TCP (%s profile) ==\n", profile)
+		res, err := bench.RunNet(profile)
+		exitOn(err)
+		bench.PrintNet(os.Stdout, res)
+		writeCSV("net.csv", func(w io.Writer) error { return bench.WriteNetCSV(w, res) })
+		if *netOut != "" {
+			f, err := os.Create(*netOut)
+			exitOn(err)
+			err = bench.WriteNetJSON(f, res)
+			f.Close()
+			exitOn(err)
+			fmt.Println("wrote", *netOut)
+		}
+		if *compare != "" && *exp == "net" {
+			f, err := os.Open(*compare)
+			exitOn(err)
+			base, err := bench.ReadNetJSON(f)
+			f.Close()
+			exitOn(err)
+			exitOn(bench.CompareNet(os.Stdout, base, res))
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,203 @@
+// Command hlsworker runs one node of a distributed HLS world. Launch the
+// same binary once per entry in the host list and the processes join
+// into a single world over the wire transport:
+//
+//	hlsworker -hosts 127.0.0.1:9500,127.0.0.1:9501 -node 0 &
+//	hlsworker -hosts 127.0.0.1:9500,127.0.0.1:9501 -node 1
+//
+// The host list and node index can also come from the environment
+// (HLS_WIRE_HOSTS, HLS_WIRE_NODE), the format shared with the quickstart
+// example's distributed mode. Each process hosts tasks-per-node ranks;
+// ranks on the same node exchange messages in process and share
+// node-scoped HLS storage, ranks on different nodes talk TCP.
+//
+// The built-in workload exercises all three layers — a node-scoped HLS
+// table (one copy per process), world-spanning collectives, and
+// cross-node point-to-point — and -serve exposes live wire metrics
+// (/metrics, /metrics.json, pprof) while it runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"hls/internal/hls"
+	"hls/internal/metrics"
+	"hls/internal/mpi"
+	"hls/internal/topology"
+	"hls/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hlsworker: ")
+	hosts := flag.String("hosts", os.Getenv(wire.EnvHosts),
+		"comma-separated listen addresses, one per node, node-id order")
+	node := flag.Int("node", -1, "this process's index into -hosts (default $"+wire.EnvNode+")")
+	perNode := flag.Int("tasks-per-node", 2, "MPI ranks hosted by each process")
+	rounds := flag.Int("rounds", 3, "workload iterations")
+	serve := flag.String("serve", "", "serve /metrics, /metrics.json and pprof on this address while running")
+	linger := flag.Duration("linger", 0, "keep the process (and -serve endpoint) up this long after the workload")
+	timeout := flag.Duration("timeout", 2*time.Minute, "deadlock watchdog for the whole run")
+	flag.Parse()
+
+	if *node < 0 {
+		if s := os.Getenv(wire.EnvNode); s != "" {
+			fmt.Sscanf(s, "%d", node) //nolint:errcheck // validated below
+		}
+	}
+	if *hosts == "" {
+		log.Fatalf("no host list: pass -hosts or set %s", wire.EnvHosts)
+	}
+	addrs, err := wire.ParseHosts(*hosts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *node < 0 || *node >= len(addrs) {
+		log.Fatalf("-node %d out of range for %d hosts", *node, len(addrs))
+	}
+	if *perNode < 1 {
+		log.Fatalf("-tasks-per-node %d, need >= 1", *perNode)
+	}
+
+	machine, err := topology.New(topology.Spec{
+		Name:           "hlsworker",
+		Nodes:          len(addrs),
+		SocketsPerNode: 1,
+		CoresPerSocket: *perNode,
+		ThreadsPerCore: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	numTasks := len(addrs) * *perNode
+
+	reg := metrics.New(numTasks)
+	ln, err := net.Listen("tcp", addrs[*node])
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := wire.NewTCP(wire.Config{
+		Addrs:    addrs,
+		Self:     *node,
+		WorldKey: wire.WorldKeyFor(*hosts),
+		Observer: metrics.NewWireAdapter(reg),
+	}, ln)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *serve != "" {
+		addr, shutdown, err := metrics.Serve(*serve, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		fmt.Printf("node %d: serving telemetry on http://%s\n", *node, addr)
+	}
+
+	world, err := mpi.NewWorld(mpi.Config{
+		NumTasks: numTasks,
+		Machine:  machine,
+		Pin:      topology.PinCorePerTask,
+		Wire:     &mpi.WireConfig{Transport: tr},
+		Hooks:    metrics.NewMPIAdapter(reg),
+		Timeout:  *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hreg := hls.New(world)
+	table := hls.Declare[int64](hreg, "node-table", topology.Node, 256)
+
+	fmt.Printf("node %d/%d: hosting ranks %v of a %d-rank world\n",
+		*node, len(addrs), localRanks(*node, *perNode), numTasks)
+
+	err = world.Run(func(task *mpi.Task) error {
+		for round := 0; round < *rounds; round++ {
+			// Node-scoped storage: one copy per process, initialized by
+			// one local rank per round.
+			table.Single(task, func(data []int64) {
+				for i := range data {
+					data[i] = int64(round*len(data) + i)
+				}
+			})
+			local := int64(0)
+			for _, v := range table.Slice(task) {
+				local += v
+			}
+
+			// World-spanning collective: every rank contributes its node's
+			// table sum, and the tables are identical, so the global total
+			// is the local sum times the world size.
+			global := []int64{0}
+			mpi.Allreduce(task, nil, []int64{local}, global, mpi.OpSum)
+			want := local * int64(numTasks)
+			if global[0] != want {
+				return fmt.Errorf("round %d: allreduce %d, want %d", round, global[0], want)
+			}
+
+			// Cross-node point-to-point: node 2k pairs with node 2k+1 and
+			// each rank ping-pongs with its opposite (eager and rendezvous
+			// sizes). With an odd node count the last node sits out.
+			myNode := task.Rank() / *perNode
+			peer := -1
+			if myNode%2 == 0 && myNode+1 < len(addrs) {
+				peer = task.Rank() + *perNode
+			} else if myNode%2 == 1 {
+				peer = task.Rank() - *perNode
+			}
+			if peer >= 0 {
+				elems := 64
+				if round%2 == 1 {
+					elems = 1024 // past the eager limit: rendezvous
+				}
+				buf := make([]int64, elems)
+				if task.Rank() < peer {
+					for i := range buf {
+						buf[i] = int64(task.Rank())
+					}
+					mpi.Send(task, nil, buf, peer, round)
+					mpi.Recv(task, nil, buf, peer, round)
+					if buf[0] != int64(peer) {
+						return fmt.Errorf("round %d: echo from %d carried %d", round, peer, buf[0])
+					}
+				} else {
+					mpi.Recv(task, nil, buf, peer, round)
+					for i := range buf {
+						buf[i] = int64(task.Rank())
+					}
+					mpi.Send(task, nil, buf, peer, round)
+				}
+			}
+			mpi.Barrier(task, nil)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("node %d: %v", *node, err)
+	}
+
+	if st, ok := world.WireStats(); ok {
+		fmt.Printf("node %d: done — wire frames %d sent / %d received, %d bytes out, %d reconnects\n",
+			*node, st.FramesSent, st.FramesReceived, st.BytesSent, st.Reconnects)
+	}
+	if *linger > 0 {
+		fmt.Printf("node %d: lingering %s\n", *node, *linger)
+		time.Sleep(*linger)
+	}
+}
+
+// localRanks lists the world ranks this process hosts (block layout:
+// node n owns [n*perNode, (n+1)*perNode)).
+func localRanks(node, perNode int) []int {
+	ranks := make([]int, perNode)
+	for i := range ranks {
+		ranks[i] = node*perNode + i
+	}
+	return ranks
+}

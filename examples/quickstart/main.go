@@ -6,25 +6,62 @@
 // then read by every task.
 //
 // Run with: go run ./examples/quickstart
+//
+// The same program also runs distributed — one OS process per node,
+// joined over the wire transport. Launch it once per host-list entry:
+//
+//	HLS_WIRE_HOSTS=127.0.0.1:9600,127.0.0.1:9601 HLS_WIRE_NODE=0 \
+//	    go run ./examples/quickstart &
+//	HLS_WIRE_HOSTS=127.0.0.1:9600,127.0.0.1:9601 HLS_WIRE_NODE=1 \
+//	    go run ./examples/quickstart
+//
+// Each process hosts one node's ranks: the table stays one copy per
+// node (now per process), the single directive and its barrier stay
+// node-local, and the closing Allreduce crosses the TCP link to verify
+// every node loaded identical constants.
 package main
 
 import (
 	"fmt"
 	"log"
+	"net"
 
 	"hls/internal/hls"
 	"hls/internal/mpi"
 	"hls/internal/topology"
+	"hls/internal/wire"
 )
 
 func main() {
-	// A node with 2 sockets x 4 cores; one MPI task per core.
-	machine := topology.HarpertownCluster(1)
-	world, err := mpi.NewWorld(mpi.Config{
+	// Single-process default: one node with 2 sockets x 4 cores, one MPI
+	// task per core. With HLS_WIRE_HOSTS set, the same machine shape per
+	// node, one process (and one wire endpoint) per host-list entry.
+	wcfg, distributed, err := wire.ConfigFromEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := 1
+	if distributed {
+		nodes = len(wcfg.Addrs)
+	}
+	machine := topology.HarpertownCluster(nodes)
+	cfg := mpi.Config{
 		NumTasks: machine.TotalCores(),
 		Machine:  machine,
 		Pin:      topology.PinCorePerTask,
-	})
+	}
+	if distributed {
+		ln, err := net.Listen("tcp", wcfg.Addrs[wcfg.Self])
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := wire.NewTCP(wcfg, ln)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Wire = &mpi.WireConfig{Transport: tr}
+	}
+	world, err := mpi.NewWorld(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,12 +83,20 @@ func main() {
 			}
 		})
 
-		// Every task reads the same copy.
+		// Every task reads its node's copy.
 		sum := 0.0
 		for _, v := range table.Slice(task) {
 			sum += v
 		}
 		fmt.Printf("rank %d (node %d): sum = %.1f\n", task.Rank(), task.Place().Node, sum)
+
+		// Every node must have loaded the same constants. In distributed
+		// mode this collective is what crosses the TCP link.
+		global := []float64{0}
+		mpi.Allreduce(task, nil, []float64{sum}, global, mpi.OpSum)
+		if want := sum * float64(task.Size()); global[0] != want {
+			return fmt.Errorf("rank %d: allreduce %.1f, want %.1f", task.Rank(), global[0], want)
+		}
 		return nil
 	})
 	if err != nil {
@@ -60,4 +105,8 @@ func main() {
 
 	fmt.Printf("\ntable instances materialized: %d (machine could hold %d; a private copy per task would be %d)\n",
 		table.Instances(), table.MaxInstances(), world.Size())
+	if st, ok := world.WireStats(); ok {
+		fmt.Printf("wire: %d frames sent / %d received, %d reconnects\n",
+			st.FramesSent, st.FramesReceived, st.Reconnects)
+	}
 }

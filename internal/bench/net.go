@@ -1,0 +1,447 @@
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"hls/internal/mpi"
+	"hls/internal/topology"
+	"hls/internal/wire"
+)
+
+// The -exp net experiment measures the inter-node wire transport against
+// the in-process datapath it extends. Two paths, same ping-pong:
+//
+//   - local: both ranks in one World — the channel/pool fast path every
+//     message takes when sender and receiver share a process.
+//   - wire: the ranks split across two Worlds joined by real loopback
+//     TCP, so every message is framed, written to a socket, read back
+//     and claimed — exactly what two hlsworker processes on different
+//     machines would do, minus the physical network.
+//
+// The wire path sweeps sizes across eager limits on both sides of each
+// size, locating the eager/rendezvous crossover under frame + socket
+// overhead (the handshake costs three frames against eager's one, so
+// the crossover sits further right than in-process). The JSON snapshot
+// (BENCH_net.json) carries Checks, the acceptance booleans CI tracks
+// against the committed baseline.
+
+// NetPoint is one transport measurement.
+type NetPoint struct {
+	Path       string  `json:"path"` // local | wire
+	Bytes      int     `json:"bytes"`
+	EagerLimit int     `json:"eager_limit"`
+	Protocol   string  `json:"protocol"` // eager | rendezvous
+	NsPerOp    float64 `json:"ns_per_op"`
+	MBPerS     float64 `json:"mb_per_s"`
+	// Wire-path counters from the node-0 transport (zero on local runs).
+	FramesSent    uint64 `json:"frames_sent,omitempty"`
+	WireBytesSent uint64 `json:"wire_bytes_sent,omitempty"`
+	Reconnects    uint64 `json:"reconnects,omitempty"`
+	// Outstanding pooled eager buffers after the run (must be zero).
+	Outstanding int64 `json:"pool_outstanding"`
+}
+
+// NetChecks are the experiment's acceptance criteria.
+type NetChecks struct {
+	// WireBothProtocols: the wire path was measured under both the eager
+	// and the rendezvous protocol.
+	WireBothProtocols bool `json:"wire_both_protocols"`
+	// LocalWinsSmall: at the smallest size the in-process path beats the
+	// socket round trip — same-process ranks must keep the fast path.
+	LocalWinsSmall bool `json:"local_wins_small"`
+	// CleanWire: every wire run moved frames and finished without a
+	// single reconnect (loopback TCP under no injected faults).
+	CleanWire bool `json:"clean_wire"`
+	// NoLeakedBuffers: every run ends with zero pooled buffers
+	// outstanding, on both sides of the socket.
+	NoLeakedBuffers bool `json:"no_leaked_buffers"`
+}
+
+// NetResult is the full -exp net output.
+type NetResult struct {
+	Profile     string `json:"profile"`
+	EagerLimits []int  `json:"eager_limits"`
+	// WireCrossoverBytes is the smallest swept size at which rendezvous
+	// beat eager over the wire; 0 when eager won everywhere both were
+	// measured.
+	WireCrossoverBytes int        `json:"wire_crossover_bytes"`
+	Points             []NetPoint `json:"points"`
+	Checks             NetChecks  `json:"checks"`
+}
+
+// netPingPongLocal times iters in-process round trips: two ranks, one
+// World, no transport.
+func netPingPongLocal(nbytes, eagerLimit, iters int) (NetPoint, error) {
+	w, err := mpi.NewWorld(mpi.Config{
+		NumTasks: 2, EagerLimit: eagerLimit,
+		Timeout: 5 * time.Minute, Hooks: telemetryHooks(),
+	})
+	if err != nil {
+		return NetPoint{}, err
+	}
+	var perOp float64
+	err = w.Run(func(tk *mpi.Task) error {
+		if v, ok := netPingPongBody(tk, nbytes, iters); ok {
+			perOp = v
+		}
+		return nil
+	})
+	pt := netPoint("local", nbytes, eagerLimit, perOp)
+	pt.Outstanding = w.Stats().EagerPoolOutstanding
+	return pt, err
+}
+
+// netPingPongBody is the shared measured loop: rank 0 against rank 1,
+// warmed up, barrier-aligned, timed on rank 0. measured is true only on
+// rank 0, so exactly one task across both worlds reports a figure.
+func netPingPongBody(tk *mpi.Task, nbytes, iters int) (perOp float64, measured bool) {
+	buf := make([]byte, nbytes)
+	peer := tk.Rank() ^ 1
+	step := func(tag int) {
+		if tk.Rank() == 0 {
+			mpi.Send(tk, nil, buf, peer, tag)
+			mpi.Recv(tk, nil, buf, peer, tag)
+		} else if tk.Rank() == 1 {
+			mpi.Recv(tk, nil, buf, peer, tag)
+			mpi.Send(tk, nil, buf, peer, tag)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		step(0)
+	}
+	mpi.Barrier(tk, nil)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		step(1)
+	}
+	if tk.Rank() == 0 {
+		perOp = float64(time.Since(start).Nanoseconds()) / float64(iters)
+		measured = true
+	}
+	mpi.Barrier(tk, nil)
+	return perOp, measured
+}
+
+func netPoint(path string, nbytes, eagerLimit int, perOp float64) NetPoint {
+	pt := NetPoint{
+		Path: path, Bytes: nbytes, EagerLimit: eagerLimit,
+		Protocol: p2pProtocol(nbytes, eagerLimit), NsPerOp: perOp,
+	}
+	if perOp > 0 {
+		pt.MBPerS = 2 * float64(nbytes) * 1000 / perOp // two messages per round trip
+	}
+	return pt
+}
+
+// netPingPongWire times the same round trip with the ranks split across
+// two Worlds joined by loopback TCP — the full frame/socket/claim path.
+func netPingPongWire(nbytes, eagerLimit, iters int) (NetPoint, error) {
+	m, err := topology.New(topology.Spec{
+		Name: "netbench", Nodes: 2, SocketsPerNode: 1,
+		CoresPerSocket: 1, ThreadsPerCore: 1,
+	})
+	if err != nil {
+		return NetPoint{}, err
+	}
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return NetPoint{}, err
+	}
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ln0.Close()
+		return NetPoint{}, err
+	}
+	addrs := []string{ln0.Addr().String(), ln1.Addr().String()}
+	worlds := make([]*mpi.World, 2)
+	for self, ln := range []net.Listener{ln0, ln1} {
+		tr, err := wire.NewTCP(wire.Config{Addrs: addrs, Self: self, WorldKey: 1}, ln)
+		if err != nil {
+			return NetPoint{}, err
+		}
+		worlds[self], err = mpi.NewWorld(mpi.Config{
+			NumTasks: 2, EagerLimit: eagerLimit, Machine: m,
+			Wire:    &mpi.WireConfig{Transport: tr},
+			Timeout: 5 * time.Minute, Hooks: telemetryHooks(),
+		})
+		if err != nil {
+			return NetPoint{}, err
+		}
+	}
+	var perOp float64
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i, w := range worlds {
+		wg.Add(1)
+		go func(i int, w *mpi.World) {
+			defer wg.Done()
+			errs[i] = w.Run(func(tk *mpi.Task) error {
+				if v, ok := netPingPongBody(tk, nbytes, iters); ok {
+					perOp = v
+				}
+				return nil
+			})
+		}(i, w)
+	}
+	wg.Wait()
+	if err := errs[0]; err != nil {
+		return NetPoint{}, err
+	}
+	if err := errs[1]; err != nil {
+		return NetPoint{}, err
+	}
+	pt := netPoint("wire", nbytes, eagerLimit, perOp)
+	if st, ok := worlds[0].WireStats(); ok {
+		pt.FramesSent = st.FramesSent
+		pt.WireBytesSent = st.BytesSent
+		pt.Reconnects = st.Reconnects
+	}
+	for _, w := range worlds {
+		pt.Outstanding += w.Stats().EagerPoolOutstanding
+	}
+	return pt, nil
+}
+
+// RunNet runs the transport experiment.
+func RunNet(p Profile) (*NetResult, error) {
+	iters, itersLarge := 200, 50
+	if p == Full {
+		iters, itersLarge = 2000, 500
+	}
+	sizes := []int{64, 512, 4096, 16384, 65536}
+	limits := []int{1024, mpi.DefaultEagerLimit, 32768}
+	res := &NetResult{Profile: p.String(), EagerLimits: limits}
+
+	// Local baseline at the default limit.
+	for _, nbytes := range sizes {
+		n := iters
+		if nbytes >= 16384 {
+			n = itersLarge
+		}
+		pt, err := netPingPongLocal(nbytes, mpi.DefaultEagerLimit, n)
+		if err != nil {
+			return nil, fmt.Errorf("local %dB: %w", nbytes, err)
+		}
+		res.Points = append(res.Points, pt)
+	}
+
+	// Wire sweep: size x eager limit locates the protocol crossover
+	// under frame + socket overhead.
+	for _, limit := range limits {
+		for _, nbytes := range sizes {
+			n := iters
+			if nbytes >= 16384 {
+				n = itersLarge
+			}
+			pt, err := netPingPongWire(nbytes, limit, n)
+			if err != nil {
+				return nil, fmt.Errorf("wire %dB limit %d: %w", nbytes, limit, err)
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+
+	res.WireCrossoverBytes = computeNetCrossover(res)
+	res.Checks = computeNetChecks(res)
+	return res, nil
+}
+
+// computeNetCrossover finds the smallest wire-path size where the best
+// rendezvous measurement beat the best eager one; 0 when eager held on.
+func computeNetCrossover(res *NetResult) int {
+	best := map[int]map[string]float64{} // size -> protocol -> min ns/op
+	sizes := []int{}
+	for _, pt := range res.Points {
+		if pt.Path != "wire" || pt.NsPerOp <= 0 {
+			continue
+		}
+		m := best[pt.Bytes]
+		if m == nil {
+			m = map[string]float64{}
+			best[pt.Bytes] = m
+			sizes = append(sizes, pt.Bytes)
+		}
+		if cur, ok := m[pt.Protocol]; !ok || pt.NsPerOp < cur {
+			m[pt.Protocol] = pt.NsPerOp
+		}
+	}
+	crossover := 0
+	for _, size := range sizes { // appended in ascending sweep order
+		m := best[size]
+		e, okE := m["eager"]
+		r, okR := m["rendezvous"]
+		if okE && okR && r < e && (crossover == 0 || size < crossover) {
+			crossover = size
+		}
+	}
+	return crossover
+}
+
+func computeNetChecks(res *NetResult) NetChecks {
+	ch := NetChecks{CleanWire: true, NoLeakedBuffers: true}
+	var eager, rendez bool
+	smallest := 0
+	var localSmall, wireSmall float64
+	for _, pt := range res.Points {
+		if pt.Outstanding != 0 {
+			ch.NoLeakedBuffers = false
+		}
+		if smallest == 0 || pt.Bytes < smallest {
+			smallest = pt.Bytes
+		}
+		if pt.Path == "wire" {
+			if pt.FramesSent == 0 || pt.Reconnects != 0 {
+				ch.CleanWire = false
+			}
+			if pt.NsPerOp > 0 {
+				switch pt.Protocol {
+				case "eager":
+					eager = true
+				case "rendezvous":
+					rendez = true
+				}
+			}
+		}
+	}
+	for _, pt := range res.Points {
+		if pt.Bytes != smallest || pt.NsPerOp <= 0 {
+			continue
+		}
+		switch pt.Path {
+		case "local":
+			if localSmall == 0 || pt.NsPerOp < localSmall {
+				localSmall = pt.NsPerOp
+			}
+		case "wire":
+			if wireSmall == 0 || pt.NsPerOp < wireSmall {
+				wireSmall = pt.NsPerOp
+			}
+		}
+	}
+	ch.WireBothProtocols = eager && rendez
+	ch.LocalWinsSmall = localSmall > 0 && wireSmall > 0 && localSmall < wireSmall
+	return ch
+}
+
+// PrintNet renders the measurements and the acceptance checks.
+func PrintNet(w io.Writer, res *NetResult) {
+	fprintf(w, "Transport ping-pong: in-process vs loopback TCP\n")
+	fprintf(w, "%-6s %8s %8s %-11s %10s %9s %8s %8s\n",
+		"path", "bytes", "eager", "protocol", "ns/op", "MB/s", "frames", "reconn")
+	for _, pt := range res.Points {
+		fprintf(w, "%-6s %8d %8d %-11s %10.0f %9.1f %8d %8d\n",
+			pt.Path, pt.Bytes, pt.EagerLimit, pt.Protocol, pt.NsPerOp, pt.MBPerS,
+			pt.FramesSent, pt.Reconnects)
+	}
+	if res.WireCrossoverBytes > 0 {
+		fprintf(w, "wire eager/rendezvous crossover: %d B\n", res.WireCrossoverBytes)
+	} else {
+		fprintf(w, "wire eager/rendezvous crossover: none within sweep\n")
+	}
+	fprintf(w, "\nChecks:\n")
+	for _, c := range []struct {
+		name string
+		ok   bool
+	}{
+		{"wire measured under both protocols", res.Checks.WireBothProtocols},
+		{"in-process path beats the socket at the smallest size", res.Checks.LocalWinsSmall},
+		{"clean wire runs: frames flowed, zero reconnects", res.Checks.CleanWire},
+		{"no pooled buffers leaked on either side", res.Checks.NoLeakedBuffers},
+	} {
+		state := "PASS"
+		if !c.ok {
+			state = "FAIL"
+		}
+		fprintf(w, "  [%s] %s\n", state, c.name)
+	}
+}
+
+// WriteNetCSV writes the measurements as one flat table.
+func WriteNetCSV(w io.Writer, res *NetResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"path", "bytes", "eager_limit", "protocol",
+		"ns_per_op", "mb_per_s", "frames_sent", "wire_bytes_sent",
+		"reconnects", "pool_outstanding",
+	}); err != nil {
+		return err
+	}
+	for _, pt := range res.Points {
+		if err := cw.Write([]string{
+			pt.Path, strconv.Itoa(pt.Bytes), strconv.Itoa(pt.EagerLimit), pt.Protocol,
+			fmt.Sprintf("%.1f", pt.NsPerOp), fmt.Sprintf("%.1f", pt.MBPerS),
+			strconv.FormatUint(pt.FramesSent, 10),
+			strconv.FormatUint(pt.WireBytesSent, 10),
+			strconv.FormatUint(pt.Reconnects, 10),
+			strconv.FormatInt(pt.Outstanding, 10),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteNetJSON writes the full result snapshot (BENCH_net.json).
+func WriteNetJSON(w io.Writer, res *NetResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// ReadNetJSON parses a snapshot written by WriteNetJSON.
+func ReadNetJSON(r io.Reader) (*NetResult, error) {
+	var res NetResult
+	if err := json.NewDecoder(r).Decode(&res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// CompareNet prints an old/new comparison and returns an error if an
+// acceptance check that held in the baseline fails now. Timing deltas
+// are informational; check regressions are hard failures.
+func CompareNet(w io.Writer, base, cur *NetResult) error {
+	delta := func(old, new float64) string {
+		if old <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+	}
+	fprintf(w, "Net comparison vs baseline (%s profile)\n", base.Profile)
+	for _, b := range base.Points {
+		for _, c := range cur.Points {
+			if b.Path == c.Path && b.Bytes == c.Bytes && b.EagerLimit == c.EagerLimit {
+				fprintf(w, "  %-6s %6d B limit %5d %-11s %10.0f -> %10.0f ns/op  %s\n",
+					b.Path, b.Bytes, b.EagerLimit, b.Protocol,
+					b.NsPerOp, c.NsPerOp, delta(b.NsPerOp, c.NsPerOp))
+			}
+		}
+	}
+	var regressed []string
+	for _, chk := range []struct {
+		name      string
+		was, isOK bool
+	}{
+		{"wire_both_protocols", base.Checks.WireBothProtocols, cur.Checks.WireBothProtocols},
+		{"local_wins_small", base.Checks.LocalWinsSmall, cur.Checks.LocalWinsSmall},
+		{"clean_wire", base.Checks.CleanWire, cur.Checks.CleanWire},
+		{"no_leaked_buffers", base.Checks.NoLeakedBuffers, cur.Checks.NoLeakedBuffers},
+	} {
+		if chk.was && !chk.isOK {
+			regressed = append(regressed, chk.name)
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("net checks regressed vs baseline: %v", regressed)
+	}
+	fprintf(w, "all baseline checks still hold\n")
+	return nil
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// netFixture is a small in-memory result with every check passing.
+func netFixture() *NetResult {
+	res := &NetResult{
+		Profile:     "quick",
+		EagerLimits: []int{1024, 4096, 32768},
+		Points: []NetPoint{
+			{Path: "local", Bytes: 64, EagerLimit: 4096, Protocol: "eager", NsPerOp: 2000, MBPerS: 64},
+			{Path: "local", Bytes: 65536, EagerLimit: 4096, Protocol: "rendezvous", NsPerOp: 6000},
+			{Path: "wire", Bytes: 64, EagerLimit: 4096, Protocol: "eager",
+				NsPerOp: 30000, FramesSent: 400, WireBytesSent: 50000},
+			{Path: "wire", Bytes: 4096, EagerLimit: 1024, Protocol: "rendezvous",
+				NsPerOp: 65000, FramesSent: 1100, WireBytesSent: 4000000},
+			{Path: "wire", Bytes: 65536, EagerLimit: 4096, Protocol: "rendezvous",
+				NsPerOp: 140000, FramesSent: 360, WireBytesSent: 9000000},
+		},
+	}
+	res.WireCrossoverBytes = computeNetCrossover(res)
+	res.Checks = computeNetChecks(res)
+	return res
+}
+
+func netAllChecks(c NetChecks) bool {
+	return c.WireBothProtocols && c.LocalWinsSmall && c.CleanWire && c.NoLeakedBuffers
+}
+
+func TestNetChecksAndJSONRoundTrip(t *testing.T) {
+	res := netFixture()
+	if !netAllChecks(res.Checks) {
+		t.Fatalf("fixture checks = %+v, want all true", res.Checks)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteNetJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNetJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(res.Points) {
+		t.Fatalf("round trip lost points: %d/%d", len(back.Points), len(res.Points))
+	}
+	if back.Checks != res.Checks {
+		t.Fatalf("round trip checks = %+v, want %+v", back.Checks, res.Checks)
+	}
+}
+
+func TestNetCrossoverMeasured(t *testing.T) {
+	res := netFixture()
+	// Make eager and rendezvous meet at 4 KiB with rendezvous winning:
+	// the crossover must surface there.
+	res.Points = append(res.Points, NetPoint{
+		Path: "wire", Bytes: 4096, EagerLimit: 4096, Protocol: "eager",
+		NsPerOp: 70000, FramesSent: 400,
+	})
+	if got := computeNetCrossover(res); got != 4096 {
+		t.Fatalf("crossover = %d, want 4096", got)
+	}
+}
+
+func TestNetChecksFlagFailures(t *testing.T) {
+	res := netFixture()
+	res.Points[2].Reconnects = 2 // a wire run needed a reconnect
+	res.Points[4].Outstanding = 1
+	ch := computeNetChecks(res)
+	if ch.CleanWire {
+		t.Error("CleanWire true despite reconnects")
+	}
+	if ch.NoLeakedBuffers {
+		t.Error("NoLeakedBuffers true despite outstanding buffer")
+	}
+}
+
+func TestCompareNetFlagsRegressions(t *testing.T) {
+	base := netFixture()
+	var out bytes.Buffer
+	if err := CompareNet(&out, base, netFixture()); err != nil {
+		t.Fatalf("identical results compared unequal: %v", err)
+	}
+	if !strings.Contains(out.String(), "all baseline checks still hold") {
+		t.Errorf("missing pass line in:\n%s", out.String())
+	}
+
+	bad := netFixture()
+	bad.Points[2].FramesSent = 0 // wire run that moved no frames
+	bad.Checks = computeNetChecks(bad)
+	out.Reset()
+	err := CompareNet(&out, base, bad)
+	if err == nil || !strings.Contains(err.Error(), "clean_wire") {
+		t.Fatalf("regressed compare error = %v, want clean_wire failure", err)
+	}
+}
+
+func TestNetBaselineSnapshotParses(t *testing.T) {
+	f, err := os.Open("testdata/BENCH_net_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	base, err := ReadNetJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !netAllChecks(base.Checks) {
+		t.Fatalf("committed baseline checks = %+v, want all true", base.Checks)
+	}
+	if got := computeNetChecks(base); got != base.Checks {
+		t.Fatalf("recomputed checks %+v disagree with stored %+v", got, base.Checks)
+	}
+}
+
+func TestWriteNetCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteNetCSV(&buf, netFixture()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"path,bytes,eager_limit,protocol",
+		"wire,4096,1024,rendezvous",
+		"local,64,4096,eager",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("CSV missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunNetQuickSmoke runs a shrunken wire-vs-local sweep end to end.
+func TestRunNetQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs loopback TCP world pairs")
+	}
+	pt, err := netPingPongWire(512, 4096, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.NsPerOp <= 0 || pt.FramesSent == 0 {
+		t.Fatalf("wire point not measured: %+v", pt)
+	}
+	if pt.Outstanding != 0 {
+		t.Fatalf("%d pooled buffers leaked", pt.Outstanding)
+	}
+	lpt, err := netPingPongLocal(512, 4096, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpt.NsPerOp <= 0 || lpt.FramesSent != 0 {
+		t.Fatalf("local point wrong: %+v", lpt)
+	}
+}

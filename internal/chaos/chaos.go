@@ -2,7 +2,9 @@
 // runtime. One Injector plugs into the existing extension points — it
 // implements mpi.FaultHooks for message faults, hls.SyncObserver (+
 // AllocGate) for directive-level rank faults and allocation failures,
-// and exposes a MapGate closure for procmpi's shared-segment mapping —
+// wire.FaultInjector for inter-node transport faults (connection drops,
+// partial frames, dial failures), and exposes a MapGate closure for
+// procmpi's shared-segment mapping —
 // so the hot paths grow no chaos-specific code: a world without an
 // injector pays the same single nil check it always did.
 //
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"hls/internal/mpi"
+	"hls/internal/wire"
 )
 
 // Kind enumerates the injectable faults.
@@ -43,6 +46,16 @@ const (
 	AllocFail
 	// MapFail fails a procmpi shared-segment mapping attempt.
 	MapFail
+	// WireDrop severs the transport connection to a peer node just before
+	// a frame write; the reliability layer must reconnect and retransmit.
+	WireDrop
+	// WireTrunc writes only half of a frame before severing the
+	// connection (a partial frame the receiving end must survive).
+	WireTrunc
+	// WireDialFail fails a transport dial attempt, driving the capped
+	// reconnect backoff and, when it exhausts ReconnectMax, the
+	// peer-down → rank-failure cascade.
+	WireDialFail
 )
 
 func (k Kind) String() string {
@@ -61,6 +74,12 @@ func (k Kind) String() string {
 		return "alloc-fail"
 	case MapFail:
 		return "map-fail"
+	case WireDrop:
+		return "wire-drop"
+	case WireTrunc:
+		return "wire-trunc"
+	case WireDialFail:
+		return "wire-dial-fail"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -74,8 +93,8 @@ type Fault struct {
 	Rank int
 	// Var filters AllocFail by variable name ("" = any).
 	Var string
-	// Node filters MapFail by node index (-1 = any; note 0 matches only
-	// node 0).
+	// Node filters MapFail and the wire faults by node index — the peer
+	// node for wire faults (-1 = any; note 0 matches only node 0).
 	Node int
 
 	// Firing rule: Nth fires at the Nth matching opportunity (1-based)
@@ -211,7 +230,7 @@ func (inj *Injector) String() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "chaos: %d faults injected:", total)
-	for k := MsgDelay; k <= MapFail; k++ {
+	for k := MsgDelay; k <= WireDialFail; k++ {
 		if counts[k] > 0 {
 			fmt.Fprintf(&b, " %v=%d", k, counts[k])
 		}
@@ -310,6 +329,61 @@ func (inj *Injector) AllocAttempt(varName, scope string, inst, attempt int) erro
 			varName, scope, inst, attempt)
 	}
 	return nil
+}
+
+// --- wire.FaultInjector (inter-node transport faults) ---
+
+// WireSend implements wire.FaultInjector: consulted before every
+// sequenced frame write. A WireDrop fault severs the connection instead
+// of writing; a WireTrunc fault writes half the frame and severs. The
+// transport's reliability layer must absorb both, so these faults test
+// retransmission rather than inject message loss.
+func (inj *Injector) WireSend(peer int, t wire.Type, bytes int) (bool, int) {
+	drop, trunc := false, 0
+	for _, f := range inj.faults {
+		switch f.Kind {
+		case WireDrop, WireTrunc:
+		default:
+			continue
+		}
+		if f.Node >= 0 && f.Node != peer {
+			continue
+		}
+		if !f.fires() {
+			continue
+		}
+		switch f.Kind {
+		case WireDrop:
+			drop = true
+			inj.record(WireDrop, -1, "sever connection to node %d before %v frame (%dB)", peer, t, bytes)
+		case WireTrunc:
+			trunc = bytes / 2
+			if trunc == 0 {
+				trunc = 1
+			}
+			inj.record(WireTrunc, -1, "truncate %v frame to node %d (%d of %dB)", t, peer, trunc, bytes)
+		}
+	}
+	return drop, trunc
+}
+
+// WireDial implements wire.FaultInjector: matching WireDialFail faults
+// fail the dial attempt.
+func (inj *Injector) WireDial(peer int, attempt int) bool {
+	for _, f := range inj.faults {
+		if f.Kind != WireDialFail {
+			continue
+		}
+		if f.Node >= 0 && f.Node != peer {
+			continue
+		}
+		if !f.fires() {
+			continue
+		}
+		inj.record(WireDialFail, -1, "fail dial to node %d (attempt %d)", peer, attempt)
+		return false
+	}
+	return true
 }
 
 // --- procmpi mapping gate ---

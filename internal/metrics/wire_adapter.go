@@ -1,0 +1,56 @@
+package metrics
+
+import "hls/internal/wire"
+
+// WireAdapter implements wire.Observer, exporting the inter-node
+// transport's traffic: frames and bytes by direction, reconnects after
+// connection loss, and the sent-but-unacknowledged frame backlog. The
+// shard index is the peer node, so PerShard breaks traffic down by
+// remote end. Install it with
+//
+//	wire.Config{Observer: metrics.NewWireAdapter(reg)}
+//
+// Unlike the other adapters this one names the wire package directly:
+// its method signatures carry wire.Type, so a structural match would
+// need the import anyway, and wire is a leaf package (stdlib only).
+// Constructed over a nil registry every method is a cheap no-op.
+type WireAdapter struct {
+	framesSent *Counter
+	framesRecv *Counter
+	bytesSent  *Counter
+	bytesRecv  *Counter
+	reconnects *Counter
+	inflight   *Gauge
+}
+
+// NewWireAdapter creates the adapter and registers its metric families.
+// Passing a nil registry yields a disabled adapter.
+func NewWireAdapter(r *Registry) *WireAdapter {
+	return &WireAdapter{
+		framesSent: r.Counter("wire_frames_total", "transport frames by direction", L("dir", "sent")),
+		framesRecv: r.Counter("wire_frames_total", "transport frames by direction", L("dir", "received")),
+		bytesSent:  r.Counter("wire_bytes_total", "transport bytes (headers + payload) by direction", L("dir", "sent")),
+		bytesRecv:  r.Counter("wire_bytes_total", "transport bytes (headers + payload) by direction", L("dir", "received")),
+		reconnects: r.Counter("wire_reconnects_total", "connections re-established after loss, by peer node"),
+		inflight:   r.Gauge("wire_inflight_frames", "frames sent but not yet acknowledged"),
+	}
+}
+
+// FrameSent implements wire.Observer.
+func (a *WireAdapter) FrameSent(peer int, t wire.Type, bytes int) {
+	a.framesSent.Inc(peer)
+	a.bytesSent.Add(peer, int64(bytes))
+}
+
+// FrameReceived implements wire.Observer.
+func (a *WireAdapter) FrameReceived(peer int, t wire.Type, bytes int) {
+	a.framesRecv.Inc(peer)
+	a.bytesRecv.Add(peer, int64(bytes))
+}
+
+// Reconnect implements wire.Observer.
+func (a *WireAdapter) Reconnect(peer int) { a.reconnects.Inc(peer) }
+
+// InflightChanged implements wire.Observer. The delta carries no peer
+// attribution (acks trim a shared ring), so the gauge is single-shard.
+func (a *WireAdapter) InflightChanged(delta int) { a.inflight.Add(0, int64(delta)) }

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -79,6 +80,25 @@ var commRegistry struct {
 	m  map[*World]map[string]*Comm
 }
 
+// commBase derives a communicator's id and context base from its intern
+// key. In a single process a counter would do, but a distributed world
+// has one World instance per process and no counter synchronization:
+// every member must compute identical contexts independently, or wire
+// messages would never match. The intern keys are already deterministic
+// across members (Dup/Split construct them from collective-ordered
+// sequence numbers), so hashing the key gives each process the same
+// values. The hash is shifted left by commCtxStride so the id and the
+// three contexts occupy consecutive integers, and bit 62 is set to keep
+// hashed values disjoint from the small counter-allocated ones (the
+// world communicator's), with bit 63 clear so contexts stay positive.
+const commCtxStride = 4
+
+func commBase(key string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key)) //nolint:errcheck // fnv never fails
+	return int64(h.Sum64()<<commCtxStride&^(1<<63)) | 1<<62
+}
+
 func (w *World) internComm(key string, build func() *Comm) *Comm {
 	commRegistry.mu.Lock()
 	defer commRegistry.mu.Unlock()
@@ -118,7 +138,7 @@ func Dup(t *Task, c *Comm) *Comm {
 	Barrier(t, c)
 	return t.world.internComm(key, func() *Comm {
 		group := append([]int(nil), c.group...)
-		nc := t.world.newComm(group)
+		nc := t.world.newCommKeyed(key, group)
 		nc.buildIndex()
 		return nc
 	})
@@ -169,7 +189,7 @@ func Split(t *Task, c *Comm, color, key int) *Comm {
 	}
 	splitKey := fmt.Sprintf("split:%d:%d:%d", c.id, st.deriveSq, color)
 	return t.world.internComm(splitKey, func() *Comm {
-		nc := t.world.newComm(group)
+		nc := t.world.newCommKeyed(splitKey, group)
 		nc.buildIndex()
 		return nc
 	})

@@ -53,6 +53,18 @@ type message struct {
 	rendezvous bool
 	sreq       *Request
 
+	// kindOnly relaxes datatype matching to reflect.Kind equality: set on
+	// messages that crossed the wire, where the concrete Go type cannot
+	// travel and only its kind is encoded in the frame header.
+	kindOnly bool
+
+	// wireXid, when non-zero, marks a remote rendezvous RTS: the payload
+	// has not arrived yet, and matching this message means answering CTS
+	// to node wireNode (sender's world rank wireSrc) instead of copying.
+	wireXid  uint64
+	wireNode int
+	wireSrc  int
+
 	meta any // hooks.OnSend payload
 }
 
@@ -666,9 +678,16 @@ func probeHook(w *World, rank, probes int) {
 // sender's rendezvous handshake still completes (the payload left the
 // sender correctly — the mismatch is on the receiving side).
 func (w *World) deliverTo(msg *message, pr *postedRecv) {
+	if msg.wireXid != 0 {
+		// Remote rendezvous: the payload is still on the sender's node.
+		// Hand the matched pair to the wire layer, which validates, sends
+		// CTS, and completes the receive when the data frame lands.
+		w.net.matchedRTS(msg, pr)
+		return
+	}
 	var err error
 	switch {
-	case msg.etype != pr.etype:
+	case !typesMatch(msg, pr):
 		err = &Error{Rank: pr.recvRank, Op: "Recv",
 			Msg: fmt.Sprintf("datatype mismatch: receive buffer is []%v, message holds []%v", pr.etype, msg.etype)}
 	case msg.elems > pr.relems:
@@ -701,6 +720,17 @@ func (w *World) deliverTo(msg *message, pr *postedRecv) {
 	}
 	putMessage(msg)
 	putPostedRecv(pr)
+}
+
+// typesMatch implements MPI datatype matching between a message and a
+// posted receive. In process the element types must be identical; for
+// messages that crossed the wire only the reflect.Kind travels, so a
+// named scalar type matches its underlying kind on the far side.
+func typesMatch(msg *message, pr *postedRecv) bool {
+	if msg.etype == pr.etype {
+		return true
+	}
+	return msg.kindOnly && msg.etype.Kind() == pr.etype.Kind()
 }
 
 // drainEndpoints releases the payloads of every message still queued

@@ -142,6 +142,12 @@ func (w *World) rankFailed(r int, cause error) {
 	for _, h := range handlers {
 		h(r, cause)
 	}
+
+	// A distributed world also fails the wire transactions naming r and,
+	// when r died here, tells the other processes so they cascade too.
+	if w.net != nil {
+		w.net.onRankFailed(r, cause)
+	}
 }
 
 // cancel abandons the world: every pending receive and rendezvous send
@@ -177,6 +183,10 @@ func (w *World) cancel(cause error) {
 
 	for _, h := range handlers {
 		h(-1, cause)
+	}
+
+	if w.net != nil {
+		w.net.failAll(cause)
 	}
 }
 

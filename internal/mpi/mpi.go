@@ -155,8 +155,13 @@ type Config struct {
 	// when every unfinished task stays blocked in runtime operations
 	// with no progress across consecutive scans, Run cancels the world
 	// and returns a *DeadlockError naming each rank's blocking point.
-	// Zero disables the watchdog.
+	// Zero disables the watchdog. Ignored in distributed worlds (Wire
+	// set), where remote ranks legitimately show no local progress.
 	Watchdog time.Duration
+	// Wire, if non-nil, makes the world span multiple processes: this
+	// process runs only the ranks pinned to the transport's node and
+	// reaches the others over the transport. See WireConfig.
+	Wire *WireConfig
 }
 
 // World is one MPI program instance: a set of tasks and their
@@ -180,6 +185,10 @@ type World struct {
 
 	// pool recycles eager payload buffers across sends (see pool.go).
 	pool *bufPool
+
+	// net is the inter-node layer of a distributed world (see wire.go),
+	// nil for the ordinary single-process case.
+	net *netLayer
 
 	// shmOn selects the shared-address-space collective fast path,
 	// resolved once from cfg.Collectives and the installed hooks (see
@@ -297,6 +306,13 @@ func NewWorld(cfg Config) (*World, error) {
 		// opted in.
 		w.shmOn = w.faultHooks == nil && (cfg.Hooks == nil || w.shmHooks != nil)
 	}
+	if cfg.Wire != nil {
+		// The shared-address-space fast path needs every rank of a
+		// collective in one process; a distributed world always uses the
+		// channel algorithms, which route through isend and therefore
+		// cross the wire transparently.
+		w.shmOn = false
+	}
 	w.initFailure()
 	if w.shmOn {
 		w.OnFailure(w.abortShmColls)
@@ -305,24 +321,47 @@ func NewWorld(cfg Config) (*World, error) {
 	for i := range w.eps {
 		w.eps[i] = newEndpoint(i)
 	}
+	if cfg.Wire != nil {
+		if err := w.initWire(cfg.Wire); err != nil {
+			return nil, err
+		}
+	}
 	group := make([]int, cfg.NumTasks)
 	for i := range group {
 		group[i] = i
 	}
 	w.world = w.newComm(group)
+	if w.net != nil {
+		// Bind last: frames may start arriving the moment the sink is
+		// installed, and they need the endpoints and world communicator.
+		w.net.tr.Bind(w.net)
+	}
 	return w, nil
 }
 
 // newComm allocates a communicator over the given world-rank group, with
 // fresh user and collective communication contexts.
-func (w *World) newComm(group []int) *Comm {
-	c := &Comm{
-		world:   w,
-		id:      w.commID.Add(1),
-		group:   group,
-		ctxUser: w.ctxCounter.Add(1),
-		ctxColl: w.ctxCounter.Add(1),
-		ctxSync: w.ctxCounter.Add(1),
+func (w *World) newComm(group []int) *Comm { return w.newCommKeyed("", group) }
+
+// newCommKeyed is newComm for derived communicators: in a distributed
+// world the contexts are derived from the deterministic intern key, so
+// every process computes the same values without exchanging them (see
+// commBase). The counter path remains for single-process worlds and for
+// the world communicator, which is created first in every process and
+// therefore draws identical counter values anyway.
+func (w *World) newCommKeyed(key string, group []int) *Comm {
+	c := &Comm{world: w, group: group}
+	if w.net != nil && key != "" {
+		base := commBase(key)
+		c.id = base
+		c.ctxUser = base + 1
+		c.ctxColl = base + 2
+		c.ctxSync = base + 3
+	} else {
+		c.id = w.commID.Add(1)
+		c.ctxUser = w.ctxCounter.Add(1)
+		c.ctxColl = w.ctxCounter.Add(1)
+		c.ctxSync = w.ctxCounter.Add(1)
 	}
 	if w.shmOn {
 		c.shm = newShmColl(w, c)
@@ -354,12 +393,15 @@ func Run(cfg Config, fn func(*Task) error) (*World, error) {
 // hanging. The joined error Run returns therefore carries one typed
 // entry per affected rank; RankErrors exposes them individually.
 func (w *World) Run(fn func(*Task) error) error {
-	n := w.cfg.NumTasks
-	errs := make([]error, n)
+	// errs stays world-sized even when this process hosts only some
+	// ranks: indexing is by world rank everywhere, and ranks run
+	// elsewhere simply keep nil entries.
+	errs := make([]error, w.cfg.NumTasks)
 	w.rankErrs = errs
+	local := w.localRanks()
 	var wg sync.WaitGroup
-	wg.Add(n)
-	for r := 0; r < n; r++ {
+	wg.Add(len(local))
+	for _, r := range local {
 		t := &Task{world: w, rank: r, commState: make(map[int64]*commTaskState)}
 		go func(r int) {
 			defer wg.Done()
@@ -375,7 +417,10 @@ func (w *World) Run(fn func(*Task) error) error {
 	}
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
-	if w.cfg.Watchdog > 0 {
+	if w.cfg.Watchdog > 0 && w.net == nil {
+		// The watchdog samples local progress only; in a distributed
+		// world a rank waiting on remote traffic is indistinguishable
+		// from a stalled one, so stall detection is left to Timeout.
 		go w.watchdog(w.cfg.Watchdog, done)
 	}
 	var abort error
@@ -403,7 +448,12 @@ func (w *World) Run(fn func(*Task) error) error {
 	}
 	// Every task finished: release the payloads of messages nobody will
 	// ever receive (chaos duplicates, traffic to dead ranks), so the
-	// pool's outstanding count balances to zero.
+	// pool's outstanding count balances to zero. A distributed world
+	// first drains the transport (late frames are discarded, unacked
+	// ones get a grace period to reach their peers) and closes it.
+	if w.net != nil {
+		w.net.shutdown()
+	}
 	w.drainEndpoints()
 	if c := w.Cancelled(); c != nil && abort == nil {
 		abort = c // e.g. the watchdog's DeadlockError

@@ -111,6 +111,12 @@ func isend[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dst, tag int, op s
 	if w.msgHooks != nil {
 		w.msgHooks.OnMessage(t.rank, worldDst, bytes, msg.rendezvous)
 	}
+	if w.net != nil && !w.net.localRank(worldDst) {
+		// The destination runs in another process: hand the message to
+		// the wire layer (which applies its own fault actions — the block
+		// below must not run twice).
+		return w.net.isendRemote(t, msg, worldDst, op)
+	}
 	if w.faultHooks != nil {
 		act := w.faultHooks.FaultP2P(t.rank, worldDst, bytes, msg.rendezvous)
 		if act.Delay > 0 {

@@ -36,6 +36,12 @@ const poolSharedCap = 64
 // poolRankCap bounds each per-rank per-class cache.
 const poolRankCap = 8
 
+// poolNoRank marks a pool operation with no task context: the wire
+// transport's progress goroutines acquire receive buffers and release
+// undeliverable payloads without a rank identity, so they bypass the
+// per-rank caches and work against the shared classes directly.
+const poolNoRank = -1
+
 // eagerBuf is one pooled payload buffer. data always has the full class
 // capacity; the message tracks its own byte count. refs counts the
 // in-flight messages sharing the buffer (> 1 only under chaos
@@ -117,22 +123,24 @@ func (p *bufPool) get(rank, n int) *eagerBuf {
 		return b
 	}
 	class := poolClassFor(n)
-	rc := p.ranks[rank]
-	rc.mu.Lock()
-	if l := len(rc.free[class]); l > 0 {
-		b := rc.free[class][l-1]
-		rc.free[class][l-1] = nil
-		rc.free[class] = rc.free[class][:l-1]
-		rc.mu.Unlock()
-		p.hits.Add(1)
-		if p.hooks != nil {
-			p.hooks.OnPoolGet(rank, n, true)
+	if rank != poolNoRank {
+		rc := p.ranks[rank]
+		rc.mu.Lock()
+		if l := len(rc.free[class]); l > 0 {
+			b := rc.free[class][l-1]
+			rc.free[class][l-1] = nil
+			rc.free[class] = rc.free[class][:l-1]
+			rc.mu.Unlock()
+			p.hits.Add(1)
+			if p.hooks != nil {
+				p.hooks.OnPoolGet(rank, n, true)
+			}
+			b.home = rank
+			b.refs.Store(1)
+			return b
 		}
-		b.home = rank
-		b.refs.Store(1)
-		return b
+		rc.mu.Unlock()
 	}
-	rc.mu.Unlock()
 	sc := &p.classes[class]
 	sc.mu.Lock()
 	if l := len(sc.free); l > 0 {
@@ -178,14 +186,16 @@ func (p *bufPool) release(rank int, b *eagerBuf) {
 	if b.class < 0 {
 		return // oversize: hand to the GC
 	}
-	rc := p.ranks[b.home]
-	rc.mu.Lock()
-	if len(rc.free[b.class]) < poolRankCap {
-		rc.free[b.class] = append(rc.free[b.class], b)
+	if b.home != poolNoRank {
+		rc := p.ranks[b.home]
+		rc.mu.Lock()
+		if len(rc.free[b.class]) < poolRankCap {
+			rc.free[b.class] = append(rc.free[b.class], b)
+			rc.mu.Unlock()
+			return
+		}
 		rc.mu.Unlock()
-		return
 	}
-	rc.mu.Unlock()
 	sc := &p.classes[b.class]
 	sc.mu.Lock()
 	if len(sc.free) < poolSharedCap {

@@ -1,0 +1,580 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"hls/internal/wire"
+)
+
+// WireConfig attaches an inter-node transport to a world, so one MPI
+// world spans one process per node: each process runs the tasks pinned
+// to its node (Config.Machine + Config.Pin decide which), delivers
+// same-node messages through the in-process datapath as before, and
+// routes messages to ranks on other nodes over the transport.
+type WireConfig struct {
+	// Transport connects this process to the other nodes. Its Self() is
+	// this process's node, and Peers() must equal Machine.Nodes(). Build
+	// one with wire.NewTCP; the world binds and, at the end of Run,
+	// closes it.
+	Transport wire.Transport
+}
+
+// wirePendingSend is a rendezvous send parked on its CTS.
+type wirePendingSend struct {
+	msg      *message
+	src, dst int // world ranks
+}
+
+// wirePendingRecv is a matched remote rendezvous waiting for its data
+// frame; the payload is read off the socket directly into pr's buffer.
+type wirePendingRecv struct {
+	xid     uint64
+	pr      *postedRecv
+	src     int // world rank of the sender
+	srcComm int // sender's rank in the message's communicator
+	tag     int
+	elems   int
+	bytes   int
+}
+
+// netLayer implements wire.Sink and owns the world's distributed state:
+// rank→node routing, the rendezvous transaction tables, and the
+// failure-frame protocol. Lock order: endpoint/recv locks are always
+// taken before netLayer.mu, which is always taken before transport
+// internals — netLayer methods never call back into the endpoint layer
+// while holding mu.
+type netLayer struct {
+	w      *World
+	tr     wire.Transport
+	self   int   // this process's node
+	nodeOf []int // world rank -> node
+
+	mu       sync.Mutex
+	xidSeq   uint64
+	sends    map[uint64]*wirePendingSend
+	recvs    map[uint64]*wirePendingRecv
+	draining bool
+}
+
+func (w *World) initWire(cfg *WireConfig) error {
+	tr := cfg.Transport
+	if tr == nil {
+		return fmt.Errorf("mpi: WireConfig.Transport is nil")
+	}
+	if got, want := tr.Peers(), w.machine.Nodes(); got != want {
+		return fmt.Errorf("mpi: transport spans %d nodes, machine has %d", got, want)
+	}
+	if tr.Self() < 0 || tr.Self() >= w.machine.Nodes() {
+		return fmt.Errorf("mpi: transport self %d out of range [0,%d)", tr.Self(), w.machine.Nodes())
+	}
+	n := &netLayer{
+		w:      w,
+		tr:     tr,
+		self:   tr.Self(),
+		nodeOf: w.pin.NodeOf(),
+		sends:  make(map[uint64]*wirePendingSend),
+		recvs:  make(map[uint64]*wirePendingRecv),
+	}
+	local := 0
+	for _, node := range n.nodeOf {
+		if node == n.self {
+			local++
+		}
+	}
+	if local == 0 {
+		return fmt.Errorf("mpi: no rank is pinned to node %d under this machine/pin policy", n.self)
+	}
+	w.net = n
+	return nil
+}
+
+// localRank reports whether world rank r runs in this process.
+func (n *netLayer) localRank(r int) bool { return n.nodeOf[r] == n.self }
+
+// localRanks returns the world ranks this process runs, all of them for
+// a single-process world.
+func (w *World) localRanks() []int {
+	if w.net == nil {
+		out := make([]int, w.cfg.NumTasks)
+		for r := range out {
+			out[r] = r
+		}
+		return out
+	}
+	var out []int
+	for r, node := range w.net.nodeOf {
+		if node == w.net.self {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WireStats snapshots the transport counters of a distributed world; ok
+// is false for single-process worlds.
+func (w *World) WireStats() (wire.Stats, bool) {
+	if w.net == nil {
+		return wire.Stats{}, false
+	}
+	return w.net.tr.Stats(), true
+}
+
+// kindTypes maps each wire-encodable reflect.Kind to its canonical Go
+// type, the element type under which remote messages enter the matching
+// engine (kind-only matching; see typesMatch). int and uint are 64-bit
+// on every supported platform.
+var kindTypes = map[reflect.Kind]reflect.Type{
+	reflect.Int:     reflect.TypeOf(int(0)),
+	reflect.Int8:    reflect.TypeOf(int8(0)),
+	reflect.Int16:   reflect.TypeOf(int16(0)),
+	reflect.Int32:   reflect.TypeOf(int32(0)),
+	reflect.Int64:   reflect.TypeOf(int64(0)),
+	reflect.Uint:    reflect.TypeOf(uint(0)),
+	reflect.Uint8:   reflect.TypeOf(uint8(0)),
+	reflect.Uint16:  reflect.TypeOf(uint16(0)),
+	reflect.Uint32:  reflect.TypeOf(uint32(0)),
+	reflect.Uint64:  reflect.TypeOf(uint64(0)),
+	reflect.Float32: reflect.TypeOf(float32(0)),
+	reflect.Float64: reflect.TypeOf(float64(0)),
+}
+
+// isendRemote is isend's over-the-wire tail: the destination rank runs
+// in another process. Eager messages are encoded into a frame (the
+// transport copies the payload before Send returns, so the message is
+// complete immediately, like the in-process eager path); rendezvous
+// sends park in the transaction table and the frame exchange
+// RTS → CTS → Data completes sreq once the receiver has matched.
+func (n *netLayer) isendRemote(t *Task, msg *message, worldDst int, op string) *Request {
+	w := n.w
+	sreq := msg.sreq
+	dup := false
+	if w.faultHooks != nil {
+		act := w.faultHooks.FaultP2P(t.rank, worldDst, msg.bytes, msg.rendezvous)
+		if act.Delay > 0 {
+			time.Sleep(act.Delay)
+			t.checkPeer(op, worldDst)
+		}
+		if act.Drop {
+			if sreq != nil {
+				sreq.complete(Status{})
+			}
+			putMessage(msg)
+			return sreq
+		}
+		// Duplicate applies to eager frames; a duplicated RTS would open
+		// a second rendezvous transaction nobody answers.
+		dup = act.Duplicate && !msg.rendezvous && msg.bytes > 0
+	}
+	w.stats.messages.Add(1)
+	w.stats.bytes.Add(int64(msg.bytes))
+	node := n.nodeOf[worldDst]
+	h := wire.Header{
+		Kind:     uint8(msg.etype.Kind()),
+		Ctx:      msg.ctx,
+		SrcComm:  int32(msg.src),
+		SrcWorld: int32(t.rank),
+		DstWorld: int32(worldDst),
+		Tag:      int32(msg.tag),
+		Elems:    int32(msg.elems),
+	}
+	if msg.rendezvous {
+		h.Type = wire.TypeRTS
+		n.mu.Lock()
+		// The dead check shares mu with onRankFailed's table scan: either
+		// the scan already ran (the death is visible here) or it runs
+		// after this registration and fails the parked send. Checked
+		// outside the mutex, a death could slip between check and
+		// registration and the send would park forever.
+		if w.rankDead(worldDst) {
+			n.mu.Unlock()
+			putMessage(msg)
+			panic(&DeadRankError{Rank: t.rank, Op: op, Dead: worldDst})
+		}
+		n.xidSeq++
+		// Xids carry the sending node in the high bits so transactions
+		// from different processes can never collide at the receiver.
+		xid := uint64(n.self+1)<<48 | n.xidSeq
+		h.Xid = xid
+		n.sends[xid] = &wirePendingSend{msg: msg, src: t.rank, dst: worldDst}
+		n.mu.Unlock()
+		if err := n.tr.Send(node, &h, nil); err != nil {
+			n.mu.Lock()
+			delete(n.sends, xid)
+			n.mu.Unlock()
+			putMessage(msg)
+			panic(&DeadRankError{Rank: t.rank, Op: op, Dead: worldDst})
+		}
+		return sreq
+	}
+	h.Type = wire.TypeEager
+	err := n.tr.Send(node, &h, msg.sdata)
+	if err == nil && dup {
+		err = n.tr.Send(node, &h, msg.sdata)
+	}
+	putMessage(msg)
+	if err != nil {
+		panic(&DeadRankError{Rank: t.rank, Op: op, Dead: worldDst})
+	}
+	return nil
+}
+
+// sink implementation ------------------------------------------------
+
+// Alloc supplies receive buffers so payloads are read off the socket
+// with no intermediate copy: eager payloads land in a pooled eager
+// buffer (acquired without rank identity — the progress goroutine has
+// none), rendezvous data frames land directly in the posted receive's
+// buffer, claimed from the transaction table. A claim is undone by Free
+// if the read fails mid-payload, so the retransmitted frame can claim
+// again.
+func (n *netLayer) Alloc(peer int, h *wire.Header) ([]byte, any) {
+	switch h.Type {
+	case wire.TypeEager:
+		if h.PayloadLen == 0 {
+			return nil, nil
+		}
+		b := n.w.pool.get(poolNoRank, int(h.PayloadLen))
+		return b.data[:h.PayloadLen], b
+	case wire.TypeData:
+		n.mu.Lock()
+		wr := n.recvs[h.Xid]
+		if wr != nil && wr.bytes == int(h.PayloadLen) {
+			delete(n.recvs, h.Xid)
+			n.mu.Unlock()
+			return wr.pr.rdata[:h.PayloadLen], wr
+		}
+		n.mu.Unlock()
+	}
+	return nil, nil
+}
+
+// Free returns a buffer whose frame was dropped by the transport.
+func (n *netLayer) Free(peer int, token any) {
+	switch v := token.(type) {
+	case *eagerBuf:
+		n.w.pool.release(poolNoRank, v)
+	case *wirePendingRecv:
+		n.mu.Lock()
+		n.recvs[v.xid] = v // un-claim: the data frame will be retransmitted
+		n.mu.Unlock()
+	}
+}
+
+// Frame routes one delivered frame. Runs on a transport progress
+// goroutine; per-peer delivery is serialized by the transport, so
+// injection order equals the sender's send order (non-overtaking across
+// the wire).
+func (n *netLayer) Frame(peer int, f *wire.Frame) {
+	switch f.Type {
+	case wire.TypeEager:
+		n.onEager(f)
+	case wire.TypeRTS:
+		n.onRTS(peer, f)
+	case wire.TypeCTS:
+		n.onCTS(f)
+	case wire.TypeData:
+		n.onData(f)
+	case wire.TypeFailure:
+		n.onFailure(f)
+	}
+}
+
+// frameDst validates the destination rank of a frame; returns -1 for
+// frames this process must drop (malformed or mis-routed).
+func (n *netLayer) frameDst(f *wire.Frame) int {
+	dst := int(f.DstWorld)
+	if dst < 0 || dst >= len(n.nodeOf) || !n.localRank(dst) {
+		return -1
+	}
+	return dst
+}
+
+func (n *netLayer) onEager(f *wire.Frame) {
+	w := n.w
+	buf, _ := f.Token.(*eagerBuf)
+	release := func() {
+		if buf != nil {
+			w.pool.release(poolNoRank, buf)
+		}
+	}
+	dst := n.frameDst(f)
+	etype := kindTypes[reflect.Kind(f.Kind)]
+	n.mu.Lock()
+	draining := n.draining
+	n.mu.Unlock()
+	if dst < 0 || etype == nil || draining {
+		release()
+		return
+	}
+	m := getMessage()
+	m.ctx = f.Ctx
+	m.src = int(f.SrcComm)
+	m.tag = int(f.Tag)
+	m.elems = int(f.Elems)
+	m.bytes = int(f.PayloadLen)
+	m.etype = etype
+	m.kindOnly = true
+	m.sdata = f.Payload
+	m.payload = buf
+	if !w.inject(m, int(f.SrcWorld), dst) {
+		release()
+		putMessage(m)
+	}
+}
+
+func (n *netLayer) onRTS(peer int, f *wire.Frame) {
+	w := n.w
+	dst := n.frameDst(f)
+	etype := kindTypes[reflect.Kind(f.Kind)]
+	n.mu.Lock()
+	draining := n.draining
+	n.mu.Unlock()
+	if dst < 0 || etype == nil || draining {
+		return
+	}
+	m := getMessage()
+	m.ctx = f.Ctx
+	m.src = int(f.SrcComm)
+	m.tag = int(f.Tag)
+	m.elems = int(f.Elems)
+	m.bytes = int(f.Elems) * int(etype.Size())
+	m.etype = etype
+	m.kindOnly = true
+	m.rendezvous = true
+	m.wireXid = f.Xid
+	m.wireNode = peer
+	m.wireSrc = int(f.SrcWorld)
+	if !w.inject(m, int(f.SrcWorld), dst) {
+		putMessage(m)
+	}
+}
+
+// matchedRTS runs when the matching engine pairs a remote RTS with a
+// posted receive (from deliverTo, on either a task or a progress
+// goroutine). It performs the receiver-side validation deliverTo would,
+// registers the transaction, and answers CTS. On a validation error the
+// receive fails locally but CTS is still sent — the payload left the
+// sender correctly, so its handshake completes and the data frame is
+// discarded on arrival (no transaction to claim).
+func (n *netLayer) matchedRTS(msg *message, pr *postedRecv) {
+	w := n.w
+	var err error
+	switch {
+	case !typesMatch(msg, pr):
+		err = &Error{Rank: pr.recvRank, Op: "Recv",
+			Msg: fmt.Sprintf("datatype mismatch: receive buffer is []%v, message holds []%v", pr.etype, msg.etype)}
+	case msg.elems > pr.relems:
+		err = &Error{Rank: pr.recvRank, Op: "Recv",
+			Msg: fmt.Sprintf("message truncated: %d elements into buffer of %d", msg.elems, pr.relems)}
+	}
+	h := wire.Header{
+		Type:     wire.TypeCTS,
+		Xid:      msg.wireXid,
+		SrcWorld: int32(pr.recvRank),
+		DstWorld: int32(msg.wireSrc),
+	}
+	node := msg.wireNode
+	if err != nil {
+		n.tr.Send(node, &h, nil) //nolint:errcheck // receive already failed
+		pr.req.fail(err)
+		putMessage(msg)
+		// No transaction was registered, so the arriving data frame finds
+		// nothing to claim and is discarded — pr's buffer is never touched
+		// and can be recycled now.
+		putPostedRecv(pr)
+		return
+	}
+	wr := &wirePendingRecv{
+		xid:     msg.wireXid,
+		pr:      pr,
+		src:     msg.wireSrc,
+		srcComm: msg.src,
+		tag:     msg.tag,
+		elems:   msg.elems,
+		bytes:   msg.bytes,
+	}
+	n.mu.Lock()
+	if n.draining || w.rankDead(wr.src) {
+		n.mu.Unlock()
+		pr.req.fail(&DeadRankError{Rank: pr.recvRank, Op: "Recv", Dead: wr.src})
+		putMessage(msg)
+		return
+	}
+	n.recvs[wr.xid] = wr
+	n.mu.Unlock()
+	putMessage(msg)
+	if serr := n.tr.Send(node, &h, nil); serr != nil {
+		n.mu.Lock()
+		if n.recvs[wr.xid] == wr {
+			delete(n.recvs, wr.xid)
+			n.mu.Unlock()
+			pr.req.fail(&DeadRankError{Rank: pr.recvRank, Op: "Recv", Dead: wr.src})
+			return
+		}
+		n.mu.Unlock()
+	}
+}
+
+func (n *netLayer) onCTS(f *wire.Frame) {
+	n.mu.Lock()
+	ps := n.sends[f.Xid]
+	delete(n.sends, f.Xid)
+	n.mu.Unlock()
+	if ps == nil {
+		return // transaction already failed (peer death, cancel)
+	}
+	msg := ps.msg
+	h := wire.Header{
+		Type:     wire.TypeData,
+		Kind:     uint8(msg.etype.Kind()),
+		Xid:      f.Xid,
+		Ctx:      msg.ctx,
+		SrcComm:  int32(msg.src),
+		SrcWorld: int32(ps.src),
+		DstWorld: int32(ps.dst),
+		Tag:      int32(msg.tag),
+		Elems:    int32(msg.elems),
+	}
+	// msg.sdata still views the sender's buffer: the sending task is
+	// blocked on sreq, which completes only below, after the transport
+	// has copied the payload into its frame.
+	err := n.tr.Send(n.nodeOf[ps.dst], &h, msg.sdata)
+	if err != nil {
+		msg.sreq.fail(&DeadRankError{Rank: ps.src, Op: "Send", Dead: ps.dst})
+	} else {
+		msg.sreq.complete(Status{})
+	}
+	putMessage(msg)
+}
+
+func (n *netLayer) onData(f *wire.Frame) {
+	wr, _ := f.Token.(*wirePendingRecv)
+	if wr == nil {
+		return // no matching transaction: validation failed at RTS time
+	}
+	// The payload was read directly into wr.pr.rdata by the transport.
+	w := n.w
+	pr := wr.pr
+	if w.cfg.Hooks != nil {
+		w.cfg.Hooks.OnDeliver(pr.recvRank, nil)
+	}
+	pr.req.complete(Status{Source: wr.srcComm, Tag: wr.tag, Count: wr.elems, Bytes: wr.bytes})
+	putPostedRecv(pr)
+}
+
+func (n *netLayer) onFailure(f *wire.Frame) {
+	r := int(f.SrcWorld)
+	if r < 0 || r >= len(n.nodeOf) || n.localRank(r) {
+		return
+	}
+	msg := "remote rank failed"
+	if len(f.Payload) > 0 {
+		msg = string(f.Payload)
+	}
+	n.w.rankFailed(r, &RankFailure{Rank: r, Cause: errors.New(msg)})
+}
+
+// PeerDown turns a permanently lost node into a ULFM-style failure of
+// every rank that lived on it.
+func (n *netLayer) PeerDown(peer int, err error) {
+	n.mu.Lock()
+	draining := n.draining
+	n.mu.Unlock()
+	if draining {
+		return
+	}
+	for r, node := range n.nodeOf {
+		if node == peer {
+			n.w.rankFailed(r, &RankFailure{Rank: r, Cause: err})
+		}
+	}
+}
+
+// failure/cancel integration ------------------------------------------
+
+// onRankFailed runs at the tail of rankFailed: it fails the wire
+// transactions that involve the dead rank, and — when the rank died in
+// this process — broadcasts a failure frame so the other nodes cascade
+// too. Failure frames for remotely-learned deaths are not rebroadcast.
+func (n *netLayer) onRankFailed(r int, cause error) {
+	n.mu.Lock()
+	var failSends []*wirePendingSend
+	for xid, ps := range n.sends {
+		if ps.dst == r {
+			failSends = append(failSends, ps)
+			delete(n.sends, xid)
+		}
+	}
+	var failRecvs []*wirePendingRecv
+	for xid, wr := range n.recvs {
+		if wr.src == r {
+			failRecvs = append(failRecvs, wr)
+			delete(n.recvs, xid)
+		}
+	}
+	n.mu.Unlock()
+	for _, ps := range failSends {
+		ps.msg.sreq.fail(&DeadRankError{Rank: ps.src, Op: "Send", Dead: r})
+		putMessage(ps.msg)
+	}
+	for _, wr := range failRecvs {
+		wr.pr.req.fail(&DeadRankError{Rank: wr.pr.recvRank, Op: "Recv", Dead: r})
+		// pr is not recycled: a data frame already in flight may still be
+		// read into its buffer by the transport before the stream carries
+		// the failure news; leaking one pooled object is the safe choice.
+	}
+	if !n.localRank(r) {
+		return
+	}
+	h := wire.Header{Type: wire.TypeFailure, SrcWorld: int32(r)}
+	payload := []byte(cause.Error())
+	for node := 0; node < n.tr.Peers(); node++ {
+		if node == n.self {
+			continue
+		}
+		n.tr.Send(node, &h, payload) //nolint:errcheck // dead peers are already handled
+	}
+}
+
+// failAll fails every parked wire transaction with a CancelledError —
+// the cancel path (timeout, explicit Cancel).
+func (n *netLayer) failAll(cause error) {
+	n.mu.Lock()
+	sends := n.sends
+	recvs := n.recvs
+	n.sends = make(map[uint64]*wirePendingSend)
+	n.recvs = make(map[uint64]*wirePendingRecv)
+	n.mu.Unlock()
+	for _, ps := range sends {
+		ps.msg.sreq.fail(&CancelledError{Rank: ps.src, Op: "Send", Cause: cause})
+		putMessage(ps.msg)
+	}
+	for _, wr := range recvs {
+		wr.pr.req.fail(&CancelledError{Rank: wr.pr.recvRank, Op: "Recv", Cause: cause})
+	}
+}
+
+// shutdown runs after every local task finished: late frames are
+// discarded from here on (their buffers released, keeping pool
+// accounting balanced), sent-but-unacked frames get a short grace period
+// to reach their peers, then the transport closes.
+func (n *netLayer) shutdown() {
+	n.mu.Lock()
+	n.draining = true
+	sends := n.sends
+	n.sends = make(map[uint64]*wirePendingSend)
+	n.recvs = make(map[uint64]*wirePendingRecv)
+	n.mu.Unlock()
+	for _, ps := range sends {
+		putMessage(ps.msg) // rank died mid-rendezvous; nobody waits on sreq
+	}
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) && n.tr.Stats().Inflight > 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	n.tr.Close() //nolint:errcheck
+}

@@ -1,0 +1,258 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"hls/internal/topology"
+	"hls/internal/wire"
+)
+
+// The distributed-world tests run two Worlds in this process — one per
+// simulated node — connected by real loopback TCP, so they exercise the
+// full frame path (encode, socket, decode, claim, inject) exactly as two
+// OS processes would, while staying runnable under -race in one test
+// binary.
+
+// runWirePair runs fn as a single logical world of 2*perNode ranks split
+// across two Worlds connected over loopback TCP: ranks [0,perNode) live
+// in world 0, the rest in world 1. It returns both worlds and their Run
+// errors.
+func runWirePair(t *testing.T, perNode int, fn func(*Task) error) (w0, w1 *World, err0, err1 error) {
+	t.Helper()
+	m, err := topology.New(topology.Spec{
+		Name:           "wiretest",
+		Nodes:          2,
+		SocketsPerNode: 1,
+		CoresPerSocket: perNode,
+		ThreadsPerCore: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln0.Addr().String(), ln1.Addr().String()}
+	mk := func(self int, ln net.Listener) *World {
+		tr, err := wire.NewTCP(wire.Config{Addrs: addrs, Self: self, WorldKey: 42}, ln)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorld(Config{
+			NumTasks: 2 * perNode,
+			Machine:  m,
+			Wire:     &WireConfig{Transport: tr},
+			Timeout:  20 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	w0 = mk(0, ln0)
+	w1 = mk(1, ln1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); err0 = w0.Run(fn) }()
+	go func() { defer wg.Done(); err1 = w1.Run(fn) }()
+	wg.Wait()
+	return w0, w1, err0, err1
+}
+
+func TestWireEagerAndRendezvousRoundTrip(t *testing.T) {
+	const bigElems = 1024 // 8 KiB of int64 — past DefaultEagerLimit
+	fn := func(task *Task) error {
+		switch task.Rank() {
+		case 0:
+			Send(task, nil, []int32{1, 2, 3}, 2, 7) // eager, over the wire
+			big := make([]int64, bigElems)
+			for i := range big {
+				big[i] = int64(i)
+			}
+			Send(task, nil, big, 2, 8)        // rendezvous, over the wire
+			Send(task, nil, []int32{9}, 1, 1) // eager, in process
+			var reply [1]int64
+			st := Recv(task, nil, reply[:], 2, 9)
+			if reply[0] != 77 || st.Source != 2 {
+				return fmt.Errorf("rank 0: reply %d from %d", reply[0], st.Source)
+			}
+		case 1:
+			var v [1]int32
+			if st := Recv(task, nil, v[:], 0, 1); v[0] != 9 || st.Bytes != 4 {
+				return fmt.Errorf("rank 1: got %d (%d bytes)", v[0], st.Bytes)
+			}
+		case 2:
+			got := make([]int32, 3)
+			st := Recv(task, nil, got, 0, 7)
+			if st.Source != 0 || st.Tag != 7 || st.Count != 3 || got[2] != 3 {
+				return fmt.Errorf("rank 2: eager status %+v, data %v", st, got)
+			}
+			big := make([]int64, bigElems)
+			st = Recv(task, nil, big, 0, 8)
+			if st.Count != bigElems || st.Bytes != 8*bigElems {
+				return fmt.Errorf("rank 2: rendezvous status %+v", st)
+			}
+			for i, v := range big {
+				if v != int64(i) {
+					return fmt.Errorf("rank 2: big[%d] = %d", i, v)
+				}
+			}
+			Send(task, nil, []int64{77}, 0, 9)
+		}
+		return nil
+	}
+	w0, w1, err0, err1 := runWirePair(t, 2, fn)
+	if err0 != nil || err1 != nil {
+		t.Fatalf("err0=%v err1=%v", err0, err1)
+	}
+	for i, w := range []*World{w0, w1} {
+		st, ok := w.WireStats()
+		if !ok || st.FramesSent == 0 || st.FramesReceived == 0 {
+			t.Fatalf("world %d: wire stats %+v ok=%v", i, st, ok)
+		}
+		if out := w.Stats().EagerPoolOutstanding; out != 0 {
+			t.Fatalf("world %d: %d eager buffers leaked", i, out)
+		}
+	}
+	// The same-process message (0→1) must not have crossed the wire: one
+	// eager frame each way for the 0↔2 exchanges, one RTS/CTS/Data
+	// handshake, acks and hello — but no frame for tag 1.
+	if st, _ := w0.WireStats(); st.FramesSent > 16 {
+		t.Fatalf("world 0 sent %d frames; local traffic leaked onto the wire?", st.FramesSent)
+	}
+}
+
+func TestWireWildcardNonOvertaking(t *testing.T) {
+	const per = 25
+	fn := func(task *Task) error {
+		switch task.Rank() {
+		case 0, 2: // one wire source, one local source
+			for i := 0; i < per; i++ {
+				Send(task, nil, []int32{int32(task.Rank()), int32(i)}, 3, i)
+			}
+		case 3:
+			seen := map[int]int{}
+			for k := 0; k < 2*per; k++ {
+				var v [2]int32
+				st := Recv(task, nil, v[:], AnySource, AnyTag)
+				src, i := int(v[0]), int(v[1])
+				if st.Source != src || st.Tag != i {
+					return fmt.Errorf("status %+v disagrees with payload %v", st, v)
+				}
+				if seen[src] != i {
+					return fmt.Errorf("source %d: message %d arrived after %d", src, i, seen[src])
+				}
+				seen[src]++
+			}
+		}
+		return nil
+	}
+	_, _, err0, err1 := runWirePair(t, 2, fn)
+	if err0 != nil || err1 != nil {
+		t.Fatalf("err0=%v err1=%v", err0, err1)
+	}
+}
+
+func TestWireCollectivesAndSplit(t *testing.T) {
+	fn := func(task *Task) error {
+		n := task.Size()
+		// Allreduce spans both nodes through the channel algorithms.
+		out := []int64{0}
+		Allreduce(task, nil, []int64{int64(task.Rank() + 1)}, out, OpSum)
+		if want := int64(n * (n + 1) / 2); out[0] != want {
+			return fmt.Errorf("rank %d: allreduce %d, want %d", task.Rank(), out[0], want)
+		}
+		// Bcast from a rank on node 1.
+		buf := []int32{0}
+		if task.Rank() == 2 {
+			buf[0] = 123
+		}
+		Bcast(task, nil, buf, 2)
+		if buf[0] != 123 {
+			return fmt.Errorf("rank %d: bcast got %d", task.Rank(), buf[0])
+		}
+		// Split by parity: both resulting comms span both nodes, and their
+		// contexts must be derived identically in both processes for any
+		// traffic to match.
+		c := Split(task, nil, task.Rank()%2, task.Rank())
+		got := make([]int, c.Size())
+		Allgather(task, c, []int{task.Rank()}, got)
+		for i, r := range got {
+			if r%2 != task.Rank()%2 || (i > 0 && got[i-1] >= r) {
+				return fmt.Errorf("rank %d: split gathered %v", task.Rank(), got)
+			}
+		}
+		Barrier(task, nil)
+		return nil
+	}
+	_, _, err0, err1 := runWirePair(t, 2, fn)
+	if err0 != nil || err1 != nil {
+		t.Fatalf("err0=%v err1=%v", err0, err1)
+	}
+}
+
+func TestWirePeerKillMidRendezvousFailsSender(t *testing.T) {
+	fn := func(task *Task) error {
+		switch task.Rank() {
+		case 0:
+			big := make([]int64, 2048)
+			Send(task, nil, big, 2, 1) // peer dies; Send must not hang
+			return errors.New("send to dead rank completed")
+		case 2:
+			panic("killed by test")
+		}
+		return nil
+	}
+	_, _, err0, err1 := runWirePair(t, 2, fn)
+	var dead *DeadRankError
+	if !errors.As(err0, &dead) || dead.Dead != 2 {
+		t.Fatalf("world 0: want DeadRankError{Dead: 2}, got %v", err0)
+	}
+	var rf *RankFailure
+	if !errors.As(err1, &rf) || rf.Rank != 2 {
+		t.Fatalf("world 1: want RankFailure{Rank: 2}, got %v", err1)
+	}
+}
+
+func TestWireConcurrentCrossTraffic(t *testing.T) {
+	const msgs = 120
+	fn := func(task *Task) error {
+		partner := (task.Rank() + 2) % 4 // cross-node pairing: 0↔2, 1↔3
+		reqs := make([]*Request, 0, msgs)
+		bufs := make([][]int64, msgs)
+		for i := 0; i < msgs; i++ {
+			elems := 16
+			if i%5 == 0 {
+				elems = 1024 // force rendezvous every fifth message
+			}
+			out := make([]int64, elems)
+			for j := range out {
+				out[j] = int64(task.Rank()*1_000_000 + i)
+			}
+			reqs = append(reqs, Isend(task, nil, out, partner, i))
+			bufs[i] = make([]int64, elems)
+			reqs = append(reqs, Irecv(task, nil, bufs[i], partner, i))
+		}
+		Waitall(reqs)
+		for i, b := range bufs {
+			if want := int64(partner*1_000_000 + i); b[0] != want || b[len(b)-1] != want {
+				return fmt.Errorf("rank %d msg %d: got %d/%d want %d", task.Rank(), i, b[0], b[len(b)-1], want)
+			}
+		}
+		return nil
+	}
+	_, _, err0, err1 := runWirePair(t, 2, fn)
+	if err0 != nil || err1 != nil {
+		t.Fatalf("err0=%v err1=%v", err0, err1)
+	}
+}

@@ -95,6 +95,20 @@ func MustPin(m *Machine, n int, p PinPolicy) *Pinning {
 // Thread returns the hardware thread of rank r.
 func (p *Pinning) Thread(r int) int { return p.Threads[r] }
 
+// Node returns the node rank r is pinned on — the routing key of the
+// multi-node transport: ranks on the caller's node communicate in
+// process, ranks on other nodes over the wire.
+func (p *Pinning) Node(r int) int { return p.Machine.PlaceOf(p.Threads[r]).Node }
+
+// NodeOf returns, for every rank, the node it is pinned on.
+func (p *Pinning) NodeOf() []int {
+	out := make([]int, len(p.Threads))
+	for r := range p.Threads {
+		out[r] = p.Node(r)
+	}
+	return out
+}
+
 // NumTasks returns the number of pinned tasks.
 func (p *Pinning) NumTasks() int { return len(p.Threads) }
 

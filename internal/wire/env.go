@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strconv"
+)
+
+// Environment variables of the static-host-list bootstrap: every process
+// of a distributed world is launched with the same HLS_WIRE_HOSTS
+// (comma-separated listen addresses, one per node, node-id order) and
+// its own HLS_WIRE_NODE (index into the list).
+const (
+	EnvHosts = "HLS_WIRE_HOSTS"
+	EnvNode  = "HLS_WIRE_NODE"
+)
+
+// ConfigFromEnv builds a transport Config from HLS_WIRE_HOSTS and
+// HLS_WIRE_NODE. The second return is false when the variables are not
+// set (single-process mode); an error means they are set but invalid.
+func ConfigFromEnv() (Config, bool, error) {
+	hosts := os.Getenv(EnvHosts)
+	if hosts == "" {
+		return Config{}, false, nil
+	}
+	nodeStr := os.Getenv(EnvNode)
+	if nodeStr == "" {
+		return Config{}, false, fmt.Errorf("wire: %s set but %s is not", EnvHosts, EnvNode)
+	}
+	addrs, err := ParseHosts(hosts)
+	if err != nil {
+		return Config{}, false, err
+	}
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil || node < 0 || node >= len(addrs) {
+		return Config{}, false, fmt.Errorf("wire: %s=%q must be an index into the %d-entry host list", EnvNode, nodeStr, len(addrs))
+	}
+	cfg := Config{Addrs: addrs, Self: node, WorldKey: WorldKeyFor(hosts)}
+	return cfg, true, nil
+}
+
+// WorldKeyFor derives a world key from a job identity string (the host
+// list works well: all processes of one job share it, different jobs on
+// the same hosts usually differ by port).
+func WorldKeyFor(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id)) //nolint:errcheck
+	return h.Sum64()
+}

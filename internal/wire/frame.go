@@ -1,0 +1,219 @@
+// Package wire is the inter-node transport under the MPI runtime: a
+// length-prefixed binary frame protocol and a TCP implementation with
+// per-peer pooled connections, write coalescing, an async progress
+// goroutine per connection, and a sequence/ack reliability layer so a
+// dropped connection (chaos, flaky network) is survived by reconnecting
+// and retransmitting instead of losing messages.
+//
+// The package is deliberately free of runtime imports: internal/mpi
+// layers the MPI semantics (eager payloads, the rendezvous RTS/CTS/DATA
+// handshake, rank-failure notification) on top of the Frame type and the
+// Transport/Sink interfaces defined here, and internal/metrics and
+// internal/chaos plug in through the Observer and FaultInjector
+// extension points.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Version is the frame-format version carried in every header. A peer
+// speaking a different version is rejected at handshake time.
+const Version = 1
+
+// Type enumerates the frame kinds of the protocol.
+type Type uint8
+
+const (
+	// TypeHello opens a connection: it authenticates the peer (node id,
+	// world key, version) and carries the receiver's resume point — the
+	// next transport sequence number it expects — so the sender can
+	// retransmit everything the old connection lost.
+	TypeHello Type = iota + 1
+	// TypeAck is a standalone cumulative acknowledgement, emitted when
+	// one-way traffic gives the receiver no frame to piggyback its ack on.
+	TypeAck
+	// TypeEager carries a complete eager message: matching metadata plus
+	// the payload.
+	TypeEager
+	// TypeRTS (ready-to-send) opens a rendezvous transfer: matching
+	// metadata, no payload. The receiver answers with CTS once a matching
+	// receive is posted.
+	TypeRTS
+	// TypeCTS (clear-to-send) tells the sender the receive is matched and
+	// the payload may flow.
+	TypeCTS
+	// TypeData carries a rendezvous payload, correlated by Xid.
+	TypeData
+	// TypeFailure announces the death of a rank (ULFM-style), so remote
+	// ranks fail fast instead of waiting for messages that cannot come.
+	TypeFailure
+	// TypeControl carries collective control payloads for layers above
+	// the runtime (reserved; collectives built on p2p use Eager/RTS).
+	TypeControl
+)
+
+// String names the frame type.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeAck:
+		return "ack"
+	case TypeEager:
+		return "eager"
+	case TypeRTS:
+		return "rts"
+	case TypeCTS:
+		return "cts"
+	case TypeData:
+		return "data"
+	case TypeFailure:
+		return "failure"
+	case TypeControl:
+		return "control"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Header is the fixed-size frame header. The integer fields mirror what
+// the MPI matching engine needs (context, source, tag, element count)
+// plus the transport's own sequencing; unused fields are zero for
+// control frames.
+type Header struct {
+	Type Type
+	// Kind is the element type of the payload as a reflect.Kind value.
+	// Datatype matching across processes is by kind: a named scalar type
+	// matches its underlying kind on the far side.
+	Kind uint8
+	// Seq is the transport-level sequence number of the frame on its
+	// (sender, peer) stream; 0 marks an unsequenced control frame
+	// (hello, ack) that is never retransmitted.
+	Seq uint64
+	// Ack acknowledges every sequenced frame up to and including Ack, in
+	// the opposite direction. Piggybacked on every frame.
+	Ack uint64
+	// Xid correlates the RTS/CTS/DATA legs of one rendezvous transfer.
+	Xid uint64
+	// Ctx is the communication context (communicator + user/collective
+	// split) the message belongs to.
+	Ctx int64
+	// SrcComm is the sender's rank within the communicator of Ctx.
+	SrcComm int32
+	// SrcWorld / DstWorld are world ranks: the sending task and the task
+	// the frame is addressed to. For TypeFailure, SrcWorld is the dead
+	// rank.
+	SrcWorld int32
+	DstWorld int32
+	Tag      int32
+	// Elems is the element count of the message (eager and RTS frames).
+	Elems int32
+	// PayloadLen is the byte length of the payload following the header.
+	PayloadLen uint32
+}
+
+// Frame is one decoded frame: the header plus its payload. Payload views
+// a buffer supplied by the receiving Sink's Alloc (or an internal
+// scratch buffer); Token is whatever Alloc returned alongside it, so the
+// consumer can recycle the buffer.
+type Frame struct {
+	Header
+	Payload []byte
+	Token   any
+}
+
+// Frame wire format, little endian:
+//
+//	u32  frame length (everything after this field)
+//	u8   version
+//	u8   type
+//	u8   kind
+//	u8   reserved (flags)
+//	u64  seq
+//	u64  ack
+//	u64  xid
+//	i64  ctx
+//	i32  srcComm
+//	i32  srcWorld
+//	i32  dstWorld
+//	i32  tag
+//	i32  elems
+//	u32  payloadLen
+//	...  payload (payloadLen bytes)
+const (
+	lenPrefixSize = 4
+	headerSize    = 1 + 1 + 1 + 1 + 8 + 8 + 8 + 8 + 4*5 + 4 // after the length prefix
+	frameOverhead = lenPrefixSize + headerSize
+
+	// MaxPayload bounds a single frame's payload. Eager messages are
+	// bounded by the MPI eager limit; rendezvous payloads are sent whole
+	// in one Data frame, so the cap is generous.
+	MaxPayload = 1 << 30
+)
+
+// AppendFrame encodes header h and payload into dst and returns the
+// extended slice. PayloadLen is taken from len(payload).
+func AppendFrame(dst []byte, h *Header, payload []byte) []byte {
+	if len(payload) > MaxPayload {
+		panic(fmt.Sprintf("wire: payload %d exceeds MaxPayload", len(payload)))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(headerSize+len(payload)))
+	dst = append(dst, Version, byte(h.Type), h.Kind, 0)
+	dst = binary.LittleEndian.AppendUint64(dst, h.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, h.Ack)
+	dst = binary.LittleEndian.AppendUint64(dst, h.Xid)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(h.Ctx))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.SrcComm))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.SrcWorld))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.DstWorld))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.Tag))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.Elems))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// decodeHeader parses the fixed header from buf (headerSize bytes, after
+// the length prefix) and returns the payload length separately.
+func decodeHeader(h *Header, buf []byte) error {
+	if buf[0] != Version {
+		return fmt.Errorf("wire: frame version %d, want %d", buf[0], Version)
+	}
+	h.Type = Type(buf[1])
+	h.Kind = buf[2]
+	h.Seq = binary.LittleEndian.Uint64(buf[4:])
+	h.Ack = binary.LittleEndian.Uint64(buf[12:])
+	h.Xid = binary.LittleEndian.Uint64(buf[20:])
+	h.Ctx = int64(binary.LittleEndian.Uint64(buf[28:]))
+	h.SrcComm = int32(binary.LittleEndian.Uint32(buf[36:]))
+	h.SrcWorld = int32(binary.LittleEndian.Uint32(buf[40:]))
+	h.DstWorld = int32(binary.LittleEndian.Uint32(buf[44:]))
+	h.Tag = int32(binary.LittleEndian.Uint32(buf[48:]))
+	h.Elems = int32(binary.LittleEndian.Uint32(buf[52:]))
+	h.PayloadLen = binary.LittleEndian.Uint32(buf[56:])
+	return nil
+}
+
+// readHeader reads one frame's length prefix and header from r. It
+// returns the payload length still to be consumed from r.
+func readHeader(r io.Reader, h *Header, scratch *[frameOverhead]byte) (int, error) {
+	if _, err := io.ReadFull(r, scratch[:lenPrefixSize]); err != nil {
+		return 0, err
+	}
+	frameLen := binary.LittleEndian.Uint32(scratch[:lenPrefixSize])
+	if frameLen < headerSize || frameLen > headerSize+MaxPayload {
+		return 0, fmt.Errorf("wire: frame length %d out of range", frameLen)
+	}
+	if _, err := io.ReadFull(r, scratch[lenPrefixSize:]); err != nil {
+		return 0, err
+	}
+	if err := decodeHeader(h, scratch[lenPrefixSize:]); err != nil {
+		return 0, err
+	}
+	if int(h.PayloadLen) != int(frameLen)-headerSize {
+		return 0, fmt.Errorf("wire: payload length %d inconsistent with frame length %d", h.PayloadLen, frameLen)
+	}
+	return int(h.PayloadLen), nil
+}

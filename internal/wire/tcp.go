@@ -1,0 +1,672 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCP is the TCP implementation of Transport.
+//
+// Reliability model: every sequenced frame (eager, RTS, CTS, data,
+// failure) gets a per-peer monotonically increasing sequence number and
+// is retained in an unacked ring until the peer acknowledges it —
+// cumulatively, piggybacked on every frame it sends back, plus a
+// standalone ack every ackEvery frames of one-way traffic. When a
+// connection drops, nothing is lost: the next connection's Hello
+// handshake carries each side's resume point (highest in-order sequence
+// received) and the unacked tail is retransmitted. The receiver claims
+// frames strictly in order (seq == last+1) and drops duplicates, so
+// retransmission never reorders or duplicates delivery. Only when
+// reconnect attempts are exhausted is the peer declared down and
+// Sink.PeerDown invoked — which the MPI layer turns into a ULFM-style
+// rank-failure cascade.
+type TCP struct {
+	cfg    Config
+	ln     net.Listener
+	sink   Sink
+	peers  []*tcpPeer
+	closed atomic.Bool
+
+	framesSent atomic.Uint64
+	framesRecv atomic.Uint64
+	bytesSent  atomic.Uint64
+	bytesRecv  atomic.Uint64
+	reconnects atomic.Uint64
+	inflight   atomic.Int64
+}
+
+// ackEvery is the one-way-traffic interval (in frames) at which a
+// standalone cumulative ack is emitted.
+const ackEvery = 32
+
+// maxPooledEnc bounds the encode buffers kept in the pool.
+const maxPooledEnc = 64 << 10
+
+var encPool sync.Pool
+
+func getEnc() []byte {
+	if v := encPool.Get(); v != nil {
+		return (*v.(*[]byte))[:0]
+	}
+	return nil
+}
+
+func putEnc(b []byte) {
+	if cap(b) > 0 && cap(b) <= maxPooledEnc {
+		b = b[:0]
+		encPool.Put(&b)
+	}
+}
+
+type encFrame struct {
+	seq uint64
+	buf []byte
+}
+
+// tcpPeer is the per-peer connection state. Two mutexes with a strict
+// order (recvMu before sendMu, never the reverse): sendMu guards the
+// connection, writer, sequence allocation and the unacked ring; recvMu
+// serializes in-order claim + delivery so a stale reader can never
+// deliver around the current one.
+type tcpPeer struct {
+	id int
+	tr *TCP
+
+	sendMu       sync.Mutex
+	conn         net.Conn
+	bw           *bufio.Writer
+	ready        bool // Hello exchange complete on conn; writes allowed
+	sendSeq      uint64
+	unacked      []encFrame
+	dialing      bool
+	down         bool
+	downErr      error
+	hadConn      bool
+	pendingSends atomic.Int32
+
+	recvMu  sync.Mutex
+	recvSeq atomic.Uint64 // highest in-order seq received (atomic: read by send path for piggyback)
+	lastAck uint64        // recvSeq value last standalone-acked
+}
+
+// NewTCP builds a TCP transport listening on cfg.Addrs[cfg.Self] (or on
+// cfg's pre-built listener for tests using port 0). Bind must be called
+// before the first Send.
+func NewTCP(cfg Config, ln net.Listener) (*TCP, error) {
+	c := cfg.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", c.Addrs[c.Self])
+		if err != nil {
+			return nil, fmt.Errorf("wire: listen %s: %w", c.Addrs[c.Self], err)
+		}
+	}
+	t := &TCP{cfg: c, ln: ln}
+	t.peers = make([]*tcpPeer, len(c.Addrs))
+	for i := range t.peers {
+		t.peers[i] = &tcpPeer{id: i, tr: t}
+	}
+	return t, nil
+}
+
+// Self returns this node's id.
+func (t *TCP) Self() int { return t.cfg.Self }
+
+// Peers returns the node count.
+func (t *TCP) Peers() int { return len(t.peers) }
+
+// Addr returns the actual listen address (resolves port 0).
+func (t *TCP) Addr() net.Addr { return t.ln.Addr() }
+
+// Bind installs the sink and starts the accept loop.
+func (t *TCP) Bind(s Sink) {
+	t.sink = s
+	go t.acceptLoop()
+}
+
+// Close shuts the transport down.
+func (t *TCP) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := t.ln.Close()
+	for _, p := range t.peers {
+		p.sendMu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+			p.bw = nil
+			p.ready = false
+		}
+		p.sendMu.Unlock()
+	}
+	return err
+}
+
+// Stats snapshots the transport counters.
+func (t *TCP) Stats() Stats {
+	inf := t.inflight.Load()
+	if inf < 0 {
+		inf = 0
+	}
+	return Stats{
+		FramesSent:     t.framesSent.Load(),
+		FramesReceived: t.framesRecv.Load(),
+		BytesSent:      t.bytesSent.Load(),
+		BytesReceived:  t.bytesRecv.Load(),
+		Reconnects:     t.reconnects.Load(),
+		Inflight:       uint64(inf),
+	}
+}
+
+// Send assigns the next sequence number, queues the frame in the unacked
+// ring, and writes it if a ready connection exists — otherwise it
+// triggers a lazy dial and lets the Hello handshake's retransmission
+// push the queued frame out. The payload is encoded (copied) before
+// Send returns.
+func (t *TCP) Send(peer int, h *Header, payload []byte) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	if peer < 0 || peer >= len(t.peers) || peer == t.cfg.Self {
+		return fmt.Errorf("wire: bad peer %d (self %d of %d)", peer, t.cfg.Self, len(t.peers))
+	}
+	p := t.peers[peer]
+	p.pendingSends.Add(1)
+	defer p.pendingSends.Add(-1)
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	if p.down {
+		return &PeerDownError{Peer: peer, Last: p.downErr}
+	}
+	p.sendSeq++
+	hh := *h
+	hh.Seq = p.sendSeq
+	hh.Ack = p.recvSeq.Load()
+	buf := AppendFrame(getEnc(), &hh, payload)
+	p.unacked = append(p.unacked, encFrame{seq: hh.Seq, buf: buf})
+	t.inflight.Add(1)
+	if ob := t.cfg.Observer; ob != nil {
+		ob.InflightChanged(1)
+	}
+	if p.conn == nil || !p.ready {
+		p.ensureDialLocked()
+		return nil
+	}
+	if err := p.writeLocked(buf, hh.Type, true); err != nil {
+		p.severLocked(err)
+	}
+	return nil
+}
+
+// writeLocked writes one encoded frame on the current connection,
+// consulting the fault injector and coalescing flushes: if other senders
+// are already waiting on sendMu the flush is left to the last of them.
+func (p *tcpPeer) writeLocked(buf []byte, ft Type, coalesce bool) error {
+	t := p.tr
+	if f := t.cfg.Fault; f != nil && ft != TypeHello {
+		drop, trunc := f.WireSend(p.id, ft, len(buf))
+		if drop {
+			return errors.New("wire: injected connection drop")
+		}
+		if trunc > 0 && trunc < len(buf) {
+			p.conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+			p.bw.Write(buf[:trunc]) //nolint:errcheck // connection is being severed
+			p.bw.Flush()            //nolint:errcheck
+			return errors.New("wire: injected partial frame")
+		}
+	}
+	p.conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout)) //nolint:errcheck
+	if _, err := p.bw.Write(buf); err != nil {
+		return err
+	}
+	t.framesSent.Add(1)
+	t.bytesSent.Add(uint64(len(buf)))
+	if ob := t.cfg.Observer; ob != nil {
+		ob.FrameSent(p.id, ft, len(buf))
+	}
+	if coalesce && p.pendingSends.Load() > 1 {
+		return nil // a waiting sender will write and flush
+	}
+	return p.bw.Flush()
+}
+
+// severLocked tears the current connection down (keeping the unacked
+// ring for retransmission) and triggers a reconnect.
+func (p *tcpPeer) severLocked(err error) {
+	_ = err
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+		p.bw = nil
+		p.ready = false
+	}
+	if !p.tr.closed.Load() {
+		p.ensureDialLocked()
+	}
+}
+
+// sever is severLocked for callers (readers) that must first check the
+// connection they saw fail is still the current one.
+func (p *tcpPeer) sever(c net.Conn, err error) {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	if p.conn != c {
+		c.Close() // stale connection: just make sure it is gone
+		return
+	}
+	p.severLocked(err)
+}
+
+// ensureDialLocked spawns the reconnect loop unless one is already
+// running or the peer is finished.
+func (p *tcpPeer) ensureDialLocked() {
+	if p.dialing || p.down || p.tr.closed.Load() {
+		return
+	}
+	p.dialing = true
+	go p.dialLoop()
+}
+
+// dialLoop dials the peer with capped exponential backoff. On success
+// the dialer sends Hello and hands the connection to a reader; the
+// peer's answering Hello completes the handshake (retransmit + ready).
+// Exhausting ReconnectMax attempts declares the peer down.
+func (p *tcpPeer) dialLoop() {
+	t := p.tr
+	backoff := t.cfg.ReconnectBackoff
+	maxBackoff := 32 * t.cfg.ReconnectBackoff
+	var lastErr error = errors.New("no attempts made")
+	for attempt := 1; attempt <= t.cfg.ReconnectMax; attempt++ {
+		if t.closed.Load() {
+			p.finishDial()
+			return
+		}
+		p.sendMu.Lock()
+		if p.conn != nil { // acceptor installed a connection meanwhile
+			p.dialing = false
+			p.sendMu.Unlock()
+			return
+		}
+		hadConn := p.hadConn
+		p.sendMu.Unlock()
+		if attempt > 1 || hadConn {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		if f := t.cfg.Fault; f != nil && !f.WireDial(p.id, attempt) {
+			lastErr = errors.New("wire: injected dial failure")
+			continue
+		}
+		conn, err := net.DialTimeout("tcp", t.cfg.Addrs[p.id], t.cfg.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true) //nolint:errcheck
+		}
+		if p.adoptDialed(conn) {
+			p.finishDial()
+			return
+		}
+		lastErr = errors.New("wire: dialed connection not adopted")
+	}
+	p.markDown(lastErr)
+}
+
+// finishDial clears the dialing flag.
+func (p *tcpPeer) finishDial() {
+	p.sendMu.Lock()
+	p.dialing = false
+	p.sendMu.Unlock()
+}
+
+// adoptDialed installs a freshly dialed connection (unless the acceptor
+// beat us to one), sends our Hello, and starts the reader. The
+// connection is not ready for app writes until the peer's Hello arrives.
+func (p *tcpPeer) adoptDialed(conn net.Conn) bool {
+	t := p.tr
+	p.sendMu.Lock()
+	if t.closed.Load() || p.down {
+		p.sendMu.Unlock()
+		conn.Close()
+		return t.closed.Load() // closed counts as "done dialing"
+	}
+	if p.conn != nil {
+		p.sendMu.Unlock()
+		conn.Close() // a connection exists; use it
+		return true
+	}
+	p.installLocked(conn)
+	err := p.writeHelloLocked()
+	p.sendMu.Unlock()
+	if err != nil {
+		p.sever(conn, err)
+		return false
+	}
+	go p.runReader(conn, true)
+	return true
+}
+
+// installLocked makes conn the current connection (closing any old one).
+func (p *tcpPeer) installLocked(conn net.Conn) {
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.conn = conn
+	p.bw = bufio.NewWriterSize(conn, 64<<10)
+	p.ready = false
+	if p.hadConn {
+		p.tr.reconnects.Add(1)
+		if ob := p.tr.cfg.Observer; ob != nil {
+			ob.Reconnect(p.id)
+		}
+	}
+	p.hadConn = true
+}
+
+// writeHelloLocked sends the handshake frame: our node id, the world
+// key, and our resume point (highest in-order seq received from peer).
+func (p *tcpPeer) writeHelloLocked() error {
+	h := Header{
+		Type:     TypeHello,
+		Xid:      p.tr.cfg.WorldKey,
+		SrcWorld: int32(p.tr.cfg.Self),
+		Ack:      p.recvSeq.Load(),
+	}
+	buf := AppendFrame(getEnc(), &h, nil)
+	err := p.writeLocked(buf, TypeHello, false)
+	putEnc(buf)
+	return err
+}
+
+// handleHello processes the peer's Hello on connection c: acknowledge
+// through the peer's resume point, retransmit the unacked tail, and open
+// the connection for new writes.
+func (p *tcpPeer) handleHello(c net.Conn, resume uint64) {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	if p.conn != c {
+		return // stale connection
+	}
+	p.trimAckedLocked(resume)
+	for _, ef := range p.unacked {
+		if err := p.writeLocked(ef.buf, TypeEager, false); err != nil {
+			p.severLocked(err)
+			return
+		}
+	}
+	if err := p.bw.Flush(); err != nil {
+		p.severLocked(err)
+		return
+	}
+	p.ready = true
+}
+
+// handleAck trims the unacked ring through cumulative ack a.
+func (p *tcpPeer) handleAck(a uint64) {
+	p.sendMu.Lock()
+	p.trimAckedLocked(a)
+	p.sendMu.Unlock()
+}
+
+func (p *tcpPeer) trimAckedLocked(a uint64) {
+	n := 0
+	for n < len(p.unacked) && p.unacked[n].seq <= a {
+		putEnc(p.unacked[n].buf)
+		n++
+	}
+	if n > 0 {
+		rest := len(p.unacked) - n
+		copy(p.unacked, p.unacked[n:])
+		for i := rest; i < len(p.unacked); i++ {
+			p.unacked[i] = encFrame{}
+		}
+		p.unacked = p.unacked[:rest]
+		p.tr.inflight.Add(int64(-n))
+		if ob := p.tr.cfg.Observer; ob != nil {
+			ob.InflightChanged(-n)
+		}
+	}
+}
+
+// sendAck emits a standalone cumulative ack.
+func (p *tcpPeer) sendAck() {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	if p.conn == nil || !p.ready {
+		return
+	}
+	h := Header{Type: TypeAck, Ack: p.recvSeq.Load()}
+	buf := AppendFrame(getEnc(), &h, nil)
+	err := p.writeLocked(buf, TypeAck, false)
+	putEnc(buf)
+	if err != nil {
+		p.severLocked(err)
+	}
+}
+
+// maybeAck emits a standalone cumulative ack if any received frames are
+// still unacknowledged.
+func (p *tcpPeer) maybeAck() {
+	p.recvMu.Lock()
+	cur := p.recvSeq.Load()
+	send := cur > p.lastAck
+	if send {
+		p.lastAck = cur
+	}
+	p.recvMu.Unlock()
+	if send {
+		p.sendAck()
+	}
+}
+
+// markDown declares the peer permanently unreachable.
+func (p *tcpPeer) markDown(err error) {
+	p.sendMu.Lock()
+	if p.down {
+		p.sendMu.Unlock()
+		return
+	}
+	p.down = true
+	p.downErr = err
+	p.dialing = false
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+		p.bw = nil
+		p.ready = false
+	}
+	n := len(p.unacked)
+	for _, ef := range p.unacked {
+		putEnc(ef.buf)
+	}
+	p.unacked = nil
+	if n > 0 {
+		p.tr.inflight.Add(int64(-n))
+		if ob := p.tr.cfg.Observer; ob != nil {
+			ob.InflightChanged(-n)
+		}
+	}
+	p.sendMu.Unlock()
+	if !p.tr.closed.Load() {
+		p.tr.sink.PeerDown(p.id, &PeerDownError{Peer: p.id, Last: err})
+	}
+}
+
+// acceptLoop accepts inbound connections and hands each to a handshake
+// goroutine.
+func (t *TCP) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true) //nolint:errcheck
+		}
+		go t.handleAccept(conn)
+	}
+}
+
+// handleAccept reads the dialer's Hello, identifies and validates the
+// peer, and decides whether to adopt the connection. Tie-break when a
+// connection already exists (simultaneous dial from both ends): the
+// connection dialed by the LOWER node id wins, so both sides converge on
+// the same socket instead of flapping.
+func (t *TCP) handleAccept(conn net.Conn) {
+	conn.SetReadDeadline(time.Now().Add(t.cfg.DialTimeout + 2*time.Second)) //nolint:errcheck
+	br := bufio.NewReader(conn)
+	var scratch [frameOverhead]byte
+	var h Header
+	plen, err := readHeader(br, &h, &scratch)
+	if err != nil || h.Type != TypeHello || plen != 0 {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+	peerID := int(h.SrcWorld)
+	if peerID < 0 || peerID >= len(t.peers) || peerID == t.cfg.Self || h.Xid != t.cfg.WorldKey {
+		conn.Close()
+		return
+	}
+	p := t.peers[peerID]
+	p.sendMu.Lock()
+	if t.closed.Load() || p.down || (p.conn != nil && peerID > t.cfg.Self) {
+		p.sendMu.Unlock()
+		conn.Close()
+		return
+	}
+	p.installLocked(conn)
+	if err := p.writeHelloLocked(); err != nil {
+		p.severLocked(err)
+		p.sendMu.Unlock()
+		return
+	}
+	p.sendMu.Unlock()
+	// Complete the handshake from their resume point, then read.
+	p.handleHello(conn, h.Ack)
+	p.runReaderWith(conn, br, false)
+}
+
+// runReader is the per-connection progress goroutine (dialer side).
+func (p *tcpPeer) runReader(c net.Conn, dialer bool) {
+	p.runReaderWith(c, bufio.NewReader(c), dialer)
+}
+
+// runReaderWith decodes frames off the connection and routes them:
+// Hello completes handshakes, Ack trims the ring, everything else is
+// claimed in order and delivered to the sink.
+func (p *tcpPeer) runReaderWith(c net.Conn, br *bufio.Reader, dialer bool) {
+	_ = dialer
+	t := p.tr
+	var scratch [frameOverhead]byte
+	for {
+		if t.cfg.ReadIdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(t.cfg.ReadIdleTimeout)) //nolint:errcheck
+		}
+		var h Header
+		plen, err := readHeader(br, &h, &scratch)
+		if err != nil {
+			if !errors.Is(err, io.EOF) || !t.closed.Load() {
+				p.sever(c, err)
+			}
+			return
+		}
+		var payload []byte
+		var token any
+		if plen > 0 {
+			if t.sink != nil && (h.Type == TypeEager || h.Type == TypeData) {
+				payload, token = t.sink.Alloc(p.id, &h)
+			}
+			if len(payload) != plen {
+				if token != nil {
+					t.sink.Free(p.id, token)
+					token = nil
+				}
+				payload = make([]byte, plen)
+			}
+			if _, err := io.ReadFull(br, payload); err != nil {
+				if token != nil {
+					t.sink.Free(p.id, token)
+				}
+				p.sever(c, err)
+				return
+			}
+		}
+		t.framesRecv.Add(1)
+		t.bytesRecv.Add(uint64(frameOverhead + plen))
+		if ob := t.cfg.Observer; ob != nil {
+			ob.FrameReceived(p.id, h.Type, frameOverhead+plen)
+		}
+		switch h.Type {
+		case TypeHello:
+			p.handleHello(c, h.Ack)
+		case TypeAck:
+			p.handleAck(h.Ack)
+		default:
+			p.handleAck(h.Ack) // piggybacked cumulative ack
+			if !p.claimAndDeliver(c, &h, payload, token) {
+				return // connection severed on protocol error
+			}
+			if br.Buffered() == 0 {
+				// The stream went quiescent: ack what we have now, so the
+				// sender's inflight count drains promptly (world shutdown
+				// waits on it) instead of waiting out the ackEvery stride.
+				p.maybeAck()
+			}
+		}
+	}
+}
+
+// claimAndDeliver claims the frame's sequence number in order and hands
+// it to the sink under recvMu, so delivery order equals sequence order
+// even across connection replacement. Duplicates (retransmission
+// overlap) and frames from stale connections are dropped. A sequence gap
+// severs the connection to force a resume handshake; it reports false.
+func (p *tcpPeer) claimAndDeliver(c net.Conn, h *Header, payload []byte, token any) bool {
+	t := p.tr
+	p.recvMu.Lock()
+	p.sendMu.Lock()
+	cur := p.conn
+	p.sendMu.Unlock()
+	if cur != c || h.Seq <= p.recvSeq.Load() {
+		p.recvMu.Unlock()
+		if token != nil {
+			t.sink.Free(p.id, token)
+		}
+		return true
+	}
+	if h.Seq != p.recvSeq.Load()+1 {
+		p.recvMu.Unlock()
+		if token != nil {
+			t.sink.Free(p.id, token)
+		}
+		p.sever(c, fmt.Errorf("wire: sequence gap: got %d, expected %d", h.Seq, p.recvSeq.Load()+1))
+		return false
+	}
+	p.recvSeq.Store(h.Seq)
+	t.sink.Frame(p.id, &Frame{Header: *h, Payload: payload, Token: token})
+	needAck := h.Seq-p.lastAck >= ackEvery
+	if needAck {
+		p.lastAck = h.Seq
+	}
+	p.recvMu.Unlock()
+	if needAck {
+		p.sendAck()
+	}
+	return true
+}

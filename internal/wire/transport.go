@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+)
+
+// Sink consumes frames a Transport received. The runtime (internal/mpi)
+// implements it; calls arrive on transport progress goroutines, never on
+// task goroutines.
+type Sink interface {
+	// Alloc supplies the buffer an incoming payload is read into, so the
+	// transport can read off the socket directly into a pooled eager
+	// buffer or a posted receive buffer (zero intermediate copy). It
+	// returns the buffer (len == h.PayloadLen) and an opaque token handed
+	// back in Frame.Token. Returning a nil buffer tells the transport to
+	// use internal scratch space.
+	Alloc(peer int, h *Header) ([]byte, any)
+	// Frame delivers one decoded frame from peer. The payload buffer is
+	// owned by the sink after the call.
+	Frame(peer int, f *Frame)
+	// Free returns an Alloc'd buffer whose frame was dropped by the
+	// transport (duplicate after retransmission, stale connection)
+	// without being delivered.
+	Free(peer int, token any)
+	// PeerDown reports that the connection to peer is permanently lost
+	// (reconnect attempts exhausted or the transport closed it after a
+	// protocol violation). err describes the last failure.
+	PeerDown(peer int, err error)
+}
+
+// Transport moves frames between this node and its peers. Implementations
+// must be safe for concurrent Send calls from many goroutines.
+type Transport interface {
+	// Self returns this node's id (index into the address list).
+	Self() int
+	// Peers returns the total node count (self included).
+	Peers() int
+	// Bind installs the sink and starts accepting/delivering frames.
+	// Must be called exactly once before Send.
+	Bind(s Sink)
+	// Send queues frame f for delivery to peer, dialing lazily if no
+	// connection exists. The payload is copied before Send returns, so
+	// the caller may reuse it. Send returns an error only if the peer is
+	// permanently down or the transport is closed; transient connection
+	// failures are absorbed by the reliability layer.
+	Send(peer int, h *Header, payload []byte) error
+	// Close shuts the transport down: the listener stops, connections
+	// close, and pending sends are abandoned.
+	Close() error
+	// Stats snapshots transport counters.
+	Stats() Stats
+}
+
+// Stats are cumulative transport counters.
+type Stats struct {
+	FramesSent     uint64
+	FramesReceived uint64
+	BytesSent      uint64
+	BytesReceived  uint64
+	Reconnects     uint64
+	// Inflight is the number of sent-but-unacked frames at snapshot time.
+	Inflight uint64
+}
+
+// Observer receives transport events; internal/metrics adapts its
+// counters behind this. All methods may be called concurrently.
+type Observer interface {
+	FrameSent(peer int, t Type, bytes int)
+	FrameReceived(peer int, t Type, bytes int)
+	Reconnect(peer int)
+	InflightChanged(delta int)
+}
+
+// FaultInjector lets internal/chaos perturb the transport
+// deterministically. All hooks may be called concurrently.
+type FaultInjector interface {
+	// WireSend is consulted before writing a sequenced frame. dropConn
+	// severs the current connection (the reliability layer recovers);
+	// truncate > 0 writes only that many bytes of the encoded frame
+	// before severing (a partial frame the peer must survive).
+	WireSend(peer int, t Type, bytes int) (dropConn bool, truncate int)
+	// WireDial is consulted before a dial attempt; returning false fails
+	// the attempt (reconnect-storm pressure).
+	WireDial(peer int, attempt int) bool
+}
+
+// Config configures the TCP transport.
+type Config struct {
+	// Addrs lists one listen address per node, in node-id order.
+	Addrs []string
+	// Self is this node's index into Addrs.
+	Self int
+	// WorldKey must match across all nodes of a world; it guards against
+	// cross-talk between unrelated jobs sharing a host list.
+	WorldKey uint64
+
+	// DialTimeout bounds one dial attempt (default 2s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds one frame write (default 10s). A stuck write
+	// severs the connection; reliability retransmits on the next one.
+	WriteTimeout time.Duration
+	// ReadIdleTimeout bounds silence on a connection (default 0 = none).
+	// On expiry the connection is severed and redialed.
+	ReadIdleTimeout time.Duration
+	// ReconnectMax caps reconnect attempts per outage before the peer is
+	// declared down (default 5).
+	ReconnectMax int
+	// ReconnectBackoff is the initial backoff between attempts, doubled
+	// each attempt and capped at 32x (default 50ms).
+	ReconnectBackoff time.Duration
+
+	Observer Observer
+	Fault    FaultInjector
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = 2 * time.Second
+	}
+	if out.WriteTimeout <= 0 {
+		out.WriteTimeout = 10 * time.Second
+	}
+	if out.ReconnectMax <= 0 {
+		out.ReconnectMax = 5
+	}
+	if out.ReconnectBackoff <= 0 {
+		out.ReconnectBackoff = 50 * time.Millisecond
+	}
+	return out
+}
+
+// Validate checks the config for obvious misconfiguration.
+func (c *Config) Validate() error {
+	if len(c.Addrs) < 2 {
+		return fmt.Errorf("wire: need at least 2 addresses, have %d", len(c.Addrs))
+	}
+	if c.Self < 0 || c.Self >= len(c.Addrs) {
+		return fmt.Errorf("wire: self %d out of range [0,%d)", c.Self, len(c.Addrs))
+	}
+	for i, a := range c.Addrs {
+		if a == "" {
+			return fmt.Errorf("wire: empty address for node %d", i)
+		}
+		if _, _, err := net.SplitHostPort(a); err != nil {
+			return fmt.Errorf("wire: address %q for node %d: %v", a, i, err)
+		}
+	}
+	return nil
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("wire: transport closed")
+
+// PeerDownError is returned by Send for a peer declared permanently down,
+// and passed to Sink.PeerDown.
+type PeerDownError struct {
+	Peer int
+	Last error
+}
+
+func (e *PeerDownError) Error() string {
+	return fmt.Sprintf("wire: peer %d down: %v", e.Peer, e.Last)
+}
+
+// ParseHosts splits a comma-separated host list ("addr0,addr1,...") into
+// an address slice, trimming whitespace. It is the bootstrap format of
+// HLS_WIRE_HOSTS and hlsworker -hosts.
+func ParseHosts(list string) ([]string, error) {
+	parts := strings.Split(list, ",")
+	addrs := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		addrs = append(addrs, p)
+	}
+	if len(addrs) < 2 {
+		return nil, fmt.Errorf("wire: host list %q has %d entries, need >= 2", list, len(addrs))
+	}
+	return addrs, nil
+}
