@@ -25,13 +25,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|faults|sync|p2p|net|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|faults|sync|p2p|net|trace|all")
 	full := flag.Bool("full", false, "run the paper-shaped sweep instead of the quick profile")
 	seed := flag.Int64("seed", 1, "chaos seed for -exp faults (fixes the whole fault schedule)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	syncOut := flag.String("out", "BENCH_sync.json", "where -exp sync writes its JSON snapshot (empty to skip)")
 	p2pOut := flag.String("p2pout", "BENCH_p2p.json", "where -exp p2p writes its JSON snapshot (empty to skip)")
 	netOut := flag.String("netout", "BENCH_net.json", "where -exp net writes its JSON snapshot (empty to skip)")
+	traceOut := flag.String("traceout", "BENCH_trace.json", "where -exp trace writes its JSON snapshot (empty to skip)")
+	traceFile := flag.String("tracefile", "", "where -exp trace writes the Perfetto-loadable event file for hlstrace (empty to skip)")
 	eagerLimit := flag.Int("eager-limit", 0, "pin -exp p2p to one eager/rendezvous threshold in bytes (0 sweeps a ladder around the default)")
 	compare := flag.String("compare", "", "baseline JSON snapshot to compare against, for -exp sync or -exp p2p (exit 1 on check regressions)")
 	serve := flag.String("serve", "", "serve live /metrics, /metrics.json and /debug/pprof/ on this address (e.g. :8080 or :0) while experiments run")
@@ -231,6 +233,39 @@ func main() {
 			f.Close()
 			exitOn(err)
 			exitOn(bench.CompareNet(os.Stdout, base, res))
+		}
+		fmt.Println()
+	}
+	if want("trace") {
+		ran = true
+		fmt.Printf("== Tracing plane: wait attribution vs ground truth (%s profile) ==\n", profile)
+		res, err := bench.RunTrace(profile)
+		exitOn(err)
+		bench.PrintTrace(os.Stdout, res)
+		writeCSV("trace.csv", func(w io.Writer) error { return bench.WriteTraceCSV(w, res) })
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			exitOn(err)
+			err = bench.WriteTraceJSON(f, res)
+			f.Close()
+			exitOn(err)
+			fmt.Println("wrote", *traceOut)
+		}
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			exitOn(err)
+			err = bench.WriteTraceEvents(f, res)
+			f.Close()
+			exitOn(err)
+			fmt.Println("wrote", *traceFile)
+		}
+		if *compare != "" && *exp == "trace" {
+			f, err := os.Open(*compare)
+			exitOn(err)
+			base, err := bench.ReadTraceJSON(f)
+			f.Close()
+			exitOn(err)
+			exitOn(bench.CompareTrace(os.Stdout, base, res))
 		}
 		fmt.Println()
 	}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -28,7 +29,9 @@ import (
 	"hls/internal/hls"
 	"hls/internal/metrics"
 	"hls/internal/mpi"
+	"hls/internal/obs"
 	"hls/internal/topology"
+	"hls/internal/trace"
 	"hls/internal/wire"
 )
 
@@ -41,6 +44,8 @@ func main() {
 	perNode := flag.Int("tasks-per-node", 2, "MPI ranks hosted by each process")
 	rounds := flag.Int("rounds", 3, "workload iterations")
 	serve := flag.String("serve", "", "serve /metrics, /metrics.json and pprof on this address while running")
+	traceFile := flag.String("trace", "", "record a distributed trace; rank 0's process writes the world-merged Perfetto file here (plus <file>.metrics.json)")
+	traceEvents := flag.Int("trace-events", 1<<16, "per-process trace ring capacity (0 = unbounded)")
 	linger := flag.Duration("linger", 0, "keep the process (and -serve endpoint) up this long after the workload")
 	timeout := flag.Duration("timeout", 2*time.Minute, "deadlock watchdog for the whole run")
 	flag.Parse()
@@ -81,12 +86,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr, err := wire.NewTCP(wire.Config{
+
+	// -trace: per-process recorder + NTP-style clock against node 0, so
+	// rank 0 can pull every ring at teardown and write one merged,
+	// clock-aligned Perfetto file.
+	var tracer *obs.Tracer
+	var clock *obs.Clock
+	wa := metrics.NewWireAdapter(reg, len(addrs))
+	wcfg := wire.Config{
 		Addrs:    addrs,
 		Self:     *node,
 		WorldKey: wire.WorldKeyFor(*hosts),
-		Observer: metrics.NewWireAdapter(reg),
-	}, ln)
+		Observer: wa,
+		Clock:    wa,
+	}
+	if *traceFile != "" {
+		tracer = obs.NewTracer(trace.NewRecorder(trace.WithMaxEvents(*traceEvents)))
+		clock = obs.NewClock(len(addrs))
+		wcfg.Clock = wire.ClockObservers(clock, wa)
+		wcfg.PingInterval = 250 * time.Millisecond
+	}
+	tr, err := wire.NewTCP(wcfg, ln)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,12 +126,17 @@ func main() {
 		Pin:      topology.PinCorePerTask,
 		Wire:     &mpi.WireConfig{Transport: tr},
 		Hooks:    metrics.NewMPIAdapter(reg),
+		Trace:    traceHooks(tracer),
 		Timeout:  *timeout,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	hreg := hls.New(world)
+	var hlsOpts []hls.Option
+	if tracer != nil {
+		hlsOpts = append(hlsOpts, hls.WithObserver(tracer.Sync()))
+	}
+	hreg := hls.New(world, hlsOpts...)
 	table := hls.Declare[int64](hreg, "node-table", topology.Node, 256)
 
 	fmt.Printf("node %d/%d: hosting ranks %v of a %d-rank world\n",
@@ -176,6 +201,9 @@ func main() {
 			}
 			mpi.Barrier(task, nil)
 		}
+		if tracer != nil {
+			return gatherTrace(task, tracer, clock, reg, *node, *traceFile)
+		}
 		return nil
 	})
 	if err != nil {
@@ -200,4 +228,73 @@ func localRanks(node, perNode int) []int {
 		ranks[i] = node*perNode + i
 	}
 	return ranks
+}
+
+// traceHooks adapts the optional tracer to the mpi.TraceHooks interface
+// without smuggling a typed nil into a non-nil interface value.
+func traceHooks(t *obs.Tracer) mpi.TraceHooks {
+	if t == nil {
+		return nil
+	}
+	return t
+}
+
+// gatherTrace runs the teardown gather on every rank (it communicates,
+// so all ranks must call it); rank 0's process then writes the merged
+// Perfetto trace and the world-wide metrics snapshot next to it.
+func gatherTrace(task *mpi.Task, tracer *obs.Tracer, clock *obs.Clock, reg *metrics.Registry, node int, path string) error {
+	merged, err := obs.Gather(task, func() *obs.ProcDump {
+		tracer.PublishDropped(reg.Counter("trace_events_dropped_total",
+			"Events overwritten in the bounded trace ring."))
+		off, ok := clock.OffsetTo(0)
+		if node == 0 {
+			off, ok = 0, true // node 0 is the reference clock
+		}
+		return &obs.ProcDump{
+			EpochUnixNano: tracer.Recorder().EpochUnixNano(),
+			OffsetNs:      off, HasOffset: ok,
+			RTTNs:    clock.RTTTo(0),
+			DriftPPB: clock.DriftPPB(0),
+			Dropped:  tracer.Dropped(),
+			Events:   tracer.Recorder().Events(),
+			Metrics:  reg.Snapshot(),
+		}
+	})
+	if err != nil || merged == nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := merged.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	mf, err := os.Create(path + ".metrics.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(merged.Metrics); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("node %d: wrote %s (%d events from %d processes, %d dropped, %d flows clamped)\n",
+		node, path, len(merged.Events), len(merged.Procs), merged.Dropped, merged.AdjustedFlows)
+	for _, p := range merged.Procs {
+		if p.Node == node {
+			continue
+		}
+		fmt.Printf("node %d: clock node %d: offset %+dns rtt %dns drift %+dppb (probe=%v)\n",
+			node, p.Node, p.OffsetNs, p.RTTNs, p.DriftPPB, p.HasOffset)
+	}
+	return nil
 }

@@ -90,6 +90,12 @@ type P2PResult struct {
 	Checks         P2PChecks  `json:"checks"`
 }
 
+// p2pTraceConfig, when non-nil, supplies a tracer for every world the
+// p2p experiment builds. The trace experiment sets it to measure the
+// enabled-path tracing overhead on exactly the workload the budget is
+// defined over — this profile's own points — rather than a lookalike.
+var p2pTraceConfig func() mpi.TraceHooks
+
 func p2pProtocol(nbytes, eagerLimit int) string {
 	if nbytes <= eagerLimit {
 		return "eager"
@@ -112,10 +118,14 @@ func p2pCounters(pt *P2PPoint, s mpi.Stats) {
 // worlds measure the matching engine under concurrent pair traffic;
 // rank 0 reports the timing and the process-wide allocation rate.
 func p2pPingPong(kind string, tasks, nbytes, eagerLimit, iters int) (P2PPoint, error) {
-	w, err := mpi.NewWorld(mpi.Config{
+	cfg := mpi.Config{
 		NumTasks: tasks, EagerLimit: eagerLimit,
 		Timeout: 5 * time.Minute, Hooks: telemetryHooks(),
-	})
+	}
+	if p2pTraceConfig != nil {
+		cfg.Trace = p2pTraceConfig()
+	}
+	w, err := mpi.NewWorld(cfg)
 	if err != nil {
 		return P2PPoint{}, err
 	}
@@ -175,10 +185,14 @@ func p2pPingPong(kind string, tasks, nbytes, eagerLimit, iters int) (P2PPoint, e
 // copied through a pooled buffer. The zero-byte control messages carry
 // no payload and never touch the pool, keeping the counters pure.
 func p2pArrival(arrival string, nbytes, eagerLimit, iters int) (P2PPoint, error) {
-	w, err := mpi.NewWorld(mpi.Config{
+	cfg := mpi.Config{
 		NumTasks: 2, EagerLimit: eagerLimit,
 		Timeout: 5 * time.Minute, Hooks: telemetryHooks(),
-	})
+	}
+	if p2pTraceConfig != nil {
+		cfg.Trace = p2pTraceConfig()
+	}
+	w, err := mpi.NewWorld(cfg)
 	if err != nil {
 		return P2PPoint{}, err
 	}

@@ -1,0 +1,473 @@
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"hls/internal/hls"
+	"hls/internal/mpi"
+	"hls/internal/obs"
+	"hls/internal/topology"
+	"hls/internal/trace"
+)
+
+// The -exp trace experiment validates the observability plane against
+// ground truth it controls: a four-rank workload with a rotating
+// straggler (directive imbalance), an eager ring and a rendezvous
+// exchange, where every blocking call is also measured directly with
+// monotonic clocks. The tracer's wait attribution — late-sender,
+// late-receiver, directive-imbalance, wire-stall buckets computed from
+// flow arrows, CTS instants and directive spans — must re-derive each
+// rank's measured blocked time from the trace alone, and the tracing
+// fast path must cost under 10% summed over the actual -exp p2p quick
+// profile (the probe runs that profile twice, tracing off and on).
+
+// TraceRankRow is one rank's measured-vs-attributed blocked time.
+type TraceRankRow struct {
+	Rank int `json:"rank"`
+	// MeasuredUs is the summed wall time of the rank's blocking calls
+	// (receives, rendezvous sends, directives), bracketed in the
+	// workload itself.
+	MeasuredUs float64 `json:"measured_us"`
+	// AttributedUs is what Analyze reconstructed from the trace.
+	AttributedUs   float64 `json:"attributed_us"`
+	LateSenderUs   float64 `json:"late_sender_us"`
+	LateReceiverUs float64 `json:"late_receiver_us"`
+	DirectiveUs    float64 `json:"directive_us"`
+	WireStallUs    float64 `json:"wire_stall_us"`
+	// DeviationPct is |attributed - measured| / measured * 100.
+	DeviationPct float64 `json:"deviation_pct"`
+}
+
+// TraceChecks are the experiment's acceptance criteria.
+type TraceChecks struct {
+	// FlowsPaired: every flow start has exactly one matching end.
+	FlowsPaired bool `json:"flows_paired"`
+	// MonotoneFlows: no flow ends before it starts.
+	MonotoneFlows bool `json:"monotone_flows"`
+	// BucketsCover: each rank's attributed wait matches its measured
+	// blocked time within 5% (plus a 2ms floor absorbing scheduler
+	// wake-up latency, which the measurement sees but the trace's
+	// post/deliver corners exclude).
+	BucketsCover bool `json:"buckets_cover"`
+	// DroppedZero: the recorder ring never overflowed.
+	DroppedZero bool `json:"dropped_zero"`
+	// OverheadOK: tracing costs < 10% summed over the -exp p2p quick
+	// profile's points (see measureTraceOverhead).
+	OverheadOK bool `json:"overhead_ok"`
+}
+
+// TraceResult is the full -exp trace output.
+type TraceResult struct {
+	Profile       string         `json:"profile"`
+	Rounds        int            `json:"rounds"`
+	Events        int            `json:"events"`
+	Dropped       int64          `json:"dropped"`
+	Ranks         []TraceRankRow `json:"ranks"`
+	PathSegs      int            `json:"path_segs"`
+	PathComputeUs float64        `json:"path_compute_us"`
+	PathWaitUs    float64        `json:"path_wait_us"`
+	// OverheadPoints is every -exp p2p quick point measured with tracing
+	// off and on; Untraced/TracedNsPerOp are the profile sums and
+	// OverheadPct the suite-level delta the 10% budget applies to.
+	OverheadPoints  []TraceOverheadPoint `json:"overhead_points"`
+	UntracedNsPerOp float64              `json:"untraced_ns_per_op"`
+	TracedNsPerOp   float64              `json:"traced_ns_per_op"`
+	OverheadPct     float64              `json:"overhead_pct"`
+	Checks          TraceChecks          `json:"checks"`
+
+	events []trace.Event // for WriteTraceEvents; not serialized
+}
+
+const traceRanks = 4
+
+// runTraceWorkload runs the ground-truth workload under tracing and
+// returns the tracer plus each rank's directly measured blocked time.
+func runTraceWorkload(rounds int) (*obs.Tracer, [traceRanks]time.Duration, error) {
+	var measured [traceRanks]time.Duration
+	tracer := obs.NewTracer(trace.NewRecorder(trace.WithMaxEvents(1 << 17)))
+	m, err := topology.New(topology.Spec{
+		Name: "tracebench", Nodes: 1, SocketsPerNode: 1,
+		CoresPerSocket: traceRanks, ThreadsPerCore: 1,
+	})
+	if err != nil {
+		return nil, measured, err
+	}
+	w, err := mpi.NewWorld(mpi.Config{
+		NumTasks: traceRanks, Machine: m,
+		Trace:   tracer,
+		Timeout: 5 * time.Minute,
+	})
+	if err != nil {
+		return nil, measured, err
+	}
+	hreg := hls.New(w, hls.WithObserver(tracer.Sync()))
+	table := hls.Declare[int64](hreg, "trace-table", topology.Node, 512)
+
+	err = w.Run(func(tk *mpi.Task) error {
+		rank := tk.Rank()
+		n := tk.Size()
+		var blocked time.Duration
+		block := func(fn func()) {
+			t0 := time.Now()
+			fn()
+			blocked += time.Since(t0)
+		}
+		eager := make([]int64, 16)    // 128B, well under the limit
+		rendez := make([]int64, 1024) // 8KiB, past the limit
+		for r := 0; r < rounds; r++ {
+			// Rotating straggler: one rank computes 6x longer before the
+			// directive, so everyone else's Single bracket is imbalance.
+			spinFor := 200 * time.Microsecond
+			if rank == r%n {
+				spinFor = 1200 * time.Microsecond
+			}
+			spin(spinFor)
+			block(func() {
+				table.Single(tk, func(data []int64) {
+					for i := range data {
+						data[i] = int64(r)
+					}
+				})
+			})
+
+			// Eager ring: everyone sends right, receives from the left.
+			// The straggler's neighbour sees a late sender.
+			right, left := (rank+1)%n, (rank+n-1)%n
+			mpi.Send(tk, nil, eager, right, r)
+			block(func() { mpi.Recv(tk, nil, eager, left, r) })
+
+			// Rendezvous pairwise exchange: even ranks send first (their
+			// Send blocks until the partner posts — late receiver), odd
+			// ranks receive first.
+			partner := rank ^ 1
+			if rank%2 == 0 {
+				block(func() { mpi.Send(tk, nil, rendez, partner, rounds+r) })
+				block(func() { mpi.Recv(tk, nil, rendez, partner, 2*rounds+r) })
+			} else {
+				block(func() { mpi.Recv(tk, nil, rendez, partner, rounds+r) })
+				block(func() { mpi.Send(tk, nil, rendez, partner, 2*rounds+r) })
+			}
+		}
+		measured[rank] = blocked
+		return nil
+	})
+	return tracer, measured, err
+}
+
+// spin busy-waits (compute, not blocking — it must not count as wait).
+func spin(d time.Duration) {
+	t0 := time.Now()
+	for time.Since(t0) < d { //nolint:staticcheck // intentional busy loop
+	}
+}
+
+// TraceOverheadPoint is one -exp p2p quick point measured with tracing
+// off and on.
+type TraceOverheadPoint struct {
+	Kind            string  `json:"kind"`
+	Tasks           int     `json:"tasks"`
+	Bytes           int     `json:"bytes"`
+	EagerLimit      int     `json:"eager_limit"`
+	Protocol        string  `json:"protocol"`
+	Arrival         string  `json:"arrival,omitempty"`
+	UntracedNsPerOp float64 `json:"untraced_ns_per_op"`
+	TracedNsPerOp   float64 `json:"traced_ns_per_op"`
+	OverheadPct     float64 `json:"overhead_pct"`
+}
+
+// measureTraceOverhead runs the actual -exp p2p quick profile with
+// tracing off and on — the budget is defined over that profile, so the
+// probe runs it rather than a lookalike. Every world the traced pass
+// builds gets a fresh tracer over a bounded ring, exactly what a traced
+// production run would install. The modes alternate within each trial
+// (off, on, off, on …) so slow drift in the host — CPU steal on a
+// shared VM, thermal throttling — lands on both sides instead of
+// charging one mode for the other's bad minutes; each point keeps its
+// per-mode minimum ns/op across trials (the runs differ only in
+// scheduler noise, so the minimum is the comparable figure). Points are
+// matched by index — RunP2P emits them in a deterministic order.
+func measureTraceOverhead(trials int) (pts []TraceOverheadPoint, untraced, traced float64, err error) {
+	runOnce := func(traced bool) ([]P2PPoint, error) {
+		if traced {
+			p2pTraceConfig = func() mpi.TraceHooks {
+				return obs.NewTracer(trace.NewRecorder(trace.WithMaxEvents(1 << 16)))
+			}
+			defer func() { p2pTraceConfig = nil }()
+		}
+		res, err := RunP2P(Quick, 0)
+		if err != nil {
+			return nil, err
+		}
+		return res.Points, nil
+	}
+	merge := func(best, cur []P2PPoint) []P2PPoint {
+		if best == nil {
+			return cur
+		}
+		for i := range best {
+			if p := cur[i].NsPerOp; p > 0 && (best[i].NsPerOp <= 0 || p < best[i].NsPerOp) {
+				best[i].NsPerOp = p
+			}
+		}
+		return best
+	}
+	var off, on []P2PPoint
+	for t := 0; t < trials; t++ {
+		cur, err := runOnce(false)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("untraced p2p profile: %w", err)
+		}
+		off = merge(off, cur)
+		cur, err = runOnce(true)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("traced p2p profile: %w", err)
+		}
+		on = merge(on, cur)
+	}
+	for i := range off {
+		pt := TraceOverheadPoint{
+			Kind: off[i].Kind, Tasks: off[i].Tasks, Bytes: off[i].Bytes,
+			EagerLimit: off[i].EagerLimit, Protocol: off[i].Protocol,
+			Arrival:         off[i].Arrival,
+			UntracedNsPerOp: off[i].NsPerOp, TracedNsPerOp: on[i].NsPerOp,
+		}
+		if pt.UntracedNsPerOp > 0 {
+			pt.OverheadPct = (pt.TracedNsPerOp - pt.UntracedNsPerOp) / pt.UntracedNsPerOp * 100
+		}
+		pts = append(pts, pt)
+		untraced += pt.UntracedNsPerOp
+		traced += pt.TracedNsPerOp
+	}
+	return pts, untraced, traced, nil
+}
+
+// RunTrace runs the observability-plane experiment.
+func RunTrace(p Profile) (*TraceResult, error) {
+	rounds, overTrials := 24, 2
+	if p == Full {
+		rounds, overTrials = 96, 3
+	}
+	tracer, measured, err := runTraceWorkload(rounds)
+	if err != nil {
+		return nil, fmt.Errorf("trace workload: %w", err)
+	}
+	if active != nil {
+		active.AttachTracer(tracer)
+	}
+	events := tracer.Recorder().Events()
+	a := obs.Analyze(events)
+	res := &TraceResult{
+		Profile: p.String(), Rounds: rounds,
+		Events: len(events), Dropped: tracer.Dropped(),
+		PathSegs: len(a.Path), PathComputeUs: a.PathComputeUs, PathWaitUs: a.PathWaitUs,
+		events: events,
+	}
+
+	byRank := map[int]obs.RankWait{}
+	for _, rw := range a.Ranks {
+		byRank[rw.Rank] = rw
+	}
+	for r := 0; r < traceRanks; r++ {
+		rw := byRank[r]
+		row := TraceRankRow{
+			Rank:           r,
+			MeasuredUs:     float64(measured[r].Nanoseconds()) / 1e3,
+			AttributedUs:   rw.TotalUs(),
+			LateSenderUs:   rw.LateSenderUs,
+			LateReceiverUs: rw.LateReceiverUs,
+			DirectiveUs:    rw.DirectiveUs,
+			WireStallUs:    rw.WireStallUs,
+		}
+		if row.MeasuredUs > 0 {
+			row.DeviationPct = abs(row.AttributedUs-row.MeasuredUs) / row.MeasuredUs * 100
+		}
+		res.Ranks = append(res.Ranks, row)
+	}
+
+	res.OverheadPoints, res.UntracedNsPerOp, res.TracedNsPerOp, err = measureTraceOverhead(overTrials)
+	if err != nil {
+		return nil, err
+	}
+	if res.UntracedNsPerOp > 0 {
+		res.OverheadPct = (res.TracedNsPerOp - res.UntracedNsPerOp) / res.UntracedNsPerOp * 100
+	}
+	res.Checks = computeTraceChecks(res, events)
+	return res, nil
+}
+
+func computeTraceChecks(res *TraceResult, events []trace.Event) TraceChecks {
+	ch := TraceChecks{
+		DroppedZero: res.Dropped == 0,
+		OverheadOK:  res.OverheadPct < 10,
+	}
+	starts := map[uint64]float64{}
+	ends := map[uint64]int{}
+	nStarts := 0
+	ch.MonotoneFlows = true
+	for _, e := range events {
+		if e.ID == 0 || (e.Ph != "s" && e.Ph != "f") {
+			continue
+		}
+		if e.Ph == "s" {
+			starts[e.ID] = e.Ts
+			nStarts++
+		} else {
+			ends[e.ID]++
+		}
+	}
+	ch.FlowsPaired = nStarts > 0 && len(ends) == nStarts
+	for id, n := range ends {
+		s, ok := starts[id]
+		if !ok || n != 1 {
+			ch.FlowsPaired = false
+			continue
+		}
+		for _, e := range events {
+			if e.Ph == "f" && e.ID == id && e.Ts < s {
+				ch.MonotoneFlows = false
+			}
+		}
+	}
+	ch.BucketsCover = len(res.Ranks) > 0
+	for _, row := range res.Ranks {
+		tol := row.MeasuredUs*0.05 + 2000
+		if abs(row.AttributedUs-row.MeasuredUs) > tol {
+			ch.BucketsCover = false
+		}
+	}
+	return ch
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// PrintTrace renders the attribution table and the acceptance checks.
+func PrintTrace(w io.Writer, res *TraceResult) {
+	fprintf(w, "Wait attribution vs ground truth (%d rounds, %d trace events)\n",
+		res.Rounds, res.Events)
+	fprintf(w, "%4s %12s %12s %12s %12s %12s %12s %8s\n",
+		"rank", "measured", "attributed", "late-send", "late-recv", "directive", "wire", "dev")
+	for _, r := range res.Ranks {
+		fprintf(w, "%4d %11.0fus %11.0fus %11.0fus %11.0fus %11.0fus %11.0fus %7.1f%%\n",
+			r.Rank, r.MeasuredUs, r.AttributedUs, r.LateSenderUs,
+			r.LateReceiverUs, r.DirectiveUs, r.WireStallUs, r.DeviationPct)
+	}
+	fprintf(w, "critical path: %d segments, %.0fus compute + %.0fus wait\n",
+		res.PathSegs, res.PathComputeUs, res.PathWaitUs)
+	fprintf(w, "tracing overhead on the -exp p2p quick profile:\n")
+	for _, pt := range res.OverheadPoints {
+		fprintf(w, "  %-8s %2dt %6dB limit %5d %-10s %7.0f -> %7.0f ns/op (%+.1f%%)\n",
+			pt.Kind, pt.Tasks, pt.Bytes, pt.EagerLimit, pt.Protocol+pt.Arrival,
+			pt.UntracedNsPerOp, pt.TracedNsPerOp, pt.OverheadPct)
+	}
+	fprintf(w, "  profile total: %.0f -> %.0f ns/op (%+.1f%%)\n",
+		res.UntracedNsPerOp, res.TracedNsPerOp, res.OverheadPct)
+	fprintf(w, "\nChecks:\n")
+	for _, c := range []struct {
+		name string
+		ok   bool
+	}{
+		{"every flow start paired with exactly one end", res.Checks.FlowsPaired},
+		{"no flow ends before it starts", res.Checks.MonotoneFlows},
+		{"attribution covers measured blocked time (5% + 2ms)", res.Checks.BucketsCover},
+		{"zero events dropped from the recorder ring", res.Checks.DroppedZero},
+		{"tracing overhead under 10% on the -exp p2p quick profile", res.Checks.OverheadOK},
+	} {
+		state := "PASS"
+		if !c.ok {
+			state = "FAIL"
+		}
+		fprintf(w, "  [%s] %s\n", state, c.name)
+	}
+}
+
+// WriteTraceCSV writes the per-rank attribution table.
+func WriteTraceCSV(w io.Writer, res *TraceResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"rank", "measured_us", "attributed_us", "late_sender_us",
+		"late_receiver_us", "directive_us", "wire_stall_us", "deviation_pct",
+	}); err != nil {
+		return err
+	}
+	for _, r := range res.Ranks {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.Rank),
+			fmt.Sprintf("%.1f", r.MeasuredUs), fmt.Sprintf("%.1f", r.AttributedUs),
+			fmt.Sprintf("%.1f", r.LateSenderUs), fmt.Sprintf("%.1f", r.LateReceiverUs),
+			fmt.Sprintf("%.1f", r.DirectiveUs), fmt.Sprintf("%.1f", r.WireStallUs),
+			fmt.Sprintf("%.2f", r.DeviationPct),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTraceEvents writes the workload's trace as a Perfetto-loadable
+// file (the single-process equivalent of rank 0's merged view), for
+// hlstrace and for eyeballing in a viewer.
+func WriteTraceEvents(w io.Writer, res *TraceResult) error {
+	m := obs.Merge([]*obs.ProcDump{{Node: 0, Dropped: res.Dropped, Events: res.events}})
+	return m.WriteTrace(w)
+}
+
+// WriteTraceJSON writes the full result snapshot (BENCH_trace.json).
+func WriteTraceJSON(w io.Writer, res *TraceResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// ReadTraceJSON parses a snapshot written by WriteTraceJSON.
+func ReadTraceJSON(r io.Reader) (*TraceResult, error) {
+	var res TraceResult
+	if err := json.NewDecoder(r).Decode(&res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// CompareTrace prints an old/new comparison and fails on check
+// regressions, following the other experiments' baseline contract.
+func CompareTrace(w io.Writer, base, cur *TraceResult) error {
+	fprintf(w, "Trace comparison vs baseline (%s profile)\n", base.Profile)
+	fprintf(w, "  overhead %.1f%% -> %.1f%%\n", base.OverheadPct, cur.OverheadPct)
+	for _, b := range base.Ranks {
+		for _, c := range cur.Ranks {
+			if b.Rank == c.Rank {
+				fprintf(w, "  rank %d deviation %.1f%% -> %.1f%%\n", b.Rank, b.DeviationPct, c.DeviationPct)
+			}
+		}
+	}
+	var regressed []string
+	for _, chk := range []struct {
+		name      string
+		was, isOK bool
+	}{
+		{"flows_paired", base.Checks.FlowsPaired, cur.Checks.FlowsPaired},
+		{"monotone_flows", base.Checks.MonotoneFlows, cur.Checks.MonotoneFlows},
+		{"buckets_cover", base.Checks.BucketsCover, cur.Checks.BucketsCover},
+		{"dropped_zero", base.Checks.DroppedZero, cur.Checks.DroppedZero},
+		{"overhead_ok", base.Checks.OverheadOK, cur.Checks.OverheadOK},
+	} {
+		if chk.was && !chk.isOK {
+			regressed = append(regressed, chk.name)
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("trace checks regressed vs baseline: %v", regressed)
+	}
+	fprintf(w, "all baseline checks still hold\n")
+	return nil
+}

@@ -13,9 +13,13 @@ import (
 	"hls/internal/wire"
 )
 
-// counterValue digs one counter series out of a metrics snapshot.
+// counterValue sums every series of one counter family that carries the
+// given labels (the traffic families also split by peer node, so a
+// {dir: sent} query spans all peers).
 func counterValue(t *testing.T, snap metrics.Snapshot, name string, labels map[string]string) int64 {
 	t.Helper()
+	var sum int64
+	found := false
 	for _, c := range snap.Counters {
 		if c.Name != name {
 			continue
@@ -28,11 +32,14 @@ func counterValue(t *testing.T, snap metrics.Snapshot, name string, labels map[s
 			}
 		}
 		if match {
-			return c.Value
+			sum += c.Value
+			found = true
 		}
 	}
-	t.Fatalf("counter %s%v not found in snapshot", name, labels)
-	return 0
+	if !found {
+		t.Fatalf("counter %s%v not found in snapshot", name, labels)
+	}
+	return sum
 }
 
 // TestChaosWireFaultsRecovered runs a two-node world over real loopback
@@ -84,7 +91,7 @@ func TestChaosWireFaultsRecovered(t *testing.T) {
 		}
 		return w
 	}
-	w0 := mk(0, ln0, wire.Config{Fault: inj, Observer: metrics.NewWireAdapter(reg)})
+	w0 := mk(0, ln0, wire.Config{Fault: inj, Observer: metrics.NewWireAdapter(reg, 2)})
 	w1 := mk(1, ln1, wire.Config{})
 
 	fn := func(task *mpi.Task) error {

@@ -1,0 +1,77 @@
+package metrics
+
+import "sort"
+
+// MergeSnapshots sums several registries' snapshots into one world-wide
+// view — the per-process /metrics.json dumps a distributed run gathers
+// to rank 0 fuse into a single set of series. Series are matched by
+// (name, labels); counters and gauges add values, histograms add
+// counts, sums and per-bucket counts. Per-shard breakdowns are dropped:
+// shard indices mean different things in different processes. Output
+// order follows first appearance across the inputs.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	cIdx := map[string]int{}
+	gIdx := map[string]int{}
+	hIdx := map[string]int{}
+	for _, s := range snaps {
+		for _, c := range s.Counters {
+			k := seriesKey(c.Name, c.Labels)
+			if i, ok := cIdx[k]; ok {
+				out.Counters[i].Value += c.Value
+			} else {
+				cIdx[k] = len(out.Counters)
+				out.Counters = append(out.Counters, SeriesValue{Name: c.Name, Labels: c.Labels, Value: c.Value})
+			}
+		}
+		for _, g := range s.Gauges {
+			k := seriesKey(g.Name, g.Labels)
+			if i, ok := gIdx[k]; ok {
+				out.Gauges[i].Value += g.Value
+			} else {
+				gIdx[k] = len(out.Gauges)
+				out.Gauges = append(out.Gauges, SeriesValue{Name: g.Name, Labels: g.Labels, Value: g.Value})
+			}
+		}
+		for _, h := range s.Histograms {
+			k := seriesKey(h.Name, h.Labels)
+			if i, ok := hIdx[k]; ok {
+				mergeHistogram(&out.Histograms[i], h)
+			} else {
+				hIdx[k] = len(out.Histograms)
+				out.Histograms = append(out.Histograms, HistogramValue{
+					Name: h.Name, Labels: h.Labels, Count: h.Count, Sum: h.Sum,
+					Buckets: append([]BucketValue(nil), h.Buckets...),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func mergeHistogram(dst *HistogramValue, src HistogramValue) {
+	dst.Count += src.Count
+	dst.Sum += src.Sum
+	by := make(map[int64]int64, len(dst.Buckets)+len(src.Buckets))
+	for _, b := range dst.Buckets {
+		by[b.Le] += b.Count
+	}
+	for _, b := range src.Buckets {
+		by[b.Le] += b.Count
+	}
+	dst.Buckets = dst.Buckets[:0]
+	for le, n := range by {
+		dst.Buckets = append(dst.Buckets, BucketValue{Le: le, Count: n})
+	}
+	// Ascending bounds with +Inf (-1) last, matching snapshot order.
+	sort.Slice(dst.Buckets, func(i, j int) bool {
+		a, b := dst.Buckets[i].Le, dst.Buckets[j].Le
+		if a == -1 {
+			return false
+		}
+		if b == -1 {
+			return true
+		}
+		return a < b
+	})
+}

@@ -29,6 +29,12 @@ func collStart(t *Task, c *Comm) (comm *Comm, baseTag int) {
 	if t.world.msgHooks != nil {
 		t.world.msgHooks.OnCollective(t.rank)
 	}
+	if th := t.world.traceHooks; th != nil {
+		// (collective context, sequence) is world-agreed: every member
+		// executes collectives on c in the same order, so the pair
+		// identifies this operation across processes.
+		th.SpanCollective(t.rank, c.ctxColl, int64(st.collSeq))
+	}
 	return c, int(st.collSeq << collStepBits)
 }
 

@@ -66,6 +66,12 @@ type message struct {
 	wireSrc  int
 
 	meta any // hooks.OnSend payload
+
+	// span / sendNs carry the tracing context (TraceHooks.SpanStart)
+	// from send to delivery; zero when tracing is off. For messages that
+	// crossed the wire they are recovered from the frame extension.
+	span   uint64
+	sendNs int64
 }
 
 var messagePool = sync.Pool{New: func() any { return new(message) }}
@@ -94,6 +100,10 @@ type postedRecv struct {
 	worldSrc int // world rank of the expected source (-1 for AnySource),
 	// so the failure layer can fail receives from a dead rank without
 	// communicator lookups.
+
+	// postNs is when the receive was posted on the tracer's clock (zero
+	// when tracing is off): delivery minus post is the receiver's wait.
+	postNs int64
 }
 
 var postedRecvPool = sync.Pool{New: func() any { return new(postedRecv) }}
@@ -717,6 +727,23 @@ func (w *World) deliverTo(msg *message, pr *postedRecv) {
 			w.cfg.Hooks.OnDeliver(pr.recvRank, msg.meta)
 		}
 		pr.req.complete(Status{Source: msg.src, Tag: msg.tag, Count: msg.elems, Bytes: msg.bytes})
+		if w.traceHooks != nil && msg.span != 0 {
+			// After complete, not before: the woken receiver (and, for a
+			// rendezvous, the already-woken sender) runs concurrently with
+			// the tracer's event append instead of behind it. msg and pr
+			// are still exclusively ours until the put* calls below.
+			// Both local delivery paths read the clock moments ago — the
+			// post stamp when a post matched an unexpected message, the
+			// send stamp when inject found a posted receive — and delivery
+			// is triggered by whichever side arrived second, so its stamp
+			// is the match time. Wire-crossed messages (kindOnly) carry a
+			// remote-clock sendNs; pass 0 and let the tracer read.
+			deliverNs := int64(0)
+			if !msg.kindOnly {
+				deliverNs = max(msg.sendNs, pr.postNs)
+			}
+			w.traceHooks.SpanDeliver(pr.recvRank, msg.span, msg.sendNs, pr.postNs, deliverNs, msg.bytes, msg.rendezvous, msg.kindOnly)
+		}
 	}
 	putMessage(msg)
 	putPostedRecv(pr)

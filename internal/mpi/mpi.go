@@ -140,6 +140,11 @@ type Config struct {
 	EagerLimit int
 	// Hooks, if non-nil, is invoked on every message.
 	Hooks Hooks
+	// Trace, if non-nil, receives tracing callbacks on every message and
+	// collective (span ids, timestamps, blocking waits). Kept separate
+	// from Hooks so the disabled path is a single nil check and tracing
+	// composes with any Hooks value. See TraceHooks and internal/obs.
+	Trace TraceHooks
 	// Collectives selects between the shared-address-space collective
 	// fast path and the channel (point-to-point) algorithms. The default
 	// CollAuto engages the fast path when it is safe; see CollectiveMode.
@@ -182,6 +187,9 @@ type World struct {
 	msgHooks   MessageHooks
 	faultHooks FaultHooks
 	poolHooks  PoolHooks
+	// traceHooks is cfg.Trace, copied next to the other resolved hooks
+	// so the datapath reads one field.
+	traceHooks TraceHooks
 
 	// pool recycles eager payload buffers across sends (see pool.go).
 	pool *bufPool
@@ -219,6 +227,21 @@ func (w *World) Pinning() *topology.Pinning { return w.pin }
 
 // Size returns the number of tasks.
 func (w *World) Size() int { return w.cfg.NumTasks }
+
+// LocalRanks returns the world ranks hosted by this process — all of
+// them for a single-process world, this wire node's block for a
+// distributed one.
+func (w *World) LocalRanks() []int { return w.localRanks() }
+
+// ProcessOf returns the index of the process hosting world rank r: the
+// wire-transport node for distributed worlds, 0 for single-process
+// worlds. Out-of-range ranks map to 0.
+func (w *World) ProcessOf(r int) int {
+	if w.net == nil || r < 0 || r >= len(w.net.nodeOf) {
+		return 0
+	}
+	return w.net.nodeOf[r]
+}
 
 // Task is the per-rank handle passed to the program function. All
 // communication goes through a Task; a Task must only be used by the
@@ -280,6 +303,7 @@ func NewWorld(cfg Config) (*World, error) {
 		cfg.EagerLimit = DefaultEagerLimit
 	}
 	w := &World{cfg: cfg, machine: m, pin: pin}
+	w.traceHooks = cfg.Trace
 	if mh, ok := cfg.Hooks.(MessageHooks); ok {
 		w.msgHooks = mh
 	}

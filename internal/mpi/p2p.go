@@ -40,8 +40,23 @@ func Send[T Scalar](t *Task, comm *Comm, buf []T, dst, tag int) {
 	comm = t.commOrWorld(comm)
 	req := isend(t, comm, comm.ctxUser, buf, dst, tag, "Send")
 	if req != nil {
+		if _, done := req.Test(); done {
+			// The receiver had already posted: the rendezvous completed
+			// inside isend and there is no wait to publish or trace.
+			t.checkReq("Send", req)
+			putRequest(req)
+			return
+		}
 		t.blockOnP2P(labelSend, dst, tag)
 		req.Wait()
+		if th := t.world.traceHooks; th != nil {
+			// The wait effectively began at the send timestamp: isend
+			// returns within nanoseconds of stamping it. The end is read
+			// here, after the park — under load the scheduler wake-up is
+			// a real part of the caller's blocked time, and only this
+			// slice can see it (the flow pair ends at delivery).
+			th.SpanWait(t.rank, "send", req.span, req.sendNs)
+		}
 		t.unblock()
 		t.checkReq("Send", req)
 		putRequest(req)
@@ -107,6 +122,14 @@ func isend[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dst, tag int, op s
 		sreq = newRequest(false)
 		msg.sreq = sreq
 		w.stats.rendezvous.Add(1)
+	}
+	if w.traceHooks != nil {
+		remote := w.net != nil && !w.net.localRank(worldDst)
+		msg.span, msg.sendNs = w.traceHooks.SpanStart(t.rank, worldDst, bytes, msg.rendezvous, remote)
+		if sreq != nil {
+			sreq.span = msg.span
+			sreq.sendNs = msg.sendNs
+		}
 	}
 	if w.msgHooks != nil {
 		w.msgHooks.OnMessage(t.rank, worldDst, bytes, msg.rendezvous)
@@ -226,6 +249,9 @@ func irecv[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, src, tag int, op s
 	pr.req = req
 	pr.recvRank = t.rank
 	pr.worldSrc = worldSrc
+	if w.traceHooks != nil {
+		pr.postNs = w.traceHooks.Now()
+	}
 	ep := w.eps[t.rank]
 	ep.mu.Lock()
 	if msg, probes := ep.matchUnexpectedLocked(ctx, src, tag); msg != nil {

@@ -30,6 +30,13 @@ type Request struct {
 	// recvSide is true for receive requests (their Wait returns a Status
 	// with meaning).
 	recvSide bool
+	// span is the trace span id of the message behind a rendezvous send
+	// request (zero when tracing is off), so the blocking wrapper can
+	// attribute its wait to the right flow. sendNs is the span's send
+	// timestamp, reused as the wait's begin so the wrapper saves a clock
+	// read per blocking send.
+	span   uint64
+	sendNs int64
 
 	state atomic.Uint32
 	// waiter is the notification box of the goroutine blocked on this
@@ -65,6 +72,8 @@ func newRequest(recvSide bool) *Request {
 	r.status = Status{}
 	r.err = nil
 	r.recvSide = recvSide
+	r.span = 0
+	r.sendNs = 0
 	r.waiter.Store(nil)
 	r.state.Store(reqPending)
 	return r

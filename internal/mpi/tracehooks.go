@@ -1,0 +1,55 @@
+package mpi
+
+// TraceHooks is the runtime's tracing extension point (Config.Trace): a
+// tracer that allocates per-message span ids, timestamps the send/post/
+// deliver corners of every transfer, and brackets blocking waits — the
+// raw material for cross-process flow graphs and wait attribution
+// (internal/obs implements it).
+//
+// It is deliberately separate from Hooks: the message hooks family grows
+// by interface extension on one value, while tracing wants its own
+// single nil check on the datapath — a world with tracing disabled pays
+// one predictable branch per send and nothing else.
+//
+// Timestamps are nanoseconds on the tracer's own clock (Now), so all
+// runtime events share one time base with the tracer's recorder.
+// Implementations are called from task goroutines and from wire
+// progress goroutines concurrently; they must be safe and fast.
+type TraceHooks interface {
+	// Now returns the current time on the tracer's clock, in ns.
+	Now() int64
+	// SpanStart is called once per message send, after validation and
+	// protocol selection. It returns the span id to stamp on the message
+	// and the send timestamp. remote is true when the destination lives
+	// in another process (the message will cross the wire).
+	SpanStart(worldSrc, worldDst, bytes int, rendezvous, remote bool) (span uint64, sendNs int64)
+	// SpanDeliver is called when the message has landed in the receiver's
+	// buffer and its receive request has completed (completion happens
+	// first, so the woken receiver's progress overlaps the tracer's
+	// bookkeeping instead of waiting behind it). postNs is when the
+	// receive was posted (0 if unknown — e.g. the receiver's world has
+	// tracing off but the sender's frame carried a span). deliverNs is
+	// the match timestamp when the caller just read one — an in-process
+	// delivery is triggered by the send or the post, both of which were
+	// stamped nanoseconds earlier, so re-reading the clock would only
+	// add cost on the handoff path; 0 means "read it yourself" (the
+	// wire delivery path, where the last read is a socket round old).
+	// The flow end therefore marks when the transfer unblocked, not
+	// when the copy finished — copy time is work, not wait. bytes and
+	// rendezvous describe the message, so the tracer can tag the flow
+	// pair (analysis reconstructs slice-less send waits from it).
+	SpanDeliver(worldDst int, span uint64, sendNs, postNs, deliverNs int64, bytes int, rendezvous, remote bool)
+	// SpanWait brackets a blocking rendezvous-send wait that began at
+	// beginNs and is ending now (after the caller's park, so the slice
+	// includes scheduler wake-up latency the flow pair cannot see). op
+	// is a static label ("send").
+	SpanWait(worldRank int, op string, span uint64, beginNs int64)
+	// SpanCts is called on the sender's node when the receiver's
+	// clear-to-send for span arrives (remote rendezvous only): the
+	// moment the sender's wait stops being the receiver's fault.
+	SpanCts(worldSrc int, span uint64)
+	// SpanCollective marks rank's entry into a collective operation,
+	// identified by the world-agreed (communication context, sequence)
+	// pair — every member of the communicator reports the same id.
+	SpanCollective(worldRank int, ctx, seq int64)
+}

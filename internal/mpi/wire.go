@@ -39,6 +39,11 @@ type wirePendingRecv struct {
 	tag     int
 	elems   int
 	bytes   int
+
+	// span / sendNs from the RTS frame, reported to TraceHooks when the
+	// data frame completes the receive.
+	span   uint64
+	sendNs int64
 }
 
 // netLayer implements wire.Sink and owns the world's distributed state:
@@ -180,6 +185,10 @@ func (n *netLayer) isendRemote(t *Task, msg *message, worldDst int, op string) *
 		DstWorld: int32(worldDst),
 		Tag:      int32(msg.tag),
 		Elems:    int32(msg.elems),
+		// Trace context rides the frame extension (v2 connections only;
+		// zero when tracing is off, which elides the extension entirely).
+		Span:   msg.span,
+		SendTS: msg.sendNs,
 	}
 	if msg.rendezvous {
 		h.Type = wire.TypeRTS
@@ -320,6 +329,8 @@ func (n *netLayer) onEager(f *wire.Frame) {
 	m.kindOnly = true
 	m.sdata = f.Payload
 	m.payload = buf
+	m.span = f.Span
+	m.sendNs = f.SendTS
 	if !w.inject(m, int(f.SrcWorld), dst) {
 		release()
 		putMessage(m)
@@ -348,6 +359,8 @@ func (n *netLayer) onRTS(peer int, f *wire.Frame) {
 	m.wireXid = f.Xid
 	m.wireNode = peer
 	m.wireSrc = int(f.SrcWorld)
+	m.span = f.Span
+	m.sendNs = f.SendTS
 	if !w.inject(m, int(f.SrcWorld), dst) {
 		putMessage(m)
 	}
@@ -396,6 +409,8 @@ func (n *netLayer) matchedRTS(msg *message, pr *postedRecv) {
 		tag:     msg.tag,
 		elems:   msg.elems,
 		bytes:   msg.bytes,
+		span:    msg.span,
+		sendNs:  msg.sendNs,
 	}
 	n.mu.Lock()
 	if n.draining || w.rankDead(wr.src) {
@@ -428,6 +443,11 @@ func (n *netLayer) onCTS(f *wire.Frame) {
 		return // transaction already failed (peer death, cancel)
 	}
 	msg := ps.msg
+	if th := n.w.traceHooks; th != nil && msg.span != 0 {
+		// The receiver matched: from here on the sender's wait is wire
+		// transfer time, not late-receiver time.
+		th.SpanCts(ps.src, msg.span)
+	}
 	h := wire.Header{
 		Type:     wire.TypeData,
 		Kind:     uint8(msg.etype.Kind()),
@@ -463,6 +483,9 @@ func (n *netLayer) onData(f *wire.Frame) {
 		w.cfg.Hooks.OnDeliver(pr.recvRank, nil)
 	}
 	pr.req.complete(Status{Source: wr.srcComm, Tag: wr.tag, Count: wr.elems, Bytes: wr.bytes})
+	if w.traceHooks != nil && wr.span != 0 {
+		w.traceHooks.SpanDeliver(pr.recvRank, wr.span, wr.sendNs, pr.postNs, 0, wr.bytes, true, true)
+	}
 	putPostedRecv(pr)
 }
 

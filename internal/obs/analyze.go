@@ -1,0 +1,301 @@
+package obs
+
+import "hls/internal/trace"
+
+// Analyze joins a trace's flow arrows, wait slices, CTS instants and
+// directive spans into per-rank wait attribution and the run's critical
+// path. It accepts both single-process recorder output and rank 0's
+// merged view (ReadTrace parses either file format).
+//
+// Attribution buckets, all in microseconds of blocked time:
+//
+//   - late-sender: a receiver waited because the matching send had not
+//     happened yet (flow start after the receive was posted). All
+//     in-process receive waits land here — delivery is immediate once
+//     the send exists.
+//   - wire-stall: the remainder of a cross-process receive wait (the
+//     send existed; framing, the socket and matching took the time),
+//     plus the post-CTS tail of a rendezvous send wait.
+//   - late-receiver: a rendezvous sender waited for the receiver to
+//     post and clear-to-send (the wait slice up to the CTS instant;
+//     all of it when no CTS was seen, i.e. in-process rendezvous).
+//     When a rendezvous flow pair (negative flow-start Aux) has no
+//     wait slice at all — filtered as sub-microsecond, or the trace
+//     predates wait slices — the pair's extent stands in for it.
+//   - directive-imbalance: time inside HLS directive brackets —
+//     dominated by waiting for the slowest participant to arrive.
+type Analysis struct {
+	Ranks []RankWait `json:"ranks"`
+	// Path is the run's critical path, chronological: walked backward
+	// from the last event, jumping from each wait to its cause (the
+	// sender's flow start, the receiver's CTS, the last directive
+	// arriver).
+	Path          []PathSeg `json:"path"`
+	PathComputeUs float64   `json:"path_compute_us"`
+	PathWaitUs    float64   `json:"path_wait_us"`
+	// SpanUs is the trace's total extent (max event end).
+	SpanUs float64 `json:"span_us"`
+}
+
+// RankWait is one rank's attributed blocked time.
+type RankWait struct {
+	Rank           int     `json:"rank"`
+	LateSenderUs   float64 `json:"late_sender_us"`
+	LateReceiverUs float64 `json:"late_receiver_us"`
+	DirectiveUs    float64 `json:"directive_us"`
+	WireStallUs    float64 `json:"wire_stall_us"`
+}
+
+// TotalUs is the rank's total attributed blocked time.
+func (r RankWait) TotalUs() float64 {
+	return r.LateSenderUs + r.LateReceiverUs + r.DirectiveUs + r.WireStallUs
+}
+
+// PathSeg is one critical-path segment on one rank's timeline.
+type PathSeg struct {
+	Rank   int     `json:"rank"`
+	FromUs float64 `json:"from_us"`
+	ToUs   float64 `json:"to_us"`
+	// Kind: "compute", or the wait kind crossed ("recv-wait",
+	// "send-wait", "directive").
+	Kind string `json:"kind"`
+}
+
+type flowPair struct{ s, f *trace.Event }
+
+// waitIval is a blocked interval on one rank plus the jump to its
+// cause, the edge the critical-path walk follows.
+type waitIval struct {
+	rank     int
+	from, to float64
+	kind     string
+	jumpRank int
+	jumpTs   float64
+}
+
+// Analyze computes wait attribution and the critical path.
+func Analyze(events []trace.Event) *Analysis {
+	a := &Analysis{}
+	flows := map[uint64]*flowPair{}
+	cts := map[uint64]float64{}
+	var sendWaits, hlsSlices []*trace.Event
+	byRank := map[int]*RankWait{}
+	rank := func(r int) *RankWait {
+		rw := byRank[r]
+		if rw == nil {
+			rw = &RankWait{Rank: r}
+			byRank[r] = rw
+		}
+		return rw
+	}
+
+	for i := range events {
+		e := &events[i]
+		if end := e.Ts + e.Dur; end > a.SpanUs {
+			a.SpanUs = end
+		}
+		switch {
+		case e.ID != 0 && e.Ph == "s":
+			pairOf(flows, e.ID).s = e
+		case e.ID != 0 && e.Ph == "f":
+			pairOf(flows, e.ID).f = e
+		case e.Ph == "i" && e.Cat == "msg" && e.Name == "cts":
+			cts[uint64(e.Aux)] = e.Ts
+		case e.Ph == "X" && e.Cat == "wait":
+			sendWaits = append(sendWaits, e)
+		case e.Ph == "X" && e.Cat == "hls":
+			hlsSlices = append(hlsSlices, e)
+		}
+	}
+
+	var ivals []waitIval
+
+	// Spans that have an explicit send-wait slice: their sender-side
+	// wait is the slice (which includes post-delivery wake-up latency),
+	// not the flow pair's extent.
+	sliced := make(map[uint64]bool, len(sendWaits))
+	for _, e := range sendWaits {
+		sliced[e.ID] = true
+	}
+
+	// Flow pairs carry both directions of blocked time: the flow end's
+	// Aux is the receive-post timestamp (ns on the merged timeline), and
+	// a negative flow-start Aux marks a rendezvous message.
+	for _, p := range flows {
+		if p.s == nil || p.f == nil {
+			continue
+		}
+		post := float64(p.f.Aux) / 1e3
+		if wait := p.f.Ts - post; p.f.Aux != 0 && wait > 0 {
+			rw := rank(p.f.Tid)
+			late := clamp(p.s.Ts-post, 0, wait)
+			if p.s.Pid != p.f.Pid {
+				rw.LateSenderUs += late
+				rw.WireStallUs += wait - late
+			} else {
+				rw.LateSenderUs += wait
+			}
+			ivals = append(ivals, waitIval{
+				rank: p.f.Tid, from: post, to: p.f.Ts, kind: "recv-wait",
+				jumpRank: p.s.Tid, jumpTs: min(p.s.Ts, p.f.Ts),
+			})
+		}
+		// Fallback for a rendezvous pair with no wait slice: the sender
+		// blocked at least from send to delivery. The cause is the
+		// receiver's side — jump to its post (or delivery when unknown).
+		if p.s.Aux < 0 && p.s.Pid == p.f.Pid && !sliced[p.s.ID] {
+			if wait := p.f.Ts - p.s.Ts; wait > 0 {
+				rank(p.s.Tid).LateReceiverUs += wait
+				jump := p.f.Ts
+				if p.f.Aux != 0 {
+					jump = min(post, jump)
+				}
+				ivals = append(ivals, waitIval{
+					rank: p.s.Tid, from: p.s.Ts, to: p.f.Ts, kind: "send-wait",
+					jumpRank: p.f.Tid, jumpTs: jump,
+				})
+			}
+		}
+	}
+
+	// Send-wait slices (remote rendezvous sends), split at the CTS
+	// instant when one was seen, all late-receiver otherwise.
+	for _, e := range sendWaits {
+		if e.Dur <= 0 {
+			continue
+		}
+		rw := rank(e.Tid)
+		end := e.Ts + e.Dur
+		iv := waitIval{rank: e.Tid, from: e.Ts, to: end, kind: "send-wait",
+			jumpRank: e.Tid, jumpTs: e.Ts}
+		if ctsTs, ok := cts[e.ID]; ok {
+			late := clamp(ctsTs-e.Ts, 0, e.Dur)
+			rw.LateReceiverUs += late
+			rw.WireStallUs += e.Dur - late
+			iv.jumpTs = min(ctsTs, end)
+		} else {
+			rw.LateReceiverUs += e.Dur
+		}
+		if p := flows[e.ID]; p != nil && p.f != nil {
+			iv.jumpRank = p.f.Tid
+			if _, ok := cts[e.ID]; !ok {
+				// In-process rendezvous: the cause lives on the
+				// receiver's timeline at delivery time.
+				iv.jumpTs = min(p.f.Ts, end)
+			}
+		}
+		ivals = append(ivals, iv)
+	}
+
+	// Directive brackets: blocked on the slowest arriver. The cause of
+	// a directive wait is the latest-starting overlapping slice with
+	// the same key on another rank.
+	for _, e := range hlsSlices {
+		if e.Dur <= 0 {
+			continue
+		}
+		rank(e.Tid).DirectiveUs += e.Dur
+		end := e.Ts + e.Dur
+		iv := waitIval{rank: e.Tid, from: e.Ts, to: end, kind: "directive",
+			jumpRank: e.Tid, jumpTs: e.Ts}
+		for _, o := range hlsSlices {
+			if o == e || o.Name != e.Name || o.Tid == e.Tid {
+				continue
+			}
+			if o.Ts < end && o.Ts+o.Dur > e.Ts && o.Ts > iv.jumpTs {
+				iv.jumpRank, iv.jumpTs = o.Tid, min(o.Ts, end)
+			}
+		}
+		ivals = append(ivals, iv)
+	}
+
+	for _, rw := range byRank {
+		a.Ranks = append(a.Ranks, *rw)
+	}
+	sortRanks(a.Ranks)
+	a.Path, a.PathComputeUs, a.PathWaitUs = criticalPath(events, ivals)
+	return a
+}
+
+// criticalPath walks backward from the trace's last event end: compute
+// until the most recent wait interval on the current rank, cross the
+// wait, jump to its cause's rank and time, repeat until time zero.
+// Segments return in chronological order.
+func criticalPath(events []trace.Event, ivals []waitIval) (path []PathSeg, computeUs, waitUs float64) {
+	var t float64
+	rank := -1
+	for i := range events {
+		if end := events[i].Ts + events[i].Dur; end > t {
+			t, rank = end, events[i].Tid
+		}
+	}
+	if rank < 0 {
+		return nil, 0, 0
+	}
+	const eps = 1e-6
+	for iter := 0; t > eps && iter < 100000; iter++ {
+		// Latest wait on this rank ending at or before t.
+		var best *waitIval
+		for i := range ivals {
+			iv := &ivals[i]
+			if iv.rank == rank && iv.to <= t+eps && (best == nil || iv.to > best.to) {
+				best = iv
+			}
+		}
+		if best == nil {
+			path = append(path, PathSeg{Rank: rank, FromUs: 0, ToUs: t, Kind: "compute"})
+			computeUs += t
+			break
+		}
+		if t > best.to+eps {
+			path = append(path, PathSeg{Rank: rank, FromUs: best.to, ToUs: t, Kind: "compute"})
+			computeUs += t - best.to
+		}
+		from := max(best.from, best.jumpTs)
+		path = append(path, PathSeg{Rank: rank, FromUs: from, ToUs: best.to, Kind: best.kind})
+		waitUs += best.to - from
+		next := min(best.jumpTs, best.to)
+		if next >= t-eps { // no progress: bail out of a degenerate cycle
+			next = best.from
+			if next >= t-eps {
+				break
+			}
+		}
+		t, rank = next, best.jumpRank
+	}
+	reverse(path)
+	return path, computeUs, waitUs
+}
+
+func pairOf(m map[uint64]*flowPair, id uint64) *flowPair {
+	p := m[id]
+	if p == nil {
+		p = &flowPair{}
+		m[id] = p
+	}
+	return p
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func sortRanks(rs []RankWait) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Rank < rs[j-1].Rank; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func reverse(p []PathSeg) {
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock collects the wire transport's NTP-style probe results (it
+// implements wire.ClockObserver) and distills a per-peer offset
+// estimate: the best sample is the one with the smallest round trip,
+// the standard NTP filter — queueing delay inflates the RTT and the
+// offset error is bounded by RTT/2, so the tightest round trip bounds
+// the offset tightest.
+//
+// Offsets are "peer clock minus local clock": adding OffsetTo(ref) to a
+// local timestamp rebases it onto the reference node's clock. Drift is
+// estimated from the first and last accepted sample per peer.
+type Clock struct {
+	mu    sync.Mutex
+	peers []clockPeer
+}
+
+type clockPeer struct {
+	ok        bool
+	offsetNs  int64 // offset of the minimum-RTT sample
+	rttNs     int64 // minimum RTT seen
+	firstMono time.Time
+	firstOff  int64
+	lastMono  time.Time
+	lastOff   int64
+	samples   int
+}
+
+// NewClock sizes the estimator for peer ids [0, peers).
+func NewClock(peers int) *Clock {
+	if peers < 1 {
+		peers = 1
+	}
+	return &Clock{peers: make([]clockPeer, peers)}
+}
+
+// ClockSample implements wire.ClockObserver. Round-trip samples
+// (rttNs >= 0) compete on RTT; one-way Hello samples (rttNs < 0) are
+// kept only until a real round trip arrives.
+func (c *Clock) ClockSample(peer int, offsetNs, rttNs int64) {
+	if peer < 0 || peer >= len(c.peers) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	p := &c.peers[peer]
+	switch {
+	case !p.ok:
+		p.ok, p.offsetNs, p.rttNs = true, offsetNs, rttNs
+	case rttNs >= 0 && (p.rttNs < 0 || rttNs <= p.rttNs):
+		p.offsetNs, p.rttNs = offsetNs, rttNs
+	}
+	if rttNs >= 0 {
+		if p.firstMono.IsZero() {
+			p.firstMono, p.firstOff = now, offsetNs
+		}
+		p.lastMono, p.lastOff = now, offsetNs
+		p.samples++
+	}
+	c.mu.Unlock()
+}
+
+// OffsetTo returns the best "peer clock minus local clock" estimate for
+// peer, in ns, and whether any sample exists. The reference node asks
+// about itself and gets (0, true).
+func (c *Clock) OffsetTo(peer int) (int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if peer < 0 || peer >= len(c.peers) {
+		return 0, false
+	}
+	p := c.peers[peer]
+	return p.offsetNs, p.ok
+}
+
+// RTTTo returns the minimum probe round trip to peer in ns, -1 when
+// only one-way samples (or none) exist.
+func (c *Clock) RTTTo(peer int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if peer < 0 || peer >= len(c.peers) {
+		return -1
+	}
+	if p := c.peers[peer]; p.ok {
+		return p.rttNs
+	}
+	return -1
+}
+
+// DriftPPB estimates the relative clock drift against peer in parts per
+// billion: the offset change between the first and last round-trip
+// sample over the local time elapsed between them. 0 until two samples
+// span a measurable interval.
+func (c *Clock) DriftPPB(peer int) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if peer < 0 || peer >= len(c.peers) {
+		return 0
+	}
+	p := c.peers[peer]
+	if p.samples < 2 {
+		return 0
+	}
+	elapsed := p.lastMono.Sub(p.firstMono).Nanoseconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return (p.lastOff - p.firstOff) * 1e9 / elapsed
+}

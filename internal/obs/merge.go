@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"hls/internal/metrics"
+	"hls/internal/mpi"
+	"hls/internal/trace"
+)
+
+// ProcDump is one process's observability state at teardown: its trace
+// ring, its clock relation to the reference process, and its metrics
+// snapshot. Gather ships one per process to rank 0; Merge rebases and
+// fuses them.
+type ProcDump struct {
+	// Node is the process index (wire node; 0 in single-process runs).
+	Node int `json:"node"`
+	// EpochUnixNano anchors the recorder clock: event ts 0 == this
+	// wall-clock instant on this process's clock.
+	EpochUnixNano int64 `json:"epochUnixNano"`
+	// OffsetNs is "reference clock minus local clock" from the wire
+	// probes (0 on the reference process itself); HasOffset is false
+	// when no probe completed, in which case Merge falls back to the
+	// wall-clock epochs alone.
+	OffsetNs  int64 `json:"offsetNs"`
+	HasOffset bool  `json:"hasOffset"`
+	// RTTNs is the minimum probe round trip to the reference (-1 when
+	// unknown): the offset estimate's error bound is RTTNs/2.
+	RTTNs int64 `json:"rttNs"`
+	// DriftPPB is the estimated clock drift against the reference.
+	DriftPPB int64 `json:"driftPPB"`
+	// Dropped counts events the bounded recorder overwrote.
+	Dropped int64         `json:"dropped"`
+	Events  []trace.Event `json:"events"`
+	// Metrics is the process's registry snapshot; Merge sums them into
+	// the world-wide view.
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// Merged is the world-wide observability view assembled on rank 0.
+type Merged struct {
+	// Events are all processes' events on one timeline: ts rebased onto
+	// the reference process's recorder clock, Pid = process index,
+	// sorted by ts.
+	Events []trace.Event `json:"events"`
+	// Procs carries each process's clock relation and drop count.
+	Procs []ProcInfo `json:"procs"`
+	// Dropped is the sum of all processes' dropped counts.
+	Dropped int64 `json:"dropped"`
+	// AdjustedFlows counts flow ends that were clamped forward to their
+	// flow start after rebasing (residual clock error smaller than the
+	// one-way latency); large counts mean the offset estimates are off.
+	AdjustedFlows int `json:"adjustedFlows"`
+	// Metrics is the world-wide sum of the per-process snapshots.
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// ProcInfo summarizes one process in a Merged view.
+type ProcInfo struct {
+	Node          int   `json:"node"`
+	EpochUnixNano int64 `json:"epochUnixNano"`
+	OffsetNs      int64 `json:"offsetNs"`
+	HasOffset     bool  `json:"hasOffset"`
+	RTTNs         int64 `json:"rttNs"`
+	DriftPPB      int64 `json:"driftPPB"`
+	Dropped       int64 `json:"dropped"`
+	ShiftNs       int64 `json:"shiftNs"` // applied to this process's ts
+}
+
+// Gather ships every process's dump to rank 0 over the runtime itself
+// and returns the merged view there (nil on every other rank). Call it
+// from inside World.Run, after the workload, on every rank — it
+// communicates (a duplicated world communicator isolates its traffic),
+// so all ranks must participate.
+//
+// Protocol: the lowest local rank of each non-rank-0 process JSON-
+// encodes its dump and sends it to rank 0 as bytes; rank 0 probes for
+// each process leader in turn (sizes are unknown in advance), receives,
+// and merges. dump is invoked once per process, on its leader rank, at
+// gather time.
+func Gather(t *mpi.Task, dump func() *ProcDump) (*Merged, error) {
+	const tag = 0
+	c := mpi.Dup(t, nil)
+	w := t.World()
+
+	// Leader of each process = its lowest world rank; rank 0 is always
+	// the leader of its own process.
+	leader := map[int]int{w.ProcessOf(0): 0}
+	procs := []int{w.ProcessOf(0)}
+	for r := 0; r < t.Size(); r++ {
+		p := w.ProcessOf(r)
+		if _, ok := leader[p]; !ok {
+			leader[p] = r
+			procs = append(procs, p)
+		}
+	}
+
+	if t.Rank() == 0 {
+		dumps := make([]*ProcDump, 0, len(procs))
+		local := dump()
+		local.Node = w.ProcessOf(0)
+		dumps = append(dumps, local)
+		for _, p := range procs[1:] {
+			src := leader[p]
+			st := mpi.Probe(t, c, src, tag)
+			buf := make([]byte, st.Count)
+			mpi.Recv(t, c, buf, src, tag)
+			var d ProcDump
+			if err := json.Unmarshal(buf, &d); err != nil {
+				return nil, fmt.Errorf("obs: dump from rank %d (node %d): %w", src, p, err)
+			}
+			dumps = append(dumps, &d)
+		}
+		return Merge(dumps), nil
+	}
+	if me := w.ProcessOf(t.Rank()); leader[me] == t.Rank() {
+		d := dump()
+		d.Node = me
+		buf, err := json.Marshal(d)
+		if err != nil {
+			return nil, fmt.Errorf("obs: encoding dump on rank %d: %w", t.Rank(), err)
+		}
+		mpi.Send(t, c, buf, 0, tag)
+	}
+	return nil, nil
+}
+
+// Merge rebases every dump onto the first one's recorder clock (the
+// rank-0 process) and fuses events, drop counts and metrics. The shift
+// applied to process p's timestamps is
+//
+//	shift_p = (Epoch_p + Offset_p) - Epoch_0
+//
+// epoch difference corrected by the measured clock offset; with no
+// probe data the wall-clock epochs alone align the timelines to NTP
+// accuracy. Flow ends whose rebased ts lands before their flow start
+// are clamped up to it (and counted), so cross-process arrows never
+// point backwards by residual clock error.
+func Merge(dumps []*ProcDump) *Merged {
+	if len(dumps) == 0 {
+		return &Merged{}
+	}
+	ref := dumps[0]
+	m := &Merged{}
+	snaps := make([]metrics.Snapshot, 0, len(dumps))
+	for _, d := range dumps {
+		shift := (d.EpochUnixNano + d.OffsetNs) - ref.EpochUnixNano
+		if d == ref {
+			shift = 0
+		}
+		m.Procs = append(m.Procs, ProcInfo{
+			Node: d.Node, EpochUnixNano: d.EpochUnixNano,
+			OffsetNs: d.OffsetNs, HasOffset: d.HasOffset,
+			RTTNs: d.RTTNs, DriftPPB: d.DriftPPB,
+			Dropped: d.Dropped, ShiftNs: shift,
+		})
+		m.Dropped += d.Dropped
+		shiftUs := float64(shift) / 1e3
+		for _, e := range d.Events {
+			e.Pid = d.Node
+			e.Ts += shiftUs
+			if e.Ph == "f" && e.Aux != 0 {
+				e.Aux += shift // receive-post timestamps rebase too
+			}
+			m.Events = append(m.Events, e)
+		}
+		snaps = append(snaps, d.Metrics)
+	}
+	m.Metrics = metrics.MergeSnapshots(snaps...)
+
+	// Clamp cross-process flow arrows that residual clock error made
+	// point backwards: find each flow's start, push late "f"s up to it.
+	starts := make(map[uint64]float64)
+	for _, e := range m.Events {
+		if e.Ph == "s" && e.ID != 0 {
+			starts[e.ID] = e.Ts
+		}
+	}
+	for i := range m.Events {
+		e := &m.Events[i]
+		if e.Ph == "f" && e.ID != 0 {
+			if s, ok := starts[e.ID]; ok && e.Ts < s {
+				e.Ts = s
+				m.AdjustedFlows++
+			}
+		}
+	}
+	sort.SliceStable(m.Events, func(i, j int) bool { return m.Events[i].Ts < m.Events[j].Ts })
+	return m
+}
+
+// WriteTrace emits the merged view as a Perfetto/chrome://tracing
+// loadable JSON object. Process names, per-process clock quality and
+// the total drop count ride in the file's metadata.
+func (m *Merged) WriteTrace(w io.Writer) error {
+	events := make([]any, 0, len(m.Events)+len(m.Procs))
+	for _, p := range m.Procs {
+		events = append(events, map[string]any{
+			"name": "process_name", "ph": "M", "pid": p.Node, "ts": 0,
+			"args": map[string]any{"name": fmt.Sprintf("node %d", p.Node)},
+		})
+	}
+	for _, e := range m.Events {
+		events = append(events, e)
+	}
+	doc := map[string]any{
+		"traceEvents": events,
+		"otherData": map[string]any{
+			"droppedEvents": m.Dropped,
+			"adjustedFlows": m.AdjustedFlows,
+			"procs":         m.Procs,
+		},
+	}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// ReadTrace parses a trace file written by WriteTrace (or by
+// trace.Recorder.WriteJSON — any {"traceEvents": [...]} document),
+// returning its events. Metadata ("M") entries are dropped.
+func ReadTrace(r io.Reader) ([]trace.Event, error) {
+	var doc struct {
+		TraceEvents []trace.Event `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, err
+	}
+	events := doc.TraceEvents[:0]
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "M" {
+			events = append(events, e)
+		}
+	}
+	return events, nil
+}

@@ -1,0 +1,45 @@
+package obs_test
+
+import (
+	"testing"
+	"time"
+
+	"hls/internal/mpi"
+	"hls/internal/obs"
+	"hls/internal/trace"
+)
+
+func pingPongBench(b *testing.B, traced bool) {
+	cfg := mpi.Config{NumTasks: 2, Timeout: 5 * time.Minute}
+	if traced {
+		cfg.Trace = obs.NewTracer(trace.NewRecorder(trace.WithMaxEvents(1 << 16)))
+	}
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	err = w.Run(func(tk *mpi.Task) error {
+		buf := make([]byte, 8192)
+		peer := tk.Rank() ^ 1
+		for i := 0; i < b.N; i++ {
+			if tk.Rank() == 0 {
+				mpi.Send(tk, nil, buf, peer, 0)
+				mpi.Recv(tk, nil, buf, peer, 1)
+			} else {
+				mpi.Recv(tk, nil, buf, peer, 0)
+				mpi.Send(tk, nil, buf, peer, 1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPingPongUntraced / BenchmarkPingPongTraced bound the tracing
+// plane's enabled overhead on the chattiest point (8KiB rendezvous).
+func BenchmarkPingPongUntraced(b *testing.B) { pingPongBench(b, false) }
+func BenchmarkPingPongTraced(b *testing.B)   { pingPongBench(b, true) }

@@ -1,0 +1,15 @@
+package trace
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+// nanotime reads the Go runtime's raw monotonic clock. The recorder
+// takes several timestamps per message on the enabled datapath, and
+// time.Since costs noticeably more per read than the bare monotonic
+// read (it rounds through a time.Time), so the hot-path clock links
+// straight to the runtime's reader — the same source time.Since uses,
+// minus the wrapping.
+//
+//go:linkname nanotime runtime.nanotime
+func nanotime() int64

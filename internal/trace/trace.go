@@ -10,7 +10,6 @@ package trace
 
 import (
 	"encoding/json"
-	"fmt"
 	"io"
 	"sort"
 	"sync"
@@ -21,58 +20,152 @@ import (
 type Event struct {
 	Name string  `json:"name"`
 	Cat  string  `json:"cat"`
-	Ph   string  `json:"ph"` // "B"egin, "E"nd, "i"nstant, "X" complete
+	Ph   string  `json:"ph"` // "B"egin, "E"nd, "i"nstant, "X" complete, "s"/"f" flow
 	Ts   float64 `json:"ts"` // microseconds since recorder start
 	Pid  int     `json:"pid"`
 	Tid  int     `json:"tid"`
 	Dur  float64 `json:"dur,omitempty"`
-	Args any     `json:"args,omitempty"`
+	// ID links flow events ("s"/"f") into one arrow across pids/tids.
+	ID uint64 `json:"id,omitempty"`
+	// BP is the flow binding point ("e" = enclosing slice) on "f" events.
+	BP string `json:"bp,omitempty"`
+	// Aux is a single hot-path integer payload (message bytes on flow
+	// starts, receive-post time on flow ends) that avoids boxing an Args
+	// map on events emitted from the message datapath. Our own analysis
+	// reads it; viewers ignore the unknown key.
+	Aux  int64 `json:"aux,omitempty"`
+	Args any   `json:"args,omitempty"`
+}
+
+// Typed Args payloads for hot-path events: a concrete struct marshals
+// the same JSON as a map[string]any without the per-event map and
+// interface-boxing allocations.
+type (
+	// MsgArgs annotates message events.
+	MsgArgs struct {
+		Peer  int `json:"peer"`
+		Bytes int `json:"bytes,omitempty"`
+		Tag   int `json:"tag,omitempty"`
+	}
+	// DirectiveArgs annotates HLS directive spans.
+	DirectiveArgs struct {
+		Key  string `json:"key"`
+		Rank int    `json:"rank"`
+	}
+	// CollArgs annotates collective instants.
+	CollArgs struct {
+		Ctx int64 `json:"ctx"`
+		Seq int64 `json:"seq"`
+	}
+)
+
+// recorderStripes shards the recorder's storage so concurrent ranks
+// don't serialize on one mutex: with tens of tasks ping-ponging, a
+// single lock is the dominant tracing cost (every message append
+// contends). Events carry their own Pid/Tid — a stripe is purely a
+// storage shard, chosen by the emitting event's tid.
+const recorderStripes = 8
+
+type recorderStripe struct {
+	mu      sync.Mutex
+	events  []Event
+	next    int   // ring write position when the buffer is full
+	dropped int64 // events overwritten because the buffer was full
+	// Keep adjacent stripes off one cache line: neighbouring ranks
+	// would otherwise false-share the mutex words.
+	_ [64]byte
 }
 
 // Recorder accumulates events. Safe for concurrent use.
 type Recorder struct {
-	mu      sync.Mutex
-	events  []Event
+	stripes [recorderStripes]recorderStripe
 	start   time.Time
-	max     int   // 0 = unbounded
-	next    int   // ring write position when the buffer is full
-	dropped int64 // events overwritten because the buffer was full
+	// startMono anchors the hot-path clock: NowNs is the monotonic
+	// delta from it (see clock.go), equal to time.Since(start) without
+	// the per-read time.Time round trip.
+	startMono int64
+	max       int // total event bound requested (0 = unbounded)
+	perMax    int // per-stripe ring bound derived from max
 }
 
 // RecorderOption tunes a Recorder.
 type RecorderOption func(*Recorder)
 
-// WithMaxEvents bounds the recorder to the most recent n events: once
-// full it becomes a ring buffer, overwriting the oldest event and
-// counting the overwritten ones (see Dropped), so long runs cannot grow
-// the recorder without limit. n <= 0 means unbounded.
+// WithMaxEvents bounds the recorder to roughly the most recent n
+// events: the bound is divided across the internal stripes, each of
+// which becomes a ring buffer once full, overwriting its oldest event
+// and counting the overwritten ones (see Dropped), so long runs cannot
+// grow the recorder without limit. A workload whose events all land on
+// one stripe retains n/8 rather than n — callers size rings with
+// headroom, not to the byte. n <= 0 means unbounded.
 func WithMaxEvents(n int) RecorderOption {
 	return func(r *Recorder) { r.max = n }
 }
 
 // NewRecorder starts a recorder; timestamps are relative to this call.
+// Bounded recorders allocate their full rings up front, so the
+// recording hot path never reallocates (append growth would
+// periodically zero and copy megabytes inside a stripe lock).
 func NewRecorder(opts ...RecorderOption) *Recorder {
-	r := &Recorder{start: time.Now()}
+	r := &Recorder{start: time.Now(), startMono: nanotime()}
 	for _, o := range opts {
 		o(r)
+	}
+	if r.max > 0 {
+		r.perMax = (r.max + recorderStripes - 1) / recorderStripes
+		for i := range r.stripes {
+			r.stripes[i].events = make([]Event, 0, r.perMax)
+		}
 	}
 	return r
 }
 
 func (r *Recorder) now() float64 {
-	return float64(time.Since(r.start).Nanoseconds()) / 1e3
+	return float64(r.NowNs()) / 1e3
+}
+
+// NowNs returns nanoseconds since the recorder started — the integer
+// clock the hot-path *Ns emitters below share, so runtime code can
+// capture timestamps without floating-point conversion on every call.
+func (r *Recorder) NowNs() int64 {
+	return nanotime() - r.startMono
+}
+
+// EpochUnixNano anchors the recorder's relative clock: event timestamp 0
+// corresponds to this wall-clock instant (unix nanoseconds). Merging
+// traces from several processes rebases each recorder's events using its
+// epoch plus the measured clock offset between the machines.
+func (r *Recorder) EpochUnixNano() int64 {
+	return r.start.UnixNano()
+}
+
+// stripe picks the storage shard for events emitted on behalf of tid.
+func (r *Recorder) stripe(tid int) *recorderStripe {
+	return &r.stripes[uint(tid)%recorderStripes]
 }
 
 func (r *Recorder) add(e Event) {
-	r.mu.Lock()
-	if r.max > 0 && len(r.events) >= r.max {
-		r.events[r.next] = e
-		r.next = (r.next + 1) % r.max
-		r.dropped++
-	} else {
-		r.events = append(r.events, e)
+	st := r.stripe(e.Tid)
+	st.mu.Lock()
+	*r.slotLocked(st) = e
+	st.mu.Unlock()
+}
+
+// slotLocked hands out st's next event slot, zeroed, for in-place field
+// writes: an Event is ~136 bytes, and the hot-path emitters would
+// otherwise build one on the stack and copy it whole into the slice.
+// The returned pointer is only valid until the next slotLocked call
+// (unbounded stripes may reallocate on append) — fill it immediately.
+func (r *Recorder) slotLocked(st *recorderStripe) *Event {
+	if r.perMax > 0 && len(st.events) >= r.perMax {
+		e := &st.events[st.next]
+		st.next = (st.next + 1) % r.perMax
+		st.dropped++
+		*e = Event{}
+		return e
 	}
-	r.mu.Unlock()
+	st.events = append(st.events, Event{})
+	return &st.events[len(st.events)-1]
 }
 
 // Span opens a duration event on task `tid`; the returned func closes it.
@@ -88,32 +181,129 @@ func (r *Recorder) Instant(tid int, name, cat string, args any) {
 	r.add(Event{Name: name, Cat: cat, Ph: "i", Ts: r.now(), Pid: 0, Tid: tid, Args: args})
 }
 
+// FlowStartNs records a flow-start ("s") event at tsNs on task tid. aux
+// carries the message byte count. Flow events with the same id render as
+// one arrow from the "s" to the "f" event, across processes.
+func (r *Recorder) FlowStartNs(tid int, name, cat string, id uint64, tsNs, aux int64) {
+	st := r.stripe(tid)
+	st.mu.Lock()
+	s := r.slotLocked(st)
+	s.Name, s.Cat, s.Ph = name, cat, "s"
+	s.Ts, s.Tid, s.ID, s.Aux = float64(tsNs)/1e3, tid, id, aux
+	st.mu.Unlock()
+}
+
+// FlowEndNs records a flow-end ("f", binding to the enclosing slice) at
+// tsNs on task tid. aux carries the receive-post timestamp (ns).
+func (r *Recorder) FlowEndNs(tid int, name, cat string, id uint64, tsNs, aux int64) {
+	st := r.stripe(tid)
+	st.mu.Lock()
+	f := r.slotLocked(st)
+	f.Name, f.Cat, f.Ph, f.BP = name, cat, "f", "e"
+	f.Ts, f.Tid, f.ID, f.Aux = float64(tsNs)/1e3, tid, id, aux
+	st.mu.Unlock()
+}
+
+// FlowPairNs records a flow start on srcTid and its end on dstTid under
+// one lock acquisition — the in-process delivery fast path, where both
+// halves of the arrow are known the moment the message lands.
+func (r *Recorder) FlowPairNs(name, cat string, id uint64, srcTid int, sendNs, sendAux int64, dstTid int, endNs, endAux int64) {
+	// Both halves go on the receiver's stripe under one lock: a stripe
+	// is storage, not a timeline — each event still carries its tid.
+	st := r.stripe(dstTid)
+	st.mu.Lock()
+	s := r.slotLocked(st)
+	s.Name, s.Cat, s.Ph = name, cat, "s"
+	s.Ts, s.Tid, s.ID, s.Aux = float64(sendNs)/1e3, srcTid, id, sendAux
+	// s is dead before the next slotLocked call — an unbounded append may
+	// move the backing array.
+	f := r.slotLocked(st)
+	f.Name, f.Cat, f.Ph, f.BP = name, cat, "f", "e"
+	f.Ts, f.Tid, f.ID, f.Aux = float64(endNs)/1e3, dstTid, id, endAux
+	st.mu.Unlock()
+}
+
+// WaitSliceNs records a complete ("X") slice tagged with the flow/span
+// id it waited on, so wait attribution can join the slice to its flow.
+func (r *Recorder) WaitSliceNs(tid int, name, cat string, id uint64, beginNs, endNs int64) {
+	st := r.stripe(tid)
+	st.mu.Lock()
+	e := r.slotLocked(st)
+	e.Name, e.Cat, e.Ph = name, cat, "X"
+	e.Ts, e.Dur, e.Tid, e.ID = float64(beginNs)/1e3, float64(endNs-beginNs)/1e3, tid, id
+	st.mu.Unlock()
+}
+
+// SliceNs records a complete ("X") slice from beginNs to endNs on tid.
+func (r *Recorder) SliceNs(tid int, name, cat string, beginNs, endNs int64, args any) {
+	r.add(Event{Name: name, Cat: cat, Ph: "X", Ts: float64(beginNs) / 1e3,
+		Dur: float64(endNs-beginNs) / 1e3, Tid: tid, Args: args})
+}
+
+// InstantNs records a point event at tsNs on tid with an integer payload.
+func (r *Recorder) InstantNs(tid int, name, cat string, tsNs, aux int64) {
+	st := r.stripe(tid)
+	st.mu.Lock()
+	e := r.slotLocked(st)
+	e.Name, e.Cat, e.Ph = name, cat, "i"
+	e.Ts, e.Tid, e.Aux = float64(tsNs)/1e3, tid, aux
+	st.mu.Unlock()
+}
+
+// Events snapshots the currently held events (oldest first within each
+// rank's stripe, unsorted by timestamp across ranks — callers that need
+// time order sort the copy).
+func (r *Recorder) Events() []Event {
+	var out []Event
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		if r.perMax > 0 && len(st.events) >= r.perMax && st.next > 0 {
+			// Ring wrapped: unrotate so the copy is oldest-first.
+			out = append(out, st.events[st.next:]...)
+			out = append(out, st.events[:st.next]...)
+		} else {
+			out = append(out, st.events...)
+		}
+		st.mu.Unlock()
+	}
+	return out
+}
+
 // Len returns the number of currently held events (at most the
 // WithMaxEvents bound).
 func (r *Recorder) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.events)
+	n := 0
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		n += len(st.events)
+		st.mu.Unlock()
+	}
+	return n
 }
 
-// Dropped returns how many events were overwritten because the
+// Dropped returns how many events were overwritten because a
 // WithMaxEvents ring filled up (always 0 for unbounded recorders).
 func (r *Recorder) Dropped() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.dropped
+	var d int64
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		st.mu.Lock()
+		d += st.dropped
+		st.mu.Unlock()
+	}
+	return d
 }
 
 // WriteJSON emits the Chrome trace file. Events are sorted by timestamp
-// — concurrent tasks append out of order, ring-buffer wrap-around
-// rotates the oldest events to the back, and some viewers mis-stack
-// unsorted duration events. When events were dropped, the count is
-// recorded in the file's otherData section as "droppedEvents".
+// — concurrent tasks append out of order, storage is striped by rank,
+// and some viewers mis-stack unsorted duration events. When events were
+// dropped, the count is recorded in the file's otherData section as
+// "droppedEvents".
 func (r *Recorder) WriteJSON(w io.Writer) error {
-	r.mu.Lock()
-	events := append([]Event(nil), r.events...)
-	dropped := r.dropped
-	r.mu.Unlock()
+	events := r.Events()
+	dropped := r.Dropped()
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
 	doc := map[string]any{"traceEvents": events}
 	if dropped > 0 {
@@ -133,9 +323,10 @@ type MPIAdapter struct {
 	}
 }
 
-// OnSend implements mpi.Hooks.
+// OnSend implements mpi.Hooks. The event name is static and the peer
+// rides in Aux: no fmt.Sprintf or map boxing on the message hot path.
 func (a *MPIAdapter) OnSend(src, dst int) any {
-	a.R.Instant(src, fmt.Sprintf("send->%d", dst), "msg", nil)
+	a.R.add(Event{Name: "send", Cat: "msg", Ph: "i", Ts: a.R.now(), Tid: src, Aux: int64(dst)})
 	if a.Inner != nil {
 		return a.Inner.OnSend(src, dst)
 	}
@@ -144,7 +335,7 @@ func (a *MPIAdapter) OnSend(src, dst int) any {
 
 // OnDeliver implements mpi.Hooks.
 func (a *MPIAdapter) OnDeliver(dst int, meta any) {
-	a.R.Instant(dst, "deliver", "msg", nil)
+	a.R.add(Event{Name: "deliver", Cat: "msg", Ph: "i", Ts: a.R.now(), Tid: dst})
 	if a.Inner != nil {
 		a.Inner.OnDeliver(dst, meta)
 	}

@@ -208,7 +208,9 @@ func TestWriteJSONSortsByTimestamp(t *testing.T) {
 }
 
 func TestRingBufferBoundsEvents(t *testing.T) {
-	r := NewRecorder(WithMaxEvents(4))
+	// 32 total = 4 per stripe; every event lands on tid 0's stripe, so
+	// this exercises one stripe's ring exactly.
+	r := NewRecorder(WithMaxEvents(4 * recorderStripes))
 	for i := 0; i < 10; i++ {
 		r.add(Event{Name: "e", Ph: "i", Ts: float64(i)})
 	}

@@ -19,9 +19,17 @@ import (
 	"io"
 )
 
-// Version is the frame-format version carried in every header. A peer
-// speaking a different version is rejected at handshake time.
-const Version = 1
+// Version is the highest frame-format version this build speaks.
+// Version 2 adds an optional header extension (announced by a flag bit)
+// carrying a trace span id and send timestamp, plus the Ping/Pong clock
+// frames. Versions are negotiated per connection: the Hello frame is
+// always encoded at MinVersion and advertises the speaker's Version, and
+// each side then frames at min(its own, the peer's) — so a v2 node
+// interoperates with a v1 node by dropping the extension.
+const (
+	Version    = 2
+	MinVersion = 1
+)
 
 // Type enumerates the frame kinds of the protocol.
 type Type uint8
@@ -53,6 +61,14 @@ const (
 	// TypeControl carries collective control payloads for layers above
 	// the runtime (reserved; collectives built on p2p use Eager/RTS).
 	TypeControl
+	// TypePing is an unsequenced clock probe (v2+): Xid carries the
+	// sender's wall clock in unix nanoseconds (t1). The receiver answers
+	// immediately with TypePong.
+	TypePing
+	// TypePong answers a ping (v2+): Xid echoes t1, Ctx carries the
+	// receive time t2, and the SendTS extension field carries the reply
+	// time t3 — everything an NTP-style offset/RTT estimate needs.
+	TypePong
 )
 
 // String names the frame type.
@@ -74,6 +90,10 @@ func (t Type) String() string {
 		return "failure"
 	case TypeControl:
 		return "control"
+	case TypePing:
+		return "ping"
+	case TypePong:
+		return "pong"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -89,9 +109,14 @@ type Header struct {
 	// Datatype matching across processes is by kind: a named scalar type
 	// matches its underlying kind on the far side.
 	Kind uint8
+	// Version is the frame-format version to encode at (0 = Version).
+	// Decoders set it to the version byte they read. Senders set it to
+	// the negotiated per-connection version, so frames to a v1 peer are
+	// framed without the span extension.
+	Version uint8
 	// Seq is the transport-level sequence number of the frame on its
 	// (sender, peer) stream; 0 marks an unsequenced control frame
-	// (hello, ack) that is never retransmitted.
+	// (hello, ack, ping, pong) that is never retransmitted.
 	Seq uint64
 	// Ack acknowledges every sequenced frame up to and including Ack, in
 	// the opposite direction. Piggybacked on every frame.
@@ -110,9 +135,19 @@ type Header struct {
 	DstWorld int32
 	Tag      int32
 	// Elems is the element count of the message (eager and RTS frames).
+	// Hello frames reuse it to advertise the speaker's protocol Version.
 	Elems int32
 	// PayloadLen is the byte length of the payload following the header.
 	PayloadLen uint32
+
+	// Span and SendTS travel in the version-2 header extension, present
+	// only when at least one is nonzero (and the connection negotiated
+	// v2): the sender's trace span id and send timestamp, linking this
+	// frame's message into the cross-process trace flow graph. Zero on
+	// v1 frames and when tracing is off — the extension costs nothing
+	// unless used.
+	Span   uint64
+	SendTS int64
 }
 
 // Frame is one decoded frame: the header plus its payload. Payload views
@@ -131,7 +166,7 @@ type Frame struct {
 //	u8   version
 //	u8   type
 //	u8   kind
-//	u8   reserved (flags)
+//	u8   flags (v2+: bit 0 = span extension present)
 //	u64  seq
 //	u64  ack
 //	u64  xid
@@ -142,11 +177,21 @@ type Frame struct {
 //	i32  tag
 //	i32  elems
 //	u32  payloadLen
+//	[u64 span, i64 sendTS]  (16 bytes, only when flags bit 0 is set)
 //	...  payload (payloadLen bytes)
 const (
 	lenPrefixSize = 4
 	headerSize    = 1 + 1 + 1 + 1 + 8 + 8 + 8 + 8 + 4*5 + 4 // after the length prefix
 	frameOverhead = lenPrefixSize + headerSize
+
+	// flagSpanExt announces the 16-byte span/timestamp extension between
+	// the fixed header and the payload. Valid only on v2+ frames.
+	flagSpanExt = 0x01
+	extSize     = 8 + 8
+
+	// maxFrameRead is the scratch a reader needs for the length prefix,
+	// the fixed header and the largest extension.
+	maxFrameRead = frameOverhead + extSize
 
 	// MaxPayload bounds a single frame's payload. Eager messages are
 	// bounded by the MPI eager limit; rendezvous payloads are sent whole
@@ -155,13 +200,28 @@ const (
 )
 
 // AppendFrame encodes header h and payload into dst and returns the
-// extended slice. PayloadLen is taken from len(payload).
+// extended slice. PayloadLen is taken from len(payload). The frame is
+// encoded at h.Version (default Version); the span extension is emitted
+// only at v2+ and only when h.Span or h.SendTS is nonzero, so frames
+// from untraced runs are byte-identical to version-1 frames apart from
+// the version byte.
 func AppendFrame(dst []byte, h *Header, payload []byte) []byte {
 	if len(payload) > MaxPayload {
 		panic(fmt.Sprintf("wire: payload %d exceeds MaxPayload", len(payload)))
 	}
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(headerSize+len(payload)))
-	dst = append(dst, Version, byte(h.Type), h.Kind, 0)
+	v := h.Version
+	if v == 0 {
+		v = Version
+	}
+	ext := v >= 2 && (h.Span != 0 || h.SendTS != 0)
+	var flags byte
+	frameLen := headerSize + len(payload)
+	if ext {
+		flags |= flagSpanExt
+		frameLen += extSize
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(frameLen))
+	dst = append(dst, v, byte(h.Type), h.Kind, flags)
 	dst = binary.LittleEndian.AppendUint64(dst, h.Seq)
 	dst = binary.LittleEndian.AppendUint64(dst, h.Ack)
 	dst = binary.LittleEndian.AppendUint64(dst, h.Xid)
@@ -172,15 +232,29 @@ func AppendFrame(dst []byte, h *Header, payload []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.Tag))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.Elems))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	if ext {
+		dst = binary.LittleEndian.AppendUint64(dst, h.Span)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(h.SendTS))
+	}
 	return append(dst, payload...)
 }
 
 // decodeHeader parses the fixed header from buf (headerSize bytes, after
-// the length prefix) and returns the payload length separately.
-func decodeHeader(h *Header, buf []byte) error {
-	if buf[0] != Version {
-		return fmt.Errorf("wire: frame version %d, want %d", buf[0], Version)
+// the length prefix). It reports whether the span extension follows the
+// fixed header; the caller consumes it with decodeExt.
+func decodeHeader(h *Header, buf []byte) (ext bool, err error) {
+	v := buf[0]
+	if v < MinVersion || v > Version {
+		return false, fmt.Errorf("wire: frame version %d, want %d..%d", v, MinVersion, Version)
 	}
+	flags := buf[3]
+	if flags&flagSpanExt != 0 && v < 2 {
+		return false, fmt.Errorf("wire: v%d frame carries a v2 extension flag", v)
+	}
+	if flags&^byte(flagSpanExt) != 0 {
+		return false, fmt.Errorf("wire: unknown frame flags %#x", flags)
+	}
+	h.Version = v
 	h.Type = Type(buf[1])
 	h.Kind = buf[2]
 	h.Seq = binary.LittleEndian.Uint64(buf[4:])
@@ -193,27 +267,68 @@ func decodeHeader(h *Header, buf []byte) error {
 	h.Tag = int32(binary.LittleEndian.Uint32(buf[48:]))
 	h.Elems = int32(binary.LittleEndian.Uint32(buf[52:]))
 	h.PayloadLen = binary.LittleEndian.Uint32(buf[56:])
-	return nil
+	h.Span = 0
+	h.SendTS = 0
+	return flags&flagSpanExt != 0, nil
 }
 
-// readHeader reads one frame's length prefix and header from r. It
-// returns the payload length still to be consumed from r.
-func readHeader(r io.Reader, h *Header, scratch *[frameOverhead]byte) (int, error) {
+// decodeExt parses the span extension (extSize bytes following the fixed
+// header) into h.
+func decodeExt(h *Header, buf []byte) {
+	h.Span = binary.LittleEndian.Uint64(buf)
+	h.SendTS = int64(binary.LittleEndian.Uint64(buf[8:]))
+}
+
+// readHeader reads one frame's length prefix, header and optional
+// extension from r. It returns the payload length still to be consumed
+// from r.
+func readHeader(r io.Reader, h *Header, scratch *[maxFrameRead]byte) (int, error) {
 	if _, err := io.ReadFull(r, scratch[:lenPrefixSize]); err != nil {
 		return 0, err
 	}
 	frameLen := binary.LittleEndian.Uint32(scratch[:lenPrefixSize])
-	if frameLen < headerSize || frameLen > headerSize+MaxPayload {
+	if frameLen < headerSize || frameLen > headerSize+extSize+MaxPayload {
 		return 0, fmt.Errorf("wire: frame length %d out of range", frameLen)
 	}
-	if _, err := io.ReadFull(r, scratch[lenPrefixSize:]); err != nil {
+	if _, err := io.ReadFull(r, scratch[lenPrefixSize:frameOverhead]); err != nil {
 		return 0, err
 	}
-	if err := decodeHeader(h, scratch[lenPrefixSize:]); err != nil {
+	ext, err := decodeHeader(h, scratch[lenPrefixSize:frameOverhead])
+	if err != nil {
 		return 0, err
 	}
-	if int(h.PayloadLen) != int(frameLen)-headerSize {
+	want := int(frameLen) - headerSize
+	if ext {
+		if want < extSize {
+			return 0, fmt.Errorf("wire: frame length %d too short for extension", frameLen)
+		}
+		if _, err := io.ReadFull(r, scratch[frameOverhead:frameOverhead+extSize]); err != nil {
+			return 0, err
+		}
+		decodeExt(h, scratch[frameOverhead:frameOverhead+extSize])
+		want -= extSize
+	}
+	if int(h.PayloadLen) != want {
 		return 0, fmt.Errorf("wire: payload length %d inconsistent with frame length %d", h.PayloadLen, frameLen)
 	}
 	return int(h.PayloadLen), nil
+}
+
+// stripSpanExt rewrites an encoded frame for a version-1 peer in place:
+// the version byte drops to 1 and the span extension, if present, is
+// removed (the span id does not survive a downgrade — tracing degrades,
+// traffic does not). Returns the possibly-shortened slice.
+func stripSpanExt(buf []byte) []byte {
+	if len(buf) < frameOverhead {
+		return buf
+	}
+	buf[lenPrefixSize] = 1 // version byte
+	if buf[lenPrefixSize+3]&flagSpanExt == 0 {
+		return buf
+	}
+	buf[lenPrefixSize+3] &^= flagSpanExt
+	frameLen := binary.LittleEndian.Uint32(buf) - extSize
+	binary.LittleEndian.PutUint32(buf, frameLen)
+	copy(buf[frameOverhead:], buf[frameOverhead+extSize:])
+	return buf[:len(buf)-extSize]
 }

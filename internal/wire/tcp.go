@@ -81,7 +81,8 @@ type tcpPeer struct {
 	sendMu       sync.Mutex
 	conn         net.Conn
 	bw           *bufio.Writer
-	ready        bool // Hello exchange complete on conn; writes allowed
+	ready        bool  // Hello exchange complete on conn; writes allowed
+	ver          uint8 // negotiated frame version: min(ours, peer's)
 	sendSeq      uint64
 	unacked      []encFrame
 	dialing      bool
@@ -113,7 +114,7 @@ func NewTCP(cfg Config, ln net.Listener) (*TCP, error) {
 	t := &TCP{cfg: c, ln: ln}
 	t.peers = make([]*tcpPeer, len(c.Addrs))
 	for i := range t.peers {
-		t.peers[i] = &tcpPeer{id: i, tr: t}
+		t.peers[i] = &tcpPeer{id: i, tr: t, ver: Version}
 	}
 	return t, nil
 }
@@ -127,10 +128,30 @@ func (t *TCP) Peers() int { return len(t.peers) }
 // Addr returns the actual listen address (resolves port 0).
 func (t *TCP) Addr() net.Addr { return t.ln.Addr() }
 
-// Bind installs the sink and starts the accept loop.
+// Bind installs the sink and starts the accept loop (and, when
+// configured, the periodic clock-probe loop).
 func (t *TCP) Bind(s Sink) {
 	t.sink = s
 	go t.acceptLoop()
+	if t.cfg.PingInterval > 0 {
+		go t.pingLoop()
+	}
+}
+
+// pingLoop sends a clock probe to every ready peer once per
+// PingInterval until the transport closes.
+func (t *TCP) pingLoop() {
+	for !t.closed.Load() {
+		time.Sleep(t.cfg.PingInterval)
+		if t.closed.Load() {
+			return
+		}
+		for i, p := range t.peers {
+			if i != t.cfg.Self {
+				p.sendPing()
+			}
+		}
+	}
 }
 
 // Close shuts the transport down.
@@ -190,6 +211,7 @@ func (t *TCP) Send(peer int, h *Header, payload []byte) error {
 	}
 	p.sendSeq++
 	hh := *h
+	hh.Version = p.ver
 	hh.Seq = p.sendSeq
 	hh.Ack = p.recvSeq.Load()
 	buf := AppendFrame(getEnc(), &hh, payload)
@@ -380,12 +402,19 @@ func (p *tcpPeer) installLocked(conn net.Conn) {
 
 // writeHelloLocked sends the handshake frame: our node id, the world
 // key, and our resume point (highest in-order seq received from peer).
+// Hello frames are always encoded at MinVersion — the lowest common
+// denominator, so an old peer can still parse them — with our real
+// protocol version advertised in Elems (old binaries leave it 0) and
+// our wall clock in Ctx as a crude one-way clock sample.
 func (p *tcpPeer) writeHelloLocked() error {
 	h := Header{
 		Type:     TypeHello,
+		Version:  MinVersion,
 		Xid:      p.tr.cfg.WorldKey,
 		SrcWorld: int32(p.tr.cfg.Self),
 		Ack:      p.recvSeq.Load(),
+		Elems:    Version,
+		Ctx:      time.Now().UnixNano(),
 	}
 	buf := AppendFrame(getEnc(), &h, nil)
 	err := p.writeLocked(buf, TypeHello, false)
@@ -393,27 +422,129 @@ func (p *tcpPeer) writeHelloLocked() error {
 	return err
 }
 
-// handleHello processes the peer's Hello on connection c: acknowledge
-// through the peer's resume point, retransmit the unacked tail, and open
-// the connection for new writes.
-func (p *tcpPeer) handleHello(c net.Conn, resume uint64) {
+// handleHello processes the peer's Hello on connection c: negotiate the
+// frame version, acknowledge through the peer's resume point, retransmit
+// the unacked tail, and open the connection for new writes.
+func (p *tcpPeer) handleHello(c net.Conn, h *Header) {
+	now := time.Now().UnixNano()
 	p.sendMu.Lock()
-	defer p.sendMu.Unlock()
 	if p.conn != c {
+		p.sendMu.Unlock()
 		return // stale connection
 	}
-	p.trimAckedLocked(resume)
+	peerVer := uint8(MinVersion)
+	if h.Elems > int32(MinVersion) {
+		peerVer = uint8(h.Elems)
+	}
+	if peerVer < p.ver {
+		// Downgrade: frames already encoded into the unacked ring (Send
+		// encodes before the handshake) may carry the span extension the
+		// peer cannot parse — rewrite them in place.
+		p.ver = peerVer
+		if p.ver < 2 {
+			for i := range p.unacked {
+				p.unacked[i].buf = stripSpanExt(p.unacked[i].buf)
+			}
+		}
+	}
+	p.trimAckedLocked(h.Ack)
 	for _, ef := range p.unacked {
 		if err := p.writeLocked(ef.buf, TypeEager, false); err != nil {
 			p.severLocked(err)
+			p.sendMu.Unlock()
 			return
 		}
 	}
 	if err := p.bw.Flush(); err != nil {
 		p.severLocked(err)
+		p.sendMu.Unlock()
 		return
 	}
 	p.ready = true
+	if p.tr.cfg.PingInterval > 0 && p.ver >= 2 {
+		p.writePingLocked() // immediate probe: short runs get a real RTT
+	}
+	p.sendMu.Unlock()
+	if clk := p.tr.cfg.Clock; clk != nil && h.Ctx != 0 {
+		// One-way Hello sample: offset only, no RTT bound (rtt = -1).
+		clk.ClockSample(p.id, h.Ctx-now, -1)
+	}
+}
+
+// writePingLocked emits an unsequenced clock probe carrying our wall
+// clock (t1) in Xid. Failures are ignored: probes are best-effort and
+// the next write will sever a genuinely broken connection.
+func (p *tcpPeer) writePingLocked() {
+	h := Header{
+		Type:    TypePing,
+		Version: p.ver,
+		Xid:     uint64(time.Now().UnixNano()),
+		Ack:     p.recvSeq.Load(),
+	}
+	buf := AppendFrame(getEnc(), &h, nil)
+	err := p.writeLocked(buf, TypePing, false)
+	putEnc(buf)
+	if err != nil {
+		p.severLocked(err)
+	}
+}
+
+// sendPing emits a clock probe if the connection is up and the peer
+// speaks v2.
+func (p *tcpPeer) sendPing() {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	if p.conn == nil || !p.ready || p.down || p.ver < 2 {
+		return
+	}
+	p.writePingLocked()
+}
+
+// sendPong answers a clock probe: echo t1 (Xid), report our receive
+// time t2 (Ctx) and our send time t3 (SendTS, in the v2 extension).
+func (p *tcpPeer) sendPong(t1 uint64, t2 int64) {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	if p.conn == nil || !p.ready || p.down || p.ver < 2 {
+		return
+	}
+	h := Header{
+		Type:    TypePong,
+		Version: p.ver,
+		Xid:     t1,
+		Ctx:     t2,
+		Ack:     p.recvSeq.Load(),
+		SendTS:  time.Now().UnixNano(),
+	}
+	buf := AppendFrame(getEnc(), &h, nil)
+	err := p.writeLocked(buf, TypePong, false)
+	putEnc(buf)
+	if err != nil {
+		p.severLocked(err)
+	}
+}
+
+// handlePong closes the NTP-style loop: with t1 (our probe send), t2
+// (peer receive), t3 (peer reply send) and t4 (now), the peer clock
+// offset is ((t2-t1)+(t3-t4))/2 and the RTT is (t4-t1)-(t3-t2).
+func (p *tcpPeer) handlePong(h *Header) {
+	clk := p.tr.cfg.Clock
+	if clk == nil {
+		return
+	}
+	t1 := int64(h.Xid)
+	t2 := h.Ctx
+	t3 := h.SendTS
+	t4 := time.Now().UnixNano()
+	if t1 == 0 || t2 == 0 || t3 == 0 {
+		return
+	}
+	offset := ((t2 - t1) + (t3 - t4)) / 2
+	rtt := (t4 - t1) - (t3 - t2)
+	if rtt < 0 {
+		return // nonsense sample (clock stepped mid-flight)
+	}
+	clk.ClockSample(p.id, offset, rtt)
 }
 
 // handleAck trims the unacked ring through cumulative ack a.
@@ -530,7 +661,7 @@ func (t *TCP) acceptLoop() {
 func (t *TCP) handleAccept(conn net.Conn) {
 	conn.SetReadDeadline(time.Now().Add(t.cfg.DialTimeout + 2*time.Second)) //nolint:errcheck
 	br := bufio.NewReader(conn)
-	var scratch [frameOverhead]byte
+	var scratch [maxFrameRead]byte
 	var h Header
 	plen, err := readHeader(br, &h, &scratch)
 	if err != nil || h.Type != TypeHello || plen != 0 {
@@ -558,7 +689,7 @@ func (t *TCP) handleAccept(conn net.Conn) {
 	}
 	p.sendMu.Unlock()
 	// Complete the handshake from their resume point, then read.
-	p.handleHello(conn, h.Ack)
+	p.handleHello(conn, &h)
 	p.runReaderWith(conn, br, false)
 }
 
@@ -573,7 +704,7 @@ func (p *tcpPeer) runReader(c net.Conn, dialer bool) {
 func (p *tcpPeer) runReaderWith(c net.Conn, br *bufio.Reader, dialer bool) {
 	_ = dialer
 	t := p.tr
-	var scratch [frameOverhead]byte
+	var scratch [maxFrameRead]byte
 	for {
 		if t.cfg.ReadIdleTimeout > 0 {
 			c.SetReadDeadline(time.Now().Add(t.cfg.ReadIdleTimeout)) //nolint:errcheck
@@ -614,9 +745,17 @@ func (p *tcpPeer) runReaderWith(c net.Conn, br *bufio.Reader, dialer bool) {
 		}
 		switch h.Type {
 		case TypeHello:
-			p.handleHello(c, h.Ack)
+			p.handleHello(c, &h)
 		case TypeAck:
 			p.handleAck(h.Ack)
+		case TypePing:
+			// Unsequenced clock probe: answer with our timestamps. The
+			// receive time is captured here, before the reply queues.
+			p.handleAck(h.Ack)
+			p.sendPong(h.Xid, time.Now().UnixNano())
+		case TypePong:
+			p.handleAck(h.Ack)
+			p.handlePong(&h)
 		default:
 			p.handleAck(h.Ack) // piggybacked cumulative ack
 			if !p.claimAndDeliver(c, &h, payload, token) {

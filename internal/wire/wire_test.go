@@ -21,7 +21,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		t.Fatalf("encoded length %d, want %d", len(enc), frameOverhead+len(payload))
 	}
 	var got Header
-	var scratch [frameOverhead]byte
+	var scratch [maxFrameRead]byte
 	r := bytes.NewReader(enc)
 	plen, err := readHeader(r, &got, &scratch)
 	if err != nil {
@@ -31,6 +31,7 @@ func TestFrameRoundTrip(t *testing.T) {
 		t.Fatalf("payload length %d, want %d", plen, len(payload))
 	}
 	h.PayloadLen = uint32(len(payload))
+	h.Version = Version
 	if got != h {
 		t.Fatalf("header mismatch:\n got  %+v\n want %+v", got, h)
 	}
@@ -45,7 +46,7 @@ func TestFrameRejectsBadVersion(t *testing.T) {
 	enc := AppendFrame(nil, &Header{Type: TypeAck}, nil)
 	enc[lenPrefixSize] = Version + 1
 	var h Header
-	var scratch [frameOverhead]byte
+	var scratch [maxFrameRead]byte
 	if _, err := readHeader(bytes.NewReader(enc), &h, &scratch); err == nil {
 		t.Fatal("expected version error")
 	}
