@@ -25,14 +25,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|faults|sync|p2p|net|trace|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|faults|sync|p2p|net|trace|recover|all")
 	full := flag.Bool("full", false, "run the paper-shaped sweep instead of the quick profile")
-	seed := flag.Int64("seed", 1, "chaos seed for -exp faults (fixes the whole fault schedule)")
+	seed := flag.Int64("seed", 1, "chaos seed for -exp faults and -exp recover (fixes the whole fault schedule)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	syncOut := flag.String("out", "BENCH_sync.json", "where -exp sync writes its JSON snapshot (empty to skip)")
 	p2pOut := flag.String("p2pout", "BENCH_p2p.json", "where -exp p2p writes its JSON snapshot (empty to skip)")
 	netOut := flag.String("netout", "BENCH_net.json", "where -exp net writes its JSON snapshot (empty to skip)")
 	traceOut := flag.String("traceout", "BENCH_trace.json", "where -exp trace writes its JSON snapshot (empty to skip)")
+	recoverOut := flag.String("recoverout", "BENCH_recover.json", "where -exp recover writes its JSON snapshot (empty to skip)")
 	traceFile := flag.String("tracefile", "", "where -exp trace writes the Perfetto-loadable event file for hlstrace (empty to skip)")
 	eagerLimit := flag.Int("eager-limit", 0, "pin -exp p2p to one eager/rendezvous threshold in bytes (0 sweeps a ladder around the default)")
 	compare := flag.String("compare", "", "baseline JSON snapshot to compare against, for -exp sync or -exp p2p (exit 1 on check regressions)")
@@ -266,6 +267,31 @@ func main() {
 			f.Close()
 			exitOn(err)
 			exitOn(bench.CompareTrace(os.Stdout, base, res))
+		}
+		fmt.Println()
+	}
+	if want("recover") {
+		ran = true
+		fmt.Printf("== Durable recovery: checkpoint/restart under chaos (%s profile, seed %d) ==\n", profile, *seed)
+		res, err := bench.RunRecover(profile, *seed)
+		exitOn(err)
+		bench.PrintRecover(os.Stdout, res)
+		writeCSV("recover.csv", func(w io.Writer) error { return bench.WriteRecoverCSV(w, res) })
+		if *recoverOut != "" {
+			f, err := os.Create(*recoverOut)
+			exitOn(err)
+			err = bench.WriteRecoverJSON(f, res)
+			f.Close()
+			exitOn(err)
+			fmt.Println("wrote", *recoverOut)
+		}
+		if *compare != "" && *exp == "recover" {
+			f, err := os.Open(*compare)
+			exitOn(err)
+			base, err := bench.ReadRecoverJSON(f)
+			f.Close()
+			exitOn(err)
+			exitOn(bench.CompareRecover(os.Stdout, base, res))
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,102 @@
+// Command hlsckpt inspects a checkpoint directory offline: every
+// committed generation and leftover staging directory, whether a
+// restore would accept it, and the per-rank payload sizes and checksum
+// state. It reads the same manifests the coordinator writes and applies
+// the same validation a restore scan does, without needing a world.
+//
+//	hlsckpt /data/ckpt/gens
+//	hlsckpt -json /data/ckpt/gens
+//
+// The newest valid generation — the one `hlsworker -restore` would
+// load — is marked with an arrow.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"hls/internal/ckpt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hlsckpt: ")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of a table")
+	ranks := flag.Bool("ranks", false, "list every rank payload, not just invalid ones")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hlsckpt [-json] [-ranks] <checkpoint-dir>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	dir := flag.Arg(0)
+
+	gens, err := ckpt.Inspect(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(gens); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if len(gens) == 0 {
+		fmt.Printf("%s: no checkpoint generations\n", dir)
+		return
+	}
+
+	// Inspect returns newest first; the first valid entry is what a
+	// restore would load.
+	restoreGen := uint64(0)
+	hasRestore := false
+	for _, g := range gens {
+		if g.Valid {
+			restoreGen, hasRestore = g.Gen, true
+			break
+		}
+	}
+
+	fmt.Printf("%-4s %10s %7s %12s %-20s %s\n", "", "generation", "ranks", "bytes", "created", "state")
+	for _, g := range gens {
+		mark := ""
+		if hasRestore && g.Valid && g.Gen == restoreGen {
+			mark = "->"
+		}
+		state := "valid"
+		if !g.Valid {
+			state = "INVALID: " + g.Reason
+		}
+		created := "-"
+		if g.Created > 0 {
+			created = time.Unix(0, g.Created).UTC().Format("2006-01-02 15:04:05")
+		}
+		nr := fmt.Sprintf("%d", g.NumRanks)
+		if g.NumRanks == 0 {
+			nr = "-"
+		}
+		fmt.Printf("%-4s %10d %7s %12d %-20s %s\n", mark, g.Gen, nr, g.TotalBytes, created, state)
+		for _, r := range g.Ranks {
+			if r.CRCOK && !*ranks {
+				continue
+			}
+			crc := "crc ok"
+			if !r.CRCOK {
+				crc = "CRC/SIZE MISMATCH or missing"
+			}
+			fmt.Printf("     %10s rank %-4d %12d %-20s %s\n", "", r.Rank, r.Bytes, r.File, crc)
+		}
+	}
+	if !hasRestore {
+		fmt.Println("no valid generation: a restore would fail with ErrNoCheckpoint")
+	}
+}

@@ -15,25 +15,47 @@
 // table (one copy per process), world-spanning collectives, and
 // cross-node point-to-point — and -serve exposes live wire metrics
 // (/metrics, /metrics.json, pprof) while it runs.
+//
+// With -ckpt the run becomes durable: each rank keeps its state in a
+// storage-backed RMA window, the world takes a coordinated checkpoint
+// every -ckpt-every rounds, and a killed process can be replaced with
+// `hlsworker -respawn` (same -node, same -ckpt). The replacement bumps
+// the restart epoch file, survivors abandon the broken generation, and
+// everyone rejoins a fresh wire world (the world key is salted with the
+// generation so stale frames cannot cross generations), restores the
+// latest valid checkpoint and resumes. All processes must see the same
+// -ckpt directory (same machine or a shared filesystem).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
+	"hls/internal/ckpt"
 	"hls/internal/hls"
 	"hls/internal/metrics"
 	"hls/internal/mpi"
 	"hls/internal/obs"
+	"hls/internal/rma"
 	"hls/internal/topology"
 	"hls/internal/trace"
 	"hls/internal/wire"
 )
+
+// maxRestarts caps how many broken generations a process will abandon
+// before giving up; it bounds restart loops when the failure is not a
+// lost peer but something persistent.
+const maxRestarts = 8
 
 func main() {
 	log.SetFlags(0)
@@ -48,6 +70,11 @@ func main() {
 	traceEvents := flag.Int("trace-events", 1<<16, "per-process trace ring capacity (0 = unbounded)")
 	linger := flag.Duration("linger", 0, "keep the process (and -serve endpoint) up this long after the workload")
 	timeout := flag.Duration("timeout", 2*time.Minute, "deadlock watchdog for the whole run")
+	ckptDir := flag.String("ckpt", "", "durable recovery directory shared by all processes: persistent windows, checkpoint generations and the restart epoch live here (empty = recovery off)")
+	ckptEvery := flag.Int("ckpt-every", 1, "rounds between coordinated checkpoints (with -ckpt)")
+	restore := flag.Bool("restore", false, "rehydrate from the latest valid checkpoint before the first round (with -ckpt)")
+	respawn := flag.Bool("respawn", false, "rejoin as the replacement for a killed process: bump the restart epoch, join the new generation and restore (implies -restore)")
+	roundSleep := flag.Duration("round-sleep", 0, "pause after each round; paces the workload so external kills land mid-run")
 	flag.Parse()
 
 	if *node < 0 {
@@ -68,6 +95,15 @@ func main() {
 	if *perNode < 1 {
 		log.Fatalf("-tasks-per-node %d, need >= 1", *perNode)
 	}
+	if (*restore || *respawn) && *ckptDir == "" {
+		log.Fatal("-restore/-respawn need -ckpt")
+	}
+	if *ckptEvery < 1 {
+		log.Fatalf("-ckpt-every %d, need >= 1", *ckptEvery)
+	}
+	if *respawn {
+		*restore = true
+	}
 
 	machine, err := topology.New(topology.Spec{
 		Name:           "hlsworker",
@@ -82,35 +118,6 @@ func main() {
 	numTasks := len(addrs) * *perNode
 
 	reg := metrics.New(numTasks)
-	ln, err := net.Listen("tcp", addrs[*node])
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// -trace: per-process recorder + NTP-style clock against node 0, so
-	// rank 0 can pull every ring at teardown and write one merged,
-	// clock-aligned Perfetto file.
-	var tracer *obs.Tracer
-	var clock *obs.Clock
-	wa := metrics.NewWireAdapter(reg, len(addrs))
-	wcfg := wire.Config{
-		Addrs:    addrs,
-		Self:     *node,
-		WorldKey: wire.WorldKeyFor(*hosts),
-		Observer: wa,
-		Clock:    wa,
-	}
-	if *traceFile != "" {
-		tracer = obs.NewTracer(trace.NewRecorder(trace.WithMaxEvents(*traceEvents)))
-		clock = obs.NewClock(len(addrs))
-		wcfg.Clock = wire.ClockObservers(clock, wa)
-		wcfg.PingInterval = 250 * time.Millisecond
-	}
-	tr, err := wire.NewTCP(wcfg, ln)
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	if *serve != "" {
 		addr, shutdown, err := metrics.Serve(*serve, reg)
 		if err != nil {
@@ -120,30 +127,231 @@ func main() {
 		fmt.Printf("node %d: serving telemetry on http://%s\n", *node, addr)
 	}
 
-	world, err := mpi.NewWorld(mpi.Config{
-		NumTasks: numTasks,
-		Machine:  machine,
-		Pin:      topology.PinCorePerTask,
-		Wire:     &mpi.WireConfig{Transport: tr},
-		Hooks:    metrics.NewMPIAdapter(reg),
-		Trace:    traceHooks(tracer),
-		Timeout:  *timeout,
-	})
-	if err != nil {
-		log.Fatal(err)
+	// One tracer for the whole process: a failed generation's events stay
+	// in the ring, so the merged trace shows the recovery too.
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer(trace.NewRecorder(trace.WithMaxEvents(*traceEvents)))
 	}
-	var hlsOpts []hls.Option
-	if tracer != nil {
-		hlsOpts = append(hlsOpts, hls.WithObserver(tracer.Sync()))
+
+	g := &genCfg{
+		hosts: *hosts, addrs: addrs, node: *node, perNode: *perNode,
+		numTasks: numTasks, machine: machine, reg: reg,
+		rounds: *rounds, roundSleep: *roundSleep,
+		tracer: tracer, traceFile: *traceFile, timeout: *timeout,
+		ckptEvery: *ckptEvery, restore: *restore,
+		// A replacement process must present a higher incarnation than
+		// its predecessor so peers discard the dead sequence space; the
+		// start wall clock is monotone across respawns of the same node.
+		incarnation: uint64(time.Now().UnixNano()),
 	}
-	hreg := hls.New(world, hlsOpts...)
-	table := hls.Declare[int64](hreg, "node-table", topology.Node, 256)
+	if *ckptDir != "" {
+		g.genDir = filepath.Join(*ckptDir, "gens")
+		g.winDir = filepath.Join(*ckptDir, "win")
+		g.epochFile = filepath.Join(*ckptDir, "epoch")
+		for _, d := range []string{g.genDir, g.winDir} {
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *respawn {
+			g.gen, err = bumpEpoch(g.epochFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("node %d: respawning into generation %d\n", *node, g.gen)
+		} else {
+			g.gen = readEpoch(g.epochFile)
+		}
+	}
 
 	fmt.Printf("node %d/%d: hosting ranks %v of a %d-rank world\n",
 		*node, len(addrs), localRanks(*node, *perNode), numTasks)
 
+	for restarts := 0; ; restarts++ {
+		err := runGeneration(g)
+		if err == nil {
+			break
+		}
+		if g.epochFile == "" || !recoverable(err) {
+			log.Fatalf("node %d: %v", *node, err)
+		}
+		if restarts+1 >= maxRestarts {
+			log.Fatalf("node %d: giving up after %d broken generations: %v", *node, restarts+1, err)
+		}
+		log.Printf("node %d: generation %d failed (%s); waiting for the restart epoch to advance",
+			*node, g.gen, firstLine(err))
+		next, aerr := awaitEpoch(g.epochFile, g.gen, *timeout)
+		if aerr != nil {
+			log.Fatalf("node %d: %v (original failure: %s)", *node, aerr, firstLine(err))
+		}
+		g.gen = next
+		g.restore = true // survivors always resume from the checkpoint
+		fmt.Printf("node %d: rejoining at generation %d\n", *node, g.gen)
+	}
+
+	fmt.Printf("node %d: workload complete (%d rounds, generation %d)\n", *node, *rounds, g.gen)
+	if *linger > 0 {
+		fmt.Printf("node %d: lingering %s\n", *node, *linger)
+		time.Sleep(*linger)
+	}
+}
+
+// genCfg is everything one generation of the world needs; gen and
+// restore advance as generations are abandoned and rejoined.
+type genCfg struct {
+	hosts    string
+	addrs    []string
+	node     int
+	perNode  int
+	numTasks int
+	machine  *topology.Machine
+	reg      *metrics.Registry
+
+	rounds     int
+	roundSleep time.Duration
+
+	tracer      *obs.Tracer
+	traceFile   string
+	timeout     time.Duration
+	incarnation uint64
+
+	genDir    string // checkpoint generations (empty = recovery off)
+	winDir    string // persistent window segments
+	epochFile string // restart epoch
+	ckptEvery int
+	restore   bool
+	gen       uint64
+}
+
+// runGeneration builds one wire world (listener, transport, MPI world,
+// HLS registry, checkpoint coordinator) keyed to the current restart
+// generation and runs the workload to completion on this process's
+// ranks. Any error — a dead peer, a cancellation from the epoch watcher
+// — abandons the whole generation; the caller decides whether to rejoin.
+func runGeneration(g *genCfg) error {
+	ln, err := net.Listen("tcp", g.addrs[g.node])
+	if err != nil {
+		return err
+	}
+	wa := metrics.NewWireAdapter(g.reg, len(g.addrs))
+	wcfg := wire.Config{
+		Addrs: g.addrs,
+		Self:  g.node,
+		// Salting the world key with the generation keeps frames from an
+		// abandoned generation out of the new world: a peer still in the
+		// old one is rejected at Hello and retries until it rejoins.
+		WorldKey:    genKey(wire.WorldKeyFor(g.hosts), g.gen),
+		Incarnation: g.incarnation,
+		Observer:    wa,
+		Clock:       wa,
+	}
+	var clock *obs.Clock
+	if g.tracer != nil {
+		clock = obs.NewClock(len(g.addrs))
+		wcfg.Clock = wire.ClockObservers(clock, wa)
+		wcfg.PingInterval = 250 * time.Millisecond
+	}
+	tr, err := wire.NewTCP(wcfg, ln)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+
+	world, err := mpi.NewWorld(mpi.Config{
+		NumTasks: g.numTasks,
+		Machine:  g.machine,
+		Pin:      topology.PinCorePerTask,
+		Wire:     &mpi.WireConfig{Transport: tr},
+		Hooks:    metrics.NewMPIAdapter(g.reg),
+		Trace:    traceHooks(g.tracer),
+		Timeout:  g.timeout,
+	})
+	if err != nil {
+		tr.Close()
+		return err
+	}
+
+	// The epoch watcher turns a replacement process's arrival into a
+	// prompt, deterministic teardown: the moment the restart epoch moves
+	// past this generation the world is obsolete, even if the dead peer
+	// has not yet been declared down (a fast respawn can reoccupy the
+	// dead node's address before reconnects exhaust, and the resulting
+	// handshake rejections never mark the peer down on their own).
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	if g.epochFile != "" {
+		go watchEpoch(world, g.epochFile, g.gen, stopWatch)
+	}
+
+	var hlsOpts []hls.Option
+	if g.tracer != nil {
+		hlsOpts = append(hlsOpts, hls.WithObserver(g.tracer.Sync()))
+	}
+	hreg := hls.New(world, hlsOpts...)
+	table := hls.Declare[int64](hreg, "node-table", topology.Node, 256)
+
+	var coord *ckpt.Coordinator
+	if g.genDir != "" {
+		ccfg := ckpt.Config{Dir: g.genDir, Observer: metrics.NewCkptAdapter(g.reg)}
+		if g.tracer != nil {
+			ccfg.Tracer = &trace.CkptAdapter{R: g.tracer.Recorder()}
+		}
+		coord = ckpt.New(ccfg)
+	}
+
+	// progress[r] is the next round rank r should run; it rides along in
+	// every checkpoint so a restore resumes where the checkpoint was cut.
+	progress := make([]int64, g.numTasks)
+	var regOnce sync.Once
+	firstLocal := world.LocalRanks()[0]
+
 	err = world.Run(func(task *mpi.Task) error {
-		for round := 0; round < *rounds; round++ {
+		// Each rank keeps a digest of its rounds in a storage-backed
+		// window: the segment maps to <winDir>/worker-state.r<rank>.seg
+		// and win.Sync before every checkpoint makes the file match the
+		// checkpoint cut, so a respawned process remaps the dead rank's
+		// state straight from storage.
+		var win *rma.Window[int64]
+		if g.winDir != "" {
+			win = rma.WinAllocate[int64](task, nil, 64,
+				rma.WithName("worker-state"), rma.WithPersist(g.winDir))
+		}
+		if coord != nil {
+			regOnce.Do(func() {
+				coord.Register(
+					ckpt.HLSVar(table),
+					ckpt.Slice("round", func(t *mpi.Task) []int64 {
+						return progress[t.Rank() : t.Rank()+1]
+					}),
+				)
+				if win != nil {
+					coord.Register(ckpt.Window(win))
+				}
+			})
+		}
+
+		startRound := 0
+		if coord != nil && g.restore {
+			info, err := coord.Restore(task)
+			switch {
+			case errors.Is(err, ckpt.ErrNoCheckpoint):
+				if task.Rank() == firstLocal {
+					fmt.Printf("node %d: no checkpoint yet; starting from round 0\n", g.node)
+				}
+			case err != nil:
+				return err
+			default:
+				startRound = int(progress[task.Rank()])
+				if task.Rank() == firstLocal {
+					fmt.Printf("node %d: restored generation %d (%d bytes, %.1f ms, %d torn/partial generation(s) skipped); resuming at round %d\n",
+						g.node, info.Gen, info.Bytes, float64(info.Duration)/float64(time.Millisecond),
+						info.Skipped, startRound)
+				}
+			}
+		}
+
+		for round := startRound; round < g.rounds; round++ {
 			// Node-scoped storage: one copy per process, initialized by
 			// one local rank per round.
 			table.Single(task, func(data []int64) {
@@ -161,7 +369,7 @@ func main() {
 			// is the local sum times the world size.
 			global := []int64{0}
 			mpi.Allreduce(task, nil, []int64{local}, global, mpi.OpSum)
-			want := local * int64(numTasks)
+			want := local * int64(g.numTasks)
 			if global[0] != want {
 				return fmt.Errorf("round %d: allreduce %d, want %d", round, global[0], want)
 			}
@@ -169,12 +377,12 @@ func main() {
 			// Cross-node point-to-point: node 2k pairs with node 2k+1 and
 			// each rank ping-pongs with its opposite (eager and rendezvous
 			// sizes). With an odd node count the last node sits out.
-			myNode := task.Rank() / *perNode
+			myNode := task.Rank() / g.perNode
 			peer := -1
-			if myNode%2 == 0 && myNode+1 < len(addrs) {
-				peer = task.Rank() + *perNode
+			if myNode%2 == 0 && myNode+1 < len(g.addrs) {
+				peer = task.Rank() + g.perNode
 			} else if myNode%2 == 1 {
-				peer = task.Rank() - *perNode
+				peer = task.Rank() - g.perNode
 			}
 			if peer >= 0 {
 				elems := 64
@@ -199,25 +407,58 @@ func main() {
 					mpi.Send(task, nil, buf, peer, round)
 				}
 			}
+
+			if win != nil {
+				seg := win.Local(task)
+				seg[round%len(seg)] += local + int64(task.Rank())
+			}
+			progress[task.Rank()] = int64(round + 1)
+			if coord != nil && (round+1)%g.ckptEvery == 0 {
+				if win != nil {
+					if err := win.Sync(task); err != nil {
+						return err
+					}
+				}
+				if _, err := coord.Checkpoint(task); err != nil {
+					return err
+				}
+			}
+			if g.roundSleep > 0 {
+				time.Sleep(g.roundSleep)
+			}
 			mpi.Barrier(task, nil)
 		}
-		if tracer != nil {
-			return gatherTrace(task, tracer, clock, reg, *node, *traceFile)
+
+		// World-wide digest of the persistent state: every node prints
+		// the same value, and a recovered run's digest matches an
+		// unfailed one's (the bench recover experiment asserts the
+		// bitwise version of this in-process).
+		if win != nil {
+			local := int64(0)
+			for _, v := range win.Local(task) {
+				local += v
+			}
+			digest := []int64{0}
+			mpi.Allreduce(task, nil, []int64{local}, digest, mpi.OpSum)
+			if task.Rank() == firstLocal {
+				fmt.Printf("node %d: state digest %d after %d rounds\n", g.node, digest[0], g.rounds)
+			}
+			win.Free(task)
+		}
+		if g.tracer != nil {
+			return gatherTrace(task, g.tracer, clock, g.reg, g.node, g.traceFile)
 		}
 		return nil
 	})
 	if err != nil {
-		log.Fatalf("node %d: %v", *node, err)
+		return err
 	}
 
 	if st, ok := world.WireStats(); ok {
 		fmt.Printf("node %d: done — wire frames %d sent / %d received, %d bytes out, %d reconnects\n",
-			*node, st.FramesSent, st.FramesReceived, st.BytesSent, st.Reconnects)
+			g.node, st.FramesSent, st.FramesReceived, st.BytesSent, st.Reconnects)
 	}
-	if *linger > 0 {
-		fmt.Printf("node %d: lingering %s\n", *node, *linger)
-		time.Sleep(*linger)
-	}
+	return nil
 }
 
 // localRanks lists the world ranks this process hosts (block layout:
@@ -228,6 +469,107 @@ func localRanks(node, perNode int) []int {
 		ranks[i] = node*perNode + i
 	}
 	return ranks
+}
+
+// genKey salts the wire world key with the restart generation
+// (splitmix64 finalizer) so distinct generations reject each other's
+// handshakes. Generation 0 keeps the unsalted key: a plain world and a
+// recovery-enabled one at epoch 0 are the same world.
+func genKey(base, gen uint64) uint64 {
+	if gen == 0 {
+		return base
+	}
+	z := gen + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return base ^ (z ^ (z >> 31))
+}
+
+// readEpoch returns the restart epoch, 0 if the file is missing or
+// unparseable (a fresh directory is generation 0).
+func readEpoch(path string) uint64 {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// bumpEpoch advances the restart epoch by one, atomically (write a
+// per-process temp file, rename over). Concurrent replacements can
+// collapse onto the same value — they then simply join the same
+// generation, which is the behavior we want.
+func bumpEpoch(path string) (uint64, error) {
+	next := readEpoch(path) + 1
+	tmp := fmt.Sprintf("%s.tmp.%d", path, os.Getpid())
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(next, 10)+"\n"), 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return next, nil
+}
+
+// awaitEpoch polls until the restart epoch exceeds the abandoned
+// generation — i.e. until a replacement process has arrived and bumped
+// it — or the budget runs out.
+func awaitEpoch(path string, above uint64, budget time.Duration) (uint64, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		if v := readEpoch(path); v > above {
+			return v, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("restart epoch still %d after %s: no replacement process bumped %s", above, budget, path)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// watchEpoch cancels the world as soon as the restart epoch moves past
+// the generation it belongs to.
+func watchEpoch(w *mpi.World, path string, gen uint64, stop <-chan struct{}) {
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			if v := readEpoch(path); v > gen {
+				w.Cancel(fmt.Errorf("restart epoch advanced to %d: a replacement process is waiting for generation %d", v, v))
+				return
+			}
+		}
+	}
+}
+
+// recoverable reports whether a generation's failure is the kind a
+// restart can fix: a dead or failed rank, a cancellation (the epoch
+// watcher), or a timed-out world. Workload logic errors are not.
+func recoverable(err error) bool {
+	var dead *mpi.DeadRankError
+	var rf *mpi.RankFailure
+	var can *mpi.CancelledError
+	var to *mpi.TimeoutError
+	return errors.As(err, &dead) || errors.As(err, &rf) ||
+		errors.As(err, &can) || errors.As(err, &to)
+}
+
+// firstLine compresses a joined multi-rank error to its first line for
+// log output; the full detail is fatal-logged if recovery gives up.
+func firstLine(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i] + " ..."
+	}
+	return s
 }
 
 // traceHooks adapts the optional tracer to the mpi.TraceHooks interface

@@ -45,6 +45,11 @@ type FaultsResult struct {
 	// hls_demotion_recovery_ns histogram (first-failed-attempt to
 	// demotion decision).
 	RecoveryP50Ns, RecoveryP99Ns float64
+	// Unfired lists the armed faults that never injected anything (one
+	// Describe() line each) — e.g. an Nth-opportunity rule the run never
+	// reached. A silently under-delivering plan is a weaker test than
+	// the seed suggests, so the report must say so.
+	Unfired []string
 }
 
 // RunFaults runs the clean-vs-chaos comparison. The seed fixes the whole
@@ -167,6 +172,9 @@ func RunFaults(p Profile, seed int64) (*FaultsResult, error) {
 	for _, e := range inj.Events() {
 		out.Injected[e.Kind.String()]++
 	}
+	for _, s := range inj.Unfired() {
+		out.Unfired = append(out.Unfired, s.Describe())
+	}
 
 	snap := localReg.Snapshot()
 	for _, h := range snap.Histograms {
@@ -196,6 +204,14 @@ func PrintFaults(w io.Writer, r *FaultsResult) {
 		}
 	}
 	fprintf(w, "\n")
+	if len(r.Unfired) == 0 {
+		fprintf(w, "fault plan: every armed fault fired\n")
+	} else {
+		fprintf(w, "fault plan: %d armed fault(s) never fired:\n", len(r.Unfired))
+		for _, line := range r.Unfired {
+			fprintf(w, "  %s\n", line)
+		}
+	}
 	if !math.IsNaN(r.RecoveryP50Ns) && r.RecoveryP50Ns > 0 {
 		fprintf(w, "demotion recovery latency: p50 <= %s, p99 <= %s (first failed attempt -> demotion)\n",
 			fmtDur(r.RecoveryP50Ns), fmtDur(r.RecoveryP99Ns))

@@ -1,0 +1,225 @@
+// Package binenc converts scalar slices to and from little-endian
+// bytes. It is the on-disk codec shared by the persistence layers
+// (rma persistent windows, ckpt payload files): fixed-width
+// little-endian elements, no framing, no alignment padding.
+//
+// The canonical element types ([]int64, []float64, ...) take an
+// allocation-free fast path; named types (type Cell float64) fall back
+// to reflection, which is still correct but slower — persistence code
+// is off the hot path either way.
+package binenc
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+
+	"hls/internal/mpi"
+)
+
+// ElemSize returns the byte width of T.
+func ElemSize[T mpi.Scalar]() int {
+	return int(reflect.TypeOf((*T)(nil)).Elem().Size())
+}
+
+// Size returns the encoded byte length of an n-element []T.
+func Size[T mpi.Scalar](n int) int { return n * ElemSize[T]() }
+
+// Append appends src's little-endian encoding to dst and returns the
+// extended slice.
+func Append[T mpi.Scalar](dst []byte, src []T) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, Size[T](len(src)))...)
+	Encode(dst[off:], src)
+	return dst
+}
+
+// Encode writes src into dst, which must hold at least Size(len(src))
+// bytes.
+func Encode[T mpi.Scalar](dst []byte, src []T) {
+	switch s := any(src).(type) {
+	case []int8:
+		for i, v := range s {
+			dst[i] = byte(v)
+		}
+	case []uint8:
+		copy(dst, s)
+	case []int16:
+		for i, v := range s {
+			putU16(dst[2*i:], uint16(v))
+		}
+	case []uint16:
+		for i, v := range s {
+			putU16(dst[2*i:], v)
+		}
+	case []int32:
+		for i, v := range s {
+			putU32(dst[4*i:], uint32(v))
+		}
+	case []uint32:
+		for i, v := range s {
+			putU32(dst[4*i:], v)
+		}
+	case []int:
+		for i, v := range s {
+			putU64(dst[8*i:], uint64(v))
+		}
+	case []uint:
+		for i, v := range s {
+			putU64(dst[8*i:], uint64(v))
+		}
+	case []int64:
+		for i, v := range s {
+			putU64(dst[8*i:], uint64(v))
+		}
+	case []uint64:
+		for i, v := range s {
+			putU64(dst[8*i:], v)
+		}
+	case []float32:
+		for i, v := range s {
+			putU32(dst[4*i:], math.Float32bits(v))
+		}
+	case []float64:
+		for i, v := range s {
+			putU64(dst[8*i:], math.Float64bits(v))
+		}
+	default:
+		encodeReflect(dst, reflect.ValueOf(src))
+	}
+}
+
+// Decode fills dst from src's little-endian encoding. src must hold
+// exactly Size(len(dst)) bytes.
+func Decode[T mpi.Scalar](dst []T, src []byte) error {
+	if want := Size[T](len(dst)); len(src) != want {
+		return fmt.Errorf("binenc: %d bytes for %d elements of width %d (want %d)",
+			len(src), len(dst), ElemSize[T](), want)
+	}
+	switch d := any(dst).(type) {
+	case []int8:
+		for i := range d {
+			d[i] = int8(src[i])
+		}
+	case []uint8:
+		copy(d, src)
+	case []int16:
+		for i := range d {
+			d[i] = int16(u16(src[2*i:]))
+		}
+	case []uint16:
+		for i := range d {
+			d[i] = u16(src[2*i:])
+		}
+	case []int32:
+		for i := range d {
+			d[i] = int32(u32(src[4*i:]))
+		}
+	case []uint32:
+		for i := range d {
+			d[i] = u32(src[4*i:])
+		}
+	case []int:
+		for i := range d {
+			d[i] = int(u64(src[8*i:]))
+		}
+	case []uint:
+		for i := range d {
+			d[i] = uint(u64(src[8*i:]))
+		}
+	case []int64:
+		for i := range d {
+			d[i] = int64(u64(src[8*i:]))
+		}
+	case []uint64:
+		for i := range d {
+			d[i] = u64(src[8*i:])
+		}
+	case []float32:
+		for i := range d {
+			d[i] = math.Float32frombits(u32(src[4*i:]))
+		}
+	case []float64:
+		for i := range d {
+			d[i] = math.Float64frombits(u64(src[8*i:]))
+		}
+	default:
+		decodeReflect(reflect.ValueOf(dst), src)
+	}
+	return nil
+}
+
+// encodeReflect handles named scalar types element by element.
+func encodeReflect(dst []byte, v reflect.Value) {
+	w := int(v.Type().Elem().Size())
+	switch v.Type().Elem().Kind() {
+	case reflect.Float32, reflect.Float64:
+		for i := 0; i < v.Len(); i++ {
+			var bits uint64
+			if w == 4 {
+				bits = uint64(math.Float32bits(float32(v.Index(i).Float())))
+			} else {
+				bits = math.Float64bits(v.Index(i).Float())
+			}
+			putN(dst[w*i:], bits, w)
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		for i := 0; i < v.Len(); i++ {
+			putN(dst[w*i:], v.Index(i).Uint(), w)
+		}
+	default:
+		for i := 0; i < v.Len(); i++ {
+			putN(dst[w*i:], uint64(v.Index(i).Int()), w)
+		}
+	}
+}
+
+// decodeReflect is encodeReflect's inverse.
+func decodeReflect(v reflect.Value, src []byte) {
+	w := int(v.Type().Elem().Size())
+	for i := 0; i < v.Len(); i++ {
+		bits := getN(src[w*i:], w)
+		e := v.Index(i)
+		switch e.Kind() {
+		case reflect.Float32:
+			e.SetFloat(float64(math.Float32frombits(uint32(bits))))
+		case reflect.Float64:
+			e.SetFloat(math.Float64frombits(bits))
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			e.SetUint(bits)
+		default:
+			// Sign-extend from the element width.
+			shift := uint(64 - 8*w)
+			e.SetInt(int64(bits<<shift) >> shift)
+		}
+	}
+}
+
+func putU16(b []byte, v uint16) { b[0] = byte(v); b[1] = byte(v >> 8) }
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+func putN(b []byte, v uint64, w int) {
+	for i := 0; i < w; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+func u16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+func u32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+func u64(b []byte) uint64 { return uint64(u32(b)) | uint64(u32(b[4:]))<<32 }
+func getN(b []byte, w int) uint64 {
+	var v uint64
+	for i := 0; i < w; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,63 @@
+package binenc
+
+import (
+	"bytes"
+	"testing"
+)
+
+func roundTrip[T interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}](t *testing.T, src []T) {
+	t.Helper()
+	enc := Append[T](nil, src)
+	if len(enc) != Size[T](len(src)) {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), Size[T](len(src)))
+	}
+	dst := make([]T, len(src))
+	if err := Decode(dst, enc); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if src[i] != dst[i] {
+			t.Fatalf("elem %d: got %v want %v", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	roundTrip(t, []int64{0, 1, -1, 1 << 40, -(1 << 40)})
+	roundTrip(t, []float64{0, 1.5, -2.25, 1e300, -1e-300})
+	roundTrip(t, []float32{0, 1.5, -2.25})
+	roundTrip(t, []int32{0, -5, 1 << 30})
+	roundTrip(t, []int16{-1, 32767, -32768})
+	roundTrip(t, []int8{-1, 127, -128})
+	roundTrip(t, []uint8{0, 255, 7})
+	roundTrip(t, []uint16{0, 65535})
+	roundTrip(t, []uint32{0, 1 << 31})
+	roundTrip(t, []uint64{0, 1 << 63})
+	roundTrip(t, []int{-7, 1 << 50})
+	roundTrip(t, []uint{7, 1 << 50})
+}
+
+// Named scalar types take the reflection fallback; the encoding must be
+// identical to the canonical type's.
+func TestNamedTypeFallback(t *testing.T) {
+	type cell float64
+	type count int16
+	roundTrip(t, []cell{0, 1.5, -2.25, 1e300})
+	roundTrip(t, []count{-1, 300, -300})
+
+	canon := Append[float64](nil, []float64{1.5, -2.25})
+	named := Append[cell](nil, []cell{1.5, -2.25})
+	if !bytes.Equal(canon, named) {
+		t.Fatalf("named-type encoding differs from canonical: %x vs %x", named, canon)
+	}
+}
+
+func TestDecodeLengthMismatch(t *testing.T) {
+	if err := Decode(make([]int64, 2), make([]byte, 15)); err == nil {
+		t.Fatal("want error on short input")
+	}
+}

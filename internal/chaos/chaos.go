@@ -216,6 +216,74 @@ func (inj *Injector) Count(k Kind) int {
 	return n
 }
 
+// FaultStatus is one armed fault's firing state at snapshot time. A
+// fault with Fired == 0 was armed but never injected anything — most
+// often a kill or stall aimed at an Nth opportunity the run never
+// reached — which used to vanish silently and make a chaos run look
+// healthier than its plan intended.
+type FaultStatus struct {
+	Fault
+	Index int   // position in the armed plan
+	Seen  int64 // matching opportunities observed
+	Fired int64 // times the fault actually injected
+}
+
+// Unfired reports whether the fault never injected anything.
+func (s FaultStatus) Unfired() bool { return s.Fired == 0 }
+
+// Describe renders one status line for reports and experiment output.
+func (s FaultStatus) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %v", s.Index, s.Kind)
+	if s.Rank >= 0 {
+		fmt.Fprintf(&b, " rank=%d", s.Rank)
+	}
+	if s.Var != "" {
+		fmt.Fprintf(&b, " var=%s", s.Var)
+	}
+	if s.Node >= 0 {
+		fmt.Fprintf(&b, " node=%d", s.Node)
+	}
+	if s.Nth > 0 {
+		fmt.Fprintf(&b, " nth=%d", s.Nth)
+	} else if s.Prob > 0 {
+		fmt.Fprintf(&b, " prob=%.3g", s.Prob)
+	}
+	fmt.Fprintf(&b, ": seen %d, fired %d", s.Seen, s.Fired)
+	if s.Fired == 0 {
+		if s.Nth > 0 && s.Seen < s.Nth {
+			fmt.Fprintf(&b, " (UNFIRED: opportunity %d of %d never reached)", s.Seen, s.Nth)
+		} else {
+			b.WriteString(" (UNFIRED)")
+		}
+	}
+	return b.String()
+}
+
+// Summary snapshots the firing state of every armed fault, in plan
+// order — fired or not. Experiments should surface the unfired entries:
+// a plan that quietly under-delivers is a weaker test than it claims.
+func (inj *Injector) Summary() []FaultStatus {
+	out := make([]FaultStatus, 0, len(inj.faults))
+	for i, f := range inj.faults {
+		f.mu.Lock()
+		out = append(out, FaultStatus{Fault: f.Fault, Index: i, Seen: f.seen, Fired: f.fired})
+		f.mu.Unlock()
+	}
+	return out
+}
+
+// Unfired returns the armed faults that never injected anything.
+func (inj *Injector) Unfired() []FaultStatus {
+	var out []FaultStatus
+	for _, s := range inj.Summary() {
+		if s.Unfired() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // String summarizes the injected faults per kind.
 func (inj *Injector) String() string {
 	counts := make(map[Kind]int)

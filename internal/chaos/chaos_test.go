@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -295,5 +296,36 @@ func TestChaosMapGateFires(t *testing.T) {
 	}
 	if inj.Count(chaos.MapFail) != 1 {
 		t.Errorf("Count(MapFail) = %d, want 1", inj.Count(chaos.MapFail))
+	}
+}
+
+func TestChaosSummaryReportsUnfired(t *testing.T) {
+	inj := chaos.New(1,
+		chaos.Fault{Kind: chaos.MsgDup, Rank: -1, Nth: 2},   // will fire
+		chaos.Fault{Kind: chaos.MsgDrop, Rank: -1, Nth: 50}, // never reached
+		chaos.Fault{Kind: chaos.RankKill, Rank: 3, Nth: 1},  // never consulted
+	)
+	for i := 0; i < 5; i++ {
+		inj.FaultP2P(0, 1, 8, false)
+	}
+	sum := inj.Summary()
+	if len(sum) != 3 {
+		t.Fatalf("Summary has %d entries, want 3", len(sum))
+	}
+	if sum[0].Fired != 1 || sum[0].Unfired() {
+		t.Errorf("fault 0: %+v, want fired once", sum[0])
+	}
+	if sum[1].Seen != 5 || !sum[1].Unfired() {
+		t.Errorf("fault 1: %+v, want seen=5 unfired", sum[1])
+	}
+	if sum[2].Seen != 0 || !sum[2].Unfired() {
+		t.Errorf("fault 2: %+v, want seen=0 unfired", sum[2])
+	}
+	unf := inj.Unfired()
+	if len(unf) != 2 || unf[0].Index != 1 || unf[1].Index != 2 {
+		t.Fatalf("Unfired = %+v, want plan entries 1 and 2", unf)
+	}
+	if d := unf[0].Describe(); !strings.Contains(d, "UNFIRED") || !strings.Contains(d, "never reached") {
+		t.Errorf("Describe() = %q, want unreached marker", d)
 	}
 }

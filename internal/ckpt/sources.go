@@ -1,0 +1,108 @@
+package ckpt
+
+// sources.go — adapters turning the runtime's state holders into
+// checkpoint Sources: RMA windows, HLS scope variables, and plain
+// per-rank application slices.
+
+import (
+	"fmt"
+
+	"hls/internal/binenc"
+	"hls/internal/hls"
+	"hls/internal/mpi"
+	"hls/internal/rma"
+)
+
+// Window checkpoints each rank's own segment of an RMA window. If the
+// window is persistent (rma.WithPersist), Load also Syncs the restored
+// segment so the window's backing files catch up to the checkpoint —
+// the respawn path that remaps a dead rank's files then restores a
+// generation converges on one durable state.
+func Window[T mpi.Scalar](w *rma.Window[T]) Source {
+	return winSource[T]{w}
+}
+
+type winSource[T mpi.Scalar] struct{ w *rma.Window[T] }
+
+func (s winSource[T]) CkptName() string { return "win:" + s.w.Name() }
+
+func (s winSource[T]) Save(t *mpi.Task) ([]byte, error) {
+	return binenc.Append[T](nil, s.w.Local(t)), nil
+}
+
+func (s winSource[T]) Load(t *mpi.Task, data []byte) error {
+	seg := s.w.Local(t)
+	if err := binenc.Decode(seg, data); err != nil {
+		return err
+	}
+	if s.w.Persisted() {
+		return s.w.Sync(t)
+	}
+	return nil
+}
+
+// HLSVar checkpoints an HLS scope variable. Every rank saves its view;
+// on load, the instance owners write (one writer per instance via
+// Single), so shared scopes are restored exactly once per copy.
+func HLSVar[T mpi.Scalar](v *hls.Var[T]) Source {
+	return hlsSource[T]{v}
+}
+
+type hlsSource[T mpi.Scalar] struct{ v *hls.Var[T] }
+
+func (s hlsSource[T]) CkptName() string { return "hls:" + s.v.Name() }
+
+func (s hlsSource[T]) Save(t *mpi.Task) ([]byte, error) {
+	return binenc.Append[T](nil, s.v.Slice(t)), nil
+}
+
+func (s hlsSource[T]) Load(t *mpi.Task, data []byte) error {
+	var err error
+	s.v.Single(t, func(dst []T) {
+		err = binenc.Decode(dst, data)
+	})
+	return err
+}
+
+// Slice checkpoints an arbitrary per-rank slice the application owns
+// (iteration state, partial results). get must return the same slice
+// (same length) on every call for a given task; the contents are
+// restored in place.
+func Slice[T mpi.Scalar](name string, get func(t *mpi.Task) []T) Source {
+	return sliceSource[T]{name, get}
+}
+
+type sliceSource[T mpi.Scalar] struct {
+	name string
+	get  func(t *mpi.Task) []T
+}
+
+func (s sliceSource[T]) CkptName() string { return "slice:" + s.name }
+
+func (s sliceSource[T]) Save(t *mpi.Task) ([]byte, error) {
+	return binenc.Append[T](nil, s.get(t)), nil
+}
+
+func (s sliceSource[T]) Load(t *mpi.Task, data []byte) error {
+	dst := s.get(t)
+	if want := binenc.Size[T](len(dst)); want != len(data) {
+		return fmt.Errorf("slice %q: checkpointed %d bytes, current length wants %d", s.name, len(data), want)
+	}
+	return binenc.Decode(dst, data)
+}
+
+// Funcs builds a Source from explicit save/load closures, for state
+// that has no natural slice shape.
+func Funcs(name string, save func(t *mpi.Task) ([]byte, error), load func(t *mpi.Task, data []byte) error) Source {
+	return funcSource{name, save, load}
+}
+
+type funcSource struct {
+	name string
+	save func(t *mpi.Task) ([]byte, error)
+	load func(t *mpi.Task, data []byte) error
+}
+
+func (s funcSource) CkptName() string                    { return s.name }
+func (s funcSource) Save(t *mpi.Task) ([]byte, error)    { return s.save(t) }
+func (s funcSource) Load(t *mpi.Task, data []byte) error { return s.load(t, data) }

@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"errors"
 	"testing"
+	"time"
 )
 
 func TestMPIAdapter(t *testing.T) {
@@ -191,4 +193,61 @@ func TestRMAAdapter(t *testing.T) {
 	n.EndOp("w", "put", 0)
 	n.Arrive("k", 0)
 	n.Depart("k", 0)
+}
+
+func TestCkptAdapter(t *testing.T) {
+	r := New(4)
+	a := NewCkptAdapter(r)
+
+	// The adapter must satisfy ckpt.Observer structurally.
+	var _ interface {
+		CheckpointDone(gen uint64, bytes int64, d time.Duration, err error)
+		RestoreDone(gen uint64, bytes int64, d time.Duration, skipped int, err error)
+		GenerationSkipped(gen uint64, reason string)
+	} = a
+
+	a.CheckpointDone(3, 4096, 2*time.Millisecond, nil)
+	a.CheckpointDone(4, 100, time.Millisecond, errors.New("rank died"))
+	a.RestoreDone(3, 4096, 5*time.Millisecond, 1, nil)
+	a.GenerationSkipped(4, "rank payload missing or corrupt")
+	a.GenerationSkipped(5, "uncommitted staging directory")
+
+	if got := r.Counter("ckpt_checkpoints_total", "", L("result", "ok")).Value(); got != 1 {
+		t.Errorf("checkpoints ok = %d", got)
+	}
+	if got := r.Counter("ckpt_checkpoints_total", "", L("result", "error")).Value(); got != 1 {
+		t.Errorf("checkpoints error = %d", got)
+	}
+	if got := r.Counter("ckpt_restores_total", "", L("result", "ok")).Value(); got != 1 {
+		t.Errorf("restores ok = %d", got)
+	}
+	if got := r.Counter("ckpt_generations_skipped_total", "").Value(); got != 2 {
+		t.Errorf("skipped = %d", got)
+	}
+	if got := r.Counter("ckpt_bytes_total", "", L("dir", "saved")).Value(); got != 4096 {
+		t.Errorf("saved bytes = %d", got)
+	}
+	if got := r.Counter("ckpt_bytes_total", "", L("dir", "restored")).Value(); got != 4096 {
+		t.Errorf("restored bytes = %d", got)
+	}
+	if got := r.Gauge("ckpt_last_generation", "").Value(); got != 3 {
+		t.Errorf("last generation = %d", got)
+	}
+	if got := r.Gauge("ckpt_restored_generation", "").Value(); got != 3 {
+		t.Errorf("restored generation = %d", got)
+	}
+	if h := r.Histogram("ckpt_checkpoint_ns", ""); h.Count() != 1 {
+		t.Errorf("checkpoint histogram count = %d", h.Count())
+	}
+
+	// Failed outcomes must not move the byte counters or gauges.
+	if got := r.Gauge("ckpt_last_generation", "").Value(); got != 3 {
+		t.Errorf("error outcome moved the generation gauge: %d", got)
+	}
+
+	// Nil-registry adapter.
+	n := NewCkptAdapter(nil)
+	n.CheckpointDone(1, 1, time.Millisecond, nil)
+	n.RestoreDone(1, 1, time.Millisecond, 0, nil)
+	n.GenerationSkipped(1, "x")
 }

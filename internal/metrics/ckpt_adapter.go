@@ -1,0 +1,75 @@
+package metrics
+
+import "time"
+
+// CkptAdapter implements ckpt.Observer (structurally, like the other
+// adapters — the ckpt package is not imported), exporting the durable
+// recovery layer's outcomes: checkpoints and restores by result,
+// per-rank payload bytes moved in each direction, operation latency
+// histograms, generations skipped as corrupt/partial during restore
+// scans, and the generation gauges the CI crash-recovery smoke asserts
+// on (ckpt_restores_total >= 1 after a respawn). Pass it in
+// ckpt.Config{Observer: a}. Constructed over a nil registry every
+// method is a cheap no-op.
+type CkptAdapter struct {
+	ckptOK   *Counter
+	ckptErr  *Counter
+	restOK   *Counter
+	restErr  *Counter
+	skipped  *Counter
+	saved    *Counter
+	restored *Counter
+	ckptNs   *Histogram
+	restNs   *Histogram
+	lastCkpt *Gauge
+	lastRest *Gauge
+}
+
+// NewCkptAdapter creates the adapter and registers its metric families.
+func NewCkptAdapter(r *Registry) *CkptAdapter {
+	return &CkptAdapter{
+		ckptOK:   r.Counter("ckpt_checkpoints_total", "coordinated checkpoints by result", L("result", "ok")),
+		ckptErr:  r.Counter("ckpt_checkpoints_total", "coordinated checkpoints by result", L("result", "error")),
+		restOK:   r.Counter("ckpt_restores_total", "checkpoint restores by result", L("result", "ok")),
+		restErr:  r.Counter("ckpt_restores_total", "checkpoint restores by result", L("result", "error")),
+		skipped:  r.Counter("ckpt_generations_skipped_total", "invalid (torn/partial) generations passed over by restore scans"),
+		saved:    r.Counter("ckpt_bytes_total", "per-rank payload bytes by direction", L("dir", "saved")),
+		restored: r.Counter("ckpt_bytes_total", "per-rank payload bytes by direction", L("dir", "restored")),
+		ckptNs:   r.Histogram("ckpt_checkpoint_ns", "wall time of one coordinated checkpoint, per rank, ns"),
+		restNs:   r.Histogram("ckpt_restore_ns", "wall time of one restore, per rank, ns"),
+		lastCkpt: r.Gauge("ckpt_last_generation", "generation of the last successful checkpoint"),
+		lastRest: r.Gauge("ckpt_restored_generation", "generation of the last successful restore"),
+	}
+}
+
+// CheckpointDone implements ckpt.Observer. Shard by rank would need the
+// rank, which the outcome deliberately does not carry (the protocol is
+// symmetric); shard 0 keeps the counters single-series.
+func (a *CkptAdapter) CheckpointDone(gen uint64, bytes int64, d time.Duration, err error) {
+	if err != nil {
+		a.ckptErr.Inc(0)
+		return
+	}
+	a.ckptOK.Inc(0)
+	a.saved.Add(0, bytes)
+	a.ckptNs.Observe(0, d.Nanoseconds())
+	a.lastCkpt.Set(int64(gen))
+}
+
+// RestoreDone implements ckpt.Observer.
+func (a *CkptAdapter) RestoreDone(gen uint64, bytes int64, d time.Duration, skipped int, err error) {
+	if err != nil {
+		a.restErr.Inc(0)
+		return
+	}
+	a.restOK.Inc(0)
+	a.restored.Add(0, bytes)
+	a.restNs.Observe(0, d.Nanoseconds())
+	a.lastRest.Set(int64(gen))
+}
+
+// GenerationSkipped implements ckpt.Observer (fires on rank 0 during
+// the restore scan, once per invalid generation).
+func (a *CkptAdapter) GenerationSkipped(gen uint64, reason string) {
+	a.skipped.Inc(0)
+}

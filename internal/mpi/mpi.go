@@ -233,6 +233,18 @@ func (w *World) Size() int { return w.cfg.NumTasks }
 // distributed one.
 func (w *World) LocalRanks() []int { return w.localRanks() }
 
+// RankLocal reports whether world rank r runs in this process (always
+// true for in-range ranks of a single-process world).
+func (w *World) RankLocal(r int) bool {
+	if r < 0 || r >= w.cfg.NumTasks {
+		return false
+	}
+	if w.net == nil {
+		return true
+	}
+	return w.net.localRank(r)
+}
+
 // ProcessOf returns the index of the process hosting world rank r: the
 // wire-transport node for distributed worlds, 0 for single-process
 // worlds. Out-of-range ranks map to 0.

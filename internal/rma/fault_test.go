@@ -50,6 +50,63 @@ func TestFaultLockReleasedWhenHolderDies(t *testing.T) {
 	}
 }
 
+// TestFaultLockHolderDiesBeforeFirstOp: the holder dies in the gap
+// between acquiring the lock and issuing its first RMA operation — the
+// epoch is open but completely empty, so the release path cannot rely on
+// any op-side bookkeeping. A shared holder dies pre-op; one survivor is
+// already blocked wanting the exclusive side and must unwind typed, and
+// a second survivor that only calls Lock after the failure cascade must
+// fail fast (typed, not deadlocked) on the already-released lock.
+func TestFaultLockHolderDiesBeforeFirstOp(t *testing.T) {
+	const n = 4
+	w := testWorld(t, n)
+	locked := make(chan struct{})
+	blocked := make(chan struct{})
+	runErr := w.Run(func(task *mpi.Task) error {
+		win := WinAllocate[int](task, nil, 1)
+		switch task.Rank() {
+		case 1:
+			// Shared lock, then death with zero ops issued: the epoch has
+			// no Put/Get/Accumulate, no Flush, nothing in flight.
+			win.Lock(task, LockShared, 0)
+			close(locked)
+			panic(fmt.Errorf("injected kill between Lock and first op"))
+		case 2:
+			<-locked
+			close(blocked)
+			win.Lock(task, LockExclusive, 0) // blocked behind the dead reader
+			return nil
+		case 3:
+			<-blocked
+			// Arrive well after the cascade: the dead rank's RLock must
+			// already be released, and the window poisoned — Lock raises
+			// typed immediately instead of hanging on a leaked read lock.
+			time.Sleep(50 * time.Millisecond)
+			win.Lock(task, LockExclusive, 0)
+			return nil
+		default:
+			return nil
+		}
+	})
+	if runErr == nil {
+		t.Fatal("Run returned nil after a lock holder died pre-op")
+	}
+	var te *mpi.TimeoutError
+	if errors.As(runErr, &te) {
+		t.Fatalf("survivor hung on the dead holder's unused lock: %v", runErr)
+	}
+	var rf *mpi.RankFailure
+	if !errors.As(w.RankErrors()[1], &rf) {
+		t.Errorf("rank 1 error = %v, want *mpi.RankFailure", w.RankErrors()[1])
+	}
+	for _, r := range []int{2, 3} {
+		var dre *mpi.DeadRankError
+		if !errors.As(w.RankErrors()[r], &dre) || dre.Dead != 1 {
+			t.Errorf("rank %d error = %v, want *mpi.DeadRankError{Dead: 1}", r, w.RankErrors()[r])
+		}
+	}
+}
+
 // TestFaultWaitUnblocksWhenOriginDies: a PSCW origin dies between Start
 // and Complete; the exposing target's Wait must fail fast.
 func TestFaultWaitUnblocksWhenOriginDies(t *testing.T) {

@@ -1,0 +1,488 @@
+package rma
+
+// persist.go — storage-backed window segments (ROADMAP item 5, after
+// "MPI Windows on Storage for HPC Applications"): WinAllocate /
+// WinAllocateShared with WithPersist back every process-local segment
+// with a versioned, checksummed file, so shared tables survive process
+// death and can be remapped by a respawned rank.
+//
+// File layout (little-endian):
+//
+//	offset 0      64-byte header: magic "HLSWSEG1", format version,
+//	              element width, element count, sync epoch, CRC32-C of
+//	              the data region, CRC32-C of the header itself
+//	offset 4096   the segment data, len(seg)*elemBytes bytes
+//
+// Durability contract: a segment's file reflects the state as of the
+// last completed Sync (Free performs a final implicit Sync). Sync
+// orders data before header (two fsyncs in file mode, two msyncs in
+// mapped mode), so a crash mid-Sync leaves a header whose data CRC no
+// longer matches — the next open *detects* the torn write and starts
+// that segment zeroed rather than silently loading garbage. Atomic
+// cross-rank snapshots are the ckpt package's job (staged generations
+// + atomic rename), not this layer's.
+//
+// Two backings share the format:
+//
+//   - file mode (default): the segment lives on the Go heap; Sync
+//     encodes it through internal/binenc and writes it back.
+//   - mapped mode (WithPersistMapped, Linux): the file itself is the
+//     segment via mmap(MAP_SHARED), so tables larger than RAM page in
+//     and out on demand (out-of-core); Sync is msync + header bump.
+//     On platforms without mmap support it silently degrades to file
+//     mode (PersistState reports Mapped=false).
+//
+// Both modes store little-endian element bytes (mapped mode stores the
+// native representation, which is little-endian on every supported
+// platform), so a worker may reopen a file-mode segment mapped and
+// vice versa.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"unsafe"
+
+	"hls/internal/binenc"
+	"hls/internal/mpi"
+)
+
+const (
+	persistMagic    = "HLSWSEG1"
+	persistVersion  = 1
+	persistHdrBytes = 64
+	// persistDataOff page-aligns the data region so mapped segments are
+	// aligned for any scalar type and the header occupies its own page
+	// (its msync cannot tear data pages).
+	persistDataOff = PageBytes
+	// persistChunkBytes bounds file-mode scratch memory: segments are
+	// encoded and checksummed through a reusable chunk buffer, so even
+	// file-mode Sync of a large table never doubles its footprint.
+	persistChunkBytes = 1 << 20
+)
+
+var persistCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// PersistInfo reports how one rank's segment of a persistent window was
+// opened, and its current durable epoch.
+type PersistInfo struct {
+	Backed    bool   // segment has a backing file in this process
+	Mapped    bool   // backing is mmap'd (segment memory IS the file)
+	Fresh     bool   // file did not exist; segment started zeroed
+	Recovered bool   // file existed with a valid checksum; contents loaded
+	Torn      bool   // file existed but failed validation; segment zeroed
+	Epoch     uint64 // last durable Sync epoch (0 = never synced)
+	Bytes     int64  // data bytes on disk
+	Path      string
+}
+
+// persistState is the window's persistence side: one segFile per
+// process-local, non-empty segment.
+type persistState struct {
+	files []*segFile // per comm rank; nil = not backed here
+	info  []PersistInfo
+}
+
+// segFile is one segment's backing file. mu serializes Sync against
+// Close and PersistState reads; the segment memory itself is governed
+// by the window's own synchronization rules.
+type segFile struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	elems   int
+	eb      int
+	epoch   uint64
+	mapping []byte // whole-file mmap in mapped mode, nil in file mode
+	chunk   []byte // file mode: reusable encode buffer
+}
+
+type segHeader struct {
+	elems   uint64
+	epoch   uint64
+	eb      uint32
+	dataCRC uint32
+}
+
+func encodeHeader(h segHeader) []byte {
+	b := make([]byte, persistHdrBytes)
+	copy(b, persistMagic)
+	binary.LittleEndian.PutUint32(b[8:], persistVersion)
+	binary.LittleEndian.PutUint32(b[12:], h.eb)
+	binary.LittleEndian.PutUint64(b[16:], h.elems)
+	binary.LittleEndian.PutUint64(b[24:], h.epoch)
+	binary.LittleEndian.PutUint32(b[32:], h.dataCRC)
+	binary.LittleEndian.PutUint32(b[36:], crc32.Checksum(b[:36], persistCRC))
+	return b
+}
+
+// decodeHeader validates magic, header CRC and format version.
+// ok=false means the header is unreadable garbage (torn); err != nil
+// means it is a readable header for a *different* geometry or version,
+// which is caller misuse rather than corruption.
+func decodeHeader(b []byte, elems, eb int) (h segHeader, ok bool, err error) {
+	if len(b) < persistHdrBytes || string(b[:8]) != persistMagic {
+		return h, false, nil
+	}
+	if crc32.Checksum(b[:36], persistCRC) != binary.LittleEndian.Uint32(b[36:]) {
+		return h, false, nil
+	}
+	if v := binary.LittleEndian.Uint32(b[8:]); v != persistVersion {
+		return h, false, fmt.Errorf("format version %d (this build reads %d)", v, persistVersion)
+	}
+	h.eb = binary.LittleEndian.Uint32(b[12:])
+	h.elems = binary.LittleEndian.Uint64(b[16:])
+	h.epoch = binary.LittleEndian.Uint64(b[24:])
+	h.dataCRC = binary.LittleEndian.Uint32(b[32:])
+	if int(h.eb) != eb || h.elems != uint64(elems) {
+		return h, false, fmt.Errorf("geometry mismatch: file holds %d elements of width %d, window wants %d of width %d",
+			h.elems, h.eb, elems, eb)
+	}
+	return h, true, nil
+}
+
+// initPersist opens (or creates) the backing files for every
+// process-local segment, loading recovered contents into the segments —
+// or, in mapped mode, replacing the segments with file-backed memory.
+// Runs once per window, from buildWindow.
+func (w *Window[T]) initPersist(sizes []int) error {
+	dir := w.cfg.persistDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ps := &persistState{
+		files: make([]*segFile, len(sizes)),
+		info:  make([]PersistInfo, len(sizes)),
+	}
+	for r, n := range sizes {
+		if n == 0 || !w.world.RankLocal(w.comm.WorldRank(r)) {
+			continue
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s.r%d.seg", w.name, r))
+		sf, seg, info, err := openSegFile(path, w.segs[r], w.cfg.persistMapped)
+		if err != nil {
+			ps.closeFiles()
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		w.segs[r] = seg
+		ps.files[r] = sf
+		ps.info[r] = info
+	}
+	w.persist = ps
+	return nil
+}
+
+// openSegFile opens path as the backing for dst (a zeroed, fully
+// allocated segment). In mapped mode the returned segment is the mmap'd
+// file itself and dst is discarded; otherwise recovered contents are
+// decoded into dst and dst is returned.
+func openSegFile[T mpi.Scalar](path string, dst []T, wantMapped bool) (*segFile, []T, PersistInfo, error) {
+	elems, eb := len(dst), binenc.ElemSize[T]()
+	dataBytes := int64(elems) * int64(eb)
+	want := int64(persistDataOff) + dataBytes
+	info := PersistInfo{Backed: true, Bytes: dataBytes, Path: path}
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, info, err
+	}
+	fail := func(err error) (*segFile, []T, PersistInfo, error) {
+		f.Close()
+		return nil, nil, info, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+
+	sf := &segFile{f: f, path: path, elems: elems, eb: eb}
+	hb := make([]byte, persistHdrBytes)
+	switch {
+	case st.Size() == 0:
+		// Brand-new file: size it (sparse where the filesystem allows),
+		// record the all-zero data CRC so an un-synced reopen validates.
+		if err := f.Truncate(want); err != nil {
+			return fail(err)
+		}
+		info.Fresh = true
+		if err := sf.writeHeaderAt(f, segHeader{elems: uint64(elems), eb: uint32(eb), epoch: 0, dataCRC: zeroCRC(dataBytes)}); err != nil {
+			return fail(err)
+		}
+	default:
+		if _, err := f.ReadAt(hb, 0); err != nil && err != io.EOF {
+			return fail(err)
+		}
+		h, ok, err := decodeHeader(hb, elems, eb)
+		if err != nil {
+			return fail(err) // wrong geometry/version: misuse, not corruption
+		}
+		if !ok || st.Size() != want {
+			info.Torn = true
+		} else {
+			sf.epoch = h.epoch
+			info.Recovered = true
+			info.Epoch = h.epoch
+		}
+		if info.Torn {
+			// Re-shape the file; contents stay zero until validated data
+			// is written by the next Sync.
+			if err := f.Truncate(want); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	if wantMapped {
+		if m, err := mapFile(f, int(want)); err == nil {
+			sf.mapping = m
+			info.Mapped = true
+		}
+		// Mapping failure (or non-Linux platform): degrade to file mode.
+	}
+
+	seg := dst
+	if sf.mapping != nil {
+		seg = mappedSeg[T](sf.mapping, elems)
+	}
+	switch {
+	case info.Recovered && sf.mapping != nil:
+		// The mapping *is* the data; just validate the checksum.
+		if crc32.Checksum(sf.mapping[persistDataOff:], persistCRC) != headerDataCRC(hb, info.Fresh, dataBytes) {
+			info.Recovered, info.Torn = false, true
+			sf.epoch = 0
+			zero(seg)
+		}
+	case info.Recovered:
+		crc, err := readSegInto(f, seg)
+		if err != nil {
+			return fail(err)
+		}
+		if crc != headerDataCRC(hb, info.Fresh, dataBytes) {
+			info.Recovered, info.Torn = false, true
+			sf.epoch = 0
+			zero(seg)
+		}
+	case info.Torn && sf.mapping != nil:
+		zero(seg) // the mapping aliases the torn file bytes
+	}
+	info.Epoch = sf.epoch
+	return sf, seg, info, nil
+}
+
+// headerDataCRC returns the data checksum the open path must match:
+// the header's recorded CRC, or the all-zero CRC for a fresh file.
+func headerDataCRC(hdr []byte, fresh bool, dataBytes int64) uint32 {
+	if fresh {
+		return zeroCRC(dataBytes)
+	}
+	return binary.LittleEndian.Uint32(hdr[32:])
+}
+
+// readSegInto streams the data region into seg, returning the CRC of
+// the bytes read. Chunked so large segments never need a whole-file
+// buffer.
+func readSegInto[T mpi.Scalar](f *os.File, seg []T) (uint32, error) {
+	eb := binenc.ElemSize[T]()
+	chunkElems := persistChunkBytes / eb
+	if chunkElems < 1 {
+		chunkElems = 1
+	}
+	buf := make([]byte, chunkElems*eb)
+	crc := uint32(0)
+	off := int64(persistDataOff)
+	for start := 0; start < len(seg); start += chunkElems {
+		end := start + chunkElems
+		if end > len(seg) {
+			end = len(seg)
+		}
+		b := buf[:(end-start)*eb]
+		if _, err := f.ReadAt(b, off); err != nil {
+			return 0, err
+		}
+		crc = crc32.Update(crc, persistCRC, b)
+		if err := binenc.Decode(seg[start:end], b); err != nil {
+			return 0, err
+		}
+		off += int64(len(b))
+	}
+	return crc, nil
+}
+
+// writeHeaderAt persists h (header fsync only; callers order data
+// durability first).
+func (sf *segFile) writeHeaderAt(f *os.File, h segHeader) error {
+	if _, err := f.WriteAt(encodeHeader(h), 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// persistSync makes seg's current contents durable and bumps the epoch.
+// Data is made durable before the header referencing it, so an
+// interrupted Sync is detectable (CRC mismatch) rather than silent.
+func persistSync[T mpi.Scalar](sf *segFile, seg []T) error {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	if sf.f == nil {
+		return fmt.Errorf("rma: persistent segment %s is closed", sf.path)
+	}
+	var crc uint32
+	if sf.mapping != nil {
+		data := sf.mapping[persistDataOff:]
+		crc = crc32.Checksum(data, persistCRC)
+		if err := msyncFile(data); err != nil {
+			return err
+		}
+	} else {
+		eb := sf.eb
+		chunkElems := persistChunkBytes / eb
+		if chunkElems < 1 {
+			chunkElems = 1
+		}
+		if sf.chunk == nil {
+			sf.chunk = make([]byte, chunkElems*eb)
+		}
+		off := int64(persistDataOff)
+		for start := 0; start < len(seg); start += chunkElems {
+			end := start + chunkElems
+			if end > len(seg) {
+				end = len(seg)
+			}
+			b := sf.chunk[:(end-start)*eb]
+			binenc.Encode(b, seg[start:end])
+			crc = crc32.Update(crc, persistCRC, b)
+			if _, err := sf.f.WriteAt(b, off); err != nil {
+				return err
+			}
+			off += int64(len(b))
+		}
+		if err := sf.f.Sync(); err != nil {
+			return err
+		}
+	}
+	h := segHeader{elems: uint64(sf.elems), eb: uint32(sf.eb), epoch: sf.epoch + 1, dataCRC: crc}
+	if sf.mapping != nil {
+		copy(sf.mapping[:persistHdrBytes], encodeHeader(h))
+		if err := msyncFile(sf.mapping[:persistDataOff]); err != nil {
+			return err
+		}
+	} else if err := sf.writeHeaderAt(sf.f, h); err != nil {
+		return err
+	}
+	sf.epoch = h.epoch
+	return nil
+}
+
+// closeFiles unmaps and closes every backing file without syncing
+// (error-path cleanup; the orderly path is Window.persistClose).
+func (ps *persistState) closeFiles() {
+	for _, sf := range ps.files {
+		if sf == nil {
+			continue
+		}
+		sf.mu.Lock()
+		if sf.mapping != nil {
+			_ = unmapFile(sf.mapping)
+			sf.mapping = nil
+		}
+		if sf.f != nil {
+			_ = sf.f.Close()
+			sf.f = nil
+		}
+		sf.mu.Unlock()
+	}
+}
+
+// persistClose runs from Free: a final Sync of every local segment (so
+// clean shutdown is durable without an explicit Sync), then unmap and
+// close. Mapped segments must not be touched after Free — their memory
+// is gone.
+func (w *Window[T]) persistClose() error {
+	var first error
+	for r, sf := range w.persist.files {
+		if sf == nil {
+			continue
+		}
+		if err := persistSync(sf, w.segs[r]); err != nil && first == nil {
+			first = err
+		}
+	}
+	w.persist.closeFiles()
+	return first
+}
+
+// Sync makes the calling task's segment durable: encode + fsync in file
+// mode, msync in mapped mode, then a header bump recording the new
+// epoch and data checksum. Each rank persists its own segment; Free
+// performs a final Sync of every local segment. No-op (nil) on windows
+// created without WithPersist.
+func (w *Window[T]) Sync(t *mpi.Task) error {
+	me := w.rankOf(t, "Sync")
+	if w.persist == nil {
+		return nil
+	}
+	sf := w.persist.files[me]
+	if sf == nil {
+		return nil
+	}
+	return persistSync(sf, w.segs[me])
+}
+
+// Persisted reports whether the window was created with WithPersist.
+func (w *Window[T]) Persisted() bool { return w.persist != nil }
+
+// PersistState returns how rank's segment was opened and its current
+// durable epoch. Ranks hosted by other processes (and zero-length
+// segments) report Backed=false.
+func (w *Window[T]) PersistState(rank int) PersistInfo {
+	if w.persist == nil || rank < 0 || rank >= len(w.persist.info) {
+		return PersistInfo{}
+	}
+	info := w.persist.info[rank]
+	if sf := w.persist.files[rank]; sf != nil {
+		sf.mu.Lock()
+		info.Epoch = sf.epoch
+		sf.mu.Unlock()
+	}
+	return info
+}
+
+// mapAddr returns the base address of a mapped range for msync.
+func mapAddr(b []byte) unsafe.Pointer { return unsafe.Pointer(&b[0]) }
+
+// mappedSeg reinterprets the mapping's data region as []T. The mapping
+// is page-aligned and the data region starts on a page boundary, so the
+// view is aligned for every scalar type. This is the one place the
+// repo needs unsafe: file-backed memory cannot be expressed otherwise.
+func mappedSeg[T mpi.Scalar](mapping []byte, elems int) []T {
+	if elems == 0 {
+		return []T{}
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&mapping[persistDataOff])), elems)
+}
+
+// zeroCRC returns the CRC32-C of n zero bytes.
+func zeroCRC(n int64) uint32 {
+	var crc uint32
+	var z [4096]byte
+	for n > 0 {
+		k := n
+		if k > int64(len(z)) {
+			k = int64(len(z))
+		}
+		crc = crc32.Update(crc, persistCRC, z[:k])
+		n -= k
+	}
+	return crc
+}
+
+func zero[T mpi.Scalar](s []T) {
+	var z T
+	for i := range s {
+		s[i] = z
+	}
+}

@@ -1,0 +1,32 @@
+//go:build linux
+
+package rma
+
+import "syscall"
+
+// mapFile maps the whole file read-write and shared, so stores through
+// the mapping reach the file (and tables larger than RAM page on
+// demand).
+func mapFile(f interface{ Fd() uintptr }, size int) ([]byte, error) {
+	if size == 0 {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func unmapFile(b []byte) error { return syscall.Munmap(b) }
+
+// msyncFile synchronously flushes the given mapped range. b need not be
+// page-aligned in length, but must start on a page boundary (callers
+// pass either the header page or the page-aligned data region).
+func msyncFile(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(mapAddr(b)), uintptr(len(b)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

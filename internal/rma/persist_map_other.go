@@ -1,0 +1,18 @@
+//go:build !linux
+
+package rma
+
+import "errors"
+
+var errNoMmap = errors.New("rma: memory-mapped persistence is not supported on this platform")
+
+// Non-Linux platforms fall back to file-backed (heap) persistence:
+// mapFile always fails, openSegFile degrades gracefully, and
+// PersistState reports Mapped=false.
+func mapFile(f interface{ Fd() uintptr }, size int) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func unmapFile(b []byte) error { return nil }
+
+func msyncFile(b []byte) error { return nil }

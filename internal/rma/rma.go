@@ -81,11 +81,13 @@ type Tracer interface {
 // must pass equivalent options: the first task to arrive builds the
 // window from its own copy.
 type winConfig struct {
-	name         string
-	tracker      *memsim.Tracker
-	accountBytes int64
-	observer     Observer
-	tracer       Tracer
+	name          string
+	tracker       *memsim.Tracker
+	accountBytes  int64
+	observer      Observer
+	tracer        Tracer
+	persistDir    string
+	persistMapped bool
 }
 
 // Option tunes window creation.
@@ -117,6 +119,27 @@ func WithObserver(o Observer) Option {
 // WithTracer wires a Tracer into every epoch and communication call.
 func WithTracer(tr Tracer) Option {
 	return func(c *winConfig) { c.tracer = tr }
+}
+
+// WithPersist backs every process-local segment of the window with a
+// versioned, checksummed file under dir (one file per rank, named
+// "<window-name>.r<rank>.seg"), loading valid contents on creation and
+// zeroing segments whose file fails its checksum (torn write). Durable
+// state advances only at explicit Window.Sync epochs (plus a final
+// implicit Sync in Free). Requires WinAllocate/WinAllocateShared —
+// WinCreate memory is caller-owned. Windows sharing a dir must have
+// distinct names. See persist.go for the format and contract.
+func WithPersist(dir string) Option {
+	return func(c *winConfig) { c.persistDir = dir }
+}
+
+// WithPersistMapped is WithPersist with the segments memory-mapped
+// (MAP_SHARED) instead of heap-resident: the file is the segment, so
+// tables larger than RAM run out-of-core and Sync is an msync. Falls
+// back to plain file persistence on platforms without mmap
+// (PersistState reports Mapped=false).
+func WithPersistMapped(dir string) Option {
+	return func(c *winConfig) { c.persistDir = dir; c.persistMapped = true }
 }
 
 // raise panics with an *mpi.Error so mpi.Run reports RMA misuse like any

@@ -24,9 +24,10 @@ type Window[T mpi.Scalar] struct {
 	st  []*targetState // per comm rank: target-side synchronization
 	eps []*epochState  // per comm rank: origin-side epoch state (owner-only)
 
-	cfg    winConfig
-	allocs []*memsim.Alloc
-	free   sync.Once
+	cfg     winConfig
+	allocs  []*memsim.Alloc
+	free    sync.Once
+	persist *persistState // non-nil when created with WithPersist
 
 	// failMu guards failErr, the first member failure (or cancellation)
 	// observed by the window's failure handler; see fault.go.
@@ -136,7 +137,13 @@ func (w *Window[T]) Free(t *mpi.Task) {
 		raise(t.Rank(), "Free", "window %q still has open epochs", w.name)
 	}
 	mpi.Barrier(t, w.comm)
+	var persistErr error
 	w.free.Do(func() {
+		if w.persist != nil {
+			// Final implicit Sync: clean shutdown leaves every local
+			// segment durable at its last contents.
+			persistErr = w.persistClose()
+		}
 		if w.cfg.tracker != nil {
 			for _, a := range w.allocs {
 				w.cfg.tracker.Free(a)
@@ -144,6 +151,9 @@ func (w *Window[T]) Free(t *mpi.Task) {
 		}
 		forgetWindow(w.world, w.comm.ID())
 	})
+	if persistErr != nil {
+		raise(t.Rank(), "Free", "persist window %q: %v", w.name, persistErr)
+	}
 	mpi.Barrier(t, w.comm)
 }
 
@@ -227,6 +237,14 @@ func buildWindow[T mpi.Scalar](world *mpi.World, wc *mpi.Comm, rank int, op stri
 	} else if sizes != nil {
 		for r, s := range sizes {
 			win.segs[r] = make([]T, s)
+		}
+	}
+	if cfg.persistDir != "" {
+		if sizes == nil {
+			raise(rank, op, "WithPersist requires WinAllocate or WinAllocateShared (WinCreate memory is caller-owned)")
+		}
+		if err := win.initPersist(sizes); err != nil {
+			raise(rank, op, "persist window %q: %v", cfg.name, err)
 		}
 	}
 	win.account(sizes, shared)

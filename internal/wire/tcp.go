@@ -81,8 +81,9 @@ type tcpPeer struct {
 	sendMu       sync.Mutex
 	conn         net.Conn
 	bw           *bufio.Writer
-	ready        bool  // Hello exchange complete on conn; writes allowed
-	ver          uint8 // negotiated frame version: min(ours, peer's)
+	ready        bool   // Hello exchange complete on conn; writes allowed
+	ver          uint8  // negotiated frame version: min(ours, peer's)
+	inc          uint64 // highest incarnation seen from this peer (0 = unknown/legacy)
 	sendSeq      uint64
 	unacked      []encFrame
 	dialing      bool
@@ -327,6 +328,13 @@ func (p *tcpPeer) dialLoop() {
 			if backoff > maxBackoff {
 				backoff = maxBackoff
 			}
+			if t.closed.Load() {
+				// Closed while backing off: without this re-check the loop
+				// would race teardown and fire one more dial (and fault
+				// hook) against a world that no longer exists.
+				p.finishDial()
+				return
+			}
 		}
 		if f := t.cfg.Fault; f != nil && !f.WireDial(p.id, attempt) {
 			lastErr = errors.New("wire: injected dial failure")
@@ -404,14 +412,17 @@ func (p *tcpPeer) installLocked(conn net.Conn) {
 // key, and our resume point (highest in-order seq received from peer).
 // Hello frames are always encoded at MinVersion — the lowest common
 // denominator, so an old peer can still parse them — with our real
-// protocol version advertised in Elems (old binaries leave it 0) and
-// our wall clock in Ctx as a crude one-way clock sample.
+// protocol version advertised in Elems (old binaries leave it 0), our
+// wall clock in Ctx as a crude one-way clock sample, and our process
+// incarnation in Seq (sequence numbering starts after the handshake,
+// so the field is free here; old binaries send 0).
 func (p *tcpPeer) writeHelloLocked() error {
 	h := Header{
 		Type:     TypeHello,
 		Version:  MinVersion,
 		Xid:      p.tr.cfg.WorldKey,
 		SrcWorld: int32(p.tr.cfg.Self),
+		Seq:      p.tr.cfg.Incarnation,
 		Ack:      p.recvSeq.Load(),
 		Elems:    Version,
 		Ctx:      time.Now().UnixNano(),
@@ -422,16 +433,75 @@ func (p *tcpPeer) writeHelloLocked() error {
 	return err
 }
 
-// handleHello processes the peer's Hello on connection c: negotiate the
-// frame version, acknowledge through the peer's resume point, retransmit
-// the unacked tail, and open the connection for new writes.
+// noteHelloLocked records the peer's incarnation from its Hello (the Seq
+// field; 0 marks an incarnation-unaware binary and never triggers a
+// reset). When the incarnation advances past one we had already met — or
+// past a peer we had declared down — the old sequence space belongs to a
+// dead process: the per-peer stream is reset so the handshake starts
+// fresh, and a down peer is revived. Frames still queued for the old
+// incarnation are dropped; across a respawn the application-level
+// recovery (checkpoint restore) owns redelivery, not the wire.
+//
+// Caller holds recvMu AND sendMu (in that order) — the reset touches
+// state under both. Returns whether the incarnation advanced (bumped)
+// and whether the peer came back from the down state (revived).
+func (p *tcpPeer) noteHelloLocked(h *Header) (bumped, revived bool) {
+	inc := h.Seq
+	if inc == 0 || inc <= p.inc {
+		return false, false
+	}
+	// First contact with an incarnation-aware peer (p.inc == 0, not
+	// down) must NOT reset: Sends queued before the handshake are real
+	// traffic for exactly this incarnation.
+	if p.inc != 0 || p.down {
+		p.resetStreamLocked()
+		bumped = true
+	}
+	p.inc = inc
+	if p.down {
+		p.down = false
+		p.downErr = nil
+		revived = true
+	}
+	return bumped, revived
+}
+
+// resetStreamLocked discards the per-peer sequence space: queued unacked
+// frames are freed, send/receive sequences and the ack watermark return
+// to zero, and the frame version reopens for negotiation. Caller holds
+// recvMu and sendMu.
+func (p *tcpPeer) resetStreamLocked() {
+	p.sendSeq = 0
+	n := len(p.unacked)
+	for _, ef := range p.unacked {
+		putEnc(ef.buf)
+	}
+	p.unacked = nil
+	if n > 0 {
+		p.tr.inflight.Add(int64(-n))
+		if ob := p.tr.cfg.Observer; ob != nil {
+			ob.InflightChanged(-n)
+		}
+	}
+	p.recvSeq.Store(0)
+	p.lastAck = 0
+	p.ver = Version
+}
+
+// handleHello processes the peer's Hello on connection c: note the
+// peer's incarnation (resetting the stream if it restarted), negotiate
+// the frame version, acknowledge through the peer's resume point,
+// retransmit the unacked tail, and open the connection for new writes.
 func (p *tcpPeer) handleHello(c net.Conn, h *Header) {
 	now := time.Now().UnixNano()
+	p.recvMu.Lock()
 	p.sendMu.Lock()
 	if p.conn != c {
 		p.sendMu.Unlock()
+		p.recvMu.Unlock()
 		return // stale connection
 	}
+	p.noteHelloLocked(h)
 	peerVer := uint8(MinVersion)
 	if h.Elems > int32(MinVersion) {
 		peerVer = uint8(h.Elems)
@@ -452,12 +522,14 @@ func (p *tcpPeer) handleHello(c net.Conn, h *Header) {
 		if err := p.writeLocked(ef.buf, TypeEager, false); err != nil {
 			p.severLocked(err)
 			p.sendMu.Unlock()
+			p.recvMu.Unlock()
 			return
 		}
 	}
 	if err := p.bw.Flush(); err != nil {
 		p.severLocked(err)
 		p.sendMu.Unlock()
+		p.recvMu.Unlock()
 		return
 	}
 	p.ready = true
@@ -465,6 +537,7 @@ func (p *tcpPeer) handleHello(c net.Conn, h *Header) {
 		p.writePingLocked() // immediate probe: short runs get a real RTT
 	}
 	p.sendMu.Unlock()
+	p.recvMu.Unlock()
 	if clk := p.tr.cfg.Clock; clk != nil && h.Ctx != 0 {
 		// One-way Hello sample: offset only, no RTT bound (rtt = -1).
 		clk.ClockSample(p.id, h.Ctx-now, -1)
@@ -555,6 +628,13 @@ func (p *tcpPeer) handleAck(a uint64) {
 }
 
 func (p *tcpPeer) trimAckedLocked(a uint64) {
+	if a > p.sendSeq {
+		// A peer cannot legitimately ack beyond what we have sent: this
+		// is a stale resume point from a Hello addressed to an earlier
+		// incarnation of this process. Honoring it would trim frames
+		// queued but never delivered.
+		return
+	}
 	n := 0
 	for n < len(p.unacked) && p.unacked[n].seq <= a {
 		putEnc(p.unacked[n].buf)
@@ -675,9 +755,16 @@ func (t *TCP) handleAccept(conn net.Conn) {
 		return
 	}
 	p := t.peers[peerID]
+	p.recvMu.Lock()
 	p.sendMu.Lock()
-	if t.closed.Load() || p.down || (p.conn != nil && peerID > t.cfg.Self) {
+	// A restarted peer announces a higher incarnation: reset the stream,
+	// revive it if it was down, and let the fresh connection displace any
+	// stale one regardless of the dial tie-break (the old socket belongs
+	// to a dead process, so there is no flap to avoid).
+	bumped, revived := p.noteHelloLocked(&h)
+	if t.closed.Load() || p.down || (p.conn != nil && peerID > t.cfg.Self && !bumped) {
 		p.sendMu.Unlock()
+		p.recvMu.Unlock()
 		conn.Close()
 		return
 	}
@@ -685,9 +772,16 @@ func (t *TCP) handleAccept(conn net.Conn) {
 	if err := p.writeHelloLocked(); err != nil {
 		p.severLocked(err)
 		p.sendMu.Unlock()
+		p.recvMu.Unlock()
 		return
 	}
 	p.sendMu.Unlock()
+	p.recvMu.Unlock()
+	if revived {
+		if s, ok := t.sink.(PeerReviver); ok {
+			s.PeerUp(peerID)
+		}
+	}
 	// Complete the handshake from their resume point, then read.
 	p.handleHello(conn, &h)
 	p.runReaderWith(conn, br, false)
