@@ -25,13 +25,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|faults|sync|p2p|net|trace|recover|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|faults|sync|p2p|net|coll|trace|recover|all")
 	full := flag.Bool("full", false, "run the paper-shaped sweep instead of the quick profile")
 	seed := flag.Int64("seed", 1, "chaos seed for -exp faults and -exp recover (fixes the whole fault schedule)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
 	syncOut := flag.String("out", "BENCH_sync.json", "where -exp sync writes its JSON snapshot (empty to skip)")
 	p2pOut := flag.String("p2pout", "BENCH_p2p.json", "where -exp p2p writes its JSON snapshot (empty to skip)")
 	netOut := flag.String("netout", "BENCH_net.json", "where -exp net writes its JSON snapshot (empty to skip)")
+	collOut := flag.String("collout", "BENCH_coll.json", "where -exp coll writes its JSON snapshot (empty to skip)")
 	traceOut := flag.String("traceout", "BENCH_trace.json", "where -exp trace writes its JSON snapshot (empty to skip)")
 	recoverOut := flag.String("recoverout", "BENCH_recover.json", "where -exp recover writes its JSON snapshot (empty to skip)")
 	traceFile := flag.String("tracefile", "", "where -exp trace writes the Perfetto-loadable event file for hlstrace (empty to skip)")
@@ -234,6 +235,31 @@ func main() {
 			f.Close()
 			exitOn(err)
 			exitOn(bench.CompareNet(os.Stdout, base, res))
+		}
+		fmt.Println()
+	}
+	if want("coll") {
+		ran = true
+		fmt.Printf("== Collectives: two-level + frame batching vs flat (%s profile) ==\n", profile)
+		res, err := bench.RunColl(profile)
+		exitOn(err)
+		bench.PrintColl(os.Stdout, res)
+		writeCSV("coll.csv", func(w io.Writer) error { return bench.WriteCollCSV(w, res) })
+		if *collOut != "" {
+			f, err := os.Create(*collOut)
+			exitOn(err)
+			err = bench.WriteCollJSON(f, res)
+			f.Close()
+			exitOn(err)
+			fmt.Println("wrote", *collOut)
+		}
+		if *compare != "" && *exp == "coll" {
+			f, err := os.Open(*compare)
+			exitOn(err)
+			base, err := bench.ReadCollJSON(f)
+			f.Close()
+			exitOn(err)
+			exitOn(bench.CompareColl(os.Stdout, base, res))
 		}
 		fmt.Println()
 	}

@@ -66,6 +66,8 @@ func main() {
 	perNode := flag.Int("tasks-per-node", 2, "MPI ranks hosted by each process")
 	rounds := flag.Int("rounds", 3, "workload iterations")
 	serve := flag.String("serve", "", "serve /metrics, /metrics.json and pprof on this address while running")
+	collMode := flag.String("coll", "auto", "collective algorithms: auto|flat|two-level (flat = single-level channel algorithms; two-level = node-local fast path + leaders-only wire exchange)")
+	batchWindow := flag.Duration("batch", 0, "wire frame-batching flush window, e.g. 200us (0 = off): small eager frames to the same peer within the window coalesce into one v3 Batch container")
 	traceFile := flag.String("trace", "", "record a distributed trace; rank 0's process writes the world-merged Perfetto file here (plus <file>.metrics.json)")
 	traceEvents := flag.Int("trace-events", 1<<16, "per-process trace ring capacity (0 = unbounded)")
 	linger := flag.Duration("linger", 0, "keep the process (and -serve endpoint) up this long after the workload")
@@ -104,6 +106,17 @@ func main() {
 	if *respawn {
 		*restore = true
 	}
+	var coll mpi.CollectiveMode
+	switch *collMode {
+	case "auto":
+		coll = mpi.CollAuto
+	case "flat":
+		coll = mpi.CollChannels
+	case "two-level":
+		coll = mpi.CollTwoLevel
+	default:
+		log.Fatalf("-coll %q, want auto|flat|two-level", *collMode)
+	}
 
 	machine, err := topology.New(topology.Spec{
 		Name:           "hlsworker",
@@ -137,6 +150,7 @@ func main() {
 	g := &genCfg{
 		hosts: *hosts, addrs: addrs, node: *node, perNode: *perNode,
 		numTasks: numTasks, machine: machine, reg: reg,
+		coll: coll, batch: *batchWindow,
 		rounds: *rounds, roundSleep: *roundSleep,
 		tracer: tracer, traceFile: *traceFile, timeout: *timeout,
 		ckptEvery: *ckptEvery, restore: *restore,
@@ -207,6 +221,8 @@ type genCfg struct {
 	numTasks int
 	machine  *topology.Machine
 	reg      *metrics.Registry
+	coll     mpi.CollectiveMode
+	batch    time.Duration
 
 	rounds     int
 	roundSleep time.Duration
@@ -243,6 +259,7 @@ func runGeneration(g *genCfg) error {
 		// old one is rejected at Hello and retries until it rejoins.
 		WorldKey:    genKey(wire.WorldKeyFor(g.hosts), g.gen),
 		Incarnation: g.incarnation,
+		BatchWindow: g.batch,
 		Observer:    wa,
 		Clock:       wa,
 	}
@@ -259,13 +276,14 @@ func runGeneration(g *genCfg) error {
 	}
 
 	world, err := mpi.NewWorld(mpi.Config{
-		NumTasks: g.numTasks,
-		Machine:  g.machine,
-		Pin:      topology.PinCorePerTask,
-		Wire:     &mpi.WireConfig{Transport: tr},
-		Hooks:    metrics.NewMPIAdapter(g.reg),
-		Trace:    traceHooks(g.tracer),
-		Timeout:  g.timeout,
+		NumTasks:    g.numTasks,
+		Machine:     g.machine,
+		Pin:         topology.PinCorePerTask,
+		Wire:        &mpi.WireConfig{Transport: tr},
+		Collectives: g.coll,
+		Hooks:       metrics.NewMPIAdapter(g.reg),
+		Trace:       traceHooks(g.tracer),
+		Timeout:     g.timeout,
 	})
 	if err != nil {
 		tr.Close()
@@ -457,6 +475,9 @@ func runGeneration(g *genCfg) error {
 	if st, ok := world.WireStats(); ok {
 		fmt.Printf("node %d: done — wire frames %d sent / %d received, %d bytes out, %d reconnects\n",
 			g.node, st.FramesSent, st.FramesReceived, st.BytesSent, st.Reconnects)
+		fmt.Printf("node %d: collectives — %d two-level, %d node-local fast path; %d batch containers carrying %d frames\n",
+			g.node, world.Stats().TwoLevelCollectives, world.Stats().SharedCollectives,
+			st.BatchesSent, st.BatchedFrames)
 	}
 	return nil
 }

@@ -56,6 +56,10 @@ type TraceChecks struct {
 	BucketsCover bool `json:"buckets_cover"`
 	// DroppedZero: the recorder ring never overflowed.
 	DroppedZero bool `json:"dropped_zero"`
+	// SamplingReduces: the 1/N-sampled pass of the same workload recorded
+	// meaningfully fewer events than the unsampled one (the span path
+	// honors trace.WithSampling).
+	SamplingReduces bool `json:"sampling_reduces"`
 	// OverheadOK: tracing costs < 10% summed over the -exp p2p quick
 	// profile's points (see measureTraceOverhead).
 	OverheadOK bool `json:"overhead_ok"`
@@ -63,10 +67,15 @@ type TraceChecks struct {
 
 // TraceResult is the full -exp trace output.
 type TraceResult struct {
-	Profile       string         `json:"profile"`
-	Rounds        int            `json:"rounds"`
-	Events        int            `json:"events"`
-	Dropped       int64          `json:"dropped"`
+	Profile string `json:"profile"`
+	Rounds  int    `json:"rounds"`
+	Events  int    `json:"events"`
+	Dropped int64  `json:"dropped"`
+	// SamplingRate and SampledEvents come from a second pass of the same
+	// workload under trace.WithSampling(SamplingRate): one in N message
+	// spans minted, everything else (directives, instants) still recorded.
+	SamplingRate  int            `json:"sampling_rate"`
+	SampledEvents int            `json:"sampled_events"`
 	Ranks         []TraceRankRow `json:"ranks"`
 	PathSegs      int            `json:"path_segs"`
 	PathComputeUs float64        `json:"path_compute_us"`
@@ -87,9 +96,15 @@ const traceRanks = 4
 
 // runTraceWorkload runs the ground-truth workload under tracing and
 // returns the tracer plus each rank's directly measured blocked time.
-func runTraceWorkload(rounds int) (*obs.Tracer, [traceRanks]time.Duration, error) {
+// sampleEvery > 1 installs trace.WithSampling: only one in sampleEvery
+// message spans is minted, the cheap mode for long production runs.
+func runTraceWorkload(rounds, sampleEvery int) (*obs.Tracer, [traceRanks]time.Duration, error) {
 	var measured [traceRanks]time.Duration
-	tracer := obs.NewTracer(trace.NewRecorder(trace.WithMaxEvents(1 << 17)))
+	opts := []trace.RecorderOption{trace.WithMaxEvents(1 << 17)}
+	if sampleEvery > 1 {
+		opts = append(opts, trace.WithSampling(sampleEvery))
+	}
+	tracer := obs.NewTracer(trace.NewRecorder(opts...))
 	m, err := topology.New(topology.Spec{
 		Name: "tracebench", Nodes: 1, SocketsPerNode: 1,
 		CoresPerSocket: traceRanks, ThreadsPerCore: 1,
@@ -252,9 +267,17 @@ func RunTrace(p Profile) (*TraceResult, error) {
 	if p == Full {
 		rounds, overTrials = 96, 3
 	}
-	tracer, measured, err := runTraceWorkload(rounds)
+	const sampleEvery = 8
+	tracer, measured, err := runTraceWorkload(rounds, 1)
 	if err != nil {
 		return nil, fmt.Errorf("trace workload: %w", err)
+	}
+	// Second pass, same workload, 1/8 span sampling: the event-volume
+	// reduction is the knob's whole point, so measure it rather than
+	// assert it.
+	sampled, _, err := runTraceWorkload(rounds, sampleEvery)
+	if err != nil {
+		return nil, fmt.Errorf("sampled trace workload: %w", err)
 	}
 	if active != nil {
 		active.AttachTracer(tracer)
@@ -264,7 +287,9 @@ func RunTrace(p Profile) (*TraceResult, error) {
 	res := &TraceResult{
 		Profile: p.String(), Rounds: rounds,
 		Events: len(events), Dropped: tracer.Dropped(),
-		PathSegs: len(a.Path), PathComputeUs: a.PathComputeUs, PathWaitUs: a.PathWaitUs,
+		SamplingRate:  sampleEvery,
+		SampledEvents: len(sampled.Recorder().Events()),
+		PathSegs:      len(a.Path), PathComputeUs: a.PathComputeUs, PathWaitUs: a.PathWaitUs,
 		events: events,
 	}
 
@@ -304,6 +329,11 @@ func computeTraceChecks(res *TraceResult, events []trace.Event) TraceChecks {
 	ch := TraceChecks{
 		DroppedZero: res.Dropped == 0,
 		OverheadOK:  res.OverheadPct < 10,
+		// "Meaningfully fewer": under 1/N span sampling the span events
+		// collapse to ~1/N, so even with the unsampled directive/instant
+		// floor the ring must hold well under 3/4 of the full volume.
+		SamplingReduces: res.SamplingRate > 1 && res.SampledEvents > 0 &&
+			4*res.SampledEvents < 3*res.Events,
 	}
 	starts := map[uint64]float64{}
 	ends := map[uint64]int{}
@@ -363,6 +393,14 @@ func PrintTrace(w io.Writer, res *TraceResult) {
 	}
 	fprintf(w, "critical path: %d segments, %.0fus compute + %.0fus wait\n",
 		res.PathSegs, res.PathComputeUs, res.PathWaitUs)
+	if res.SamplingRate > 1 {
+		pct := 0.0
+		if res.Events > 0 {
+			pct = float64(res.SampledEvents) / float64(res.Events) * 100
+		}
+		fprintf(w, "span sampling 1/%d: %d events vs %d unsampled (%.0f%% of full volume)\n",
+			res.SamplingRate, res.SampledEvents, res.Events, pct)
+	}
 	fprintf(w, "tracing overhead on the -exp p2p quick profile:\n")
 	for _, pt := range res.OverheadPoints {
 		fprintf(w, "  %-8s %2dt %6dB limit %5d %-10s %7.0f -> %7.0f ns/op (%+.1f%%)\n",
@@ -380,6 +418,7 @@ func PrintTrace(w io.Writer, res *TraceResult) {
 		{"no flow ends before it starts", res.Checks.MonotoneFlows},
 		{"attribution covers measured blocked time (5% + 2ms)", res.Checks.BucketsCover},
 		{"zero events dropped from the recorder ring", res.Checks.DroppedZero},
+		{"1/N span sampling shrinks the event volume", res.Checks.SamplingReduces},
 		{"tracing overhead under 10% on the -exp p2p quick profile", res.Checks.OverheadOK},
 	} {
 		state := "PASS"
@@ -459,6 +498,7 @@ func CompareTrace(w io.Writer, base, cur *TraceResult) error {
 		{"monotone_flows", base.Checks.MonotoneFlows, cur.Checks.MonotoneFlows},
 		{"buckets_cover", base.Checks.BucketsCover, cur.Checks.BucketsCover},
 		{"dropped_zero", base.Checks.DroppedZero, cur.Checks.DroppedZero},
+		{"sampling_reduces", base.Checks.SamplingReduces, cur.Checks.SamplingReduces},
 		{"overhead_ok", base.Checks.OverheadOK, cur.Checks.OverheadOK},
 	} {
 		if chk.was && !chk.isOK {

@@ -44,6 +44,13 @@ func TestMPIAdapter(t *testing.T) {
 		t.Errorf("collectives = %d", got)
 	}
 
+	a.OnSharedCollective(0, "barrier")
+	a.OnTwoLevelCollective(0, "allreduce")
+	a.OnTwoLevelCollective(1, "allreduce")
+	if a.sharedColl.Value() != 1 || a.twoLevel.Value() != 2 {
+		t.Errorf("collective fast paths: shared %d two-level %d", a.sharedColl.Value(), a.twoLevel.Value())
+	}
+
 	// Eager-buffer pool and matching-engine families (mpi.PoolHooks).
 	a.OnPoolGet(0, 64, false) // allocates
 	a.OnPoolGet(0, 64, true)  // served by the pool
@@ -73,6 +80,23 @@ func TestMPIAdapter(t *testing.T) {
 	d.OnPoolGet(0, 64, true)
 	d.OnPoolPut(0, 64)
 	d.OnMatchProbes(0, 1)
+	d.OnSharedCollective(0, "barrier")
+	d.OnTwoLevelCollective(0, "barrier")
+}
+
+func TestWireAdapterBatch(t *testing.T) {
+	r := New(4)
+	a := NewWireAdapter(r, 2)
+	a.BatchFlushed(1, 8, 900)
+	a.BatchFlushed(1, 4, 420)
+	if a.batchFrames.Value() != 2 || a.batchMessages.Value() != 12 {
+		t.Errorf("batch series: %d containers carrying %d frames", a.batchFrames.Value(), a.batchMessages.Value())
+	}
+	if a.batchFill.Count() != 2 || a.batchFill.Sum() != 12 {
+		t.Errorf("fill histogram: count %d sum %d", a.batchFill.Count(), a.batchFill.Sum())
+	}
+	// Nil-registry adapter.
+	NewWireAdapter(nil, 2).BatchFlushed(0, 1, 10)
 }
 
 func TestParseDirectiveKey(t *testing.T) {

@@ -23,6 +23,7 @@ type MPIAdapter struct {
 	elidedBytes *Counter
 	collectives *Counter
 	sharedColl  *Counter
+	twoLevel    *Counter
 	inFlight    *Gauge
 	msgBytes    *Histogram
 
@@ -46,6 +47,7 @@ func NewMPIAdapter(r *Registry) *MPIAdapter {
 		elidedBytes: r.Counter("mpi_copy_bytes_elided_total", "payload bytes not copied thanks to same-buffer elision"),
 		collectives: r.Counter("mpi_collectives_total", "collective operations started, per participating task"),
 		sharedColl:  r.Counter("mpi_shared_collectives_total", "collectives completed on the shared-address-space fast path, per participating task"),
+		twoLevel:    r.Counter("mpi_two_level_collectives_total", "collectives completed through the topology-aware two-level decomposition, per participating task"),
 		inFlight:    r.Gauge("mpi_messages_in_flight", "messages sent but not yet delivered"),
 		msgBytes:    r.Histogram("mpi_message_bytes", "point-to-point message size distribution"),
 
@@ -121,4 +123,11 @@ func (a *MPIAdapter) SharedCollectivesOK() bool { return true }
 // OnSharedCollective implements mpi.SharedCollHooks.
 func (a *MPIAdapter) OnSharedCollective(worldRank int, op string) {
 	a.sharedColl.Inc(worldRank)
+}
+
+// OnTwoLevelCollective implements mpi.TwoLevelCollHooks. The node-local
+// phases of the same collective also tick OnSharedCollective, so the two
+// families stay independently meaningful.
+func (a *MPIAdapter) OnTwoLevelCollective(worldRank int, op string) {
+	a.twoLevel.Inc(worldRank)
 }

@@ -31,6 +31,10 @@ type WireAdapter struct {
 	reconnects *Counter
 	inflight   *Gauge
 
+	batchFrames   *Counter
+	batchMessages *Counter
+	batchFill     *Histogram
+
 	rtt         *Histogram
 	clockOffset []*Gauge
 }
@@ -53,6 +57,10 @@ func NewWireAdapter(r *Registry, peers int) *WireAdapter {
 		reconnects:  r.Counter("wire_reconnects_total", "connections re-established after loss, by peer node"),
 		inflight:    r.Gauge("wire_inflight_frames", "frames sent but not yet acknowledged"),
 		rtt:         r.Histogram("wire_rtt_ns", "clock-probe round-trip time to peer nodes, ns"),
+
+		batchFrames:   r.Counter("wire_batch_frames_total", "v3 Batch container frames written, by peer node"),
+		batchMessages: r.Counter("wire_batch_messages_total", "sequenced frames coalesced into Batch containers, by peer node"),
+		batchFill:     r.Histogram("wire_batch_fill", "sub-frames per Batch container (mean fill = batch_messages/batch_frames)"),
 	}
 	for p := 0; p < peers; p++ {
 		peer := L("peer", strconv.Itoa(p))
@@ -90,6 +98,16 @@ func (a *WireAdapter) Reconnect(peer int) { a.reconnects.Inc(peer) }
 // InflightChanged implements wire.Observer. The delta carries no peer
 // attribution (acks trim a shared ring), so the gauge is single-shard.
 func (a *WireAdapter) InflightChanged(delta int) { a.inflight.Add(0, int64(delta)) }
+
+// BatchFlushed implements wire.BatchObserver: one Batch container
+// carrying frames sub-frames went out to peer. The container itself is
+// also reported through FrameSent; these series isolate the coalescing
+// so wire_batch_messages_total/wire_batch_frames_total is the mean fill.
+func (a *WireAdapter) BatchFlushed(peer int, frames, bytes int) {
+	a.batchFrames.Inc(peer)
+	a.batchMessages.Add(peer, int64(frames))
+	a.batchFill.Observe(peer, int64(frames))
+}
 
 // ClockSample implements wire.ClockObserver: round trips feed the RTT
 // histogram (sharded by peer), and every sample updates the peer's

@@ -33,7 +33,14 @@ func collStart(t *Task, c *Comm) (comm *Comm, baseTag int) {
 		// (collective context, sequence) is world-agreed: every member
 		// executes collectives on c in the same order, so the pair
 		// identifies this operation across processes.
-		th.SpanCollective(t.rank, c.ctxColl, int64(st.collSeq))
+		alg := "chan"
+		switch {
+		case c.shm != nil:
+			alg = "shm"
+		case c.tl != nil:
+			alg = "2l"
+		}
+		th.SpanCollective(t.rank, c.ctxColl, int64(st.collSeq), alg)
 	}
 	return c, int(st.collSeq << collStepBits)
 }
@@ -76,6 +83,14 @@ func Barrier(t *Task, c *Comm) {
 		shmBarrier(t, c, base)
 		return
 	}
+	if c.tl != nil {
+		twoLevelBarrier(t, c, base)
+		return
+	}
+	chanBarrier(t, c, base)
+}
+
+func chanBarrier(t *Task, c *Comm, base int) {
 	n := c.Size()
 	if n == 1 {
 		return
@@ -96,12 +111,20 @@ func Barrier(t *Task, c *Comm) {
 // Every task must pass a buffer of the same length.
 func Bcast[T Scalar](t *Task, c *Comm, buf []T, root int) {
 	c, base := collStart(t, c)
-	n := c.Size()
 	checkRoot(t, c, root, "Bcast")
 	if c.shm != nil {
 		shmBcast(t, c, buf, root, base)
 		return
 	}
+	if c.tl != nil {
+		twoLevelBcast(t, c, buf, root, base)
+		return
+	}
+	chanBcast(t, c, buf, root, base)
+}
+
+func chanBcast[T Scalar](t *Task, c *Comm, buf []T, root, base int) {
+	n := c.Size()
 	if n == 1 {
 		return
 	}
@@ -131,12 +154,20 @@ func Bcast[T Scalar](t *Task, c *Comm, buf []T, root int) {
 // elsewhere); it must not alias sendBuf.
 func Reduce[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, op Op, root int) {
 	c, base := collStart(t, c)
-	n := c.Size()
 	checkRoot(t, c, root, "Reduce")
 	if c.shm != nil {
 		shmReduce(t, c, sendBuf, recvBuf, op, root, base)
 		return
 	}
+	if c.tl != nil {
+		twoLevelReduce(t, c, sendBuf, recvBuf, op, root, base)
+		return
+	}
+	chanReduce(t, c, sendBuf, recvBuf, op, root, base)
+}
+
+func chanReduce[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, op Op, root, base int) {
+	n := c.Size()
 	r := c.Rank(t)
 	acc := append([]T(nil), sendBuf...)
 	if n > 1 {
@@ -188,6 +219,11 @@ func Allreduce[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, op Op) {
 	if c.shm != nil {
 		c, base := collStart(t, c)
 		shmAllreduce(t, c, sendBuf, recvBuf, op, base)
+		return
+	}
+	if c.tl != nil {
+		c, base := collStart(t, c)
+		twoLevelAllreduce(t, c, sendBuf, recvBuf, op, base)
 		return
 	}
 	Reduce(t, c, sendBuf, recvBuf, op, 0)
@@ -294,7 +330,6 @@ func Scatterv[T Scalar](t *Task, c *Comm, sendBuf []T, counts, displs []int, rec
 func Allgather[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T) {
 	c, base := collStart(t, c)
 	n := c.Size()
-	r := c.Rank(t)
 	k := len(sendBuf)
 	if len(recvBuf) < n*k {
 		raise(t.rank, "Allgather", "receive buffer too small: %d < %d", len(recvBuf), n*k)
@@ -303,6 +338,17 @@ func Allgather[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T) {
 		shmAllgather(t, c, sendBuf, recvBuf, base)
 		return
 	}
+	if c.tl != nil {
+		twoLevelAllgather(t, c, sendBuf, recvBuf, base)
+		return
+	}
+	chanAllgather(t, c, sendBuf, recvBuf, base)
+}
+
+func chanAllgather[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, base int) {
+	n := c.Size()
+	r := c.Rank(t)
+	k := len(sendBuf)
 	copy(recvBuf[r*k:(r+1)*k], sendBuf)
 	right := (r + 1) % n
 	left := (r - 1 + n) % n

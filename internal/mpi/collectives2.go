@@ -55,6 +55,12 @@ func Allgatherv[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, counts, displs
 	if len(sendBuf) != counts[r] {
 		raise(t.rank, "Allgatherv", "send buffer length %d, counts[%d] = %d", len(sendBuf), r, counts[r])
 	}
+	chanAllgatherv(t, c, sendBuf, recvBuf, counts, displs, base)
+}
+
+func chanAllgatherv[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, counts, displs []int, base int) {
+	n := c.Size()
+	r := c.Rank(t)
 	copy(recvBuf[displs[r]:displs[r]+counts[r]], sendBuf)
 	right := (r + 1) % n
 	left := (r - 1 + n) % n
@@ -119,11 +125,15 @@ func ReduceScatterBlock[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, op Op)
 // variants are compared by BenchmarkMicroAllreduce.
 func AllreduceRD[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, op Op) {
 	c, base := collStart(t, c)
-	n := c.Size()
-	r := c.Rank(t)
 	if len(recvBuf) < len(sendBuf) {
 		raise(t.rank, "AllreduceRD", "receive buffer too small: %d < %d", len(recvBuf), len(sendBuf))
 	}
+	chanAllreduceRD(t, c, sendBuf, recvBuf, op, base)
+}
+
+func chanAllreduceRD[T Scalar](t *Task, c *Comm, sendBuf, recvBuf []T, op Op, base int) {
+	n := c.Size()
+	r := c.Rank(t)
 	acc := recvBuf[:len(sendBuf)]
 	copy(acc, sendBuf)
 

@@ -25,6 +25,11 @@ type Comm struct {
 	// shm is the shared-address-space collective fast path of this
 	// communicator, non-nil iff the world runs with it enabled.
 	shm *shmColl
+	// tl is the two-level decomposition of this communicator in a
+	// distributed world (node-local sub-communicator + leaders
+	// communicator; see twolevel.go), non-nil iff the world runs with it
+	// enabled and this process hosts at least one member.
+	tl *twoLevelColl
 }
 
 // Size returns the number of tasks in the communicator.

@@ -528,13 +528,14 @@ func (ep *endpoint) wakeAllLocked() {
 }
 
 type worldStats struct {
-	messages          atomic.Int64
-	bytes             atomic.Int64
-	rendezvous        atomic.Int64
-	sameAddrSkips     atomic.Int64
-	directDeliveries  atomic.Int64
-	collectives       atomic.Int64
-	sharedCollectives atomic.Int64
+	messages            atomic.Int64
+	bytes               atomic.Int64
+	rendezvous          atomic.Int64
+	sameAddrSkips       atomic.Int64
+	directDeliveries    atomic.Int64
+	collectives         atomic.Int64
+	sharedCollectives   atomic.Int64
+	twoLevelCollectives atomic.Int64
 }
 
 // Stats is a snapshot of runtime communication statistics.
@@ -553,8 +554,14 @@ type Stats struct {
 	// SharedCollectives counts collectives completed (per task) on the
 	// shared-address-space fast path, i.e. without point-to-point
 	// messages. Zero when the world runs with CollChannels or hooks that
-	// did not opt in.
+	// did not opt in. In a two-level world the node-local phases run on
+	// the fast path, so this also counts once per phase per task.
 	SharedCollectives int64
+
+	// TwoLevelCollectives counts collectives completed (per task) via the
+	// two-level node-leader decomposition of a distributed world. Zero
+	// for single-process worlds and under CollChannels.
+	TwoLevelCollectives int64
 
 	// PeakUnexpectedBytes is the maximum, over ranks, of bytes buffered in
 	// an unexpected-message queue at any time: the runtime's eager-buffer
@@ -590,7 +597,8 @@ func (w *World) Stats() Stats {
 		DirectDeliveries: w.stats.directDeliveries.Load(),
 		Collectives:      w.stats.collectives.Load(),
 
-		SharedCollectives: w.stats.sharedCollectives.Load(),
+		SharedCollectives:   w.stats.sharedCollectives.Load(),
+		TwoLevelCollectives: w.stats.twoLevelCollectives.Load(),
 
 		EagerPoolHits:          w.pool.hits.Load(),
 		EagerPoolMisses:        w.pool.misses.Load(),

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -205,6 +206,12 @@ type World struct {
 	shmOn    bool
 	shmHooks SharedCollHooks
 
+	// twoLevel selects the hierarchy-aware two-level collective
+	// decomposition of a distributed world (see twolevel.go); tlHooks is
+	// cfg.Hooks when it also implements TwoLevelCollHooks.
+	twoLevel bool
+	tlHooks  TwoLevelCollHooks
+
 	fail     failureState
 	rankErrs []error // per-rank outcome of Run (nil entries = success)
 
@@ -330,10 +337,15 @@ func NewWorld(cfg Config) (*World, error) {
 	if sh, ok := cfg.Hooks.(SharedCollHooks); ok && sh.SharedCollectivesOK() {
 		w.shmHooks = sh
 	}
+	if th, ok := cfg.Hooks.(TwoLevelCollHooks); ok {
+		w.tlHooks = th
+	}
 	switch cfg.Collectives {
 	case CollChannels:
 		w.shmOn = false
-	case CollShared:
+	case CollShared, CollTwoLevel:
+		// In a single process every rank is node-local, so the two-level
+		// decomposition degenerates to the fast path itself.
 		w.shmOn = true
 	default:
 		// Auto: the fast path completes collectives without per-step
@@ -344,13 +356,23 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	if cfg.Wire != nil {
 		// The shared-address-space fast path needs every rank of a
-		// collective in one process; a distributed world always uses the
-		// channel algorithms, which route through isend and therefore
-		// cross the wire transparently.
+		// collective in one process. A distributed world instead uses the
+		// two-level decomposition: the node-local phase rides the fast
+		// path over a per-node sub-communicator and only node leaders
+		// cross the wire (twolevel.go). CollChannels keeps the flat
+		// channel algorithms; CollAuto applies the same hook-safety rule
+		// the fast path uses, because the node-local phase elides the
+		// per-step messages those hooks would otherwise observe.
 		w.shmOn = false
+		switch cfg.Collectives {
+		case CollTwoLevel:
+			w.twoLevel = true
+		case CollAuto:
+			w.twoLevel = w.faultHooks == nil && (cfg.Hooks == nil || w.shmHooks != nil)
+		}
 	}
 	w.initFailure()
-	if w.shmOn {
+	if w.shmOn || w.twoLevel {
 		w.OnFailure(w.abortShmColls)
 	}
 	w.eps = make([]*endpoint, cfg.NumTasks)
@@ -400,7 +422,11 @@ func (w *World) newCommKeyed(key string, group []int) *Comm {
 		c.ctxSync = w.ctxCounter.Add(1)
 	}
 	if w.shmOn {
-		c.shm = newShmColl(w, c)
+		c.shm = newShmColl(w, c, nil)
+	} else if w.twoLevel && w.net != nil && !strings.HasPrefix(key, "2l:") {
+		// The guard on the key prefix stops the decomposition from
+		// recursing into its own sub-communicators.
+		c.tl = w.buildTwoLevel(c)
 	}
 	return c
 }

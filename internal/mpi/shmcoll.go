@@ -51,6 +51,13 @@ const (
 	CollChannels
 	// CollShared forces the fast path regardless of hooks (testing).
 	CollShared
+	// CollTwoLevel forces the hierarchy-aware two-level decomposition in
+	// distributed worlds: Barrier/Bcast/Reduce/Allreduce/Allgather run
+	// their node-local phase on the fast path over a per-node
+	// sub-communicator and only one leader per process crosses the wire
+	// (see twolevel.go). In a single-process world — where every rank is
+	// already node-local — it is equivalent to CollShared.
+	CollTwoLevel
 )
 
 // SharedCollHooks is an optional extension of Hooks: implementations
@@ -157,6 +164,13 @@ type shmColl struct {
 	tree  *spin.Tree
 	slots []shmSlot
 
+	// parent, when non-nil, is the communicator this fast-path state
+	// serves a node-local phase of (the two-level decomposition): a rank
+	// failure anywhere in the parent must abort the local tree too, or
+	// members parked in the intra-node phase would only learn of a remote
+	// death after their leader's cross-node traffic unwinds.
+	parent *Comm
+
 	// verifyErr is written by the entry barrier's leader body and read by
 	// every member after release; the tree's atomics order the accesses.
 	verifyErr *Error
@@ -166,17 +180,20 @@ type shmColl struct {
 }
 
 // newShmColl builds the fast-path state for comm and registers it with
-// the failure layer; state built after a failure is born aborted.
-func newShmColl(w *World, c *Comm) *shmColl {
+// the failure layer; state built after a failure is born aborted. parent
+// is the enclosing communicator when comm is a two-level node-local
+// sub-communicator (nil otherwise); see shmColl.parent.
+func newShmColl(w *World, c, parent *Comm) *shmColl {
 	threads := make([]int, len(c.group))
 	for i, wr := range c.group {
 		threads[i] = w.pin.Thread(wr)
 	}
 	sc := &shmColl{
-		w:     w,
-		comm:  c,
-		tree:  spin.NewAdaptiveTree(w.machine.SyncPathsAll(threads)),
-		slots: make([]shmSlot, len(c.group)),
+		w:      w,
+		comm:   c,
+		parent: parent,
+		tree:   spin.NewAdaptiveTree(w.machine.SyncPathsAll(threads)),
+		slots:  make([]shmSlot, len(c.group)),
 	}
 	sc.verifyFn = sc.verifyAndFold
 	w.fail.mu.Lock()
@@ -185,13 +202,23 @@ func newShmColl(w *World, c *Comm) *shmColl {
 		sc.tree.Abort(&CancelledError{Rank: -1, Op: "collective", Cause: w.fail.cancelled})
 	}
 	for r := range w.fail.causes {
-		if c.rankOf(r) >= 0 {
+		if sc.involves(r) {
 			sc.tree.Abort(&DeadRankError{Rank: -1, Op: "collective", Dead: r})
 			break
 		}
 	}
 	w.fail.mu.Unlock()
 	return sc
+}
+
+// involves reports whether a failure of world rank r must abort this
+// tree: r is a member, or a member of the parent communicator this tree
+// runs the node-local phase for.
+func (sc *shmColl) involves(r int) bool {
+	if sc.comm.rankOf(r) >= 0 {
+		return true
+	}
+	return sc.parent != nil && sc.parent.rankOf(r) >= 0
 }
 
 // abortShmColls is the failure handler registered by worlds running the
@@ -208,7 +235,7 @@ func (w *World) abortShmColls(rank int, cause error) {
 	colls := append([]*shmColl(nil), w.fail.shm...)
 	w.fail.mu.Unlock()
 	for _, sc := range colls {
-		if rank < 0 || sc.comm.rankOf(rank) >= 0 {
+		if rank < 0 || sc.involves(rank) {
 			sc.tree.Abort(err)
 		}
 	}

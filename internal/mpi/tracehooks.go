@@ -50,6 +50,9 @@ type TraceHooks interface {
 	SpanCts(worldSrc int, span uint64)
 	// SpanCollective marks rank's entry into a collective operation,
 	// identified by the world-agreed (communication context, sequence)
-	// pair — every member of the communicator reports the same id.
-	SpanCollective(worldRank int, ctx, seq int64)
+	// pair — every member of the communicator reports the same id. alg
+	// names the algorithm family the world selected for the communicator:
+	// "chan" (point-to-point algorithms), "shm" (shared-address-space
+	// fast path), or "2l" (two-level node-leader decomposition).
+	SpanCollective(worldRank int, ctx, seq int64, alg string)
 }

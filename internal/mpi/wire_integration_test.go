@@ -24,6 +24,14 @@ import (
 // errors.
 func runWirePair(t *testing.T, perNode int, fn func(*Task) error) (w0, w1 *World, err0, err1 error) {
 	t.Helper()
+	return runWirePairMode(t, perNode, CollAuto, fn)
+}
+
+// runWirePairMode is runWirePair with an explicit collective-mode
+// selection, so tests can pin the flat channel algorithms or the
+// two-level decomposition.
+func runWirePairMode(t *testing.T, perNode int, mode CollectiveMode, fn func(*Task) error) (w0, w1 *World, err0, err1 error) {
+	t.Helper()
 	m, err := topology.New(topology.Spec{
 		Name:           "wiretest",
 		Nodes:          2,
@@ -49,10 +57,11 @@ func runWirePair(t *testing.T, perNode int, fn func(*Task) error) (w0, w1 *World
 			t.Fatal(err)
 		}
 		w, err := NewWorld(Config{
-			NumTasks: 2 * perNode,
-			Machine:  m,
-			Wire:     &WireConfig{Transport: tr},
-			Timeout:  20 * time.Second,
+			NumTasks:    2 * perNode,
+			Machine:     m,
+			Wire:        &WireConfig{Transport: tr},
+			Collectives: mode,
+			Timeout:     20 * time.Second,
 		})
 		if err != nil {
 			t.Fatal(err)

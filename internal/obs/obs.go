@@ -86,10 +86,17 @@ func (t *Tracer) Now() int64 { return t.rec.NowNs() }
 // SpanStart implements mpi.TraceHooks: mint the message's span id and
 // send timestamp. Remote sends emit the flow-start here — its other
 // half lands in the receiving process — while in-process sends defer
-// both halves to SpanDeliver.
+// both halves to SpanDeliver. Under trace.WithSampling(n), only one in
+// n messages gets a span (the rest return span 0, which the runtime
+// already treats as "untraced"); the send timestamp is still real, so
+// wait slices of unsampled rendezvous sends keep correct extents.
 func (t *Tracer) SpanStart(worldSrc, worldDst, bytes int, rendezvous, remote bool) (span uint64, sendNs int64) {
-	span = uint64(worldSrc+1)<<spanSrcShift | (t.seq.Add(1) & (1<<spanSrcShift - 1))
+	seq := t.seq.Add(1)
 	sendNs = t.rec.NowNs()
+	if n := t.rec.SampleEvery(); n > 1 && seq%uint64(n) != 0 {
+		return 0, sendNs
+	}
+	span = uint64(worldSrc+1)<<spanSrcShift | (seq & (1<<spanSrcShift - 1))
 	if remote {
 		t.rec.FlowStartNs(worldSrc, "msg", "msg", span, sendNs, flowAux(bytes, rendezvous))
 	}
@@ -157,7 +164,13 @@ func (t *Tracer) SpanCts(worldSrc int, span uint64) {
 // SpanCollective implements mpi.TraceHooks: a rank entered collective
 // seq on communication context ctx. (ctx, seq) is world-agreed — every
 // participant computes the same pair — so merged timelines can line up
-// one collective across processes without exchanging ids.
-func (t *Tracer) SpanCollective(rank int, ctx, seq int64) {
-	t.rec.Instant(rank, "collective", "coll", trace.CollArgs{Ctx: ctx, Seq: seq})
+// one collective across processes without exchanging ids; alg labels
+// the algorithm family the runtime selected ("chan", "shm", "2l").
+// Sampling keys on the world-agreed seq, so either every rank records a
+// given collective or none does.
+func (t *Tracer) SpanCollective(rank int, ctx, seq int64, alg string) {
+	if n := t.rec.SampleEvery(); n > 1 && seq%int64(n) != 0 {
+		return
+	}
+	t.rec.Instant(rank, "collective", "coll", trace.CollArgs{Ctx: ctx, Seq: seq, Alg: alg})
 }

@@ -17,6 +17,12 @@ const (
 	// PinScatterSockets round-robins tasks across sockets of a node first
 	// (rank 0 on socket 0, rank 1 on socket 1, ...), filling nodes in order.
 	PinScatterSockets
+	// PinCyclicNodes deals ranks across nodes round-robin (rank r on node
+	// r mod nodes), one task per core — the classic cyclic launcher
+	// layout. Consecutive ranks land on different nodes, so a flat
+	// collective tree crosses the wire on almost every edge; this is the
+	// placement where the two-level decomposition pays off most.
+	PinCyclicNodes
 )
 
 // String names the policy.
@@ -28,6 +34,8 @@ func (p PinPolicy) String() string {
 		return "core-per-task"
 	case PinScatterSockets:
 		return "scatter-sockets"
+	case PinCyclicNodes:
+		return "cyclic-nodes"
 	default:
 		return fmt.Sprintf("PinPolicy(%d)", int(p))
 	}
@@ -76,6 +84,17 @@ func Pin(m *Machine, n int, p PinPolicy) (*Pinning, error) {
 			coreInSocket := inNode / socketsPerNode
 			core := node*coresPerNode + socket*coresPerSocket + coreInSocket
 			threads[r] = core * m.Spec.ThreadsPerCore
+		}
+	case PinCyclicNodes:
+		if n > m.TotalCores() {
+			return nil, fmt.Errorf("topology: %d tasks exceed %d cores", n, m.TotalCores())
+		}
+		nodes := m.Spec.Nodes
+		coresPerNode := m.Spec.SocketsPerNode * m.Spec.CoresPerSocket
+		for r := range threads {
+			node := r % nodes
+			coreInNode := r / nodes
+			threads[r] = (node*coresPerNode + coreInNode) * m.Spec.ThreadsPerCore
 		}
 	default:
 		return nil, fmt.Errorf("topology: unknown pin policy %v", p)

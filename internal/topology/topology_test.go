@@ -247,6 +247,37 @@ func TestPinScatterSockets(t *testing.T) {
 	}
 }
 
+func TestPinCyclicNodes(t *testing.T) {
+	m, err := New(Spec{
+		Name: "cyclic", Nodes: 2, SocketsPerNode: 1,
+		CoresPerSocket: 4, ThreadsPerCore: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := MustPin(m, 8, PinCyclicNodes)
+	seen := map[int]bool{}
+	for r := 0; r < pin.NumTasks(); r++ {
+		p := m.PlaceOf(pin.Thread(r))
+		if p.Node != r%2 {
+			t.Errorf("rank %d on node %d, want %d (cyclic deal)", r, p.Node, r%2)
+		}
+		if p.SMT != 0 {
+			t.Errorf("rank %d on SMT thread %d, want 0 (one task per core)", r, p.SMT)
+		}
+		if seen[pin.Thread(r)] {
+			t.Errorf("thread %d pinned twice", pin.Thread(r))
+		}
+		seen[pin.Thread(r)] = true
+	}
+	if _, err := Pin(m, m.TotalCores()+1, PinCyclicNodes); err == nil {
+		t.Error("over-subscription accepted, want error")
+	}
+	if got := PinCyclicNodes.String(); got != "cyclic-nodes" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
 func TestPinErrors(t *testing.T) {
 	m := SMTNode()
 	if _, err := Pin(m, 0, PinCompact); err == nil {

@@ -56,6 +56,9 @@ type (
 	CollArgs struct {
 		Ctx int64 `json:"ctx"`
 		Seq int64 `json:"seq"`
+		// Alg is the algorithm family the runtime selected for the
+		// communicator ("chan", "shm", "2l").
+		Alg string `json:"alg,omitempty"`
 	}
 )
 
@@ -86,6 +89,7 @@ type Recorder struct {
 	startMono int64
 	max       int // total event bound requested (0 = unbounded)
 	perMax    int // per-stripe ring bound derived from max
+	sample    int // span sampling rate (record 1 in sample; <= 1 = all)
 }
 
 // RecorderOption tunes a Recorder.
@@ -100,6 +104,32 @@ type RecorderOption func(*Recorder)
 // headroom, not to the byte. n <= 0 means unbounded.
 func WithMaxEvents(n int) RecorderOption {
 	return func(r *Recorder) { r.max = n }
+}
+
+// WithSampling records only one in n message spans: consumers of the
+// recorder (internal/obs' Tracer) read SampleEvery and skip minting span
+// ids for the rest, shrinking the enabled-path overhead on hosts where
+// the two clock reads per message dominate (the PR 7 slow-clock limit).
+// Sampling is deterministic (a send counter modulo n), collective
+// instants sample on the world-agreed sequence so every rank keeps the
+// same operations, and the rate is recorded in the trace header
+// ("samplingRate" in otherData) so analysis can rescale counts.
+// n <= 1 keeps every span.
+func WithSampling(n int) RecorderOption {
+	return func(r *Recorder) {
+		if n < 1 {
+			n = 1
+		}
+		r.sample = n
+	}
+}
+
+// SampleEvery returns the span sampling rate (1 = record everything).
+func (r *Recorder) SampleEvery() int {
+	if r.sample < 1 {
+		return 1
+	}
+	return r.sample
 }
 
 // NewRecorder starts a recorder; timestamps are relative to this call.
@@ -306,8 +336,15 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 	dropped := r.Dropped()
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Ts < events[j].Ts })
 	doc := map[string]any{"traceEvents": events}
+	other := map[string]any{}
 	if dropped > 0 {
-		doc["otherData"] = map[string]any{"droppedEvents": dropped}
+		other["droppedEvents"] = dropped
+	}
+	if s := r.SampleEvery(); s > 1 {
+		other["samplingRate"] = s
+	}
+	if len(other) > 0 {
+		doc["otherData"] = other
 	}
 	return json.NewEncoder(w).Encode(doc)
 }

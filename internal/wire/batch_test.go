@@ -1,0 +1,265 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestBatchCoalescesSmallFrames bursts small eager frames through a
+// batching v3 connection: every frame must arrive individually and in
+// order at the sink (batching is invisible above the transport), and
+// the sender's stats must show real coalescing — far fewer Batch
+// containers than sub-frames.
+func TestBatchCoalescesSmallFrames(t *testing.T) {
+	tr0, _, _, s1 := newPair(t, Config{BatchWindow: 5 * time.Millisecond}, Config{})
+	// Establish the connection first: pre-handshake sends bypass the
+	// batch (they are retransmitted from the unacked ring on Hello).
+	if err := tr0.Send(1, &Header{Type: TypeEager, Tag: -1}, []byte("kick")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "handshake", func() bool { return s1.count() == 1 })
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		h := Header{Type: TypeEager, Tag: int32(i), SrcWorld: 0, DstWorld: 1}
+		if err := tr0.Send(1, &h, []byte(fmt.Sprintf("b-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "batched delivery", func() bool { return s1.count() == n+1 })
+	for i := 0; i < n; i++ {
+		f := s1.frame(i + 1)
+		if f.Type != TypeEager || f.Tag != int32(i) || string(f.Payload) != fmt.Sprintf("b-%d", i) {
+			t.Fatalf("frame %d: type=%v tag=%d payload=%q", i, f.Type, f.Tag, f.Payload)
+		}
+	}
+	st := tr0.Stats()
+	if st.BatchesSent == 0 {
+		t.Fatal("no Batch containers sent despite BatchWindow")
+	}
+	if st.BatchedFrames < 2*st.BatchesSent {
+		t.Fatalf("mean batch fill %d/%d < 2: burst did not coalesce", st.BatchedFrames, st.BatchesSent)
+	}
+	waitFor(t, "acks drain inflight", func() bool { return tr0.Stats().Inflight == 0 })
+}
+
+// TestBatchSenderDowngradesToV2Peer plays a version-2 binary against a
+// batching sender: the fake peer advertises v2 in its Hello, and every
+// frame it then reads must be an individually framed v2 frame — never a
+// TypeBatch container the old binary could not parse.
+func TestBatchSenderDowngradesToV2Peer(t *testing.T) {
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln1.Close()
+	addrs := []string{ln0.Addr().String(), ln1.Addr().String()}
+	tr0, err := NewTCP(Config{
+		Addrs: addrs, Self: 0, WorldKey: 9,
+		BatchWindow: time.Millisecond,
+	}, ln0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr0.Close()
+	tr0.Bind(newTestSink())
+
+	// Trigger the dial.
+	if err := tr0.Send(1, &Header{Type: TypeEager, Tag: 0, DstWorld: 1}, []byte("m-0")); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := ln1.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+
+	var scratch [maxFrameRead]byte
+	var hello Header
+	if _, err := readHeader(conn, &hello, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Type != TypeHello || hello.Elems != Version {
+		t.Fatalf("hello advertises %d, want %d: %+v", hello.Elems, Version, hello)
+	}
+	// Answer as a v2 binary: version advertisement 2, same world key.
+	reply := AppendFrame(nil, &Header{
+		Type: TypeHello, Version: MinVersion, Xid: 9, SrcWorld: 1, Elems: 2,
+	}, nil)
+	if _, err := conn.Write(reply); err != nil {
+		t.Fatal(err)
+	}
+
+	// More small frames after negotiation — prime batching candidates,
+	// which must all arrive unbatched.
+	const n = 20
+	for i := 1; i < n; i++ {
+		h := Header{Type: TypeEager, Tag: int32(i), DstWorld: 1}
+		if err := tr0.Send(1, &h, []byte(fmt.Sprintf("m-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	next := int32(0)
+	for next < n {
+		var h Header
+		plen, err := readHeader(conn, &h, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, plen)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			t.Fatal(err)
+		}
+		if h.Type == TypeBatch {
+			t.Fatalf("batch container sent to a v2 peer (after %d frames)", next)
+		}
+		if h.Type != TypeEager {
+			continue // ack or other control frame
+		}
+		if h.Version != 2 || h.Tag != next || string(buf) != fmt.Sprintf("m-%d", next) {
+			t.Fatalf("frame %d: version=%d tag=%d payload=%q", next, h.Version, h.Tag, buf)
+		}
+		next++
+	}
+	if st := tr0.Stats(); st.BatchesSent != 0 || st.BatchedFrames != 0 {
+		t.Fatalf("batching engaged on a v2 connection: %+v", st)
+	}
+}
+
+// TestDecodeBatchRoundTrip packs three frames — including one carrying
+// the span extension — into a batch payload and walks it back out.
+func TestDecodeBatchRoundTrip(t *testing.T) {
+	subs := []struct {
+		h       Header
+		payload string
+	}{
+		{Header{Type: TypeEager, Seq: 1, Tag: 10, DstWorld: 1}, "first"},
+		{Header{Type: TypeEager, Seq: 2, Tag: 11, DstWorld: 1, Span: 77, SendTS: 88}, "second"},
+		{Header{Type: TypeRTS, Seq: 3, Xid: 5, Elems: 2048}, ""},
+	}
+	var payload []byte
+	for i := range subs {
+		payload = AppendFrame(payload, &subs[i].h, []byte(subs[i].payload))
+	}
+	var got []Header
+	n, err := DecodeBatch(payload, func(h *Header, sub []byte) error {
+		if string(sub) != subs[len(got)].payload {
+			t.Fatalf("sub-frame %d payload %q", len(got), sub)
+		}
+		got = append(got, *h)
+		return nil
+	})
+	if err != nil || n != len(subs) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	for i, h := range got {
+		want := subs[i].h
+		if h.Seq != want.Seq || h.Tag != want.Tag || h.Type != want.Type ||
+			h.Span != want.Span || h.SendTS != want.SendTS || h.Xid != want.Xid {
+			t.Fatalf("sub-frame %d decoded %+v, want %+v", i, h, want)
+		}
+	}
+}
+
+// TestDecodeBatchFaults feeds every class of malformed batch payload to
+// the decoder: each must surface a typed *BatchError — never a partial
+// silent success or a panic — with the count of sub-frames that decoded
+// cleanly before the fault.
+func TestDecodeBatchFaults(t *testing.T) {
+	good := AppendFrame(nil, &Header{Type: TypeEager, Seq: 9, Tag: 1}, []byte("ok"))
+	corruptVer := append([]byte(nil), good...)
+	corruptVer[lenPrefixSize] = Version + 40
+	nested := AppendFrame(append([]byte(nil), good...), &Header{Type: TypeBatch}, []byte("x"))
+
+	cases := []struct {
+		name    string
+		payload []byte
+		frames  int // sub-frames decoded before the fault
+	}{
+		{"empty", nil, 0},
+		{"truncated header", good[:frameOverhead-1], 0},
+		{"frame past payload", append(append([]byte(nil), good...), good[:len(good)-1]...), 1},
+		{"bad version", corruptVer, 0},
+		{"nested batch", nested, 1},
+	}
+	for _, tc := range cases {
+		n, err := DecodeBatch(tc.payload, func(h *Header, sub []byte) error { return nil })
+		var be *BatchError
+		if !errors.As(err, &be) {
+			t.Fatalf("%s: want *BatchError, got %v", tc.name, err)
+		}
+		if n != tc.frames || be.Frames != tc.frames {
+			t.Fatalf("%s: decoded %d/%d sub-frames, want %d", tc.name, n, be.Frames, tc.frames)
+		}
+	}
+
+	// A callback error passes through untouched (no BatchError wrapping).
+	sentinel := errors.New("stop")
+	if _, err := DecodeBatch(good, func(h *Header, sub []byte) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("callback error not passed through: %v", err)
+	}
+}
+
+// TestCorruptBatchSeversConnection dials the transport as a v3 peer and
+// sends a batch with a truncated payload: the transport must sever the
+// connection promptly (the fake peer reads EOF) instead of hanging or
+// desynchronizing its frame stream.
+func TestCorruptBatchSeversConnection(t *testing.T) {
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln1.Close()
+	addrs := []string{ln0.Addr().String(), ln1.Addr().String()}
+	tr0, err := NewTCP(Config{Addrs: addrs, Self: 0, WorldKey: 5}, ln0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr0.Close()
+	tr0.Bind(newTestSink())
+
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	hello := AppendFrame(nil, &Header{
+		Type: TypeHello, Version: MinVersion, Xid: 5, SrcWorld: 1, Elems: Version,
+	}, nil)
+	if _, err := conn.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	var scratch [maxFrameRead]byte
+	var h Header
+	if _, err := readHeader(conn, &h, &scratch); err != nil || h.Type != TypeHello {
+		t.Fatalf("no hello reply: %+v err=%v", h, err)
+	}
+
+	// A batch whose payload is ten garbage bytes: too short for even one
+	// sub-frame header.
+	bad := AppendFrame(nil, &Header{Type: TypeBatch, Version: Version}, make([]byte, 10))
+	if _, err := conn.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	// The transport severs: our next read must fail fast with EOF/reset,
+	// not time out.
+	if _, err := conn.Read(scratch[:1]); err == nil {
+		t.Fatal("connection survived a corrupt batch")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("transport hung on a corrupt batch instead of severing")
+	}
+}

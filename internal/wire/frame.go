@@ -22,12 +22,15 @@ import (
 // Version is the highest frame-format version this build speaks.
 // Version 2 adds an optional header extension (announced by a flag bit)
 // carrying a trace span id and send timestamp, plus the Ping/Pong clock
-// frames. Versions are negotiated per connection: the Hello frame is
-// always encoded at MinVersion and advertises the speaker's Version, and
-// each side then frames at min(its own, the peer's) — so a v2 node
-// interoperates with a v1 node by dropping the extension.
+// frames. Version 3 adds the Batch container frame that coalesces small
+// sequenced frames (and their piggybacked acks) into one wire write.
+// Versions are negotiated per connection: the Hello frame is always
+// encoded at MinVersion and advertises the speaker's Version, and each
+// side then frames at min(its own, the peer's) — so a v3 node
+// interoperates with a v2 node by never batching, and with a v1 node by
+// additionally dropping the span extension.
 const (
-	Version    = 2
+	Version    = 3
 	MinVersion = 1
 )
 
@@ -69,6 +72,14 @@ const (
 	// receive time t2, and the SendTS extension field carries the reply
 	// time t3 — everything an NTP-style offset/RTT estimate needs.
 	TypePong
+	// TypeBatch (v3+) is an unsequenced container: its payload is a
+	// concatenation of complete encoded frames, each keeping its own
+	// sequence number, so many small eager messages cost one wire write
+	// and one length-prefixed read. The container's Ack field carries the
+	// sender's cumulative ack at flush time. Batches are never
+	// retransmitted as batches — the sub-frames live individually in the
+	// unacked ring and are resent one by one after a reconnect.
+	TypeBatch
 )
 
 // String names the frame type.
@@ -94,6 +105,8 @@ func (t Type) String() string {
 		return "ping"
 	case TypePong:
 		return "pong"
+	case TypeBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -312,6 +325,93 @@ func readHeader(r io.Reader, h *Header, scratch *[maxFrameRead]byte) (int, error
 		return 0, fmt.Errorf("wire: payload length %d inconsistent with frame length %d", h.PayloadLen, frameLen)
 	}
 	return int(h.PayloadLen), nil
+}
+
+// BatchError reports a malformed TypeBatch payload: a truncated or
+// inconsistent sub-frame, or an illegally nested batch. The transport
+// severs the connection with it, so a corrupt batch surfaces as a typed
+// error instead of a desynchronized stream.
+type BatchError struct {
+	// Frames counts the sub-frames decoded successfully before the fault.
+	Frames int
+	// Reason describes the fault.
+	Reason string
+	// Err is the underlying sub-frame decode error, if any.
+	Err error
+}
+
+func (e *BatchError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("wire: batch frame corrupt after %d sub-frames: %s: %v", e.Frames, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("wire: batch frame corrupt after %d sub-frames: %s", e.Frames, e.Reason)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// DecodeBatch walks the payload of a TypeBatch frame — a concatenation
+// of complete encoded frames — and calls fn for each sub-frame with its
+// decoded header and payload (a view into payload, valid only during the
+// call). It returns the number of sub-frames delivered; any structural
+// fault yields a *BatchError. An error from fn aborts the walk and is
+// returned as-is.
+func DecodeBatch(payload []byte, fn func(h *Header, sub []byte) error) (int, error) {
+	n := 0
+	for off := 0; off < len(payload); {
+		if len(payload)-off < frameOverhead {
+			return n, &BatchError{Frames: n, Reason: "truncated sub-frame header"}
+		}
+		frameLen := int(binary.LittleEndian.Uint32(payload[off:]))
+		if frameLen < headerSize || frameLen > headerSize+extSize+MaxPayload {
+			return n, &BatchError{Frames: n, Reason: fmt.Sprintf("sub-frame length %d out of range", frameLen)}
+		}
+		end := off + lenPrefixSize + frameLen
+		if end > len(payload) {
+			return n, &BatchError{Frames: n, Reason: "sub-frame extends past batch payload"}
+		}
+		var h Header
+		ext, err := decodeHeader(&h, payload[off+lenPrefixSize:off+frameOverhead])
+		if err != nil {
+			return n, &BatchError{Frames: n, Reason: "sub-frame header", Err: err}
+		}
+		body := payload[off+frameOverhead : end]
+		if ext {
+			if len(body) < extSize {
+				return n, &BatchError{Frames: n, Reason: "sub-frame too short for extension"}
+			}
+			decodeExt(&h, body[:extSize])
+			body = body[extSize:]
+		}
+		if int(h.PayloadLen) != len(body) {
+			return n, &BatchError{Frames: n, Reason: fmt.Sprintf("sub-frame payload length %d inconsistent with frame length %d", h.PayloadLen, frameLen)}
+		}
+		if h.Type == TypeBatch {
+			return n, &BatchError{Frames: n, Reason: "nested batch frame"}
+		}
+		if err := fn(&h, body); err != nil {
+			return n, err
+		}
+		n++
+		off = end
+	}
+	if n == 0 {
+		return 0, &BatchError{Reason: "empty batch"}
+	}
+	return n, nil
+}
+
+// downgradeFrame rewrites an encoded frame in place for a peer that
+// negotiated down to ver: the version byte is lowered to ver, and below
+// v2 the span extension is also stripped. Returns the possibly-shortened
+// slice.
+func downgradeFrame(buf []byte, ver uint8) []byte {
+	if ver < 2 {
+		return stripSpanExt(buf)
+	}
+	if len(buf) > lenPrefixSize && buf[lenPrefixSize] > ver {
+		buf[lenPrefixSize] = ver
+	}
+	return buf
 }
 
 // stripSpanExt rewrites an encoded frame for a version-1 peer in place:

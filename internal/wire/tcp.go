@@ -33,12 +33,14 @@ type TCP struct {
 	peers  []*tcpPeer
 	closed atomic.Bool
 
-	framesSent atomic.Uint64
-	framesRecv atomic.Uint64
-	bytesSent  atomic.Uint64
-	bytesRecv  atomic.Uint64
-	reconnects atomic.Uint64
-	inflight   atomic.Int64
+	framesSent    atomic.Uint64
+	framesRecv    atomic.Uint64
+	bytesSent     atomic.Uint64
+	bytesRecv     atomic.Uint64
+	reconnects    atomic.Uint64
+	inflight      atomic.Int64
+	batchesSent   atomic.Uint64
+	batchedFrames atomic.Uint64
 }
 
 // ackEvery is the one-way-traffic interval (in frames) at which a
@@ -91,6 +93,16 @@ type tcpPeer struct {
 	downErr      error
 	hadConn      bool
 	pendingSends atomic.Int32
+
+	// Pending v3 batch (guarded by sendMu): small sequenced frames are
+	// copied here instead of written, and flushed as one TypeBatch
+	// container on a size threshold, the window deadline, or before any
+	// frame that cannot join the batch (ordering). The sub-frames also
+	// live individually in the unacked ring, so reconnect retransmission
+	// ignores batching entirely.
+	batchBuf    []byte
+	batchFrames int
+	batchTimer  *time.Timer
 
 	recvMu  sync.Mutex
 	recvSeq atomic.Uint64 // highest in-order seq received (atomic: read by send path for piggyback)
@@ -187,6 +199,8 @@ func (t *TCP) Stats() Stats {
 		BytesReceived:  t.bytesRecv.Load(),
 		Reconnects:     t.reconnects.Load(),
 		Inflight:       uint64(inf),
+		BatchesSent:    t.batchesSent.Load(),
+		BatchedFrames:  t.batchedFrames.Load(),
 	}
 }
 
@@ -225,10 +239,83 @@ func (t *TCP) Send(peer int, h *Header, payload []byte) error {
 		p.ensureDialLocked()
 		return nil
 	}
+	if t.cfg.BatchWindow > 0 && p.ver >= 3 && hh.Type == TypeEager && len(buf) <= t.cfg.BatchCutoff {
+		p.batchBuf = append(p.batchBuf, buf...)
+		p.batchFrames++
+		if len(p.batchBuf) >= t.cfg.BatchBytes || p.batchFrames >= t.cfg.BatchFrames {
+			if err := p.flushBatchLocked(); err != nil {
+				p.severLocked(err)
+			}
+		} else if p.batchFrames == 1 {
+			if p.batchTimer == nil {
+				p.batchTimer = time.AfterFunc(t.cfg.BatchWindow, p.flushBatch)
+			} else {
+				p.batchTimer.Reset(t.cfg.BatchWindow)
+			}
+		}
+		return nil
+	}
+	// An unbatchable frame must not overtake pending batched frames:
+	// flush them first so the peer sees sequence numbers in order.
+	if err := p.flushBatchLocked(); err != nil {
+		p.severLocked(err)
+		return nil
+	}
 	if err := p.writeLocked(buf, hh.Type, true); err != nil {
 		p.severLocked(err)
 	}
 	return nil
+}
+
+// flushBatch is the window-deadline callback.
+func (p *tcpPeer) flushBatch() {
+	p.sendMu.Lock()
+	if err := p.flushBatchLocked(); err != nil {
+		p.severLocked(err)
+	}
+	p.sendMu.Unlock()
+}
+
+// flushBatchLocked writes the pending sub-frames as one TypeBatch
+// container, carrying the current cumulative ack. No connection means
+// the pending copies are simply dropped: the sub-frames sit in the
+// unacked ring and the resume handshake retransmits them individually.
+func (p *tcpPeer) flushBatchLocked() error {
+	if p.batchFrames == 0 {
+		return nil
+	}
+	if p.batchTimer != nil {
+		p.batchTimer.Stop()
+	}
+	n := p.batchFrames
+	payload := p.batchBuf
+	p.batchFrames = 0
+	if p.conn == nil || !p.ready {
+		p.batchBuf = p.batchBuf[:0]
+		return nil
+	}
+	t := p.tr
+	h := Header{Type: TypeBatch, Version: p.ver, Ack: p.recvSeq.Load()}
+	buf := AppendFrame(getEnc(), &h, payload)
+	p.batchBuf = p.batchBuf[:0]
+	t.batchesSent.Add(1)
+	t.batchedFrames.Add(uint64(n))
+	if bo, ok := t.cfg.Observer.(BatchObserver); ok {
+		bo.BatchFlushed(p.id, n, len(payload))
+	}
+	err := p.writeLocked(buf, TypeBatch, true)
+	putEnc(buf)
+	return err
+}
+
+// clearBatchLocked drops the pending batch without writing it (the
+// sub-frames stay in the unacked ring for retransmission).
+func (p *tcpPeer) clearBatchLocked() {
+	p.batchBuf = p.batchBuf[:0]
+	p.batchFrames = 0
+	if p.batchTimer != nil {
+		p.batchTimer.Stop()
+	}
 }
 
 // writeLocked writes one encoded frame on the current connection,
@@ -267,6 +354,7 @@ func (p *tcpPeer) writeLocked(buf []byte, ft Type, coalesce bool) error {
 // ring for retransmission) and triggers a reconnect.
 func (p *tcpPeer) severLocked(err error) {
 	_ = err
+	p.clearBatchLocked()
 	if p.conn != nil {
 		p.conn.Close()
 		p.conn = nil
@@ -471,6 +559,7 @@ func (p *tcpPeer) noteHelloLocked(h *Header) (bumped, revived bool) {
 // to zero, and the frame version reopens for negotiation. Caller holds
 // recvMu and sendMu.
 func (p *tcpPeer) resetStreamLocked() {
+	p.clearBatchLocked()
 	p.sendSeq = 0
 	n := len(p.unacked)
 	for _, ef := range p.unacked {
@@ -508,13 +597,13 @@ func (p *tcpPeer) handleHello(c net.Conn, h *Header) {
 	}
 	if peerVer < p.ver {
 		// Downgrade: frames already encoded into the unacked ring (Send
-		// encodes before the handshake) may carry the span extension the
-		// peer cannot parse — rewrite them in place.
+		// encodes before the handshake) carry a version byte — and, below
+		// v2, possibly the span extension — the peer cannot parse; rewrite
+		// them in place. Batching stays off for the connection's lifetime
+		// (Send checks p.ver per frame).
 		p.ver = peerVer
-		if p.ver < 2 {
-			for i := range p.unacked {
-				p.unacked[i].buf = stripSpanExt(p.unacked[i].buf)
-			}
+		for i := range p.unacked {
+			p.unacked[i].buf = downgradeFrame(p.unacked[i].buf, p.ver)
 		}
 	}
 	p.trimAckedLocked(h.Ack)
@@ -695,6 +784,7 @@ func (p *tcpPeer) markDown(err error) {
 	p.down = true
 	p.downErr = err
 	p.dialing = false
+	p.clearBatchLocked()
 	if p.conn != nil {
 		p.conn.Close()
 		p.conn = nil
@@ -850,6 +940,14 @@ func (p *tcpPeer) runReaderWith(c net.Conn, br *bufio.Reader, dialer bool) {
 		case TypePong:
 			p.handleAck(h.Ack)
 			p.handlePong(&h)
+		case TypeBatch:
+			p.handleAck(h.Ack)
+			if !p.handleBatch(c, payload) {
+				return
+			}
+			if br.Buffered() == 0 {
+				p.maybeAck()
+			}
 		default:
 			p.handleAck(h.Ack) // piggybacked cumulative ack
 			if !p.claimAndDeliver(c, &h, payload, token) {
@@ -900,6 +998,52 @@ func (p *tcpPeer) claimAndDeliver(c net.Conn, h *Header, payload []byte, token a
 	p.recvMu.Unlock()
 	if needAck {
 		p.sendAck()
+	}
+	return true
+}
+
+// errBatchSevered aborts a batch walk after claimAndDeliver already
+// severed the connection (the sever error, not this sentinel, is what
+// surfaces).
+var errBatchSevered = errors.New("wire: batch delivery severed")
+
+// handleBatch unpacks a TypeBatch container: each sub-frame goes through
+// the same Alloc / ack / in-order claim path as an individually framed
+// message, so the MPI layer cannot tell batched and unbatched delivery
+// apart. A structurally corrupt batch severs the connection with the
+// typed *BatchError.
+func (p *tcpPeer) handleBatch(c net.Conn, payload []byte) bool {
+	t := p.tr
+	severed := false
+	_, err := DecodeBatch(payload, func(h *Header, sub []byte) error {
+		var body []byte
+		var token any
+		if len(sub) > 0 {
+			if t.sink != nil && (h.Type == TypeEager || h.Type == TypeData) {
+				body, token = t.sink.Alloc(p.id, h)
+			}
+			if len(body) != len(sub) {
+				if token != nil {
+					t.sink.Free(p.id, token)
+					token = nil
+				}
+				body = make([]byte, len(sub))
+			}
+			copy(body, sub)
+		}
+		p.handleAck(h.Ack)
+		if !p.claimAndDeliver(c, h, body, token) {
+			severed = true
+			return errBatchSevered
+		}
+		return nil
+	})
+	if severed {
+		return false
+	}
+	if err != nil {
+		p.sever(c, err)
+		return false
 	}
 	return true
 }

@@ -74,6 +74,12 @@ type Stats struct {
 	Reconnects     uint64
 	// Inflight is the number of sent-but-unacked frames at snapshot time.
 	Inflight uint64
+	// BatchesSent counts v3 Batch container frames written; each is
+	// included once in FramesSent. BatchedFrames counts the sequenced
+	// sub-frames they carried, so BatchedFrames/BatchesSent is the mean
+	// batch fill.
+	BatchesSent   uint64
+	BatchedFrames uint64
 }
 
 // Observer receives transport events; internal/metrics adapts its
@@ -83,6 +89,15 @@ type Observer interface {
 	FrameReceived(peer int, t Type, bytes int)
 	Reconnect(peer int)
 	InflightChanged(delta int)
+}
+
+// BatchObserver is an optional Observer extension: a transport that
+// coalesces frames calls BatchFlushed once per Batch container written,
+// with the number of sub-frames and encoded payload bytes it carried.
+// Observers that don't implement it simply miss the batching breakdown;
+// FrameSent still reports the container itself.
+type BatchObserver interface {
+	BatchFlushed(peer int, frames, bytes int)
 }
 
 // ClockObserver receives NTP-style clock samples from the transport's
@@ -174,6 +189,23 @@ type Config struct {
 	// handshake, so a short-lived world still gets real RTT samples.
 	PingInterval time.Duration
 
+	// BatchWindow enables v3 frame batching when > 0: small sequenced
+	// frames to a peer are coalesced into one Batch container, flushed
+	// when BatchBytes or BatchFrames is reached, when the window expires,
+	// or before any frame that cannot join the batch (large payloads,
+	// rendezvous data) so per-peer ordering is preserved. Batching only
+	// engages on connections that negotiated v3; a v2 peer transparently
+	// gets individual frames.
+	BatchWindow time.Duration
+	// BatchBytes caps the pending batch payload before a forced flush
+	// (default 16KiB when batching is on).
+	BatchBytes int
+	// BatchFrames caps the sub-frame count per batch (default 64).
+	BatchFrames int
+	// BatchCutoff is the largest encoded frame eligible for batching
+	// (default 1KiB); bigger frames flush the batch and go out alone.
+	BatchCutoff int
+
 	Observer Observer
 	Fault    FaultInjector
 	// Clock receives offset/RTT samples from ping/pong (and Hello).
@@ -193,6 +225,17 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.ReconnectBackoff <= 0 {
 		out.ReconnectBackoff = 50 * time.Millisecond
+	}
+	if out.BatchWindow > 0 {
+		if out.BatchBytes <= 0 {
+			out.BatchBytes = 16 << 10
+		}
+		if out.BatchFrames <= 0 {
+			out.BatchFrames = 64
+		}
+		if out.BatchCutoff <= 0 {
+			out.BatchCutoff = 1 << 10
+		}
 	}
 	return out
 }
