@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|faults|sync|p2p|net|coll|trace|recover|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig3|table2|table3|table4|micro|rma|faults|sync|p2p|net|coll|trace|recover|halo|all")
 	full := flag.Bool("full", false, "run the paper-shaped sweep instead of the quick profile")
 	seed := flag.Int64("seed", 1, "chaos seed for -exp faults and -exp recover (fixes the whole fault schedule)")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs into this directory")
@@ -35,6 +35,8 @@ func main() {
 	collOut := flag.String("collout", "BENCH_coll.json", "where -exp coll writes its JSON snapshot (empty to skip)")
 	traceOut := flag.String("traceout", "BENCH_trace.json", "where -exp trace writes its JSON snapshot (empty to skip)")
 	recoverOut := flag.String("recoverout", "BENCH_recover.json", "where -exp recover writes its JSON snapshot (empty to skip)")
+	haloOut := flag.String("haloout", "BENCH_halo.json", "where -exp halo writes its JSON snapshot (empty to skip)")
+	haloWidth := flag.Int("halo-width", 0, "pin -exp halo to one ghost-layer width (0 sweeps the profile's ladder)")
 	traceFile := flag.String("tracefile", "", "where -exp trace writes the Perfetto-loadable event file for hlstrace (empty to skip)")
 	eagerLimit := flag.Int("eager-limit", 0, "pin -exp p2p to one eager/rendezvous threshold in bytes (0 sweeps a ladder around the default)")
 	compare := flag.String("compare", "", "baseline JSON snapshot to compare against, for -exp sync or -exp p2p (exit 1 on check regressions)")
@@ -318,6 +320,31 @@ func main() {
 			f.Close()
 			exitOn(err)
 			exitOn(bench.CompareRecover(os.Stdout, base, res))
+		}
+		fmt.Println()
+	}
+	if want("halo") {
+		ran = true
+		fmt.Printf("== Halo exchange: derived datatypes + pack elision (%s profile) ==\n", profile)
+		res, err := bench.RunHalo(profile, *haloWidth)
+		exitOn(err)
+		bench.PrintHalo(os.Stdout, res)
+		writeCSV("halo.csv", func(w io.Writer) error { return bench.WriteHaloCSV(w, res) })
+		if *haloOut != "" {
+			f, err := os.Create(*haloOut)
+			exitOn(err)
+			err = bench.WriteHaloJSON(f, res)
+			f.Close()
+			exitOn(err)
+			fmt.Println("wrote", *haloOut)
+		}
+		if *compare != "" && *exp == "halo" {
+			f, err := os.Open(*compare)
+			exitOn(err)
+			base, err := bench.ReadHaloJSON(f)
+			f.Close()
+			exitOn(err)
+			exitOn(bench.CompareHalo(os.Stdout, base, res))
 		}
 		fmt.Println()
 	}

@@ -489,25 +489,5 @@ func CompareColl(w io.Writer, base, cur *CollResult) error {
 			}
 		}
 	}
-	var regressed []string
-	for _, chk := range []struct {
-		name      string
-		was, isOK bool
-	}{
-		{"two_level_engaged", base.Checks.TwoLevelEngaged, cur.Checks.TwoLevelEngaged},
-		{"frame_cut_2x", base.Checks.FrameCut2x, cur.Checks.FrameCut2x},
-		{"batch_fill_above_2", base.Checks.BatchFillAbove2, cur.Checks.BatchFillAbove2},
-		{"bitwise_identical", base.Checks.BitwiseIdentical, cur.Checks.BitwiseIdentical},
-		{"clean_wire", base.Checks.CleanWire, cur.Checks.CleanWire},
-		{"no_leaked_buffers", base.Checks.NoLeakedBuffers, cur.Checks.NoLeakedBuffers},
-	} {
-		if chk.was && !chk.isOK {
-			regressed = append(regressed, chk.name)
-		}
-	}
-	if len(regressed) > 0 {
-		return fmt.Errorf("coll checks regressed vs baseline: %v", regressed)
-	}
-	fprintf(w, "all baseline checks still hold\n")
-	return nil
+	return compareChecks(w, "coll", base.Checks, cur.Checks)
 }

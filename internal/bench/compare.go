@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+)
+
+// compareChecks is the shared tail of every Compare* helper: given the
+// baseline's and the current run's acceptance-check struct (a flat
+// struct of bools), it flags every check that held in the baseline but
+// fails now. Timing deltas are each experiment's own informational
+// business; this is the one hard-failure contract they all share.
+//
+// Check names come from the field's json tag when present (the same
+// name the snapshot file uses), else from the snake-cased field name.
+// A check that was already false in the baseline never regresses — new
+// checks can land false and tighten later without breaking CI.
+func compareChecks(w io.Writer, kind string, base, cur any) error {
+	bv := reflect.ValueOf(base)
+	cv := reflect.ValueOf(cur)
+	if bv.Type() != cv.Type() || bv.Kind() != reflect.Struct {
+		return fmt.Errorf("%s checks: mismatched snapshot types %T vs %T", kind, base, cur)
+	}
+	var regressed []string
+	t := bv.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.Type.Kind() != reflect.Bool || !f.IsExported() {
+			continue
+		}
+		if bv.Field(i).Bool() && !cv.Field(i).Bool() {
+			regressed = append(regressed, checkName(f))
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%s checks regressed vs baseline: %v", kind, regressed)
+	}
+	fprintf(w, "all baseline checks still hold\n")
+	return nil
+}
+
+// checkName derives the reported name of a check field.
+func checkName(f reflect.StructField) string {
+	if tag, _, _ := strings.Cut(f.Tag.Get("json"), ","); tag != "" && tag != "-" {
+		return tag
+	}
+	return snakeCase(f.Name)
+}
+
+// snakeCase converts a Go field name (FrameCut2x) to the snapshot-file
+// style (frame_cut_2x) used in regression reports.
+func snakeCase(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

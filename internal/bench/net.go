@@ -425,23 +425,5 @@ func CompareNet(w io.Writer, base, cur *NetResult) error {
 			}
 		}
 	}
-	var regressed []string
-	for _, chk := range []struct {
-		name      string
-		was, isOK bool
-	}{
-		{"wire_both_protocols", base.Checks.WireBothProtocols, cur.Checks.WireBothProtocols},
-		{"local_wins_small", base.Checks.LocalWinsSmall, cur.Checks.LocalWinsSmall},
-		{"clean_wire", base.Checks.CleanWire, cur.Checks.CleanWire},
-		{"no_leaked_buffers", base.Checks.NoLeakedBuffers, cur.Checks.NoLeakedBuffers},
-	} {
-		if chk.was && !chk.isOK {
-			regressed = append(regressed, chk.name)
-		}
-	}
-	if len(regressed) > 0 {
-		return fmt.Errorf("net checks regressed vs baseline: %v", regressed)
-	}
-	fprintf(w, "all baseline checks still hold\n")
-	return nil
+	return compareChecks(w, "net", base.Checks, cur.Checks)
 }

@@ -519,25 +519,5 @@ func CompareP2P(w io.Writer, base, cur *P2PResult) error {
 			}
 		}
 	}
-	var regressed []string
-	for _, chk := range []struct {
-		name      string
-		was, isOK bool
-	}{
-		{"zero_alloc_eager", base.Checks.ZeroAllocEager, cur.Checks.ZeroAllocEager},
-		{"single_copy_posted", base.Checks.SingleCopyPosted, cur.Checks.SingleCopyPosted},
-		{"pool_recycles_unexpected", base.Checks.PoolRecyclesUnexpected, cur.Checks.PoolRecyclesUnexpected},
-		{"match_probes_bounded", base.Checks.MatchProbesBounded, cur.Checks.MatchProbesBounded},
-		{"eager_wins_at_limit", base.Checks.EagerWinsAtLimit, cur.Checks.EagerWinsAtLimit},
-		{"no_leaked_buffers", base.Checks.NoLeakedBuffers, cur.Checks.NoLeakedBuffers},
-	} {
-		if chk.was && !chk.isOK {
-			regressed = append(regressed, chk.name)
-		}
-	}
-	if len(regressed) > 0 {
-		return fmt.Errorf("p2p checks regressed vs baseline: %v", regressed)
-	}
-	fprintf(w, "all baseline checks still hold\n")
-	return nil
+	return compareChecks(w, "p2p", base.Checks, cur.Checks)
 }

@@ -429,23 +429,5 @@ func ReadRecoverJSON(rd io.Reader) (*RecoverResult, error) {
 func CompareRecover(w io.Writer, base, cur *RecoverResult) error {
 	fprintf(w, "Recover comparison vs baseline (%d tasks, %d iters)\n", base.Tasks, base.Iters)
 	fprintf(w, "  restore latency: %.2f -> %.2f ms\n", base.RestoreMs, cur.RestoreMs)
-	var regressed []string
-	for _, chk := range []struct {
-		name      string
-		was, isOK bool
-	}{
-		{"identical_after_recovery", base.Checks.Identical, cur.Checks.Identical},
-		{"torn_generation_skipped", base.Checks.TornSkipped, cur.Checks.TornSkipped},
-		{"restore_reported", base.Checks.RestoreReported, cur.Checks.RestoreReported},
-		{"kill_fired", base.Checks.KillFired, cur.Checks.KillFired},
-	} {
-		if chk.was && !chk.isOK {
-			regressed = append(regressed, chk.name)
-		}
-	}
-	if len(regressed) > 0 {
-		return fmt.Errorf("recover checks regressed vs baseline: %v", regressed)
-	}
-	fprintf(w, "all baseline checks still hold\n")
-	return nil
+	return compareChecks(w, "recover", base.Checks, cur.Checks)
 }

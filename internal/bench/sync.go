@@ -404,24 +404,5 @@ func CompareSync(w io.Writer, base, cur *SyncResult) error {
 			}
 		}
 	}
-	var regressed []string
-	for _, chk := range []struct {
-		name      string
-		was, isOK bool
-	}{
-		{"tree_beats_mutex_16", base.Checks.TreeBeatsMutex16, cur.Checks.TreeBeatsMutex16},
-		{"tree_beats_mutex_32", base.Checks.TreeBeatsMutex32, cur.Checks.TreeBeatsMutex32},
-		{"shared_beats_channels_large", base.Checks.SharedBeatsChannelsLarge, cur.Checks.SharedBeatsChannelsLarge},
-		{"shared_alloc_free", base.Checks.SharedAllocFree, cur.Checks.SharedAllocFree},
-		{"shared_no_messages", base.Checks.SharedNoMessages, cur.Checks.SharedNoMessages},
-	} {
-		if chk.was && !chk.isOK {
-			regressed = append(regressed, chk.name)
-		}
-	}
-	if len(regressed) > 0 {
-		return fmt.Errorf("sync checks regressed vs baseline: %v", regressed)
-	}
-	fprintf(w, "all baseline checks still hold\n")
-	return nil
+	return compareChecks(w, "sync", base.Checks, cur.Checks)
 }

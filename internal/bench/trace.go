@@ -489,25 +489,5 @@ func CompareTrace(w io.Writer, base, cur *TraceResult) error {
 			}
 		}
 	}
-	var regressed []string
-	for _, chk := range []struct {
-		name      string
-		was, isOK bool
-	}{
-		{"flows_paired", base.Checks.FlowsPaired, cur.Checks.FlowsPaired},
-		{"monotone_flows", base.Checks.MonotoneFlows, cur.Checks.MonotoneFlows},
-		{"buckets_cover", base.Checks.BucketsCover, cur.Checks.BucketsCover},
-		{"dropped_zero", base.Checks.DroppedZero, cur.Checks.DroppedZero},
-		{"sampling_reduces", base.Checks.SamplingReduces, cur.Checks.SamplingReduces},
-		{"overhead_ok", base.Checks.OverheadOK, cur.Checks.OverheadOK},
-	} {
-		if chk.was && !chk.isOK {
-			regressed = append(regressed, chk.name)
-		}
-	}
-	if len(regressed) > 0 {
-		return fmt.Errorf("trace checks regressed vs baseline: %v", regressed)
-	}
-	fprintf(w, "all baseline checks still hold\n")
-	return nil
+	return compareChecks(w, "trace", base.Checks, cur.Checks)
 }

@@ -21,6 +21,8 @@ type MPIAdapter struct {
 	rendezvous  *Counter
 	elided      *Counter
 	elidedBytes *Counter
+	packElided  *Counter
+	packBytes   *Counter
 	collectives *Counter
 	sharedColl  *Counter
 	twoLevel    *Counter
@@ -45,6 +47,8 @@ func NewMPIAdapter(r *Registry) *MPIAdapter {
 		rendezvous:  r.Counter("mpi_messages_protocol_total", "messages by wire protocol", L("protocol", "rendezvous")),
 		elided:      r.Counter("mpi_copies_elided_total", "deliveries skipped because send and receive buffers were the same memory (HLS intra-node elision)"),
 		elidedBytes: r.Counter("mpi_copy_bytes_elided_total", "payload bytes not copied thanks to same-buffer elision"),
+		packElided:  r.Counter("mpi_pack_elisions_total", "typed transfers that moved strided-to-strided with no intermediate packed buffer"),
+		packBytes:   r.Counter("mpi_pack_elided_bytes_total", "payload bytes whose packing was elided on typed transfers"),
 		collectives: r.Counter("mpi_collectives_total", "collective operations started, per participating task"),
 		sharedColl:  r.Counter("mpi_shared_collectives_total", "collectives completed on the shared-address-space fast path, per participating task"),
 		twoLevel:    r.Counter("mpi_two_level_collectives_total", "collectives completed through the topology-aware two-level decomposition, per participating task"),
@@ -87,6 +91,14 @@ func (a *MPIAdapter) OnMessage(worldSrc, worldDst, bytes int, rendezvous bool) {
 func (a *MPIAdapter) OnCopyElided(worldDst, bytes int) {
 	a.elided.Inc(worldDst)
 	a.elidedBytes.Add(worldDst, int64(bytes))
+}
+
+// OnPackElided implements mpi.TypedHooks: a derived-datatype transfer
+// skipped its intermediate packed buffer (shared address space pack
+// elision, the typed analogue of OnCopyElided).
+func (a *MPIAdapter) OnPackElided(worldDst, bytes int) {
+	a.packElided.Inc(worldDst)
+	a.packBytes.Add(worldDst, int64(bytes))
 }
 
 // OnCollective implements mpi.MessageHooks.

@@ -42,6 +42,12 @@ type message struct {
 	// buffer while the send call is still on the stack (posted-match
 	// delivery, rendezvous).
 	sdata []byte
+	// sdt, when non-nil, is the strided layout sdata is viewed through
+	// (a derived datatype): elems/bytes count the selected elements, and
+	// the delivery path runs the strided kernels. Cleared whenever the
+	// payload is packed into an intermediate buffer, so sdt != nil
+	// always means "sdata is the sender's raw strided buffer".
+	sdt *Datatype
 	// sptr identifies the sender's buffer for same-address copy elision.
 	sptr unsafe.Pointer
 	// payload is the pooled eager buffer backing sdata (nil while sdata
@@ -94,6 +100,9 @@ type postedRecv struct {
 	rdata  []byte // receiver's buffer as bytes
 	relems int
 	rptr   unsafe.Pointer
+	// rdt, when non-nil, is the strided layout the payload is scattered
+	// into on delivery; relems is then the layout's element count.
+	rdt *Datatype
 
 	req      *Request
 	recvRank int // world rank of the receiver
@@ -533,6 +542,7 @@ type worldStats struct {
 	rendezvous          atomic.Int64
 	sameAddrSkips       atomic.Int64
 	directDeliveries    atomic.Int64
+	packElisions        atomic.Int64
 	collectives         atomic.Int64
 	sharedCollectives   atomic.Int64
 	twoLevelCollectives atomic.Int64
@@ -550,6 +560,11 @@ type Stats struct {
 	// already posted and were copied sender-buffer → receiver-buffer in
 	// one step, skipping the intermediate pooled payload entirely.
 	DirectDeliveries int64
+
+	// PackElisions counts typed (derived-datatype) transfers delivered
+	// strided-to-strided between the task buffers, with no intermediate
+	// packed copy — the shared-address-space pack-elision fast path.
+	PackElisions int64
 
 	// SharedCollectives counts collectives completed (per task) on the
 	// shared-address-space fast path, i.e. without point-to-point
@@ -595,6 +610,7 @@ func (w *World) Stats() Stats {
 		Rendezvous:       w.stats.rendezvous.Load(),
 		SameAddrSkips:    w.stats.sameAddrSkips.Load(),
 		DirectDeliveries: w.stats.directDeliveries.Load(),
+		PackElisions:     w.stats.packElisions.Load(),
 		Collectives:      w.stats.collectives.Load(),
 
 		SharedCollectives:   w.stats.sharedCollectives.Load(),
@@ -658,9 +674,15 @@ func (w *World) inject(msg *message, srcWorld, dstWorld int) bool {
 		// No receive posted: the payload must outlive the send call.
 		// Copy it (once) into a pooled buffer. The copy runs under ep.mu,
 		// which keeps enqueue order equal to send order; it is bounded by
-		// EagerLimit.
+		// EagerLimit. A typed message packs here — datapath (1), the
+		// generic pack into a pooled intermediate.
 		msg.payload = w.pool.get(srcWorld, msg.bytes)
-		copy(msg.payload.data, msg.sdata)
+		if msg.sdt != nil {
+			dtPack(msg.payload.data, msg.sdata, msg.sdt, int(msg.etype.Size()))
+			msg.sdt = nil
+		} else {
+			copy(msg.payload.data, msg.sdata)
+		}
 		msg.sdata = msg.payload.data[:msg.bytes]
 	}
 	ep.enqueueUnexpected(b, msg)
@@ -711,16 +733,28 @@ func (w *World) deliverTo(msg *message, pr *postedRecv) {
 	case msg.elems > pr.relems:
 		err = &Error{Rank: pr.recvRank, Op: "Recv",
 			Msg: fmt.Sprintf("message truncated: %d elements into buffer of %d", msg.elems, pr.relems)}
-	case msg.sptr != nil && msg.sptr == pr.rptr:
-		// Send and receive buffers are the same memory: skip the copy.
-		// This is MPC's intra-node optimization that removes Tachyon's
-		// rank-0 image copies once the image is an HLS variable.
+	case msg.sptr != nil && msg.sptr == pr.rptr && sameLayout(msg.sdt, pr.rdt):
+		// Send and receive buffers are the same memory (and, for typed
+		// transfers, the same layout): skip the copy. This is MPC's
+		// intra-node optimization that removes Tachyon's rank-0 image
+		// copies once the image is an HLS variable.
 		w.stats.sameAddrSkips.Add(1)
 		if w.msgHooks != nil {
 			w.msgHooks.OnCopyElided(pr.recvRank, msg.bytes)
 		}
-	default:
+	case msg.sdt == nil && pr.rdt == nil:
 		copy(pr.rdata, msg.sdata)
+	default:
+		// Typed delivery. When the payload still views the sender's raw
+		// buffer (no pooled intermediate), this is datapath (2): one
+		// strided-to-strided pass between the task buffers — the pack
+		// elision the shared address space makes possible. With a packed
+		// intermediate (unexpected-queue or wire payloads, msg.sdt
+		// already nil) only the unpack side runs.
+		dtCopy(pr.rdata, pr.rdt, msg.sdata, msg.sdt, int(pr.etype.Size()))
+		if msg.payload == nil && !msg.kindOnly {
+			w.notePackElided(pr.recvRank, msg.bytes)
+		}
 	}
 	if msg.rendezvous && msg.sreq != nil {
 		msg.sreq.complete(Status{})

@@ -139,6 +139,12 @@ type Config struct {
 	Pin topology.PinPolicy
 	// EagerLimit overrides DefaultEagerLimit when > 0.
 	EagerLimit int
+	// ForcePack disables the typed-transfer pack elision: every derived-
+	// datatype payload is packed into an intermediate buffer even when
+	// sender and receiver share the address space. It exists as the
+	// ablation knob for the halo benchmark (packed vs zero-copy) and
+	// should stay false in production use.
+	ForcePack bool
 	// Hooks, if non-nil, is invoked on every message.
 	Hooks Hooks
 	// Trace, if non-nil, receives tracing callbacks on every message and
@@ -188,6 +194,7 @@ type World struct {
 	msgHooks   MessageHooks
 	faultHooks FaultHooks
 	poolHooks  PoolHooks
+	typedHooks TypedHooks
 	// traceHooks is cfg.Trace, copied next to the other resolved hooks
 	// so the datapath reads one field.
 	traceHooks TraceHooks
@@ -331,6 +338,9 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	if ph, ok := cfg.Hooks.(PoolHooks); ok {
 		w.poolHooks = ph
+	}
+	if th, ok := cfg.Hooks.(TypedHooks); ok {
+		w.typedHooks = th
 	}
 	w.pool = newBufPool(cfg.NumTasks, cfg.EagerLimit)
 	w.pool.hooks = w.poolHooks

@@ -36,6 +36,9 @@ func MultiHooks(hooks ...Hooks) Hooks {
 		if ph, ok := h.(PoolHooks); ok {
 			pools = append(pools, ph)
 		}
+		if th, ok := h.(TypedHooks); ok {
+			m.typed = append(m.typed, th)
+		}
 		// The composition allows the shared-collective fast path only if
 		// every member does: one message-watching member (the hb tracker)
 		// vetoes it for the whole world.
@@ -118,6 +121,7 @@ type multiHooks struct {
 	hooks []Hooks
 	msg   []MessageHooks    // the subset implementing MessageHooks
 	shm   []SharedCollHooks // the subset that opted into shared collectives
+	typed []TypedHooks      // the subset implementing TypedHooks
 	shmOK bool              // every member opted in
 }
 
@@ -160,6 +164,13 @@ func (m *multiHooks) OnCopyElided(worldDst, bytes int) {
 func (m *multiHooks) OnCollective(worldRank int) {
 	for _, h := range m.msg {
 		h.OnCollective(worldRank)
+	}
+}
+
+// OnPackElided implements TypedHooks.
+func (m *multiHooks) OnPackElided(worldDst, bytes int) {
+	for _, h := range m.typed {
+		h.OnPackElided(worldDst, bytes)
 	}
 }
 

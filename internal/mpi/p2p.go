@@ -78,6 +78,14 @@ func Isend[T Scalar](t *Task, comm *Comm, buf []T, dst, tag int) *Request {
 // isend implements Send/Isend on an explicit context. It returns a non-nil
 // request only for rendezvous sends (eager sends are already complete).
 func isend[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dst, tag int, op string) *Request {
+	return isendDT(t, comm, ctx, buf, nil, dst, tag, op)
+}
+
+// isendDT is isend with a derived datatype describing which elements of
+// buf to send (nil = all of it, contiguously). Non-strided datatypes are
+// normalized to the contiguous datapath here, so they cost nothing
+// downstream.
+func isendDT[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dt *Datatype, dst, tag int, op string) *Request {
 	w := t.world
 	if comm == nil {
 		comm = w.world
@@ -94,13 +102,26 @@ func isend[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dst, tag int, op s
 	}
 	worldDst := comm.group[dst]
 	t.checkPeer(op, worldDst)
-	bytes := len(buf) * elemSize[T]()
+	esz := elemSize[T]()
+	elems := len(buf)
+	sdata := bytesOf(buf)
+	var sdt *Datatype
+	if dt != nil {
+		dt.check(t.rank, op, len(buf))
+		elems = dt.Size()
+		if dt.strided() {
+			sdt = dt
+		} else {
+			sdata = sdata[:elems*esz]
+		}
+	}
+	bytes := elems * esz
 
 	msg := getMessage()
 	msg.ctx = ctx
 	msg.src = myCommRank
 	msg.tag = tag
-	msg.elems = len(buf)
+	msg.elems = elems
 	msg.bytes = bytes
 	msg.etype = reflect.TypeFor[T]()
 	// No payload copy here: sdata views the caller's buffer, which stays
@@ -108,7 +129,8 @@ func isend[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dst, tag int, op s
 	// into a posted receive (single copy) or, unmatched, into a pooled
 	// eager buffer — so by the time isend returns, an eager message no
 	// longer references the caller's memory.
-	msg.sdata = bytesOf(buf)
+	msg.sdata = sdata
+	msg.sdt = sdt
 	msg.sptr = ptrOf(buf)
 	if w.cfg.Hooks != nil {
 		msg.meta = w.cfg.Hooks.OnSend(t.rank, worldDst)
@@ -140,6 +162,16 @@ func isend[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dst, tag int, op s
 		// below must not run twice).
 		return w.net.isendRemote(t, msg, worldDst, op)
 	}
+	if msg.sdt != nil && w.cfg.ForcePack {
+		// Ablation (Config.ForcePack): route the typed payload through a
+		// packed intermediate even on the shared address space, so the
+		// halo benchmark can measure exactly what the elision saves.
+		msg.payload = w.pool.get(t.rank, bytes)
+		dtPack(msg.payload.data, msg.sdata, msg.sdt, esz)
+		msg.sdata = msg.payload.data[:bytes]
+		msg.sdt = nil
+		msg.sptr = nil
+	}
 	if w.faultHooks != nil {
 		act := w.faultHooks.FaultP2P(t.rank, worldDst, bytes, msg.rendezvous)
 		if act.Delay > 0 {
@@ -153,6 +185,9 @@ func isend[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dst, tag int, op s
 			// attribute it.
 			if sreq != nil {
 				sreq.complete(Status{})
+			}
+			if msg.payload != nil {
+				w.pool.release(t.rank, msg.payload)
 			}
 			putMessage(msg)
 			return sreq
@@ -169,12 +204,21 @@ func isend[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dst, tag int, op s
 			// original, pin the same buffer under both messages — the
 			// refcount holds it until the last copy is consumed.
 			dup.payload = w.pool.get(t.rank, bytes)
-			copy(dup.payload.data, msg.sdata)
+			if msg.sdt != nil {
+				// A typed duplicate packs now: its pooled payload must be
+				// dense, and the original's strided view of the caller's
+				// buffer cannot be shared beyond this call.
+				dtPack(dup.payload.data, msg.sdata, msg.sdt, esz)
+				dup.sdt = nil
+			} else {
+				copy(dup.payload.data, msg.sdata)
+			}
 			dup.sdata = dup.payload.data[:bytes]
 			if !msg.rendezvous {
 				dup.payload.refs.Add(1)
 				msg.payload = dup.payload
 				msg.sdata = dup.sdata
+				msg.sdt = nil
 			} else {
 				dup.sptr = nil
 			}
@@ -220,6 +264,13 @@ func Irecv[T Scalar](t *Task, comm *Comm, buf []T, src, tag int) *Request {
 }
 
 func irecv[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, src, tag int, op string) *Request {
+	return irecvDT(t, comm, ctx, buf, nil, src, tag, op)
+}
+
+// irecvDT is irecv with a derived datatype describing where in buf the
+// payload lands (nil = contiguously, filling the buffer from the start).
+// Non-strided datatypes are normalized to the contiguous datapath.
+func irecvDT[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, dt *Datatype, src, tag int, op string) *Request {
 	w := t.world
 	if comm == nil {
 		comm = w.world
@@ -237,14 +288,27 @@ func irecv[T Scalar](t *Task, comm *Comm, ctx int64, buf []T, src, tag int, op s
 	if src != AnySource {
 		worldSrc = comm.group[src]
 	}
+	relems := len(buf)
+	rdata := bytesOf(buf)
+	var rdt *Datatype
+	if dt != nil {
+		dt.check(t.rank, op, len(buf))
+		relems = dt.Size()
+		if dt.strided() {
+			rdt = dt
+		} else {
+			rdata = rdata[:relems*elemSize[T]()]
+		}
+	}
 	req := newRequest(true)
 	pr := getPostedRecv()
 	pr.ctx = ctx
 	pr.src = src
 	pr.tag = tag
 	pr.etype = reflect.TypeFor[T]()
-	pr.rdata = bytesOf(buf)
-	pr.relems = len(buf)
+	pr.rdata = rdata
+	pr.relems = relems
+	pr.rdt = rdt
 	pr.rptr = ptrOf(buf)
 	pr.req = req
 	pr.recvRank = t.rank

@@ -179,19 +179,24 @@ func (p *bufPool) release(rank int, b *eagerBuf) {
 		return
 	}
 	p.puts.Add(1)
-	p.recycled.Add(int64(len(b.data)))
 	if p.hooks != nil {
 		p.hooks.OnPoolPut(rank, len(b.data))
 	}
 	if b.class < 0 {
-		return // oversize: hand to the GC
+		return // oversize: hand to the GC, its capacity is not reusable
 	}
+	// recycled counts bytes of capacity that actually re-enter a free
+	// list. It used to be bumped unconditionally above, which credited
+	// oversize buffers and cap-overflow drops — capacity the GC reclaims
+	// — as "returned for reuse", skewing the size-class accounting for
+	// payloads near the eager limit.
 	if b.home != poolNoRank {
 		rc := p.ranks[b.home]
 		rc.mu.Lock()
 		if len(rc.free[b.class]) < poolRankCap {
 			rc.free[b.class] = append(rc.free[b.class], b)
 			rc.mu.Unlock()
+			p.recycled.Add(int64(len(b.data)))
 			return
 		}
 		rc.mu.Unlock()
@@ -200,6 +205,9 @@ func (p *bufPool) release(rank int, b *eagerBuf) {
 	sc.mu.Lock()
 	if len(sc.free) < poolSharedCap {
 		sc.free = append(sc.free, b)
+		sc.mu.Unlock()
+		p.recycled.Add(int64(len(b.data)))
+		return
 	}
 	sc.mu.Unlock()
 	// Beyond both caps the buffer is dropped to the GC; it is still

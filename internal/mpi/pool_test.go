@@ -47,6 +47,125 @@ func TestPingPongZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestPoolClassBoundaries pins the size-class selection at the exact
+// class edges: a payload of exactly a class's capacity belongs to that
+// class (not the next), and only payloads beyond the largest class —
+// beyond the eager limit — fall off the pooled path. A regression here
+// silently double-sizes every boundary-sized packed message.
+func TestPoolClassBoundaries(t *testing.T) {
+	for _, tc := range []struct{ n, class int }{
+		{0, 0}, {1, 0}, {63, 0}, {64, 0},
+		{65, 1}, {128, 1}, {129, 2},
+		{4095, 6}, {4096, 6}, {4097, 7},
+	} {
+		if got := poolClassFor(tc.n); got != tc.class {
+			t.Errorf("poolClassFor(%d) = %d, want %d", tc.n, got, tc.class)
+		}
+	}
+
+	p := newBufPool(2, DefaultEagerLimit)
+	if p.maxSize != DefaultEagerLimit {
+		t.Fatalf("maxSize = %d, want %d", p.maxSize, DefaultEagerLimit)
+	}
+
+	// A payload of exactly the eager limit must stay pooled: released, it
+	// re-enters its home rank's cache and the next get returns the very
+	// same buffer.
+	b := p.get(0, DefaultEagerLimit)
+	if b.class < 0 || len(b.data) != DefaultEagerLimit {
+		t.Fatalf("limit-sized get: class %d cap %d, want pooled at %d", b.class, len(b.data), DefaultEagerLimit)
+	}
+	p.release(0, b)
+	if got := p.recycled.Load(); got != int64(DefaultEagerLimit) {
+		t.Errorf("recycled = %d after one pooled release, want %d", got, DefaultEagerLimit)
+	}
+	if again := p.get(0, DefaultEagerLimit); again != b {
+		t.Error("limit-sized buffer did not come back from the rank cache")
+	} else {
+		p.release(0, again)
+	}
+
+	// One byte past the limit is oversize: unpooled, and its release must
+	// not count as recycled capacity (the GC reclaims it).
+	before := p.recycled.Load()
+	ob := p.get(0, DefaultEagerLimit+1)
+	if ob.class != -1 {
+		t.Fatalf("oversize get: class %d, want -1", ob.class)
+	}
+	p.release(0, ob)
+	if got := p.recycled.Load(); got != before {
+		t.Errorf("recycled moved by %d on an oversize release, want 0", got-before)
+	}
+	if p.outstanding() != 0 {
+		t.Errorf("outstanding = %d, want 0", p.outstanding())
+	}
+}
+
+// TestPoolCapOverflowNotRecycled: a release that finds both its rank
+// cache and the shared class full drops the buffer to the GC — counted
+// as a put (outstanding stays exact) but not as recycled capacity.
+func TestPoolCapOverflowNotRecycled(t *testing.T) {
+	p := newBufPool(1, DefaultEagerLimit)
+	const n = 64
+	bufs := make([]*eagerBuf, 0, poolRankCap+poolSharedCap+5)
+	for i := 0; i < cap(bufs); i++ {
+		bufs = append(bufs, p.get(0, n))
+	}
+	for _, b := range bufs {
+		p.release(0, b)
+	}
+	wantRecycled := int64((poolRankCap + poolSharedCap) * n)
+	if got := p.recycled.Load(); got != wantRecycled {
+		t.Errorf("recycled = %d, want %d (rank cap %d + shared cap %d, overflow dropped)",
+			got, wantRecycled, poolRankCap, poolSharedCap)
+	}
+	if got := p.puts.Load(); got != int64(len(bufs)) {
+		t.Errorf("puts = %d, want %d (every release counted)", got, len(bufs))
+	}
+	if p.outstanding() != 0 {
+		t.Errorf("outstanding = %d, want 0", p.outstanding())
+	}
+}
+
+// TestTypedSendZeroAllocs: the packed typed datapath (datapath 1: pack
+// into a pooled eager buffer) and the elided datapath (datapath 2:
+// posted receive, strided-to-strided) both run allocation-free in the
+// steady state — the acceptance gate for the derived-datatype layer.
+func TestTypedSendZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-driven test")
+	}
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop puts; zero allocs cannot hold")
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		w, err := NewWorld(Config{NumTasks: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = w.Run(func(task *Task) error {
+			dt := TypeVector(64, 4, 8).Commit() // 256 elems packed: 2 KiB, eager
+			buf := make([]float64, dt.Extent())
+			for i := 0; i < b.N; i++ {
+				if task.Rank() == 0 {
+					SendTyped(task, nil, buf, dt, 1, 0)
+					RecvTyped(task, nil, buf, dt, 1, 1)
+				} else {
+					RecvTyped(task, nil, buf, dt, 0, 0)
+					SendTyped(task, nil, buf, dt, 0, 1)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Errorf("typed ping-pong allocs/op = %d, want 0 (N=%d)", a, res.N)
+	}
+}
+
 // TestEagerPoolRecycling: unexpected eager traffic is served from the
 // pool after warm-up, recycled-byte accounting moves, and no buffer stays
 // outstanding once the world is done.

@@ -40,6 +40,12 @@ type wirePendingRecv struct {
 	elems   int
 	bytes   int
 
+	// got counts the packed elements received so far on the pipelined
+	// segment path (TypeDataSeg). Segments of one transfer arrive on one
+	// transport goroutine (per-peer delivery is serialized), so plain
+	// increments suffice; the transfer completes when got reaches elems.
+	got int
+
 	// span / sendNs from the RTS frame, reported to TraceHooks when the
 	// data frame completes the receive.
 	span   uint64
@@ -220,9 +226,22 @@ func (n *netLayer) isendRemote(t *Task, msg *message, worldDst int, op string) *
 		return sreq
 	}
 	h.Type = wire.TypeEager
+	// A typed eager message packs into a pooled buffer before framing:
+	// the wire carries dense payloads only, and the transport copies the
+	// frame before Send returns, so the scratch is released immediately.
+	var pb *eagerBuf
+	if msg.sdt != nil {
+		pb = w.pool.get(t.rank, msg.bytes)
+		dtPack(pb.data[:msg.bytes], msg.sdata, msg.sdt, int(msg.etype.Size()))
+		msg.sdata = pb.data[:msg.bytes]
+		msg.sdt = nil
+	}
 	err := n.tr.Send(node, &h, msg.sdata)
 	if err == nil && dup {
 		err = n.tr.Send(node, &h, msg.sdata)
+	}
+	if pb != nil {
+		w.pool.release(t.rank, pb)
 	}
 	putMessage(msg)
 	if err != nil {
@@ -251,12 +270,26 @@ func (n *netLayer) Alloc(peer int, h *wire.Header) ([]byte, any) {
 	case wire.TypeData:
 		n.mu.Lock()
 		wr := n.recvs[h.Xid]
-		if wr != nil && wr.bytes == int(h.PayloadLen) {
+		// A strided receive (rdt != nil) must not let packed bytes land
+		// raw in its buffer: the claim is refused and the payload arrives
+		// in a pooled scratch instead, unpacked by onData.
+		if wr != nil && wr.bytes == int(h.PayloadLen) && wr.pr.rdt == nil {
 			delete(n.recvs, h.Xid)
 			n.mu.Unlock()
 			return wr.pr.rdata[:h.PayloadLen], wr
 		}
 		n.mu.Unlock()
+		if h.PayloadLen == 0 {
+			return nil, nil
+		}
+		b := n.w.pool.get(poolNoRank, int(h.PayloadLen))
+		return b.data[:h.PayloadLen], b
+	case wire.TypeDataSeg:
+		if h.PayloadLen == 0 {
+			return nil, nil
+		}
+		b := n.w.pool.get(poolNoRank, int(h.PayloadLen))
+		return b.data[:h.PayloadLen], b
 	}
 	return nil, nil
 }
@@ -287,6 +320,8 @@ func (n *netLayer) Frame(peer int, f *wire.Frame) {
 		n.onCTS(f)
 	case wire.TypeData:
 		n.onData(f)
+	case wire.TypeDataSeg:
+		n.onDataSeg(f)
 	case wire.TypeFailure:
 		n.onFailure(f)
 	}
@@ -448,6 +483,10 @@ func (n *netLayer) onCTS(f *wire.Frame) {
 		// transfer time, not late-receiver time.
 		th.SpanCts(ps.src, msg.span)
 	}
+	if msg.sdt != nil {
+		n.sendTypedData(ps, msg, f.Xid)
+		return
+	}
 	h := wire.Header{
 		Type:     wire.TypeData,
 		Kind:     uint8(msg.etype.Kind()),
@@ -471,12 +510,170 @@ func (n *netLayer) onCTS(f *wire.Frame) {
 	putMessage(msg)
 }
 
-func (n *netLayer) onData(f *wire.Frame) {
-	wr, _ := f.Token.(*wirePendingRecv)
-	if wr == nil {
-		return // no matching transaction: validation failed at RTS time
+// wireTypedChunk is the packed segment size of the pipelined typed
+// rendezvous datapath: the sender packs this many bytes at a time into
+// one reused scratch buffer and streams them as DataSeg frames, so a
+// large strided transfer never exists fully packed on either side.
+const wireTypedChunk = 64 << 10
+
+// sendTypedData is onCTS's tail for a typed rendezvous send. Against a
+// v4 peer the payload streams as pipelined packed segments; against an
+// older peer (or under Config.ForcePack, the ablation knob) it is packed
+// whole into a pooled buffer and shipped as a single Data frame, exactly
+// like a contiguous send.
+func (n *netLayer) sendTypedData(ps *wirePendingSend, msg *message, xid uint64) {
+	w := n.w
+	node := n.nodeOf[ps.dst]
+	esz := int(msg.etype.Size())
+	var err error
+	if w.cfg.ForcePack || n.peerVersion(node) < 4 {
+		b := w.pool.get(poolNoRank, msg.bytes)
+		dtPack(b.data[:msg.bytes], msg.sdata, msg.sdt, esz)
+		h := wire.Header{
+			Type:     wire.TypeData,
+			Kind:     uint8(msg.etype.Kind()),
+			Xid:      xid,
+			Ctx:      msg.ctx,
+			SrcComm:  int32(msg.src),
+			SrcWorld: int32(ps.src),
+			DstWorld: int32(ps.dst),
+			Tag:      int32(msg.tag),
+			Elems:    int32(msg.elems),
+		}
+		err = n.tr.Send(node, &h, b.data[:msg.bytes])
+		w.pool.release(poolNoRank, b)
+	} else {
+		chunkElems := wireTypedChunk / esz
+		if chunkElems < 1 {
+			chunkElems = 1
+		}
+		scratch := w.pool.get(poolNoRank, chunkElems*esz)
+		for off := 0; off < msg.elems; off += chunkElems {
+			nel := min(chunkElems, msg.elems-off)
+			seg := scratch.data[:nel*esz]
+			dtPackRange(seg, msg.sdata, msg.sdt, esz, off, off+nel)
+			h := wire.Header{
+				Type:     wire.TypeDataSeg,
+				Kind:     uint8(msg.etype.Kind()),
+				Xid:      xid,
+				Ctx:      msg.ctx,
+				SrcComm:  int32(msg.src),
+				SrcWorld: int32(ps.src),
+				DstWorld: int32(ps.dst),
+				Tag:      int32(msg.tag),
+				// Elems carries the segment's element offset within the
+				// packed message; the total rode the RTS.
+				Elems: int32(off),
+			}
+			if err = n.tr.Send(node, &h, seg); err != nil {
+				break
+			}
+		}
+		w.pool.release(poolNoRank, scratch)
 	}
-	// The payload was read directly into wr.pr.rdata by the transport.
+	if err != nil {
+		msg.sreq.fail(&DeadRankError{Rank: ps.src, Op: "Send", Dead: ps.dst})
+	} else {
+		msg.sreq.complete(Status{})
+	}
+	putMessage(msg)
+}
+
+// peerVersion reports the negotiated frame version toward node via the
+// transport's optional PeerVersion extension. Transports without it —
+// and links still handshaking — report MinVersion, the conservative
+// answer: typed payloads then fall back to whole-pack Data frames the
+// peer certainly understands.
+func (n *netLayer) peerVersion(node int) uint8 {
+	if pv, ok := n.tr.(interface{ PeerVersion(int) uint8 }); ok {
+		return pv.PeerVersion(node)
+	}
+	return wire.MinVersion
+}
+
+func (n *netLayer) onData(f *wire.Frame) {
+	w := n.w
+	if wr, ok := f.Token.(*wirePendingRecv); ok {
+		// The payload was read directly into wr.pr.rdata by the transport.
+		n.completeWireRecv(wr)
+		return
+	}
+	// The payload arrived packed in a pooled scratch: either the receive
+	// is strided (the Alloc claim was refused so raw packed bytes never
+	// touch the user buffer) or there is no transaction to claim
+	// (validation failed at RTS time) and the frame is dropped.
+	buf, _ := f.Token.(*eagerBuf)
+	n.mu.Lock()
+	wr := n.recvs[f.Xid]
+	if wr != nil && wr.bytes == int(f.PayloadLen) && wr.pr.rdt != nil {
+		delete(n.recvs, f.Xid)
+	} else {
+		wr = nil
+	}
+	n.mu.Unlock()
+	if wr != nil {
+		dtUnpack(wr.pr.rdata, f.Payload, wr.pr.rdt, int(wr.pr.etype.Size()))
+	}
+	if buf != nil {
+		w.pool.release(poolNoRank, buf)
+	}
+	if wr != nil {
+		n.completeWireRecv(wr)
+	}
+}
+
+// onDataSeg applies one packed segment of a pipelined typed rendezvous
+// transfer and completes the receive when the element count announced by
+// the RTS has fully arrived.
+func (n *netLayer) onDataSeg(f *wire.Frame) {
+	w := n.w
+	buf, _ := f.Token.(*eagerBuf)
+	release := func() {
+		if buf != nil {
+			w.pool.release(poolNoRank, buf)
+		}
+	}
+	n.mu.Lock()
+	wr := n.recvs[f.Xid]
+	n.mu.Unlock()
+	if wr == nil {
+		release()
+		return
+	}
+	pr := wr.pr
+	esz := int(pr.etype.Size())
+	off := int(f.Elems)
+	nel := len(f.Payload) / esz
+	if off < 0 || nel <= 0 || off+nel > wr.elems || len(f.Payload) != nel*esz {
+		release()
+		return
+	}
+	if pr.rdt != nil {
+		dtUnpackRange(pr.rdata, f.Payload, pr.rdt, esz, off, off+nel)
+	} else {
+		copy(pr.rdata[off*esz:], f.Payload)
+	}
+	release()
+	wr.got += nel
+	if wr.got < wr.elems {
+		return
+	}
+	// Transfer complete: claim the transaction. It may have been failed
+	// concurrently (onRankFailed, failAll), so re-check identity under
+	// the lock — a failed receive must not complete twice.
+	n.mu.Lock()
+	if n.recvs[f.Xid] != wr {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.recvs, f.Xid)
+	n.mu.Unlock()
+	n.completeWireRecv(wr)
+}
+
+// completeWireRecv is the shared completion tail of the three wire
+// rendezvous datapaths (direct landing, whole-pack unpack, segments).
+func (n *netLayer) completeWireRecv(wr *wirePendingRecv) {
 	w := n.w
 	pr := wr.pr
 	if w.cfg.Hooks != nil {

@@ -50,6 +50,65 @@ func (w *Window[T]) Accumulate(t *mpi.Task, buf []T, target, offset int, op mpi.
 	st.accMu.Unlock()
 }
 
+// PutTyped is Put with derived datatypes on both sides: odt selects the
+// elements of buf that travel (nil = all of it) and tdt scatters them
+// into target's segment starting at element offset (nil = contiguously).
+// The transfer moves strided-to-strided through the shared window with
+// no intermediate packed buffer — counted by mpi.Stats().PackElisions.
+func (w *Window[T]) PutTyped(t *mpi.Task, buf []T, odt *mpi.Datatype, target, offset int, tdt *mpi.Datatype) {
+	n, bytes := typedSpan[T](len(buf), odt, tdt)
+	w.originCheck(t, "PutTyped", target, offset, n)
+	if tr := w.cfg.tracer; tr != nil {
+		tr.BeginOp(w.name, "put", t.Rank(), w.comm.WorldRank(target), bytes)
+		defer tr.EndOp(w.name, "put", t.Rank())
+	}
+	mpi.TypedCopy(t, w.segs[target][offset:], tdt, buf, odt, "rma.PutTyped")
+}
+
+// GetTyped is Get with derived datatypes on both sides: tdt selects the
+// elements of target's segment (from element offset) that travel and odt
+// scatters them into buf.
+func (w *Window[T]) GetTyped(t *mpi.Task, buf []T, odt *mpi.Datatype, target, offset int, tdt *mpi.Datatype) {
+	n, bytes := typedSpan[T](len(buf), odt, tdt)
+	w.originCheck(t, "GetTyped", target, offset, n)
+	if tr := w.cfg.tracer; tr != nil {
+		tr.BeginOp(w.name, "get", t.Rank(), w.comm.WorldRank(target), bytes)
+		defer tr.EndOp(w.name, "get", t.Rank())
+	}
+	mpi.TypedCopy(t, buf, odt, w.segs[target][offset:], tdt, "rma.GetTyped")
+}
+
+// AccumulateTyped is Accumulate with derived datatypes on both sides,
+// folding odt's selection of buf into tdt's selection of target's
+// segment under the per-target accumulate mutex.
+func (w *Window[T]) AccumulateTyped(t *mpi.Task, buf []T, odt *mpi.Datatype, target, offset int, tdt *mpi.Datatype, op mpi.Op) {
+	n, bytes := typedSpan[T](len(buf), odt, tdt)
+	w.originCheck(t, "AccumulateTyped", target, offset, n)
+	if tr := w.cfg.tracer; tr != nil {
+		tr.BeginOp(w.name, "accumulate", t.Rank(), w.comm.WorldRank(target), bytes)
+		defer tr.EndOp(w.name, "accumulate", t.Rank())
+	}
+	st := w.st[target]
+	st.accMu.Lock()
+	mpi.TypedApply(t, w.segs[target][offset:], tdt, buf, odt, op, "rma.AccumulateTyped")
+	st.accMu.Unlock()
+}
+
+// typedSpan computes the target-side element footprint of a typed RMA
+// call (for bounds checking: a strided target touches its layout's full
+// extent) and the packed transfer size in bytes (for tracing).
+func typedSpan[T any](bufLen int, odt, tdt *mpi.Datatype) (span, bytes int) {
+	packed := bufLen
+	if odt != nil {
+		packed = odt.Size()
+	}
+	span = packed
+	if tdt != nil {
+		span = tdt.Extent()
+	}
+	return span, packed * elemBytes[T]()
+}
+
 // originCheck validates a communication call: membership, target range,
 // an open epoch covering target, and segment bounds. It returns the
 // caller's comm rank.

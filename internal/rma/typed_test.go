@@ -1,0 +1,111 @@
+package rma
+
+import (
+	"fmt"
+	"testing"
+
+	"hls/internal/mpi"
+)
+
+// TestTypedPutGetAccumulate: the typed one-sided operations move strided
+// selections through a window with no intermediate packed buffer —
+// checked both by value and by the world's pack-elision counter.
+func TestTypedPutGetAccumulate(t *testing.T) {
+	const n = 2
+	w := testWorld(t, n)
+	if err := w.Run(func(task *mpi.Task) error {
+		win := WinAllocate[float64](task, nil, 64)
+		me := task.Rank()
+		other := 1 - me
+
+		// Put every other element of a local vector into every fourth slot
+		// of the peer's segment.
+		odt := mpi.TypeVector(8, 1, 2).Commit()
+		tdt := mpi.TypeVector(8, 1, 4).Commit()
+		src := make([]float64, odt.Extent())
+		for i := range src {
+			src[i] = float64(me*100 + i)
+		}
+		win.Fence(task)
+		win.PutTyped(task, src, odt, other, 16, tdt)
+		win.Fence(task)
+
+		local := win.Local(task)
+		for k := 0; k < 8; k++ {
+			want := float64(other*100 + 2*k)
+			if got := local[16+4*k]; got != want {
+				return fmt.Errorf("rank %d: local[%d] = %v, want %v", me, 16+4*k, got, want)
+			}
+		}
+
+		// Get them back through a different origin layout.
+		gdt := mpi.TypeVector(8, 1, 3).Commit()
+		back := make([]float64, gdt.Extent())
+		win.Fence(task)
+		win.GetTyped(task, back, gdt, other, 16, tdt)
+		win.Fence(task)
+		for k := 0; k < 8; k++ {
+			want := float64(me*100 + 2*k) // what I put there
+			if got := back[3*k]; got != want {
+				return fmt.Errorf("rank %d: back[%d] = %v, want %v", me, 3*k, got, want)
+			}
+		}
+
+		// AccumulateTyped folds instead of overwriting; both ranks add
+		// into slots 0,4,8,12 of rank 0's segment — untouched by the puts
+		// above — under the accumulate mutex.
+		adt := mpi.TypeVector(4, 1, 4).Commit()
+		ones := []float64{1, 0, 1, 0, 1, 0, 1}
+		win.Fence(task)
+		win.AccumulateTyped(task, ones, mpi.TypeVector(4, 1, 2).Commit(), 0, 0, adt, mpi.OpSum)
+		win.Fence(task)
+		if me == 0 {
+			for k := 0; k < 4; k++ {
+				if got := local[4*k]; got != 2 {
+					return fmt.Errorf("accumulate: local[%d] = %v, want 2", 4*k, got)
+				}
+			}
+		}
+		win.Free(task)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().PackElisions == 0 {
+		t.Error("typed RMA moved strided data without recording a pack elision")
+	}
+}
+
+// TestTypedPutBoundsAndMismatch: a strided target layout is bounds-
+// checked by its extent from the offset, and mismatched element counts
+// are a fatal typed error.
+func TestTypedPutBoundsAndMismatch(t *testing.T) {
+	err := testWorld(t, 2).Run(func(task *mpi.Task) error {
+		win := WinAllocate[int32](task, nil, 16)
+		tdt := mpi.TypeVector(4, 1, 4).Commit() // extent 13
+		win.Fence(task)
+		if task.Rank() == 0 {
+			// offset 4 + extent 13 = 17 > 16: out of bounds.
+			win.PutTyped(task, make([]int32, 4), nil, 1, 4, tdt)
+		}
+		win.Fence(task)
+		win.Free(task)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("out-of-bounds typed put did not fail")
+	}
+
+	err = testWorld(t, 1).Run(func(task *mpi.Task) error {
+		win := WinAllocate[int32](task, nil, 16)
+		win.Fence(task)
+		// 4 source elements into an 8-element target selection.
+		win.PutTyped(task, make([]int32, 4), nil, 0, 0, mpi.TypeVector(8, 1, 2).Commit())
+		win.Fence(task)
+		win.Free(task)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("element-count mismatch did not fail")
+	}
+}

@@ -24,13 +24,17 @@ import (
 // carrying a trace span id and send timestamp, plus the Ping/Pong clock
 // frames. Version 3 adds the Batch container frame that coalesces small
 // sequenced frames (and their piggybacked acks) into one wire write.
+// Version 4 adds the DataSeg frame that streams a rendezvous payload of
+// a derived datatype as pipelined packed segments, so a large strided
+// transfer never materializes fully packed on either side.
 // Versions are negotiated per connection: the Hello frame is always
 // encoded at MinVersion and advertises the speaker's Version, and each
-// side then frames at min(its own, the peer's) — so a v3 node
-// interoperates with a v2 node by never batching, and with a v1 node by
+// side then frames at min(its own, the peer's) — so a v4 node
+// interoperates with a v3 node by sending rendezvous payloads whole,
+// with a v2 node by additionally never batching, and with a v1 node by
 // additionally dropping the span extension.
 const (
-	Version    = 3
+	Version    = 4
 	MinVersion = 1
 )
 
@@ -80,6 +84,13 @@ const (
 	// retransmitted as batches — the sub-frames live individually in the
 	// unacked ring and are resent one by one after a reconnect.
 	TypeBatch
+	// TypeDataSeg (v4+) carries one packed segment of a typed rendezvous
+	// payload, correlated by Xid like TypeData. Elems holds the segment's
+	// element offset within the packed message; the payload length gives
+	// its span. Segments of one transfer arrive in order (the transport
+	// serializes per-peer delivery) and the transfer completes when the
+	// received element count reaches the total announced by the RTS.
+	TypeDataSeg
 )
 
 // String names the frame type.
@@ -107,6 +118,8 @@ func (t Type) String() string {
 		return "pong"
 	case TypeBatch:
 		return "batch"
+	case TypeDataSeg:
+		return "dataseg"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}

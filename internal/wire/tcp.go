@@ -141,6 +141,24 @@ func (t *TCP) Peers() int { return len(t.peers) }
 // Addr returns the actual listen address (resolves port 0).
 func (t *TCP) Addr() net.Addr { return t.ln.Addr() }
 
+// PeerVersion reports the negotiated frame-format version toward peer.
+// Before the handshake completes (or while the link is down) it returns
+// MinVersion — the conservative answer, so callers gate version-
+// dependent frame kinds on capabilities the peer has actually
+// advertised.
+func (t *TCP) PeerVersion(peer int) uint8 {
+	if peer < 0 || peer >= len(t.peers) || peer == t.cfg.Self {
+		return MinVersion
+	}
+	p := t.peers[peer]
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	if p.conn == nil || !p.ready || p.down {
+		return MinVersion
+	}
+	return p.ver
+}
+
 // Bind installs the sink and starts the accept loop (and, when
 // configured, the periodic clock-probe loop).
 func (t *TCP) Bind(s Sink) {
@@ -218,9 +236,17 @@ func (t *TCP) Send(peer int, h *Header, payload []byte) error {
 	}
 	p := t.peers[peer]
 	p.pendingSends.Add(1)
-	defer p.pendingSends.Add(-1)
 	p.sendMu.Lock()
-	defer p.sendMu.Unlock()
+	defer func() {
+		// Decrement while still holding sendMu. writeLocked's
+		// coalescing check reads a nonzero remainder as "another
+		// sender is still on its way and will flush after me"; if the
+		// count outlived the unlock, two departing senders could each
+		// see the other's stale increment, both skip the flush, and
+		// strand fully framed bytes in the bufio.Writer forever.
+		p.pendingSends.Add(-1)
+		p.sendMu.Unlock()
+	}()
 	if p.down {
 		return &PeerDownError{Peer: peer, Last: p.downErr}
 	}
@@ -904,7 +930,7 @@ func (p *tcpPeer) runReaderWith(c net.Conn, br *bufio.Reader, dialer bool) {
 		var payload []byte
 		var token any
 		if plen > 0 {
-			if t.sink != nil && (h.Type == TypeEager || h.Type == TypeData) {
+			if t.sink != nil && (h.Type == TypeEager || h.Type == TypeData || h.Type == TypeDataSeg) {
 				payload, token = t.sink.Alloc(p.id, &h)
 			}
 			if len(payload) != plen {
@@ -1019,7 +1045,7 @@ func (p *tcpPeer) handleBatch(c net.Conn, payload []byte) bool {
 		var body []byte
 		var token any
 		if len(sub) > 0 {
-			if t.sink != nil && (h.Type == TypeEager || h.Type == TypeData) {
+			if t.sink != nil && (h.Type == TypeEager || h.Type == TypeData || h.Type == TypeDataSeg) {
 				body, token = t.sink.Alloc(p.id, h)
 			}
 			if len(body) != len(sub) {

@@ -298,3 +298,110 @@ func TestTCPConcurrentSendersOneConnection(t *testing.T) {
 		next[f.SrcComm]++
 	}
 }
+
+// TestSendLastSenderFlushes: once every Send call has returned, no
+// framed bytes may remain buffered on the connection. writeLocked
+// defers its flush to a sender still counted in pendingSends; if that
+// count outlives the critical section, two departing senders can each
+// leave the flush to the other, stranding the final frames of a
+// conversation in the bufio.Writer — the peer then blocks forever on a
+// message its partner believes was sent.
+func TestSendLastSenderFlushes(t *testing.T) {
+	tr0, _, _, s1 := newPair(t, Config{}, Config{})
+	p := tr0.peers[1]
+
+	// Prime the link so the handshake is out of the way.
+	h := Header{Type: TypeEager}
+	if err := tr0.Send(1, &h, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first frame", func() bool { return s1.count() == 1 })
+
+	sent := 1
+	for round := 0; round < 20000; round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				hh := Header{Type: TypeEager}
+				if err := tr0.Send(1, &hh, []byte{1}); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+		sent += 2
+		p.sendMu.Lock()
+		buffered := 0
+		if p.bw != nil {
+			buffered = p.bw.Buffered()
+		}
+		p.sendMu.Unlock()
+		if buffered != 0 {
+			t.Fatalf("round %d: %d framed bytes stranded in the writer after all senders returned", round, buffered)
+		}
+	}
+	waitFor(t, "all frames delivered", func() bool { return s1.count() == sent })
+}
+
+// TestTCPCrossDialFirstContact models the distributed cold start: two
+// fresh transports whose very first frames race in opposite directions,
+// so both sides dial simultaneously and the tie-break must converge on
+// one socket without losing either side's frame (they ride the unacked
+// ring through the handshake retransmit). A dropped frame here is a
+// silent cross-process deadlock in any first collective.
+func TestTCPCrossDialFirstContact(t *testing.T) {
+	rounds := 200
+	if testing.Short() {
+		rounds = 20
+	}
+	for round := 0; round < rounds; round++ {
+		ln0, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln1, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs := []string{ln0.Addr().String(), ln1.Addr().String()}
+		tr0, err := NewTCP(Config{Addrs: addrs, Self: 0}, ln0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr1, err := NewTCP(Config{Addrs: addrs, Self: 1}, ln1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s0, s1 := newTestSink(), newTestSink()
+		tr0.Bind(s0)
+		tr1.Bind(s1)
+
+		var wg sync.WaitGroup
+		for _, snd := range []struct {
+			tr   *TCP
+			peer int
+		}{{tr0, 1}, {tr1, 0}} {
+			wg.Add(1)
+			go func(tr *TCP, peer int) {
+				defer wg.Done()
+				h := Header{Type: TypeEager, Tag: int32(round)}
+				if err := tr.Send(peer, &h, []byte{byte(peer)}); err != nil {
+					t.Error(err)
+				}
+			}(snd.tr, snd.peer)
+		}
+		wg.Wait()
+		deadline := time.Now().Add(10 * time.Second)
+		for s0.count() < 1 || s1.count() < 1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: first-contact frame lost (node0 got %d, node1 got %d)",
+					round, s0.count(), s1.count())
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		tr0.Close()
+		tr1.Close()
+	}
+}
